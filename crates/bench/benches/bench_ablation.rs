@@ -1,0 +1,68 @@
+//! Runtime ablations of Lily's design choices (quality ablations live
+//! in the `ablation` binary): CM-of-Merged vs CM-of-Fans vs the
+//! Manhattan median, the two wire models of §3.4, cone ordering on/off,
+//! and tree vs cone partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_cells::Library;
+use lily_core::flow::FlowOptions;
+use lily_core::{LayoutOptions, Partition, PositionUpdate};
+use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_route::WireModel;
+use lily_workloads::circuits;
+
+fn bench_ablation(c: &mut Criterion) {
+    let lib = Library::big();
+    let net = circuits::circuit("C432");
+    let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+    let mut group = c.benchmark_group("lily_ablation");
+    group.sample_size(10);
+
+    for (label, update) in [
+        ("cm_merged", PositionUpdate::CmMerged),
+        ("cm_fans", PositionUpdate::CmFans),
+        ("median_fans", PositionUpdate::MedianFans),
+    ] {
+        let opts = FlowOptions {
+            layout: LayoutOptions { position_update: update, ..LayoutOptions::default() },
+            ..FlowOptions::lily_area()
+        };
+        group.bench_with_input(BenchmarkId::new("position", label), &g, |b, g| {
+            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        });
+    }
+
+    for (label, model) in [
+        ("hpwl_steiner", WireModel::HalfPerimeterSteiner),
+        ("spanning_tree", WireModel::SpanningTree),
+    ] {
+        let opts = FlowOptions {
+            layout: LayoutOptions { wire_model: model, ..LayoutOptions::default() },
+            ..FlowOptions::lily_area()
+        };
+        group.bench_with_input(BenchmarkId::new("wire_model", label), &g, |b, g| {
+            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        });
+    }
+
+    for (label, ordering) in [("ordered", true), ("declaration", false)] {
+        let opts = FlowOptions {
+            layout: LayoutOptions { cone_ordering: ordering, ..LayoutOptions::default() },
+            ..FlowOptions::lily_area()
+        };
+        group.bench_with_input(BenchmarkId::new("cone_order", label), &g, |b, g| {
+            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        });
+    }
+
+    for (label, partition) in [("cones", Partition::Cones), ("trees", Partition::Trees)] {
+        let opts = FlowOptions { partition, ..FlowOptions::lily_area() };
+        group.bench_with_input(BenchmarkId::new("partition", label), &g, |b, g| {
+            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

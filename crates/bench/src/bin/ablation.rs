@@ -1,0 +1,109 @@
+//! Quality ablations of Lily's design choices (DESIGN.md §5): for each
+//! knob, run the full area-mode flow and report chip area and wire
+//! length, so the contribution of each mechanism is visible.
+//!
+//! Usage: `ablation [circuit ...]` (defaults to a small subset)
+
+use lily_cells::Library;
+use lily_core::flow::FlowOptions;
+use lily_core::{LayoutOptions, Partition, PositionUpdate};
+use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_route::WireModel;
+use lily_workloads::circuits;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&'static str> = if args.is_empty() {
+        vec!["b9", "C432", "apex7"]
+    } else {
+        circuits::circuit_names()
+            .into_iter()
+            .filter(|n| args.iter().any(|a| a == n))
+            .collect()
+    };
+    let lib = Library::big();
+
+    let variants: Vec<(&str, FlowOptions)> = vec![
+        ("baseline MIS", FlowOptions::mis_area()),
+        ("lily default (CM-of-Fans)", FlowOptions::lily_area()),
+        (
+            "lily CM-of-Merged",
+            FlowOptions {
+                layout: LayoutOptions {
+                    position_update: PositionUpdate::CmMerged,
+                    ..LayoutOptions::default()
+                },
+                ..FlowOptions::lily_area()
+            },
+        ),
+        (
+            "lily Manhattan median",
+            FlowOptions {
+                layout: LayoutOptions {
+                    position_update: PositionUpdate::MedianFans,
+                    ..LayoutOptions::default()
+                },
+                ..FlowOptions::lily_area()
+            },
+        ),
+        (
+            "lily spanning-tree wire",
+            FlowOptions {
+                layout: LayoutOptions {
+                    wire_model: WireModel::SpanningTree,
+                    ..LayoutOptions::default()
+                },
+                ..FlowOptions::lily_area()
+            },
+        ),
+        (
+            "lily no cone ordering",
+            FlowOptions {
+                layout: LayoutOptions { cone_ordering: false, ..LayoutOptions::default() },
+                ..FlowOptions::lily_area()
+            },
+        ),
+        (
+            "lily wire weight 3.5",
+            FlowOptions {
+                layout: LayoutOptions { wire_weight: 3.5, ..LayoutOptions::default() },
+                ..FlowOptions::lily_area()
+            },
+        ),
+        ("lily on trees (DAGON)", FlowOptions { partition: Partition::Trees, ..FlowOptions::lily_area() }),
+        (
+            "lily + fanout buffering",
+            FlowOptions { fanout_limit: Some(8), ..FlowOptions::lily_area() },
+        ),
+    ];
+
+    for name in names {
+        println!("== {name} ==");
+        println!(
+            "{:<28} | {:>7} | {:>10} | {:>10} | {:>10}",
+            "variant", "cells", "inst mm²", "chip mm²", "wire mm"
+        );
+        let net = circuits::circuit(name);
+        let g = match decompose(&net, DecomposeOrder::Balanced) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                continue;
+            }
+        };
+        for (label, opts) in &variants {
+            match opts.run_subject(&g, &lib) {
+                Ok(r) => println!(
+                    "{:<28} | {:>7} | {:>10.3} | {:>10.3} | {:>10.1}",
+                    label,
+                    r.metrics.cells,
+                    r.metrics.instance_area_mm2(),
+                    r.metrics.chip_area_mm2(),
+                    r.metrics.wire_length_mm()
+                ),
+                Err(e) => eprintln!("{label}: {e}"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,149 @@
+//! One-shot reproduction driver: runs every table and figure of the
+//! paper and writes a consolidated markdown report.
+//!
+//! Usage: `repro [--fast] [output.md]` (default output: `repro_report.md`)
+
+use lily_bench::{format_table1_row, format_table2_row, geomean_ratio, table1_header, table1_row, table2_header, table2_row};
+use lily_cells::Library;
+use lily_core::experiments::{decomposition_alignment, distribution_points, life_cycle_profile};
+use lily_workloads::circuits;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "repro_report.md".into());
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Lily reproduction report\n");
+    let started = std::time::Instant::now();
+
+    // Table 1.
+    let names: Vec<&'static str> =
+        if fast { lily_bench::fast_circuits() } else { circuits::circuit_names() };
+    let lib = Library::big();
+    let _ = writeln!(md, "## Table 1 — area mode\n```");
+    let _ = writeln!(md, "{}", table1_header());
+    let mut t1 = Vec::new();
+    for name in &names {
+        match table1_row(name, &lib) {
+            Ok(row) => {
+                let _ = writeln!(md, "{}", format_table1_row(&row));
+                t1.push(row);
+            }
+            Err(e) => {
+                let _ = writeln!(md, "{name}: ERROR {e}");
+            }
+        }
+    }
+    if !t1.is_empty() {
+        let gi = geomean_ratio(&t1, |r| (r.lily.instance_area, r.mis.instance_area));
+        let gc = geomean_ratio(&t1, |r| (r.lily.chip_area, r.mis.chip_area));
+        let gw = geomean_ratio(&t1, |r| (r.lily.wire_length, r.mis.wire_length));
+        let _ = writeln!(
+            md,
+            "geomean Lily/MIS: instance {:+.1}% chip {:+.1}% wire {:+.1}%",
+            (gi - 1.0) * 100.0,
+            (gc - 1.0) * 100.0,
+            (gw - 1.0) * 100.0
+        );
+    }
+    let _ = writeln!(md, "```\npaper: instance +1..2%, chip −5%, wire −7%\n");
+
+    // Table 2.
+    let lib1u = Library::big_1u();
+    let t2_names: Vec<&'static str> = if fast {
+        lily_bench::fast_circuits()
+            .into_iter()
+            .filter(|n| circuits::table2_names().contains(n))
+            .collect()
+    } else {
+        circuits::table2_names()
+    };
+    let _ = writeln!(md, "## Table 2 — timing mode\n```");
+    let _ = writeln!(md, "{}", table2_header());
+    let mut t2 = Vec::new();
+    for name in &t2_names {
+        match table2_row(name, &lib1u) {
+            Ok(row) => {
+                let _ = writeln!(md, "{}", format_table2_row(&row));
+                t2.push(row);
+            }
+            Err(e) => {
+                let _ = writeln!(md, "{name}: ERROR {e}");
+            }
+        }
+    }
+    if !t2.is_empty() {
+        let gd = geomean_ratio(&t2, |r| (r.lily.critical_delay, r.mis.critical_delay));
+        let _ = writeln!(md, "geomean Lily/MIS delay: {:+.1}%", (gd - 1.0) * 100.0);
+    }
+    let _ = writeln!(md, "```\npaper: delay −8% average\n");
+
+    // Figure 1.1(a).
+    let _ = writeln!(md, "## Figure 1.1(a) — distribution points\n```");
+    let spreads: Vec<f64> = (0..=6).map(|i| i as f64 * 2000.0 + 50.0).collect();
+    match distribution_points(&lib, &spreads) {
+        Ok(rows) => {
+            let _ = writeln!(md, "{:>10} {:>12} {:>12} {:>6}", "spread", "k=1 wire", "lily wire", "gates");
+            for r in rows {
+                let _ = writeln!(
+                    md,
+                    "{:>10.0} {:>12.1} {:>12.1} {:>6}",
+                    r.spread, r.wire_one_gate, r.wire_lily, r.lily_gates
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(md, "ERROR {e}");
+        }
+    }
+    let _ = writeln!(md, "```\n");
+
+    // Figure 1.1(b).
+    let _ = writeln!(md, "## Figure 1.1(b) — decomposition alignment\n```");
+    for spread in [2000.0, 8000.0] {
+        match decomposition_alignment(&lib, spread) {
+            Ok(row) => {
+                let _ = writeln!(
+                    md,
+                    "spread {:>6.0}: aligned {:>10.1}  conflicting {:>10.1}",
+                    spread, row.aligned, row.conflicting
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(md, "spread {spread}: ERROR {e}");
+            }
+        }
+    }
+    let _ = writeln!(md, "```\n");
+
+    // Figure 2.
+    let _ = writeln!(md, "## Figure 2.1/2.2 — node life cycle\n```");
+    let _ = writeln!(md, "{:<8} {:>8} {:>7} {:>7} {:>12}", "circuit", "hatched", "hawks", "doves", "reincarnated");
+    for name in if fast { lily_bench::fast_circuits() } else { vec!["misex1", "b9", "apex7", "C432", "duke2"] } {
+        let net = circuits::circuit(name);
+        if let Ok(stats) = life_cycle_profile(&lib, &net) {
+            let lc = stats.lifecycle;
+            let _ = writeln!(
+                md,
+                "{:<8} {:>8} {:>7} {:>7} {:>12}",
+                name, lc.hatched, lc.hawks, lc.doves, lc.reincarnations
+            );
+        }
+    }
+    let _ = writeln!(md, "```\n");
+    let _ = writeln!(md, "total runtime: {:.1}s", started.elapsed().as_secs_f64());
+
+    match std::fs::write(&path, &md) {
+        Ok(()) => println!("wrote {path} ({} bytes)", md.len()),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}; dumping to stdout\n");
+            println!("{md}");
+        }
+    }
+}

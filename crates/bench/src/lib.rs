@@ -1,0 +1,177 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper.
+//!
+//! * `table1` binary — Table 1 (area mode: instance area, chip area,
+//!   interconnect length; MIS 2.1 vs Lily over 15 circuits).
+//! * `table2` binary — Table 2 (timing mode: instance area and longest
+//!   path delay; 12 circuits, 1µ-scaled library).
+//! * `fig1` binary — Figure 1.1(a) distribution-point sweep and
+//!   Figure 1.1(b) decomposition alignment.
+//! * `fig2` binary — node life-cycle statistics (Figures 2.1/2.2).
+//! * `fig3` binary — dynamic position-update demonstration
+//!   (Figures 3.1/3.2).
+//! * Criterion benches — runtimes of the full pipelines, the global
+//!   placer, and ablations of Lily's design choices.
+
+use lily_cells::Library;
+use lily_core::flow::{FlowMetrics, FlowOptions};
+use lily_core::MapError;
+use lily_workloads::circuits;
+
+/// One row of the Table 1 comparison.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Circuit name.
+    pub name: &'static str,
+    /// MIS pipeline measurements.
+    pub mis: FlowMetrics,
+    /// Lily pipeline measurements.
+    pub lily: FlowMetrics,
+}
+
+/// One row of the Table 2 comparison.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub name: &'static str,
+    /// MIS pipeline (timing mode) measurements.
+    pub mis: FlowMetrics,
+    /// Lily pipeline (timing mode) measurements.
+    pub lily: FlowMetrics,
+}
+
+/// Runs the Table 1 experiment for one circuit with the big library.
+///
+/// # Errors
+///
+/// Propagates flow errors.
+pub fn table1_row(name: &'static str, lib: &Library) -> Result<Table1Row, MapError> {
+    let net = circuits::circuit(name);
+    let mis = FlowOptions::mis_area().run(&net, lib)?;
+    let lily = FlowOptions::lily_area().run(&net, lib)?;
+    Ok(Table1Row { name, mis, lily })
+}
+
+/// Runs the Table 2 experiment for one circuit with the 1µ-scaled big
+/// library.
+///
+/// # Errors
+///
+/// Propagates flow errors.
+pub fn table2_row(name: &'static str, lib: &Library) -> Result<Table2Row, MapError> {
+    let net = circuits::circuit(name);
+    let mis = FlowOptions::mis_delay().run(&net, lib)?;
+    let lily = FlowOptions::lily_delay().run(&net, lib)?;
+    Ok(Table2Row { name, mis, lily })
+}
+
+/// Geometric-mean ratio of `lily / mis` over a metric extractor —
+/// the "avg %" summaries the paper quotes.
+pub fn geomean_ratio<R>(rows: &[R], f: impl Fn(&R) -> (f64, f64)) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = rows
+        .iter()
+        .map(|r| {
+            let (lily, mis) = f(r);
+            (lily / mis).ln()
+        })
+        .sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+/// Formats the Table 1 header.
+pub fn table1_header() -> String {
+    format!(
+        "{:<8} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6}",
+        "Ex.",
+        "MIS inst",
+        "MIS chip",
+        "MIS wire",
+        "Lily inst",
+        "Lily chip",
+        "Lily wire",
+        "d-inst",
+        "d-chip",
+        "d-wire"
+    )
+}
+
+/// Formats one Table 1 row (areas in mm², wire in mm, deltas in %).
+pub fn format_table1_row(r: &Table1Row) -> String {
+    let pct = |lily: f64, mis: f64| (lily / mis - 1.0) * 100.0;
+    format!(
+        "{:<8} | {:>9.3} {:>9.3} {:>9.1} | {:>9.3} {:>9.3} {:>9.1} | {:>+5.1}% {:>+5.1}% {:>+5.1}%",
+        r.name,
+        r.mis.instance_area_mm2(),
+        r.mis.chip_area_mm2(),
+        r.mis.wire_length_mm(),
+        r.lily.instance_area_mm2(),
+        r.lily.chip_area_mm2(),
+        r.lily.wire_length_mm(),
+        pct(r.lily.instance_area, r.mis.instance_area),
+        pct(r.lily.chip_area, r.mis.chip_area),
+        pct(r.lily.wire_length, r.mis.wire_length),
+    )
+}
+
+/// Formats the Table 2 header.
+pub fn table2_header() -> String {
+    format!(
+        "{:<8} | {:>9} {:>9} | {:>9} {:>9} | {:>7}",
+        "Ex.", "MIS inst", "MIS delay", "Lily inst", "Lily dly", "d-delay"
+    )
+}
+
+/// Formats one Table 2 row (area mm², delay ns, delta %).
+pub fn format_table2_row(r: &Table2Row) -> String {
+    format!(
+        "{:<8} | {:>9.3} {:>9.2} | {:>9.3} {:>9.2} | {:>+6.1}%",
+        r.name,
+        r.mis.instance_area_mm2(),
+        r.mis.critical_delay,
+        r.lily.instance_area_mm2(),
+        r.lily.critical_delay,
+        (r.lily.critical_delay / r.mis.critical_delay - 1.0) * 100.0,
+    )
+}
+
+/// The small/fast circuit subset used by smoke tests and quick runs.
+pub fn fast_circuits() -> Vec<&'static str> {
+    vec!["misex1", "b9", "9symml", "apex7", "C432"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_smoke_on_smallest_circuit() {
+        let lib = Library::big();
+        let row = table1_row("misex1", &lib).unwrap();
+        assert!(row.mis.wire_length > 0.0);
+        assert!(row.lily.wire_length > 0.0);
+        let line = format_table1_row(&row);
+        assert!(line.contains("misex1"));
+    }
+
+    #[test]
+    fn table2_smoke_on_smallest_circuit() {
+        let lib = Library::big_1u();
+        let row = table2_row("misex1", &lib).unwrap();
+        assert!(row.mis.critical_delay > 0.0);
+        assert!(row.lily.critical_delay > 0.0);
+        let line = format_table2_row(&row);
+        assert!(line.contains("misex1"));
+    }
+
+    #[test]
+    fn geomean_ratio_basics() {
+        let rows = vec![(2.0, 1.0), (0.5, 1.0)];
+        let g = geomean_ratio(&rows, |r| *r);
+        assert!((g - 1.0).abs() < 1e-12);
+        let empty: Vec<(f64, f64)> = vec![];
+        assert_eq!(geomean_ratio(&empty, |r| *r), 1.0);
+    }
+}

@@ -1,0 +1,570 @@
+//! Reader and writer for the Berkeley *genlib* gate-library format —
+//! the format MIS 2.1 loaded its libraries from (including the MSU
+//! library the paper used).
+//!
+//! Supported subset:
+//!
+//! ```text
+//! GATE <name> <area> <output>=<expr>;
+//! PIN <pin|*> <INV|NONINV|UNKNOWN> <input-load> <max-load>
+//!     <rise-block> <rise-fanout-delay> <fall-block> <fall-fanout-delay>
+//! ```
+//!
+//! Expressions use `!` (complement), `*` (AND), `+` (OR), parentheses,
+//! and `CONST0` / `CONST1` are rejected (tie cells are out of scope).
+//! Precedence is `!` > `*` > `+`, matching genlib.
+//!
+//! Pattern graphs are derived from the expression: pure NAND/NOR/AND/OR
+//! gates get the full set of unordered tree shapes (so wide gates match
+//! every subject decomposition); other functions get the pattern implied
+//! by the expression structure.
+
+use crate::gate::{DelayParams, Gate, Pin};
+use crate::kinds::GateKind;
+use crate::library::Library;
+use crate::pattern::{PatternGraph, PatternNode};
+use crate::technology::Technology;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error raised while parsing genlib text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGenlibError {
+    /// 1-based line number of the offending construct.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseGenlibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "genlib parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseGenlibError {}
+
+/// A boolean expression over named inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Var(String),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn collect_vars(&self, order: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !order.contains(v) {
+                    order.push(v.clone());
+                }
+            }
+            Expr::Not(a) => a.collect_vars(order),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_vars(order);
+                b.collect_vars(order);
+            }
+        }
+    }
+
+    fn to_pattern(&self, pin_of: &HashMap<String, usize>) -> PatternNode {
+        match self {
+            Expr::Var(v) => PatternNode::Leaf(pin_of[v]),
+            Expr::Not(a) => PatternNode::inv(a.to_pattern(pin_of)),
+            Expr::And(a, b) => PatternNode::and2(a.to_pattern(pin_of), b.to_pattern(pin_of)),
+            Expr::Or(a, b) => PatternNode::or2(a.to_pattern(pin_of), b.to_pattern(pin_of)),
+        }
+    }
+
+    /// Removes double negations (`!!x` → `x`) and applies De Morgan to
+    /// all-negated operands (`!(!a*!b)` → `a+b`), so NAND/NOR-tree
+    /// renderings flatten back into their simple forms.
+    fn simplify(self) -> Expr {
+        match self {
+            Expr::Not(a) => match a.simplify() {
+                Expr::Not(inner) => *inner,
+                Expr::And(x, y) if matches!((&*x, &*y), (Expr::Not(_), Expr::Not(_))) => {
+                    let (Expr::Not(x), Expr::Not(y)) = (*x, *y) else { unreachable!() };
+                    Expr::Or(x, y)
+                }
+                Expr::Or(x, y) if matches!((&*x, &*y), (Expr::Not(_), Expr::Not(_))) => {
+                    let (Expr::Not(x), Expr::Not(y)) = (*x, *y) else { unreachable!() };
+                    Expr::And(x, y)
+                }
+                other => Expr::Not(Box::new(other)),
+            },
+            Expr::And(a, b) => Expr::And(Box::new(a.simplify()), Box::new(b.simplify())),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.simplify()), Box::new(b.simplify())),
+            v => v,
+        }
+    }
+
+    /// Flattens `self` as `f(lit_1 … lit_k)` when it is a pure
+    /// (N)AND/(N)OR of plain variables, returning the matching
+    /// [`GateKind`].
+    fn as_simple_kind(&self) -> Option<GateKind> {
+        fn flatten<'e>(e: &'e Expr, and: bool, out: &mut Vec<&'e Expr>) -> bool {
+            match (e, and) {
+                (Expr::And(a, b), true) | (Expr::Or(a, b), false) => {
+                    flatten(a, and, out) && flatten(b, and, out)
+                }
+                _ => {
+                    out.push(e);
+                    true
+                }
+            }
+        }
+        let (inner, inverted) = match self {
+            Expr::Not(a) => (a.as_ref(), true),
+            other => (other, false),
+        };
+        for and in [true, false] {
+            let mut leaves = Vec::new();
+            if flatten(inner, and, &mut leaves)
+                && leaves.len() >= 2
+                && leaves.iter().all(|l| matches!(l, Expr::Var(_)))
+            {
+                // Every leaf must come from the *top-level* operator
+                // only; flatten already guarantees this shape.
+                let k = leaves.len();
+                return Some(match (and, inverted) {
+                    (true, true) => GateKind::Nand(k),
+                    (true, false) => GateKind::And(k),
+                    (false, true) => GateKind::Nor(k),
+                    (false, false) => GateKind::Or(k),
+                });
+            }
+        }
+        if let Expr::Not(a) = self {
+            if matches!(a.as_ref(), Expr::Var(_)) {
+                return Some(GateKind::Inv);
+            }
+        }
+        None
+    }
+}
+
+/// A parsed `PIN` line.
+#[derive(Debug, Clone, PartialEq)]
+struct PinSpec {
+    name: String, // "*" for all pins
+    input_load: f64,
+    rise_block: f64,
+    rise_fanout: f64,
+    fall_block: f64,
+    fall_fanout: f64,
+}
+
+struct Tokenizer<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { rest: text, line: 1 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let before = self.rest;
+            while let Some(c) = self.rest.chars().next() {
+                if c == '\n' {
+                    self.line += 1;
+                    self.rest = &self.rest[1..];
+                } else if c.is_whitespace() {
+                    self.rest = &self.rest[c.len_utf8()..];
+                } else {
+                    break;
+                }
+            }
+            if self.rest.starts_with('#') {
+                match self.rest.find('\n') {
+                    Some(i) => self.rest = &self.rest[i..],
+                    None => self.rest = "",
+                }
+            }
+            if std::ptr::eq(before.as_ptr(), self.rest.as_ptr()) && before.len() == self.rest.len()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Next token: identifier/number or a single punctuation char.
+    fn next(&mut self) -> Option<String> {
+        self.skip_ws();
+        let mut chars = self.rest.chars();
+        let first = chars.next()?;
+        if first.is_alphanumeric() || first == '_' || first == '.' || first == '-' {
+            let end = self
+                .rest
+                .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.' || c == '-'))
+                .unwrap_or(self.rest.len());
+            let tok = &self.rest[..end];
+            self.rest = &self.rest[end..];
+            Some(tok.to_string())
+        } else {
+            self.rest = &self.rest[first.len_utf8()..];
+            Some(first.to_string())
+        }
+    }
+
+    fn peek(&mut self) -> Option<String> {
+        let save = (self.rest, self.line);
+        let t = self.next();
+        self.rest = save.0;
+        self.line = save.1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseGenlibError {
+        ParseGenlibError { line: self.line, message: message.into() }
+    }
+}
+
+fn parse_expr(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
+    parse_or(t)
+}
+
+fn parse_or(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
+    let mut left = parse_and(t)?;
+    while t.peek().as_deref() == Some("+") {
+        t.next();
+        let right = parse_and(t)?;
+        left = Expr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
+    let mut left = parse_not(t)?;
+    while t.peek().as_deref() == Some("*") {
+        t.next();
+        let right = parse_not(t)?;
+        left = Expr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_not(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
+    if t.peek().as_deref() == Some("!") {
+        t.next();
+        return Ok(Expr::Not(Box::new(parse_not(t)?)));
+    }
+    parse_atom(t)
+}
+
+fn parse_atom(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
+    match t.next() {
+        Some(tok) if tok == "(" => {
+            let e = parse_expr(t)?;
+            match t.next().as_deref() {
+                Some(")") => Ok(e),
+                other => Err(t.err(format!("expected `)`, found {other:?}"))),
+            }
+        }
+        Some(tok)
+            if tok.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') =>
+        {
+            if tok == "CONST0" || tok == "CONST1" {
+                Err(t.err("constant gates are not supported"))
+            } else {
+                Ok(Expr::Var(tok))
+            }
+        }
+        other => Err(t.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+fn parse_f64(t: &mut Tokenizer, what: &str) -> Result<f64, ParseGenlibError> {
+    let tok = t.next().ok_or_else(|| t.err(format!("expected {what}")))?;
+    tok.parse().map_err(|_| t.err(format!("invalid {what} `{tok}`")))
+}
+
+/// Parses genlib text into a [`Library`], with `tech` supplying geometry
+/// (cell widths are derived from the genlib areas).
+///
+/// # Errors
+///
+/// Returns [`ParseGenlibError`] on any malformed or unsupported
+/// construct, and when no inverter (`!A` gate) is present.
+pub fn parse(text: &str, name: &str, tech: Technology) -> Result<Library, ParseGenlibError> {
+    let mut t = Tokenizer::new(text);
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut inverter: Option<usize> = None;
+
+    while let Some(tok) = t.next() {
+        if tok != "GATE" {
+            return Err(t.err(format!("expected GATE, found `{tok}`")));
+        }
+        let gname = t.next().ok_or_else(|| t.err("expected gate name"))?;
+        let area = parse_f64(&mut t, "area")?;
+        let _output = t.next().ok_or_else(|| t.err("expected output name"))?;
+        match t.next().as_deref() {
+            Some("=") => {}
+            other => return Err(t.err(format!("expected `=`, found {other:?}"))),
+        }
+        let expr = parse_expr(&mut t)?.simplify();
+        match t.next().as_deref() {
+            Some(";") => {}
+            other => return Err(t.err(format!("expected `;`, found {other:?}"))),
+        }
+
+        // PIN lines until the next GATE or EOF.
+        let mut pin_specs: Vec<PinSpec> = Vec::new();
+        while t.peek().as_deref() == Some("PIN") {
+            t.next();
+            let pname = t.next().ok_or_else(|| t.err("expected pin name"))?;
+            let _phase = t.next().ok_or_else(|| t.err("expected phase"))?;
+            let input_load = parse_f64(&mut t, "input load")?;
+            let _max_load = parse_f64(&mut t, "max load")?;
+            let rise_block = parse_f64(&mut t, "rise block delay")?;
+            let rise_fanout = parse_f64(&mut t, "rise fanout delay")?;
+            let fall_block = parse_f64(&mut t, "fall block delay")?;
+            let fall_fanout = parse_f64(&mut t, "fall fanout delay")?;
+            pin_specs.push(PinSpec {
+                name: pname,
+                input_load,
+                rise_block,
+                rise_fanout,
+                fall_block,
+                fall_fanout,
+            });
+        }
+
+        // Pins in order of first appearance in the expression.
+        let mut var_order = Vec::new();
+        expr.collect_vars(&mut var_order);
+        if var_order.is_empty() {
+            return Err(t.err(format!("gate `{gname}` has no inputs")));
+        }
+        let pin_of: HashMap<String, usize> =
+            var_order.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+
+        let spec_for = |pin: &str| -> Option<&PinSpec> {
+            pin_specs
+                .iter()
+                .find(|s| s.name == pin)
+                .or_else(|| pin_specs.iter().find(|s| s.name == "*"))
+        };
+        let pins: Vec<Pin> = var_order
+            .iter()
+            .map(|v| {
+                let s = spec_for(v);
+                Pin {
+                    name: v.clone(),
+                    capacitance: s.map_or(tech.pin_cap, |s| s.input_load),
+                    delay: s.map_or(DelayParams::symmetric(1.0, 1.0), |s| DelayParams {
+                        intrinsic_rise: s.rise_block,
+                        intrinsic_fall: s.fall_block,
+                        resistance_rise: s.rise_fanout,
+                        resistance_fall: s.fall_fanout,
+                    }),
+                }
+            })
+            .collect();
+
+        // Patterns: all shapes for simple symmetric gates, both shapes
+        // for XOR/XNOR (detected by truth table), the structural
+        // pattern otherwise.
+        let structural = PatternGraph::new(expr.to_pattern(&pin_of), var_order.len());
+        let patterns: Vec<PatternGraph> = match expr.as_simple_kind() {
+            Some(kind) if kind.fanin() == var_order.len() => kind.patterns(),
+            _ if var_order.len() == 2 && tt_of(&structural) == 0b0110 => {
+                crate::pattern::xor2_patterns()
+            }
+            _ if var_order.len() == 2 && tt_of(&structural) == 0b1001 => {
+                crate::pattern::xnor2_patterns()
+            }
+            _ => vec![structural],
+        };
+
+        let grids =
+            ((area / (tech.grid_width * tech.row_height)).ceil() as usize).max(1);
+        let gate = Gate::new(gname, area, grids, pins, patterns);
+        if gate.fanin() == 1 && gate.function().bits() == 0b01 {
+            inverter.get_or_insert(gates.len());
+        }
+        gates.push(gate);
+    }
+
+    if gates.is_empty() {
+        return Err(ParseGenlibError { line: 1, message: "no gates in library".into() });
+    }
+    if inverter.is_none() {
+        return Err(ParseGenlibError {
+            line: 1,
+            message: "library has no inverter gate".into(),
+        });
+    }
+    Ok(Library::from_gates(name, gates, tech))
+}
+
+/// Truth-table bits of a 2-input pattern (row i in bit i).
+fn tt_of(p: &PatternGraph) -> u64 {
+    let mut bits = 0u64;
+    for row in 0..(1u64 << p.pins()) {
+        let vals: Vec<bool> = (0..p.pins()).map(|b| (row >> b) & 1 == 1).collect();
+        if p.eval(&vals) {
+            bits |= 1 << row;
+        }
+    }
+    bits
+}
+
+/// Serializes a [`Library`] to genlib text (pin timing uses the stored
+/// linear-model parameters; max-load is emitted as 999).
+pub fn write(lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# genlib export of library `{}`", lib.name());
+    for (_, gate) in lib.iter() {
+        let expr = expr_of_gate(gate);
+        let _ = writeln!(out, "GATE {} {} O={};", gate.name(), gate.area(), expr);
+        for pin in gate.pins() {
+            let d = &pin.delay;
+            let _ = writeln!(
+                out,
+                "PIN {} UNKNOWN {} 999 {} {} {} {}",
+                pin.name,
+                pin.capacitance,
+                d.intrinsic_rise,
+                d.resistance_rise,
+                d.intrinsic_fall,
+                d.resistance_fall
+            );
+        }
+    }
+    out
+}
+
+/// Renders the gate's first pattern as a genlib expression.
+fn expr_of_gate(gate: &Gate) -> String {
+    fn render(node: &PatternNode, pins: &[Pin]) -> String {
+        match node {
+            PatternNode::Leaf(p) => pins[*p].name.clone(),
+            PatternNode::Inv(a) => format!("!({})", render(a, pins)),
+            PatternNode::Nand2(a, b) => {
+                format!("!({}*{})", render(a, pins), render(b, pins))
+            }
+        }
+    }
+    render(gate.patterns()[0].root(), gate.pins())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny MSU-flavoured library
+GATE inv1 928 O=!A;
+PIN A INV 0.25 999 0.4 1.0 0.4 1.0
+GATE nand2 1392 O=!(A*B);
+PIN * INV 0.25 999 0.7 1.1 0.8 1.3
+GATE nand3 1856 O=!(A*B*C);
+PIN * INV 0.25 999 0.8 1.1 0.9 1.6
+GATE aoi21 1856 O=!(A*B+C);
+PIN * INV 0.25 999 0.9 1.4 0.9 1.4
+";
+
+    #[test]
+    fn parses_sample_library() {
+        let lib = parse(SAMPLE, "msu-lite", Technology::mcnc_3u()).unwrap();
+        assert_eq!(lib.len(), 4);
+        assert_eq!(lib.gate(lib.inverter()).name(), "inv1");
+        let nand3 = lib.gate(lib.find("nand3").unwrap());
+        assert_eq!(nand3.fanin(), 3);
+        // nand3 function over 3 pins.
+        assert_eq!(nand3.function().bits() & 0xFF, 0b0111_1111);
+        // Pin parameters from the PIN * line.
+        let p = &nand3.pins()[0];
+        assert!((p.capacitance - 0.25).abs() < 1e-12);
+        assert!((p.delay.intrinsic_rise - 0.8).abs() < 1e-12);
+        assert!((p.delay.resistance_fall - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aoi_function_from_expression() {
+        let lib = parse(SAMPLE, "l", Technology::mcnc_3u()).unwrap();
+        let aoi = lib.gate(lib.find("aoi21").unwrap());
+        // !(A*B + C): check a few rows (A=bit0, B=bit1, C=bit2).
+        assert!(aoi.function().eval(&[false, false, false]));
+        assert!(!aoi.function().eval(&[true, true, false]));
+        assert!(!aoi.function().eval(&[false, false, true]));
+        assert!(aoi.function().eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn simple_gates_get_all_shapes() {
+        let text = "GATE nand4 2000 O=!(A*B*C*D);\nPIN * INV 0.25 999 1 1 1 1\nGATE inv 900 O=!A;\nPIN A INV 0.25 999 1 1 1 1\n";
+        let lib = parse(text, "l", Technology::mcnc_3u()).unwrap();
+        let nand4 = lib.gate(lib.find("nand4").unwrap());
+        assert_eq!(nand4.patterns().len(), 2, "nand4 has two unordered shapes");
+    }
+
+    #[test]
+    fn missing_inverter_is_rejected() {
+        let text = "GATE nand2 1392 O=!(A*B);\nPIN * INV 0.25 999 1 1 1 1\n";
+        let err = parse(text, "l", Technology::mcnc_3u()).unwrap_err();
+        assert!(err.to_string().contains("inverter"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "GATE x 1 O=;",
+            "GATE x 1 O=!(A*B;",
+            "GATE x abc O=!A;",
+            "NOTGATE x 1 O=!A;",
+            "GATE x 1 O=CONST0;",
+        ] {
+            assert!(parse(bad, "l", Technology::mcnc_3u()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let lib = crate::library::Library::tiny();
+        let text = write(&lib);
+        let back = parse(&text, "tiny2", *lib.technology()).unwrap();
+        assert_eq!(back.len(), lib.len());
+        assert_eq!(back.pattern_count(), lib.pattern_count(), "pattern sets must round-trip");
+        for (_, g) in lib.iter() {
+            let g2 = back.gate(back.find(g.name()).expect("gate survives"));
+            assert_eq!(g2.function(), g.function(), "{}", g.name());
+            assert!((g2.area() - g.area()).abs() < 1e-9);
+            for (a, b) in g.pins().iter().zip(g2.pins()) {
+                assert!((a.capacitance - b.capacitance).abs() < 1e-12);
+                assert!((a.delay.intrinsic_rise - b.delay.intrinsic_rise).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_library_maps_circuits() {
+        use lily_netlist::{Network, NodeFunc};
+        let lib = parse(SAMPLE, "msu-lite", Technology::mcnc_3u()).unwrap();
+        let mut net = Network::new("t");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g1 = net.add_node("g1", NodeFunc::And, vec![a, b]).unwrap();
+        let g2 = net.add_node("g2", NodeFunc::Nor, vec![g1, c]).unwrap();
+        net.add_output("y", g2);
+        let g = lily_netlist::decompose::decompose(
+            &net,
+            lily_netlist::decompose::DecomposeOrder::Balanced,
+        )
+        .unwrap();
+        // The matcher requires inverter + nand2; this library has both.
+        // (Full mapping is exercised in lily-core; here we only check
+        // the library is structurally usable.)
+        assert!(lib.find("nand2").is_some());
+        assert!(g.base_gate_count() > 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Parameterized gate kinds: one constructor per family of standard
+//! cells, deriving patterns, layout width and delay-model parameters
+//! from the family and pin count.
+//!
+//! The electrical numbers are calibrated to the MSU 3µ cells the paper
+//! cites: every pin presents 0.25 pF; series transistor stacks make
+//! wide NANDs slow to fall and wide NORs slow to rise; gates with an
+//! internal inverter (AND/OR) pay an extra intrinsic delay. The exact
+//! values are documented constants — what matters for reproducing the
+//! paper is the *shape* of the area/delay trade-off: high-fanin gates
+//! are area-cheap per literal but electrically slower and harder to
+//! wire.
+
+use crate::gate::{DelayParams, Gate, Pin};
+use crate::pattern::{
+    and_patterns, aoi_patterns, inv_pattern, nand_patterns, nor_patterns, oai_patterns,
+    or_patterns, xnor2_patterns, xor2_patterns, PatternGraph,
+};
+use crate::technology::Technology;
+
+/// A family of library cells, parameterized by fanin.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// `k`-input NAND, `2 <= k <= 6`.
+    Nand(usize),
+    /// `k`-input NOR, `2 <= k <= 6`.
+    Nor(usize),
+    /// `k`-input AND (internal output inverter).
+    And(usize),
+    /// `k`-input OR (internal output inverter).
+    Or(usize),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-INVERT with the given AND-group sizes, e.g. `[2, 1]` for
+    /// AOI21.
+    Aoi(Vec<usize>),
+    /// OR-AND-INVERT with the given OR-group sizes.
+    Oai(Vec<usize>),
+}
+
+impl GateKind {
+    /// Canonical cell name (`inv`, `nand4`, `aoi221`, …).
+    pub fn name(&self) -> String {
+        fn digits(groups: &[usize]) -> String {
+            groups.iter().map(|g| g.to_string()).collect()
+        }
+        match self {
+            GateKind::Inv => "inv".into(),
+            GateKind::Nand(k) => format!("nand{k}"),
+            GateKind::Nor(k) => format!("nor{k}"),
+            GateKind::And(k) => format!("and{k}"),
+            GateKind::Or(k) => format!("or{k}"),
+            GateKind::Xor2 => "xor2".into(),
+            GateKind::Xnor2 => "xnor2".into(),
+            GateKind::Aoi(g) => format!("aoi{}", digits(g)),
+            GateKind::Oai(g) => format!("oai{}", digits(g)),
+        }
+    }
+
+    /// Number of input pins.
+    pub fn fanin(&self) -> usize {
+        match self {
+            GateKind::Inv => 1,
+            GateKind::Nand(k) | GateKind::Nor(k) | GateKind::And(k) | GateKind::Or(k) => *k,
+            GateKind::Xor2 | GateKind::Xnor2 => 2,
+            GateKind::Aoi(g) | GateKind::Oai(g) => g.iter().sum(),
+        }
+    }
+
+    /// Cell width in layout grids.
+    pub fn grids(&self) -> usize {
+        match self {
+            GateKind::Inv => 2,
+            GateKind::Nand(k) | GateKind::Nor(k) => k + 1,
+            GateKind::And(k) | GateKind::Or(k) => k + 2,
+            GateKind::Xor2 | GateKind::Xnor2 => 5,
+            GateKind::Aoi(g) | GateKind::Oai(g) => g.iter().sum::<usize>() + 1,
+        }
+    }
+
+    /// All pattern graphs for this kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range fanin (the library builders never pass
+    /// one).
+    pub fn patterns(&self) -> Vec<PatternGraph> {
+        match self {
+            GateKind::Inv => inv_pattern(),
+            GateKind::Nand(k) => nand_patterns(*k),
+            GateKind::Nor(k) => nor_patterns(*k),
+            GateKind::And(k) => and_patterns(*k),
+            GateKind::Or(k) => or_patterns(*k),
+            GateKind::Xor2 => xor2_patterns(),
+            GateKind::Xnor2 => xnor2_patterns(),
+            GateKind::Aoi(g) => aoi_patterns(g),
+            GateKind::Oai(g) => oai_patterns(g),
+        }
+    }
+
+    /// Delay parameters of pin `pin` (0-based). Later pins of a series
+    /// stack are slightly faster (closer to the output), mirroring real
+    /// NAND/NOR cells.
+    pub fn pin_delay(&self, pin: usize) -> DelayParams {
+        let k = self.fanin() as f64;
+        let stack = |base: f64| base + 0.30 * (k - 1.0);
+        let position = 0.06 * (k - 1.0 - pin as f64).max(0.0);
+        match self {
+            GateKind::Inv => DelayParams::symmetric(0.40, 1.00),
+            GateKind::Nand(_) => DelayParams {
+                intrinsic_rise: 0.50 + 0.10 * k + position,
+                intrinsic_fall: 0.55 + 0.12 * k + position,
+                resistance_rise: 1.10,
+                resistance_fall: stack(1.00),
+            },
+            GateKind::Nor(_) => DelayParams {
+                intrinsic_rise: 0.60 + 0.14 * k + position,
+                intrinsic_fall: 0.50 + 0.10 * k + position,
+                resistance_rise: stack(1.20),
+                resistance_fall: 1.10,
+            },
+            GateKind::And(_) => DelayParams {
+                intrinsic_rise: 0.90 + 0.10 * k + position,
+                intrinsic_fall: 0.95 + 0.12 * k + position,
+                resistance_rise: 1.05,
+                resistance_fall: 1.05,
+            },
+            GateKind::Or(_) => DelayParams {
+                intrinsic_rise: 0.95 + 0.12 * k + position,
+                intrinsic_fall: 0.90 + 0.10 * k + position,
+                resistance_rise: 1.05,
+                resistance_fall: 1.05,
+            },
+            GateKind::Xor2 | GateKind::Xnor2 => DelayParams {
+                intrinsic_rise: 1.10,
+                intrinsic_fall: 1.15,
+                resistance_rise: 1.40,
+                resistance_fall: 1.40,
+            },
+            GateKind::Aoi(_) => DelayParams {
+                intrinsic_rise: 0.55 + 0.11 * k + position,
+                intrinsic_fall: 0.60 + 0.13 * k + position,
+                resistance_rise: stack(1.15),
+                resistance_fall: stack(1.05),
+            },
+            GateKind::Oai(_) => DelayParams {
+                intrinsic_rise: 0.60 + 0.13 * k + position,
+                intrinsic_fall: 0.55 + 0.11 * k + position,
+                resistance_rise: stack(1.10),
+                resistance_fall: stack(1.10),
+            },
+        }
+    }
+
+    /// Builds the [`Gate`] for this kind under `tech`.
+    pub fn build(&self, tech: &Technology) -> Gate {
+        let fanin = self.fanin();
+        let pins = (0..fanin)
+            .map(|i| Pin {
+                name: pin_name(i),
+                capacitance: tech.pin_cap,
+                delay: self.pin_delay(i),
+            })
+            .collect();
+        Gate::new(self.name(), tech.cell_area(self.grids()), self.grids(), pins, self.patterns())
+    }
+}
+
+fn pin_name(i: usize) -> String {
+    const NAMES: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    NAMES.get(i).map(|s| (*s).to_string()).unwrap_or_else(|| format!("p{i}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_fanins() {
+        assert_eq!(GateKind::Inv.name(), "inv");
+        assert_eq!(GateKind::Nand(4).name(), "nand4");
+        assert_eq!(GateKind::Aoi(vec![2, 2, 1]).name(), "aoi221");
+        assert_eq!(GateKind::Aoi(vec![2, 2, 1]).fanin(), 5);
+        assert_eq!(GateKind::Oai(vec![2, 2]).fanin(), 4);
+        assert_eq!(GateKind::Xor2.fanin(), 2);
+    }
+
+    #[test]
+    fn wide_gates_have_slower_stacks() {
+        let n2 = GateKind::Nand(2).pin_delay(0);
+        let n6 = GateKind::Nand(6).pin_delay(0);
+        assert!(n6.resistance_fall > n2.resistance_fall);
+        assert!(n6.intrinsic_rise > n2.intrinsic_rise);
+        // NOR stacks hit the rise side instead.
+        let r2 = GateKind::Nor(2).pin_delay(0);
+        let r6 = GateKind::Nor(6).pin_delay(0);
+        assert!(r6.resistance_rise > r2.resistance_rise);
+    }
+
+    #[test]
+    fn early_pins_are_slower() {
+        let first = GateKind::Nand(4).pin_delay(0);
+        let last = GateKind::Nand(4).pin_delay(3);
+        assert!(first.intrinsic_rise > last.intrinsic_rise);
+    }
+
+    #[test]
+    fn build_produces_consistent_gate() {
+        let tech = Technology::mcnc_3u();
+        let g = GateKind::Nand(3).build(&tech);
+        assert_eq!(g.name(), "nand3");
+        assert_eq!(g.fanin(), 3);
+        assert!((g.area() - tech.cell_area(4)).abs() < 1e-9);
+        // Function is NAND3.
+        assert_eq!(g.function().bits() & 0xFF, 0b0111_1111);
+        for p in g.pins() {
+            assert!((p.capacitance - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let tech = Technology::mcnc_3u();
+        let kinds = [
+            GateKind::Inv,
+            GateKind::Nand(2),
+            GateKind::Nand(6),
+            GateKind::Nor(4),
+            GateKind::And(3),
+            GateKind::Or(4),
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Aoi(vec![2, 1]),
+            GateKind::Aoi(vec![2, 2]),
+            GateKind::Oai(vec![2, 1]),
+            GateKind::Oai(vec![2, 2, 2]),
+        ];
+        for k in kinds {
+            let g = k.build(&tech);
+            assert_eq!(g.fanin(), k.fanin(), "{}", g.name());
+            assert!(!g.patterns().is_empty());
+        }
+    }
+}

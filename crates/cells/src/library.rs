@@ -1,0 +1,364 @@
+//! Gate libraries: named collections of [`Gate`]s with a designated
+//! inverter and shared [`Technology`] parameters.
+//!
+//! Section 5 of the paper compares mapping with a *tiny* library (gates
+//! up to 3 inputs) against a *big* library (gates up to 6 inputs):
+//! *"The big library has much smaller active cell area, but its routing
+//! complexity is high."* [`Library::tiny`] and [`Library::big`]
+//! reproduce those two operating points.
+
+use crate::gate::{Gate, GateId};
+use crate::kinds::GateKind;
+use crate::technology::Technology;
+use std::collections::HashMap;
+
+/// A technology-mapping target library.
+///
+/// ```
+/// use lily_cells::Library;
+/// let lib = Library::big();
+/// assert!(lib.max_fanin() == 6);
+/// let inv = lib.gate(lib.inverter());
+/// assert_eq!(inv.name(), "inv");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+    gates: Vec<Gate>,
+    by_name: HashMap<String, GateId>,
+    inverter: GateId,
+    technology: Technology,
+}
+
+impl Library {
+    /// Builds a library from gate kinds. The list must contain
+    /// [`GateKind::Inv`], which becomes the designated inverter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kinds contain no inverter or duplicate names.
+    pub fn from_kinds(
+        name: impl Into<String>,
+        kinds: &[GateKind],
+        technology: Technology,
+    ) -> Self {
+        let mut gates = Vec::with_capacity(kinds.len());
+        let mut by_name = HashMap::new();
+        let mut inverter = None;
+        for kind in kinds {
+            let gate = kind.build(&technology);
+            let id = GateId(gates.len() as u32);
+            assert!(
+                by_name.insert(gate.name().to_string(), id).is_none(),
+                "duplicate gate `{}`",
+                gate.name()
+            );
+            if matches!(kind, GateKind::Inv) {
+                inverter = Some(id);
+            }
+            gates.push(gate);
+        }
+        Self {
+            name: name.into(),
+            gates,
+            by_name,
+            inverter: inverter.expect("library must contain an inverter"),
+            technology,
+        }
+    }
+
+    /// Builds a library from pre-constructed gates (used by the genlib
+    /// reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate gate names or when no inverter (1-input gate
+    /// computing `!a`) is present.
+    pub fn from_gates(name: impl Into<String>, gates: Vec<Gate>, technology: Technology) -> Self {
+        let mut by_name = HashMap::new();
+        let mut inverter = None;
+        for (i, gate) in gates.iter().enumerate() {
+            assert!(
+                by_name.insert(gate.name().to_string(), GateId(i as u32)).is_none(),
+                "duplicate gate `{}`",
+                gate.name()
+            );
+            if inverter.is_none() && gate.fanin() == 1 && gate.function().bits() == 0b01 {
+                inverter = Some(GateId(i as u32));
+            }
+        }
+        Self {
+            name: name.into(),
+            gates,
+            by_name,
+            inverter: inverter.expect("library must contain an inverter"),
+            technology,
+        }
+    }
+
+    /// The tiny library of Section 5: gates up to 3 inputs.
+    pub fn tiny() -> Self {
+        Self::from_kinds(
+            "tiny",
+            &[
+                GateKind::Inv,
+                GateKind::Nand(2),
+                GateKind::Nand(3),
+                GateKind::Nor(2),
+                GateKind::Nor(3),
+                GateKind::And(2),
+                GateKind::Or(2),
+                GateKind::Xor2,
+                GateKind::Xnor2,
+                GateKind::Aoi(vec![2, 1]),
+                GateKind::Oai(vec![2, 1]),
+            ],
+            Technology::mcnc_3u(),
+        )
+    }
+
+    /// The big library of Section 5: gates up to 6 inputs.
+    pub fn big() -> Self {
+        Self::from_kinds(
+            "big",
+            &[
+                GateKind::Inv,
+                GateKind::Nand(2),
+                GateKind::Nand(3),
+                GateKind::Nand(4),
+                GateKind::Nand(5),
+                GateKind::Nand(6),
+                GateKind::Nor(2),
+                GateKind::Nor(3),
+                GateKind::Nor(4),
+                GateKind::Nor(5),
+                GateKind::Nor(6),
+                GateKind::And(2),
+                GateKind::And(3),
+                GateKind::And(4),
+                GateKind::Or(2),
+                GateKind::Or(3),
+                GateKind::Or(4),
+                GateKind::Xor2,
+                GateKind::Xnor2,
+                GateKind::Aoi(vec![2, 1]),
+                GateKind::Aoi(vec![2, 2]),
+                GateKind::Aoi(vec![2, 2, 1]),
+                GateKind::Aoi(vec![2, 2, 2]),
+                GateKind::Oai(vec![2, 1]),
+                GateKind::Oai(vec![2, 2]),
+                GateKind::Oai(vec![2, 2, 1]),
+                GateKind::Oai(vec![2, 2, 2]),
+            ],
+            Technology::mcnc_3u(),
+        )
+    }
+
+    /// The big library extended with double-drive (`_x2`) variants of
+    /// every gate: ~1.5× area, half the output resistance, 1.8× the pin
+    /// capacitance. Delay-mode mapping and the load-driven sizing pass
+    /// pick them up under heavy loads; area mode ignores them.
+    pub fn big_sized() -> Self {
+        let base = Self::big();
+        let mut gates = base.gates.clone();
+        for g in base.gates() {
+            let pins = g
+                .pins()
+                .iter()
+                .map(|p| crate::gate::Pin {
+                    name: p.name.clone(),
+                    capacitance: p.capacitance * 1.8,
+                    delay: crate::gate::DelayParams {
+                        intrinsic_rise: p.delay.intrinsic_rise,
+                        intrinsic_fall: p.delay.intrinsic_fall,
+                        resistance_rise: p.delay.resistance_rise / 2.0,
+                        resistance_fall: p.delay.resistance_fall / 2.0,
+                    },
+                })
+                .collect();
+            gates.push(Gate::new(
+                format!("{}_x2", g.name()),
+                g.area() * 1.5,
+                g.grids() + (g.grids() / 2).max(1),
+                pins,
+                g.patterns().to_vec(),
+            ));
+        }
+        let mut lib = Self::from_gates("big-sized", gates, base.technology);
+        // Keep the unit-drive inverter designated.
+        lib.inverter = base.inverter;
+        lib
+    }
+
+    /// The double-drive variant of `gate`, when the library carries one
+    /// (`<name>_x2`).
+    pub fn upsized(&self, gate: GateId) -> Option<GateId> {
+        self.find(&format!("{}_x2", self.gate(gate).name()))
+    }
+
+    /// The big library scaled to the 1µ process (Table 2's setup: the
+    /// paper scaled the delay, gate capacitance and wiring capacitance
+    /// of the 3µ technology). Areas are left in 3µ units so Table 2's
+    /// area column stays comparable to Table 1, as in the paper.
+    pub fn big_1u() -> Self {
+        Self::big().delay_scaled(1.0 / 3.0)
+    }
+
+    /// A copy with every delay parameter and capacitance scaled by
+    /// `factor` (area untouched).
+    #[must_use]
+    pub fn delay_scaled(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        out.technology = Technology {
+            cap_h: self.technology.cap_h * factor,
+            cap_v: self.technology.cap_v * factor,
+            pin_cap: self.technology.pin_cap * factor,
+            ..self.technology
+        };
+        out.gates = self
+            .gates
+            .iter()
+            .map(|g| {
+                let pins = g
+                    .pins()
+                    .iter()
+                    .map(|p| crate::gate::Pin {
+                        name: p.name.clone(),
+                        capacitance: p.capacitance * factor,
+                        delay: p.delay.scaled(factor),
+                    })
+                    .collect();
+                Gate::new(g.name(), g.area(), g.grids(), pins, g.patterns().to_vec())
+            })
+            .collect();
+        out.name = format!("{}-scaled", self.name);
+        out
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Looks up a gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Looks up a gate id by name.
+    pub fn find(&self, name: &str) -> Option<GateId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The designated inverter gate.
+    pub fn inverter(&self) -> GateId {
+        self.inverter
+    }
+
+    /// Shared technology parameters.
+    pub fn technology(&self) -> &Technology {
+        &self.technology
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the library is empty (never true for built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Iterator over `(GateId, &Gate)`.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// Largest pin count in the library.
+    pub fn max_fanin(&self) -> usize {
+        self.gates.iter().map(Gate::fanin).max().unwrap_or(0)
+    }
+
+    /// Total number of pattern graphs (a matching-cost statistic).
+    pub fn pattern_count(&self) -> usize {
+        self.gates.iter().map(|g| g.patterns().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_library_caps_fanin_at_three() {
+        let lib = Library::tiny();
+        assert_eq!(lib.max_fanin(), 3);
+        assert!(lib.find("nand3").is_some());
+        assert!(lib.find("nand4").is_none());
+    }
+
+    #[test]
+    fn big_library_caps_fanin_at_six() {
+        let lib = Library::big();
+        assert_eq!(lib.max_fanin(), 6);
+        assert!(lib.find("nand6").is_some());
+        assert!(lib.find("aoi222").is_some());
+        assert!(lib.len() > Library::tiny().len());
+    }
+
+    #[test]
+    fn inverter_is_designated() {
+        let lib = Library::tiny();
+        assert_eq!(lib.gate(lib.inverter()).name(), "inv");
+        assert_eq!(lib.gate(lib.inverter()).fanin(), 1);
+    }
+
+    #[test]
+    fn every_gate_function_matches_all_its_patterns() {
+        // Gate::new already validates; this exercises the whole library.
+        for lib in [Library::tiny(), Library::big()] {
+            for (_, g) in lib.iter() {
+                for p in g.patterns() {
+                    let mut vals = vec![false; g.fanin()];
+                    for row in 0..(1u32 << g.fanin()) {
+                        for (b, v) in vals.iter_mut().enumerate() {
+                            *v = (row >> b) & 1 == 1;
+                        }
+                        assert_eq!(
+                            p.eval(&vals),
+                            g.function().eval(&vals),
+                            "{} pattern {}",
+                            g.name(),
+                            p.root()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_scaling_leaves_area() {
+        let big = Library::big();
+        let one = Library::big_1u();
+        let g3 = big.find("nand3").unwrap();
+        let g1 = one.find("nand3").unwrap();
+        assert!((big.gate(g3).area() - one.gate(g1).area()).abs() < 1e-9);
+        let p3 = &big.gate(g3).pins()[0];
+        let p1 = &one.gate(g1).pins()[0];
+        assert!((p1.capacitance * 3.0 - p3.capacitance).abs() < 1e-9);
+        assert!((p1.delay.intrinsic_rise * 3.0 - p3.delay.intrinsic_rise).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_has_more_patterns_than_gates() {
+        let lib = Library::big();
+        assert!(lib.pattern_count() > lib.len(), "wide gates carry multiple shapes");
+    }
+}

@@ -1,0 +1,432 @@
+//! Mapped networks: the output of technology mapping — library cells
+//! wired together, each with a layout position.
+
+use crate::gate::GateId;
+use crate::library::Library;
+use lily_netlist::sim::{simulate_subject64, XorShift64};
+use lily_netlist::SubjectGraph;
+
+/// Index of a cell within a [`MappedNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        Self(i as u32)
+    }
+}
+
+/// The driver of a signal: a primary input pad or a cell output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalSource {
+    /// Primary input `usize` (index into [`MappedNetwork::input_names`]).
+    Input(usize),
+    /// Output of a mapped cell.
+    Cell(CellId),
+}
+
+/// One placed library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedCell {
+    /// The library gate implementing this cell.
+    pub gate: GateId,
+    /// Signal feeding each input pin, in pin order.
+    pub fanins: Vec<SignalSource>,
+    /// Layout position (µm); cells use a point model (paper §3.1).
+    pub position: (f64, f64),
+}
+
+/// One net of the mapped network: a driver and all its sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPins {
+    /// The driving signal.
+    pub source: SignalSource,
+    /// `(cell, pin)` sinks.
+    pub sinks: Vec<(CellId, usize)>,
+    /// Primary outputs (by index) driven by this net.
+    pub output_sinks: Vec<usize>,
+}
+
+/// A technology-mapped, placed netlist.
+#[derive(Debug, Clone, Default)]
+pub struct MappedNetwork {
+    name: String,
+    /// Primary input names, in order.
+    pub input_names: Vec<String>,
+    /// Primary input pad positions (µm), parallel to `input_names`.
+    pub input_positions: Vec<(f64, f64)>,
+    /// Output `(name, driver)` pairs.
+    pub outputs: Vec<(String, SignalSource)>,
+    /// Primary output pad positions (µm), parallel to `outputs`.
+    pub output_positions: Vec<(f64, f64)>,
+    cells: Vec<MappedCell>,
+}
+
+impl MappedNetwork {
+    /// Creates an empty mapped network with the given inputs.
+    pub fn new(name: impl Into<String>, input_names: Vec<String>) -> Self {
+        let n = input_names.len();
+        Self {
+            name: name.into(),
+            input_names,
+            input_positions: vec![(0.0, 0.0); n],
+            outputs: Vec::new(),
+            output_positions: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a cell and returns its id.
+    pub fn add_cell(&mut self, cell: MappedCell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Declares a primary output at position `(0, 0)` (set later by pad
+    /// placement).
+    pub fn add_output(&mut self, name: impl Into<String>, source: SignalSource) {
+        self.outputs.push((name.into(), source));
+        self.output_positions.push((0.0, 0.0));
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[MappedCell] {
+        &self.cells
+    }
+
+    /// Mutable access to the cells (for placement updates).
+    pub fn cells_mut(&mut self) -> &mut [MappedCell] {
+        &mut self.cells
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, id: CellId) -> &MappedCell {
+        &self.cells[id.index()]
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Sum of cell areas under `lib` — the "total instance area" column
+    /// of Tables 1 and 2, µm².
+    pub fn instance_area(&self, lib: &Library) -> f64 {
+        self.cells.iter().map(|c| lib.gate(c.gate).area()).sum()
+    }
+
+    /// Position of a signal source: pad position for inputs, cell
+    /// position for cells.
+    pub fn source_position(&self, s: SignalSource) -> (f64, f64) {
+        match s {
+            SignalSource::Input(i) => self.input_positions[i],
+            SignalSource::Cell(c) => self.cells[c.index()].position,
+        }
+    }
+
+    /// Extracts all nets: one per signal source that drives at least one
+    /// cell pin or primary output. Order: inputs first (by index), then
+    /// cells (by id).
+    pub fn nets(&self) -> Vec<NetPins> {
+        let mut input_nets: Vec<NetPins> = (0..self.input_names.len())
+            .map(|i| NetPins {
+                source: SignalSource::Input(i),
+                sinks: Vec::new(),
+                output_sinks: Vec::new(),
+            })
+            .collect();
+        let mut cell_nets: Vec<NetPins> = (0..self.cells.len())
+            .map(|i| NetPins {
+                source: SignalSource::Cell(CellId(i as u32)),
+                sinks: Vec::new(),
+                output_sinks: Vec::new(),
+            })
+            .collect();
+        for (ci, cell) in self.cells.iter().enumerate() {
+            for (pin, &src) in cell.fanins.iter().enumerate() {
+                let sink = (CellId(ci as u32), pin);
+                match src {
+                    SignalSource::Input(i) => input_nets[i].sinks.push(sink),
+                    SignalSource::Cell(c) => cell_nets[c.index()].sinks.push(sink),
+                }
+            }
+        }
+        for (oi, (_, src)) in self.outputs.iter().enumerate() {
+            match *src {
+                SignalSource::Input(i) => input_nets[i].output_sinks.push(oi),
+                SignalSource::Cell(c) => cell_nets[c.index()].output_sinks.push(oi),
+            }
+        }
+        input_nets
+            .into_iter()
+            .chain(cell_nets)
+            .filter(|n| !n.sinks.is_empty() || !n.output_sinks.is_empty())
+            .collect()
+    }
+
+    /// Cells in topological order (fanins before fanouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is cyclic (a mapper bug).
+    pub fn topo_order(&self) -> Vec<CellId> {
+        let n = self.cells.len();
+        let mut state = vec![0u8; n]; // 0 new, 1 visiting, 2 done
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (cell, next fanin)
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            stack.push((start, 0));
+            state[start] = 1;
+            while let Some(&mut (c, ref mut next)) = stack.last_mut() {
+                let fanins = &self.cells[c].fanins;
+                if *next < fanins.len() {
+                    let f = fanins[*next];
+                    *next += 1;
+                    if let SignalSource::Cell(fc) = f {
+                        match state[fc.index()] {
+                            0 => {
+                                state[fc.index()] = 1;
+                                stack.push((fc.index(), 0));
+                            }
+                            1 => panic!("mapped network contains a cycle through cell {c}"),
+                            _ => {}
+                        }
+                    }
+                } else {
+                    state[c] = 2;
+                    order.push(CellId(c as u32));
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Evaluates the mapped network on 64 packed input vectors (see
+    /// [`lily_netlist::sim`] conventions). Returns one word per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a cyclic netlist.
+    pub fn simulate64(&self, lib: &Library, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.input_names.len(), "input word count mismatch");
+        let mut val = vec![0u64; self.cells.len()];
+        for c in self.topo_order() {
+            let cell = &self.cells[c.index()];
+            let gate = lib.gate(cell.gate);
+            let words: Vec<u64> = cell
+                .fanins
+                .iter()
+                .map(|&s| match s {
+                    SignalSource::Input(i) => inputs[i],
+                    SignalSource::Cell(fc) => val[fc.index()],
+                })
+                .collect();
+            let tt = gate.function();
+            let mut out = 0u64;
+            for lane in 0..64 {
+                let vals: Vec<bool> = words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                if tt.eval(&vals) {
+                    out |= 1 << lane;
+                }
+            }
+            val[c.index()] = out;
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| match *s {
+                SignalSource::Input(i) => inputs[i],
+                SignalSource::Cell(c) => val[c.index()],
+            })
+            .collect()
+    }
+
+    /// Checks that every cell's fanin count matches its gate's pin count.
+    pub fn validate(&self, lib: &Library) -> Result<(), String> {
+        for (i, c) in self.cells.iter().enumerate() {
+            let gate = lib.gate(c.gate);
+            if c.fanins.len() != gate.fanin() {
+                return Err(format!(
+                    "cell {i} ({}) has {} fanins, gate wants {}",
+                    gate.name(),
+                    c.fanins.len(),
+                    gate.fanin()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Random (or exhaustive, when the input count is small) equivalence
+/// check of a mapped network against the subject graph it was mapped
+/// from. Inputs and outputs are matched positionally.
+pub fn equiv_mapped_subject(
+    subject: &SubjectGraph,
+    mapped: &MappedNetwork,
+    lib: &Library,
+    vectors: usize,
+    seed: u64,
+) -> bool {
+    if subject.inputs().len() != mapped.input_names.len()
+        || subject.outputs().len() != mapped.outputs.len()
+    {
+        return false;
+    }
+    let ni = subject.inputs().len();
+    let mut rng = XorShift64::new(seed);
+    let words = vectors.div_ceil(64).max(1);
+    let exhaustive = ni <= 6;
+    for w in 0..words {
+        let ins: Vec<u64> = (0..ni)
+            .map(|i| {
+                if exhaustive {
+                    lily_netlist::sim::exhaustive_word(i, w)
+                } else {
+                    rng.next_u64()
+                }
+            })
+            .collect();
+        if simulate_subject64(subject, &ins) != mapped.simulate64(lib, &ins) {
+            return false;
+        }
+        if exhaustive && (w + 1) * 64 >= (1usize << ni) {
+            break;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-maps y = !(a & b) with a nand2, z = !a with an inv.
+    fn tiny_mapped(lib: &Library) -> MappedNetwork {
+        let mut m = MappedNetwork::new("t", vec!["a".into(), "b".into()]);
+        let nand2 = lib.find("nand2").unwrap();
+        let inv = lib.inverter();
+        let c0 = m.add_cell(MappedCell {
+            gate: nand2,
+            fanins: vec![SignalSource::Input(0), SignalSource::Input(1)],
+            position: (10.0, 10.0),
+        });
+        let c1 = m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Input(0)],
+            position: (20.0, 10.0),
+        });
+        m.add_output("y", SignalSource::Cell(c0));
+        m.add_output("z", SignalSource::Cell(c1));
+        m
+    }
+
+    #[test]
+    fn simulate_mapped_network() {
+        let lib = Library::tiny();
+        let m = tiny_mapped(&lib);
+        let ins = vec![
+            lily_netlist::sim::exhaustive_word(0, 0),
+            lily_netlist::sim::exhaustive_word(1, 0),
+        ];
+        let out = m.simulate64(&lib, &ins);
+        assert_eq!(out[0] & 0b1111, 0b0111); // nand
+        assert_eq!(out[1] & 0b1111, 0b0101); // !a where a = 0101 -> 1010? a bits: rows 0..4 a=0,1,0,1 -> !a=1,0,1,0 = 0b0101
+    }
+
+    #[test]
+    fn nets_enumerate_sinks() {
+        let lib = Library::tiny();
+        let m = tiny_mapped(&lib);
+        let nets = m.nets();
+        // a drives 2 cell pins; b drives 1; two cell outputs drive POs.
+        assert_eq!(nets.len(), 4);
+        let a_net = &nets[0];
+        assert_eq!(a_net.sinks.len(), 2);
+        let y_net = nets.iter().find(|n| n.source == SignalSource::Cell(CellId(0))).unwrap();
+        assert_eq!(y_net.output_sinks, vec![0]);
+    }
+
+    #[test]
+    fn equivalence_against_subject() {
+        let lib = Library::tiny();
+        let m = tiny_mapped(&lib);
+        let mut g = SubjectGraph::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.nand2(a, b);
+        let i = g.inv(a);
+        g.set_output("y", n);
+        g.set_output("z", i);
+        assert!(equiv_mapped_subject(&g, &m, &lib, 16, 1));
+        // Swap the outputs: no longer equivalent.
+        let mut m2 = m.clone();
+        m2.outputs.swap(0, 1);
+        assert!(!equiv_mapped_subject(&g, &m2, &lib, 16, 1));
+    }
+
+    #[test]
+    fn topo_order_handles_out_of_order_insertion() {
+        let lib = Library::tiny();
+        let inv = lib.inverter();
+        let mut m = MappedNetwork::new("t", vec!["a".into()]);
+        // Insert consumer before producer (as cone-commit order does).
+        let c0 = CellId(0);
+        let c1 = CellId(1);
+        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(c1)], position: (0.0, 0.0) });
+        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Input(0)], position: (0.0, 0.0) });
+        m.add_output("y", SignalSource::Cell(c0));
+        let order = m.topo_order();
+        assert_eq!(order, vec![c1, c0]);
+        let ins = vec![lily_netlist::sim::exhaustive_word(0, 0)];
+        let out = m.simulate64(&lib, &ins);
+        assert_eq!(out[0] & 0b11, 0b10); // double inversion: y == a (lanes 0,1 carry a = 0,1)
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_netlist_panics() {
+        let lib = Library::tiny();
+        let inv = lib.inverter();
+        let mut m = MappedNetwork::new("t", vec![]);
+        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(CellId(1))], position: (0.0, 0.0) });
+        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(CellId(0))], position: (0.0, 0.0) });
+        m.add_output("y", SignalSource::Cell(CellId(0)));
+        let _ = m.topo_order();
+    }
+
+    #[test]
+    fn validate_catches_arity_bugs() {
+        let lib = Library::tiny();
+        let mut m = MappedNetwork::new("t", vec!["a".into()]);
+        m.add_cell(MappedCell {
+            gate: lib.find("nand2").unwrap(),
+            fanins: vec![SignalSource::Input(0)],
+            position: (0.0, 0.0),
+        });
+        assert!(m.validate(&lib).is_err());
+    }
+
+    #[test]
+    fn instance_area_sums_gate_areas() {
+        let lib = Library::tiny();
+        let m = tiny_mapped(&lib);
+        let expect = lib.gate(lib.find("nand2").unwrap()).area() + lib.gate(lib.inverter()).area();
+        assert!((m.instance_area(&lib) - expect).abs() < 1e-9);
+    }
+}

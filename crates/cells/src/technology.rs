@@ -1,0 +1,116 @@
+//! Technology parameters: geometry and parasitics shared by the area and
+//! delay models.
+//!
+//! The paper's experiments use the MSU 3µ standard-cell library (CMOS3
+//! book) for area, and the same library scaled to 1µ for the delay
+//! experiment of Table 2. [`Technology::mcnc_3u`] is calibrated so that
+//! circuits of the paper's sizes land in the same millimetre-squared
+//! range as Table 1; [`Technology::scaled`] produces the 1µ variant.
+//!
+//! Units: distance in µm, area in µm², capacitance in pF, resistance in
+//! kΩ, time in ns (so `R·C` is in ns directly).
+
+/// Geometry and parasitic constants of a standard-cell process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Standard-cell row height, µm.
+    pub row_height: f64,
+    /// Width of one layout grid; cell widths are integer grids, µm.
+    pub grid_width: f64,
+    /// Effective routing pitch: chip area consumed per µm of wire, µm.
+    pub wire_pitch: f64,
+    /// Horizontal interconnect capacitance per µm (the paper's `c_h`), pF.
+    pub cap_h: f64,
+    /// Vertical interconnect capacitance per µm (the paper's `c_v`), pF.
+    pub cap_v: f64,
+    /// Default input pin capacitance, pF. The paper: "Most gates in the
+    /// 3µ MSU standard cell library have an input capacitance of
+    /// 0.25 pF".
+    pub pin_cap: f64,
+}
+
+impl Technology {
+    /// The 3µ MSU-like process used for the Table 1 area experiment.
+    pub fn mcnc_3u() -> Self {
+        Self {
+            row_height: 100.0,
+            grid_width: 12.0,
+            wire_pitch: 7.0,
+            cap_h: 0.000_20,
+            cap_v: 0.000_16,
+            pin_cap: 0.25,
+        }
+    }
+
+    /// Scales every linear dimension and parasitic by `factor` (e.g.
+    /// `1.0 / 3.0` turns the 3µ process into the 1µ process used for
+    /// Table 2, exactly as the paper scales delay, gate capacitance and
+    /// wiring capacitance).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            row_height: self.row_height * factor,
+            grid_width: self.grid_width * factor,
+            wire_pitch: self.wire_pitch * factor,
+            cap_h: self.cap_h * factor,
+            cap_v: self.cap_v * factor,
+            pin_cap: self.pin_cap * factor,
+        }
+    }
+
+    /// The 1µ process of the Table 2 delay experiment.
+    pub fn mcnc_1u() -> Self {
+        Self::mcnc_3u().scaled(1.0 / 3.0)
+    }
+
+    /// Area of a cell that is `grids` layout grids wide, µm².
+    pub fn cell_area(&self, grids: usize) -> f64 {
+        grids as f64 * self.grid_width * self.row_height
+    }
+
+    /// Lumped capacitance of a wire with horizontal extent `x` and
+    /// vertical extent `y` (µm): the paper's `c_h·X + c_v·Y`, pF.
+    pub fn wire_cap(&self, x: f64, y: f64) -> f64 {
+        self.cap_h * x + self.cap_v * y
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::mcnc_3u()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_linear() {
+        let t = Technology::mcnc_3u();
+        let s = t.scaled(0.5);
+        assert!((s.row_height - t.row_height * 0.5).abs() < 1e-12);
+        assert!((s.pin_cap - t.pin_cap * 0.5).abs() < 1e-12);
+        assert!((s.cap_h - t.cap_h * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_micron_is_third_of_three() {
+        let t1 = Technology::mcnc_1u();
+        let t3 = Technology::mcnc_3u();
+        assert!((t1.pin_cap * 3.0 - t3.pin_cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_area_counts_grids() {
+        let t = Technology::mcnc_3u();
+        assert!((t.cell_area(3) - 3.0 * 12.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_cap_combines_axes() {
+        let t = Technology::mcnc_3u();
+        let c = t.wire_cap(1000.0, 500.0);
+        assert!((c - (0.2 + 0.08)).abs() < 1e-9);
+    }
+}

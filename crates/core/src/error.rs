@@ -1,0 +1,85 @@
+//! Mapper error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the technology mappers and flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The library cannot implement the base functions: it must contain
+    /// an inverter and a 2-input NAND for covering to be total.
+    IncompleteLibrary {
+        /// What is missing.
+        missing: &'static str,
+    },
+    /// A subject node had no match at all (should be impossible with a
+    /// complete library; indicates a matcher bug or exotic graph).
+    NoMatch {
+        /// The uncoverable node's index.
+        node: usize,
+    },
+    /// The layout-driven mapper was invoked without placement positions
+    /// for every subject node.
+    MissingPlacement {
+        /// Expected position count.
+        expected: usize,
+        /// Provided position count.
+        got: usize,
+    },
+    /// A netlist-level error surfaced during the flow.
+    Netlist(lily_netlist::NetlistError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::IncompleteLibrary { missing } => {
+                write!(f, "library cannot cover the base functions: missing {missing}")
+            }
+            MapError::NoMatch { node } => write!(f, "no pattern matches subject node {node}"),
+            MapError::MissingPlacement { expected, got } => {
+                write!(f, "layout-driven mapping needs {expected} positions, got {got}")
+            }
+            MapError::Netlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lily_netlist::NetlistError> for MapError {
+    fn from(e: lily_netlist::NetlistError) -> Self {
+        MapError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let errs: Vec<MapError> = vec![
+            MapError::IncompleteLibrary { missing: "inverter" },
+            MapError::NoMatch { node: 3 },
+            MapError::MissingPlacement { expected: 5, got: 0 },
+            MapError::Netlist(lily_netlist::NetlistError::UnknownNode { id: 1 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_netlist_errors() {
+        let e = MapError::from(lily_netlist::NetlistError::UnknownNode { id: 1 });
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,530 @@
+//! End-to-end evaluation pipelines (paper Section 5).
+//!
+//! The paper compares two flows that share every physical design tool:
+//!
+//! 1. **MIS pipeline** — *"Read in the optimized circuit, run MIS
+//!    technology mapper in area and timing mode, write mapped circuit
+//!    to the database, assign locations to I/O pads, do detailed
+//!    placement and routing."* Pads are assigned *after* mapping; the
+//!    mapper never sees them.
+//! 2. **Lily pipeline** — *"Read in the optimized circuit, assign
+//!    locations to I/O pads, run Lily in area and timing mode, write
+//!    mapped circuit to the database, do detailed placement and
+//!    routing."*
+//!
+//! Both finish with the same global placement, row legalization,
+//! Steiner-tree + congestion routing estimate, and STA, so the only
+//! difference under measurement is the mapper.
+
+use crate::baseline::MisMapper;
+use crate::cover::{MapMode, MapStats, Partition};
+use crate::error::MapError;
+use crate::lily::{LayoutOptions, LilyMapper};
+use lily_cells::{Library, MappedNetwork, SignalSource};
+use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_netlist::{Network, SubjectGraph};
+use lily_place::anneal::{anneal, AnnealOptions};
+use lily_place::global::{global_place, GlobalOptions};
+use lily_place::legalize::{improve, legalize, LegalizeOptions};
+use lily_place::{assign_pads, AreaModel, PinRef, PlacementProblem, Point, SubjectPlacement};
+use lily_route::{rsmt_length, CongestionGrid};
+use lily_timing::load::WireLoad;
+use lily_timing::sta::{analyze, StaOptions};
+
+/// Which detailed-placement refinement runs after legalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetailedPlacer {
+    /// Median relocation + adjacent-swap passes (fast, deterministic).
+    Greedy,
+    /// Simulated annealing (TimberWolf-style) followed by
+    /// re-legalization and the greedy polish.
+    Anneal {
+        /// RNG seed of the annealer.
+        seed: u64,
+    },
+}
+
+/// Which mapper drives the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowMapper {
+    /// The wire-blind MIS 2.1 baseline.
+    Mis,
+    /// The layout-driven Lily mapper.
+    Lily,
+}
+
+/// Options of a full evaluation flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOptions {
+    /// Which mapper runs.
+    pub mapper: FlowMapper,
+    /// Optimization objective.
+    pub mode: MapMode,
+    /// Covering partition.
+    pub partition: Partition,
+    /// Lily's layout knobs (ignored by the MIS mapper).
+    pub layout: LayoutOptions,
+    /// Technology decomposition order.
+    pub decompose_order: DecomposeOrder,
+    /// Chip-area model shared by both pipelines.
+    pub area_model: AreaModel,
+    /// Detailed-placement improvement passes.
+    pub improvement_passes: usize,
+    /// Congestion detour gain for the routed-length model.
+    pub detour_gain: f64,
+    /// Routing supply per µm² for the congestion grid.
+    pub route_supply: f64,
+    /// Estimated mapped-area per inchoate base gate, in layout grids
+    /// (sizes Lily's pre-mapping layout image).
+    pub grids_per_base_gate: f64,
+    /// Per-fanout wire capacitance handed to the MIS baseline in delay
+    /// mode, pF (MIS 2.1 models `C_w` as a function of the fanout
+    /// count; paper §4.2).
+    pub mis_wire_cap_per_fanout: f64,
+    /// Detailed-placement refinement algorithm.
+    pub detailed_placer: DetailedPlacer,
+    /// Measure wire with the congestion-aware pattern global router
+    /// instead of the Steiner + detour-factor model. Off by default
+    /// (the published tables use the detour model).
+    pub global_router: bool,
+    /// Post-mapping fanout optimization: nets driving more than this
+    /// many sinks are split into inverter-pair buffer trees (the pass
+    /// the paper notes Lily lacks, §5). `None` disables (the published
+    /// configuration). Applied to both pipelines.
+    pub fanout_limit: Option<usize>,
+    /// Carry Lily's constructive placement (the `mapPositions`) into
+    /// detailed placement instead of re-running global placement on the
+    /// mapped netlist (the paper's pipeline); ignored by the MIS flow,
+    /// which always needs a fresh global placement.
+    pub constructive_placement: bool,
+}
+
+impl FlowOptions {
+    fn base(mapper: FlowMapper, mode: MapMode) -> Self {
+        Self {
+            mapper,
+            mode,
+            partition: Partition::Cones,
+            layout: LayoutOptions::default(),
+            decompose_order: DecomposeOrder::Balanced,
+            area_model: AreaModel::mcnc(),
+            improvement_passes: 2,
+            detour_gain: 0.3,
+            route_supply: 0.35,
+            grids_per_base_gate: 1.5,
+            mis_wire_cap_per_fanout: 0.03,
+            fanout_limit: None,
+            detailed_placer: DetailedPlacer::Greedy,
+            global_router: false,
+            constructive_placement: true,
+        }
+    }
+
+    /// The MIS pipeline in area mode (Table 1 left half).
+    pub fn mis_area() -> Self {
+        Self::base(FlowMapper::Mis, MapMode::Area)
+    }
+
+    /// The Lily pipeline in area mode (Table 1 right half).
+    pub fn lily_area() -> Self {
+        Self::base(FlowMapper::Lily, MapMode::Area)
+    }
+
+    /// The MIS pipeline in timing mode (Table 2 left half).
+    pub fn mis_delay() -> Self {
+        Self::base(FlowMapper::Mis, MapMode::Delay)
+    }
+
+    /// The Lily pipeline in timing mode (Table 2 right half).
+    pub fn lily_delay() -> Self {
+        Self::base(FlowMapper::Lily, MapMode::Delay)
+    }
+
+    /// Runs the flow on an optimized network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decomposition and mapping errors.
+    pub fn run(&self, net: &Network, lib: &Library) -> Result<FlowMetrics, MapError> {
+        Ok(self.run_detailed(net, lib)?.metrics)
+    }
+
+    /// Runs the flow, returning the mapped netlist alongside the
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowOptions::run`].
+    pub fn run_detailed(&self, net: &Network, lib: &Library) -> Result<FlowResult, MapError> {
+        let g = decompose(net, self.decompose_order)?;
+        self.run_subject(&g, lib)
+    }
+
+    /// Runs the flow on an already-decomposed subject graph.
+    ///
+    /// Pad positions are assigned once, before mapping, from the
+    /// inchoate network's connectivity, and are shared by both
+    /// pipelines; the mapped netlist is then globally placed and
+    /// legalized with the same tools in both pipelines, so the mapper
+    /// is the only variable under measurement. (The paper's MIS
+    /// pipeline assigned pads after mapping with the same tool; pinning
+    /// them to identical positions removes a noise source our simpler
+    /// detailed placer cannot absorb — see DESIGN.md.)
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowOptions::run`].
+    pub fn run_subject(&self, g: &SubjectGraph, lib: &Library) -> Result<FlowResult, MapError> {
+        // Shared pre-mapping environment: estimated layout image and
+        // connectivity-driven pad assignment on the inchoate network.
+        let tech = lib.technology();
+        let est_area = g.base_gate_count() as f64
+            * self.grids_per_base_gate
+            * tech.grid_width
+            * tech.row_height;
+        let core0 = self.area_model.core_region(est_area);
+        let sp = SubjectPlacement::new(g);
+        let pads0 = assign_pads(&sp.problem, core0);
+
+        // Mapping.
+        let mapping = match self.mapper {
+            FlowMapper::Mis => MisMapper::new(lib)
+                .mode(self.mode)
+                .partition(self.partition)
+                .wire_cap_per_fanout(self.mis_wire_cap_per_fanout)
+                .map(g)?,
+            FlowMapper::Lily => {
+                // Lily first global-places the inchoate network against
+                // the pads, then maps with dynamic position updates.
+                let problem = with_pads(sp.problem.clone(), &pads0);
+                let gp = global_place(&problem, &GlobalOptions::for_region(core0));
+                let node_positions = sp.node_positions(g, &gp.positions, &pads0);
+                let n_pi = g.inputs().len();
+                LilyMapper::new(lib)
+                    .mode(self.mode)
+                    .partition(self.partition)
+                    .layout(self.layout)
+                    .map(g, &node_positions, &pads0[n_pi..])?
+            }
+        };
+        let mut mapped = mapping.mapped;
+        let stats = mapping.stats;
+        if let Some(limit) = self.fanout_limit {
+            crate::fanout::buffer_fanout(
+                &mut mapped,
+                lib,
+                &crate::fanout::FanoutOptions { max_fanout: limit, placement_aware: true },
+            );
+        }
+
+        // Shared physical design: resize the core to the real mapped
+        // area, rescale the pads onto it, globally place the mapped
+        // netlist, then legalize/improve/measure.
+        let final_core = self.area_model.core_region(mapped.instance_area(lib));
+        let pads: Vec<Point> = pads0.iter().map(|p| rescale(*p, core0, final_core)).collect();
+        apply_pads(&mut mapped, &pads);
+        let keep_constructive =
+            self.constructive_placement && self.mapper == FlowMapper::Lily;
+        if !keep_constructive {
+            let (problem, _) = mapped_problem(&mapped);
+            let problem = with_pads(problem, &pads);
+            let gp = global_place(&problem, &GlobalOptions::for_region(final_core));
+            for (i, p) in gp.positions.iter().enumerate() {
+                mapped.cells_mut()[i].position = (p.x, p.y);
+            }
+        }
+        self.finish(mapped, stats, lib, final_core)
+    }
+
+    /// Shared tail: legalize, improve, route-estimate, STA, metrics.
+    fn finish(
+        &self,
+        mut mapped: MappedNetwork,
+        stats: MapStats,
+        lib: &Library,
+        core: lily_place::Rect,
+    ) -> Result<FlowResult, MapError> {
+        let tech = lib.technology();
+        let widths: Vec<f64> =
+            mapped.cells().iter().map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width).collect();
+        let desired: Vec<Point> =
+            mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
+        let (problem, _) = mapped_problem(&mapped);
+        let fixed: Vec<Point> = mapped
+            .input_positions
+            .iter()
+            .chain(mapped.output_positions.iter())
+            .map(|&(x, y)| Point::new(x, y))
+            .collect();
+        if !widths.is_empty() {
+            let lopts = LegalizeOptions {
+                core,
+                row_height: tech.row_height,
+                passes: self.improvement_passes,
+            };
+            let desired = match self.detailed_placer {
+                DetailedPlacer::Greedy => desired,
+                DetailedPlacer::Anneal { seed } => {
+                    // Anneal the point placement, then re-legalize.
+                    let mut pts = desired.clone();
+                    let aopts = AnnealOptions { seed, ..AnnealOptions::for_core(core) };
+                    anneal(&mut pts, &problem.nets, &fixed, &aopts);
+                    pts
+                }
+            };
+            let legal = legalize(&widths, &desired, &lopts);
+            let better = improve(&legal, &widths, &problem.nets, &fixed, &lopts);
+            for (i, p) in better.positions.iter().enumerate() {
+                mapped.cells_mut()[i].position = (p.x, p.y);
+            }
+        }
+
+        // Routed wire length: Steiner per net, inflated by congestion.
+        let nets = mapped.nets();
+        let mut grid = CongestionGrid::for_core(core, tech.row_height, self.route_supply);
+        let per_net: Vec<(Vec<Point>, f64)> = nets
+            .iter()
+            .map(|n| {
+                let pts = lily_timing::load::net_points(&mapped, n);
+                let len = rsmt_length(&pts);
+                (pts, len)
+            })
+            .collect();
+        for (pts, len) in &per_net {
+            grid.deposit(pts, *len);
+        }
+        let wire_length: f64 = if self.global_router {
+            // L-shape pattern routing over bin-edge capacities; overflow
+            // inflates each net's length through the same detour gain.
+            let nx = ((core.width() / tech.row_height).ceil() as usize).max(1);
+            let ny = ((core.height() / tech.row_height).ceil() as usize).max(1);
+            let cap = self.route_supply * tech.row_height * tech.row_height / tech.wire_pitch;
+            let mut router =
+                lily_route::GlobalRouteGrid::new(core, nx, ny, cap, cap);
+            let net_pts: Vec<Vec<Point>> =
+                per_net.iter().map(|(pts, _)| pts.clone()).collect();
+            let summary = router.route_all(&net_pts);
+            summary.wirelength
+                * (1.0 + self.detour_gain * summary.overflow
+                    / (summary.connections.max(1) as f64))
+        } else {
+            per_net
+                .iter()
+                .map(|(pts, len)| grid.routed_length(pts, *len, self.detour_gain))
+                .sum()
+        };
+
+        let instance_area = mapped.instance_area(lib);
+        let chip_area = self.area_model.chip_area(instance_area, wire_length);
+        // Channel-density area model (rows + channel tracks).
+        let n_rows = ((core.height() / tech.row_height).floor() as usize).max(1);
+        let row_ys: Vec<f64> = (0..n_rows)
+            .map(|r| core.lly + (r as f64 + 0.5) * tech.row_height)
+            .collect();
+        let net_points: Vec<Vec<Point>> =
+            per_net.iter().map(|(pts, _)| pts.clone()).collect();
+        let chip_area_channeled = instance_area
+            + lily_route::channel_routing_area(
+                &row_ys,
+                &net_points,
+                core.width(),
+                tech.wire_pitch,
+            );
+        let sta = analyze(
+            &mapped,
+            lib,
+            &StaOptions { wire_load: WireLoad::FromPlacement, input_arrival: 0.0 },
+        );
+
+        let metrics = FlowMetrics {
+            cells: mapped.cell_count(),
+            instance_area,
+            chip_area,
+            wire_length,
+            chip_area_channeled,
+            critical_delay: sta.critical_delay,
+            peak_congestion: grid.peak_utilization(),
+            stats,
+        };
+        Ok(FlowResult { metrics, mapped })
+    }
+}
+
+/// The measured outcome of a flow — one table cell group of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMetrics {
+    /// Mapped cell count.
+    pub cells: usize,
+    /// Total instance (active cell) area, µm².
+    pub instance_area: f64,
+    /// Final chip area (cells + routing), µm².
+    pub chip_area: f64,
+    /// Total interconnection length after the routing estimate, µm.
+    pub wire_length: f64,
+    /// Final chip area under the channel-density model (rows plus
+    /// channel tracks; the YACR-era alternative to the flat
+    /// wire-length × pitch model), µm².
+    pub chip_area_channeled: f64,
+    /// Longest path delay including wire delay, ns.
+    pub critical_delay: f64,
+    /// Peak congestion-bin utilization.
+    pub peak_congestion: f64,
+    /// Mapper statistics.
+    pub stats: MapStats,
+}
+
+impl FlowMetrics {
+    /// Instance area in the paper's mm² units.
+    pub fn instance_area_mm2(&self) -> f64 {
+        self.instance_area / 1.0e6
+    }
+
+    /// Chip area in mm².
+    pub fn chip_area_mm2(&self) -> f64 {
+        self.chip_area / 1.0e6
+    }
+
+    /// Channel-model chip area in mm².
+    pub fn chip_area_channeled_mm2(&self) -> f64 {
+        self.chip_area_channeled / 1.0e6
+    }
+
+    /// Wire length in mm.
+    pub fn wire_length_mm(&self) -> f64 {
+        self.wire_length / 1.0e3
+    }
+}
+
+/// A flow's metrics plus the final netlist.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Measured metrics.
+    pub metrics: FlowMetrics,
+    /// The placed mapped netlist.
+    pub mapped: MappedNetwork,
+}
+
+/// Builds the placement problem of a mapped netlist: cells movable,
+/// I/O pads fixed (inputs first, then outputs). Returns the problem and
+/// the number of input pads.
+pub fn mapped_problem(mapped: &MappedNetwork) -> (PlacementProblem, usize) {
+    let n_pi = mapped.input_names.len();
+    let mut nets = Vec::new();
+    for net in mapped.nets() {
+        let mut pins = Vec::with_capacity(1 + net.sinks.len() + net.output_sinks.len());
+        pins.push(match net.source {
+            SignalSource::Input(i) => PinRef::Fixed(i),
+            SignalSource::Cell(c) => PinRef::Movable(c.index()),
+        });
+        for &(cell, _) in &net.sinks {
+            pins.push(PinRef::Movable(cell.index()));
+        }
+        for &oi in &net.output_sinks {
+            pins.push(PinRef::Fixed(n_pi + oi));
+        }
+        if pins.len() >= 2 {
+            nets.push(pins);
+        }
+    }
+    let problem = PlacementProblem {
+        movable: mapped.cell_count(),
+        fixed: vec![Point::default(); n_pi + mapped.outputs.len()],
+        nets,
+    };
+    (problem, n_pi)
+}
+
+/// Linearly maps a point from one core region onto another.
+fn rescale(p: Point, from: lily_place::Rect, to: lily_place::Rect) -> Point {
+    let fx = if from.width() > 0.0 { (p.x - from.llx) / from.width() } else { 0.5 };
+    let fy = if from.height() > 0.0 { (p.y - from.lly) / from.height() } else { 0.5 };
+    Point::new(to.llx + fx * to.width(), to.lly + fy * to.height())
+}
+
+fn with_pads(mut problem: PlacementProblem, pads: &[Point]) -> PlacementProblem {
+    problem.fixed = pads.to_vec();
+    problem
+}
+
+fn apply_pads(mapped: &mut MappedNetwork, pads: &[Point]) {
+    let n_pi = mapped.input_names.len();
+    for (i, p) in pads[..n_pi].iter().enumerate() {
+        mapped.input_positions[i] = (p.x, p.y);
+    }
+    for (i, p) in pads[n_pi..].iter().enumerate() {
+        mapped.output_positions[i] = (p.x, p.y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_cells::mapped::equiv_mapped_subject;
+    use lily_netlist::NodeFunc;
+
+    fn sample_network() -> Network {
+        let mut net = Network::new("flow-test");
+        let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+        let g1 = net.add_node("g1", NodeFunc::And, vec![ins[0], ins[1], ins[2]]).unwrap();
+        let g2 = net.add_node("g2", NodeFunc::Or, vec![ins[3], ins[4]]).unwrap();
+        let g3 = net.add_node("g3", NodeFunc::Xor, vec![g1, g2]).unwrap();
+        let g4 = net.add_node("g4", NodeFunc::Nand, vec![g3, ins[5]]).unwrap();
+        let g5 = net.add_node("g5", NodeFunc::Nor, vec![g1, g4]).unwrap();
+        net.add_output("y1", g4);
+        net.add_output("y2", g5);
+        net
+    }
+
+    #[test]
+    fn both_flows_produce_equivalent_netlists() {
+        let lib = Library::big();
+        let net = sample_network();
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        for opts in [FlowOptions::mis_area(), FlowOptions::lily_area()] {
+            let r = opts.run_subject(&g, &lib).unwrap();
+            assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 128, 21));
+            assert!(r.metrics.cells > 0);
+            assert!(r.metrics.instance_area > 0.0);
+            assert!(r.metrics.chip_area > r.metrics.instance_area);
+            assert!(r.metrics.wire_length > 0.0);
+        }
+    }
+
+    #[test]
+    fn delay_flows_report_positive_delay() {
+        let lib = Library::big();
+        let net = sample_network();
+        for opts in [FlowOptions::mis_delay(), FlowOptions::lily_delay()] {
+            let m = opts.run(&net, &lib).unwrap();
+            assert!(m.critical_delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_unit_helpers() {
+        let m = FlowMetrics {
+            cells: 1,
+            instance_area: 2.5e6,
+            chip_area: 5.0e6,
+            wire_length: 1234.0,
+            chip_area_channeled: 6.0e6,
+            critical_delay: 1.0,
+            peak_congestion: 0.5,
+            stats: MapStats::default(),
+        };
+        assert!((m.instance_area_mm2() - 2.5).abs() < 1e-12);
+        assert!((m.chip_area_mm2() - 5.0).abs() < 1e-12);
+        assert!((m.wire_length_mm() - 1.234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flows_are_deterministic() {
+        let lib = Library::big();
+        let net = sample_network();
+        let a = FlowOptions::lily_area().run(&net, &lib).unwrap();
+        let b = FlowOptions::lily_area().run(&net, &lib).unwrap();
+        assert_eq!(a.cells, b.cells);
+        assert!((a.wire_length - b.wire_length).abs() < 1e-9);
+        assert!((a.critical_delay - b.critical_delay).abs() < 1e-9);
+    }
+}

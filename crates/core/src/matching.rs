@@ -1,0 +1,363 @@
+//! Structural pattern matching: find every way a library pattern graph
+//! can cover the logic rooted at a subject node.
+//!
+//! A pattern tree matches at subject node `v` when its root's base
+//! function equals `v`'s kind and the children match recursively; NAND2
+//! is commutative, so both child orders are tried. Pattern leaves bind
+//! to arbitrary subject nodes (which become the match's *inputs*);
+//! repeated leaves (XOR patterns) must bind consistently.
+
+use crate::error::MapError;
+use lily_cells::{GateId, Library, PatternNode};
+use lily_netlist::{SubjectGraph, SubjectKind, SubjectNodeId};
+
+/// One way of implementing the logic rooted at a subject node with a
+/// library gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// The implementing gate.
+    pub gate: GateId,
+    /// For each gate pin, the subject node providing that input signal.
+    pub inputs: Vec<SubjectNodeId>,
+    /// The subject nodes this match absorbs (pattern internal nodes);
+    /// the match root is `covered[0]`, the rest in discovery order.
+    pub covered: Vec<SubjectNodeId>,
+}
+
+impl Match {
+    /// The subject node at the match root.
+    pub fn root(&self) -> SubjectNodeId {
+        self.covered[0]
+    }
+}
+
+/// All matches at every node of a subject graph, computed once and
+/// shared by the area and delay passes.
+#[derive(Debug, Clone)]
+pub struct MatchIndex {
+    per_node: Vec<Vec<Match>>,
+}
+
+impl MatchIndex {
+    /// Enumerates matches for every internal node.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::IncompleteLibrary`] if the library lacks an inverter
+    /// or a 2-input NAND (covering would not be total), or
+    /// [`MapError::NoMatch`] if some internal node has no match anyway.
+    pub fn build(g: &SubjectGraph, lib: &Library) -> Result<Self, MapError> {
+        if lib.gates().iter().all(|gt| !(gt.fanin() == 1 && gt.function().bits() == 0b01)) {
+            return Err(MapError::IncompleteLibrary { missing: "inverter" });
+        }
+        if lib.gates().iter().all(|gt| !(gt.fanin() == 2 && gt.function().bits() == 0b0111)) {
+            return Err(MapError::IncompleteLibrary { missing: "2-input nand" });
+        }
+        let mut per_node = vec![Vec::new(); g.node_count()];
+        for v in g.node_ids() {
+            if matches!(g.kind(v), SubjectKind::Input(_)) {
+                continue;
+            }
+            let found = matches_at(g, lib, v);
+            if found.is_empty() {
+                return Err(MapError::NoMatch { node: v.index() });
+            }
+            per_node[v.index()] = found;
+        }
+        Ok(Self { per_node })
+    }
+
+    /// Matches rooted at `v` (empty for primary inputs).
+    pub fn at(&self, v: SubjectNodeId) -> &[Match] {
+        &self.per_node[v.index()]
+    }
+
+    /// Total number of matches (a matching-effort statistic).
+    pub fn total(&self) -> usize {
+        self.per_node.iter().map(Vec::len).sum()
+    }
+}
+
+/// Enumerates all matches of all library patterns rooted at `v`.
+pub fn matches_at(g: &SubjectGraph, lib: &Library, v: SubjectNodeId) -> Vec<Match> {
+    let mut out: Vec<Match> = Vec::new();
+    for (gate_id, gate) in lib.iter() {
+        for pattern in gate.patterns() {
+            let mut binding: Vec<Option<SubjectNodeId>> = vec![None; gate.fanin()];
+            let mut covered = Vec::new();
+            enumerate(g, pattern.root(), v, &mut binding, &mut covered, &mut |binding, covered| {
+                let inputs: Vec<SubjectNodeId> =
+                    binding.iter().map(|b| b.expect("complete binding")).collect();
+                let m = Match { gate: gate_id, inputs, covered: covered.to_vec() };
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Recursive backtracking enumeration. `emit` is called once per
+/// complete consistent binding.
+fn enumerate(
+    g: &SubjectGraph,
+    pat: &PatternNode,
+    node: SubjectNodeId,
+    binding: &mut Vec<Option<SubjectNodeId>>,
+    covered: &mut Vec<SubjectNodeId>,
+    emit: &mut dyn FnMut(&[Option<SubjectNodeId>], &[SubjectNodeId]),
+) {
+    match pat {
+        PatternNode::Leaf(pin) => {
+            match binding[*pin] {
+                Some(bound) if bound != node => {} // inconsistent repeat
+                Some(_) => emit(binding, covered),
+                None => {
+                    binding[*pin] = Some(node);
+                    emit(binding, covered);
+                    binding[*pin] = None;
+                }
+            }
+        }
+        PatternNode::Inv(child) => {
+            if let SubjectKind::Inv(a) = g.kind(node) {
+                covered.push(node);
+                enumerate(g, child, a, binding, covered, emit);
+                covered.pop();
+            }
+        }
+        PatternNode::Nand2(pl, pr) => {
+            if let SubjectKind::Nand2(a, b) = g.kind(node) {
+                covered.push(node);
+                // Both operand orders (NAND2 commutes). When a == b the
+                // orders coincide; dedup happens at the caller.
+                for (sa, sb) in [(a, b), (b, a)] {
+                    nested_nand(g, pl, pr, sa, sb, binding, covered, emit);
+                    if a == b {
+                        break;
+                    }
+                }
+                covered.pop();
+            }
+        }
+    }
+}
+
+/// Enumerate the left child, and within each consistent left binding,
+/// the right child.
+#[allow(clippy::too_many_arguments)]
+fn nested_nand(
+    g: &SubjectGraph,
+    pl: &PatternNode,
+    pr: &PatternNode,
+    sa: SubjectNodeId,
+    sb: SubjectNodeId,
+    binding: &mut Vec<Option<SubjectNodeId>>,
+    covered: &mut Vec<SubjectNodeId>,
+    emit: &mut dyn FnMut(&[Option<SubjectNodeId>], &[SubjectNodeId]),
+) {
+    // Collect left bindings eagerly (small patterns), then for each,
+    // enumerate the right side.
+    let mut lefts: Vec<(Vec<Option<SubjectNodeId>>, Vec<SubjectNodeId>)> = Vec::new();
+    enumerate(g, pl, sa, binding, covered, &mut |bind, cov| {
+        lefts.push((bind.to_vec(), cov.to_vec()));
+    });
+    for (lbind, lcov) in lefts {
+        let mut bind2 = lbind;
+        let mut cov2 = lcov;
+        enumerate(g, pr, sb, &mut bind2, &mut cov2, emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::big()
+    }
+
+    #[test]
+    fn inverter_matches_inv_gate() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let n = g.inv(a);
+        g.set_output("y", n);
+        let ms = matches_at(&g, &l, n);
+        assert!(ms.iter().any(|m| m.gate == l.inverter()));
+        for m in &ms {
+            assert_eq!(m.root(), n);
+        }
+    }
+
+    #[test]
+    fn nand2_node_matches_nand2_gate() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.nand2(a, b);
+        g.set_output("y", n);
+        let ms = matches_at(&g, &l, n);
+        let nand2 = l.find("nand2").unwrap();
+        let hit = ms.iter().find(|m| m.gate == nand2).expect("nand2 must match");
+        assert_eq!(hit.covered, vec![n]);
+        let mut ins = hit.inputs.clone();
+        ins.sort();
+        assert_eq!(ins, vec![a, b]);
+    }
+
+    #[test]
+    fn nand3_structure_matches_nand3_gate() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        // nand3 = nand2(and2(a, b), c)
+        let ab = g.and2(a, b);
+        let n = g.nand2(ab, c);
+        g.set_output("y", n);
+        let ms = matches_at(&g, &l, n);
+        let nand3 = l.find("nand3").unwrap();
+        let hit = ms.iter().find(|m| m.gate == nand3).expect("nand3 must match");
+        assert_eq!(hit.covered.len(), 3); // nand2 root + inv + inner nand2
+        assert_eq!(hit.inputs.len(), 3);
+    }
+
+    #[test]
+    fn all_nand_widths_match_their_gates() {
+        let l = lib();
+        for k in 2..=6usize {
+            let mut g = SubjectGraph::new("g");
+            let ins: Vec<SubjectNodeId> =
+                (0..k).map(|i| g.add_input(format!("i{i}"))).collect();
+            // Balanced AND tree, then invert (mirrors decompose.rs).
+            let mut layer = ins.clone();
+            while layer.len() > 1 {
+                let mut next = Vec::new();
+                for ch in layer.chunks(2) {
+                    next.push(if ch.len() == 2 { g.and2(ch[0], ch[1]) } else { ch[0] });
+                }
+                layer = next;
+            }
+            let root = g.inv(layer[0]);
+            g.set_output("y", root);
+            let ms = matches_at(&g, &l, root);
+            let gate = l.find(&format!("nand{k}")).unwrap();
+            assert!(
+                ms.iter().any(|m| m.gate == gate && m.inputs.len() == k),
+                "nand{k} did not match"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_decomposition_matches_xor_gate() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.xor2(a, b);
+        g.set_output("y", x);
+        let ms = matches_at(&g, &l, x);
+        let xor2 = l.find("xor2").unwrap();
+        let hit = ms.iter().find(|m| m.gate == xor2).expect("xor2 must match");
+        // Repeated leaves: inputs must be exactly {a, b}.
+        let mut ins = hit.inputs.clone();
+        ins.sort();
+        assert_eq!(ins, vec![a, b]);
+    }
+
+    #[test]
+    fn aoi21_matches() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        // !(ab + c) = inv(or2(and2(a,b), c)) with strash
+        let ab = g.and2(a, b);
+        let or = g.or2(ab, c);
+        let root = g.inv(or);
+        g.set_output("y", root);
+        let ms = matches_at(&g, &l, root);
+        let aoi21 = l.find("aoi21").unwrap();
+        assert!(ms.iter().any(|m| m.gate == aoi21), "aoi21 did not match");
+    }
+
+    #[test]
+    fn matches_respect_function() {
+        // Every reported match must compute the same value as the
+        // subject node on exhaustive simulation.
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and2(a, b);
+        let root = g.nand2(ab, c);
+        g.set_output("y", root);
+        let words: Vec<u64> = (0..3).map(|i| lily_netlist::sim::exhaustive_word(i, 0)).collect();
+        let mut vals = vec![0u64; g.node_count()];
+        for n in g.node_ids() {
+            vals[n.index()] = match g.kind(n) {
+                SubjectKind::Input(pi) => words[pi],
+                SubjectKind::Nand2(x, y) => !(vals[x.index()] & vals[y.index()]),
+                SubjectKind::Inv(x) => !vals[x.index()],
+            };
+        }
+        for m in matches_at(&g, &l, root) {
+            let gate = l.gate(m.gate);
+            let mut out = 0u64;
+            for lane in 0..8 {
+                let pins: Vec<bool> =
+                    m.inputs.iter().map(|i| (vals[i.index()] >> lane) & 1 == 1).collect();
+                if gate.function().eval(&pins) {
+                    out |= 1 << lane;
+                }
+            }
+            assert_eq!(out & 0xFF, vals[root.index()] & 0xFF, "gate {}", gate.name());
+        }
+    }
+
+    #[test]
+    fn index_builds_for_whole_graph() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.xor2(a, b);
+        let n = g.nand2(x, a);
+        g.set_output("y", n);
+        let idx = MatchIndex::build(&g, &l).unwrap();
+        for v in g.node_ids() {
+            if !matches!(g.kind(v), SubjectKind::Input(_)) {
+                assert!(!idx.at(v).is_empty(), "node {v} unmatched");
+            } else {
+                assert!(idx.at(v).is_empty());
+            }
+        }
+        assert!(idx.total() > 4);
+    }
+
+    #[test]
+    fn incomplete_library_is_rejected() {
+        // A library with only an inverter cannot cover NAND nodes.
+        let l = Library::from_kinds(
+            "inv-only",
+            &[lily_cells::GateKind::Inv],
+            lily_cells::Technology::mcnc_3u(),
+        );
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let n = g.inv(a);
+        g.set_output("y", n);
+        assert!(matches!(
+            MatchIndex::build(&g, &l),
+            Err(MapError::IncompleteLibrary { missing: "2-input nand" })
+        ));
+    }
+}

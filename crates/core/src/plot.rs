@@ -1,0 +1,127 @@
+//! SVG rendering of placed mapped netlists — a quick visual check of
+//! the placement and wiring the flows produce.
+
+use crate::flow::FlowResult;
+use lily_cells::Library;
+use lily_place::Rect;
+use std::fmt::Write as _;
+
+/// Renders a placed mapped netlist into an SVG string: standard-cell
+/// outlines (width by gate size), I/O pads, and net fly-lines from each
+/// driver to its sinks.
+pub fn placement_svg(result: &FlowResult, lib: &Library, core: Rect) -> String {
+    let mapped = &result.mapped;
+    let tech = lib.technology();
+    let scale = 900.0 / core.width().max(core.height()).max(1.0);
+    let sx = |x: f64| (x - core.llx) * scale + 20.0;
+    // SVG y grows downward; flip.
+    let sy = |y: f64| (core.ury - y) * scale + 20.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}">"##,
+        core.width() * scale + 40.0,
+        core.height() * scale + 40.0
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="20" y="20" width="{:.1}" height="{:.1}" fill="#fbfbf7" stroke="#555"/>"##,
+        core.width() * scale,
+        core.height() * scale
+    );
+
+    // Net fly-lines (under the cells).
+    for net in mapped.nets() {
+        let (dx, dy) = mapped.source_position(net.source);
+        for &(cell, _) in &net.sinks {
+            let (tx, ty) = mapped.cell(cell).position;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#4a7" stroke-opacity="0.25"/>"##,
+                sx(dx),
+                sy(dy),
+                sx(tx),
+                sy(ty)
+            );
+        }
+        for &oi in &net.output_sinks {
+            let (tx, ty) = mapped.output_positions[oi];
+            let _ = writeln!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#a47" stroke-opacity="0.35"/>"##,
+                sx(dx),
+                sy(dy),
+                sx(tx),
+                sy(ty)
+            );
+        }
+    }
+
+    // Cells.
+    for cell in mapped.cells() {
+        let gate = lib.gate(cell.gate);
+        let w = gate.grids() as f64 * tech.grid_width * scale;
+        let h = tech.row_height * scale * 0.8;
+        let (x, y) = cell.position;
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#7a9cc6" fill-opacity="0.8" stroke="#234"><title>{}</title></rect>"##,
+            sx(x) - w / 2.0,
+            sy(y) - h / 2.0,
+            w,
+            h,
+            gate.name()
+        );
+    }
+
+    // Pads.
+    for &(x, y) in mapped.input_positions.iter().chain(mapped.output_positions.iter()) {
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.1}" y="{:.1}" width="8" height="8" fill="#c60"/>"##,
+            sx(x) - 4.0,
+            sy(y) - 4.0
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowOptions;
+    use lily_place::AreaModel;
+
+    #[test]
+    fn svg_contains_cells_and_pads() {
+        let lib = Library::big();
+        let net = lily_workloads_misex1();
+        let r = FlowOptions::lily_area().run_detailed(&net, &lib).unwrap();
+        let core = AreaModel::mcnc().core_region(r.metrics.instance_area);
+        let svg = placement_svg(&r, &lib, core);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let rects = svg.matches("<rect").count();
+        // Frame + every cell + every pad.
+        assert!(
+            rects >= 1 + r.mapped.cell_count() + r.mapped.input_names.len(),
+            "only {rects} rects"
+        );
+        assert!(svg.contains("<line"), "nets missing");
+    }
+
+    /// Local copy to avoid a dev-dependency cycle on lily-workloads.
+    fn lily_workloads_misex1() -> lily_netlist::Network {
+        use lily_netlist::{Network, NodeFunc};
+        let mut n = Network::new("mini");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_node("g1", NodeFunc::And, vec![a, b]).unwrap();
+        let g2 = n.add_node("g2", NodeFunc::Xor, vec![g1, c]).unwrap();
+        n.add_output("y", g2);
+        n
+    }
+}

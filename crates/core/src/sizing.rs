@@ -1,0 +1,150 @@
+//! Load-driven gate sizing — a post-mapping pass that upsizes drivers
+//! of heavily loaded nets to their `_x2` library variants (see
+//! [`Library::big_sized`]).
+//!
+//! MIS-era flows applied drive selection after mapping; the paper's
+//! future-work discussion (§5, "record for each node all possible load
+//! values … or perform a postprocessing pass") points the same way.
+//! Sizing never changes logic (the variant implements the identical
+//! function), so equivalence is preserved by construction — and checked
+//! in tests anyway.
+
+use lily_cells::{Library, MappedNetwork, SignalSource};
+use lily_timing::load::{output_load, WireLoad};
+
+/// Options for [`resize_for_load`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingOptions {
+    /// Upsize a driver when its output load exceeds this many pF.
+    pub load_threshold: f64,
+    /// Wire-load model used to measure loads.
+    pub wire_load: WireLoad,
+}
+
+impl Default for SizingOptions {
+    fn default() -> Self {
+        Self { load_threshold: 0.9, wire_load: WireLoad::FromPlacement }
+    }
+}
+
+/// Upsizes every cell whose output load exceeds the threshold, when the
+/// library offers an `_x2` variant. Returns the number of cells
+/// upsized.
+///
+/// Loads are measured once before any swap (swapping raises sink pin
+/// capacitances, which would otherwise cascade).
+pub fn resize_for_load(
+    mapped: &mut MappedNetwork,
+    lib: &Library,
+    opts: &SizingOptions,
+) -> usize {
+    let nets = mapped.nets();
+    let mut to_upsize = Vec::new();
+    for net in &nets {
+        if let SignalSource::Cell(c) = net.source {
+            let load = output_load(opts.wire_load, lib, mapped, net);
+            if load > opts.load_threshold {
+                if let Some(bigger) = lib.upsized(mapped.cell(c).gate) {
+                    to_upsize.push((c, bigger));
+                }
+            }
+        }
+    }
+    let count = to_upsize.len();
+    for (c, bigger) in to_upsize {
+        mapped.cells_mut()[c.index()].gate = bigger;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_cells::mapped::equiv_mapped_subject;
+    use lily_cells::MappedCell;
+    use lily_netlist::SubjectGraph;
+    use lily_timing::sta::{analyze, StaOptions};
+
+    /// One inverter driving `n` nand2 loads.
+    fn heavy(lib: &Library, n: usize) -> (SubjectGraph, MappedNetwork) {
+        let mut g = SubjectGraph::new("h");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let root = g.inv(a);
+        let mut m = MappedNetwork::new("h", vec!["a".into(), "b".into()]);
+        m.input_positions = vec![(0.0, 0.0), (0.0, 50.0)];
+        let inv = lib.inverter();
+        let nand2 = lib.find("nand2").unwrap();
+        let driver = m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Input(0)],
+            position: (50.0, 25.0),
+        });
+        for i in 0..n {
+            let s = g.nand2(root, b);
+            let keep = g.inv(s);
+            let back = g.inv(keep);
+            g.set_output(format!("y{i}"), back);
+            let c = m.add_cell(MappedCell {
+                gate: nand2,
+                fanins: vec![SignalSource::Cell(driver), SignalSource::Input(1)],
+                position: (100.0, i as f64 * 30.0),
+            });
+            m.add_output(format!("y{i}"), SignalSource::Cell(c));
+            m.output_positions[i] = (200.0, i as f64 * 30.0);
+        }
+        (g, m)
+    }
+
+    #[test]
+    fn sizing_upsizes_heavy_drivers_only() {
+        let lib = Library::big_sized();
+        let (_, mut m) = heavy(&lib, 12);
+        let n = resize_for_load(
+            &mut m,
+            &lib,
+            &SizingOptions { load_threshold: 1.0, wire_load: WireLoad::None },
+        );
+        // The inverter drives 12 × 0.25 pF = 3 pF > 1: upsized. The
+        // nand2s drive one PO each (0 load): untouched.
+        assert_eq!(n, 1);
+        assert_eq!(lib.gate(m.cells()[0].gate).name(), "inv_x2");
+    }
+
+    #[test]
+    fn sizing_preserves_function() {
+        let lib = Library::big_sized();
+        let (g, mut m) = heavy(&lib, 10);
+        assert!(equiv_mapped_subject(&g, &m, &lib, 16, 1));
+        resize_for_load(&mut m, &lib, &SizingOptions::default());
+        assert!(equiv_mapped_subject(&g, &m, &lib, 16, 1));
+    }
+
+    #[test]
+    fn sizing_reduces_delay_under_heavy_load() {
+        let lib = Library::big_sized();
+        let (_, mut m) = heavy(&lib, 24);
+        let opts = StaOptions { wire_load: WireLoad::None, input_arrival: 0.0 };
+        let before = analyze(&m, &lib, &opts).critical_delay;
+        let n = resize_for_load(
+            &mut m,
+            &lib,
+            &SizingOptions { load_threshold: 1.0, wire_load: WireLoad::None },
+        );
+        assert!(n >= 1);
+        let after = analyze(&m, &lib, &opts).critical_delay;
+        assert!(after < before, "sizing must help: {after} !< {before}");
+    }
+
+    #[test]
+    fn libraries_without_variants_are_untouched() {
+        let lib = Library::big(); // no _x2 gates
+        let (_, mut m) = heavy(&lib, 12);
+        let n = resize_for_load(
+            &mut m,
+            &lib,
+            &SizingOptions { load_threshold: 0.1, wire_load: WireLoad::None },
+        );
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! Reader and writer for a practical subset of the Berkeley Logic
+//! Interchange Format (BLIF) — the on-disk format the MIS era used for
+//! optimized networks.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` (with
+//! `1`-output on-set cubes or `0`-output off-set cubes), line
+//! continuation with `\`, `#` comments, `.end`. Latches, subcircuits and
+//! don't-care networks are outside the subset and produce a parse error.
+
+use crate::error::NetlistError;
+use crate::func::{Literal, NodeFunc, Sop};
+use crate::network::{Network, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a BLIF model into a [`Network`].
+///
+/// `.names` tables may appear in any order; the parser topologically
+/// sorts them.
+///
+/// # Errors
+///
+/// * [`NetlistError::Parse`] for malformed or unsupported constructs.
+/// * [`NetlistError::UndefinedSignal`] when a cube table or output refers
+///   to a signal that is neither an input nor defined by a table.
+/// * [`NetlistError::Cyclic`] if the tables form a combinational cycle.
+pub fn parse(text: &str) -> Result<Network, NetlistError> {
+    // Logical lines: join continuations, strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (ln, raw) in text.lines().enumerate() {
+        let raw = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = raw.trim_end();
+        if pending.is_empty() {
+            pending_line = ln + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(trimmed);
+            let full = std::mem::take(&mut pending);
+            if !full.trim().is_empty() {
+                lines.push((pending_line, full));
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Table {
+        line: usize,
+        signals: Vec<String>, // inputs then output (last)
+        cubes: Vec<(Vec<Literal>, bool)>,
+    }
+
+    let mut model = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: Vec<Table> = Vec::new();
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (ln, line) = &lines[i];
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or("");
+        match head {
+            ".model" => model = toks.next().unwrap_or("blif").to_string(),
+            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".outputs" => outputs.extend(toks.map(str::to_string)),
+            ".names" => {
+                let signals: Vec<String> = toks.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: ".names needs at least an output signal".into(),
+                    });
+                }
+                let width = signals.len() - 1;
+                let mut cubes = Vec::new();
+                while i + 1 < lines.len() && !lines[i + 1].1.trim_start().starts_with('.') {
+                    i += 1;
+                    let (cl, cube_line) = &lines[i];
+                    let parts: Vec<&str> = cube_line.split_whitespace().collect();
+                    let (pattern, value) = match (width, parts.as_slice()) {
+                        (0, [v]) => ("", *v),
+                        (_, [p, v]) => (*p, *v),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: *cl,
+                                message: format!("malformed cube `{cube_line}`"),
+                            })
+                        }
+                    };
+                    if pattern.len() != width {
+                        return Err(NetlistError::Parse {
+                            line: *cl,
+                            message: format!(
+                                "cube width {} does not match {} table inputs",
+                                pattern.len(),
+                                width
+                            ),
+                        });
+                    }
+                    let lits = pattern
+                        .chars()
+                        .map(|c| match c {
+                            '0' => Ok(Literal::Neg),
+                            '1' => Ok(Literal::Pos),
+                            '-' => Ok(Literal::DontCare),
+                            other => Err(NetlistError::Parse {
+                                line: *cl,
+                                message: format!("invalid cube character `{other}`"),
+                            }),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let out = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(NetlistError::Parse {
+                                line: *cl,
+                                message: format!("invalid cube output `{other}`"),
+                            })
+                        }
+                    };
+                    cubes.push((lits, out));
+                }
+                tables.push(Table { line: *ln, signals, cubes });
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" | ".exdc" => {
+                return Err(NetlistError::Parse {
+                    line: *ln,
+                    message: format!("unsupported construct `{head}`"),
+                })
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: *ln,
+                    message: format!("unexpected line `{line}`"),
+                })
+            }
+        }
+        i += 1;
+    }
+
+    // Topologically order tables.
+    let mut produced: HashMap<&str, usize> = HashMap::new(); // signal -> table idx
+    for (ti, t) in tables.iter().enumerate() {
+        let out = t.signals.last().expect("non-empty");
+        produced.insert(out.as_str(), ti);
+    }
+    let input_set: HashMap<&str, usize> =
+        inputs.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+
+    let mut state = vec![0u8; tables.len()]; // 0 new, 1 visiting, 2 done
+    let mut order: Vec<usize> = Vec::with_capacity(tables.len());
+    fn visit(
+        ti: usize,
+        tables: &[Table],
+        produced: &HashMap<&str, usize>,
+        input_set: &HashMap<&str, usize>,
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+    ) -> Result<(), NetlistError> {
+        match state[ti] {
+            2 => return Ok(()),
+            1 => {
+                return Err(NetlistError::Cyclic {
+                    node: tables[ti].signals.last().expect("non-empty").clone(),
+                })
+            }
+            _ => {}
+        }
+        state[ti] = 1;
+        let t = &tables[ti];
+        for s in &t.signals[..t.signals.len() - 1] {
+            if input_set.contains_key(s.as_str()) {
+                continue;
+            }
+            match produced.get(s.as_str()) {
+                Some(&dep) => visit(dep, tables, produced, input_set, state, order)?,
+                None => return Err(NetlistError::UndefinedSignal { name: s.clone() }),
+            }
+        }
+        state[ti] = 2;
+        order.push(ti);
+        Ok(())
+    }
+    for ti in 0..tables.len() {
+        visit(ti, &tables, &produced, &input_set, &mut state, &mut order)?;
+    }
+
+    // Build the network.
+    let mut net = Network::new(model);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        ids.insert(name.clone(), net.add_input(name.clone()));
+    }
+    for &ti in &order {
+        let t = &tables[ti];
+        let out = t.signals.last().expect("non-empty").clone();
+        let fanins: Vec<NodeId> =
+            t.signals[..t.signals.len() - 1].iter().map(|s| ids[s.as_str()]).collect();
+        let width = fanins.len();
+        let func = table_to_func(width, &t.cubes).map_err(|m| NetlistError::Parse {
+            line: t.line,
+            message: m,
+        })?;
+        let id = net.add_node(out.clone(), func, fanins)?;
+        ids.insert(out, id);
+    }
+    for name in &outputs {
+        match ids.get(name.as_str()) {
+            Some(&id) => net.add_output(name.clone(), id),
+            None => return Err(NetlistError::UndefinedSignal { name: name.clone() }),
+        }
+    }
+    Ok(net)
+}
+
+/// Converts a cube table into a [`NodeFunc`]. All cubes must agree on the
+/// output value: `1` cubes define the on-set, `0` cubes the off-set
+/// (function is complement of the cube OR). An empty table is constant 0
+/// (BLIF convention).
+fn table_to_func(width: usize, cubes: &[(Vec<Literal>, bool)]) -> Result<NodeFunc, String> {
+    if cubes.is_empty() {
+        return Ok(NodeFunc::Const(false));
+    }
+    let value = cubes[0].1;
+    if cubes.iter().any(|(_, v)| *v != value) {
+        return Err("mixed on-set and off-set cubes in one table".into());
+    }
+    if width == 0 {
+        // Constant: a single empty cube with value v.
+        return Ok(NodeFunc::Const(value));
+    }
+    let sop = Sop::new(width, cubes.iter().map(|(c, _)| c.clone()).collect())
+        .map_err(|e| e.to_string())?;
+    if value {
+        Ok(NodeFunc::Sop(sop))
+    } else {
+        // Off-set: f = NOT(sop). Represent as Sop complement via a wrapper
+        // node is not possible here, so expand: f(x) = !sop(x) as a
+        // truth-table-free construction — use Nor-of-cubes when each cube
+        // is a single literal, otherwise fall back to an exact SOP of the
+        // complement for small widths.
+        if width <= crate::func::MAX_TT_INPUTS {
+            let mut vals = vec![false; width];
+            let mut ones = Vec::new();
+            for row in 0..(1u64 << width) {
+                for (b, v) in vals.iter_mut().enumerate() {
+                    *v = (row >> b) & 1 == 1;
+                }
+                if !sop.eval(&vals) {
+                    ones.push(
+                        vals.iter()
+                            .map(|&v| if v { Literal::Pos } else { Literal::Neg })
+                            .collect::<Vec<_>>(),
+                    );
+                }
+            }
+            if ones.is_empty() {
+                return Ok(NodeFunc::Const(false));
+            }
+            let on = Sop::new(width, ones).map_err(|e| e.to_string())?;
+            Ok(NodeFunc::Sop(on))
+        } else {
+            Err(format!("off-set tables wider than {} inputs unsupported", crate::func::MAX_TT_INPUTS))
+        }
+    }
+}
+
+/// Serializes a [`Network`] to BLIF text. Every internal node becomes a
+/// `.names` table.
+pub fn write(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", net.name());
+    let _ = write!(out, ".inputs");
+    for &i in net.inputs() {
+        let _ = write!(out, " {}", net.node(i).name);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, ".outputs");
+    for o in net.outputs() {
+        let _ = write!(out, " {}", o.name);
+    }
+    let _ = writeln!(out);
+    // Output ports whose name differs from the driver get a buffer table.
+    for id in net.node_ids() {
+        let node = net.node(id);
+        if node.is_input() {
+            continue;
+        }
+        let _ = write!(out, ".names");
+        for &f in &node.fanins {
+            let _ = write!(out, " {}", net.node(f).name);
+        }
+        let _ = writeln!(out, " {}", node.name);
+        write_cubes(&mut out, &node.func, node.fanins.len());
+    }
+    for o in net.outputs() {
+        let driver = &net.node(o.driver).name;
+        if driver != &o.name {
+            let _ = writeln!(out, ".names {driver} {}\n1 1", o.name);
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+fn write_cubes(out: &mut String, func: &NodeFunc, width: usize) {
+    let all = |c: char| -> String { std::iter::repeat(c).take(width).collect() };
+    match func {
+        NodeFunc::And => {
+            let _ = writeln!(out, "{} 1", all('1'));
+        }
+        NodeFunc::Nand => {
+            let _ = writeln!(out, "{} 0", all('1'));
+        }
+        NodeFunc::Or => {
+            for i in 0..width {
+                let mut cube = all('-');
+                cube.replace_range(i..i + 1, "1");
+                let _ = writeln!(out, "{cube} 1");
+            }
+        }
+        NodeFunc::Nor => {
+            let _ = writeln!(out, "{} 1", all('0'));
+        }
+        NodeFunc::Xor | NodeFunc::Xnor => {
+            let want_odd = matches!(func, NodeFunc::Xor);
+            for row in 0..(1u32 << width) {
+                let odd = row.count_ones() % 2 == 1;
+                if odd == want_odd {
+                    let cube: String = (0..width)
+                        .map(|b| if (row >> b) & 1 == 1 { '1' } else { '0' })
+                        .collect();
+                    let _ = writeln!(out, "{cube} 1");
+                }
+            }
+        }
+        NodeFunc::Inv => {
+            let _ = writeln!(out, "0 1");
+        }
+        NodeFunc::Buf => {
+            let _ = writeln!(out, "1 1");
+        }
+        NodeFunc::Const(v) => {
+            if *v {
+                let _ = writeln!(out, "1");
+            }
+            // constant 0: empty table
+        }
+        NodeFunc::Sop(s) => {
+            for cube in s.cubes() {
+                let pat: String = cube
+                    .iter()
+                    .map(|l| match l {
+                        Literal::Pos => '1',
+                        Literal::Neg => '0',
+                        Literal::DontCare => '-',
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pat} 1");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_network64, exhaustive_word};
+
+    const SAMPLE: &str = "\
+# a small model
+.model majority
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_majority() {
+        let net = parse(SAMPLE).unwrap();
+        assert_eq!(net.name(), "majority");
+        assert_eq!(net.input_count(), 3);
+        assert_eq!(net.output_count(), 1);
+        let ins: Vec<u64> = (0..3).map(|i| exhaustive_word(i, 0)).collect();
+        let y = simulate_network64(&net, &ins)[0];
+        for row in 0..8u64 {
+            let ones = (row & 1) + (row >> 1 & 1) + (row >> 2 & 1);
+            assert_eq!((y >> row) & 1 == 1, ones >= 2, "row {row}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_parse_write_parse() {
+        let net = parse(SAMPLE).unwrap();
+        let text = write(&net);
+        let net2 = parse(&text).unwrap();
+        let ins: Vec<u64> = (0..3).map(|i| exhaustive_word(i, 0)).collect();
+        assert_eq!(simulate_network64(&net, &ins), simulate_network64(&net2, &ins));
+    }
+
+    #[test]
+    fn out_of_order_tables() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs y
+.names t y
+0 1
+.names a b t
+11 1
+.end
+";
+        let net = parse(text).unwrap();
+        // y = !(a & b)
+        let ins: Vec<u64> = (0..2).map(|i| exhaustive_word(i, 0)).collect();
+        let y = simulate_network64(&net, &ins)[0];
+        assert_eq!(y & 0b1111, 0b0111);
+    }
+
+    #[test]
+    fn offset_cubes() {
+        let text = "\
+.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let net = parse(text).unwrap();
+        let ins: Vec<u64> = (0..2).map(|i| exhaustive_word(i, 0)).collect();
+        let y = simulate_network64(&net, &ins)[0];
+        assert_eq!(y & 0b1111, 0b0111); // nand
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let net = parse(text).unwrap();
+        assert_eq!(net.input_count(), 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let text = "\
+.model cyc
+.inputs a
+.outputs y
+.names a x y
+11 1
+.names y x
+1 1
+.end
+";
+        assert!(matches!(parse(text), Err(NetlistError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn undefined_signal_detected() {
+        let text = ".model u\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::UndefinedSignal { .. })));
+    }
+
+    #[test]
+    fn unsupported_construct_rejected() {
+        let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        assert!(matches!(parse(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn mixed_cube_outputs_rejected() {
+        let text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn write_all_node_funcs_roundtrip() {
+        use crate::func::NodeFunc::*;
+        for (func, k) in [
+            (And, 3),
+            (Or, 3),
+            (Nand, 2),
+            (Nor, 2),
+            (Xor, 3),
+            (Xnor, 2),
+            (Inv, 1),
+            (Buf, 1),
+        ] {
+            let mut n = Network::new("t");
+            let ins: Vec<NodeId> = (0..k).map(|i| n.add_input(format!("i{i}"))).collect();
+            let g = n.add_node("g", func.clone(), ins).unwrap();
+            n.add_output("y", g);
+            let net2 = parse(&write(&n)).unwrap();
+            let ins: Vec<u64> = (0..k).map(|i| exhaustive_word(i, 0)).collect();
+            assert_eq!(
+                simulate_network64(&n, &ins),
+                simulate_network64(&net2, &ins),
+                "{func:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Technology decomposition: [`Network`] → [`SubjectGraph`].
+//!
+//! Every internal node is expanded into a tree of 2-input NANDs and
+//! inverters. The *shape* of that tree matters for layout-driven mapping
+//! (Figure 1.1(b) of the paper): fanins that are close on the layout
+//! plane should enter the decomposition tree at topologically near
+//! points, otherwise the mapper loses the option of splitting a big match
+//! into smaller ones. [`DecomposeOrder`] controls the shape, and because
+//! trees pair *adjacent* operands of the node's fanin list, a caller can
+//! realize proximity-driven decomposition simply by ordering fanins by
+//! placement proximity before decomposing.
+//!
+//! Constant values are propagated (folded) during decomposition; the
+//! subject graph never contains constant nodes.
+
+use crate::error::NetlistError;
+use crate::func::{Literal, NodeFunc};
+use crate::network::Network;
+use crate::subject::{SubjectGraph, SubjectNodeId};
+
+/// How the operand list of a wide gate is reduced to a binary tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecomposeOrder {
+    /// Pair adjacent operands, halving the list each round (minimal
+    /// depth). This is the default used by both pipelines.
+    #[default]
+    Balanced,
+    /// Left-deep chain (maximal depth); useful for ablation studies.
+    Chain,
+    /// Deterministically shuffle the operand list with the given seed,
+    /// then build a balanced tree. Models a decomposition that is
+    /// oblivious (possibly adversarial) to layout proximity, as in
+    /// Figure 1.1(b).
+    Shuffled(u64),
+}
+
+/// A network signal during decomposition: either a known constant or a
+/// subject-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sig {
+    Const(bool),
+    Node(SubjectNodeId),
+}
+
+/// Result of [`decompose_full`]: the subject graph plus, for each network
+/// node, the subject node now carrying that signal (`None` when the
+/// signal folded to a constant).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The produced NAND2/INV graph.
+    pub graph: SubjectGraph,
+    /// For each `NodeId` (by index), the subject node carrying it.
+    pub node_map: Vec<Option<SubjectNodeId>>,
+}
+
+/// Decomposes `net` into a structurally hashed NAND2/INV subject graph.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] if a primary output folds to a
+/// constant (tie cells are outside the scope of this reproduction).
+pub fn decompose(net: &Network, order: DecomposeOrder) -> Result<SubjectGraph, NetlistError> {
+    decompose_full(net, order).map(|d| d.graph)
+}
+
+/// Like [`decompose`] but also returns the network-node → subject-node
+/// correspondence.
+///
+/// # Errors
+///
+/// See [`decompose`].
+pub fn decompose_full(
+    net: &Network,
+    order: DecomposeOrder,
+) -> Result<Decomposition, NetlistError> {
+    let mut g = SubjectGraph::new(net.name());
+    let mut sig: Vec<Option<Sig>> = vec![None; net.node_count()];
+
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let s = if node.is_input() {
+            Sig::Node(g.add_input(node.name.clone()))
+        } else {
+            let ins: Vec<Sig> =
+                node.fanins.iter().map(|f| sig[f.index()].expect("topological order")).collect();
+            lower(&mut g, &node.func, &ins, order)?
+        };
+        sig[id.index()] = Some(s);
+    }
+
+    for o in net.outputs() {
+        match sig[o.driver.index()].expect("all nodes lowered") {
+            Sig::Node(n) => g.set_output(o.name.clone(), n),
+            Sig::Const(v) => {
+                return Err(NetlistError::Invalid {
+                    message: format!("primary output `{}` is the constant {v}", o.name),
+                })
+            }
+        }
+    }
+
+    let node_map = sig
+        .into_iter()
+        .map(|s| match s {
+            Some(Sig::Node(n)) => Some(n),
+            _ => None,
+        })
+        .collect();
+    Ok(Decomposition { graph: g, node_map })
+}
+
+fn lower(
+    g: &mut SubjectGraph,
+    func: &NodeFunc,
+    ins: &[Sig],
+    order: DecomposeOrder,
+) -> Result<Sig, NetlistError> {
+    Ok(match func {
+        NodeFunc::Const(v) => Sig::Const(*v),
+        NodeFunc::Buf => ins[0],
+        NodeFunc::Inv => invert(g, ins[0]),
+        NodeFunc::And => and_all(g, ins, order),
+        NodeFunc::Nand => {
+            let a = and_all(g, ins, order);
+            invert(g, a)
+        }
+        NodeFunc::Or => or_all(g, ins, order),
+        NodeFunc::Nor => {
+            let o = or_all(g, ins, order);
+            invert(g, o)
+        }
+        NodeFunc::Xor => xor_all(g, ins, order),
+        NodeFunc::Xnor => {
+            let x = xor_all(g, ins, order);
+            invert(g, x)
+        }
+        NodeFunc::Sop(sop) => {
+            let mut terms = Vec::new();
+            let mut cube_true = false;
+            for cube in sop.cubes() {
+                let mut lits = Vec::new();
+                let mut dead = false;
+                for (l, &s) in cube.iter().zip(ins) {
+                    let v = match l {
+                        Literal::Pos => s,
+                        Literal::Neg => invert(g, s),
+                        Literal::DontCare => continue,
+                    };
+                    match v {
+                        Sig::Const(false) => {
+                            dead = true;
+                            break;
+                        }
+                        Sig::Const(true) => {}
+                        node => lits.push(node),
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                if lits.is_empty() {
+                    // Cube of only true literals: function is constant 1.
+                    cube_true = true;
+                    break;
+                }
+                terms.push(and_all(g, &lits, order));
+            }
+            if cube_true {
+                Sig::Const(true)
+            } else if terms.is_empty() {
+                Sig::Const(false)
+            } else {
+                or_all(g, &terms, order)
+            }
+        }
+    })
+}
+
+fn invert(g: &mut SubjectGraph, s: Sig) -> Sig {
+    match s {
+        Sig::Const(v) => Sig::Const(!v),
+        Sig::Node(n) => Sig::Node(g.inv(n)),
+    }
+}
+
+/// Deterministic Fisher–Yates driven by an xorshift generator, so the
+/// netlist crate stays dependency-free.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+fn fold_consts(ins: &[Sig], identity: bool) -> Result<Vec<SubjectNodeId>, bool> {
+    // Returns Err(dominant) when a dominant constant is present; otherwise
+    // the non-constant operand nodes with identity constants dropped.
+    let mut nodes = Vec::with_capacity(ins.len());
+    for &s in ins {
+        match s {
+            Sig::Const(v) if v == identity => {}
+            Sig::Const(_) => return Err(!identity),
+            Sig::Node(n) => nodes.push(n),
+        }
+    }
+    Ok(nodes)
+}
+
+fn reduce(
+    g: &mut SubjectGraph,
+    mut nodes: Vec<SubjectNodeId>,
+    order: DecomposeOrder,
+    mut combine: impl FnMut(&mut SubjectGraph, SubjectNodeId, SubjectNodeId) -> SubjectNodeId,
+) -> SubjectNodeId {
+    debug_assert!(!nodes.is_empty());
+    if let DecomposeOrder::Shuffled(seed) = order {
+        shuffle(&mut nodes, seed);
+    }
+    match order {
+        DecomposeOrder::Chain => {
+            let mut acc = nodes[0];
+            for &n in &nodes[1..] {
+                acc = combine(g, acc, n);
+            }
+            acc
+        }
+        DecomposeOrder::Balanced | DecomposeOrder::Shuffled(_) => {
+            while nodes.len() > 1 {
+                let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
+                for pair in nodes.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        combine(g, pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                nodes = next;
+            }
+            nodes[0]
+        }
+    }
+}
+
+fn and_all(g: &mut SubjectGraph, ins: &[Sig], order: DecomposeOrder) -> Sig {
+    match fold_consts(ins, true) {
+        Err(v) => Sig::Const(v),
+        Ok(nodes) if nodes.is_empty() => Sig::Const(true),
+        Ok(nodes) => Sig::Node(reduce(g, nodes, order, SubjectGraph::and2)),
+    }
+}
+
+fn or_all(g: &mut SubjectGraph, ins: &[Sig], order: DecomposeOrder) -> Sig {
+    match fold_consts(ins, false) {
+        Err(v) => Sig::Const(v),
+        Ok(nodes) if nodes.is_empty() => Sig::Const(false),
+        Ok(nodes) => Sig::Node(reduce(g, nodes, order, SubjectGraph::or2)),
+    }
+}
+
+fn xor_all(g: &mut SubjectGraph, ins: &[Sig], order: DecomposeOrder) -> Sig {
+    let mut parity = false;
+    let mut nodes = Vec::new();
+    for &s in ins {
+        match s {
+            Sig::Const(v) => parity ^= v,
+            Sig::Node(n) => nodes.push(n),
+        }
+    }
+    if nodes.is_empty() {
+        return Sig::Const(parity);
+    }
+    let root = reduce(g, nodes, order, SubjectGraph::xor2);
+    if parity {
+        Sig::Node(g.inv(root))
+    } else {
+        Sig::Node(root)
+    }
+}
+
+/// Convenience for experiments: decomposes a [`Network`] and checks the
+/// result against the original on `vectors` random input assignments
+/// (deterministic seed). Returns the subject graph.
+///
+/// # Errors
+///
+/// Returns an error if decomposition fails; panics (assert) if the check
+/// fails, since that is a library bug, not a user error.
+pub fn decompose_checked(
+    net: &Network,
+    order: DecomposeOrder,
+    vectors: usize,
+) -> Result<SubjectGraph, NetlistError> {
+    let g = decompose(net, order)?;
+    assert!(
+        crate::sim::equiv_network_subject(net, &g, vectors, 0xDEC0),
+        "decomposition changed the function of `{}`",
+        net.name()
+    );
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Sop;
+    use crate::network::NodeId;
+    use crate::sim::equiv_network_subject;
+
+    fn check(net: &Network, order: DecomposeOrder) {
+        let g = decompose(net, order).expect("decompose");
+        assert!(equiv_network_subject(net, &g, 256, 42), "mismatch for {:?}", order);
+    }
+
+    fn wide_gate_net(func: NodeFunc, k: usize) -> Network {
+        let mut n = Network::new("w");
+        let ins: Vec<NodeId> = (0..k).map(|i| n.add_input(format!("i{i}"))).collect();
+        let o = n.add_node("o", func, ins).unwrap();
+        n.add_output("y", o);
+        n
+    }
+
+    #[test]
+    fn wide_gates_all_orders() {
+        for k in 2..=6 {
+            for func in [
+                NodeFunc::And,
+                NodeFunc::Or,
+                NodeFunc::Nand,
+                NodeFunc::Nor,
+                NodeFunc::Xor,
+                NodeFunc::Xnor,
+            ] {
+                for order in
+                    [DecomposeOrder::Balanced, DecomposeOrder::Chain, DecomposeOrder::Shuffled(7)]
+                {
+                    check(&wide_gate_net(func.clone(), k), order);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_is_shallower_than_chain() {
+        let n = wide_gate_net(NodeFunc::And, 6);
+        let b = decompose(&n, DecomposeOrder::Balanced).unwrap();
+        let c = decompose(&n, DecomposeOrder::Chain).unwrap();
+        assert!(b.depth() < c.depth(), "balanced {} vs chain {}", b.depth(), c.depth());
+    }
+
+    #[test]
+    fn sop_decomposition() {
+        use crate::func::Literal::*;
+        let mut n = Network::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let sop = Sop::new(3, vec![vec![Pos, Neg, DontCare], vec![DontCare, Pos, Pos]]).unwrap();
+        let o = n.add_node("o", NodeFunc::Sop(sop), vec![a, b, c]).unwrap();
+        n.add_output("y", o);
+        check(&n, DecomposeOrder::Balanced);
+    }
+
+    #[test]
+    fn constant_folding_through_logic() {
+        let mut n = Network::new("c");
+        let a = n.add_input("a");
+        let zero = n.add_node("zero", NodeFunc::Const(false), vec![]).unwrap();
+        // a AND 0 = 0; 0 OR a = a
+        let g1 = n.add_node("g1", NodeFunc::And, vec![a, zero]).unwrap();
+        let g2 = n.add_node("g2", NodeFunc::Or, vec![g1, a]).unwrap();
+        n.add_output("y", g2);
+        let g = decompose(&n, DecomposeOrder::Balanced).unwrap();
+        // y == a, so zero base gates needed.
+        assert_eq!(g.base_gate_count(), 0);
+        assert!(equiv_network_subject(&n, &g, 16, 1));
+    }
+
+    #[test]
+    fn constant_output_rejected() {
+        let mut n = Network::new("c");
+        let a = n.add_input("a");
+        let na = n.add_node("na", NodeFunc::Inv, vec![a]).unwrap();
+        let g1 = n.add_node("g1", NodeFunc::And, vec![a, na]).unwrap();
+        n.add_output("y", g1);
+        // a AND !a folds to... it does NOT fold structurally (no Boolean
+        // reasoning), so this stays a real graph. Use an explicit const.
+        assert!(decompose(&n, DecomposeOrder::Balanced).is_ok());
+        let mut n2 = Network::new("c2");
+        let k = n2.add_node("k", NodeFunc::Const(true), vec![]).unwrap();
+        n2.add_output("y", k);
+        assert!(decompose(&n2, DecomposeOrder::Balanced).is_err());
+    }
+
+    #[test]
+    fn buf_chains_collapse() {
+        let mut n = Network::new("b");
+        let a = n.add_input("a");
+        let b1 = n.add_node("b1", NodeFunc::Buf, vec![a]).unwrap();
+        let b2 = n.add_node("b2", NodeFunc::Buf, vec![b1]).unwrap();
+        n.add_output("y", b2);
+        let g = decompose(&n, DecomposeOrder::Balanced).unwrap();
+        assert_eq!(g.base_gate_count(), 0);
+    }
+
+    #[test]
+    fn node_map_tracks_signals() {
+        let mut n = Network::new("m");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_node("g1", NodeFunc::And, vec![a, b]).unwrap();
+        n.add_output("y", g1);
+        let d = decompose_full(&n, DecomposeOrder::Balanced).unwrap();
+        let mapped = d.node_map[g1.index()].expect("g1 mapped");
+        assert_eq!(d.graph.outputs()[0].driver, mapped);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let n = wide_gate_net(NodeFunc::And, 6);
+        let g1 = decompose(&n, DecomposeOrder::Shuffled(5)).unwrap();
+        let g2 = decompose(&n, DecomposeOrder::Shuffled(5)).unwrap();
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.depth(), g2.depth());
+    }
+
+    #[test]
+    fn checked_decomposition_passes() {
+        let n = wide_gate_net(NodeFunc::Xor, 5);
+        assert!(decompose_checked(&n, DecomposeOrder::Balanced, 128).is_ok());
+    }
+}

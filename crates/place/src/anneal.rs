@@ -1,0 +1,242 @@
+//! Simulated-annealing placement refinement — a small TimberWolf-style
+//! stand-in (the paper's detailed placement era was annealing-based).
+//!
+//! The annealer perturbs cell positions with two move types — pairwise
+//! swaps and bounded displacements — accepting uphill moves with the
+//! Metropolis criterion under a geometric cooling schedule. Cost is the
+//! half-perimeter wire length of the nets touching the moved cells, so
+//! each move is evaluated incrementally. The result is re-legalized by
+//! the caller (positions drift off-row during annealing).
+//!
+//! Everything is deterministic in the seed.
+
+use crate::geom::{Point, Rect};
+use crate::quadratic::PinRef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`anneal`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Moves attempted per cell per temperature step.
+    pub moves_per_cell: usize,
+    /// Geometric cooling factor per step (0 < cooling < 1).
+    pub cooling: f64,
+    /// Temperature steps.
+    pub steps: usize,
+    /// Region the cells must stay inside.
+    pub core: Rect,
+}
+
+impl AnnealOptions {
+    /// A light default schedule for a given core.
+    pub fn for_core(core: Rect) -> Self {
+        Self { seed: 1, moves_per_cell: 8, cooling: 0.85, steps: 24, core }
+    }
+}
+
+/// Statistics from an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// HPWL before.
+    pub initial_hpwl: f64,
+    /// HPWL after.
+    pub final_hpwl: f64,
+    /// Accepted / attempted move ratio over the whole run.
+    pub acceptance: f64,
+}
+
+/// Anneals `positions` in place against the given nets and fixed pins.
+/// Returns run statistics.
+///
+/// # Panics
+///
+/// Panics if `cooling` is not in `(0, 1)`.
+pub fn anneal(
+    positions: &mut [Point],
+    nets: &[Vec<PinRef>],
+    fixed: &[Point],
+    opts: &AnnealOptions,
+) -> AnnealStats {
+    assert!(opts.cooling > 0.0 && opts.cooling < 1.0, "cooling must be in (0, 1)");
+    let n = positions.len();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ni, net) in nets.iter().enumerate() {
+        for p in net {
+            if let PinRef::Movable(m) = p {
+                touching[*m].push(ni);
+            }
+        }
+    }
+    let net_len = |ni: usize, positions: &[Point]| -> f64 {
+        Rect::bounding(nets[ni].iter().map(|p| match p {
+            PinRef::Movable(i) => positions[*i],
+            PinRef::Fixed(i) => fixed[*i],
+        }))
+        .map_or(0.0, |r| r.half_perimeter())
+    };
+    let local = |cells: &[usize], positions: &[Point]| -> f64 {
+        let mut seen: Vec<usize> =
+            cells.iter().flat_map(|&c| touching[c].iter().copied()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.iter().map(|&ni| net_len(ni, positions)).sum()
+    };
+    let total = |positions: &[Point]| -> f64 { (0..nets.len()).map(|ni| net_len(ni, positions)).sum() };
+
+    let initial_hpwl = total(positions);
+    if n < 2 {
+        return AnnealStats { initial_hpwl, final_hpwl: initial_hpwl, acceptance: 0.0 };
+    }
+
+    // Initial temperature: the mean |delta| of a short random-swap walk.
+    let mut probe = 0.0;
+    for _ in 0..32 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let before = local(&[a, b], positions);
+        positions.swap(a, b);
+        let after = local(&[a, b], positions);
+        positions.swap(a, b);
+        probe += (after - before).abs();
+    }
+    let mut temp = (probe / 32.0).max(1.0);
+    let mut window = opts.core.width().max(opts.core.height()) / 2.0;
+
+    let mut accepted = 0usize;
+    let mut attempted = 0usize;
+    let mut best_positions = positions.to_vec();
+    let mut best_cost = initial_hpwl;
+    for _ in 0..opts.steps {
+        for _ in 0..opts.moves_per_cell * n {
+            attempted += 1;
+            if rng.gen_bool(0.5) {
+                // Pairwise swap.
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a == b {
+                    continue;
+                }
+                let before = local(&[a, b], positions);
+                positions.swap(a, b);
+                let delta = local(&[a, b], positions) - before;
+                if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+                    accepted += 1;
+                } else {
+                    positions.swap(a, b);
+                }
+            } else {
+                // Bounded displacement.
+                let a = rng.gen_range(0..n);
+                let old = positions[a];
+                let dx = rng.gen_range(-window..=window);
+                let dy = rng.gen_range(-window..=window);
+                let cand = opts.core.clamp(Point::new(old.x + dx, old.y + dy));
+                let before = local(&[a], positions);
+                positions[a] = cand;
+                let delta = local(&[a], positions) - before;
+                if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+                    accepted += 1;
+                } else {
+                    positions[a] = old;
+                }
+            }
+        }
+        temp *= opts.cooling;
+        window = (window * 0.9).max(opts.core.width() / 50.0);
+        // Keep the best placement seen at each temperature step.
+        let cost = total(positions);
+        if cost < best_cost {
+            best_cost = cost;
+            best_positions.copy_from_slice(positions);
+        }
+    }
+    positions.copy_from_slice(&best_positions);
+    let final_hpwl = total(positions);
+    AnnealStats {
+        initial_hpwl,
+        final_hpwl,
+        acceptance: if attempted == 0 { 0.0 } else { accepted as f64 / attempted as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shuffled chain: pad — c0 — c1 — … — pad, with cells placed in
+    /// scrambled order so there is a lot to recover.
+    fn chain(n: usize) -> (Vec<Point>, Vec<Vec<PinRef>>, Vec<Point>, Rect) {
+        let core = Rect::new(0.0, 0.0, 1000.0, 200.0);
+        let fixed = vec![Point::new(0.0, 100.0), Point::new(1000.0, 100.0)];
+        let mut nets = vec![vec![PinRef::Fixed(0), PinRef::Movable(0)]];
+        for i in 0..n - 1 {
+            nets.push(vec![PinRef::Movable(i), PinRef::Movable(i + 1)]);
+        }
+        nets.push(vec![PinRef::Movable(n - 1), PinRef::Fixed(1)]);
+        // Scrambled initial positions (deterministic).
+        let positions: Vec<Point> = (0..n)
+            .map(|i| Point::new(((i * 613) % 997) as f64, ((i * 331) % 199) as f64))
+            .collect();
+        (positions, nets, fixed, core)
+    }
+
+    #[test]
+    fn annealing_reduces_hpwl_substantially() {
+        let (mut positions, nets, fixed, core) = chain(24);
+        let stats = anneal(&mut positions, &nets, &fixed, &AnnealOptions::for_core(core));
+        assert!(
+            stats.final_hpwl < stats.initial_hpwl * 0.7,
+            "anneal too weak: {} -> {}",
+            stats.initial_hpwl,
+            stats.final_hpwl
+        );
+        assert!(stats.acceptance > 0.0);
+    }
+
+    #[test]
+    fn annealing_is_deterministic() {
+        let (positions, nets, fixed, core) = chain(12);
+        let mut a = positions.clone();
+        let mut b = positions;
+        let opts = AnnealOptions::for_core(core);
+        anneal(&mut a, &nets, &fixed, &opts);
+        anneal(&mut b, &nets, &fixed, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cells_stay_inside_core() {
+        let (mut positions, nets, fixed, core) = chain(16);
+        anneal(&mut positions, &nets, &fixed, &AnnealOptions::for_core(core));
+        for p in &positions {
+            assert!(core.contains(*p), "{p:?} escaped the core");
+        }
+    }
+
+    #[test]
+    fn trivial_instances_are_noops() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut empty: Vec<Point> = vec![];
+        let stats = anneal(&mut empty, &[], &[], &AnnealOptions::for_core(core));
+        assert_eq!(stats.initial_hpwl, stats.final_hpwl);
+        let mut one = vec![Point::new(5.0, 5.0)];
+        let stats = anneal(&mut one, &[], &[], &AnnealOptions::for_core(core));
+        assert_eq!(stats.acceptance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn bad_cooling_panics() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let mut p = vec![Point::default(); 2];
+        let opts = AnnealOptions { cooling: 1.5, ..AnnealOptions::for_core(core) };
+        let _ = anneal(&mut p, &[], &[], &opts);
+    }
+}

@@ -1,0 +1,255 @@
+//! Fiduccia–Mattheyses min-cut bipartition refinement.
+//!
+//! GORDIAN's partitioning step is a min-cut bipartition; the quadratic
+//! placer's median split gives a good geometric seed, and FM refinement
+//! reduces the cut (nets spanning both halves) under a balance
+//! constraint. Implemented with the classic gain-bucket structure:
+//! each pass tentatively moves every free cell once in best-gain order
+//! and rolls back to the best prefix.
+
+use std::collections::HashMap;
+
+/// A bipartition refinement instance over `n` cells and a list of
+/// hypernets (each a list of cell indices).
+#[derive(Debug, Clone)]
+pub struct FmInstance {
+    /// Number of cells.
+    pub cells: usize,
+    /// Hypernets over cell indices (pins on fixed objects omitted).
+    pub nets: Vec<Vec<usize>>,
+    /// Cell weights (areas); uniform weights = `vec![1.0; n]`.
+    pub weights: Vec<f64>,
+}
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmOptions {
+    /// Maximum allowed imbalance: each side must keep at least
+    /// `(0.5 - tolerance)` of the total weight. Typical: 0.1.
+    pub tolerance: f64,
+    /// Maximum refinement passes (each pass is one full FM sweep).
+    pub max_passes: usize,
+}
+
+impl Default for FmOptions {
+    fn default() -> Self {
+        Self { tolerance: 0.1, max_passes: 4 }
+    }
+}
+
+/// Number of nets with pins on both sides of the partition.
+pub fn cut_size(instance: &FmInstance, side: &[bool]) -> usize {
+    instance
+        .nets
+        .iter()
+        .filter(|net| {
+            let mut saw = [false; 2];
+            for &c in net.iter() {
+                saw[usize::from(side[c])] = true;
+            }
+            saw[0] && saw[1]
+        })
+        .count()
+}
+
+/// Refines `side` (false = left, true = right) in place with FM passes.
+/// Returns the final cut size.
+///
+/// # Panics
+///
+/// Panics on inconsistent instance dimensions.
+pub fn refine(instance: &FmInstance, side: &mut [bool], opts: &FmOptions) -> usize {
+    assert_eq!(side.len(), instance.cells, "side/cell count mismatch");
+    assert_eq!(instance.weights.len(), instance.cells, "weights/cell count mismatch");
+    let total: f64 = instance.weights.iter().sum();
+    // Classic FM balance: each side keeps at least the tolerance share
+    // minus one maximum cell (otherwise no move is ever legal on an
+    // exactly balanced instance).
+    let max_weight = instance.weights.iter().copied().fold(0.0f64, f64::max);
+    let min_side = ((0.5 - opts.tolerance).max(0.0) * total - max_weight).max(0.0);
+
+    // Pin membership per cell.
+    let mut nets_of: Vec<Vec<usize>> = vec![Vec::new(); instance.cells];
+    for (ni, net) in instance.nets.iter().enumerate() {
+        for &c in net {
+            nets_of[c].push(ni);
+        }
+    }
+
+    let mut best_cut = cut_size(instance, side);
+    for _ in 0..opts.max_passes {
+        // Per-net side counts.
+        let mut count = vec![[0usize; 2]; instance.nets.len()];
+        for (ni, net) in instance.nets.iter().enumerate() {
+            for &c in net {
+                count[ni][usize::from(side[c])] += 1;
+            }
+        }
+        let mut weight_on = [0.0f64; 2];
+        for c in 0..instance.cells {
+            weight_on[usize::from(side[c])] += instance.weights[c];
+        }
+
+        // Gains: moving c from s to !s un-cuts nets where c is the only
+        // pin on s, and cuts nets currently entirely on s.
+        let gain_of = |c: usize, side: &[bool], count: &[[usize; 2]]| -> i64 {
+            let s = usize::from(side[c]);
+            let mut g = 0i64;
+            for &ni in &nets_of[c] {
+                if count[ni][s] == 1 && count[ni][1 - s] > 0 {
+                    g += 1; // this move un-cuts the net
+                }
+                if count[ni][1 - s] == 0 {
+                    g -= 1; // this move cuts a currently-internal net
+                }
+            }
+            g
+        };
+
+        // One FM sweep: move every cell once, best first.
+        let mut locked = vec![false; instance.cells];
+        let mut gains: HashMap<usize, i64> =
+            (0..instance.cells).map(|c| (c, gain_of(c, side, &count))).collect();
+        let mut history: Vec<usize> = Vec::with_capacity(instance.cells);
+        let mut cum = 0i64;
+        let mut best_prefix = 0usize;
+        let mut best_cum = 0i64;
+        let mut work_side = side.to_vec();
+
+        for step in 0..instance.cells {
+            // Pick the best movable cell respecting balance.
+            let pick = gains
+                .iter()
+                .filter(|(&c, _)| {
+                    if locked[c] {
+                        return false;
+                    }
+                    let s = usize::from(work_side[c]);
+                    weight_on[s] - instance.weights[c] >= min_side
+                })
+                .max_by_key(|(&c, &g)| (g, std::cmp::Reverse(c)))
+                .map(|(&c, _)| c);
+            let Some(c) = pick else { break };
+            let s = usize::from(work_side[c]);
+            cum += gains[&c];
+            history.push(c);
+            locked[c] = true;
+            // Apply the move.
+            work_side[c] = !work_side[c];
+            weight_on[s] -= instance.weights[c];
+            weight_on[1 - s] += instance.weights[c];
+            for &ni in &nets_of[c] {
+                count[ni][s] -= 1;
+                count[ni][1 - s] += 1;
+            }
+            // Recompute gains of neighbours (small instances: direct).
+            for &ni in &nets_of[c] {
+                for &nb in &instance.nets[ni] {
+                    if !locked[nb] {
+                        gains.insert(nb, gain_of(nb, &work_side, &count));
+                    }
+                }
+            }
+            if cum > best_cum {
+                best_cum = cum;
+                best_prefix = step + 1;
+            }
+        }
+
+        if best_cum <= 0 {
+            break; // no improving prefix
+        }
+        // Apply the best prefix to the real assignment.
+        for &c in &history[..best_prefix] {
+            side[c] = !side[c];
+        }
+        let cut = cut_size(instance, side);
+        debug_assert!(cut <= best_cut);
+        if cut >= best_cut {
+            break;
+        }
+        best_cut = cut;
+    }
+    best_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single bridge net; the optimal cut is 1.
+    fn two_cliques() -> FmInstance {
+        let mut nets = Vec::new();
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    nets.push(vec![base + i, base + j]);
+                }
+            }
+        }
+        nets.push(vec![0, 4]); // bridge
+        FmInstance { cells: 8, nets, weights: vec![1.0; 8] }
+    }
+
+    #[test]
+    fn refinement_finds_the_natural_cut() {
+        let inst = two_cliques();
+        // Adversarial start: interleaved.
+        let mut side: Vec<bool> = (0..8).map(|i| i % 2 == 1).collect();
+        let before = cut_size(&inst, &side);
+        let after = refine(&inst, &mut side, &FmOptions::default());
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(after, 1, "optimal cut is the bridge");
+        // The cliques end up on separate sides.
+        assert!(side[0] == side[1] && side[1] == side[2] && side[2] == side[3]);
+        assert!(side[4] == side[5] && side[5] == side[6] && side[6] == side[7]);
+        assert_ne!(side[0], side[4]);
+    }
+
+    #[test]
+    fn balance_constraint_is_respected() {
+        let inst = two_cliques();
+        let mut side: Vec<bool> = (0..8).map(|i| i % 2 == 1).collect();
+        refine(&inst, &mut side, &FmOptions { tolerance: 0.1, max_passes: 8 });
+        let right = side.iter().filter(|&&s| s).count();
+        assert!((3..=5).contains(&right), "imbalanced: {right}/8 on the right");
+    }
+
+    #[test]
+    fn already_optimal_partitions_are_stable() {
+        let inst = two_cliques();
+        let mut side: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        let cut = refine(&inst, &mut side, &FmOptions::default());
+        assert_eq!(cut, 1);
+        assert_eq!(side, (0..8).map(|i| i >= 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_cells_respect_balance() {
+        // Standard FM balance: each side keeps at least
+        // (0.5 − tol)·W − smax. With unit weights and tol 0 on a
+        // 12-cell chain, sides must stay within 5..=7 cells.
+        let inst = FmInstance {
+            cells: 12,
+            nets: (0..11).map(|i| vec![i, i + 1]).collect(),
+            weights: vec![1.0; 12],
+        };
+        let mut side: Vec<bool> = (0..12).map(|i| i % 2 == 1).collect();
+        refine(&inst, &mut side, &FmOptions { tolerance: 0.0, max_passes: 6 });
+        let right = side.iter().filter(|&&s| s).count();
+        assert!((5..=7).contains(&right), "imbalanced: {right}/12 on the right");
+        // And the chain's cut must have improved from the alternating 11.
+        assert!(cut_size(&inst, &side) < 11);
+    }
+
+    #[test]
+    fn cut_size_counts_spanning_nets() {
+        let inst = FmInstance {
+            cells: 3,
+            nets: vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            weights: vec![1.0; 3],
+        };
+        let side = vec![false, false, true];
+        assert_eq!(cut_size(&inst, &side), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Planar geometry: points and axis-aligned rectangles.
+//!
+//! These are the primitives of Lily's wire estimation: fanin and fanout
+//! rectangles (paper Figure 3.2), enclosing rectangles of nets, and the
+//! placement regions of the bi-partitioning placer.
+
+/// A point on the layout plane, µm.
+#[derive(Debug, Clone, Copy, PartialEq, Default, PartialOrd)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another point.
+    pub fn manhattan(&self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to another point.
+    pub fn euclidean(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+/// An axis-aligned rectangle, µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left x.
+    pub llx: f64,
+    /// Lower-left y.
+    pub lly: f64,
+    /// Upper-right x.
+    pub urx: f64,
+    /// Upper-right y.
+    pub ury: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners are inverted.
+    pub fn new(llx: f64, lly: f64, urx: f64, ury: f64) -> Self {
+        assert!(llx <= urx && lly <= ury, "inverted rectangle");
+        Self { llx, lly, urx, ury }
+    }
+
+    /// The degenerate rectangle at one point.
+    pub fn at(p: Point) -> Self {
+        Self { llx: p.x, lly: p.y, urx: p.x, ury: p.y }
+    }
+
+    /// Smallest rectangle enclosing all points; `None` when empty.
+    pub fn bounding(points: impl IntoIterator<Item = Point>) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::at(first);
+        for p in it {
+            r.expand_to(p);
+        }
+        Some(r)
+    }
+
+    /// Grows the rectangle to include `p`.
+    pub fn expand_to(&mut self, p: Point) {
+        self.llx = self.llx.min(p.x);
+        self.lly = self.lly.min(p.y);
+        self.urx = self.urx.max(p.x);
+        self.ury = self.ury.max(p.y);
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.urx - self.llx
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.ury - self.lly
+    }
+
+    /// Half-perimeter: the classic net-length lower bound.
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.llx + self.urx) / 2.0, (self.lly + self.ury) / 2.0)
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.llx && p.x <= self.urx && p.y >= self.lly && p.y <= self.ury
+    }
+
+    /// Manhattan distance from `p` to the rectangle (0 inside). This is
+    /// the separable distance function of paper Section 3.2:
+    /// `f(x) = ½(|ll.x − p.x| + |ur.x − p.x| − |ur.x − ll.x|)` per axis.
+    pub fn manhattan_dist(&self, p: Point) -> f64 {
+        let dx = (self.llx - p.x).max(0.0).max(p.x - self.urx);
+        let dy = (self.lly - p.y).max(0.0).max(p.y - self.ury);
+        dx + dy
+    }
+
+    /// The nearest point of the rectangle to `p` (projection).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.llx, self.urx), p.y.clamp(self.lly, self.ury))
+    }
+
+    /// Splits into two halves along `axis` (0 = vertical cut at mid-x,
+    /// 1 = horizontal cut at mid-y).
+    pub fn split(&self, axis: usize) -> (Rect, Rect) {
+        if axis == 0 {
+            let mid = (self.llx + self.urx) / 2.0;
+            (Rect::new(self.llx, self.lly, mid, self.ury), Rect::new(mid, self.lly, self.urx, self.ury))
+        } else {
+            let mid = (self.lly + self.ury) / 2.0;
+            (Rect::new(self.llx, self.lly, self.urx, mid), Rect::new(self.llx, mid, self.urx, self.ury))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.manhattan(b) - 7.0).abs() < 1e-12);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(4.0, 2.0)];
+        let r = Rect::bounding(pts).unwrap();
+        assert_eq!(r, Rect::new(-2.0, 0.0, 4.0, 5.0));
+        assert!((r.half_perimeter() - 11.0).abs() < 1e-12);
+        assert!(Rect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn manhattan_dist_to_rect() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(r.manhattan_dist(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(r.manhattan_dist(Point::new(12.0, 5.0)), 2.0);
+        assert_eq!(r.manhattan_dist(Point::new(12.0, 13.0)), 5.0);
+        assert_eq!(r.clamp(Point::new(12.0, 13.0)), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn split_halves() {
+        let r = Rect::new(0.0, 0.0, 10.0, 4.0);
+        let (l, right) = r.split(0);
+        assert_eq!(l.urx, 5.0);
+        assert_eq!(right.llx, 5.0);
+        let (b, t) = r.split(1);
+        assert_eq!(b.ury, 2.0);
+        assert_eq!(t.lly, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+}

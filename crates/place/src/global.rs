@@ -1,0 +1,320 @@
+//! Balanced global placement by quadratic optimization and recursive
+//! bi-partitioning (GORDIAN-style, the paper's reference \[21\]).
+//!
+//! The loop alternates a global quadratic solve with a partitioning step
+//! that halves every oversized region by module count along its wider
+//! axis, then re-solves with anchor springs pulling each module toward
+//! its region's center. The result is the *balanced point placement*
+//! Lily needs: uniform module density with the connectivity structure of
+//! the network preserved (paper Section 3.1 explains why detailed
+//! placement would be premature here).
+
+use crate::fm::{refine, FmInstance, FmOptions};
+use crate::geom::{Point, Rect};
+use crate::quadratic::{solve_quadratic, Anchor, PinRef, PlacementProblem};
+
+/// Options for [`global_place`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalOptions {
+    /// The layout image (core region) to place into.
+    pub region: Rect,
+    /// Stop partitioning when a region holds at most this many modules
+    /// (the paper's "user-specified parameter"; 1 plus row assignment
+    /// would amount to a detailed placement).
+    pub min_region: usize,
+    /// Anchor spring weight at level 0; doubles each level.
+    pub anchor_weight: f64,
+    /// Hard cap on partitioning levels.
+    pub max_levels: usize,
+    /// Refine each median split with Fiduccia–Mattheyses min-cut passes
+    /// (GORDIAN-style). Off by default: the geometric split is what the
+    /// published tables use; turn on for the ablation.
+    pub fm_refinement: bool,
+}
+
+impl GlobalOptions {
+    /// Reasonable defaults for a given core region.
+    pub fn for_region(region: Rect) -> Self {
+        Self { region, min_region: 4, anchor_weight: 0.02, max_levels: 12, fm_refinement: false }
+    }
+}
+
+/// The result of global placement.
+#[derive(Debug, Clone)]
+pub struct GlobalPlacement {
+    /// Final module positions (inside the core region).
+    pub positions: Vec<Point>,
+    /// Leaf regions and the modules assigned to each.
+    pub regions: Vec<(Rect, Vec<usize>)>,
+    /// Number of solve/partition rounds performed.
+    pub levels: usize,
+}
+
+/// Runs balanced global placement. See the module docs for the
+/// algorithm.
+///
+/// # Panics
+///
+/// Panics if the problem fails validation (see
+/// [`PlacementProblem::validate`]).
+pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalPlacement {
+    let n = problem.movable;
+    if n == 0 {
+        return GlobalPlacement { positions: Vec::new(), regions: Vec::new(), levels: 0 };
+    }
+    let mut positions = solve_quadratic(problem, &[], &[]);
+    let mut regions: Vec<(Rect, Vec<usize>)> = vec![(opts.region, (0..n).collect())];
+    let mut level = 0usize;
+
+    while level < opts.max_levels
+        && regions.iter().any(|(_, m)| m.len() > opts.min_region)
+    {
+        let mut next: Vec<(Rect, Vec<usize>)> = Vec::with_capacity(regions.len() * 2);
+        for (rect, modules) in &regions {
+            if modules.len() <= opts.min_region {
+                next.push((*rect, modules.clone()));
+                continue;
+            }
+            // Cut perpendicular to the wider side, splitting modules at
+            // the median of their current coordinates.
+            let axis = if rect.width() >= rect.height() { 0 } else { 1 };
+            let mut sorted = modules.clone();
+            sorted.sort_by(|&a, &b| {
+                let ka = if axis == 0 { positions[a].x } else { positions[a].y };
+                let kb = if axis == 0 { positions[b].x } else { positions[b].y };
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            let half = sorted.len() / 2;
+            let (lo, hi) = rect.split(axis);
+            let (mut lo_set, mut hi_set) = (sorted[..half].to_vec(), sorted[half..].to_vec());
+            if opts.fm_refinement {
+                fm_refine_split(problem, &mut lo_set, &mut hi_set);
+            }
+            next.push((lo, lo_set));
+            next.push((hi, hi_set));
+        }
+        regions = next;
+        level += 1;
+
+        let w = opts.anchor_weight * (1 << level.min(20)) as f64;
+        let mut anchors = Vec::with_capacity(n);
+        for (rect, modules) in &regions {
+            let c = rect.center();
+            for &m in modules {
+                anchors.push(Anchor { module: m, target: c, weight: w });
+            }
+        }
+        positions = solve_quadratic(problem, &anchors, &positions);
+    }
+
+    // Keep every module inside its assigned region (the solve is
+    // unconstrained, anchors only pull).
+    for (rect, modules) in &regions {
+        for &m in modules {
+            positions[m] = rect.clamp(positions[m]);
+        }
+    }
+    GlobalPlacement { positions, regions, levels: level }
+}
+
+/// FM-refines a median split: reduces the number of nets spanning the
+/// two halves while keeping the halves within 10% of balance.
+fn fm_refine_split(problem: &PlacementProblem, lo: &mut Vec<usize>, hi: &mut Vec<usize>) {
+    let mut local: Vec<usize> = lo.iter().chain(hi.iter()).copied().collect();
+    local.sort_unstable();
+    let index_of: std::collections::HashMap<usize, usize> =
+        local.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let mut nets = Vec::new();
+    for net in &problem.nets {
+        let pins: Vec<usize> = net
+            .iter()
+            .filter_map(|p| match p {
+                PinRef::Movable(m) => index_of.get(m).copied(),
+                PinRef::Fixed(_) => None,
+            })
+            .collect();
+        if pins.len() >= 2 {
+            nets.push(pins);
+        }
+    }
+    if nets.is_empty() {
+        return;
+    }
+    let inst = FmInstance { cells: local.len(), nets, weights: vec![1.0; local.len()] };
+    let mut side: Vec<bool> = local.iter().map(|m| hi.contains(m)).collect();
+    refine(&inst, &mut side, &FmOptions::default());
+    lo.clear();
+    hi.clear();
+    for (i, &m) in local.iter().enumerate() {
+        if side[i] {
+            hi.push(m);
+        } else {
+            lo.push(m);
+        }
+    }
+}
+
+/// A coarse balance metric: the ratio of the most-loaded to the
+/// least-loaded quadrant of the core (1.0 is perfectly balanced). Used
+/// by tests and the placement benches.
+pub fn quadrant_balance(positions: &[Point], core: Rect) -> f64 {
+    let c = core.center();
+    let mut counts = [0usize; 4];
+    for p in positions {
+        let q = (usize::from(p.x > c.x)) | (usize::from(p.y > c.y) << 1);
+        counts[q] += 1;
+    }
+    let max = *counts.iter().max().unwrap_or(&0) as f64;
+    let min = *counts.iter().min().unwrap_or(&0) as f64;
+    if min == 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::PinRef;
+
+    /// A 2D grid graph with pads on four corners: a placement whose
+    /// natural solution spreads over the whole region.
+    fn grid_problem(side: usize, core: Rect) -> PlacementProblem {
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut nets = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    nets.push(vec![PinRef::Movable(idx(r, c)), PinRef::Movable(idx(r, c + 1))]);
+                }
+                if r + 1 < side {
+                    nets.push(vec![PinRef::Movable(idx(r, c)), PinRef::Movable(idx(r + 1, c))]);
+                }
+            }
+        }
+        let fixed = vec![
+            Point::new(core.llx, core.lly),
+            Point::new(core.urx, core.lly),
+            Point::new(core.llx, core.ury),
+            Point::new(core.urx, core.ury),
+        ];
+        nets.push(vec![PinRef::Fixed(0), PinRef::Movable(idx(0, 0))]);
+        nets.push(vec![PinRef::Fixed(1), PinRef::Movable(idx(0, side - 1))]);
+        nets.push(vec![PinRef::Fixed(2), PinRef::Movable(idx(side - 1, 0))]);
+        nets.push(vec![PinRef::Fixed(3), PinRef::Movable(idx(side - 1, side - 1))]);
+        PlacementProblem { movable: side * side, fixed, nets }
+    }
+
+    #[test]
+    fn placement_is_balanced_and_inside() {
+        let core = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let p = grid_problem(8, core);
+        let g = global_place(&p, &GlobalOptions::for_region(core));
+        assert_eq!(g.positions.len(), 64);
+        for pt in &g.positions {
+            assert!(core.contains(*pt), "{pt:?} outside core");
+        }
+        let balance = quadrant_balance(&g.positions, core);
+        assert!(balance <= 1.5, "quadrant balance {balance}");
+    }
+
+    #[test]
+    fn partitioning_bounds_region_occupancy() {
+        let core = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let p = grid_problem(6, core);
+        let opts = GlobalOptions { min_region: 3, ..GlobalOptions::for_region(core) };
+        let g = global_place(&p, &opts);
+        for (_, modules) in &g.regions {
+            assert!(modules.len() <= 3, "region holds {}", modules.len());
+        }
+        // Every module assigned exactly once.
+        let mut seen = vec![false; p.movable];
+        for (_, modules) in &g.regions {
+            for &m in modules {
+                assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn connectivity_is_respected() {
+        // Two clusters each tied to opposite pads end up on opposite
+        // sides.
+        let core = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut nets = Vec::new();
+        for i in 0..4 {
+            nets.push(vec![PinRef::Fixed(0), PinRef::Movable(i)]);
+            nets.push(vec![PinRef::Fixed(1), PinRef::Movable(4 + i)]);
+        }
+        // Intra-cluster cliques.
+        for i in 0..4 {
+            for j in i + 1..4 {
+                nets.push(vec![PinRef::Movable(i), PinRef::Movable(j)]);
+                nets.push(vec![PinRef::Movable(4 + i), PinRef::Movable(4 + j)]);
+            }
+        }
+        let p = PlacementProblem {
+            movable: 8,
+            fixed: vec![Point::new(0.0, 50.0), Point::new(100.0, 50.0)],
+            nets,
+        };
+        let g = global_place(&p, &GlobalOptions::for_region(core));
+        for i in 0..4 {
+            assert!(
+                g.positions[i].x < g.positions[4 + i].x,
+                "cluster separation violated: {:?}",
+                g.positions
+            );
+        }
+    }
+
+    #[test]
+    fn fm_refinement_runs_and_stays_balanced() {
+        let core = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let p = grid_problem(8, core);
+        let opts = GlobalOptions { fm_refinement: true, ..GlobalOptions::for_region(core) };
+        let g = global_place(&p, &opts);
+        for pt in &g.positions {
+            assert!(core.contains(*pt));
+        }
+        // Region occupancy still bounded and complete.
+        let mut seen = vec![false; p.movable];
+        for (_, modules) in &g.regions {
+            assert!(modules.len() <= 2 * opts.min_region, "region holds {}", modules.len());
+            for &m in modules {
+                assert!(!seen[m], "module {m} assigned twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Quality: not wildly worse than the geometric split.
+        let plain = global_place(&p, &GlobalOptions::for_region(core));
+        let cost_fm = p.quadratic_cost(&g.positions);
+        let cost_plain = p.quadratic_cost(&plain.positions);
+        assert!(cost_fm <= cost_plain * 1.5, "fm {cost_fm} vs plain {cost_plain}");
+    }
+
+    #[test]
+    fn empty_problem() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let g = global_place(&PlacementProblem::default(), &GlobalOptions::for_region(core));
+        assert!(g.positions.is_empty());
+    }
+
+    #[test]
+    fn quadrant_balance_metric() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let even = vec![
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 2.0),
+            Point::new(2.0, 8.0),
+            Point::new(8.0, 8.0),
+        ];
+        assert!((quadrant_balance(&even, core) - 1.0).abs() < 1e-12);
+        let lopsided = vec![Point::new(2.0, 2.0); 4];
+        assert!(quadrant_balance(&lopsided, core).is_infinite());
+    }
+}

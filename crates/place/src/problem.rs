@@ -1,0 +1,155 @@
+//! Conversion from a [`SubjectGraph`] to a [`PlacementProblem`]: the
+//! inchoate network becomes movable modules, the I/O pads become fixed
+//! pins.
+
+use crate::geom::Point;
+use crate::quadratic::{PinRef, PlacementProblem};
+use lily_netlist::{SubjectGraph, SubjectKind, SubjectNodeId};
+
+/// Maps between subject-graph nodes and placement-problem indices.
+#[derive(Debug, Clone)]
+pub struct SubjectPlacement {
+    /// The placement problem (pads: primary inputs first, then primary
+    /// outputs, in declaration order).
+    pub problem: PlacementProblem,
+    /// For each subject node, its movable-module index (`None` for
+    /// primary inputs, which are pads).
+    pub movable_of_node: Vec<Option<usize>>,
+    /// For each movable module, the subject node it represents.
+    pub node_of_movable: Vec<SubjectNodeId>,
+}
+
+impl SubjectPlacement {
+    /// Builds the placement problem of a subject graph. Primary inputs
+    /// become fixed pads `0..#PI`; primary outputs become pads
+    /// `#PI..#PI+#PO`. Each driver (input or internal node) with at
+    /// least one reader yields one net connecting the driver pin to all
+    /// reader pins (and to the output pad, when it drives one).
+    ///
+    /// Pad positions are placeholders (`(0,0)`); assign them with
+    /// [`crate::pads::assign_pads`] or supply known positions.
+    pub fn new(g: &SubjectGraph) -> Self {
+        let mut movable_of_node = vec![None; g.node_count()];
+        let mut node_of_movable = Vec::new();
+        for n in g.node_ids() {
+            if !matches!(g.kind(n), SubjectKind::Input(_)) {
+                movable_of_node[n.index()] = Some(node_of_movable.len());
+                node_of_movable.push(n);
+            }
+        }
+        let n_pi = g.inputs().len();
+        let pin_of = |n: SubjectNodeId| -> PinRef {
+            match g.kind(n) {
+                SubjectKind::Input(pi) => PinRef::Fixed(pi),
+                _ => PinRef::Movable(movable_of_node[n.index()].expect("internal node")),
+            }
+        };
+
+        let fanouts = g.fanouts();
+        let orefs = g.output_ref_counts();
+        let mut nets = Vec::new();
+        for n in g.node_ids() {
+            let readers = &fanouts[n.index()];
+            if readers.is_empty() && orefs[n.index()] == 0 {
+                continue;
+            }
+            let mut net = vec![pin_of(n)];
+            net.extend(readers.iter().map(|&r| pin_of(r)));
+            for (oi, o) in g.outputs().iter().enumerate() {
+                if o.driver == n {
+                    net.push(PinRef::Fixed(n_pi + oi));
+                }
+            }
+            if net.len() >= 2 {
+                nets.push(net);
+            }
+        }
+        let problem = PlacementProblem {
+            movable: node_of_movable.len(),
+            fixed: vec![Point::default(); n_pi + g.outputs().len()],
+            nets,
+        };
+        Self { problem, movable_of_node, node_of_movable }
+    }
+
+    /// Scatter placement-problem positions back to per-node positions
+    /// (inputs get their pad positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree with the problem.
+    pub fn node_positions(
+        &self,
+        g: &SubjectGraph,
+        module_positions: &[Point],
+        pad_positions: &[Point],
+    ) -> Vec<Point> {
+        assert_eq!(module_positions.len(), self.problem.movable);
+        assert_eq!(pad_positions.len(), self.problem.fixed.len());
+        let mut out = vec![Point::default(); g.node_count()];
+        for n in g.node_ids() {
+            out[n.index()] = match g.kind(n) {
+                SubjectKind::Input(pi) => pad_positions[pi],
+                _ => module_positions[self.movable_of_node[n.index()].expect("internal")],
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> SubjectGraph {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.nand2(a, b);
+        let m = g.inv(n);
+        g.set_output("y", m);
+        g
+    }
+
+    #[test]
+    fn problem_structure() {
+        let g = graph();
+        let sp = SubjectPlacement::new(&g);
+        assert_eq!(sp.problem.movable, 2); // nand + inv
+        assert_eq!(sp.problem.fixed.len(), 3); // 2 PI + 1 PO
+        // Nets: a->nand, b->nand, nand->inv, inv->PO pad.
+        assert_eq!(sp.problem.nets.len(), 4);
+        sp.problem.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_positions() {
+        let g = graph();
+        let sp = SubjectPlacement::new(&g);
+        let modules = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let pads = vec![Point::new(0.0, 0.0), Point::new(0.0, 5.0), Point::new(9.0, 9.0)];
+        let per_node = sp.node_positions(&g, &modules, &pads);
+        assert_eq!(per_node.len(), g.node_count());
+        assert_eq!(per_node[0], pads[0]);
+        assert_eq!(per_node[2], modules[0]);
+        assert_eq!(per_node[3], modules[1]);
+    }
+
+    #[test]
+    fn multi_output_driver_net_includes_all_pads() {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let n = g.nand2(a, b);
+        g.set_output("y1", n);
+        g.set_output("y2", n);
+        let sp = SubjectPlacement::new(&g);
+        // The nand's net carries two PO pads.
+        let big = sp.problem.nets.iter().find(|net| net.len() == 3).expect("driver net");
+        let fixed_count = big
+            .iter()
+            .filter(|p| matches!(p, PinRef::Fixed(i) if *i >= 2))
+            .count();
+        assert_eq!(fixed_count, 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Quadratic placement: minimize the squared-Euclidean wire length of a
+//! hypergraph with fixed pads.
+//!
+//! Each net is expanded into a clique of 2-pin springs with weight
+//! `2 / |net|` (the standard clique model), which makes the objective
+//! separable in x and y; each axis is an SPD linear system solved by
+//! conjugate gradients.
+
+use crate::geom::Point;
+use crate::sparse::{conjugate_gradient, CsrBuilder};
+
+/// A pin of a placement net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinRef {
+    /// A movable module, by index.
+    Movable(usize),
+    /// A fixed location (pad), by index into
+    /// [`PlacementProblem::fixed`].
+    Fixed(usize),
+}
+
+/// A placement instance: movable modules, fixed pads, and hypernets.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementProblem {
+    /// Number of movable modules.
+    pub movable: usize,
+    /// Fixed pad positions.
+    pub fixed: Vec<Point>,
+    /// Nets, each a list of at least two pins.
+    pub nets: Vec<Vec<PinRef>>,
+}
+
+impl PlacementProblem {
+    /// Validates indices; returns a human-readable error for tooling.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ni, net) in self.nets.iter().enumerate() {
+            if net.len() < 2 {
+                return Err(format!("net {ni} has fewer than two pins"));
+            }
+            for pin in net {
+                match *pin {
+                    PinRef::Movable(i) if i >= self.movable => {
+                        return Err(format!("net {ni}: movable index {i} out of range"))
+                    }
+                    PinRef::Fixed(i) if i >= self.fixed.len() => {
+                        return Err(format!("net {ni}: fixed index {i} out of range"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total squared-Euclidean objective of a candidate placement under
+    /// the clique model (for tests and convergence tracking).
+    pub fn quadratic_cost(&self, positions: &[Point]) -> f64 {
+        let pos = |p: &PinRef| match *p {
+            PinRef::Movable(i) => positions[i],
+            PinRef::Fixed(i) => self.fixed[i],
+        };
+        let mut cost = 0.0;
+        for net in &self.nets {
+            let w = 2.0 / net.len() as f64;
+            for i in 0..net.len() {
+                for j in i + 1..net.len() {
+                    let a = pos(&net[i]);
+                    let b = pos(&net[j]);
+                    cost += w * ((a.x - b.x).powi(2) + (a.y - b.y).powi(2));
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// An extra spring pulling one movable module toward a fixed point
+/// (used by the partitioning placer to enforce region assignment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// The movable module.
+    pub module: usize,
+    /// Target location.
+    pub target: Point,
+    /// Spring weight.
+    pub weight: f64,
+}
+
+/// Solves the quadratic placement with optional anchors, starting from
+/// `warm` (pass an empty slice for a cold start at the pad centroid).
+///
+/// Modules with no connectivity at all sit at the centroid of the fixed
+/// pads (the Laplacian row is regularized with a tiny anchor there).
+///
+/// # Panics
+///
+/// Panics if the problem fails [`PlacementProblem::validate`].
+pub fn solve_quadratic(
+    problem: &PlacementProblem,
+    anchors: &[Anchor],
+    warm: &[Point],
+) -> Vec<Point> {
+    problem.validate().expect("invalid placement problem");
+    let n = problem.movable;
+    if n == 0 {
+        return Vec::new();
+    }
+    let centroid = if problem.fixed.is_empty() {
+        Point::new(0.0, 0.0)
+    } else {
+        let sx: f64 = problem.fixed.iter().map(|p| p.x).sum();
+        let sy: f64 = problem.fixed.iter().map(|p| p.y).sum();
+        Point::new(sx / problem.fixed.len() as f64, sy / problem.fixed.len() as f64)
+    };
+
+    let mut builder = CsrBuilder::new(n);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+
+    for net in &problem.nets {
+        let w = 2.0 / net.len() as f64;
+        for i in 0..net.len() {
+            for j in i + 1..net.len() {
+                match (net[i], net[j]) {
+                    (PinRef::Movable(a), PinRef::Movable(b)) => {
+                        if a != b {
+                            builder.add_spring(a, b, w);
+                        }
+                    }
+                    (PinRef::Movable(a), PinRef::Fixed(f))
+                    | (PinRef::Fixed(f), PinRef::Movable(a)) => {
+                        builder.add_anchor(a, w);
+                        bx[a] += w * problem.fixed[f].x;
+                        by[a] += w * problem.fixed[f].y;
+                    }
+                    (PinRef::Fixed(_), PinRef::Fixed(_)) => {}
+                }
+            }
+        }
+    }
+    for a in anchors {
+        builder.add_anchor(a.module, a.weight);
+        bx[a.module] += a.weight * a.target.x;
+        by[a.module] += a.weight * a.target.y;
+    }
+    // Regularize: every module gets a whisper-weight anchor at the pad
+    // centroid so isolated components stay solvable.
+    const EPS: f64 = 1e-6;
+    for i in 0..n {
+        builder.add_anchor(i, EPS);
+        bx[i] += EPS * centroid.x;
+        by[i] += EPS * centroid.y;
+    }
+
+    let a = builder.build();
+    let (x0, y0): (Vec<f64>, Vec<f64>) = if warm.len() == n {
+        (warm.iter().map(|p| p.x).collect(), warm.iter().map(|p| p.y).collect())
+    } else {
+        (vec![centroid.x; n], vec![centroid.y; n])
+    };
+    let max_iter = 4 * n + 200;
+    let (xs, _) = conjugate_gradient(&a, &bx, &x0, 1e-8, max_iter);
+    let (ys, _) = conjugate_gradient(&a, &by, &y0, 1e-8, max_iter);
+    xs.into_iter().zip(ys).map(|(x, y)| Point::new(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_module_between_two_pads() {
+        let p = PlacementProblem {
+            movable: 1,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Movable(0), PinRef::Fixed(0)],
+                vec![PinRef::Movable(0), PinRef::Fixed(1)],
+            ],
+        };
+        let pos = solve_quadratic(&p, &[], &[]);
+        assert!((pos[0].x - 5.0).abs() < 1e-6, "{:?}", pos);
+        assert!(pos[0].y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_spreads_between_pads() {
+        // pad0 - m0 - m1 - m2 - pad1 with equal springs: even spacing.
+        let p = PlacementProblem {
+            movable: 3,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Fixed(0), PinRef::Movable(0)],
+                vec![PinRef::Movable(0), PinRef::Movable(1)],
+                vec![PinRef::Movable(1), PinRef::Movable(2)],
+                vec![PinRef::Movable(2), PinRef::Fixed(1)],
+            ],
+        };
+        let pos = solve_quadratic(&p, &[], &[]);
+        assert!((pos[0].x - 2.0).abs() < 1e-4, "{:?}", pos);
+        assert!((pos[1].x - 4.0).abs() < 1e-4);
+        assert!((pos[2].x - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn anchors_pull_modules() {
+        let p = PlacementProblem {
+            movable: 1,
+            fixed: vec![Point::new(0.0, 0.0)],
+            nets: vec![vec![PinRef::Movable(0), PinRef::Fixed(0)]],
+        };
+        let strong = Anchor { module: 0, target: Point::new(10.0, 10.0), weight: 100.0 };
+        let pos = solve_quadratic(&p, &[strong], &[]);
+        assert!(pos[0].x > 9.0 && pos[0].y > 9.0, "{:?}", pos);
+    }
+
+    #[test]
+    fn disconnected_module_sits_at_centroid() {
+        let p = PlacementProblem {
+            movable: 2,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(10.0, 10.0)],
+            nets: vec![vec![PinRef::Movable(0), PinRef::Fixed(0)]],
+        };
+        let pos = solve_quadratic(&p, &[], &[]);
+        // Module 1 has no nets: regularized to the pad centroid.
+        assert!((pos[1].x - 5.0).abs() < 1e-3 && (pos[1].y - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = PlacementProblem {
+            movable: 1,
+            fixed: vec![],
+            nets: vec![vec![PinRef::Movable(0)]],
+        };
+        assert!(p.validate().is_err());
+        let p2 = PlacementProblem {
+            movable: 1,
+            fixed: vec![],
+            nets: vec![vec![PinRef::Movable(0), PinRef::Movable(5)]],
+        };
+        assert!(p2.validate().is_err());
+    }
+
+    #[test]
+    fn quadratic_cost_decreases_at_optimum() {
+        let p = PlacementProblem {
+            movable: 1,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Movable(0), PinRef::Fixed(0)],
+                vec![PinRef::Movable(0), PinRef::Fixed(1)],
+            ],
+        };
+        let opt = solve_quadratic(&p, &[], &[]);
+        let bad = vec![Point::new(0.0, 7.0)];
+        assert!(p.quadratic_cost(&opt) < p.quadratic_cost(&bad));
+    }
+}

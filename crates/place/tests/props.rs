@@ -1,0 +1,105 @@
+//! Property tests of the placement substrate: annealing never worsens
+//! the placement it returns, FM refinement never increases the cut, the
+//! CG solver solves random SPD systems, and legalization is complete.
+
+use lily_place::anneal::{anneal, AnnealOptions};
+use lily_place::fm::{cut_size, refine, FmInstance, FmOptions};
+use lily_place::legalize::{legalize, LegalizeOptions};
+use lily_place::sparse::{conjugate_gradient, CsrBuilder};
+use lily_place::{PinRef, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..800.0, 0.0f64..400.0), 2..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn anneal_never_returns_a_worse_placement(
+        positions in arb_points(16),
+        seed in any::<u64>(),
+    ) {
+        let core = Rect::new(0.0, 0.0, 800.0, 400.0);
+        let n = positions.len();
+        // A ring of 2-pin nets.
+        let nets: Vec<Vec<PinRef>> =
+            (0..n).map(|i| vec![PinRef::Movable(i), PinRef::Movable((i + 1) % n)]).collect();
+        let mut p = positions;
+        let opts = AnnealOptions { seed, steps: 6, moves_per_cell: 4, ..AnnealOptions::for_core(core) };
+        let stats = anneal(&mut p, &nets, &[], &opts);
+        prop_assert!(stats.final_hpwl <= stats.initial_hpwl + 1e-9);
+        for pt in &p {
+            prop_assert!(core.contains(*pt));
+        }
+    }
+
+    #[test]
+    fn fm_never_increases_the_cut(
+        net_seeds in proptest::collection::vec((0usize..12, 0usize..12), 4..30),
+        sides in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let nets: Vec<Vec<usize>> = net_seeds
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| vec![a, b])
+            .collect();
+        prop_assume!(!nets.is_empty());
+        let inst = FmInstance { cells: 12, nets, weights: vec![1.0; 12] };
+        let mut side = sides;
+        let before = cut_size(&inst, &side);
+        let after = refine(&inst, &mut side, &FmOptions::default());
+        prop_assert!(after <= before, "cut grew: {before} -> {after}");
+        prop_assert_eq!(after, cut_size(&inst, &side));
+    }
+
+    #[test]
+    fn cg_solves_random_spd_systems(
+        diag in proptest::collection::vec(1.0f64..10.0, 3..10),
+        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 3..10),
+    ) {
+        let n = diag.len().min(rhs_seed.len());
+        let mut b = CsrBuilder::new(n);
+        // Diagonally dominant: diag + weak chain springs.
+        for (i, &d) in diag[..n].iter().enumerate() {
+            b.add(i, i, d + 2.0);
+        }
+        for i in 0..n - 1 {
+            b.add(i, i + 1, -1.0);
+            b.add(i + 1, i, -1.0);
+        }
+        let a = b.build();
+        let rhs = &rhs_seed[..n];
+        let (x, _) = conjugate_gradient(&a, rhs, &vec![0.0; n], 1e-10, 500);
+        // Residual must be tiny.
+        let mut ax = vec![0.0; n];
+        a.mul(&x, &mut ax);
+        for i in 0..n {
+            prop_assert!((ax[i] - rhs[i]).abs() < 1e-6, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn legalization_is_complete_and_in_core(
+        desired in arb_points(30),
+        width_seed in 12.0f64..48.0,
+    ) {
+        let n = desired.len();
+        let widths = vec![width_seed; n];
+        let core = Rect::new(0.0, 0.0, 3000.0, 600.0);
+        let legal = legalize(&widths, &desired, &LegalizeOptions {
+            core,
+            row_height: 100.0,
+            passes: 0,
+        });
+        let assigned: usize = legal.rows.iter().map(Vec::len).sum();
+        prop_assert_eq!(assigned, n);
+        for (r, cells) in legal.rows.iter().enumerate() {
+            for &c in cells {
+                prop_assert!((legal.positions[c].y - legal.row_y[r]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Half-perimeter wire length: the bounding-box lower bound used
+//! throughout the mapper's cost function.
+
+use lily_place::{Point, Rect};
+
+/// Half-perimeter of the bounding box of `pins`. Zero for nets with
+/// fewer than two pins.
+pub fn half_perimeter(pins: &[Point]) -> f64 {
+    Rect::bounding(pins.iter().copied()).map_or(0.0, |r| r.half_perimeter())
+}
+
+/// The horizontal and vertical extents `(X, Y)` of a net's bounding box
+/// — the quantities the paper's wiring capacitance `c_h·X + c_v·Y`
+/// consumes.
+pub fn net_extents(pins: &[Point]) -> (f64, f64) {
+    Rect::bounding(pins.iter().copied()).map_or((0.0, 0.0), |r| (r.width(), r.height()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_pin_nets() {
+        assert_eq!(half_perimeter(&[]), 0.0);
+        assert_eq!(half_perimeter(&[Point::new(3.0, 4.0)]), 0.0);
+        assert_eq!(net_extents(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn two_pin_net_is_manhattan_distance() {
+        let pins = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        assert!((half_perimeter(&pins) - 7.0).abs() < 1e-12);
+        assert_eq!(net_extents(&pins), (3.0, 4.0));
+    }
+
+    #[test]
+    fn interior_pins_do_not_grow_the_box() {
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(5.0, 5.0),
+            Point::new(2.0, 8.0),
+        ];
+        assert!((half_perimeter(&pins) - 20.0).abs() < 1e-12);
+    }
+}

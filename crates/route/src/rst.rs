@@ -1,0 +1,130 @@
+//! Rectilinear (Manhattan) minimum spanning trees.
+//!
+//! The paper's alternative wiring model (Section 3.4): *"finding the
+//! rectilinear spanning tree connecting all pins on a given net"*. Nets
+//! in this code base have at most a few hundred pins, so Prim's O(n²)
+//! algorithm with dense distance evaluation is the right tool.
+
+use lily_place::Point;
+
+/// Length of the rectilinear minimum spanning tree over `pins`.
+/// Zero for fewer than two pins.
+pub fn rst_length(pins: &[Point]) -> f64 {
+    rst_edges(pins).iter().map(|&(a, b)| pins[a].manhattan(pins[b])).sum()
+}
+
+/// The edge list `(parent, child)` of a rectilinear MST over `pins`
+/// (Prim's algorithm from pin 0). Empty for fewer than two pins.
+pub fn rst_edges(pins: &[Point]) -> Vec<(usize, usize)> {
+    let n = pins.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = pins[0].manhattan(pins[j]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < pick_d {
+                pick = j;
+                pick_d = best_dist[j];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        edges.push((best_parent[pick], pick));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = pins[pick].manhattan(pins[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_parent[j] = pick;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_nets() {
+        assert_eq!(rst_length(&[]), 0.0);
+        assert_eq!(rst_length(&[Point::new(1.0, 1.0)]), 0.0);
+        assert!(rst_edges(&[Point::new(1.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn two_pins() {
+        let pins = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        assert!((rst_length(&pins) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_pins_chain() {
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(2.0, 0.0),
+        ];
+        assert!((rst_length(&pins) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_shape() {
+        let pins = [Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(4.0, 3.0)];
+        assert!((rst_length(&pins) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_configuration() {
+        // Center plus 4 arms of length 5: MST = 20.
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(-5.0, 0.0),
+            Point::new(0.0, 5.0),
+            Point::new(0.0, -5.0),
+        ];
+        assert!((rst_length(&pins) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_form_spanning_tree() {
+        let pins: Vec<Point> =
+            (0..10).map(|i| Point::new((i * 7 % 10) as f64, (i * 3 % 10) as f64)).collect();
+        let edges = rst_edges(&pins);
+        assert_eq!(edges.len(), 9);
+        // Union-find connectivity check.
+        let mut parent: Vec<usize> = (0..10).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(a, b) in &edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            assert_ne!(ra, rb, "cycle in MST");
+            parent[ra] = rb;
+        }
+    }
+
+    #[test]
+    fn duplicate_points_cost_nothing() {
+        let pins = [Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(4.0, 1.0)];
+        assert!((rst_length(&pins) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Output load computation: fanout pin capacitances plus the lumped
+//! wiring capacitance of Section 4.2.
+
+use lily_cells::{Library, MappedNetwork, NetPins};
+use lily_place::Point;
+use lily_route::hpwl::net_extents;
+
+/// How wiring capacitance is charged to a net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireLoad {
+    /// Ignore wiring entirely (DAGON-style area flows).
+    None,
+    /// MIS 2.1's model: a user constant per fanout pin, `C_w = k·n`.
+    PerFanout(f64),
+    /// Lily's model: `C_w = c_h·X + c_v·Y` from the net's bounding box
+    /// extents, using cell/pad positions.
+    FromPlacement,
+}
+
+/// Lumped wiring capacitance of a net whose pins sit at `points`,
+/// in pF.
+pub fn net_wire_cap(load: WireLoad, lib: &Library, points: &[Point]) -> f64 {
+    match load {
+        WireLoad::None => 0.0,
+        WireLoad::PerFanout(k) => k * points.len().saturating_sub(1) as f64,
+        WireLoad::FromPlacement => {
+            let (x, y) = net_extents(points);
+            lib.technology().wire_cap(x, y)
+        }
+    }
+}
+
+/// All pin positions of a net (driver, cell sinks, primary-output pads).
+pub fn net_points(mapped: &MappedNetwork, net: &NetPins) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(1 + net.sinks.len() + net.output_sinks.len());
+    let (x, y) = mapped.source_position(net.source);
+    pts.push(Point::new(x, y));
+    for &(cell, _) in &net.sinks {
+        let (x, y) = mapped.cell(cell).position;
+        pts.push(Point::new(x, y));
+    }
+    for &oi in &net.output_sinks {
+        let (x, y) = mapped.output_positions[oi];
+        pts.push(Point::new(x, y));
+    }
+    pts
+}
+
+/// Total output load of a net, pF: the sum of the sink pin capacitances
+/// (`Σ C_j`) plus the wiring capacitance (`C_w`).
+pub fn output_load(load: WireLoad, lib: &Library, mapped: &MappedNetwork, net: &NetPins) -> f64 {
+    let pin_caps: f64 = net
+        .sinks
+        .iter()
+        .map(|&(cell, pin)| lib.gate(mapped.cell(cell).gate).pins()[pin].capacitance)
+        .sum();
+    let wire = match load {
+        WireLoad::None => 0.0,
+        WireLoad::PerFanout(k) => k * (net.sinks.len() + net.output_sinks.len()) as f64,
+        WireLoad::FromPlacement => {
+            let pts = net_points(mapped, net);
+            net_wire_cap(load, lib, &pts)
+        }
+    };
+    pin_caps + wire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_cells::{MappedCell, SignalSource};
+
+    fn mapped(lib: &Library) -> MappedNetwork {
+        let mut m = MappedNetwork::new("t", vec!["a".into(), "b".into()]);
+        m.input_positions = vec![(0.0, 0.0), (0.0, 100.0)];
+        let nand2 = lib.find("nand2").unwrap();
+        let inv = lib.inverter();
+        let c0 = m.add_cell(MappedCell {
+            gate: nand2,
+            fanins: vec![SignalSource::Input(0), SignalSource::Input(1)],
+            position: (200.0, 50.0),
+        });
+        let _c1 = m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(c0)],
+            position: (500.0, 50.0),
+        });
+        m.add_output("y", SignalSource::Cell(CellIdHelper::one()));
+        m.output_positions[0] = (900.0, 50.0);
+        m
+    }
+
+    // CellId's constructor is crate-private by design; tests go through
+    // the public from_index.
+    struct CellIdHelper;
+    impl CellIdHelper {
+        fn one() -> lily_cells::CellId {
+            lily_cells::CellId::from_index(1)
+        }
+    }
+
+    #[test]
+    fn pin_caps_sum() {
+        let lib = Library::tiny();
+        let m = mapped(&lib);
+        let nets = m.nets();
+        // The nand output net: one inv sink.
+        let net = nets
+            .iter()
+            .find(|n| matches!(n.source, SignalSource::Cell(c) if c.index() == 0))
+            .unwrap();
+        let load = output_load(WireLoad::None, &lib, &m, net);
+        assert!((load - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_fanout_model() {
+        let lib = Library::tiny();
+        let m = mapped(&lib);
+        let nets = m.nets();
+        let net = nets
+            .iter()
+            .find(|n| matches!(n.source, SignalSource::Cell(c) if c.index() == 1))
+            .unwrap();
+        // inv drives only the PO: one fanout.
+        let load = output_load(WireLoad::PerFanout(0.1), &lib, &m, net);
+        assert!((load - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_model_charges_extents() {
+        let lib = Library::tiny();
+        let m = mapped(&lib);
+        let nets = m.nets();
+        let net = nets
+            .iter()
+            .find(|n| matches!(n.source, SignalSource::Cell(c) if c.index() == 1))
+            .unwrap();
+        // inv at (500,50) driving pad at (900,50): X extent 400, Y 0.
+        let load = output_load(WireLoad::FromPlacement, &lib, &m, net);
+        let expect = lib.technology().wire_cap(400.0, 0.0);
+        assert!((load - expect).abs() < 1e-12, "load {load} expect {expect}");
+    }
+
+    #[test]
+    fn input_net_points_include_pad() {
+        let lib = Library::tiny();
+        let m = mapped(&lib);
+        let nets = m.nets();
+        let a_net = nets.iter().find(|n| n.source == SignalSource::Input(0)).unwrap();
+        let pts = net_points(&m, a_net);
+        assert_eq!(pts.len(), 2); // pad + nand sink
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic random multi-level logic generator.
+//!
+//! Generates "optimized" combinational networks with the structural
+//! character of MCNC-era benchmarks: mostly 2–4-input AND/OR/NAND/NOR
+//! nodes with a sprinkle of XOR, locality-biased fanin selection (recent
+//! signals are preferred, giving layered logic), occasional long-range
+//! edges (reconvergent fanout), and shared nodes feeding several
+//! consumers.
+
+use lily_netlist::{Network, NodeFunc, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenOptions {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Internal node budget (network nodes, pre-decomposition).
+    pub internal_nodes: usize,
+    /// Maximum node fanin (≥ 2).
+    pub max_fanin: usize,
+    /// Locality bias: probability a fanin is drawn from the recent
+    /// window rather than uniformly (reconvergence comes from the
+    /// uniform draws).
+    pub locality: f64,
+    /// RNG seed (everything is deterministic in the seed).
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            inputs: 8,
+            outputs: 4,
+            internal_nodes: 40,
+            max_fanin: 4,
+            locality: 0.8,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated network plus its options (for reporting).
+#[derive(Debug, Clone)]
+pub struct RandomNetwork {
+    /// The generated network (already swept of dangling logic).
+    pub network: Network,
+    /// The options used.
+    pub options: GenOptions,
+}
+
+/// Generates a random network per `options`.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `outputs == 0` or `max_fanin < 2`
+/// (generator misuse, not data errors).
+pub fn generate(options: GenOptions) -> RandomNetwork {
+    assert!(options.inputs > 0, "need at least one input");
+    assert!(options.outputs > 0, "need at least one output");
+    assert!(options.max_fanin >= 2, "max fanin must be at least 2");
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut net = Network::new(format!("gen{}", options.seed));
+    let mut signals: Vec<NodeId> =
+        (0..options.inputs).map(|i| net.add_input(format!("pi{i}"))).collect();
+
+    for i in 0..options.internal_nodes {
+        let k = rng.gen_range(2..=options.max_fanin.min(signals.len().max(2)));
+        let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while fanins.len() < k && guard < 100 {
+            guard += 1;
+            let idx = if rng.gen_bool(options.locality) && signals.len() > 8 {
+                // Recent window: geometric-ish bias toward the newest
+                // quarter of the signal pool.
+                let window = (signals.len() / 4).max(4);
+                signals.len() - 1 - rng.gen_range(0..window)
+            } else {
+                rng.gen_range(0..signals.len())
+            };
+            let s = signals[idx];
+            if !fanins.contains(&s) {
+                fanins.push(s);
+            }
+        }
+        if fanins.len() < 2 {
+            // Degenerate pool; fall back to an inverter of something.
+            let s = signals[rng.gen_range(0..signals.len())];
+            let id = net
+                .add_node(format!("n{i}"), NodeFunc::Inv, vec![s])
+                .expect("generator produces valid nodes");
+            signals.push(id);
+            continue;
+        }
+        let func = pick_func(&mut rng);
+        let id = net
+            .add_node(format!("n{i}"), func, fanins)
+            .expect("generator produces valid nodes");
+        signals.push(id);
+    }
+
+    // Outputs: prefer nodes nobody reads (so the network stays live),
+    // then fill from the most recent signals.
+    let fanout = net.fanout_counts();
+    let mut unread: Vec<NodeId> = net
+        .node_ids()
+        .filter(|id| !net.node(*id).is_input() && fanout[id.index()] == 0)
+        .collect();
+    // Newest first, so deep logic reaches the outputs.
+    unread.reverse();
+    let mut drivers: Vec<NodeId> = Vec::with_capacity(options.outputs);
+    for id in unread.into_iter().take(options.outputs) {
+        drivers.push(id);
+    }
+    let mut cursor = signals.len();
+    while drivers.len() < options.outputs && cursor > 0 {
+        cursor -= 1;
+        let s = signals[cursor];
+        if !net.node(s).is_input() && !drivers.contains(&s) {
+            drivers.push(s);
+        }
+    }
+    // Tiny networks may still be short; reuse drivers cyclically.
+    let mut i = 0;
+    while drivers.len() < options.outputs {
+        let d = drivers[i % drivers.len().max(1)];
+        drivers.push(d);
+        i += 1;
+    }
+    for (oi, d) in drivers.into_iter().enumerate() {
+        net.add_output(format!("po{oi}"), d);
+    }
+    net.sweep_dangling();
+    RandomNetwork { network: net, options }
+}
+
+fn pick_func(rng: &mut StdRng) -> NodeFunc {
+    match rng.gen_range(0..100) {
+        0..=24 => NodeFunc::And,
+        25..=49 => NodeFunc::Or,
+        50..=69 => NodeFunc::Nand,
+        70..=89 => NodeFunc::Nor,
+        90..=95 => NodeFunc::Xor,
+        _ => NodeFunc::Xnor,
+    }
+}
+
+/// Generates a network whose *subject graph* lands near
+/// `target_base_gates` NAND2/INV nodes, by sizing the internal-node
+/// budget with the measured expansion ratio and refining once.
+pub fn generate_sized(
+    inputs: usize,
+    outputs: usize,
+    target_base_gates: usize,
+    seed: u64,
+) -> RandomNetwork {
+    use lily_netlist::decompose::{decompose, DecomposeOrder};
+    // First guess: a network node expands to ~2 base gates on average.
+    let mut budget = (target_base_gates as f64 / 2.0).ceil() as usize;
+    budget = budget.max(outputs).max(4);
+    let mut best = generate(GenOptions {
+        inputs,
+        outputs,
+        internal_nodes: budget,
+        seed,
+        ..GenOptions::default()
+    });
+    for _ in 0..3 {
+        let g = decompose(&best.network, DecomposeOrder::Balanced)
+            .expect("generated networks decompose");
+        let got = g.base_gate_count().max(1);
+        let err = got as f64 / target_base_gates as f64;
+        if (0.85..=1.15).contains(&err) {
+            break;
+        }
+        budget = ((budget as f64) / err).ceil() as usize;
+        budget = budget.max(outputs).max(4);
+        best = generate(GenOptions {
+            inputs,
+            outputs,
+            internal_nodes: budget,
+            seed,
+            ..GenOptions::default()
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::decompose::{decompose, DecomposeOrder};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(GenOptions::default());
+        let b = generate(GenOptions::default());
+        assert_eq!(a.network, b.network);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(GenOptions { seed: 1, ..GenOptions::default() });
+        let b = generate(GenOptions { seed: 2, ..GenOptions::default() });
+        assert_ne!(a.network, b.network);
+    }
+
+    #[test]
+    fn io_counts_are_exact() {
+        let o = GenOptions { inputs: 13, outputs: 7, internal_nodes: 60, ..GenOptions::default() };
+        let n = generate(o).network;
+        assert_eq!(n.input_count(), 13);
+        assert_eq!(n.output_count(), 7);
+    }
+
+    #[test]
+    fn networks_decompose_cleanly() {
+        for seed in 0..5 {
+            let n = generate(GenOptions { seed, ..GenOptions::default() }).network;
+            let g = decompose(&n, DecomposeOrder::Balanced).expect("decomposes");
+            assert!(g.base_gate_count() > 0);
+            assert!(lily_netlist::sim::equiv_network_subject(&n, &g, 128, seed));
+        }
+    }
+
+    #[test]
+    fn no_dangling_logic_remains() {
+        let n = generate(GenOptions { internal_nodes: 100, ..GenOptions::default() }).network;
+        let fanout = n.fanout_counts();
+        let orefs = n.output_refs();
+        for id in n.node_ids() {
+            if !n.node(id).is_input() {
+                assert!(
+                    fanout[id.index()] + orefs[id.index()] > 0,
+                    "dangling node {}",
+                    n.node(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sized_generation_hits_target() {
+        for (target, seed) in [(150usize, 3u64), (600, 4), (1500, 5)] {
+            let n = generate_sized(30, 20, target, seed);
+            let g = decompose(&n.network, DecomposeOrder::Balanced).unwrap();
+            let got = g.base_gate_count();
+            let ratio = got as f64 / target as f64;
+            assert!(
+                (0.6..=1.5).contains(&ratio),
+                "target {target}, got {got} base gates"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_multi_level() {
+        let n = generate(GenOptions { internal_nodes: 200, ..GenOptions::default() }).network;
+        assert!(n.depth() >= 5, "depth {}", n.depth());
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark workloads: synthetic stand-ins for the MCNC / ISCAS-85
+//! circuits of the paper's Section 5 evaluation.
+//!
+//! The original BLIF netlists (9symml, C432, …, misex3) are not
+//! redistributable here, so [`circuits`] generates deterministic
+//! synthetic equivalents matched to the published primary-input /
+//! primary-output counts and to the approximate optimized-network size
+//! of each circuit (calibrated from Table 1's instance-area column
+//! against the paper's statement that C5315's inchoate network has 1892
+//! gates). The mapper experiments only need optimized multi-level
+//! combinational networks of those sizes and shapes; the MIS-vs-Lily
+//! *comparison* is what the paper claims, and it is preserved under
+//! this substitution (see DESIGN.md).
+//!
+//! [`gen`] provides the underlying random-logic builder, and
+//! [`structured`] a handful of regular circuits (adders, parity trees,
+//! decoders, multiplexer trees) used by the examples and tests.
+
+pub mod circuits;
+pub mod gen;
+pub mod structured;
+
+pub use circuits::{circuit, circuit_names, CircuitSpec};
+pub use gen::{GenOptions, RandomNetwork};

@@ -1,0 +1,451 @@
+//! Structured circuits: regular datapath and control blocks used by the
+//! examples, tests, and the 9symml workload.
+
+use lily_netlist::{Network, NodeFunc, NodeId};
+
+/// A `width`-bit ripple-carry adder (`a`, `b`, `cin` → `sum`, `cout`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(width: usize) -> Network {
+    assert!(width > 0, "adder needs at least one bit");
+    let mut net = Network::new(format!("rca{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+    let mut carry = net.add_input("cin");
+    for i in 0..width {
+        let axb = net.add_node(format!("axb{i}"), NodeFunc::Xor, vec![a[i], b[i]]).unwrap();
+        let sum = net.add_node(format!("s{i}"), NodeFunc::Xor, vec![axb, carry]).unwrap();
+        let ab = net.add_node(format!("ab{i}"), NodeFunc::And, vec![a[i], b[i]]).unwrap();
+        let ac = net.add_node(format!("ac{i}"), NodeFunc::And, vec![axb, carry]).unwrap();
+        carry = net.add_node(format!("c{i}"), NodeFunc::Or, vec![ab, ac]).unwrap();
+        net.add_output(format!("sum{i}"), sum);
+    }
+    net.add_output("cout", carry);
+    net
+}
+
+/// A `width`-input parity (XOR) tree.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn parity_tree(width: usize) -> Network {
+    assert!(width >= 2, "parity needs at least two inputs");
+    let mut net = Network::new(format!("parity{width}"));
+    let ins: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("i{i}"))).collect();
+    let o = net.add_node("p", NodeFunc::Xor, ins).unwrap();
+    net.add_output("parity", o);
+    net
+}
+
+/// An `n`-to-2ⁿ decoder.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 6`.
+pub fn decoder(n: usize) -> Network {
+    assert!((1..=6).contains(&n), "decoder select width out of range");
+    let mut net = Network::new(format!("dec{n}"));
+    let sel: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("s{i}"))).collect();
+    let nsel: Vec<NodeId> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| net.add_node(format!("ns{i}"), NodeFunc::Inv, vec![s]).unwrap())
+        .collect();
+    for row in 0..(1usize << n) {
+        let lits: Vec<NodeId> =
+            (0..n).map(|b| if (row >> b) & 1 == 1 { sel[b] } else { nsel[b] }).collect();
+        let o = if n == 1 {
+            lits[0]
+        } else {
+            net.add_node(format!("d{row}"), NodeFunc::And, lits).unwrap()
+        };
+        net.add_output(format!("o{row}"), o);
+    }
+    net
+}
+
+/// A multiplexer tree: 2ˢ data inputs, `s` select lines, one output.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s > 5`.
+pub fn mux_tree(s: usize) -> Network {
+    assert!((1..=5).contains(&s), "mux select width out of range");
+    let mut net = Network::new(format!("mux{}", 1 << s));
+    let data: Vec<NodeId> = (0..(1 << s)).map(|i| net.add_input(format!("d{i}"))).collect();
+    let sel: Vec<NodeId> = (0..s).map(|i| net.add_input(format!("s{i}"))).collect();
+    let mut layer = data;
+    for (level, &sl) in sel.iter().enumerate() {
+        let nsl = net.add_node(format!("ns{level}"), NodeFunc::Inv, vec![sl]).unwrap();
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (pair, ch) in layer.chunks(2).enumerate() {
+            let lo =
+                net.add_node(format!("lo{level}_{pair}"), NodeFunc::And, vec![ch[0], nsl]).unwrap();
+            let hi =
+                net.add_node(format!("hi{level}_{pair}"), NodeFunc::And, vec![ch[1], sl]).unwrap();
+            let or =
+                net.add_node(format!("m{level}_{pair}"), NodeFunc::Or, vec![lo, hi]).unwrap();
+            next.push(or);
+        }
+        layer = next;
+    }
+    net.add_output("y", layer[0]);
+    net
+}
+
+/// A `width × width` array multiplier (`a`, `b` → `p`, 2·width product
+/// bits), built from AND partial products and ripple carry-save rows.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 8`.
+pub fn array_multiplier(width: usize) -> Network {
+    assert!((1..=8).contains(&width), "multiplier width out of range");
+    let mut net = Network::new(format!("mult{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+
+    // Partial products.
+    let mut pp = vec![vec![None; 2 * width]; width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = net.add_node(format!("pp{i}_{j}"), NodeFunc::And, vec![ai, bj]).unwrap();
+            pp[i][i + j] = Some(p);
+        }
+    }
+
+    // Ripple accumulation row by row.
+    let mut acc: Vec<Option<NodeId>> = pp[0].clone();
+    let mut counter = 0usize;
+    for row in pp.iter().skip(1) {
+        let mut carry: Option<NodeId> = None;
+        for col in 0..2 * width {
+            let bits: Vec<NodeId> =
+                [acc[col], row[col], carry.take()].into_iter().flatten().collect();
+            match bits.len() {
+                0 => acc[col] = None,
+                1 => acc[col] = Some(bits[0]),
+                2 => {
+                    counter += 1;
+                    let s = net
+                        .add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone())
+                        .unwrap();
+                    let c = net.add_node(format!("c{counter}"), NodeFunc::And, bits).unwrap();
+                    acc[col] = Some(s);
+                    carry = Some(c);
+                }
+                _ => {
+                    counter += 1;
+                    let s = net
+                        .add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone())
+                        .unwrap();
+                    // Majority carry.
+                    let ab = net
+                        .add_node(format!("cab{counter}"), NodeFunc::And, vec![bits[0], bits[1]])
+                        .unwrap();
+                    let ac = net
+                        .add_node(format!("cac{counter}"), NodeFunc::And, vec![bits[0], bits[2]])
+                        .unwrap();
+                    let bc = net
+                        .add_node(format!("cbc{counter}"), NodeFunc::And, vec![bits[1], bits[2]])
+                        .unwrap();
+                    let c = net
+                        .add_node(format!("c{counter}"), NodeFunc::Or, vec![ab, ac, bc])
+                        .unwrap();
+                    acc[col] = Some(s);
+                    carry = Some(c);
+                }
+            }
+        }
+        debug_assert!(carry.is_none(), "carry out of product range");
+    }
+    let zero_needed = acc.iter().any(Option::is_none);
+    let zero = if zero_needed {
+        // A constant-0 driver built from an input (x AND !x is avoided —
+        // use the convention that missing bits are tied via the lowest
+        // partial product XOR itself = 0: x XOR x).
+        let x = a[0];
+        Some(net.add_node("zero", NodeFunc::Xor, vec![x, x]).unwrap())
+    } else {
+        None
+    };
+    for (col, bit) in acc.iter().enumerate() {
+        let driver = bit.or(zero).expect("zero available when needed");
+        net.add_output(format!("p{col}"), driver);
+    }
+    net
+}
+
+/// A logarithmic barrel shifter: 2ˢ data bits rotated left by an
+/// `s`-bit amount.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or `s > 4`.
+pub fn barrel_shifter(s: usize) -> Network {
+    assert!((1..=4).contains(&s), "shifter select width out of range");
+    let n = 1usize << s;
+    let mut net = Network::new(format!("bshift{n}"));
+    let mut data: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("d{i}"))).collect();
+    let sel: Vec<NodeId> = (0..s).map(|i| net.add_input(format!("s{i}"))).collect();
+    for (level, &sl) in sel.iter().enumerate() {
+        let shift = 1usize << level;
+        let nsl = net.add_node(format!("ns{level}"), NodeFunc::Inv, vec![sl]).unwrap();
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let stay =
+                net.add_node(format!("st{level}_{i}"), NodeFunc::And, vec![data[i], nsl]).unwrap();
+            let moved = net
+                .add_node(
+                    format!("mv{level}_{i}"),
+                    NodeFunc::And,
+                    vec![data[(i + n - shift) % n], sl],
+                )
+                .unwrap();
+            let or = net.add_node(format!("r{level}_{i}"), NodeFunc::Or, vec![stay, moved]).unwrap();
+            next.push(or);
+        }
+        data = next;
+    }
+    for (i, &d) in data.iter().enumerate() {
+        net.add_output(format!("q{i}"), d);
+    }
+    net
+}
+
+/// A `width`-bit magnitude comparator (`a`, `b` → `lt`, `eq`, `gt`).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 8`.
+pub fn comparator(width: usize) -> Network {
+    assert!((1..=8).contains(&width), "comparator width out of range");
+    let mut net = Network::new(format!("cmp{width}"));
+    let a: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| net.add_input(format!("b{i}"))).collect();
+    // Walk from the MSB down, tracking "all higher bits equal".
+    let mut lt_terms = Vec::new();
+    let mut gt_terms = Vec::new();
+    let mut eq_chain: Option<NodeId> = None;
+    for i in (0..width).rev() {
+        let nb = net.add_node(format!("nb{i}"), NodeFunc::Inv, vec![b[i]]).unwrap();
+        let na = net.add_node(format!("na{i}"), NodeFunc::Inv, vec![a[i]]).unwrap();
+        let gt_here = net.add_node(format!("g{i}"), NodeFunc::And, vec![a[i], nb]).unwrap();
+        let lt_here = net.add_node(format!("l{i}"), NodeFunc::And, vec![na, b[i]]).unwrap();
+        let eq_here = net.add_node(format!("e{i}"), NodeFunc::Xnor, vec![a[i], b[i]]).unwrap();
+        let (gt_term, lt_term) = match eq_chain {
+            None => (gt_here, lt_here),
+            Some(eq) => (
+                net.add_node(format!("gq{i}"), NodeFunc::And, vec![eq, gt_here]).unwrap(),
+                net.add_node(format!("lq{i}"), NodeFunc::And, vec![eq, lt_here]).unwrap(),
+            ),
+        };
+        gt_terms.push(gt_term);
+        lt_terms.push(lt_term);
+        eq_chain = Some(match eq_chain {
+            None => eq_here,
+            Some(eq) => net.add_node(format!("eqc{i}"), NodeFunc::And, vec![eq, eq_here]).unwrap(),
+        });
+    }
+    let gt = if gt_terms.len() == 1 {
+        gt_terms[0]
+    } else {
+        net.add_node("gt_or", NodeFunc::Or, gt_terms).unwrap()
+    };
+    let lt = if lt_terms.len() == 1 {
+        lt_terms[0]
+    } else {
+        net.add_node("lt_or", NodeFunc::Or, lt_terms).unwrap()
+    };
+    net.add_output("lt", lt);
+    net.add_output("eq", eq_chain.expect("width >= 1"));
+    net.add_output("gt", gt);
+    net
+}
+
+/// The 9symml function: output 1 iff the number of true inputs among
+/// the nine is between 3 and 6 inclusive — the actual MCNC benchmark
+/// function, built as a bit counter plus a range comparator.
+pub fn symml9() -> Network {
+    let mut net = Network::new("9symml");
+    let ins: Vec<NodeId> = (0..9).map(|i| net.add_input(format!("i{i}"))).collect();
+
+    // Full-adder compress three bits into (sum, carry).
+    let mut counter = 0usize;
+    let mut full_add = |net: &mut Network, a: NodeId, b: NodeId, c: NodeId| -> (NodeId, NodeId) {
+        counter += 1;
+        let t = net.add_node(format!("fa_t{counter}"), NodeFunc::Xor, vec![a, b]).unwrap();
+        let s = net.add_node(format!("fa_s{counter}"), NodeFunc::Xor, vec![t, c]).unwrap();
+        let ab = net.add_node(format!("fa_ab{counter}"), NodeFunc::And, vec![a, b]).unwrap();
+        let tc = net.add_node(format!("fa_tc{counter}"), NodeFunc::And, vec![t, c]).unwrap();
+        let co = net.add_node(format!("fa_c{counter}"), NodeFunc::Or, vec![ab, tc]).unwrap();
+        (s, co)
+    };
+
+    // Three full adders compress 9 bits into 3 sums + 3 carries.
+    let (s0, c0) = full_add(&mut net, ins[0], ins[1], ins[2]);
+    let (s1, c1) = full_add(&mut net, ins[3], ins[4], ins[5]);
+    let (s2, c2) = full_add(&mut net, ins[6], ins[7], ins[8]);
+    // Sum the three ones-weighted bits and three twos-weighted bits.
+    let (b0, c3) = full_add(&mut net, s0, s1, s2); // bit0 + carry into twos
+    let (t0, c4) = full_add(&mut net, c0, c1, c2); // twos sum + carry into fours
+    // twos column: t0 + c3
+    let b1 = net.add_node("b1", NodeFunc::Xor, vec![t0, c3]).unwrap();
+    let c5 = net.add_node("c5", NodeFunc::And, vec![t0, c3]).unwrap();
+    // fours column: c4 + c5
+    let b2 = net.add_node("b2", NodeFunc::Xor, vec![c4, c5]).unwrap();
+    let b3 = net.add_node("b3", NodeFunc::And, vec![c4, c5]).unwrap();
+
+    // count = b3 b2 b1 b0 (0..=9). Output 1 iff 3 <= count <= 6:
+    // count >= 3: b3 | b2 | (b1 & b0)
+    // count <= 6: !(count >= 7) = !(b3 | (b2 & b1 & b0))  (7 = 0111)
+    let b1b0 = net.add_node("b1b0", NodeFunc::And, vec![b1, b0]).unwrap();
+    let ge3 = net.add_node("ge3", NodeFunc::Or, vec![b3, b2, b1b0]).unwrap();
+    let b210 = net.add_node("b210", NodeFunc::And, vec![b2, b1, b0]).unwrap();
+    let le6a = net.add_node("le6a", NodeFunc::Nor, vec![b3, b210]).unwrap();
+    let out = net.add_node("out", NodeFunc::And, vec![ge3, le6a]).unwrap();
+    net.add_output("z", out);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::sim::{exhaustive_word, simulate_network64};
+
+    #[test]
+    fn adder_adds() {
+        let net = ripple_carry_adder(3);
+        // inputs: a0..a2, b0..b2, cin — 128 rows span two 64-lane words.
+        for w in 0..2usize {
+            let words: Vec<u64> = (0..7).map(|i| exhaustive_word(i, w)).collect();
+            let out = simulate_network64(&net, &words);
+            for lane in 0..64u64 {
+                let row = w as u64 * 64 + lane;
+                let a = row & 0b111;
+                let b = (row >> 3) & 0b111;
+                let cin = (row >> 6) & 1;
+                let total = a + b + cin;
+                for bit in 0..3 {
+                    let got = (out[bit] >> lane) & 1;
+                    assert_eq!(got, (total >> bit) & 1, "sum bit {bit} row {row}");
+                }
+                let cout = (out[3] >> lane) & 1;
+                assert_eq!(cout, (total >> 3) & 1, "cout row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_is_parity() {
+        let net = parity_tree(5);
+        let words: Vec<u64> = (0..5).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words)[0];
+        for row in 0..32u64 {
+            assert_eq!((out >> row) & 1 == 1, row.count_ones() % 2 == 1, "row {row}");
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let net = decoder(3);
+        let words: Vec<u64> = (0..3).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words);
+        for row in 0..8u64 {
+            for (o, w) in out.iter().enumerate() {
+                assert_eq!((w >> row) & 1 == 1, o as u64 == row, "row {row} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let net = mux_tree(2);
+        // inputs: d0..d3, s0, s1
+        let words: Vec<u64> = (0..6).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words)[0];
+        for row in 0..64u64 {
+            let sel = ((row >> 4) & 1) | (((row >> 5) & 1) << 1);
+            let expect = (row >> sel) & 1;
+            assert_eq!((out >> row) & 1, expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let net = array_multiplier(3);
+        // inputs a0..a2, b0..b2 -> 64 rows fit one word.
+        let words: Vec<u64> = (0..6).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words);
+        for row in 0..64u64 {
+            let a = row & 0b111;
+            let b = (row >> 3) & 0b111;
+            let p = a * b;
+            for (bit, w) in out.iter().enumerate() {
+                assert_eq!((w >> row) & 1, (p >> bit) & 1, "a={a} b={b} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let net = barrel_shifter(2);
+        // inputs d0..d3, s0, s1
+        let words: Vec<u64> = (0..6).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words);
+        for row in 0..64u64 {
+            let d = row & 0b1111;
+            let s = ((row >> 4) & 0b11) as u32;
+            let rotated = ((d << s) | (d >> (4 - s as u64).min(63))) & 0b1111;
+            let rotated = if s == 0 { d } else { rotated };
+            for (bit, w) in out.iter().enumerate() {
+                assert_eq!((w >> row) & 1, (rotated >> bit) & 1, "d={d:04b} s={s} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let net = comparator(3);
+        let words: Vec<u64> = (0..6).map(|i| exhaustive_word(i, 0)).collect();
+        let out = simulate_network64(&net, &words);
+        for row in 0..64u64 {
+            let a = row & 0b111;
+            let b = (row >> 3) & 0b111;
+            assert_eq!((out[0] >> row) & 1 == 1, a < b, "lt a={a} b={b}");
+            assert_eq!((out[1] >> row) & 1 == 1, a == b, "eq a={a} b={b}");
+            assert_eq!((out[2] >> row) & 1 == 1, a > b, "gt a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn structured_circuits_decompose() {
+        use lily_netlist::decompose::{decompose, DecomposeOrder};
+        use lily_netlist::sim::equiv_network_subject;
+        for net in [array_multiplier(4), barrel_shifter(3), comparator(4)] {
+            let g = decompose(&net, DecomposeOrder::Balanced).expect("decomposes");
+            assert!(equiv_network_subject(&net, &g, 256, 77), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn symml9_is_the_symmetric_range_function() {
+        let net = symml9();
+        let words: Vec<u64> = (0..9).map(|i| exhaustive_word(i, 0)).collect();
+        // 512 rows span 8 words of 64 lanes.
+        for w in 0..8 {
+            let ws: Vec<u64> = (0..9).map(|i| exhaustive_word(i, w)).collect();
+            let out = simulate_network64(&net, &ws)[0];
+            for lane in 0..64u64 {
+                let row = w as u64 * 64 + lane;
+                let ones = (0..9).filter(|&b| (row >> b) & 1 == 1).count();
+                let expect = (3..=6).contains(&ones);
+                assert_eq!((out >> lane) & 1 == 1, expect, "row {row}");
+            }
+        }
+        let _ = words;
+    }
+}

@@ -1,0 +1,52 @@
+//! The tiny-vs-big library experiment from the opening of the paper's
+//! Section 5: *"mapping with the tiny library contains many more gates
+//! and nets … The big library has much smaller active cell area, but
+//! its routing complexity is high."* Lily with the big library should
+//! land between the two: fewer gates than tiny, less wire than a
+//! wire-blind big-library mapping.
+//!
+//! Run with `cargo run --release --example library_tradeoff`.
+
+use lily::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = lily::workloads::circuits::c1908();
+    let tiny = Library::tiny();
+    let big = Library::big();
+
+    let mis_tiny = FlowOptions::mis_area().run(&network, &tiny)?;
+    let mis_big = FlowOptions::mis_area().run(&network, &big)?;
+    let lily_big = FlowOptions::lily_area().run(&network, &big)?;
+
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>10}",
+        "flow / library", "cells", "inst mm²", "chip mm²", "wire mm"
+    );
+    for (label, m) in [
+        ("MIS + tiny", &mis_tiny),
+        ("MIS + big", &mis_big),
+        ("Lily + big", &lily_big),
+    ] {
+        println!(
+            "{:<18} {:>7} {:>12.3} {:>12.3} {:>10.1}",
+            label,
+            m.cells,
+            m.instance_area_mm2(),
+            m.chip_area_mm2(),
+            m.wire_length_mm()
+        );
+    }
+
+    // The paper's prediction: W_lily <= min(W_tiny, W_big) when the
+    // routing complexity is high, with gate count in between.
+    println!(
+        "\ngate count: tiny {} > lily {} (expected ordering: tiny > lily ~ big)",
+        mis_tiny.cells, lily_big.cells
+    );
+    println!(
+        "wire: lily {:.1} mm vs min(tiny, big) = {:.1} mm",
+        lily_big.wire_length_mm(),
+        mis_tiny.wire_length_mm().min(mis_big.wire_length_mm())
+    );
+    Ok(())
+}

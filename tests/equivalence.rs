@@ -1,0 +1,133 @@
+//! The fundamental correctness invariant of a technology mapper: the
+//! mapped netlist computes the same function as the network it was
+//! mapped from — across mappers, modes, partitions, libraries, and
+//! workloads.
+
+use lily::cells::mapped::equiv_mapped_subject;
+use lily::cells::Library;
+use lily::core::{LilyMapper, MapMode, MisMapper, Partition};
+use lily::netlist::decompose::{decompose, DecomposeOrder};
+use lily::netlist::sim::equiv_network_subject;
+use lily::place::Point;
+use lily::workloads::gen::{generate, GenOptions};
+use lily::workloads::{circuits, structured};
+
+fn grid_placement(g: &lily::netlist::SubjectGraph) -> (Vec<Point>, Vec<Point>) {
+    let place: Vec<Point> = (0..g.node_count())
+        .map(|i| Point::new((i % 16) as f64 * 30.0, (i / 16) as f64 * 30.0))
+        .collect();
+    let pads: Vec<Point> =
+        (0..g.outputs().len()).map(|i| Point::new(600.0, i as f64 * 40.0)).collect();
+    (place, pads)
+}
+
+#[test]
+fn decomposition_preserves_function_on_all_named_circuits() {
+    for name in circuits::circuit_names() {
+        let net = circuits::circuit(name);
+        for order in [DecomposeOrder::Balanced, DecomposeOrder::Chain] {
+            let g = decompose(&net, order).expect("decomposes");
+            assert!(equiv_network_subject(&net, &g, 192, 0xABCD), "{name} {order:?}");
+        }
+    }
+}
+
+#[test]
+fn mis_mapping_preserves_function_small_circuits() {
+    let big = Library::big();
+    let tiny = Library::tiny();
+    for name in ["misex1", "b9", "9symml", "apex7"] {
+        let net = circuits::circuit(name);
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        for lib in [&big, &tiny] {
+            for mode in [MapMode::Area, MapMode::Delay] {
+                for partition in [Partition::Cones, Partition::Trees] {
+                    let r = MisMapper::new(lib)
+                        .mode(mode)
+                        .partition(partition)
+                        .map(&g)
+                        .expect("maps");
+                    assert!(
+                        equiv_mapped_subject(&g, &r.mapped, lib, 192, 7),
+                        "{name} {mode:?} {partition:?} {}",
+                        lib.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lily_mapping_preserves_function_small_circuits() {
+    let lib = Library::big();
+    for name in ["misex1", "b9", "9symml"] {
+        let net = circuits::circuit(name);
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        let (place, pads) = grid_placement(&g);
+        for mode in [MapMode::Area, MapMode::Delay] {
+            let r = LilyMapper::new(&lib)
+                .mode(mode)
+                .map(&g, &place, &pads)
+                .expect("maps");
+            assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 192, 13), "{name} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn structured_circuits_map_correctly() {
+    let lib = Library::big();
+    for net in [
+        structured::ripple_carry_adder(4),
+        structured::parity_tree(7),
+        structured::decoder(4),
+        structured::mux_tree(3),
+        structured::symml9(),
+    ] {
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        let r = MisMapper::new(&lib).map(&g).unwrap();
+        assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 256, 3), "{}", net.name());
+        let (place, pads) = grid_placement(&g);
+        let rl = LilyMapper::new(&lib).map(&g, &place, &pads).unwrap();
+        assert!(equiv_mapped_subject(&g, &rl.mapped, &lib, 256, 4), "lily {}", net.name());
+    }
+}
+
+#[test]
+fn random_networks_map_correctly_many_seeds() {
+    let lib = Library::big();
+    for seed in 0..12 {
+        let net = generate(GenOptions {
+            inputs: 10,
+            outputs: 6,
+            internal_nodes: 60,
+            seed,
+            ..GenOptions::default()
+        })
+        .network;
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        let r = MisMapper::new(&lib).map(&g).unwrap();
+        assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 256, seed), "mis seed {seed}");
+        let (place, pads) = grid_placement(&g);
+        let rl = LilyMapper::new(&lib).map(&g, &place, &pads).unwrap();
+        assert!(equiv_mapped_subject(&g, &rl.mapped, &lib, 256, seed), "lily seed {seed}");
+    }
+}
+
+#[test]
+fn life_cycle_invariant_holds_across_workloads() {
+    // Every hatch commits exactly once: hatched == hawks + doves.
+    let lib = Library::big();
+    for name in ["misex1", "b9", "9symml", "apex7"] {
+        let net = circuits::circuit(name);
+        let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
+        let r = MisMapper::new(&lib).map(&g).unwrap();
+        let lc = r.stats.lifecycle;
+        assert_eq!(lc.hatched, lc.hawks + lc.doves, "{name}: {lc:?}");
+        let (place, pads) = grid_placement(&g);
+        let rl = LilyMapper::new(&lib).map(&g, &place, &pads).unwrap();
+        let lc = rl.stats.lifecycle;
+        assert_eq!(lc.hatched, lc.hawks + lc.doves, "lily {name}: {lc:?}");
+    }
+}
