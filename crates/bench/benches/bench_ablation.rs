@@ -3,7 +3,7 @@
 //! Manhattan median, the two wire models of §3.4, cone ordering on/off,
 //! and tree vs cone partitioning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_bench::harness::Harness;
 use lily_cells::Library;
 use lily_core::flow::FlowOptions;
 use lily_core::{LayoutOptions, Partition, PositionUpdate};
@@ -11,12 +11,11 @@ use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_route::WireModel;
 use lily_workloads::circuits;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let lib = Library::big();
     let net = circuits::circuit("C432");
     let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
-    let mut group = c.benchmark_group("lily_ablation");
-    group.sample_size(10);
 
     for (label, update) in [
         ("cm_merged", PositionUpdate::CmMerged),
@@ -27,8 +26,8 @@ fn bench_ablation(c: &mut Criterion) {
             layout: LayoutOptions { position_update: update, ..LayoutOptions::default() },
             ..FlowOptions::lily_area()
         };
-        group.bench_with_input(BenchmarkId::new("position", label), &g, |b, g| {
-            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        h.bench("lily_ablation", &format!("position/{label}"), || {
+            opts.run_subject(&g, &lib).unwrap().metrics
         });
     }
 
@@ -40,8 +39,8 @@ fn bench_ablation(c: &mut Criterion) {
             layout: LayoutOptions { wire_model: model, ..LayoutOptions::default() },
             ..FlowOptions::lily_area()
         };
-        group.bench_with_input(BenchmarkId::new("wire_model", label), &g, |b, g| {
-            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        h.bench("lily_ablation", &format!("wire_model/{label}"), || {
+            opts.run_subject(&g, &lib).unwrap().metrics
         });
     }
 
@@ -50,19 +49,15 @@ fn bench_ablation(c: &mut Criterion) {
             layout: LayoutOptions { cone_ordering: ordering, ..LayoutOptions::default() },
             ..FlowOptions::lily_area()
         };
-        group.bench_with_input(BenchmarkId::new("cone_order", label), &g, |b, g| {
-            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        h.bench("lily_ablation", &format!("cone_order/{label}"), || {
+            opts.run_subject(&g, &lib).unwrap().metrics
         });
     }
 
     for (label, partition) in [("cones", Partition::Cones), ("trees", Partition::Trees)] {
         let opts = FlowOptions { partition, ..FlowOptions::lily_area() };
-        group.bench_with_input(BenchmarkId::new("partition", label), &g, |b, g| {
-            b.iter(|| opts.run_subject(g, &lib).unwrap().metrics)
+        h.bench("lily_ablation", &format!("partition/{label}"), || {
+            opts.run_subject(&g, &lib).unwrap().metrics
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -3,31 +3,23 @@
 //! This bench measures our quadratic + bi-partitioning placer on
 //! inchoate networks of growing size, including the C5315-scale point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_bench::harness::Harness;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_place::global::{global_place, GlobalOptions};
 use lily_place::{AreaModel, SubjectPlacement};
 use lily_workloads::circuits;
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("global_placement");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::new();
     for name in ["misex1", "C432", "C880", "C5315"] {
         let net = circuits::circuit(name);
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
         let sp = SubjectPlacement::new(&g);
-        let core = AreaModel::mcnc()
-            .core_region(g.base_gate_count() as f64 * 1.5 * 12.0 * 100.0);
+        let core = AreaModel::mcnc().core_region(g.base_gate_count() as f64 * 1.5 * 12.0 * 100.0);
         let mut problem = sp.problem.clone();
         problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
-        group.bench_with_input(
-            BenchmarkId::new("inchoate", format!("{name}-{}", g.base_gate_count())),
-            &problem,
-            |b, p| b.iter(|| global_place(p, &GlobalOptions::for_region(core)).positions.len()),
-        );
+        h.bench("global_placement", &format!("inchoate/{name}-{}", g.base_gate_count()), || {
+            global_place(&problem, &GlobalOptions::for_region(core)).positions.len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_placement);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the substrate algorithms: wire estimators
 //! (HPWL / spanning tree / iterated 1-Steiner), the CG quadratic solve,
-//! and pattern-match enumeration.
+//! pattern-match enumeration, global routing, and FM refinement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_bench::harness::Harness;
 use lily_cells::Library;
 use lily_core::MatchIndex;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
@@ -21,8 +21,7 @@ fn random_net(pins: usize, seed: u64) -> Vec<Point> {
     (0..pins).map(|_| Point::new((next() % 1000) as f64, (next() % 1000) as f64)).collect()
 }
 
-fn bench_wire_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire_models");
+fn bench_wire_models(h: &Harness) {
     for pins in [3usize, 8, 16] {
         let net = random_net(pins, 42);
         for (label, model) in [
@@ -30,19 +29,12 @@ fn bench_wire_models(c: &mut Criterion) {
             ("spanning_tree", WireModel::SpanningTree),
             ("rsmt", WireModel::Rsmt),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, pins),
-                &net,
-                |b, net| b.iter(|| net_length(model, net)),
-            );
+            h.bench("wire_models", &format!("{label}/{pins}"), || net_length(model, &net));
         }
     }
-    group.finish();
 }
 
-fn bench_quadratic_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quadratic_solve");
-    group.sample_size(10);
+fn bench_quadratic_solve(h: &Harness) {
     for name in ["C432", "C880"] {
         let net = circuits::circuit(name);
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
@@ -50,75 +42,60 @@ fn bench_quadratic_solve(c: &mut Criterion) {
         let mut problem = sp.problem.clone();
         let core = lily_place::Rect::new(0.0, 0.0, 3000.0, 3000.0);
         problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
-        group.bench_with_input(BenchmarkId::new("cg", name), &problem, |b, p| {
-            b.iter(|| solve_quadratic(p, &[], &[]).len())
+        h.bench("quadratic_solve", &format!("cg/{name}"), || {
+            solve_quadratic(&problem, &[], &[]).len()
         });
     }
-    group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
+fn bench_matching(h: &Harness) {
     let lib = Library::big();
-    let mut group = c.benchmark_group("match_enumeration");
-    group.sample_size(10);
     for name in ["misex1", "C432"] {
         let net = circuits::circuit(name);
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
-        group.bench_with_input(BenchmarkId::new("index", name), &g, |b, g| {
-            b.iter(|| MatchIndex::build(g, &lib).unwrap().total())
+        h.bench("match_enumeration", &format!("index/{name}"), || {
+            MatchIndex::build(&g, &lib).unwrap().total()
         });
     }
-    group.finish();
 }
 
-fn bench_groute(c: &mut Criterion) {
+fn bench_groute(h: &Harness) {
     use lily_route::GlobalRouteGrid;
-    let mut group = c.benchmark_group("global_router");
-    group.sample_size(10);
     for nets_count in [50usize, 200] {
         let nets: Vec<Vec<Point>> =
             (0..nets_count).map(|i| random_net(3 + i % 5, i as u64 + 1)).collect();
-        group.bench_with_input(BenchmarkId::new("route_all", nets_count), &nets, |b, nets| {
-            b.iter(|| {
-                let mut g = GlobalRouteGrid::new(
-                    lily_place::Rect::new(0.0, 0.0, 1000.0, 1000.0),
-                    20,
-                    20,
-                    4.0,
-                    4.0,
-                );
-                g.route_all(nets).wirelength
-            })
+        h.bench("global_router", &format!("route_all/{nets_count}"), || {
+            let mut g = GlobalRouteGrid::new(
+                lily_place::Rect::new(0.0, 0.0, 1000.0, 1000.0),
+                20,
+                20,
+                4.0,
+                4.0,
+            );
+            g.route_all(&nets).wirelength
         });
     }
-    group.finish();
 }
 
-fn bench_fm(c: &mut Criterion) {
+fn bench_fm(h: &Harness) {
     use lily_place::fm::{refine, FmInstance, FmOptions};
-    let mut group = c.benchmark_group("fm_refinement");
-    group.sample_size(10);
     for n in [64usize, 256] {
         // Ring + chords instance.
         let mut nets: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
         nets.extend((0..n / 4).map(|i| vec![i, (i * 7 + 3) % n]));
         let inst = FmInstance { cells: n, nets, weights: vec![1.0; n] };
-        group.bench_with_input(BenchmarkId::new("refine", n), &inst, |b, inst| {
-            b.iter(|| {
-                let mut side: Vec<bool> = (0..inst.cells).map(|i| i % 2 == 1).collect();
-                refine(inst, &mut side, &FmOptions::default())
-            })
+        h.bench("fm_refinement", &format!("refine/{n}"), || {
+            let mut side: Vec<bool> = (0..inst.cells).map(|i| i % 2 == 1).collect();
+            refine(&inst, &mut side, &FmOptions::default())
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wire_models,
-    bench_quadratic_solve,
-    bench_matching,
-    bench_groute,
-    bench_fm
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_wire_models(&h);
+    bench_quadratic_solve(&h);
+    bench_matching(&h);
+    bench_groute(&h);
+    bench_fm(&h);
+}

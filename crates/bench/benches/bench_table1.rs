@@ -3,28 +3,23 @@
 //! total on a DEC3100) is the historical reference point; here we
 //! report modern runtimes and, more importantly, the MIS-vs-Lily split.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_bench::harness::Harness;
 use lily_cells::Library;
 use lily_core::flow::FlowOptions;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_workloads::circuits;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let lib = Library::big();
-    let mut group = c.benchmark_group("table1_area_flow");
-    group.sample_size(10);
     for name in ["misex1", "b9", "C432"] {
         let net = circuits::circuit(name);
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
-        group.bench_with_input(BenchmarkId::new("mis", name), &g, |b, g| {
-            b.iter(|| FlowOptions::mis_area().run_subject(g, &lib).unwrap().metrics)
+        h.bench("table1_area_flow", &format!("mis/{name}"), || {
+            FlowOptions::mis_area().run_subject(&g, &lib).unwrap().metrics
         });
-        group.bench_with_input(BenchmarkId::new("lily", name), &g, |b, g| {
-            b.iter(|| FlowOptions::lily_area().run_subject(g, &lib).unwrap().metrics)
+        h.bench("table1_area_flow", &format!("lily/{name}"), || {
+            FlowOptions::lily_area().run_subject(&g, &lib).unwrap().metrics
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

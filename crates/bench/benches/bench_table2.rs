@@ -2,28 +2,23 @@
 //! the 1µ-scaled library, including the placement-derived wiring
 //! capacitance and the block-arrival-time incremental delay updates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lily_bench::harness::Harness;
 use lily_cells::Library;
 use lily_core::flow::FlowOptions;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_workloads::circuits;
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new();
     let lib = Library::big_1u();
-    let mut group = c.benchmark_group("table2_delay_flow");
-    group.sample_size(10);
     for name in ["misex1", "9symml"] {
         let net = circuits::circuit(name);
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
-        group.bench_with_input(BenchmarkId::new("mis", name), &g, |b, g| {
-            b.iter(|| FlowOptions::mis_delay().run_subject(g, &lib).unwrap().metrics)
+        h.bench("table2_delay_flow", &format!("mis/{name}"), || {
+            FlowOptions::mis_delay().run_subject(&g, &lib).unwrap().metrics
         });
-        group.bench_with_input(BenchmarkId::new("lily", name), &g, |b, g| {
-            b.iter(|| FlowOptions::lily_delay().run_subject(g, &lib).unwrap().metrics)
+        h.bench("table2_delay_flow", &format!("lily/{name}"), || {
+            FlowOptions::lily_delay().run_subject(&g, &lib).unwrap().metrics
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -16,10 +16,7 @@ fn main() {
     let names: Vec<&'static str> = if args.is_empty() {
         vec!["b9", "C432", "apex7"]
     } else {
-        circuits::circuit_names()
-            .into_iter()
-            .filter(|n| args.iter().any(|a| a == n))
-            .collect()
+        circuits::circuit_names().into_iter().filter(|n| args.iter().any(|a| a == n)).collect()
     };
     let lib = Library::big();
 
@@ -70,7 +67,10 @@ fn main() {
                 ..FlowOptions::lily_area()
             },
         ),
-        ("lily on trees (DAGON)", FlowOptions { partition: Partition::Trees, ..FlowOptions::lily_area() }),
+        (
+            "lily on trees (DAGON)",
+            FlowOptions { partition: Partition::Trees, ..FlowOptions::lily_area() },
+        ),
         (
             "lily + fanout buffering",
             FlowOptions { fanout_limit: Some(8), ..FlowOptions::lily_area() },

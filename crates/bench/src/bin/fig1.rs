@@ -59,10 +59,9 @@ fn run_b(lib: &Library) {
     println!("{:>10} | {:>12} | {:>14}", "spread µm", "aligned µm", "conflicting µm");
     for spread in [500.0, 2000.0, 6000.0, 12000.0] {
         match decomposition_alignment(lib, spread) {
-            Ok(row) => println!(
-                "{:>10.0} | {:>12.1} | {:>14.1}",
-                spread, row.aligned, row.conflicting
-            ),
+            Ok(row) => {
+                println!("{:>10.0} | {:>12.1} | {:>14.1}", spread, row.aligned, row.conflicting)
+            }
             Err(e) => eprintln!("spread {spread}: {e}"),
         }
     }

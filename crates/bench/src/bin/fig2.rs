@@ -14,10 +14,7 @@ fn main() {
     let names: Vec<&'static str> = if args.is_empty() {
         lily_bench::fast_circuits()
     } else {
-        circuits::circuit_names()
-            .into_iter()
-            .filter(|n| args.iter().any(|a| a == n))
-            .collect()
+        circuits::circuit_names().into_iter().filter(|n| args.iter().any(|a| a == n)).collect()
     };
     let lib = Library::big();
     println!("Figure 2.1/2.2 — node life cycle during cone-by-cone mapping");

@@ -30,13 +30,7 @@ fn main() {
         ("CM-of-Fans (centers)", cm_fans),
         ("Manhattan median", median),
     ] {
-        println!(
-            "{:<24} {:>10.1} {:>10.1} {:>16.1}",
-            name,
-            p.x,
-            p.y,
-            rect_distance_sum(&rects, p)
-        );
+        println!("{:<24} {:>10.1} {:>10.1} {:>16.1}", name, p.x, p.y, rect_distance_sum(&rects, p));
     }
     println!(
         "shape to match: the Manhattan median minimizes the rectangle-distance sum\n\

@@ -3,7 +3,10 @@
 //!
 //! Usage: `repro [--fast] [output.md]` (default output: `repro_report.md`)
 
-use lily_bench::{format_table1_row, format_table2_row, geomean_ratio, table1_header, table1_row, table2_header, table2_row};
+use lily_bench::{
+    format_table1_row, format_table2_row, geomean_ratio, table1_header, table1_row, table2_header,
+    table2_row,
+};
 use lily_cells::Library;
 use lily_core::experiments::{decomposition_alignment, distribution_points, life_cycle_profile};
 use lily_workloads::circuits;
@@ -89,7 +92,11 @@ fn main() {
     let spreads: Vec<f64> = (0..=6).map(|i| i as f64 * 2000.0 + 50.0).collect();
     match distribution_points(&lib, &spreads) {
         Ok(rows) => {
-            let _ = writeln!(md, "{:>10} {:>12} {:>12} {:>6}", "spread", "k=1 wire", "lily wire", "gates");
+            let _ = writeln!(
+                md,
+                "{:>10} {:>12} {:>12} {:>6}",
+                "spread", "k=1 wire", "lily wire", "gates"
+            );
             for r in rows {
                 let _ = writeln!(
                     md,
@@ -124,8 +131,16 @@ fn main() {
 
     // Figure 2.
     let _ = writeln!(md, "## Figure 2.1/2.2 — node life cycle\n```");
-    let _ = writeln!(md, "{:<8} {:>8} {:>7} {:>7} {:>12}", "circuit", "hatched", "hawks", "doves", "reincarnated");
-    for name in if fast { lily_bench::fast_circuits() } else { vec!["misex1", "b9", "apex7", "C432", "duke2"] } {
+    let _ = writeln!(
+        md,
+        "{:<8} {:>8} {:>7} {:>7} {:>12}",
+        "circuit", "hatched", "hawks", "doves", "reincarnated"
+    );
+    for name in if fast {
+        lily_bench::fast_circuits()
+    } else {
+        vec!["misex1", "b9", "apex7", "C432", "duke2"]
+    } {
         let net = circuits::circuit(name);
         if let Ok(stats) = life_cycle_profile(&lib, &net) {
             let lc = stats.lifecycle;

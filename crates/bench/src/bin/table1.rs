@@ -11,7 +11,8 @@ use lily_workloads::circuits;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let explicit: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let explicit: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let names: Vec<&'static str> = if !explicit.is_empty() {
         circuits::circuit_names().into_iter().filter(|n| explicit.contains(n)).collect()
     } else if fast {

@@ -10,8 +10,11 @@
 //! * `fig2` binary — node life-cycle statistics (Figures 2.1/2.2).
 //! * `fig3` binary — dynamic position-update demonstration
 //!   (Figures 3.1/3.2).
-//! * Criterion benches — runtimes of the full pipelines, the global
-//!   placer, and ablations of Lily's design choices.
+//! * `benches/` targets — runtimes of the full pipelines, the global
+//!   placer, and ablations of Lily's design choices, timed by the
+//!   internal [`harness`] (no external benchmark framework).
+
+pub mod harness;
 
 use lily_cells::Library;
 use lily_core::flow::{FlowMetrics, FlowOptions};

@@ -268,9 +268,7 @@ fn parse_atom(t: &mut Tokenizer) -> Result<Expr, ParseGenlibError> {
                 other => Err(t.err(format!("expected `)`, found {other:?}"))),
             }
         }
-        Some(tok)
-            if tok.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') =>
-        {
+        Some(tok) if tok.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') => {
             if tok == "CONST0" || tok == "CONST1" {
                 Err(t.err("constant gates are not supported"))
             } else {
@@ -384,8 +382,7 @@ pub fn parse(text: &str, name: &str, tech: Technology) -> Result<Library, ParseG
             _ => vec![structural],
         };
 
-        let grids =
-            ((area / (tech.grid_width * tech.row_height)).ceil() as usize).max(1);
+        let grids = ((area / (tech.grid_width * tech.row_height)).ceil() as usize).max(1);
         let gate = Gate::new(gname, area, grids, pins, patterns);
         if gate.fanin() == 1 && gate.function().bits() == 0b01 {
             inverter.get_or_insert(gates.len());
@@ -397,10 +394,7 @@ pub fn parse(text: &str, name: &str, tech: Technology) -> Result<Library, ParseG
         return Err(ParseGenlibError { line: 1, message: "no gates in library".into() });
     }
     if inverter.is_none() {
-        return Err(ParseGenlibError {
-            line: 1,
-            message: "library has no inverter gate".into(),
-        });
+        return Err(ParseGenlibError { line: 1, message: "library has no inverter gate".into() });
     }
     Ok(Library::from_gates(name, gates, tech))
 }

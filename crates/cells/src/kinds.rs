@@ -160,11 +160,7 @@ impl GateKind {
     pub fn build(&self, tech: &Technology) -> Gate {
         let fanin = self.fanin();
         let pins = (0..fanin)
-            .map(|i| Pin {
-                name: pin_name(i),
-                capacitance: tech.pin_cap,
-                delay: self.pin_delay(i),
-            })
+            .map(|i| Pin { name: pin_name(i), capacitance: tech.pin_cap, delay: self.pin_delay(i) })
             .collect();
         Gate::new(self.name(), tech.cell_area(self.grids()), self.grids(), pins, self.patterns())
     }

@@ -37,11 +37,7 @@ impl Library {
     /// # Panics
     ///
     /// Panics if the kinds contain no inverter or duplicate names.
-    pub fn from_kinds(
-        name: impl Into<String>,
-        kinds: &[GateKind],
-        technology: Technology,
-    ) -> Self {
+    pub fn from_kinds(name: impl Into<String>, kinds: &[GateKind], technology: Technology) -> Self {
         let mut gates = Vec::with_capacity(kinds.len());
         let mut by_name = HashMap::new();
         let mut inverter = None;

@@ -293,15 +293,16 @@ pub fn equiv_mapped_subject(
     let words = vectors.div_ceil(64).max(1);
     let exhaustive = ni <= 6;
     for w in 0..words {
-        let ins: Vec<u64> = (0..ni)
-            .map(|i| {
-                if exhaustive {
-                    lily_netlist::sim::exhaustive_word(i, w)
-                } else {
-                    rng.next_u64()
-                }
-            })
-            .collect();
+        let ins: Vec<u64> =
+            (0..ni)
+                .map(|i| {
+                    if exhaustive {
+                        lily_netlist::sim::exhaustive_word(i, w)
+                    } else {
+                        rng.next_u64()
+                    }
+                })
+                .collect();
         if simulate_subject64(subject, &ins) != mapped.simulate64(lib, &ins) {
             return false;
         }
@@ -388,8 +389,16 @@ mod tests {
         // Insert consumer before producer (as cone-commit order does).
         let c0 = CellId(0);
         let c1 = CellId(1);
-        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(c1)], position: (0.0, 0.0) });
-        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Input(0)], position: (0.0, 0.0) });
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(c1)],
+            position: (0.0, 0.0),
+        });
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Input(0)],
+            position: (0.0, 0.0),
+        });
         m.add_output("y", SignalSource::Cell(c0));
         let order = m.topo_order();
         assert_eq!(order, vec![c1, c0]);
@@ -404,8 +413,16 @@ mod tests {
         let lib = Library::tiny();
         let inv = lib.inverter();
         let mut m = MappedNetwork::new("t", vec![]);
-        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(CellId(1))], position: (0.0, 0.0) });
-        m.add_cell(MappedCell { gate: inv, fanins: vec![SignalSource::Cell(CellId(0))], position: (0.0, 0.0) });
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(CellId(1))],
+            position: (0.0, 0.0),
+        });
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(CellId(0))],
+            position: (0.0, 0.0),
+        });
         m.add_output("y", SignalSource::Cell(CellId(0)));
         let _ = m.topo_order();
     }

@@ -61,10 +61,8 @@ pub fn write(mapped: &MappedNetwork, lib: &Library) -> String {
 fn sanitize(name: &str) -> String {
     const KEYWORDS: [&str; 8] =
         ["module", "endmodule", "wire", "input", "output", "assign", "reg", "inout"];
-    let mut s: String = name
-        .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut s: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, '_');
     }

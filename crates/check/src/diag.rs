@@ -1,0 +1,335 @@
+//! The diagnostics vocabulary: codes, severities, loci, and the report
+//! container shared by every analysis pass.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. dangling logic).
+    Warning,
+    /// A violated invariant: the artifact is malformed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Every diagnostic code the analysis passes can emit.
+///
+/// Codes are grouped by layer: `NET` (Boolean network), `SG` (subject
+/// graph), `EQ` (cross-stage equivalence), `MAP` (mapped netlist), `PL`
+/// (placement), `TM` (timing). The full catalogue with explanations
+/// lives in DESIGN.md ("Verification & diagnostics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // summaries below document each code
+pub enum Code {
+    Net001,
+    Net002,
+    Net003,
+    Sg001,
+    Sg002,
+    Sg003,
+    Sg004,
+    Sg005,
+    Sg006,
+    Sg007,
+    Eq001,
+    Eq002,
+    Map001,
+    Map002,
+    Map003,
+    Map004,
+    Map005,
+    Pl001,
+    Pl002,
+    Pl003,
+    Pl004,
+    Tm001,
+    Tm002,
+    Tm003,
+    Tm004,
+}
+
+impl Code {
+    /// The printable code, e.g. `SG001`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Net001 => "NET001",
+            Code::Net002 => "NET002",
+            Code::Net003 => "NET003",
+            Code::Sg001 => "SG001",
+            Code::Sg002 => "SG002",
+            Code::Sg003 => "SG003",
+            Code::Sg004 => "SG004",
+            Code::Sg005 => "SG005",
+            Code::Sg006 => "SG006",
+            Code::Sg007 => "SG007",
+            Code::Eq001 => "EQ001",
+            Code::Eq002 => "EQ002",
+            Code::Map001 => "MAP001",
+            Code::Map002 => "MAP002",
+            Code::Map003 => "MAP003",
+            Code::Map004 => "MAP004",
+            Code::Map005 => "MAP005",
+            Code::Pl001 => "PL001",
+            Code::Pl002 => "PL002",
+            Code::Pl003 => "PL003",
+            Code::Pl004 => "PL004",
+            Code::Tm001 => "TM001",
+            Code::Tm002 => "TM002",
+            Code::Tm003 => "TM003",
+            Code::Tm004 => "TM004",
+        }
+    }
+
+    /// One-line meaning of the code.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Net001 => "dangling network node (drives nothing)",
+            Code::Net002 => "network fanin does not precede its consumer",
+            Code::Net003 => "network name table inconsistent with node list",
+            Code::Sg001 => "subject fanin out of range or not preceding its consumer (cycle)",
+            Code::Sg002 => "malformed input node (payload/registration arity violation)",
+            Code::Sg003 => "dangling subject node (drives nothing)",
+            Code::Sg004 => "fanout/fanin cross-consistency violation",
+            Code::Sg005 => "subject output driver out of range",
+            Code::Sg006 => "maximal-tree partition is not a partition",
+            Code::Sg007 => "structural-hash violation (duplicate node or INV chain)",
+            Code::Eq001 => "subject graph is not equivalent to the source network",
+            Code::Eq002 => "mapped netlist is not equivalent to the subject graph",
+            Code::Map001 => "cycle through mapped cells",
+            Code::Map002 => "cell arity/reference violation",
+            Code::Map003 => "dead cell (cover not referenced by any output)",
+            Code::Map004 => "illegal cover: gate inconsistent with library pattern graphs",
+            Code::Map005 => "load-capacitance accounting violation",
+            Code::Pl001 => "cell outside the core region",
+            Code::Pl002 => "overlapping cells after legalization",
+            Code::Pl003 => "I/O pad off the core boundary",
+            Code::Pl004 => "non-finite coordinate",
+            Code::Tm001 => "negative arrival time",
+            Code::Tm002 => "arrival times not monotone along a timing arc",
+            Code::Tm003 => "non-finite arrival or delay",
+            Code::Tm004 => "inconsistent STA summary",
+        }
+    }
+
+    /// The severity this code carries by default.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Net001 | Code::Sg003 | Code::Sg007 | Code::Map003 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the artifact a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Locus {
+    /// No particular place (whole-artifact diagnostics).
+    Whole,
+    /// A network or subject-graph node, by index.
+    Node(usize),
+    /// A mapped cell, by index.
+    Cell(usize),
+    /// A primary input, by index.
+    Input(usize),
+    /// A primary output, by index.
+    Output(usize),
+    /// A named net or signal.
+    Net(String),
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Whole => write!(f, "<whole>"),
+            Locus::Node(i) => write!(f, "node {i}"),
+            Locus::Cell(i) => write!(f, "cell {i}"),
+            Locus::Input(i) => write!(f, "input {i}"),
+            Locus::Output(i) => write!(f, "output {i}"),
+            Locus::Net(n) => write!(f, "net {n:?}"),
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The code (stable across releases; documented in DESIGN.md).
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Where the problem is.
+    pub locus: Locus,
+    /// Human-readable description of this particular instance.
+    pub message: String,
+    /// Optional remediation hint.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity and no hint.
+    pub fn new(code: Code, locus: Locus, message: impl Into<String>) -> Self {
+        Self { code, severity: code.severity(), locus, message: message.into(), hint: None }
+    }
+
+    /// Attaches a remediation hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.code, self.locus, self.message)?;
+        if let Some(h) = &self.hint {
+            write!(f, "\n  hint: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The findings of one or more analysis passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorbs another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All findings, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// True when the report holds no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// True when some finding carries the given code.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{} error(s), {} warning(s)", self.error_count(), self.warning_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_code_locus_and_hint() {
+        let d = Diagnostic::new(Code::Sg001, Locus::Node(7), "fanin 9 is a forward reference")
+            .with_hint("build nodes in topological order");
+        let s = d.to_string();
+        assert!(s.contains("error[SG001] node 7"), "{s}");
+        assert!(s.contains("hint: build nodes"), "{s}");
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(Diagnostic::new(Code::Sg003, Locus::Node(1), "dangling"));
+        r.push(Diagnostic::new(Code::Map001, Locus::Cell(0), "cycle"));
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.error_count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has_errors());
+        assert!(r.has_code(Code::Map001));
+        assert!(!r.has_code(Code::Pl002));
+        let s = r.to_string();
+        assert!(s.contains("1 error(s), 1 warning(s)"), "{s}");
+    }
+
+    #[test]
+    fn every_code_has_distinct_text() {
+        let all = [
+            Code::Net001,
+            Code::Net002,
+            Code::Net003,
+            Code::Sg001,
+            Code::Sg002,
+            Code::Sg003,
+            Code::Sg004,
+            Code::Sg005,
+            Code::Sg006,
+            Code::Sg007,
+            Code::Eq001,
+            Code::Eq002,
+            Code::Map001,
+            Code::Map002,
+            Code::Map003,
+            Code::Map004,
+            Code::Map005,
+            Code::Pl001,
+            Code::Pl002,
+            Code::Pl003,
+            Code::Pl004,
+            Code::Tm001,
+            Code::Tm002,
+            Code::Tm003,
+            Code::Tm004,
+        ];
+        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len());
+        for c in all {
+            assert!(!c.summary().is_empty());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Structural checks over the mapped netlist (`MAP*` codes): reference
+//! and arity integrity, acyclicity, dead covers, cover legality against
+//! the library's pattern graphs, and load-capacitance accounting.
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+use lily_cells::{Library, MappedNetwork, SignalSource};
+use lily_timing::{output_load, WireLoad};
+
+/// Checks a [`MappedNetwork`] against its [`Library`].
+///
+/// * `MAP004` — every cell's gate must exist in the library, carry at
+///   least one pattern graph (otherwise no cover could have produced
+///   it), and every pattern must agree with the gate's truth table on
+///   all input assignments.
+/// * `MAP002` — cell fanin counts must match the gate's pin count, and
+///   every fanin / output driver must reference an existing input or
+///   cell.
+/// * `MAP001` — the cell dependency graph must be acyclic (detected
+///   with Kahn's algorithm; [`MappedNetwork::topo_order`] would panic).
+/// * `MAP003` — cells outside the transitive fanin of every output
+///   (warning; a typical symptom of a double-covered subject node).
+/// * `MAP005` — for every net, the pin-only load must equal the sum of
+///   its sink pin capacitances, and the placement-aware load must be at
+///   least that and finite.
+///
+/// Reference checks run first; graph and load checks are skipped when
+/// references are malformed (they would index out of bounds).
+pub fn check_mapped(mapped: &MappedNetwork, lib: &Library) -> Report {
+    let mut report = Report::new();
+    let n = mapped.cell_count();
+    let inputs = mapped.input_names.len();
+
+    if mapped.input_positions.len() != inputs {
+        report.push(Diagnostic::new(
+            Code::Map002,
+            Locus::Whole,
+            format!("{} input positions for {} inputs", mapped.input_positions.len(), inputs),
+        ));
+    }
+    if mapped.output_positions.len() != mapped.outputs.len() {
+        report.push(Diagnostic::new(
+            Code::Map002,
+            Locus::Whole,
+            format!(
+                "{} output positions for {} outputs",
+                mapped.output_positions.len(),
+                mapped.outputs.len()
+            ),
+        ));
+    }
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        if cell.gate.index() >= lib.len() {
+            report.push(Diagnostic::new(
+                Code::Map004,
+                Locus::Cell(ci),
+                format!("gate id {} is not in the {}-gate library", cell.gate.index(), lib.len()),
+            ));
+            continue;
+        }
+        let gate = lib.gate(cell.gate);
+        if cell.fanins.len() != gate.fanin() {
+            report.push(Diagnostic::new(
+                Code::Map002,
+                Locus::Cell(ci),
+                format!(
+                    "cell drives `{}` with {} fanins; the gate has {} pins",
+                    gate.name(),
+                    cell.fanins.len(),
+                    gate.fanin()
+                ),
+            ));
+        }
+        for (pi, &src) in cell.fanins.iter().enumerate() {
+            let bad = match src {
+                SignalSource::Input(i) => i >= inputs,
+                SignalSource::Cell(c) => c.index() >= n,
+            };
+            if bad {
+                report.push(Diagnostic::new(
+                    Code::Map002,
+                    Locus::Cell(ci),
+                    format!("fanin pin {pi} references a nonexistent {}", describe(src)),
+                ));
+            }
+        }
+    }
+    for (oi, (name, src)) in mapped.outputs.iter().enumerate() {
+        let bad = match *src {
+            SignalSource::Input(i) => i >= inputs,
+            SignalSource::Cell(c) => c.index() >= n,
+        };
+        if bad {
+            report.push(Diagnostic::new(
+                Code::Map002,
+                Locus::Output(oi),
+                format!("output `{name}` is driven by a nonexistent {}", describe(*src)),
+            ));
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // MAP001: acyclicity via Kahn's algorithm.
+    if let Err(cyclic) = kahn_order(mapped) {
+        let shown: Vec<String> = cyclic.iter().take(8).map(|c| c.to_string()).collect();
+        report.push(
+            Diagnostic::new(
+                Code::Map001,
+                Locus::Cell(cyclic[0]),
+                format!(
+                    "{} cells form a dependency cycle (cells {}{})",
+                    cyclic.len(),
+                    shown.join(", "),
+                    if cyclic.len() > shown.len() { ", …" } else { "" }
+                ),
+            )
+            .with_hint("a cover can only read already-emitted cells"),
+        );
+    }
+
+    // MAP003: dead cells (warning).
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = mapped
+        .outputs
+        .iter()
+        .filter_map(|(_, s)| match s {
+            SignalSource::Cell(c) => Some(c.index()),
+            SignalSource::Input(_) => None,
+        })
+        .collect();
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        for &src in &mapped.cells()[i].fanins {
+            if let SignalSource::Cell(c) = src {
+                stack.push(c.index());
+            }
+        }
+    }
+    for (ci, alive) in live.iter().enumerate() {
+        if !alive {
+            report.push(
+                Diagnostic::new(
+                    Code::Map003,
+                    Locus::Cell(ci),
+                    format!(
+                        "cell {ci} (`{}`) feeds no primary output",
+                        lib.gate(mapped.cells()[ci].gate).name()
+                    ),
+                )
+                .with_hint(
+                    "often a double-covered subject node: \
+                            two covers emitted for the same logic",
+                ),
+            );
+        }
+    }
+
+    // MAP004: cover legality — each used gate must be reachable by
+    // pattern matching, and its patterns must compute its function.
+    let mut checked = std::collections::HashSet::new();
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        if !checked.insert(cell.gate.index()) {
+            continue;
+        }
+        let gate = lib.gate(cell.gate);
+        if gate.patterns().is_empty() {
+            report.push(Diagnostic::new(
+                Code::Map004,
+                Locus::Cell(ci),
+                format!("gate `{}` has no pattern graphs; no cover can produce it", gate.name()),
+            ));
+            continue;
+        }
+        for (pi, pat) in gate.patterns().iter().enumerate() {
+            if pat.pins() != gate.fanin() {
+                report.push(Diagnostic::new(
+                    Code::Map004,
+                    Locus::Cell(ci),
+                    format!(
+                        "gate `{}` pattern {pi} has {} pins, the gate {}",
+                        gate.name(),
+                        pat.pins(),
+                        gate.fanin()
+                    ),
+                ));
+                continue;
+            }
+            if gate.fanin() <= 10 {
+                let tt = gate.function();
+                for row in 0u64..(1u64 << gate.fanin()) {
+                    let pins: Vec<bool> = (0..gate.fanin()).map(|b| (row >> b) & 1 == 1).collect();
+                    let want = (tt.bits() >> row) & 1 == 1;
+                    if pat.eval(&pins) != want {
+                        report.push(Diagnostic::new(
+                            Code::Map004,
+                            Locus::Cell(ci),
+                            format!(
+                                "gate `{}` pattern {pi} disagrees with its function at row {row}",
+                                gate.name()
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // MAP005: load accounting identities.
+    for net in mapped.nets() {
+        let pin_sum: f64 = net
+            .sinks
+            .iter()
+            .map(|&(cell, pin)| lib.gate(mapped.cell(cell).gate).pins()[pin].capacitance)
+            .sum();
+        let base = output_load(WireLoad::None, lib, mapped, &net);
+        let locus = match net.source {
+            SignalSource::Input(i) => Locus::Input(i),
+            SignalSource::Cell(c) => Locus::Cell(c.index()),
+        };
+        if (base - pin_sum).abs() > 1e-9 || !base.is_finite() {
+            report.push(Diagnostic::new(
+                Code::Map005,
+                locus.clone(),
+                format!("pin-only load {base} differs from sink pin-cap sum {pin_sum}"),
+            ));
+        }
+        let placed = output_load(WireLoad::FromPlacement, lib, mapped, &net);
+        if !placed.is_finite() || placed < base - 1e-9 {
+            report.push(Diagnostic::new(
+                Code::Map005,
+                locus,
+                format!("placement-aware load {placed} is not ≥ pin-only load {base}"),
+            ));
+        }
+    }
+    report
+}
+
+/// Topological order over cells, or the indices still on a cycle.
+///
+/// Unlike [`MappedNetwork::topo_order`], this never panics.
+pub fn kahn_order(mapped: &MappedNetwork) -> Result<Vec<usize>, Vec<usize>> {
+    let n = mapped.cell_count();
+    let mut indeg = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        for &src in &cell.fanins {
+            if let SignalSource::Cell(c) = src {
+                indeg[ci] += 1;
+                fanout[c.index()].push(ci);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &j in &fanout[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err((0..n).filter(|&i| indeg[i] > 0).collect())
+    }
+}
+
+fn describe(src: SignalSource) -> String {
+    match src {
+        SignalSource::Input(i) => format!("input {i}"),
+        SignalSource::Cell(c) => format!("cell {}", c.index()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_cells::{CellId, MappedCell};
+
+    fn clean(lib: &Library) -> MappedNetwork {
+        let mut m = MappedNetwork::new("t", vec!["a".into(), "b".into()]);
+        m.input_positions = vec![(0.0, 0.0), (0.0, 10.0)];
+        let nand2 = lib.find("nand2").unwrap();
+        let c0 = m.add_cell(MappedCell {
+            gate: nand2,
+            fanins: vec![SignalSource::Input(0), SignalSource::Input(1)],
+            position: (10.0, 5.0),
+        });
+        m.add_output("y", SignalSource::Cell(c0));
+        m.output_positions[0] = (20.0, 5.0);
+        m
+    }
+
+    #[test]
+    fn clean_mapping_is_clean() {
+        let lib = Library::tiny();
+        assert!(check_mapped(&clean(&lib), &lib).is_clean());
+    }
+
+    #[test]
+    fn forged_cycle_is_map001() {
+        let lib = Library::tiny();
+        let mut m = clean(&lib);
+        let inv = lib.inverter();
+        // Two inverters reading each other.
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(CellId::from_index(2))],
+            position: (0.0, 0.0),
+        });
+        m.add_cell(MappedCell {
+            gate: inv,
+            fanins: vec![SignalSource::Cell(CellId::from_index(1))],
+            position: (0.0, 0.0),
+        });
+        let r = check_mapped(&m, &lib);
+        assert!(r.has_code(Code::Map001), "{r}");
+    }
+
+    #[test]
+    fn wrong_arity_is_map002() {
+        let lib = Library::tiny();
+        let mut m = clean(&lib);
+        m.add_cell(MappedCell {
+            gate: lib.inverter(),
+            fanins: vec![SignalSource::Input(0), SignalSource::Input(1)],
+            position: (0.0, 0.0),
+        });
+        assert!(check_mapped(&m, &lib).has_code(Code::Map002));
+    }
+
+    #[test]
+    fn dead_cell_is_map003() {
+        let lib = Library::tiny();
+        let mut m = clean(&lib);
+        m.add_cell(MappedCell {
+            gate: lib.inverter(),
+            fanins: vec![SignalSource::Input(0)],
+            position: (0.0, 0.0),
+        });
+        let r = check_mapped(&m, &lib);
+        assert!(r.has_code(Code::Map003), "{r}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn unknown_gate_is_map004() {
+        let lib = Library::tiny();
+        let mut m = clean(&lib);
+        m.add_cell(MappedCell {
+            gate: lily_cells::GateId::from_index(9999),
+            fanins: vec![],
+            position: (0.0, 0.0),
+        });
+        assert!(check_mapped(&m, &lib).has_code(Code::Map004));
+    }
+}

@@ -1,0 +1,157 @@
+//! Structural checks over the technology-independent Boolean network
+//! (`NET*` codes).
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+use lily_netlist::Network;
+
+/// Checks a [`Network`] for structural invariants.
+///
+/// * `NET002` — every fanin id must reference an earlier node (creation
+///   order is the topological order), and primary-output drivers must be
+///   in range.
+/// * `NET003` — the name table, input list, and node list must agree.
+/// * `NET001` — internal nodes that drive neither a node nor an output
+///   (warning; such nodes are legal but usually indicate an upstream
+///   bug or a missing `sweep_dangling`).
+///
+/// Reference checks run first; derived checks (fanout counting) are
+/// skipped when the node list itself is malformed.
+pub fn check_network(net: &Network) -> Report {
+    let mut report = Report::new();
+    let n = net.node_count();
+
+    // Reference integrity: fanins strictly precede their consumer.
+    for (i, node) in net.nodes().iter().enumerate() {
+        for &f in &node.fanins {
+            if f.index() >= i {
+                let reason = if f.index() >= n { "out of range" } else { "not earlier" };
+                report.push(
+                    Diagnostic::new(
+                        Code::Net002,
+                        Locus::Node(i),
+                        format!(
+                            "node `{}` fanin {} is {reason} (node count {n})",
+                            node.name,
+                            f.index()
+                        ),
+                    )
+                    .with_hint("nodes must be added after all of their fanins"),
+                );
+            }
+        }
+        if node.is_input() && !node.fanins.is_empty() {
+            report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Node(i),
+                format!("primary input `{}` has {} fanins", node.name, node.fanins.len()),
+            ));
+        }
+    }
+    for (oi, o) in net.outputs().iter().enumerate() {
+        if o.driver.index() >= n {
+            report.push(Diagnostic::new(
+                Code::Net002,
+                Locus::Output(oi),
+                format!("output `{}` driver {} is out of range", o.name, o.driver.index()),
+            ));
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // Bookkeeping: names resolve back to their nodes, the input list is
+    // exactly the set of input-flagged nodes.
+    for (i, node) in net.nodes().iter().enumerate() {
+        match net.find(&node.name) {
+            Some(id) if id.index() == i => {}
+            Some(id) => report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Node(i),
+                format!("name `{}` resolves to node {}, not {i}", node.name, id.index()),
+            )),
+            None => report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Node(i),
+                format!("name `{}` is missing from the name table", node.name),
+            )),
+        }
+    }
+    let mut in_input_list = vec![false; n];
+    for (k, &id) in net.inputs().iter().enumerate() {
+        if id.index() >= n {
+            report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Input(k),
+                format!("input list entry {k} ({}) is out of range", id.index()),
+            ));
+            continue;
+        }
+        in_input_list[id.index()] = true;
+        if !net.node(id).is_input() {
+            report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Input(k),
+                format!("input list entry {k} points at non-input node {}", id.index()),
+            ));
+        }
+    }
+    for (i, node) in net.nodes().iter().enumerate() {
+        if node.is_input() && !in_input_list[i] {
+            report.push(Diagnostic::new(
+                Code::Net003,
+                Locus::Node(i),
+                format!("input node `{}` is missing from the input list", node.name),
+            ));
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // Dangling internal logic (warning).
+    let fanout = net.fanout_counts();
+    let orefs = net.output_refs();
+    for (i, node) in net.nodes().iter().enumerate() {
+        if !node.is_input() && fanout[i] == 0 && orefs[i] == 0 {
+            report.push(
+                Diagnostic::new(
+                    Code::Net001,
+                    Locus::Node(i),
+                    format!("node `{}` drives neither a node nor an output", node.name),
+                )
+                .with_hint("run Network::sweep_dangling before mapping"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::NodeFunc;
+
+    #[test]
+    fn clean_network_is_clean() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_node("g", NodeFunc::Nand, vec![a, b]).unwrap();
+        n.add_output("y", g);
+        assert!(check_network(&n).is_clean());
+    }
+
+    #[test]
+    fn dangling_node_warns_net001() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_node("g", NodeFunc::Nand, vec![a, b]).unwrap();
+        let _dead = n.add_node("dead", NodeFunc::Inv, vec![a]).unwrap();
+        n.add_output("y", g);
+        let r = check_network(&n);
+        assert!(r.has_code(Code::Net001));
+        assert!(!r.has_errors());
+    }
+}

@@ -1,0 +1,221 @@
+//! Geometric checks over a placed mapped netlist (`PL*` codes):
+//! finite coordinates, core containment, row-overlap freedom after
+//! legalization, and pad fixedness on the core boundary.
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+use lily_cells::{Library, MappedNetwork};
+use lily_place::Rect;
+
+/// Checks the placement of a [`MappedNetwork`] against a core region.
+///
+/// * `PL004` — every coordinate (cells and pads) must be finite.
+/// * `PL001` — every cell footprint (center ± half its gate width, one
+///   row tall) must lie inside `core`.
+/// * `PL002` — cells sharing a row (identical y) must not overlap in x.
+/// * `PL003` — every I/O pad must sit exactly on the core boundary.
+///
+/// Cell widths come from the library (`grids × grid_width`), matching
+/// what the legalizer packs. All comparisons use a relative tolerance
+/// of `1e-6` of the core extent.
+pub fn check_placement(mapped: &MappedNetwork, lib: &Library, core: Rect) -> Report {
+    let mut report = Report::new();
+    let tech = lib.technology();
+    let eps = 1e-6 * (1.0 + core.width().max(core.height()));
+
+    let mut finite = true;
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        let (x, y) = cell.position;
+        if !x.is_finite() || !y.is_finite() {
+            report.push(Diagnostic::new(
+                Code::Pl004,
+                Locus::Cell(ci),
+                format!("cell position ({x}, {y}) is not finite"),
+            ));
+            finite = false;
+        }
+    }
+    for (i, &(x, y)) in mapped.input_positions.iter().enumerate() {
+        if !x.is_finite() || !y.is_finite() {
+            report.push(Diagnostic::new(
+                Code::Pl004,
+                Locus::Input(i),
+                format!("input pad position ({x}, {y}) is not finite"),
+            ));
+            finite = false;
+        }
+    }
+    for (i, &(x, y)) in mapped.output_positions.iter().enumerate() {
+        if !x.is_finite() || !y.is_finite() {
+            report.push(Diagnostic::new(
+                Code::Pl004,
+                Locus::Output(i),
+                format!("output pad position ({x}, {y}) is not finite"),
+            ));
+            finite = false;
+        }
+    }
+    if !finite {
+        return report;
+    }
+
+    // PL001: every cell inside the core.
+    let width_of = |ci: usize| -> f64 {
+        let gate = mapped.cells()[ci].gate;
+        if gate.index() < lib.len() {
+            lib.gate(gate).grids() as f64 * tech.grid_width
+        } else {
+            0.0
+        }
+    };
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        let (x, y) = cell.position;
+        let half = width_of(ci) / 2.0;
+        if x - half < core.llx - eps
+            || x + half > core.urx + eps
+            || y < core.lly - eps
+            || y > core.ury + eps
+        {
+            report.push(Diagnostic::new(
+                Code::Pl001,
+                Locus::Cell(ci),
+                format!(
+                    "cell at ({x}, {y}) (width {}) leaves the core \
+                     [{}, {}] × [{}, {}]",
+                    2.0 * half,
+                    core.llx,
+                    core.urx,
+                    core.lly,
+                    core.ury
+                ),
+            ));
+        }
+    }
+
+    // PL002: no overlap within a row. Legalized cells in one row share an
+    // exact y coordinate, so rows are grouped by the bit pattern of y.
+    let mut rows: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (ci, cell) in mapped.cells().iter().enumerate() {
+        rows.entry(cell.position.1.to_bits()).or_default().push(ci);
+    }
+    for cells in rows.values_mut() {
+        cells.sort_by(|&a, &b| {
+            mapped.cells()[a]
+                .position
+                .0
+                .partial_cmp(&mapped.cells()[b].position.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for w in cells.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let right_edge = mapped.cells()[a].position.0 + width_of(a) / 2.0;
+            let left_edge = mapped.cells()[b].position.0 - width_of(b) / 2.0;
+            if left_edge < right_edge - eps {
+                report.push(
+                    Diagnostic::new(
+                        Code::Pl002,
+                        Locus::Cell(b),
+                        format!(
+                            "cells {a} and {b} overlap by {} in row y = {}",
+                            right_edge - left_edge,
+                            mapped.cells()[b].position.1
+                        ),
+                    )
+                    .with_hint("run legalization before accepting the placement"),
+                );
+            }
+        }
+    }
+
+    // PL003: pads sit on the core boundary.
+    let mut pad = |locus: Locus, x: f64, y: f64| {
+        let inside = x >= core.llx - eps
+            && x <= core.urx + eps
+            && y >= core.lly - eps
+            && y <= core.ury + eps;
+        let on_edge = (x - core.llx).abs() <= eps
+            || (x - core.urx).abs() <= eps
+            || (y - core.lly).abs() <= eps
+            || (y - core.ury).abs() <= eps;
+        if !(inside && on_edge) {
+            report.push(Diagnostic::new(
+                Code::Pl003,
+                locus,
+                format!("pad at ({x}, {y}) is not on the core boundary"),
+            ));
+        }
+    };
+    let in_pads: Vec<(usize, (f64, f64))> =
+        mapped.input_positions.iter().copied().enumerate().collect();
+    for (i, (x, y)) in in_pads {
+        pad(Locus::Input(i), x, y);
+    }
+    let out_pads: Vec<(usize, (f64, f64))> =
+        mapped.output_positions.iter().copied().enumerate().collect();
+    for (i, (x, y)) in out_pads {
+        pad(Locus::Output(i), x, y);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_cells::{MappedCell, SignalSource};
+
+    fn placed(lib: &Library, positions: &[(f64, f64)]) -> MappedNetwork {
+        let mut m = MappedNetwork::new("t", vec!["a".into()]);
+        m.input_positions = vec![(0.0, 50.0)];
+        let inv = lib.inverter();
+        let mut src = SignalSource::Input(0);
+        for &p in positions {
+            let c = m.add_cell(MappedCell { gate: inv, fanins: vec![src], position: p });
+            src = SignalSource::Cell(c);
+        }
+        m.add_output("y", src);
+        m.output_positions[0] = (100.0, 50.0);
+        m
+    }
+
+    fn core() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn disjoint_cells_are_clean() {
+        let lib = Library::tiny();
+        let m = placed(&lib, &[(20.0, 50.0), (60.0, 50.0)]);
+        let r = check_placement(&m, &lib, core());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn same_position_is_pl002() {
+        let lib = Library::tiny();
+        let m = placed(&lib, &[(20.0, 50.0), (20.0, 50.0)]);
+        assert!(check_placement(&m, &lib, core()).has_code(Code::Pl002));
+    }
+
+    #[test]
+    fn escaped_cell_is_pl001() {
+        let lib = Library::tiny();
+        let m = placed(&lib, &[(500.0, 50.0)]);
+        assert!(check_placement(&m, &lib, core()).has_code(Code::Pl001));
+    }
+
+    #[test]
+    fn interior_pad_is_pl003() {
+        let lib = Library::tiny();
+        let mut m = placed(&lib, &[(20.0, 50.0)]);
+        m.input_positions[0] = (50.0, 50.0);
+        assert!(check_placement(&m, &lib, core()).has_code(Code::Pl003));
+    }
+
+    #[test]
+    fn nan_position_is_pl004() {
+        let lib = Library::tiny();
+        let m = placed(&lib, &[(f64::NAN, 50.0)]);
+        let r = check_placement(&m, &lib, core());
+        assert!(r.has_code(Code::Pl004));
+        assert!(!r.has_code(Code::Pl001));
+    }
+}

@@ -1,0 +1,266 @@
+//! Structural checks over the NAND2/INV subject graph (`SG*` codes):
+//! acyclicity, input-node bookkeeping, fanout cross-consistency, and
+//! DAGON maximal-tree legality.
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+use lily_netlist::cones::maximal_trees;
+use lily_netlist::{SubjectGraph, SubjectKind};
+
+/// Checks a [`SubjectGraph`] for structural invariants.
+///
+/// * `SG001` — every fanin must reference a strictly earlier node; a
+///   violation is a forward reference, a self-loop, or an out-of-range
+///   id, any of which makes the "graph" cyclic or dangling.
+/// * `SG002` — `Input` nodes must carry a payload that round-trips
+///   through the input-name and input-id tables.
+/// * `SG005` — output drivers must be in range.
+/// * `SG004` — the fanout adjacency must be the exact transpose of the
+///   fanin relation.
+/// * `SG006` — the DAGON maximal-tree partition must cover every
+///   internal node exactly once.
+/// * `SG003` — nodes driving nothing (warning).
+/// * `SG007` — structural-hash leaks: duplicate NAND pairs or INV
+///   chains that `strash` should have collapsed (warning).
+///
+/// Reference checks run first; derived checks are skipped when node
+/// references are malformed (they would index out of bounds).
+pub fn check_subject(g: &SubjectGraph) -> Report {
+    let mut report = Report::new();
+    let n = g.node_count();
+
+    // SG001/SG002: reference + input bookkeeping integrity.
+    for (i, kind) in g.kinds().iter().enumerate() {
+        for f in kind.fanins() {
+            if f.index() >= i {
+                let reason = if f.index() >= n {
+                    "out of range"
+                } else if f.index() == i {
+                    "a self-loop"
+                } else {
+                    "a forward reference (cycle)"
+                };
+                report.push(
+                    Diagnostic::new(
+                        Code::Sg001,
+                        Locus::Node(i),
+                        format!("fanin {} of node {i} is {reason}", f.index()),
+                    )
+                    .with_hint(
+                        "subject graphs are topological by construction; \
+                                a later or equal fanin id cannot come from nand2/inv",
+                    ),
+                );
+            }
+        }
+        if let SubjectKind::Input(pi) = *kind {
+            if pi >= g.input_names().len() {
+                report.push(Diagnostic::new(
+                    Code::Sg002,
+                    Locus::Node(i),
+                    format!("input payload {pi} exceeds the {} input names", g.input_names().len()),
+                ));
+            } else if g.inputs().get(pi).map(|id| id.index()) != Some(i) {
+                report.push(Diagnostic::new(
+                    Code::Sg002,
+                    Locus::Node(i),
+                    format!("input payload {pi} does not round-trip through the input list"),
+                ));
+            }
+        }
+    }
+    if g.inputs().len() != g.input_names().len() {
+        report.push(Diagnostic::new(
+            Code::Sg002,
+            Locus::Whole,
+            format!("{} input ids but {} input names", g.inputs().len(), g.input_names().len()),
+        ));
+    }
+    for (oi, o) in g.outputs().iter().enumerate() {
+        if o.driver.index() >= n {
+            report.push(Diagnostic::new(
+                Code::Sg005,
+                Locus::Output(oi),
+                format!("output `{}` driver {} is out of range", o.name, o.driver.index()),
+            ));
+        }
+    }
+    if report.has_errors() {
+        return report;
+    }
+
+    // SG004: fanout adjacency is the transpose of the fanin relation.
+    let adj = g.fanouts();
+    let counts = g.fanout_counts();
+    let mut expected = vec![0usize; n];
+    for kind in g.kinds() {
+        for f in kind.fanins() {
+            expected[f.index()] += 1;
+        }
+    }
+    for i in 0..n {
+        if adj[i].len() != expected[i] || counts[i] != expected[i] {
+            report.push(Diagnostic::new(
+                Code::Sg004,
+                Locus::Node(i),
+                format!(
+                    "node {i}: fanout list has {} entries, count says {}, fanin transpose says {}",
+                    adj[i].len(),
+                    counts[i],
+                    expected[i]
+                ),
+            ));
+        }
+        for &c in &adj[i] {
+            let ok = c.index() < n && g.kind(c).fanins().any(|f| f.index() == i);
+            if !ok {
+                report.push(Diagnostic::new(
+                    Code::Sg004,
+                    Locus::Node(i),
+                    format!("fanout entry {} does not read node {i}", c.index()),
+                ));
+            }
+        }
+    }
+
+    // SG006: the maximal-tree partition covers internal nodes exactly once.
+    let mut covered = vec![0usize; n];
+    for tree in maximal_trees(g) {
+        for m in &tree.members {
+            covered[m.index()] += 1;
+        }
+        match tree.members.last() {
+            Some(&last) if last == tree.root => {}
+            _ => report.push(Diagnostic::new(
+                Code::Sg006,
+                Locus::Node(tree.root.index()),
+                format!("tree rooted at {} does not end at its root", tree.root.index()),
+            )),
+        }
+    }
+    let orefs = g.output_ref_counts();
+    for (i, kind) in g.kinds().iter().enumerate() {
+        if matches!(kind, SubjectKind::Input(_)) {
+            if covered[i] != 0 {
+                report.push(Diagnostic::new(
+                    Code::Sg006,
+                    Locus::Node(i),
+                    format!("input node {i} appears in {} maximal trees", covered[i]),
+                ));
+            }
+            continue;
+        }
+        // Dangling nodes are excluded from the partition; they are
+        // reported separately as SG003 below.
+        let dangling = counts[i] == 0 && orefs[i] == 0;
+        if !dangling && covered[i] != 1 {
+            report.push(Diagnostic::new(
+                Code::Sg006,
+                Locus::Node(i),
+                format!("internal node {i} appears in {} maximal trees (want 1)", covered[i]),
+            ));
+        }
+    }
+
+    // SG003: dangling internal nodes (warning).
+    for (i, kind) in g.kinds().iter().enumerate() {
+        if !matches!(kind, SubjectKind::Input(_)) && counts[i] == 0 && orefs[i] == 0 {
+            report.push(Diagnostic::new(
+                Code::Sg003,
+                Locus::Node(i),
+                format!("node {i} drives neither a node nor an output"),
+            ));
+        }
+    }
+
+    // SG007: structural-hash leaks (warning).
+    let mut seen = std::collections::HashSet::new();
+    for (i, kind) in g.kinds().iter().enumerate() {
+        match *kind {
+            SubjectKind::Nand2(a, b) => {
+                let key = if a.index() <= b.index() {
+                    (a.index(), b.index())
+                } else {
+                    (b.index(), a.index())
+                };
+                if !seen.insert((false, key.0, key.1)) {
+                    report.push(Diagnostic::new(
+                        Code::Sg007,
+                        Locus::Node(i),
+                        format!("duplicate NAND2({}, {})", key.0, key.1),
+                    ));
+                }
+            }
+            SubjectKind::Inv(a) => {
+                if !seen.insert((true, a.index(), usize::MAX)) {
+                    report.push(Diagnostic::new(
+                        Code::Sg007,
+                        Locus::Node(i),
+                        format!("duplicate INV({})", a.index()),
+                    ));
+                }
+                if matches!(g.kind(a), SubjectKind::Inv(_)) {
+                    report.push(Diagnostic::new(
+                        Code::Sg007,
+                        Locus::Node(i),
+                        format!("INV chain: node {i} inverts inverter {}", a.index()),
+                    ));
+                }
+            }
+            SubjectKind::Input(_) => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::SubjectNodeId;
+
+    fn clean() -> SubjectGraph {
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.xor2(a, b);
+        g.set_output("y", x);
+        g
+    }
+
+    #[test]
+    fn clean_graph_is_clean() {
+        assert!(check_subject(&clean()).is_clean());
+    }
+
+    #[test]
+    fn forged_forward_reference_is_sg001() {
+        let mut g = clean();
+        let a = g.inputs()[0];
+        // nand2 does not bounds-check its operands, so a forged id makes
+        // a forward reference.
+        let forged = SubjectNodeId::from_index(g.node_count() + 5);
+        let bad = g.nand2(a, forged);
+        g.set_output("z", bad);
+        let r = check_subject(&g);
+        assert!(r.has_code(Code::Sg001), "{r}");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn forged_output_driver_is_sg005() {
+        let mut g = clean();
+        g.set_output("z", SubjectNodeId::from_index(99));
+        assert!(check_subject(&g).has_code(Code::Sg005));
+    }
+
+    #[test]
+    fn dangling_node_warns_sg003() {
+        let mut g = clean();
+        let a = g.inputs()[0];
+        // NAND(a, a) is not built by xor2, so strash yields a fresh,
+        // unreferenced node.
+        let _dead = g.nand2(a, a);
+        let r = check_subject(&g);
+        assert!(r.has_code(Code::Sg003), "{r}");
+        assert!(!r.has_errors());
+    }
+}

@@ -126,9 +126,7 @@ impl<'l> MisMapper<'l> {
                         MapMode::Area => (a, 0.0, Arrival::ZERO),
                         MapMode::Delay => {
                             let mut out = Arrival::NEG_INF;
-                            for (pi, (&vi, pin)) in
-                                m.inputs.iter().zip(gate.pins()).enumerate()
-                            {
+                            for (pi, (&vi, pin)) in m.inputs.iter().zip(gate.pins()).enumerate() {
                                 let t_in = self.input_arrival(&e, vi, &arrival);
                                 let u = unateness(gate.function(), pi);
                                 out = out.max(propagate(t_in, pin, u, cl));
@@ -136,14 +134,13 @@ impl<'l> MisMapper<'l> {
                             (out.worst(), a, out)
                         }
                     };
-                    if best.map_or(true, |(bk, bt, _, _)| {
+                    if best.is_none_or(|(bk, bt, _, _)| {
                         key < bk - 1e-12 || (key < bk + 1e-12 && tiebreak < bt - 1e-12)
                     }) {
                         best = Some((key, tiebreak, mi, arr));
                     }
                 }
-                let (key, _t, mi, arr) =
-                    best.ok_or(MapError::NoMatch { node: v.index() })?;
+                let (key, _t, mi, arr) = best.ok_or(MapError::NoMatch { node: v.index() })?;
                 e.chosen[v.index()] = mi;
                 e.solved[v.index()] = true;
                 match self.options.mode {
@@ -239,8 +236,8 @@ mod tests {
 
     #[test]
     fn delay_mode_is_no_slower_than_area_mode() {
-        use lily_timing::{analyze, StaOptions};
         use lily_timing::load::WireLoad;
+        use lily_timing::{analyze, StaOptions};
         let lib = Library::big();
         // A chain deep enough that gate choice matters.
         let mut net = Network::new("chain");

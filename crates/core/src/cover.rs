@@ -12,7 +12,9 @@ use crate::error::MapError;
 use crate::matching::{Match, MatchIndex};
 use lily_cells::{CellId, Library, MappedCell, MappedNetwork, SignalSource};
 use lily_netlist::cones::{cones, maximal_trees, Cone, Tree};
-use lily_netlist::{LifeCycle, LifeCycleStats, NodeState, SubjectGraph, SubjectKind, SubjectNodeId};
+use lily_netlist::{
+    LifeCycle, LifeCycleStats, NodeState, SubjectGraph, SubjectKind, SubjectNodeId,
+};
 
 /// Optimization objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -237,11 +239,7 @@ impl<'a> Engine<'a> {
         // Resolve fanin signals first (bottom-up recursion).
         let fanins: Vec<SignalSource> =
             m.inputs.iter().map(|&vi| self.commit(vi, pos_of)).collect();
-        let cell = self.mapped.add_cell(MappedCell {
-            gate: m.gate,
-            fanins,
-            position: pos_of(v),
-        });
+        let cell = self.mapped.add_cell(MappedCell { gate: m.gate, fanins, position: pos_of(v) });
         self.life.commit_hawk(v);
         self.cell_of[v.index()] = Some(cell);
         for (pin, &vi) in m.inputs.iter().enumerate() {
@@ -343,10 +341,7 @@ mod tests {
         let lib = Library::big();
         let mut e = Engine::new(&g, &lib).unwrap();
         let scopes = e.scopes(Partition::Trees, None);
-        let inv_tree = scopes
-            .iter()
-            .find(|s| s.root() == inv)
-            .expect("inverter tree");
+        let inv_tree = scopes.iter().find(|s| s.root() == inv).expect("inverter tree");
         // and2 gate at `inv` would cover `shared`, which is outside the
         // inverter's tree.
         for m in e.idx.at(inv) {

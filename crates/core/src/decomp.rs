@@ -30,11 +30,7 @@ use lily_place::Point;
 ///
 /// Panics if `input_positions.len()` differs from the input count.
 pub fn reorder_fanins_by_proximity(net: &Network, input_positions: &[Point]) -> Network {
-    assert_eq!(
-        input_positions.len(),
-        net.input_count(),
-        "one position per primary input required"
-    );
+    assert_eq!(input_positions.len(), net.input_count(), "one position per primary input required");
     // Estimated position per node.
     let mut pos = vec![Point::default(); net.node_count()];
     let mut pi = 0usize;
@@ -135,9 +131,8 @@ mod tests {
     fn reordering_preserves_function() {
         let net = six_nand();
         // Adversarial positions: alternate far clusters.
-        let pads: Vec<Point> = (0..6)
-            .map(|i| Point::new(if i % 2 == 0 { 0.0 } else { 5000.0 }, i as f64))
-            .collect();
+        let pads: Vec<Point> =
+            (0..6).map(|i| Point::new(if i % 2 == 0 { 0.0 } else { 5000.0 }, i as f64)).collect();
         let re = reorder_fanins_by_proximity(&net, &pads);
         let g = decompose(&re, DecomposeOrder::Balanced).unwrap();
         assert!(equiv_network_subject(&net, &g, 128, 5));
@@ -146,18 +141,15 @@ mod tests {
     #[test]
     fn reordering_clusters_near_signals() {
         let net = six_nand();
-        let pads: Vec<Point> = (0..6)
-            .map(|i| Point::new(if i % 2 == 0 { 0.0 } else { 5000.0 }, i as f64))
-            .collect();
+        let pads: Vec<Point> =
+            (0..6).map(|i| Point::new(if i % 2 == 0 { 0.0 } else { 5000.0 }, i as f64)).collect();
         let re = reorder_fanins_by_proximity(&net, &pads);
         let node = re.node(re.find("o").unwrap());
         // After reordering, the first three fanins are the left cluster
         // (even original indices), the last three the right.
         let names: Vec<&str> = node.fanins.iter().map(|f| re.node(*f).name.as_str()).collect();
-        let left: Vec<bool> = names
-            .iter()
-            .map(|n| n[1..].parse::<usize>().unwrap() % 2 == 0)
-            .collect();
+        let left: Vec<bool> =
+            names.iter().map(|n| n[1..].parse::<usize>().unwrap() % 2 == 0).collect();
         assert_eq!(left, vec![true, true, true, false, false, false], "{names:?}");
     }
 
@@ -195,9 +187,8 @@ mod tests {
             .add_node("o", NodeFunc::Nand, vec![ins[0], ins[3], ins[1], ins[4], ins[2], ins[5]])
             .unwrap();
         net.add_output("t", o);
-        let pads: Vec<Point> = (0..6)
-            .map(|i| Point::new(if i < 3 { 0.0 } else { 8000.0 }, i as f64 * 40.0))
-            .collect();
+        let pads: Vec<Point> =
+            (0..6).map(|i| Point::new(if i < 3 { 0.0 } else { 8000.0 }, i as f64 * 40.0)).collect();
         let re = reorder_fanins_by_proximity(&net, &pads);
         let node = re.node(re.find("o").unwrap());
         // The two spatial clusters must be contiguous after reordering.

@@ -28,6 +28,18 @@ pub enum MapError {
     },
     /// A netlist-level error surfaced during the flow.
     Netlist(lily_netlist::NetlistError),
+    /// A verification checkpoint between flow stages found invariant
+    /// violations (see [`FlowOptions::verify`]).
+    ///
+    /// [`FlowOptions::verify`]: crate::flow::FlowOptions::verify
+    Verify {
+        /// Which checkpoint failed (`"network"`, `"subject"`,
+        /// `"decompose-equiv"`, `"mapped"`, `"cover-equiv"`,
+        /// `"placement"`, or `"timing"`).
+        stage: &'static str,
+        /// The failing diagnostics.
+        report: lily_check::Report,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -41,6 +53,9 @@ impl fmt::Display for MapError {
                 write!(f, "layout-driven mapping needs {expected} positions, got {got}")
             }
             MapError::Netlist(e) => write!(f, "{e}"),
+            MapError::Verify { stage, report } => {
+                write!(f, "verification failed at the `{stage}` checkpoint:\n{report}")
+            }
         }
     }
 }

@@ -75,9 +75,7 @@ pub fn buffer_fanout(mapped: &mut MappedNetwork, lib: &Library, opts: &FanoutOpt
                 sinks.sort_by(|a, b| {
                     let (ax, ay) = pos(a);
                     let (bx, by) = pos(b);
-                    (ax + ay)
-                        .partial_cmp(&(bx + by))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    (ax + ay).partial_cmp(&(bx + by)).unwrap_or(std::cmp::Ordering::Equal)
                 });
             }
             let groups: Vec<Vec<Sink>> =
@@ -111,8 +109,7 @@ pub fn buffer_fanout(mapped: &mut MappedNetwork, lib: &Library, opts: &FanoutOpt
                 for s in group {
                     match s {
                         Sink::Pin(c, p) => {
-                            mapped.cells_mut()[c.index()].fanins[p] =
-                                SignalSource::Cell(second);
+                            mapped.cells_mut()[c.index()].fanins[p] = SignalSource::Cell(second);
                         }
                         Sink::Output(o) => {
                             mapped.outputs[o].1 = SignalSource::Cell(second);

@@ -97,6 +97,11 @@ pub struct FlowOptions {
     /// mapped netlist (the paper's pipeline); ignored by the MIS flow,
     /// which always needs a fresh global placement.
     pub constructive_placement: bool,
+    /// Run the `lily-check` verification passes between stages
+    /// (structural invariants plus random-vector equivalence) and abort
+    /// with [`MapError::Verify`] when any reports an error. On by
+    /// default in debug builds, off in release builds.
+    pub verify: bool,
 }
 
 impl FlowOptions {
@@ -117,6 +122,7 @@ impl FlowOptions {
             detailed_placer: DetailedPlacer::Greedy,
             global_router: false,
             constructive_placement: true,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -157,6 +163,19 @@ impl FlowOptions {
     /// See [`FlowOptions::run`].
     pub fn run_detailed(&self, net: &Network, lib: &Library) -> Result<FlowResult, MapError> {
         let g = decompose(net, self.decompose_order)?;
+        if self.verify {
+            checkpoint("network", lily_check::check_network(net))?;
+            checkpoint("subject", lily_check::check_subject(&g))?;
+            checkpoint(
+                "decompose-equiv",
+                lily_check::check_network_subject(
+                    net,
+                    &g,
+                    lily_check::DEFAULT_VECTORS,
+                    lily_check::DEFAULT_SEED,
+                ),
+            )?;
+        }
         self.run_subject(&g, lib)
     }
 
@@ -216,6 +235,19 @@ impl FlowOptions {
                 &crate::fanout::FanoutOptions { max_fanout: limit, placement_aware: true },
             );
         }
+        if self.verify {
+            checkpoint("mapped", lily_check::check_mapped(&mapped, lib))?;
+            checkpoint(
+                "cover-equiv",
+                lily_check::check_mapped_subject(
+                    g,
+                    &mapped,
+                    lib,
+                    lily_check::DEFAULT_VECTORS,
+                    lily_check::DEFAULT_SEED,
+                ),
+            )?;
+        }
 
         // Shared physical design: resize the core to the real mapped
         // area, rescale the pads onto it, globally place the mapped
@@ -223,8 +255,7 @@ impl FlowOptions {
         let final_core = self.area_model.core_region(mapped.instance_area(lib));
         let pads: Vec<Point> = pads0.iter().map(|p| rescale(*p, core0, final_core)).collect();
         apply_pads(&mut mapped, &pads);
-        let keep_constructive =
-            self.constructive_placement && self.mapper == FlowMapper::Lily;
+        let keep_constructive = self.constructive_placement && self.mapper == FlowMapper::Lily;
         if !keep_constructive {
             let (problem, _) = mapped_problem(&mapped);
             let problem = with_pads(problem, &pads);
@@ -245,8 +276,11 @@ impl FlowOptions {
         core: lily_place::Rect,
     ) -> Result<FlowResult, MapError> {
         let tech = lib.technology();
-        let widths: Vec<f64> =
-            mapped.cells().iter().map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width).collect();
+        let widths: Vec<f64> = mapped
+            .cells()
+            .iter()
+            .map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width)
+            .collect();
         let desired: Vec<Point> =
             mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
         let (problem, _) = mapped_problem(&mapped);
@@ -278,6 +312,9 @@ impl FlowOptions {
                 mapped.cells_mut()[i].position = (p.x, p.y);
             }
         }
+        if self.verify {
+            checkpoint("placement", lily_check::check_placement(&mapped, lib, core))?;
+        }
 
         // Routed wire length: Steiner per net, inflated by congestion.
         let nets = mapped.nets();
@@ -299,42 +336,32 @@ impl FlowOptions {
             let nx = ((core.width() / tech.row_height).ceil() as usize).max(1);
             let ny = ((core.height() / tech.row_height).ceil() as usize).max(1);
             let cap = self.route_supply * tech.row_height * tech.row_height / tech.wire_pitch;
-            let mut router =
-                lily_route::GlobalRouteGrid::new(core, nx, ny, cap, cap);
-            let net_pts: Vec<Vec<Point>> =
-                per_net.iter().map(|(pts, _)| pts.clone()).collect();
+            let mut router = lily_route::GlobalRouteGrid::new(core, nx, ny, cap, cap);
+            let net_pts: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
             let summary = router.route_all(&net_pts);
             summary.wirelength
-                * (1.0 + self.detour_gain * summary.overflow
-                    / (summary.connections.max(1) as f64))
+                * (1.0 + self.detour_gain * summary.overflow / (summary.connections.max(1) as f64))
         } else {
-            per_net
-                .iter()
-                .map(|(pts, len)| grid.routed_length(pts, *len, self.detour_gain))
-                .sum()
+            per_net.iter().map(|(pts, len)| grid.routed_length(pts, *len, self.detour_gain)).sum()
         };
 
         let instance_area = mapped.instance_area(lib);
         let chip_area = self.area_model.chip_area(instance_area, wire_length);
         // Channel-density area model (rows + channel tracks).
         let n_rows = ((core.height() / tech.row_height).floor() as usize).max(1);
-        let row_ys: Vec<f64> = (0..n_rows)
-            .map(|r| core.lly + (r as f64 + 0.5) * tech.row_height)
-            .collect();
-        let net_points: Vec<Vec<Point>> =
-            per_net.iter().map(|(pts, _)| pts.clone()).collect();
+        let row_ys: Vec<f64> =
+            (0..n_rows).map(|r| core.lly + (r as f64 + 0.5) * tech.row_height).collect();
+        let net_points: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
         let chip_area_channeled = instance_area
-            + lily_route::channel_routing_area(
-                &row_ys,
-                &net_points,
-                core.width(),
-                tech.wire_pitch,
-            );
+            + lily_route::channel_routing_area(&row_ys, &net_points, core.width(), tech.wire_pitch);
         let sta = analyze(
             &mapped,
             lib,
             &StaOptions { wire_load: WireLoad::FromPlacement, input_arrival: 0.0 },
         );
+        if self.verify {
+            checkpoint("timing", lily_check::check_timing(&mapped, &sta, 0.0))?;
+        }
 
         let metrics = FlowMetrics {
             cells: mapped.cell_count(),
@@ -347,6 +374,16 @@ impl FlowOptions {
             stats,
         };
         Ok(FlowResult { metrics, mapped })
+    }
+}
+
+/// Fails the flow when a verification pass reports errors
+/// (warning-only reports pass).
+fn checkpoint(stage: &'static str, report: lily_check::Report) -> Result<(), MapError> {
+    if report.has_errors() {
+        Err(MapError::Verify { stage, report })
+    } else {
+        Ok(())
     }
 }
 

@@ -40,7 +40,7 @@ pub mod sizing;
 pub use baseline::MisMapper;
 pub use cover::{MapMode, MapResult, MapStats, Partition};
 pub use error::MapError;
-pub use lily::{LayoutOptions, LilyMapper, MapOptions};
-pub use position::PositionUpdate;
 pub use fanout::{buffer_fanout, FanoutOptions};
+pub use lily::{LayoutOptions, LilyMapper, MapOptions};
 pub use matching::{Match, MatchIndex};
+pub use position::PositionUpdate;

@@ -159,10 +159,7 @@ impl<'l> LilyMapper<'l> {
         output_pads: &[Point],
     ) -> Result<MapResult, MapError> {
         if place.len() != g.node_count() {
-            return Err(MapError::MissingPlacement {
-                expected: g.node_count(),
-                got: place.len(),
-            });
+            return Err(MapError::MissingPlacement { expected: g.node_count(), got: place.len() });
         }
         if output_pads.len() != g.outputs().len() {
             return Err(MapError::MissingPlacement {
@@ -173,17 +170,16 @@ impl<'l> LilyMapper<'l> {
         let mut e = Engine::new(g, self.lib)?;
 
         // Cone ordering (Section 3.5).
-        let order: Option<Vec<usize>> = if self.options.layout.cone_ordering
-            && self.options.partition == Partition::Cones
-        {
-            let cs = extract_cones(g);
-            let m = exit_line_matrix(g, &cs);
-            let order = order_cones(&m);
-            e.set_ordering_cost(ordering_cost(&m, &order));
-            Some(order)
-        } else {
-            None
-        };
+        let order: Option<Vec<usize>> =
+            if self.options.layout.cone_ordering && self.options.partition == Partition::Cones {
+                let cs = extract_cones(g);
+                let m = exit_line_matrix(g, &cs);
+                let order = order_cones(&m);
+                e.set_ordering_cost(ordering_cost(&m, &order));
+                Some(order)
+            } else {
+                None
+            };
         let scopes = e.scopes(self.options.partition, order.as_deref());
 
         let mut sol: Vec<Solution> = vec![Solution::default(); g.node_count()];
@@ -266,8 +262,7 @@ impl<'l> LilyMapper<'l> {
                     let mut a_cost = gate.area();
                     let mut w_cost = 0.0;
                     for (&vi, _f) in m.inputs.iter().zip(&fans) {
-                        let contributes = !is_input(&e, vi)
-                            && e.life.state(vi) != NodeState::Hawk;
+                        let contributes = !is_input(&e, vi) && e.life.state(vi) != NodeState::Hawk;
                         if contributes {
                             a_cost += sol[vi.index()].a_cost;
                             w_cost += sol[vi.index()].w_cost;
@@ -297,9 +292,7 @@ impl<'l> LilyMapper<'l> {
 
                     // 3. Delay evaluation (Section 4.4).
                     let (key, tiebreak, blocks) = match mode {
-                        MapMode::Area => {
-                            (a_cost + lay.wire_weight * w_cost, 0.0, Vec::new())
-                        }
+                        MapMode::Area => (a_cost + lay.wire_weight * w_cost, 0.0, Vec::new()),
                         MapMode::Delay => {
                             let mut out = Arrival::NEG_INF;
                             let mut blocks = Vec::with_capacity(m.inputs.len());
@@ -314,11 +307,9 @@ impl<'l> LilyMapper<'l> {
                                     let s = &sol[vi.index()];
                                     let fgate = self.lib.gate(s.gate.expect("solved"));
                                     let rect = fanin_rect(p, f, pos);
-                                    let wire_cap =
-                                        tech.wire_cap(rect.width(), rect.height());
-                                    let load = f.total_cap()
-                                        + gate.pins()[pi].capacitance
-                                        + wire_cap;
+                                    let wire_cap = tech.wire_cap(rect.width(), rect.height());
+                                    let load =
+                                        f.total_cap() + gate.pins()[pi].capacitance + wire_cap;
                                     let mut t = Arrival::NEG_INF;
                                     for (bj, b) in s.blocks.iter().enumerate() {
                                         t = t.max(ld_arrival(*b, &fgate.pins()[bj], load));
@@ -332,10 +323,9 @@ impl<'l> LilyMapper<'l> {
                             }
                             // Step 3: estimated output load from the
                             // base-function fanouts (paper §4.3).
-                            let fo_pts =
-                                fanout_net_points(&e, v, pos, place, output_pads);
-                            let fo_rect = Rect::bounding(fo_pts.iter().copied())
-                                .unwrap_or(Rect::at(pos));
+                            let fo_pts = fanout_net_points(&e, v, pos, place, output_pads);
+                            let fo_rect =
+                                Rect::bounding(fo_pts.iter().copied()).unwrap_or(Rect::at(pos));
                             let cl = unmapped_fanout_count(&e, v) as f64 * tech.pin_cap
                                 + tech.wire_cap(fo_rect.width(), fo_rect.height());
                             // Step 4: output arrival.
@@ -346,20 +336,14 @@ impl<'l> LilyMapper<'l> {
                         }
                     };
 
-                    if best.as_ref().map_or(true, |(bk, bt, _, _)| {
+                    if best.as_ref().is_none_or(|(bk, bt, _, _)| {
                         key < bk - 1e-12 || (key < bk + 1e-12 && tiebreak < bt - 1e-12)
                     }) {
                         best = Some((
                             key,
                             tiebreak,
                             mi,
-                            Solution {
-                                a_cost,
-                                w_cost,
-                                blocks,
-                                gate: Some(m.gate),
-                                map_pos: pos,
-                            },
+                            Solution { a_cost, w_cost, blocks, gate: Some(m.gate), map_pos: pos },
                         ));
                     }
                 }

@@ -98,6 +98,10 @@ pub fn matches_at(g: &SubjectGraph, lib: &Library, v: SubjectNodeId) -> Vec<Matc
     out
 }
 
+/// Sink invoked once per complete consistent binding: receives the
+/// pin bindings and the covered internal nodes.
+type EmitSink<'a> = dyn FnMut(&[Option<SubjectNodeId>], &[SubjectNodeId]) + 'a;
+
 /// Recursive backtracking enumeration. `emit` is called once per
 /// complete consistent binding.
 fn enumerate(
@@ -106,7 +110,7 @@ fn enumerate(
     node: SubjectNodeId,
     binding: &mut Vec<Option<SubjectNodeId>>,
     covered: &mut Vec<SubjectNodeId>,
-    emit: &mut dyn FnMut(&[Option<SubjectNodeId>], &[SubjectNodeId]),
+    emit: &mut EmitSink<'_>,
 ) {
     match pat {
         PatternNode::Leaf(pin) => {
@@ -155,7 +159,7 @@ fn nested_nand(
     sb: SubjectNodeId,
     binding: &mut Vec<Option<SubjectNodeId>>,
     covered: &mut Vec<SubjectNodeId>,
-    emit: &mut dyn FnMut(&[Option<SubjectNodeId>], &[SubjectNodeId]),
+    emit: &mut EmitSink<'_>,
 ) {
     // Collect left bindings eagerly (small patterns), then for each,
     // enumerate the right side.
@@ -232,8 +236,7 @@ mod tests {
         let l = lib();
         for k in 2..=6usize {
             let mut g = SubjectGraph::new("g");
-            let ins: Vec<SubjectNodeId> =
-                (0..k).map(|i| g.add_input(format!("i{i}"))).collect();
+            let ins: Vec<SubjectNodeId> = (0..k).map(|i| g.add_input(format!("i{i}"))).collect();
             // Balanced AND tree, then invert (mirrors decompose.rs).
             let mut layer = ins.clone();
             while layer.len() > 1 {

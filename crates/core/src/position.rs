@@ -88,10 +88,8 @@ mod tests {
 
     #[test]
     fn median_of_point_rects_is_pointwise_median() {
-        let rects: Vec<Rect> = [1.0, 5.0, 9.0]
-            .iter()
-            .map(|&x| Rect::at(Point::new(x, x)))
-            .collect();
+        let rects: Vec<Rect> =
+            [1.0, 5.0, 9.0].iter().map(|&x| Rect::at(Point::new(x, x))).collect();
         let m = manhattan_median(&rects, Point::default());
         assert_eq!(m, Point::new(5.0, 5.0));
     }

@@ -242,13 +242,7 @@ mod tests {
 
     /// Picks the smallest (base-function) match so commits stay 1:1.
     fn pick_base_match(e: &Engine, v: SubjectNodeId) -> usize {
-        e.idx
-            .at(v)
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| m.covered.len())
-            .map(|(i, _)| i)
-            .unwrap()
+        e.idx.at(v).iter().enumerate().min_by_key(|(_, m)| m.covered.len()).map(|(i, _)| i).unwrap()
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl Default for SizingOptions {
 ///
 /// Loads are measured once before any swap (swapping raises sink pin
 /// capacitances, which would otherwise cascade).
-pub fn resize_for_load(
-    mapped: &mut MappedNetwork,
-    lib: &Library,
-    opts: &SizingOptions,
-) -> usize {
+pub fn resize_for_load(mapped: &mut MappedNetwork, lib: &Library, opts: &SizingOptions) -> usize {
     let nets = mapped.nets();
     let mut to_upsize = Vec::new();
     for net in &nets {

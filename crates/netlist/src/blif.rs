@@ -20,7 +20,9 @@ use std::fmt::Write as _;
 ///
 /// # Errors
 ///
-/// * [`NetlistError::Parse`] for malformed or unsupported constructs.
+/// * [`NetlistError::Parse`] for malformed or unsupported constructs,
+///   duplicate `.model` lines, duplicate inputs, or a signal defined by
+///   more than one `.names` table (or by both `.inputs` and a table).
 /// * [`NetlistError::UndefinedSignal`] when a cube table or output refers
 ///   to a signal that is neither an input nor defined by a table.
 /// * [`NetlistError::Cyclic`] if the tables form a combinational cycle.
@@ -57,7 +59,7 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
         cubes: Vec<(Vec<Literal>, bool)>,
     }
 
-    let mut model = String::from("blif");
+    let mut model: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut tables: Vec<Table> = Vec::new();
@@ -68,8 +70,30 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
         let mut toks = line.split_whitespace();
         let head = toks.next().unwrap_or("");
         match head {
-            ".model" => model = toks.next().unwrap_or("blif").to_string(),
-            ".inputs" => inputs.extend(toks.map(str::to_string)),
+            ".model" => {
+                let name = toks.next().unwrap_or("blif").to_string();
+                if let Some(prev) = &model {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: format!(
+                            "duplicate .model `{name}` (model `{prev}` already declared; \
+                             multi-model files are unsupported)"
+                        ),
+                    });
+                }
+                model = Some(name);
+            }
+            ".inputs" => {
+                for name in toks {
+                    if inputs.iter().any(|n| n == name) {
+                        return Err(NetlistError::Parse {
+                            line: *ln,
+                            message: format!("duplicate input `{name}`"),
+                        });
+                    }
+                    inputs.push(name.to_string());
+                }
+            }
             ".outputs" => outputs.extend(toks.map(str::to_string)),
             ".names" => {
                 let signals: Vec<String> = toks.map(str::to_string).collect();
@@ -149,13 +173,24 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
     }
 
     // Topologically order tables.
+    let input_set: HashMap<&str, usize> =
+        inputs.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
     let mut produced: HashMap<&str, usize> = HashMap::new(); // signal -> table idx
     for (ti, t) in tables.iter().enumerate() {
         let out = t.signals.last().expect("non-empty");
-        produced.insert(out.as_str(), ti);
+        if input_set.contains_key(out.as_str()) {
+            return Err(NetlistError::Parse {
+                line: t.line,
+                message: format!("signal `{out}` is a primary input but is driven by a table"),
+            });
+        }
+        if produced.insert(out.as_str(), ti).is_some() {
+            return Err(NetlistError::Parse {
+                line: t.line,
+                message: format!("signal `{out}` is defined by more than one .names table"),
+            });
+        }
     }
-    let input_set: HashMap<&str, usize> =
-        inputs.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
 
     let mut state = vec![0u8; tables.len()]; // 0 new, 1 visiting, 2 done
     let mut order: Vec<usize> = Vec::with_capacity(tables.len());
@@ -196,7 +231,7 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
     }
 
     // Build the network.
-    let mut net = Network::new(model);
+    let mut net = Network::new(model.unwrap_or_else(|| "blif".into()));
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     for name in &inputs {
         ids.insert(name.clone(), net.add_input(name.clone()));
@@ -207,10 +242,8 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
         let fanins: Vec<NodeId> =
             t.signals[..t.signals.len() - 1].iter().map(|s| ids[s.as_str()]).collect();
         let width = fanins.len();
-        let func = table_to_func(width, &t.cubes).map_err(|m| NetlistError::Parse {
-            line: t.line,
-            message: m,
-        })?;
+        let func = table_to_func(width, &t.cubes)
+            .map_err(|m| NetlistError::Parse { line: t.line, message: m })?;
         let id = net.add_node(out.clone(), func, fanins)?;
         ids.insert(out, id);
     }
@@ -270,7 +303,10 @@ fn table_to_func(width: usize, cubes: &[(Vec<Literal>, bool)]) -> Result<NodeFun
             let on = Sop::new(width, ones).map_err(|e| e.to_string())?;
             Ok(NodeFunc::Sop(on))
         } else {
-            Err(format!("off-set tables wider than {} inputs unsupported", crate::func::MAX_TT_INPUTS))
+            Err(format!(
+                "off-set tables wider than {} inputs unsupported",
+                crate::func::MAX_TT_INPUTS
+            ))
         }
     }
 }
@@ -314,7 +350,7 @@ pub fn write(net: &Network) -> String {
 }
 
 fn write_cubes(out: &mut String, func: &NodeFunc, width: usize) {
-    let all = |c: char| -> String { std::iter::repeat(c).take(width).collect() };
+    let all = |c: char| -> String { std::iter::repeat_n(c, width).collect() };
     match func {
         NodeFunc::And => {
             let _ = writeln!(out, "{} 1", all('1'));
@@ -337,9 +373,8 @@ fn write_cubes(out: &mut String, func: &NodeFunc, width: usize) {
             for row in 0..(1u32 << width) {
                 let odd = row.count_ones() % 2 == 1;
                 if odd == want_odd {
-                    let cube: String = (0..width)
-                        .map(|b| if (row >> b) & 1 == 1 { '1' } else { '0' })
-                        .collect();
+                    let cube: String =
+                        (0..width).map(|b| if (row >> b) & 1 == 1 { '1' } else { '0' }).collect();
                     let _ = writeln!(out, "{cube} 1");
                 }
             }
@@ -375,7 +410,7 @@ fn write_cubes(out: &mut String, func: &NodeFunc, width: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{simulate_network64, exhaustive_word};
+    use crate::sim::{exhaustive_word, simulate_network64};
 
     const SAMPLE: &str = "\
 # a small model
@@ -490,27 +525,16 @@ mod tests {
     #[test]
     fn write_all_node_funcs_roundtrip() {
         use crate::func::NodeFunc::*;
-        for (func, k) in [
-            (And, 3),
-            (Or, 3),
-            (Nand, 2),
-            (Nor, 2),
-            (Xor, 3),
-            (Xnor, 2),
-            (Inv, 1),
-            (Buf, 1),
-        ] {
+        for (func, k) in
+            [(And, 3), (Or, 3), (Nand, 2), (Nor, 2), (Xor, 3), (Xnor, 2), (Inv, 1), (Buf, 1)]
+        {
             let mut n = Network::new("t");
             let ins: Vec<NodeId> = (0..k).map(|i| n.add_input(format!("i{i}"))).collect();
             let g = n.add_node("g", func.clone(), ins).unwrap();
             n.add_output("y", g);
             let net2 = parse(&write(&n)).unwrap();
             let ins: Vec<u64> = (0..k).map(|i| exhaustive_word(i, 0)).collect();
-            assert_eq!(
-                simulate_network64(&n, &ins),
-                simulate_network64(&net2, &ins),
-                "{func:?}"
-            );
+            assert_eq!(simulate_network64(&n, &ins), simulate_network64(&net2, &ins), "{func:?}");
         }
     }
 }

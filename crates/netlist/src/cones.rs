@@ -114,8 +114,9 @@ pub fn exit_line_matrix(g: &SubjectGraph, cones: &[Cone]) -> Vec<Vec<usize>> {
             member[ci][m.index() / 64] |= 1 << (m.index() % 64);
         }
     }
-    let in_cone =
-        |ci: usize, node: SubjectNodeId| member[ci][node.index() / 64] >> (node.index() % 64) & 1 == 1;
+    let in_cone = |ci: usize, node: SubjectNodeId| {
+        member[ci][node.index() / 64] >> (node.index() % 64) & 1 == 1
+    };
 
     let mut e = vec![vec![0usize; cones.len()]; cones.len()];
     for v in g.node_ids() {
@@ -125,12 +126,11 @@ pub fn exit_line_matrix(g: &SubjectGraph, cones: &[Cone]) -> Vec<Vec<usize>> {
             }
             // Edge u -> v: exit line of every cone containing u but not v,
             // charged to every cone containing v.
-            for i in 0..cones.len() {
+            for (i, ei) in e.iter_mut().enumerate() {
                 if in_cone(i, u) && !in_cone(i, v) {
-                    for (j, row) in member.iter().enumerate() {
-                        let _ = row;
+                    for (j, eij) in ei.iter_mut().enumerate() {
                         if j != i && in_cone(j, v) {
-                            e[i][j] += 1;
+                            *eij += 1;
                         }
                     }
                 }
@@ -286,12 +286,7 @@ mod tests {
     fn greedy_ordering_beats_identity_on_chains() {
         // Chain of 4 cones each feeding the next: optimal order is
         // reverse topological.
-        let e = vec![
-            vec![0, 3, 0, 0],
-            vec![0, 0, 3, 0],
-            vec![0, 0, 0, 3],
-            vec![0, 0, 0, 0],
-        ];
+        let e = vec![vec![0, 3, 0, 0], vec![0, 0, 3, 0], vec![0, 0, 0, 3], vec![0, 0, 0, 0]];
         let order = order_cones(&e);
         assert_eq!(order, vec![3, 2, 1, 0]);
         assert_eq!(ordering_cost(&e, &order), 0);

@@ -69,10 +69,7 @@ pub fn decompose(net: &Network, order: DecomposeOrder) -> Result<SubjectGraph, N
 /// # Errors
 ///
 /// See [`decompose`].
-pub fn decompose_full(
-    net: &Network,
-    order: DecomposeOrder,
-) -> Result<Decomposition, NetlistError> {
+pub fn decompose_full(net: &Network, order: DecomposeOrder) -> Result<Decomposition, NetlistError> {
     let mut g = SubjectGraph::new(net.name());
     let mut sig: Vec<Option<Sig>> = vec![None; net.node_count()];
 
@@ -99,10 +96,14 @@ pub fn decompose_full(
         }
     }
 
+    // Lowering can leave strash byproducts (e.g. an inverter whose
+    // double inversion later cancelled) with no fanout; drop them so
+    // downstream consumers see a fully live graph.
+    let remap = g.sweep_dangling();
     let node_map = sig
         .into_iter()
         .map(|s| match s {
-            Some(Sig::Node(n)) => Some(n),
+            Some(Sig::Node(n)) => remap[n.index()],
             _ => None,
         })
         .collect();
@@ -235,11 +236,7 @@ fn reduce(
             while nodes.len() > 1 {
                 let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
                 for pair in nodes.chunks(2) {
-                    next.push(if pair.len() == 2 {
-                        combine(g, pair[0], pair[1])
-                    } else {
-                        pair[0]
-                    });
+                    next.push(if pair.len() == 2 { combine(g, pair[0], pair[1]) } else { pair[0] });
                 }
                 nodes = next;
             }

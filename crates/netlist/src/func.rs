@@ -60,7 +60,11 @@ impl TruthTable {
     }
 
     fn mask(inputs: usize) -> u64 {
-        if inputs >= 6 { u64::MAX } else { (1u64 << (1usize << inputs)) - 1 }
+        if inputs >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << inputs)) - 1
+        }
     }
 
     /// Number of input variables.
@@ -328,8 +332,7 @@ mod tests {
     fn sop_eval_matches_cubes() {
         use Literal::*;
         // f = a·!b + c
-        let s = Sop::new(3, vec![vec![Pos, Neg, DontCare], vec![DontCare, DontCare, Pos]])
-            .unwrap();
+        let s = Sop::new(3, vec![vec![Pos, Neg, DontCare], vec![DontCare, DontCare, Pos]]).unwrap();
         assert!(s.eval(&[true, false, false]));
         assert!(!s.eval(&[true, true, false]));
         assert!(s.eval(&[false, false, true]));

@@ -72,11 +72,7 @@ impl LifeCycle {
 
     /// Marks `n` visited within the current cone (egg → nestling).
     pub fn hatch(&mut self, n: SubjectNodeId) {
-        assert_eq!(
-            self.states[n.index()],
-            NodeState::Egg,
-            "hatch: node {n} is not an egg"
-        );
+        assert_eq!(self.states[n.index()], NodeState::Egg, "hatch: node {n} is not an egg");
         self.states[n.index()] = NodeState::Nestling;
         self.stats.hatched += 1;
     }
@@ -106,11 +102,7 @@ impl LifeCycle {
     /// Restarts a dove's life cycle (dove → egg), recording a logic
     /// duplication.
     pub fn reincarnate(&mut self, n: SubjectNodeId) {
-        assert_eq!(
-            self.states[n.index()],
-            NodeState::Dove,
-            "reincarnate: node {n} is not a dove"
-        );
+        assert_eq!(self.states[n.index()], NodeState::Dove, "reincarnate: node {n} is not a dove");
         self.states[n.index()] = NodeState::Egg;
         self.stats.reincarnations += 1;
     }

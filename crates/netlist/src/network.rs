@@ -103,10 +103,7 @@ impl Network {
     pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
         let name = name.into();
         let id = NodeId(self.nodes.len() as u32);
-        assert!(
-            self.by_name.insert(name.clone(), id).is_none(),
-            "duplicate signal name `{name}`"
-        );
+        assert!(self.by_name.insert(name.clone(), id).is_none(), "duplicate signal name `{name}`");
         self.nodes.push(Node { name, func: NodeFunc::Buf, fanins: vec![], is_input: true });
         self.inputs.push(id);
         id

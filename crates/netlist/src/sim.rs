@@ -31,6 +31,41 @@ impl XorShift64 {
         self.state = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
+
+    /// Uniform index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be non-zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "gen_range requires lo <= hi");
+        lo + self.gen_index(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
 }
 
 /// Evaluates a [`Network`] on 64 packed input vectors.
@@ -117,12 +152,7 @@ pub fn simulate_subject64(g: &SubjectGraph, inputs: &[u64]) -> Vec<u64> {
 /// are matched positionally, which holds for graphs produced by
 /// [`crate::decompose`]. For 2^n ≤ vectors with small n this is an
 /// exhaustive check.
-pub fn equiv_network_subject(
-    net: &Network,
-    g: &SubjectGraph,
-    vectors: usize,
-    seed: u64,
-) -> bool {
+pub fn equiv_network_subject(net: &Network, g: &SubjectGraph, vectors: usize, seed: u64) -> bool {
     if net.input_count() != g.inputs().len() || net.output_count() != g.outputs().len() {
         return false;
     }
@@ -131,13 +161,7 @@ pub fn equiv_network_subject(
     let exhaustive = net.input_count() <= 6;
     for w in 0..words {
         let ins: Vec<u64> = (0..net.input_count())
-            .map(|i| {
-                if exhaustive {
-                    exhaustive_word(i, w)
-                } else {
-                    rng.next_u64()
-                }
-            })
+            .map(|i| if exhaustive { exhaustive_word(i, w) } else { rng.next_u64() })
             .collect();
         if simulate_network64(net, &ins) != simulate_subject64(g, &ins) {
             return false;

@@ -172,6 +172,73 @@ impl SubjectGraph {
         self.outputs.push(SubjectOutput { name: name.into(), driver });
     }
 
+    /// Removes internal nodes not reachable from any declared output —
+    /// strash byproducts such as inverters whose double inversion later
+    /// cancelled. Primary inputs are always kept. Node ids are
+    /// renumbered but creation (topological) order is preserved.
+    ///
+    /// Returns the old-id → new-id mapping (`None` for removed nodes).
+    pub fn sweep_dangling(&mut self) -> Vec<Option<SubjectNodeId>> {
+        let n = self.kinds.len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = self.outputs.iter().map(|o| o.driver.index()).collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            for f in self.kinds[i].fanins() {
+                stack.push(f.index());
+            }
+        }
+        for id in &self.inputs {
+            live[id.index()] = true;
+        }
+        let mut remap: Vec<Option<SubjectNodeId>> = vec![None; n];
+        if live.iter().all(|&l| l) {
+            for (i, slot) in remap.iter_mut().enumerate() {
+                *slot = Some(SubjectNodeId(i as u32));
+            }
+            return remap;
+        }
+        let mut kinds = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            remap[i] = Some(SubjectNodeId(kinds.len() as u32));
+            let new = |id: SubjectNodeId| remap[id.index()].expect("fanins precede consumers");
+            kinds.push(match *kind {
+                SubjectKind::Input(p) => SubjectKind::Input(p),
+                SubjectKind::Nand2(a, b) => SubjectKind::Nand2(new(a), new(b)),
+                SubjectKind::Inv(a) => SubjectKind::Inv(new(a)),
+            });
+        }
+        self.kinds = kinds;
+        for id in &mut self.inputs {
+            *id = remap[id.index()].expect("inputs are kept");
+        }
+        for o in &mut self.outputs {
+            o.driver = remap[o.driver.index()].expect("output cones are live");
+        }
+        // Rebuild the strash table over the surviving nodes. Renumbering
+        // is monotone, so NAND operand normalization (lo <= hi) holds.
+        self.strash.clear();
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let id = SubjectNodeId(i as u32);
+            match *kind {
+                SubjectKind::Nand2(a, b) => {
+                    self.strash.insert((false, a.0, b.0), id);
+                }
+                SubjectKind::Inv(a) => {
+                    self.strash.insert((true, a.0, u32::MAX), id);
+                }
+                SubjectKind::Input(_) => {}
+            }
+        }
+        remap
+    }
+
     /// The kind of node `id`.
     pub fn kind(&self, id: SubjectNodeId) -> SubjectKind {
         self.kinds[id.index()]

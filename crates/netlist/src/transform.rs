@@ -27,11 +27,8 @@ pub fn dedup_structural(net: &mut Network) -> usize {
             if node.is_input() {
                 continue;
             }
-            let mut fanins: Vec<NodeId> = node
-                .fanins
-                .iter()
-                .map(|f| replace[f.index()].unwrap_or(*f))
-                .collect();
+            let mut fanins: Vec<NodeId> =
+                node.fanins.iter().map(|f| replace[f.index()].unwrap_or(*f)).collect();
             if is_symmetric(&node.func) {
                 fanins.sort_unstable();
             }
@@ -182,7 +179,7 @@ mod tests {
         let merged = dedup_structural(&mut net);
         assert_eq!(merged, 2, "and-dup plus cascaded inv-dup");
         assert_eq!(net.node_count(), 4); // a, b, and, inv
-        // Function preserved.
+                                         // Function preserved.
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
         assert!(equiv_network_subject(&reference, &g, 16, 3));
     }

@@ -1,36 +1,46 @@
-//! Property tests of the netlist core data structures: truth tables,
-//! SOPs, and the structurally hashed subject graph.
+//! Randomized tests of the netlist core data structures — truth tables,
+//! SOPs, and the structurally hashed subject graph — driven by seeded
+//! deterministic sweeps.
 
 use lily_netlist::func::{Literal, Sop};
+use lily_netlist::sim::XorShift64;
 use lily_netlist::{SubjectGraph, SubjectNodeId, TruthTable};
-use proptest::prelude::*;
 
-fn arb_tt() -> impl Strategy<Value = TruthTable> {
-    (1usize..=6, any::<u64>()).prop_map(|(n, bits)| TruthTable::new(n, bits).expect("n <= 6"))
+fn random_tt(rng: &mut XorShift64) -> TruthTable {
+    let n = rng.gen_range(1, 6);
+    TruthTable::new(n, rng.next_u64()).expect("n <= 6")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn truth_table_not_is_involution(t in arb_tt()) {
-        prop_assert_eq!(t.not().not(), t);
+#[test]
+fn truth_table_not_is_involution() {
+    let mut rng = XorShift64::new(11);
+    for _ in 0..128 {
+        let t = random_tt(&mut rng);
+        assert_eq!(t.not().not(), t);
     }
+}
 
-    #[test]
-    fn truth_table_not_flips_every_row(t in arb_tt()) {
+#[test]
+fn truth_table_not_flips_every_row() {
+    let mut rng = XorShift64::new(12);
+    for _ in 0..128 {
+        let t = random_tt(&mut rng);
         let n = t.inputs();
         let not = t.not();
         for row in 0..(1u64 << n) {
             let vals: Vec<bool> = (0..n).map(|b| (row >> b) & 1 == 1).collect();
-            prop_assert_eq!(t.eval(&vals), !not.eval(&vals));
+            assert_eq!(t.eval(&vals), !not.eval(&vals));
         }
     }
+}
 
-    #[test]
-    fn depends_on_matches_cofactor_difference(t in arb_tt(), pin_seed in any::<usize>()) {
+#[test]
+fn depends_on_matches_cofactor_difference() {
+    let mut rng = XorShift64::new(13);
+    for _ in 0..128 {
+        let t = random_tt(&mut rng);
         let n = t.inputs();
-        let pin = pin_seed % n;
+        let pin = rng.gen_index(n);
         let mut observed = false;
         for row in 0..(1u64 << n) {
             if (row >> pin) & 1 == 1 {
@@ -45,21 +55,19 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(t.depends_on(pin), observed);
+        assert_eq!(t.depends_on(pin), observed);
     }
+}
 
-    #[test]
-    fn sop_literal_count_bounds(
-        cubes in proptest::collection::vec(
-            proptest::collection::vec(0u8..3, 4),
-            0..6,
-        )
-    ) {
-        let cubes: Vec<Vec<Literal>> = cubes
-            .into_iter()
-            .map(|c| {
-                c.into_iter()
-                    .map(|l| match l {
+#[test]
+fn sop_literal_count_bounds() {
+    let mut rng = XorShift64::new(14);
+    for _ in 0..128 {
+        let n_cubes = rng.gen_index(6);
+        let cubes: Vec<Vec<Literal>> = (0..n_cubes)
+            .map(|_| {
+                (0..4)
+                    .map(|_| match rng.gen_index(3) {
                         0 => Literal::Pos,
                         1 => Literal::Neg,
                         _ => Literal::DontCare,
@@ -67,36 +75,35 @@ proptest! {
                     .collect()
             })
             .collect();
-        let n_cubes = cubes.len();
         let sop = Sop::new(4, cubes).expect("consistent width");
-        prop_assert!(sop.literal_count() <= 4 * n_cubes);
-        // An all-don't-care cube makes the function constant true.
-        // (Only checking evaluation never panics over all rows.)
+        assert!(sop.literal_count() <= 4 * n_cubes);
+        // Evaluation never panics over all rows.
         for row in 0..16u64 {
             let vals: Vec<bool> = (0..4).map(|b| (row >> b) & 1 == 1).collect();
             let _ = sop.eval(&vals);
         }
     }
+}
 
-    /// Random NAND/INV build scripts: structural hashing must never
-    /// change the computed function, and node count must never exceed
-    /// the number of build operations.
-    #[test]
-    fn strash_preserves_function_and_dedups(
-        script in proptest::collection::vec((0u8..2, any::<u64>(), any::<u64>()), 1..40)
-    ) {
+/// Random NAND/INV build scripts: structural hashing must never change
+/// the computed function, and node count must never exceed the number of
+/// build operations.
+#[test]
+fn strash_preserves_function_and_dedups() {
+    let mut rng = XorShift64::new(15);
+    for case in 0..128 {
         let mut g = SubjectGraph::new("p");
         let a = g.add_input("a");
         let b = g.add_input("b");
         let c = g.add_input("c");
         let mut signals = vec![a, b, c];
         // Reference evaluation per node, 8 exhaustive rows packed.
-        let words = [0b10101010u64, 0b11001100, 0b11110000];
+        let words = [0b1010_1010u64, 0b1100_1100, 0b1111_0000];
         let mut values: Vec<u64> = words.to_vec();
-        for (op, s1, s2) in script {
-            let x = signals[(s1 % signals.len() as u64) as usize];
-            let y = signals[(s2 % signals.len() as u64) as usize];
-            let (node, val) = match op {
+        for _ in 0..rng.gen_range(1, 39) {
+            let x = signals[rng.gen_index(signals.len())];
+            let y = signals[rng.gen_index(signals.len())];
+            let (node, val) = match rng.gen_index(2) {
                 0 => (g.nand2(x, y), !(values[x.index()] & values[y.index()])),
                 _ => (g.inv(x), !values[x.index()]),
             };
@@ -105,7 +112,7 @@ proptest! {
             } else {
                 // Structural hashing returned an existing node; its value
                 // must agree with the recomputed one.
-                prop_assert_eq!(values[node.index()] & 0xFF, val & 0xFF);
+                assert_eq!(values[node.index()] & 0xFF, val & 0xFF, "case {case}");
             }
             signals.push(node);
         }
@@ -114,29 +121,31 @@ proptest! {
         g.set_output("y", root);
         let ins = vec![words[0], words[1], words[2]];
         let out = lily_netlist::sim::simulate_subject64(&g, &ins)[0];
-        prop_assert_eq!(out & 0xFF, values[root.index()] & 0xFF);
+        assert_eq!(out & 0xFF, values[root.index()] & 0xFF, "case {case}");
     }
+}
 
-    #[test]
-    fn nand_commutes_and_inv_cancels(ops in proptest::collection::vec(any::<u64>(), 1..20)) {
+#[test]
+fn nand_commutes_and_inv_cancels() {
+    let mut rng = XorShift64::new(16);
+    for _ in 0..128 {
         let mut g = SubjectGraph::new("p");
         let a = g.add_input("a");
         let b = g.add_input("b");
         let mut signals = vec![a, b];
-        for s in ops {
-            let x = signals[(s % signals.len() as u64) as usize];
-            let y = signals[((s >> 32) % signals.len() as u64) as usize];
+        for _ in 0..rng.gen_range(1, 19) {
+            let x = signals[rng.gen_index(signals.len())];
+            let y = signals[rng.gen_index(signals.len())];
             let n1 = g.nand2(x, y);
             let n2 = g.nand2(y, x);
-            prop_assert_eq!(n1, n2, "nand2 must commute");
+            assert_eq!(n1, n2, "nand2 must commute");
             let i1 = g.inv(n1);
-            prop_assert_eq!(g.inv(i1), n1, "double inverter must cancel");
+            assert_eq!(g.inv(i1), n1, "double inverter must cancel");
             signals.push(n1);
         }
     }
 }
 
-/// Non-proptest helper check used above.
 #[test]
 fn subject_node_id_round_trips() {
     let id = SubjectNodeId::from_index(42);

@@ -12,8 +12,7 @@
 
 use crate::geom::{Point, Rect};
 use crate::quadratic::PinRef;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lily_netlist::sim::XorShift64;
 
 /// Options for [`anneal`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +61,7 @@ pub fn anneal(
 ) -> AnnealStats {
     assert!(opts.cooling > 0.0 && opts.cooling < 1.0, "cooling must be in (0, 1)");
     let n = positions.len();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = XorShift64::new(opts.seed);
     let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (ni, net) in nets.iter().enumerate() {
         for p in net {
@@ -85,7 +84,8 @@ pub fn anneal(
         seen.dedup();
         seen.iter().map(|&ni| net_len(ni, positions)).sum()
     };
-    let total = |positions: &[Point]| -> f64 { (0..nets.len()).map(|ni| net_len(ni, positions)).sum() };
+    let total =
+        |positions: &[Point]| -> f64 { (0..nets.len()).map(|ni| net_len(ni, positions)).sum() };
 
     let initial_hpwl = total(positions);
     if n < 2 {
@@ -95,8 +95,8 @@ pub fn anneal(
     // Initial temperature: the mean |delta| of a short random-swap walk.
     let mut probe = 0.0;
     for _ in 0..32 {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n);
         if a == b {
             continue;
         }
@@ -118,8 +118,8 @@ pub fn anneal(
             attempted += 1;
             if rng.gen_bool(0.5) {
                 // Pairwise swap.
-                let a = rng.gen_range(0..n);
-                let b = rng.gen_range(0..n);
+                let a = rng.gen_index(n);
+                let b = rng.gen_index(n);
                 if a == b {
                     continue;
                 }
@@ -133,10 +133,10 @@ pub fn anneal(
                 }
             } else {
                 // Bounded displacement.
-                let a = rng.gen_range(0..n);
+                let a = rng.gen_index(n);
                 let old = positions[a];
-                let dx = rng.gen_range(-window..=window);
-                let dy = rng.gen_range(-window..=window);
+                let dx = rng.gen_range_f64(-window, window);
+                let dy = rng.gen_range_f64(-window, window);
                 let cand = opts.core.clamp(Point::new(old.x + dx, old.y + dy));
                 let before = local(&[a], positions);
                 positions[a] = cand;

@@ -139,10 +139,16 @@ impl Rect {
     pub fn split(&self, axis: usize) -> (Rect, Rect) {
         if axis == 0 {
             let mid = (self.llx + self.urx) / 2.0;
-            (Rect::new(self.llx, self.lly, mid, self.ury), Rect::new(mid, self.lly, self.urx, self.ury))
+            (
+                Rect::new(self.llx, self.lly, mid, self.ury),
+                Rect::new(mid, self.lly, self.urx, self.ury),
+            )
         } else {
             let mid = (self.lly + self.ury) / 2.0;
-            (Rect::new(self.llx, self.lly, self.urx, mid), Rect::new(self.llx, mid, self.urx, self.ury))
+            (
+                Rect::new(self.llx, self.lly, self.urx, mid),
+                Rect::new(self.llx, mid, self.urx, self.ury),
+            )
         }
     }
 }

@@ -66,9 +66,7 @@ pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalP
     let mut regions: Vec<(Rect, Vec<usize>)> = vec![(opts.region, (0..n).collect())];
     let mut level = 0usize;
 
-    while level < opts.max_levels
-        && regions.iter().any(|(_, m)| m.len() > opts.min_region)
-    {
+    while level < opts.max_levels && regions.iter().any(|(_, m)| m.len() > opts.min_region) {
         let mut next: Vec<(Rect, Vec<usize>)> = Vec::with_capacity(regions.len() * 2);
         for (rect, modules) in &regions {
             if modules.len() <= opts.min_region {

@@ -46,20 +46,15 @@ pub fn legalize(widths: &[f64], desired: &[Point], opts: &LegalizeOptions) -> Le
     assert!(opts.core.width() > 0.0 && opts.core.height() > 0.0, "empty core");
     let n = widths.len();
     let n_rows = ((opts.core.height() / opts.row_height).floor() as usize).max(1);
-    let row_y: Vec<f64> = (0..n_rows)
-        .map(|r| opts.core.lly + (r as f64 + 0.5) * opts.row_height)
-        .collect();
+    let row_y: Vec<f64> =
+        (0..n_rows).map(|r| opts.core.lly + (r as f64 + 0.5) * opts.row_height).collect();
 
     // Assign cells to rows in y order, balancing total width per row.
     let total_width: f64 = widths.iter().sum();
     let target = total_width / n_rows as f64;
     let mut by_y: Vec<usize> = (0..n).collect();
     by_y.sort_by(|&a, &b| {
-        desired[a]
-            .y
-            .partial_cmp(&desired[b].y)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        desired[a].y.partial_cmp(&desired[b].y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
     let mut row = 0usize;
@@ -88,7 +83,7 @@ pub fn legalize(widths: &[f64], desired: &[Point], opts: &LegalizeOptions) -> Le
 /// (both are monotone with the same widths, so the average is legal
 /// too).
 fn pack_row(
-    cells: &mut Vec<usize>,
+    cells: &mut [usize],
     widths: &[f64],
     desired: &[Point],
     core: Rect,
@@ -96,34 +91,39 @@ fn pack_row(
     positions: &mut [Point],
 ) {
     cells.sort_by(|&a, &b| {
-        desired[a]
-            .x
-            .partial_cmp(&desired[b].x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        desired[a].x.partial_cmp(&desired[b].x).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     if cells.is_empty() {
         return;
     }
-    // Forward pass: left edges at max(desired, previous end), clamped
-    // to start inside the core.
+    // Forward pass: left edges at max(desired, previous end), capped so
+    // that this cell and everything after it still fit before the right
+    // core edge (the cap is waived only when the row is overfull).
+    let total: f64 = cells.iter().map(|&c| widths[c]).sum();
     let mut fwd = Vec::with_capacity(cells.len());
     let mut cursor = core.llx;
+    let mut suffix = total;
     for &c in cells.iter() {
         let want = desired[c].x - widths[c] / 2.0;
-        let x = want.max(cursor);
+        let cap = core.urx - suffix;
+        let x = want.max(cursor).min(cap.max(cursor));
         fwd.push(x);
         cursor = x + widths[c];
+        suffix -= widths[c];
     }
-    // Backward pass: right edges at min(desired, next start), clamped
-    // to end inside the core when possible.
+    // Backward pass: right edges at min(desired, next start), capped so
+    // that this cell and everything before it still fit after the left
+    // core edge.
     let mut bwd = vec![0.0; cells.len()];
     let mut cursor = core.urx;
+    let mut prefix = total;
     for (i, &c) in cells.iter().enumerate().rev() {
         let want = desired[c].x + widths[c] / 2.0;
-        let x = want.min(cursor);
+        let cap = core.llx + prefix;
+        let x = want.min(cursor).max(cap.min(cursor));
         bwd[i] = x - widths[c];
         cursor = bwd[i];
+        prefix -= widths[c];
     }
     for (i, &c) in cells.iter().enumerate() {
         let left = (fwd[i] + bwd[i]) / 2.0;
@@ -226,9 +226,9 @@ fn swap_pass(
     touching: &[Vec<usize>],
 ) -> Legalized {
     let mut out = legal.clone();
-    let _ = widths;
     let local_cost = |cells: &[usize], positions: &[Point]| -> f64 {
-        let mut seen: Vec<usize> = cells.iter().flat_map(|&c| touching[c].iter().copied()).collect();
+        let mut seen: Vec<usize> =
+            cells.iter().flat_map(|&c| touching[c].iter().copied()).collect();
         seen.sort_unstable();
         seen.dedup();
         seen.iter()
@@ -249,11 +249,14 @@ fn swap_pass(
                 let a = out.rows[r][i];
                 let b = out.rows[r][i + 1];
                 let before = local_cost(&[a, b], &out.positions);
-                // Swap by exchanging x positions (equal-width swap keeps
-                // legality; unequal widths shift centers symmetrically).
+                // Swap by re-packing the pair inside its combined span
+                // (left edge of `a` to right edge of `b`): exchanging
+                // centers directly would leak unequal widths onto the
+                // neighbors.
                 let (pa, pb) = (out.positions[a], out.positions[b]);
-                out.positions[a] = pb;
-                out.positions[b] = pa;
+                let left = pa.x - widths[a] / 2.0;
+                out.positions[b] = Point::new(left + widths[b] / 2.0, pb.y);
+                out.positions[a] = Point::new(left + widths[b] + widths[a] / 2.0, pa.y);
                 let after = local_cost(&[a, b], &out.positions);
                 if after + 1e-9 < before {
                     out.rows[r].swap(i, i + 1);
@@ -276,19 +279,14 @@ mod tests {
     use super::*;
 
     fn opts() -> LegalizeOptions {
-        LegalizeOptions {
-            core: Rect::new(0.0, 0.0, 100.0, 40.0),
-            row_height: 10.0,
-            passes: 4,
-        }
+        LegalizeOptions { core: Rect::new(0.0, 0.0, 100.0, 40.0), row_height: 10.0, passes: 4 }
     }
 
     #[test]
     fn rows_have_no_overlap() {
         let widths = vec![10.0; 12];
-        let desired: Vec<Point> = (0..12)
-            .map(|i| Point::new((i % 4) as f64 * 25.0, (i / 4) as f64 * 13.0))
-            .collect();
+        let desired: Vec<Point> =
+            (0..12).map(|i| Point::new((i % 4) as f64 * 25.0, (i / 4) as f64 * 13.0)).collect();
         let legal = legalize(&widths, &desired, &opts());
         for (r, cells) in legal.rows.iter().enumerate() {
             for w in cells.windows(2) {
@@ -329,7 +327,8 @@ mod tests {
         // tied to a pad on the right, cell 1 to a pad on the left.
         let widths = vec![10.0, 10.0];
         let desired = vec![Point::new(10.0, 5.0), Point::new(20.0, 5.0)];
-        let o = LegalizeOptions { core: Rect::new(0.0, 0.0, 100.0, 10.0), row_height: 10.0, passes: 3 };
+        let o =
+            LegalizeOptions { core: Rect::new(0.0, 0.0, 100.0, 10.0), row_height: 10.0, passes: 3 };
         let legal = legalize(&widths, &desired, &o);
         let fixed = vec![Point::new(100.0, 5.0), Point::new(0.0, 5.0)];
         let nets = vec![
@@ -346,7 +345,8 @@ mod tests {
     fn single_row_core() {
         let widths = vec![4.0; 3];
         let desired = vec![Point::new(1.0, 1.0), Point::new(2.0, 1.0), Point::new(3.0, 1.0)];
-        let o = LegalizeOptions { core: Rect::new(0.0, 0.0, 50.0, 8.0), row_height: 10.0, passes: 0 };
+        let o =
+            LegalizeOptions { core: Rect::new(0.0, 0.0, 50.0, 8.0), row_height: 10.0, passes: 0 };
         let legal = legalize(&widths, &desired, &o);
         assert_eq!(legal.rows.len(), 1);
         assert_eq!(legal.rows[0].len(), 3);

@@ -116,9 +116,8 @@ pub fn assign_pads(problem: &PlacementProblem, core: Rect) -> Vec<Point> {
     // degenerate (symmetric designs) while reducing to the pure angle
     // ordering when pads share no modules.
     let affinity = pad_affinity(problem);
-    let seed: Vec<f64> = (0..n_pads)
-        .map(|p| angle_from_center(core, centroids[p]) + 1e-9 * p as f64)
-        .collect();
+    let seed: Vec<f64> =
+        (0..n_pads).map(|p| angle_from_center(core, centroids[p]) + 1e-9 * p as f64).collect();
     let key = diffuse(&affinity, &seed, 30);
 
     let slots = perimeter_points(core, n_pads);
@@ -170,7 +169,8 @@ fn pad_affinity(problem: &PlacementProblem) -> Vec<Vec<(usize, f64)>> {
             pads_of_module[m].push(pad);
         }
     }
-    let mut weight: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut weight: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     for pads in &pads_of_module {
         for i in 0..pads.len() {
             for j in i + 1..pads.len() {
@@ -271,9 +271,7 @@ mod tests {
         // group is cyclically contiguous.
         let mut by_angle: Vec<usize> = (0..8).collect();
         by_angle.sort_by(|&a, &b| {
-            angle_from_center(core, pads[a])
-                .partial_cmp(&angle_from_center(core, pads[b]))
-                .unwrap()
+            angle_from_center(core, pads[a]).partial_cmp(&angle_from_center(core, pads[b])).unwrap()
         });
         let groups: Vec<usize> = by_angle.iter().map(|&p| group(p)).collect();
         // Count group changes around the cycle: contiguous groups change
@@ -292,10 +290,7 @@ mod tests {
         };
         let pads = assign_pads(&problem, core);
         assert_eq!(pads.len(), 5);
-        assert!(assign_pads(
-            &PlacementProblem { movable: 0, fixed: vec![], nets: vec![] },
-            core
-        )
-        .is_empty());
+        assert!(assign_pads(&PlacementProblem { movable: 0, fixed: vec![], nets: vec![] }, core)
+            .is_empty());
     }
 }

@@ -117,7 +117,7 @@ mod tests {
         let sp = SubjectPlacement::new(&g);
         assert_eq!(sp.problem.movable, 2); // nand + inv
         assert_eq!(sp.problem.fixed.len(), 3); // 2 PI + 1 PO
-        // Nets: a->nand, b->nand, nand->inv, inv->PO pad.
+                                               // Nets: a->nand, b->nand, nand->inv, inv->PO pad.
         assert_eq!(sp.problem.nets.len(), 4);
         sp.problem.validate().unwrap();
     }
@@ -146,10 +146,7 @@ mod tests {
         let sp = SubjectPlacement::new(&g);
         // The nand's net carries two PO pads.
         let big = sp.problem.nets.iter().find(|net| net.len() == 3).expect("driver net");
-        let fixed_count = big
-            .iter()
-            .filter(|p| matches!(p, PinRef::Fixed(i) if *i >= 2))
-            .count();
+        let fixed_count = big.iter().filter(|p| matches!(p, PinRef::Fixed(i) if *i >= 2)).count();
         assert_eq!(fixed_count, 2);
     }
 }

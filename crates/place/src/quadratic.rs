@@ -228,11 +228,8 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        let p = PlacementProblem {
-            movable: 1,
-            fixed: vec![],
-            nets: vec![vec![PinRef::Movable(0)]],
-        };
+        let p =
+            PlacementProblem { movable: 1, fixed: vec![], nets: vec![vec![PinRef::Movable(0)]] };
         assert!(p.validate().is_err());
         let p2 = PlacementProblem {
             movable: 1,

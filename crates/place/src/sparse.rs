@@ -58,7 +58,7 @@ impl CsrBuilder {
 
     /// Finalizes into CSR form.
     pub fn build(mut self) -> CsrMatrix {
-        self.triplets.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.triplets.sort_unstable_by_key(|t| (t.0, t.1));
         let mut row_ptr = vec![0usize; self.n + 1];
         let mut col = Vec::new();
         let mut val = Vec::new();
@@ -95,22 +95,22 @@ impl CsrMatrix {
     pub fn mul(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.val[k] * x[self.col[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
     /// The diagonal of the matrix (for Jacobi preconditioning).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, dr) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col[k] == r {
-                    d[r] = self.val[k];
+                    *dr = self.val[k];
                 }
             }
         }

@@ -1,104 +1,106 @@
-//! Property tests of the placement substrate: annealing never worsens
-//! the placement it returns, FM refinement never increases the cut, the
-//! CG solver solves random SPD systems, and legalization is complete.
+//! Randomized tests of the placement substrate, driven by seeded
+//! deterministic sweeps: annealing never worsens the placement it
+//! returns, FM refinement never increases the cut, the CG solver solves
+//! random SPD systems, and legalization is complete.
 
+use lily_netlist::sim::XorShift64;
 use lily_place::anneal::{anneal, AnnealOptions};
 use lily_place::fm::{cut_size, refine, FmInstance, FmOptions};
 use lily_place::legalize::{legalize, LegalizeOptions};
 use lily_place::sparse::{conjugate_gradient, CsrBuilder};
 use lily_place::{PinRef, Point, Rect};
-use proptest::prelude::*;
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((0.0f64..800.0, 0.0f64..400.0), 2..max)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+fn random_points(rng: &mut XorShift64, max: usize, w: f64, h: f64) -> Vec<Point> {
+    let n = rng.gen_range(2, max - 1);
+    (0..n).map(|_| Point::new(rng.gen_range_f64(0.0, w), rng.gen_range_f64(0.0, h))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn anneal_never_returns_a_worse_placement(
-        positions in arb_points(16),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn anneal_never_returns_a_worse_placement() {
+    let mut rng = XorShift64::new(21);
+    for _ in 0..32 {
         let core = Rect::new(0.0, 0.0, 800.0, 400.0);
-        let n = positions.len();
+        let mut p = random_points(&mut rng, 16, 800.0, 400.0);
+        let n = p.len();
         // A ring of 2-pin nets.
         let nets: Vec<Vec<PinRef>> =
             (0..n).map(|i| vec![PinRef::Movable(i), PinRef::Movable((i + 1) % n)]).collect();
-        let mut p = positions;
-        let opts = AnnealOptions { seed, steps: 6, moves_per_cell: 4, ..AnnealOptions::for_core(core) };
+        let opts = AnnealOptions {
+            seed: rng.next_u64(),
+            steps: 6,
+            moves_per_cell: 4,
+            ..AnnealOptions::for_core(core)
+        };
         let stats = anneal(&mut p, &nets, &[], &opts);
-        prop_assert!(stats.final_hpwl <= stats.initial_hpwl + 1e-9);
+        assert!(stats.final_hpwl <= stats.initial_hpwl + 1e-9);
         for pt in &p {
-            prop_assert!(core.contains(*pt));
+            assert!(core.contains(*pt));
         }
     }
+}
 
-    #[test]
-    fn fm_never_increases_the_cut(
-        net_seeds in proptest::collection::vec((0usize..12, 0usize..12), 4..30),
-        sides in proptest::collection::vec(any::<bool>(), 12),
-    ) {
-        let nets: Vec<Vec<usize>> = net_seeds
-            .into_iter()
+#[test]
+fn fm_never_increases_the_cut() {
+    let mut rng = XorShift64::new(22);
+    for _ in 0..32 {
+        let nets: Vec<Vec<usize>> = (0..rng.gen_range(4, 29))
+            .map(|_| (rng.gen_index(12), rng.gen_index(12)))
             .filter(|(a, b)| a != b)
             .map(|(a, b)| vec![a, b])
             .collect();
-        prop_assume!(!nets.is_empty());
+        if nets.is_empty() {
+            continue;
+        }
         let inst = FmInstance { cells: 12, nets, weights: vec![1.0; 12] };
-        let mut side = sides;
+        let mut side: Vec<bool> = (0..12).map(|_| rng.gen_bool(0.5)).collect();
         let before = cut_size(&inst, &side);
         let after = refine(&inst, &mut side, &FmOptions::default());
-        prop_assert!(after <= before, "cut grew: {before} -> {after}");
-        prop_assert_eq!(after, cut_size(&inst, &side));
+        assert!(after <= before, "cut grew: {before} -> {after}");
+        assert_eq!(after, cut_size(&inst, &side));
     }
+}
 
-    #[test]
-    fn cg_solves_random_spd_systems(
-        diag in proptest::collection::vec(1.0f64..10.0, 3..10),
-        rhs_seed in proptest::collection::vec(-5.0f64..5.0, 3..10),
-    ) {
-        let n = diag.len().min(rhs_seed.len());
+#[test]
+fn cg_solves_random_spd_systems() {
+    let mut rng = XorShift64::new(23);
+    for _ in 0..32 {
+        let n = rng.gen_range(3, 9);
         let mut b = CsrBuilder::new(n);
         // Diagonally dominant: diag + weak chain springs.
-        for (i, &d) in diag[..n].iter().enumerate() {
-            b.add(i, i, d + 2.0);
+        for i in 0..n {
+            b.add(i, i, rng.gen_range_f64(1.0, 10.0) + 2.0);
         }
         for i in 0..n - 1 {
             b.add(i, i + 1, -1.0);
             b.add(i + 1, i, -1.0);
         }
         let a = b.build();
-        let rhs = &rhs_seed[..n];
-        let (x, _) = conjugate_gradient(&a, rhs, &vec![0.0; n], 1e-10, 500);
+        let rhs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-5.0, 5.0)).collect();
+        let (x, _) = conjugate_gradient(&a, &rhs, &vec![0.0; n], 1e-10, 500);
         // Residual must be tiny.
         let mut ax = vec![0.0; n];
         a.mul(&x, &mut ax);
         for i in 0..n {
-            prop_assert!((ax[i] - rhs[i]).abs() < 1e-6, "residual at {i}");
+            assert!((ax[i] - rhs[i]).abs() < 1e-6, "residual at {i}");
         }
     }
+}
 
-    #[test]
-    fn legalization_is_complete_and_in_core(
-        desired in arb_points(30),
-        width_seed in 12.0f64..48.0,
-    ) {
+#[test]
+fn legalization_is_complete_and_in_core() {
+    let mut rng = XorShift64::new(24);
+    for _ in 0..32 {
+        let desired = random_points(&mut rng, 30, 800.0, 400.0);
         let n = desired.len();
-        let widths = vec![width_seed; n];
+        let widths = vec![rng.gen_range_f64(12.0, 48.0); n];
         let core = Rect::new(0.0, 0.0, 3000.0, 600.0);
-        let legal = legalize(&widths, &desired, &LegalizeOptions {
-            core,
-            row_height: 100.0,
-            passes: 0,
-        });
+        let legal =
+            legalize(&widths, &desired, &LegalizeOptions { core, row_height: 100.0, passes: 0 });
         let assigned: usize = legal.rows.iter().map(Vec::len).sum();
-        prop_assert_eq!(assigned, n);
+        assert_eq!(assigned, n);
         for (r, cells) in legal.rows.iter().enumerate() {
             for &c in cells {
-                prop_assert!((legal.positions[c].y - legal.row_y[r]).abs() < 1e-9);
+                assert!((legal.positions[c].y - legal.row_y[r]).abs() < 1e-9);
             }
         }
     }

@@ -22,10 +22,7 @@ use lily_place::{Point, Rect};
 /// Panics if `row_ys` is empty or unsorted.
 pub fn channel_densities(row_ys: &[f64], nets: &[Vec<Point>]) -> Vec<usize> {
     assert!(!row_ys.is_empty(), "need at least one row");
-    assert!(
-        row_ys.windows(2).all(|w| w[0] <= w[1]),
-        "row centers must be sorted"
-    );
+    assert!(row_ys.windows(2).all(|w| w[0] <= w[1]), "row centers must be sorted");
     let channels = row_ys.len() + 1;
     // Channel index of a y coordinate: number of row centers below it.
     let channel_of = |y: f64| -> usize { row_ys.iter().filter(|&&ry| ry < y).count() };
@@ -42,9 +39,9 @@ pub fn channel_densities(row_ys: &[f64], nets: &[Vec<Point>]) -> Vec<usize> {
         let lo = channel_of(bbox.lly);
         let hi = channel_of(bbox.ury);
         // A net fully inside one row's band still needs one channel.
-        for ch in lo..=hi.max(lo) {
-            events[ch].push((bbox.llx, 1));
-            events[ch].push((bbox.urx, -1));
+        for ev in &mut events[lo..=hi.max(lo)] {
+            ev.push((bbox.llx, 1));
+            ev.push((bbox.urx, -1));
         }
     }
 
@@ -53,9 +50,7 @@ pub fn channel_densities(row_ys: &[f64], nets: &[Vec<Point>]) -> Vec<usize> {
         .map(|mut ev| {
             // Close intervals before opening at the same x (half-open).
             ev.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.1.cmp(&b.1))
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
             });
             let mut cur = 0i32;
             let mut max = 0i32;

@@ -122,10 +122,7 @@ impl GlobalRouteGrid {
     /// Routes a whole net along its rectilinear spanning tree. Returns
     /// the routed length.
     pub fn route_net(&mut self, pins: &[Point]) -> f64 {
-        rst_edges(pins)
-            .into_iter()
-            .map(|(i, j)| self.route_two_pin(pins[i], pins[j]))
-            .sum()
+        rst_edges(pins).into_iter().map(|(i, j)| self.route_two_pin(pins[i], pins[j])).sum()
     }
 
     /// Routes a set of nets in order and summarizes.

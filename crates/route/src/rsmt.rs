@@ -124,9 +124,8 @@ mod tests {
         };
         for _ in 0..20 {
             let n = 3 + (next() % 8) as usize;
-            let pins: Vec<Point> = (0..n)
-                .map(|_| Point::new((next() % 100) as f64, (next() % 100) as f64))
-                .collect();
+            let pins: Vec<Point> =
+                (0..n).map(|_| Point::new((next() % 100) as f64, (next() % 100) as f64)).collect();
             let rst = rst_length(&pins);
             let rsmt = rsmt_length(&pins);
             assert!(rsmt <= rst + 1e-9, "rsmt {rsmt} > rst {rst} for {pins:?}");

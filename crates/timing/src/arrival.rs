@@ -110,9 +110,7 @@ pub fn block_arrival(input: Arrival, pin: &Pin, unate: Unateness) -> Arrival {
     match unate {
         Unateness::Positive => Arrival::new(rise_noninv, fall_noninv),
         Unateness::Negative => Arrival::new(rise_inv, fall_inv),
-        Unateness::Binate => {
-            Arrival::new(rise_noninv.max(rise_inv), fall_noninv.max(fall_inv))
-        }
+        Unateness::Binate => Arrival::new(rise_noninv.max(rise_inv), fall_noninv.max(fall_inv)),
     }
 }
 

@@ -7,16 +7,10 @@ use std::fmt::Write as _;
 
 /// Formats the critical path of an STA run as a stage-by-stage table:
 /// gate, position, incremental delay, cumulative arrival.
-pub fn critical_path_report(
-    mapped: &MappedNetwork,
-    lib: &Library,
-    sta: &StaResult,
-) -> String {
+pub fn critical_path_report(mapped: &MappedNetwork, lib: &Library, sta: &StaResult) -> String {
     let mut out = String::new();
-    let output = mapped
-        .outputs
-        .get(sta.critical_output)
-        .map_or("<none>", |(name, _)| name.as_str());
+    let output =
+        mapped.outputs.get(sta.critical_output).map_or("<none>", |(name, _)| name.as_str());
     let _ = writeln!(
         out,
         "critical path to output `{output}`: {:.3} ns over {} stages",
@@ -52,8 +46,7 @@ pub fn critical_path_report(
 /// (|slack| < epsilon), and a small histogram.
 pub fn slack_summary(mapped: &MappedNetwork, sta: &StaResult) -> String {
     let mut out = String::new();
-    let finite: Vec<f64> =
-        sta.cell_slack.iter().copied().filter(|s| s.is_finite()).collect();
+    let finite: Vec<f64> = sta.cell_slack.iter().copied().filter(|s| s.is_finite()).collect();
     if finite.is_empty() {
         let _ = writeln!(out, "no constrained cells");
         return out;
@@ -96,9 +89,7 @@ pub fn validate(sta: &StaResult) -> Vec<String> {
     for cell in &sta.critical_path {
         let t = sta.cell_arrival[cell.index()].worst();
         if t < prev - 1e-9 {
-            problems.push(format!(
-                "arrival not monotone along critical path: {t} after {prev}"
-            ));
+            problems.push(format!("arrival not monotone along critical path: {t} after {prev}"));
         }
         prev = t;
     }

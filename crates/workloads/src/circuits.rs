@@ -31,21 +31,126 @@ pub struct CircuitSpec {
 
 /// The fifteen circuits of Table 1, in the paper's row order.
 pub const SPECS: [CircuitSpec; 15] = [
-    CircuitSpec { name: "9symml", inputs: 9, outputs: 1, base_gates: 236, seed: 1001, in_table2: true },
-    CircuitSpec { name: "C1908", inputs: 33, outputs: 25, base_gates: 604, seed: 1002, in_table2: true },
-    CircuitSpec { name: "C3540", inputs: 50, outputs: 22, base_gates: 1524, seed: 1003, in_table2: false },
-    CircuitSpec { name: "C432", inputs: 36, outputs: 7, base_gates: 298, seed: 1004, in_table2: true },
-    CircuitSpec { name: "C499", inputs: 41, outputs: 32, base_gates: 578, seed: 1005, in_table2: true },
-    CircuitSpec { name: "C5315", inputs: 178, outputs: 123, base_gates: 1892, seed: 1006, in_table2: true },
-    CircuitSpec { name: "C880", inputs: 60, outputs: 26, base_gates: 543, seed: 1007, in_table2: true },
-    CircuitSpec { name: "apex6", inputs: 135, outputs: 99, base_gates: 858, seed: 1008, in_table2: false },
-    CircuitSpec { name: "apex7", inputs: 49, outputs: 37, base_gates: 298, seed: 1009, in_table2: true },
-    CircuitSpec { name: "b9", inputs: 41, outputs: 21, base_gates: 166, seed: 1010, in_table2: true },
-    CircuitSpec { name: "apex3", inputs: 54, outputs: 50, base_gates: 1901, seed: 1011, in_table2: false },
-    CircuitSpec { name: "duke2", inputs: 22, outputs: 29, base_gates: 587, seed: 1012, in_table2: true },
-    CircuitSpec { name: "e64", inputs: 65, outputs: 65, base_gates: 359, seed: 1013, in_table2: true },
-    CircuitSpec { name: "misex1", inputs: 8, outputs: 7, base_gates: 73, seed: 1014, in_table2: true },
-    CircuitSpec { name: "misex3", inputs: 14, outputs: 14, base_gates: 762, seed: 1015, in_table2: true },
+    CircuitSpec {
+        name: "9symml",
+        inputs: 9,
+        outputs: 1,
+        base_gates: 236,
+        seed: 1001,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "C1908",
+        inputs: 33,
+        outputs: 25,
+        base_gates: 604,
+        seed: 1002,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "C3540",
+        inputs: 50,
+        outputs: 22,
+        base_gates: 1524,
+        seed: 1003,
+        in_table2: false,
+    },
+    CircuitSpec {
+        name: "C432",
+        inputs: 36,
+        outputs: 7,
+        base_gates: 298,
+        seed: 1004,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "C499",
+        inputs: 41,
+        outputs: 32,
+        base_gates: 578,
+        seed: 1005,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "C5315",
+        inputs: 178,
+        outputs: 123,
+        base_gates: 1892,
+        seed: 1006,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "C880",
+        inputs: 60,
+        outputs: 26,
+        base_gates: 543,
+        seed: 1007,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "apex6",
+        inputs: 135,
+        outputs: 99,
+        base_gates: 858,
+        seed: 1008,
+        in_table2: false,
+    },
+    CircuitSpec {
+        name: "apex7",
+        inputs: 49,
+        outputs: 37,
+        base_gates: 298,
+        seed: 1009,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "b9",
+        inputs: 41,
+        outputs: 21,
+        base_gates: 166,
+        seed: 1010,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "apex3",
+        inputs: 54,
+        outputs: 50,
+        base_gates: 1901,
+        seed: 1011,
+        in_table2: false,
+    },
+    CircuitSpec {
+        name: "duke2",
+        inputs: 22,
+        outputs: 29,
+        base_gates: 587,
+        seed: 1012,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "e64",
+        inputs: 65,
+        outputs: 65,
+        base_gates: 359,
+        seed: 1013,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "misex1",
+        inputs: 8,
+        outputs: 7,
+        base_gates: 73,
+        seed: 1014,
+        in_table2: true,
+    },
+    CircuitSpec {
+        name: "misex3",
+        inputs: 14,
+        outputs: 14,
+        base_gates: 762,
+        seed: 1015,
+        in_table2: true,
+    },
 ];
 
 /// Names in Table 1 order.

@@ -7,9 +7,8 @@
 //! edges (reconvergent fanout), and shared nodes feeding several
 //! consumers.
 
+use lily_netlist::sim::XorShift64;
 use lily_netlist::{Network, NodeFunc, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a generated network.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,14 +31,7 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        Self {
-            inputs: 8,
-            outputs: 4,
-            internal_nodes: 40,
-            max_fanin: 4,
-            locality: 0.8,
-            seed: 1,
-        }
+        Self { inputs: 8, outputs: 4, internal_nodes: 40, max_fanin: 4, locality: 0.8, seed: 1 }
     }
 }
 
@@ -62,13 +54,13 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
     assert!(options.inputs > 0, "need at least one input");
     assert!(options.outputs > 0, "need at least one output");
     assert!(options.max_fanin >= 2, "max fanin must be at least 2");
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = XorShift64::new(options.seed);
     let mut net = Network::new(format!("gen{}", options.seed));
     let mut signals: Vec<NodeId> =
         (0..options.inputs).map(|i| net.add_input(format!("pi{i}"))).collect();
 
     for i in 0..options.internal_nodes {
-        let k = rng.gen_range(2..=options.max_fanin.min(signals.len().max(2)));
+        let k = rng.gen_range(2, options.max_fanin.min(signals.len().max(2)));
         let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
         let mut guard = 0;
         while fanins.len() < k && guard < 100 {
@@ -77,9 +69,9 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
                 // Recent window: geometric-ish bias toward the newest
                 // quarter of the signal pool.
                 let window = (signals.len() / 4).max(4);
-                signals.len() - 1 - rng.gen_range(0..window)
+                signals.len() - 1 - rng.gen_index(window)
             } else {
-                rng.gen_range(0..signals.len())
+                rng.gen_index(signals.len())
             };
             let s = signals[idx];
             if !fanins.contains(&s) {
@@ -88,7 +80,7 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
         }
         if fanins.len() < 2 {
             // Degenerate pool; fall back to an inverter of something.
-            let s = signals[rng.gen_range(0..signals.len())];
+            let s = signals[rng.gen_index(signals.len())];
             let id = net
                 .add_node(format!("n{i}"), NodeFunc::Inv, vec![s])
                 .expect("generator produces valid nodes");
@@ -96,19 +88,16 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
             continue;
         }
         let func = pick_func(&mut rng);
-        let id = net
-            .add_node(format!("n{i}"), func, fanins)
-            .expect("generator produces valid nodes");
+        let id =
+            net.add_node(format!("n{i}"), func, fanins).expect("generator produces valid nodes");
         signals.push(id);
     }
 
     // Outputs: prefer nodes nobody reads (so the network stays live),
     // then fill from the most recent signals.
     let fanout = net.fanout_counts();
-    let mut unread: Vec<NodeId> = net
-        .node_ids()
-        .filter(|id| !net.node(*id).is_input() && fanout[id.index()] == 0)
-        .collect();
+    let mut unread: Vec<NodeId> =
+        net.node_ids().filter(|id| !net.node(*id).is_input() && fanout[id.index()] == 0).collect();
     // Newest first, so deep logic reaches the outputs.
     unread.reverse();
     let mut drivers: Vec<NodeId> = Vec::with_capacity(options.outputs);
@@ -137,8 +126,8 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
     RandomNetwork { network: net, options }
 }
 
-fn pick_func(rng: &mut StdRng) -> NodeFunc {
-    match rng.gen_range(0..100) {
+fn pick_func(rng: &mut XorShift64) -> NodeFunc {
+    match rng.gen_index(100) {
         0..=24 => NodeFunc::And,
         25..=49 => NodeFunc::Or,
         50..=69 => NodeFunc::Nand,
@@ -249,10 +238,7 @@ mod tests {
             let g = decompose(&n.network, DecomposeOrder::Balanced).unwrap();
             let got = g.base_gate_count();
             let ratio = got as f64 / target as f64;
-            assert!(
-                (0.6..=1.5).contains(&ratio),
-                "target {target}, got {got} base gates"
-            );
+            assert!((0.6..=1.5).contains(&ratio), "target {target}, got {got} base gates");
         }
     }
 

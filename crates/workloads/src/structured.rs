@@ -86,8 +86,7 @@ pub fn mux_tree(s: usize) -> Network {
                 net.add_node(format!("lo{level}_{pair}"), NodeFunc::And, vec![ch[0], nsl]).unwrap();
             let hi =
                 net.add_node(format!("hi{level}_{pair}"), NodeFunc::And, vec![ch[1], sl]).unwrap();
-            let or =
-                net.add_node(format!("m{level}_{pair}"), NodeFunc::Or, vec![lo, hi]).unwrap();
+            let or = net.add_node(format!("m{level}_{pair}"), NodeFunc::Or, vec![lo, hi]).unwrap();
             next.push(or);
         }
         layer = next;
@@ -130,18 +129,16 @@ pub fn array_multiplier(width: usize) -> Network {
                 1 => acc[col] = Some(bits[0]),
                 2 => {
                     counter += 1;
-                    let s = net
-                        .add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone())
-                        .unwrap();
+                    let s =
+                        net.add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone()).unwrap();
                     let c = net.add_node(format!("c{counter}"), NodeFunc::And, bits).unwrap();
                     acc[col] = Some(s);
                     carry = Some(c);
                 }
                 _ => {
                     counter += 1;
-                    let s = net
-                        .add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone())
-                        .unwrap();
+                    let s =
+                        net.add_node(format!("s{counter}"), NodeFunc::Xor, bits.clone()).unwrap();
                     // Majority carry.
                     let ab = net
                         .add_node(format!("cab{counter}"), NodeFunc::And, vec![bits[0], bits[1]])
@@ -205,7 +202,8 @@ pub fn barrel_shifter(s: usize) -> Network {
                     vec![data[(i + n - shift) % n], sl],
                 )
                 .unwrap();
-            let or = net.add_node(format!("r{level}_{i}"), NodeFunc::Or, vec![stay, moved]).unwrap();
+            let or =
+                net.add_node(format!("r{level}_{i}"), NodeFunc::Or, vec![stay, moved]).unwrap();
             next.push(or);
         }
         data = next;
@@ -292,7 +290,7 @@ pub fn symml9() -> Network {
     // Sum the three ones-weighted bits and three twos-weighted bits.
     let (b0, c3) = full_add(&mut net, s0, s1, s2); // bit0 + carry into twos
     let (t0, c4) = full_add(&mut net, c0, c1, c2); // twos sum + carry into fours
-    // twos column: t0 + c3
+                                                   // twos column: t0 + c3
     let b1 = net.add_node("b1", NodeFunc::Xor, vec![t0, c3]).unwrap();
     let c5 = net.add_node("c5", NodeFunc::And, vec![t0, c3]).unwrap();
     // fours column: c4 + c5
@@ -329,8 +327,8 @@ mod tests {
                 let b = (row >> 3) & 0b111;
                 let cin = (row >> 6) & 1;
                 let total = a + b + cin;
-                for bit in 0..3 {
-                    let got = (out[bit] >> lane) & 1;
+                for (bit, word) in out.iter().enumerate().take(3) {
+                    let got = (word >> lane) & 1;
                     assert_eq!(got, (total >> bit) & 1, "sum bit {bit} row {row}");
                 }
                 let cout = (out[3] >> lane) & 1;

@@ -22,11 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<18} {:>7} {:>12} {:>12} {:>10}",
         "flow / library", "cells", "inst mm²", "chip mm²", "wire mm"
     );
-    for (label, m) in [
-        ("MIS + tiny", &mis_tiny),
-        ("MIS + big", &mis_big),
-        ("Lily + big", &lily_big),
-    ] {
+    for (label, m) in
+        [("MIS + tiny", &mis_tiny), ("MIS + big", &mis_big), ("Lily + big", &lily_big)]
+    {
         println!(
             "{:<18} {:>7} {:>12.3} {:>12.3} {:>10.1}",
             label,

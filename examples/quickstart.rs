@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lily = FlowOptions::lily_area().run(&network, &library)?;
 
     println!("\n                 {:>12}  {:>12}", "MIS 2.1", "Lily");
-    println!(
-        "cells            {:>12}  {:>12}",
-        mis.cells, lily.cells
-    );
+    println!("cells            {:>12}  {:>12}", mis.cells, lily.cells);
     println!(
         "instance area    {:>9.3} mm²  {:>9.3} mm²",
         mis.instance_area_mm2(),

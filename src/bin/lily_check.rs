@@ -1,0 +1,167 @@
+//! `lily-check` — run every verification pass over a BLIF design.
+//!
+//! ```text
+//! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|mis-delay|lily-delay]
+//!            [--vectors N] [--seed S] <design.blif>
+//! ```
+//!
+//! The design is parsed, decomposed, mapped, placed, and timed with the
+//! selected flow, and every stage artifact is analyzed with the
+//! `lily-check` passes. Diagnostics are printed per stage.
+//!
+//! Exit codes: `0` — all passes clean (warnings allowed); `1` — at
+//! least one error-severity diagnostic; `2` — usage, I/O, parse, or
+//! flow failure.
+
+use lily::cells::Library;
+use lily::check;
+use lily::core::flow::FlowOptions;
+use lily::netlist::decompose::decompose;
+use lily::place::Point;
+use lily::place::Rect;
+use lily::timing::{analyze, StaOptions};
+
+struct Args {
+    lib: String,
+    flow: String,
+    vectors: usize,
+    seed: u64,
+    input: String,
+}
+
+const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
+[--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] <design.blif>";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        lib: "big".into(),
+        flow: "lily-area".into(),
+        vectors: check::DEFAULT_VECTORS,
+        seed: check::DEFAULT_SEED,
+        input: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--lib" => args.lib = value("--lib")?,
+            "--flow" => args.flow = value("--flow")?,
+            "--vectors" => {
+                args.vectors =
+                    value("--vectors")?.parse().map_err(|e| format!("--vectors: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            _ if a.starts_with('-') => return Err(format!("unknown option `{a}`\n{USAGE}")),
+            _ if args.input.is_empty() => args.input = a,
+            _ => return Err(format!("unexpected argument `{a}`\n{USAGE}")),
+        }
+    }
+    if args.input.is_empty() {
+        return Err(USAGE.into());
+    }
+    Ok(args)
+}
+
+/// Prints one stage's report; returns its error count.
+fn stage(name: &str, report: &check::Report) -> usize {
+    if report.is_clean() {
+        println!("{name}: ok");
+    } else {
+        println!(
+            "{name}: {} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        );
+        for d in report.diagnostics() {
+            println!("  {d}");
+        }
+    }
+    report.error_count()
+}
+
+fn run() -> Result<usize, String> {
+    let args = parse_args()?;
+    let lib = match args.lib.as_str() {
+        "tiny" => Library::tiny(),
+        "big" => Library::big(),
+        "big-sized" => Library::big_sized(),
+        other => return Err(format!("unknown library `{other}` (tiny|big|big-sized)")),
+    };
+    let opts = match args.flow.as_str() {
+        "mis-area" => FlowOptions::mis_area(),
+        "lily-area" => FlowOptions::lily_area(),
+        "mis-delay" => FlowOptions::mis_delay(),
+        "lily-delay" => FlowOptions::lily_delay(),
+        other => {
+            return Err(format!("unknown flow `{other}` (mis-area|lily-area|mis-delay|lily-delay)"))
+        }
+    };
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.input))?;
+    let net = lily::netlist::blif::parse(&text).map_err(|e| format!("BLIF parse: {e}"))?;
+    println!(
+        "{}: {} inputs, {} outputs, {} nodes",
+        net.name(),
+        net.input_count(),
+        net.output_count(),
+        net.node_count()
+    );
+
+    let mut errors = 0usize;
+    errors += stage("network", &check::check_network(&net));
+
+    let g = decompose(&net, opts.decompose_order).map_err(|e| format!("decompose: {e}"))?;
+    errors += stage("subject", &check::check_subject(&g));
+    errors +=
+        stage("decompose-equiv", &check::check_network_subject(&net, &g, args.vectors, args.seed));
+
+    // Run the flow with its internal checkpoints off: the point of the
+    // CLI is to print every stage's full report, not to stop at the
+    // first failing checkpoint.
+    let result = FlowOptions { verify: false, ..opts }
+        .run_subject(&g, &lib)
+        .map_err(|e| format!("flow: {e}"))?;
+    let mapped = result.mapped;
+
+    errors += stage("mapped", &check::check_mapped(&mapped, &lib));
+    errors += stage(
+        "cover-equiv",
+        &check::check_mapped_subject(&g, &mapped, &lib, args.vectors, args.seed),
+    );
+
+    // Pads are rescaled onto the final core boundary by the flow, so
+    // their bounding box reconstructs the core region.
+    let pads = mapped
+        .input_positions
+        .iter()
+        .chain(mapped.output_positions.iter())
+        .map(|&(x, y)| Point::new(x, y));
+    match Rect::bounding(pads) {
+        Some(core) => {
+            errors += stage("placement", &check::check_placement(&mapped, &lib, core));
+        }
+        None => println!("placement: skipped (no pads)"),
+    }
+
+    let sta = analyze(&mapped, &lib, &StaOptions::default());
+    errors += stage("timing", &check::check_timing(&mapped, &sta, 0.0));
+    println!("critical delay {:.3} ns over {} cells", sta.critical_delay, mapped.cell_count());
+    Ok(errors)
+}
+
+fn main() {
+    match run() {
+        Ok(0) => println!("verdict: PASS"),
+        Ok(n) => {
+            println!("verdict: FAIL ({n} error(s))");
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

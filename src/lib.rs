@@ -23,6 +23,8 @@
 //!   layout-driven Lily mapper, plus the end-to-end evaluation flows.
 //! * [`workloads`] — synthetic stand-ins for the paper's MCNC/ISCAS
 //!   benchmark circuits.
+//! * [`check`] — structural invariant and equivalence analysis passes
+//!   over every flow artifact, plus the `lily-check` CLI.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@
 //! ```
 
 pub use lily_cells as cells;
+pub use lily_check as check;
 pub use lily_core as core;
 pub use lily_netlist as netlist;
 pub use lily_place as place;

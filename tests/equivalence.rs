@@ -42,11 +42,8 @@ fn mis_mapping_preserves_function_small_circuits() {
         for lib in [&big, &tiny] {
             for mode in [MapMode::Area, MapMode::Delay] {
                 for partition in [Partition::Cones, Partition::Trees] {
-                    let r = MisMapper::new(lib)
-                        .mode(mode)
-                        .partition(partition)
-                        .map(&g)
-                        .expect("maps");
+                    let r =
+                        MisMapper::new(lib).mode(mode).partition(partition).map(&g).expect("maps");
                     assert!(
                         equiv_mapped_subject(&g, &r.mapped, lib, 192, 7),
                         "{name} {mode:?} {partition:?} {}",
@@ -66,10 +63,7 @@ fn lily_mapping_preserves_function_small_circuits() {
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
         let (place, pads) = grid_placement(&g);
         for mode in [MapMode::Area, MapMode::Delay] {
-            let r = LilyMapper::new(&lib)
-                .mode(mode)
-                .map(&g, &place, &pads)
-                .expect("maps");
+            let r = LilyMapper::new(&lib).mode(mode).map(&g, &place, &pads).expect("maps");
             assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 192, 13), "{name} {mode:?}");
         }
     }
