@@ -396,7 +396,8 @@ pub fn parse(text: &str, name: &str, tech: Technology) -> Result<Library, ParseG
     if inverter.is_none() {
         return Err(ParseGenlibError { line: 1, message: "library has no inverter gate".into() });
     }
-    Ok(Library::from_gates(name, gates, tech))
+    Library::try_from_gates(name, gates, tech)
+        .map_err(|e| ParseGenlibError { line: 1, message: e.to_string() })
 }
 
 /// Truth-table bits of a 2-input pattern (row i in bit i).

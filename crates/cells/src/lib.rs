@@ -22,6 +22,7 @@
 //! * [`MappedNetwork`] — the output of a mapper: placed library cells
 //!   wired together, with simulation support for equivalence checking.
 
+pub mod error;
 pub mod gate;
 pub mod genlib;
 pub mod kinds;
@@ -31,6 +32,7 @@ pub mod pattern;
 pub mod technology;
 pub mod verilog;
 
+pub use error::LibraryError;
 pub use gate::{DelayParams, Gate, GateId, Pin};
 pub use kinds::GateKind;
 pub use library::Library;

@@ -7,6 +7,7 @@
 //! complexity is high."* [`Library::tiny`] and [`Library::big`]
 //! reproduce those two operating points.
 
+use crate::error::LibraryError;
 use crate::gate::{Gate, GateId};
 use crate::kinds::GateKind;
 use crate::technology::Technology;
@@ -36,30 +37,14 @@ impl Library {
     ///
     /// # Panics
     ///
-    /// Panics if the kinds contain no inverter or duplicate names.
+    /// Panics if the kinds contain no inverter or duplicate names (the
+    /// built-in kind lists are statically well-formed; use
+    /// [`Library::try_from_gates`] for external gate data).
     pub fn from_kinds(name: impl Into<String>, kinds: &[GateKind], technology: Technology) -> Self {
-        let mut gates = Vec::with_capacity(kinds.len());
-        let mut by_name = HashMap::new();
-        let mut inverter = None;
-        for kind in kinds {
-            let gate = kind.build(&technology);
-            let id = GateId(gates.len() as u32);
-            assert!(
-                by_name.insert(gate.name().to_string(), id).is_none(),
-                "duplicate gate `{}`",
-                gate.name()
-            );
-            if matches!(kind, GateKind::Inv) {
-                inverter = Some(id);
-            }
-            gates.push(gate);
-        }
-        Self {
-            name: name.into(),
-            gates,
-            by_name,
-            inverter: inverter.expect("library must contain an inverter"),
-            technology,
+        let gates: Vec<Gate> = kinds.iter().map(|k| k.build(&technology)).collect();
+        match Self::try_from_gates(name, gates, technology) {
+            Ok(lib) => lib,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -68,28 +53,44 @@ impl Library {
     ///
     /// # Panics
     ///
-    /// Panics on duplicate gate names or when no inverter (1-input gate
-    /// computing `!a`) is present.
+    /// Panics where [`Library::try_from_gates`] errors; prefer that for
+    /// gate data read from external sources.
     pub fn from_gates(name: impl Into<String>, gates: Vec<Gate>, technology: Technology) -> Self {
+        match Self::try_from_gates(name, gates, technology) {
+            Ok(lib) => lib,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a library from pre-constructed gates, rejecting malformed
+    /// input with a structured error instead of panicking.
+    ///
+    /// The designated inverter is the first 1-input gate computing `!a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LibraryError::DuplicateGate`] — two gates share a name.
+    /// * [`LibraryError::NoInverter`] — no 1-input `!a` gate present.
+    /// * [`LibraryError::InvalidGate`] — a gate has a zero, negative or
+    ///   non-finite area, pin capacitance, or delay coefficient.
+    pub fn try_from_gates(
+        name: impl Into<String>,
+        gates: Vec<Gate>,
+        technology: Technology,
+    ) -> Result<Self, LibraryError> {
         let mut by_name = HashMap::new();
         let mut inverter = None;
         for (i, gate) in gates.iter().enumerate() {
-            assert!(
-                by_name.insert(gate.name().to_string(), GateId(i as u32)).is_none(),
-                "duplicate gate `{}`",
-                gate.name()
-            );
+            validate_gate(gate)?;
+            if by_name.insert(gate.name().to_string(), GateId(i as u32)).is_some() {
+                return Err(LibraryError::DuplicateGate { name: gate.name().to_string() });
+            }
             if inverter.is_none() && gate.fanin() == 1 && gate.function().bits() == 0b01 {
                 inverter = Some(GateId(i as u32));
             }
         }
-        Self {
-            name: name.into(),
-            gates,
-            by_name,
-            inverter: inverter.expect("library must contain an inverter"),
-            technology,
-        }
+        let inverter = inverter.ok_or(LibraryError::NoInverter)?;
+        Ok(Self { name: name.into(), gates, by_name, inverter, technology })
     }
 
     /// The tiny library of Section 5: gates up to 3 inputs.
@@ -287,6 +288,39 @@ impl Library {
     }
 }
 
+/// Checks one gate's numeric parameters: a zero/negative/non-finite
+/// area, pin capacitance or delay coefficient would poison area
+/// accounting, load computation or arrival times downstream.
+fn validate_gate(gate: &Gate) -> Result<(), LibraryError> {
+    let bad =
+        |message: String| LibraryError::InvalidGate { gate: gate.name().to_string(), message };
+    if !(gate.area().is_finite() && gate.area() > 0.0) {
+        return Err(bad(format!("area must be finite and positive, got {}", gate.area())));
+    }
+    for pin in gate.pins() {
+        if !(pin.capacitance.is_finite() && pin.capacitance > 0.0) {
+            return Err(bad(format!(
+                "pin `{}` capacitance must be finite and positive, got {}",
+                pin.name, pin.capacitance
+            )));
+        }
+        for (what, v) in [
+            ("intrinsic_rise", pin.delay.intrinsic_rise),
+            ("intrinsic_fall", pin.delay.intrinsic_fall),
+            ("resistance_rise", pin.delay.resistance_rise),
+            ("resistance_fall", pin.delay.resistance_fall),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(bad(format!(
+                    "pin `{}` {what} must be finite and non-negative, got {v}",
+                    pin.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +384,64 @@ mod tests {
         let p1 = &one.gate(g1).pins()[0];
         assert!((p1.capacitance * 3.0 - p3.capacitance).abs() < 1e-9);
         assert!((p1.delay.intrinsic_rise * 3.0 - p3.delay.intrinsic_rise).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_area_gate_is_rejected() {
+        let tech = Technology::mcnc_3u();
+        let mut gates = Library::tiny().gates().to_vec();
+        let g = &gates[1];
+        gates[1] = Gate::new(g.name(), 0.0, g.grids(), g.pins().to_vec(), g.patterns().to_vec());
+        let err = Library::try_from_gates("bad", gates, tech).unwrap_err();
+        assert!(
+            matches!(&err, LibraryError::InvalidGate { message, .. } if message.contains("area")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_pin_cap_gate_is_rejected() {
+        let tech = Technology::mcnc_3u();
+        let mut gates = Library::tiny().gates().to_vec();
+        let g = gates[2].clone();
+        let mut pins = g.pins().to_vec();
+        pins[0].capacitance = 0.0;
+        gates[2] = Gate::new(g.name(), g.area(), g.grids(), pins, g.patterns().to_vec());
+        let err = Library::try_from_gates("bad", gates, tech).unwrap_err();
+        assert!(
+            matches!(&err, LibraryError::InvalidGate { message, .. }
+                if message.contains("capacitance")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn nan_delay_gate_is_rejected() {
+        let tech = Technology::mcnc_3u();
+        let mut gates = Library::tiny().gates().to_vec();
+        let g = gates[0].clone();
+        let mut pins = g.pins().to_vec();
+        pins[0].delay.intrinsic_rise = f64::NAN;
+        gates[0] = Gate::new(g.name(), g.area(), g.grids(), pins, g.patterns().to_vec());
+        let err = Library::try_from_gates("bad", gates, tech).unwrap_err();
+        assert!(matches!(err, LibraryError::InvalidGate { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_and_missing_inverter_are_structured_errors() {
+        let tech = Technology::mcnc_3u();
+        let base = Library::tiny();
+        let mut gates = base.gates().to_vec();
+        gates.push(gates[0].clone());
+        assert!(matches!(
+            Library::try_from_gates("dup", gates, tech).unwrap_err(),
+            LibraryError::DuplicateGate { .. }
+        ));
+        let no_inv: Vec<Gate> = base.gates().iter().filter(|g| g.fanin() != 1).cloned().collect();
+        assert!(matches!(
+            Library::try_from_gates("noinv", no_inv, tech).unwrap_err(),
+            LibraryError::NoInverter
+        ));
     }
 
     #[test]

@@ -180,8 +180,18 @@ impl MappedNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist is cyclic (a mapper bug).
+    /// Panics if the netlist is cyclic (a mapper bug); use
+    /// [`MappedNetwork::try_topo_order`] to handle cycles gracefully.
     pub fn topo_order(&self) -> Vec<CellId> {
+        match self.try_topo_order() {
+            Ok(order) => order,
+            Err(c) => panic!("mapped network contains a cycle through cell {}", c.index()),
+        }
+    }
+
+    /// Cells in topological order, or `Err` with a cell on a
+    /// combinational cycle.
+    pub fn try_topo_order(&self) -> Result<Vec<CellId>, CellId> {
         let n = self.cells.len();
         let mut state = vec![0u8; n]; // 0 new, 1 visiting, 2 done
         let mut order = Vec::with_capacity(n);
@@ -203,7 +213,7 @@ impl MappedNetwork {
                                 state[fc.index()] = 1;
                                 stack.push((fc.index(), 0));
                             }
-                            1 => panic!("mapped network contains a cycle through cell {c}"),
+                            1 => return Err(CellId(c as u32)),
                             _ => {}
                         }
                     }
@@ -214,7 +224,7 @@ impl MappedNetwork {
                 }
             }
         }
-        order
+        Ok(order)
     }
 
     /// Evaluates the mapped network on 64 packed input vectors (see

@@ -28,6 +28,43 @@ pub enum MapError {
     },
     /// A netlist-level error surfaced during the flow.
     Netlist(lily_netlist::NetlistError),
+    /// A library-level error surfaced during the flow (malformed gate
+    /// parameters, duplicate names, missing inverter).
+    Library(lily_cells::LibraryError),
+    /// An iterative solver (placement CG, annealing schedule) failed to
+    /// converge and no fallback remained.
+    SolverDiverged {
+        /// Which solver diverged.
+        solver: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+        /// Final residual (NaN when the iteration blew up).
+        residual: f64,
+    },
+    /// A resource budget (solver iterations, annealer moves) ran out and
+    /// no fallback remained.
+    BudgetExhausted {
+        /// Which resource ran out.
+        resource: &'static str,
+        /// Amount spent before exhaustion.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The input is well-formed but has nothing to map (e.g. no primary
+    /// outputs), or an option combination makes the request meaningless.
+    DegenerateInput {
+        /// Which stage rejected the input.
+        stage: &'static str,
+        /// What makes it degenerate.
+        message: String,
+    },
+    /// A NaN or infinity appeared in a computation whose result the flow
+    /// must trust (positions, delays, areas) and no fallback remained.
+    NonFiniteValue {
+        /// Which quantity went non-finite.
+        context: &'static str,
+    },
     /// A verification checkpoint between flow stages found invariant
     /// violations (see [`FlowOptions::verify`]).
     ///
@@ -53,6 +90,19 @@ impl fmt::Display for MapError {
                 write!(f, "layout-driven mapping needs {expected} positions, got {got}")
             }
             MapError::Netlist(e) => write!(f, "{e}"),
+            MapError::Library(e) => write!(f, "{e}"),
+            MapError::SolverDiverged { solver, iterations, residual } => {
+                write!(f, "{solver} diverged after {iterations} iterations (residual {residual})")
+            }
+            MapError::BudgetExhausted { resource, spent, budget } => {
+                write!(f, "{resource} budget exhausted: spent {spent} of {budget}")
+            }
+            MapError::DegenerateInput { stage, message } => {
+                write!(f, "degenerate input at {stage}: {message}")
+            }
+            MapError::NonFiniteValue { context } => {
+                write!(f, "non-finite value in {context}")
+            }
             MapError::Verify { stage, report } => {
                 write!(f, "verification failed at the `{stage}` checkpoint:\n{report}")
             }
@@ -64,6 +114,7 @@ impl Error for MapError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MapError::Netlist(e) => Some(e),
+            MapError::Library(e) => Some(e),
             _ => None,
         }
     }
@@ -71,7 +122,53 @@ impl Error for MapError {
 
 impl From<lily_netlist::NetlistError> for MapError {
     fn from(e: lily_netlist::NetlistError) -> Self {
-        MapError::Netlist(e)
+        match e {
+            lily_netlist::NetlistError::Degenerate { message } => {
+                MapError::DegenerateInput { stage: "netlist", message }
+            }
+            other => MapError::Netlist(other),
+        }
+    }
+}
+
+impl From<lily_cells::LibraryError> for MapError {
+    fn from(e: lily_cells::LibraryError) -> Self {
+        MapError::Library(e)
+    }
+}
+
+impl From<lily_place::PlaceError> for MapError {
+    fn from(e: lily_place::PlaceError) -> Self {
+        use lily_place::PlaceError as P;
+        match e {
+            P::SolverDiverged { solver, iterations, residual } => {
+                MapError::SolverDiverged { solver, iterations, residual }
+            }
+            P::BudgetExhausted { resource, spent, budget } => {
+                MapError::BudgetExhausted { resource, spent, budget }
+            }
+            P::NonFinite { context } => MapError::NonFiniteValue { context },
+            P::InvalidProblem { message } => {
+                MapError::DegenerateInput { stage: "placement", message }
+            }
+            P::InvalidOptions { message } => {
+                MapError::DegenerateInput { stage: "placement options", message }
+            }
+        }
+    }
+}
+
+impl From<lily_timing::TimingError> for MapError {
+    fn from(e: lily_timing::TimingError) -> Self {
+        use lily_timing::TimingError as T;
+        match e {
+            T::InvalidNetwork { message } => MapError::DegenerateInput { stage: "sta", message },
+            T::Cyclic { cell } => MapError::DegenerateInput {
+                stage: "sta",
+                message: format!("combinational cycle through cell {cell}"),
+            },
+            T::NonFinite { context } => MapError::NonFiniteValue { context },
+        }
     }
 }
 
@@ -86,10 +183,40 @@ mod tests {
             MapError::NoMatch { node: 3 },
             MapError::MissingPlacement { expected: 5, got: 0 },
             MapError::Netlist(lily_netlist::NetlistError::UnknownNode { id: 1 }),
+            MapError::Library(lily_cells::LibraryError::NoInverter),
+            MapError::SolverDiverged { solver: "cg", iterations: 100, residual: f64::NAN },
+            MapError::BudgetExhausted { resource: "anneal moves", spent: 5, budget: 5 },
+            MapError::DegenerateInput { stage: "netlist", message: "no outputs".into() },
+            MapError::NonFiniteValue { context: "critical delay" },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn degenerate_netlist_errors_convert_to_degenerate_input() {
+        let e =
+            MapError::from(lily_netlist::NetlistError::Degenerate { message: "no outputs".into() });
+        assert!(matches!(e, MapError::DegenerateInput { stage: "netlist", .. }));
+    }
+
+    #[test]
+    fn place_errors_convert_structurally() {
+        let e = MapError::from(lily_place::PlaceError::SolverDiverged {
+            solver: "conjugate-gradient",
+            iterations: 42,
+            residual: 1.0,
+        });
+        assert!(matches!(e, MapError::SolverDiverged { iterations: 42, .. }));
+        let e = MapError::from(lily_place::PlaceError::BudgetExhausted {
+            resource: "anneal moves",
+            spent: 7,
+            budget: 7,
+        });
+        assert!(matches!(e, MapError::BudgetExhausted { spent: 7, .. }));
+        let e = MapError::from(lily_place::PlaceError::NonFinite { context: "pad coordinates" });
+        assert!(matches!(e, MapError::NonFiniteValue { context: "pad coordinates" }));
     }
 
     #[test]

@@ -22,14 +22,15 @@ use crate::error::MapError;
 use crate::lily::{LayoutOptions, LilyMapper};
 use lily_cells::{Library, MappedNetwork, SignalSource};
 use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_netlist::subject::SubjectKind;
 use lily_netlist::{Network, SubjectGraph};
-use lily_place::anneal::{anneal, AnnealOptions};
-use lily_place::global::{global_place, GlobalOptions};
+use lily_place::anneal::{try_anneal, AnnealOptions};
+use lily_place::global::{try_global_place, GlobalOptions};
 use lily_place::legalize::{improve, legalize, LegalizeOptions};
 use lily_place::{assign_pads, AreaModel, PinRef, PlacementProblem, Point, SubjectPlacement};
 use lily_route::{rsmt_length, CongestionGrid};
 use lily_timing::load::WireLoad;
-use lily_timing::sta::{analyze, StaOptions};
+use lily_timing::sta::{try_analyze, StaOptions};
 
 /// Which detailed-placement refinement runs after legalization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +84,12 @@ pub struct FlowOptions {
     pub mis_wire_cap_per_fanout: f64,
     /// Detailed-placement refinement algorithm.
     pub detailed_placer: DetailedPlacer,
+    /// Hard budget on annealer moves (only meaningful with
+    /// [`DetailedPlacer::Anneal`]). When the budget runs out before the
+    /// schedule finishes, the flow falls back to the greedy detailed
+    /// placer and records the degradation; `None` runs the full
+    /// schedule.
+    pub anneal_move_budget: Option<u64>,
     /// Measure wire with the congestion-aware pattern global router
     /// instead of the Steiner + detour-factor model. Off by default
     /// (the published tables use the detour model).
@@ -120,6 +127,7 @@ impl FlowOptions {
             mis_wire_cap_per_fanout: 0.03,
             fanout_limit: None,
             detailed_placer: DetailedPlacer::Greedy,
+            anneal_move_budget: None,
             global_router: false,
             constructive_placement: true,
             verify: cfg!(debug_assertions),
@@ -192,8 +200,24 @@ impl FlowOptions {
     ///
     /// # Errors
     ///
-    /// See [`FlowOptions::run`].
+    /// See [`FlowOptions::run`]. Recoverable trouble (a diverging
+    /// placement solve, an exhausted anneal budget, a failing wire-load
+    /// model) does *not* error: the flow steps down a degradation ladder
+    /// and records each step in [`FlowMetrics::degradations`].
     pub fn run_subject(&self, g: &SubjectGraph, lib: &Library) -> Result<FlowResult, MapError> {
+        if g.outputs().is_empty() {
+            return Err(MapError::DegenerateInput {
+                stage: "flow",
+                message: format!("subject graph `{}` has no primary outputs", g.name()),
+            });
+        }
+        if g.base_gate_count() == 0 {
+            // Every output is driven directly by an input: nothing to
+            // map, place or route. Short-circuit with an empty netlist.
+            return Ok(trivial_result(g));
+        }
+        let mut degradations: Vec<Degradation> = Vec::new();
+
         // Shared pre-mapping environment: estimated layout image and
         // connectivity-driven pad assignment on the inchoate network.
         let tech = lib.technology();
@@ -205,25 +229,46 @@ impl FlowOptions {
         let sp = SubjectPlacement::new(g);
         let pads0 = assign_pads(&sp.problem, core0);
 
-        // Mapping.
-        let mapping = match self.mapper {
-            FlowMapper::Mis => MisMapper::new(lib)
+        // Mapping. Lily needs a pre-mapping global placement; when the
+        // layout image is degenerate or the solve diverges, fall back to
+        // the wire-blind MIS mapper (first rung of the ladder).
+        let mis = || {
+            MisMapper::new(lib)
                 .mode(self.mode)
                 .partition(self.partition)
                 .wire_cap_per_fanout(self.mis_wire_cap_per_fanout)
-                .map(g)?,
+                .map(g)
+        };
+        let mapping = match self.mapper {
+            FlowMapper::Mis => mis()?,
             FlowMapper::Lily => {
                 // Lily first global-places the inchoate network against
                 // the pads, then maps with dynamic position updates.
-                let problem = with_pads(sp.problem.clone(), &pads0);
-                let gp = global_place(&problem, &GlobalOptions::for_region(core0));
-                let node_positions = sp.node_positions(g, &gp.positions, &pads0);
-                let n_pi = g.inputs().len();
-                LilyMapper::new(lib)
-                    .mode(self.mode)
-                    .partition(self.partition)
-                    .layout(self.layout)
-                    .map(g, &node_positions, &pads0[n_pi..])?
+                let subject_place = if est_area.is_finite() {
+                    let problem = with_pads(sp.problem.clone(), &pads0);
+                    try_global_place(&problem, &GlobalOptions::for_region(core0))
+                } else {
+                    Err(lily_place::PlaceError::NonFinite { context: "estimated core area" })
+                };
+                match subject_place {
+                    Ok(gp) => {
+                        let node_positions = sp.node_positions(g, &gp.positions, &pads0);
+                        let n_pi = g.inputs().len();
+                        LilyMapper::new(lib)
+                            .mode(self.mode)
+                            .partition(self.partition)
+                            .layout(self.layout)
+                            .map(g, &node_positions, &pads0[n_pi..])?
+                    }
+                    Err(e) => {
+                        degradations.push(Degradation {
+                            stage: "lily-global-place",
+                            fallback: "mis-mapper",
+                            detail: e.to_string(),
+                        });
+                        mis()?
+                    }
+                }
             }
         };
         let mut mapped = mapping.mapped;
@@ -259,12 +304,24 @@ impl FlowOptions {
         if !keep_constructive {
             let (problem, _) = mapped_problem(&mapped);
             let problem = with_pads(problem, &pads);
-            let gp = global_place(&problem, &GlobalOptions::for_region(final_core));
-            for (i, p) in gp.positions.iter().enumerate() {
-                mapped.cells_mut()[i].position = (p.x, p.y);
+            match try_global_place(&problem, &GlobalOptions::for_region(final_core)) {
+                Ok(gp) => {
+                    for (i, p) in gp.positions.iter().enumerate() {
+                        mapped.cells_mut()[i].position = (p.x, p.y);
+                    }
+                }
+                Err(e) => {
+                    // Keep whatever positions the mapper left behind;
+                    // the legalizer spreads them into rows regardless.
+                    degradations.push(Degradation {
+                        stage: "mapped-global-place",
+                        fallback: "mapper-positions",
+                        detail: e.to_string(),
+                    });
+                }
             }
         }
-        self.finish(mapped, stats, lib, final_core)
+        self.finish(mapped, stats, lib, final_core, degradations)
     }
 
     /// Shared tail: legalize, improve, route-estimate, STA, metrics.
@@ -274,6 +331,7 @@ impl FlowOptions {
         stats: MapStats,
         lib: &Library,
         core: lily_place::Rect,
+        mut degradations: Vec<Degradation>,
     ) -> Result<FlowResult, MapError> {
         let tech = lib.technology();
         let widths: Vec<f64> = mapped
@@ -281,8 +339,24 @@ impl FlowOptions {
             .iter()
             .map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width)
             .collect();
-        let desired: Vec<Point> =
+        let mut desired: Vec<Point> =
             mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
+        // Non-finite desired positions would poison legalization; seed
+        // the offenders at the core center instead.
+        let poisoned = desired.iter().filter(|p| !(p.x.is_finite() && p.y.is_finite())).count();
+        if poisoned > 0 {
+            let center = Point::new(core.llx + core.width() / 2.0, core.lly + core.height() / 2.0);
+            for p in &mut desired {
+                if !(p.x.is_finite() && p.y.is_finite()) {
+                    *p = center;
+                }
+            }
+            degradations.push(Degradation {
+                stage: "detailed-placement",
+                fallback: "core-center-seed",
+                detail: format!("{poisoned} cells had non-finite positions"),
+            });
+        }
         let (problem, _) = mapped_problem(&mapped);
         let fixed: Vec<Point> = mapped
             .input_positions
@@ -299,11 +373,37 @@ impl FlowOptions {
             let desired = match self.detailed_placer {
                 DetailedPlacer::Greedy => desired,
                 DetailedPlacer::Anneal { seed } => {
-                    // Anneal the point placement, then re-legalize.
+                    // Anneal the point placement, then re-legalize. An
+                    // exhausted move budget (or an annealer error) falls
+                    // back to the greedy placer on the original points.
                     let mut pts = desired.clone();
-                    let aopts = AnnealOptions { seed, ..AnnealOptions::for_core(core) };
-                    anneal(&mut pts, &problem.nets, &fixed, &aopts);
-                    pts
+                    let aopts = AnnealOptions {
+                        seed,
+                        max_moves: self.anneal_move_budget,
+                        ..AnnealOptions::for_core(core)
+                    };
+                    match try_anneal(&mut pts, &problem.nets, &fixed, &aopts) {
+                        Ok(astats) if astats.budget_exhausted => {
+                            degradations.push(Degradation {
+                                stage: "anneal",
+                                fallback: "greedy",
+                                detail: format!(
+                                    "move budget exhausted after {} moves",
+                                    astats.moves_attempted
+                                ),
+                            });
+                            desired
+                        }
+                        Ok(_) => pts,
+                        Err(e) => {
+                            degradations.push(Degradation {
+                                stage: "anneal",
+                                fallback: "greedy",
+                                detail: e.to_string(),
+                            });
+                            desired
+                        }
+                    }
                 }
             };
             let legal = legalize(&widths, &desired, &lopts);
@@ -354,11 +454,34 @@ impl FlowOptions {
         let net_points: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
         let chip_area_channeled = instance_area
             + lily_route::channel_routing_area(&row_ys, &net_points, core.width(), tech.wire_pitch);
-        let sta = analyze(
-            &mapped,
-            lib,
-            &StaOptions { wire_load: WireLoad::FromPlacement, input_arrival: 0.0 },
-        );
+        // STA wire-load ladder: placement-derived loads, then the MIS
+        // per-fanout model, then no wire load at all. Each step down is
+        // recorded; only a failure of the final rung aborts the flow.
+        let mut sta = Err(MapError::NonFiniteValue { context: "sta not attempted" });
+        for (wire_load, fallback) in [
+            (WireLoad::FromPlacement, "per-fanout"),
+            (WireLoad::PerFanout(self.mis_wire_cap_per_fanout), "no-wire-load"),
+            (WireLoad::None, ""),
+        ] {
+            match try_analyze(&mapped, lib, &StaOptions { wire_load, input_arrival: 0.0 }) {
+                Ok(r) => {
+                    sta = Ok(r);
+                    break;
+                }
+                Err(e) => {
+                    if fallback.is_empty() {
+                        sta = Err(MapError::from(e));
+                    } else {
+                        degradations.push(Degradation {
+                            stage: "wire-load",
+                            fallback,
+                            detail: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let sta = sta?;
         if self.verify {
             checkpoint("timing", lily_check::check_timing(&mapped, &sta, 0.0))?;
         }
@@ -372,6 +495,7 @@ impl FlowOptions {
             critical_delay: sta.critical_delay,
             peak_congestion: grid.peak_utilization(),
             stats,
+            degradations,
         };
         Ok(FlowResult { metrics, mapped })
     }
@@ -387,8 +511,61 @@ fn checkpoint(stage: &'static str, report: lily_check::Report) -> Result<(), Map
     }
 }
 
+/// One recorded step down the graceful-degradation ladder: which stage
+/// hit trouble, which cheaper strategy replaced it, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The stage that could not run as configured (`"lily-global-place"`,
+    /// `"mapped-global-place"`, `"detailed-placement"`, `"anneal"`, or
+    /// `"wire-load"`).
+    pub stage: &'static str,
+    /// The fallback strategy the flow used instead.
+    pub fallback: &'static str,
+    /// Human-readable cause (usually the underlying error's message).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} degraded to {}: {}", self.stage, self.fallback, self.detail)
+    }
+}
+
+/// The [`FlowResult`] of a subject graph with no base gates: outputs are
+/// wired straight to inputs, every physical stage is skipped, and every
+/// metric is zero.
+fn trivial_result(g: &SubjectGraph) -> FlowResult {
+    let mut mapped = MappedNetwork::new(g.name(), g.input_names().to_vec());
+    let input_of: std::collections::HashMap<usize, usize> = g
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter_map(|(pi, &id)| match g.kind(id) {
+            SubjectKind::Input(_) => Some((id.index(), pi)),
+            _ => None,
+        })
+        .collect();
+    for o in g.outputs() {
+        // With zero base gates every output driver is an input node.
+        let pi = input_of[&o.driver.index()];
+        mapped.add_output(o.name.clone(), SignalSource::Input(pi));
+    }
+    let metrics = FlowMetrics {
+        cells: 0,
+        instance_area: 0.0,
+        chip_area: 0.0,
+        wire_length: 0.0,
+        chip_area_channeled: 0.0,
+        critical_delay: 0.0,
+        peak_congestion: 0.0,
+        stats: MapStats::default(),
+        degradations: Vec::new(),
+    };
+    FlowResult { metrics, mapped }
+}
+
 /// The measured outcome of a flow — one table cell group of the paper.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowMetrics {
     /// Mapped cell count.
     pub cells: usize,
@@ -408,6 +585,9 @@ pub struct FlowMetrics {
     pub peak_congestion: f64,
     /// Mapper statistics.
     pub stats: MapStats,
+    /// Audit trail of every graceful-degradation step the flow took
+    /// (empty when every stage ran as configured).
+    pub degradations: Vec<Degradation>,
 }
 
 impl FlowMetrics {
@@ -548,6 +728,7 @@ mod tests {
             critical_delay: 1.0,
             peak_congestion: 0.5,
             stats: MapStats::default(),
+            degradations: vec![],
         };
         assert!((m.instance_area_mm2() - 2.5).abs() < 1e-12);
         assert!((m.chip_area_mm2() - 5.0).abs() < 1e-12);

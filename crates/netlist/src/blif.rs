@@ -247,6 +247,11 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
         let id = net.add_node(out.clone(), func, fanins)?;
         ids.insert(out, id);
     }
+    if outputs.is_empty() {
+        return Err(NetlistError::Degenerate {
+            message: format!("model `{}` declares no primary outputs", net.name()),
+        });
+    }
     for name in &outputs {
         match ids.get(name.as_str()) {
             Some(&id) => net.add_output(name.clone(), id),
@@ -514,6 +519,17 @@ mod tests {
     fn unsupported_construct_rejected() {
         let text = ".model l\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
         assert!(matches!(parse(text), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn zero_output_model_is_degenerate() {
+        let text = ".model empty\n.inputs a b\n.names a b x\n11 1\n.end\n";
+        match parse(text) {
+            Err(NetlistError::Degenerate { message }) => {
+                assert!(message.contains("no primary outputs"), "{message}");
+            }
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
     }
 
     #[test]

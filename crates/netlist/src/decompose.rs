@@ -58,7 +58,8 @@ pub struct Decomposition {
 /// # Errors
 ///
 /// Returns [`NetlistError::Invalid`] if a primary output folds to a
-/// constant (tie cells are outside the scope of this reproduction).
+/// constant (tie cells are outside the scope of this reproduction), and
+/// [`NetlistError::Degenerate`] if the network has no primary outputs.
 pub fn decompose(net: &Network, order: DecomposeOrder) -> Result<SubjectGraph, NetlistError> {
     decompose_full(net, order).map(|d| d.graph)
 }
@@ -70,6 +71,11 @@ pub fn decompose(net: &Network, order: DecomposeOrder) -> Result<SubjectGraph, N
 ///
 /// See [`decompose`].
 pub fn decompose_full(net: &Network, order: DecomposeOrder) -> Result<Decomposition, NetlistError> {
+    if net.outputs().is_empty() {
+        return Err(NetlistError::Degenerate {
+            message: format!("network `{}` has no primary outputs", net.name()),
+        });
+    }
     let mut g = SubjectGraph::new(net.name());
     let mut sig: Vec<Option<Sig>> = vec![None; net.node_count()];
 

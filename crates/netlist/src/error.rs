@@ -51,6 +51,13 @@ pub enum NetlistError {
         /// Human-readable description.
         message: String,
     },
+    /// The input is well-formed but trivially empty (e.g. a model with
+    /// no primary outputs), so the requested operation has no meaningful
+    /// result.
+    Degenerate {
+        /// What makes the input degenerate.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -73,6 +80,7 @@ impl fmt::Display for NetlistError {
                 write!(f, "function has {got} inputs, at most {max} supported")
             }
             NetlistError::Invalid { message } => write!(f, "{message}"),
+            NetlistError::Degenerate { message } => write!(f, "degenerate input: {message}"),
         }
     }
 }
@@ -93,6 +101,7 @@ mod tests {
             NetlistError::Parse { line: 3, message: "bad".into() },
             NetlistError::TooManyInputs { got: 9, max: 6 },
             NetlistError::Invalid { message: "nope".into() },
+            NetlistError::Degenerate { message: "no outputs".into() },
         ];
         for e in errs {
             let s = e.to_string();

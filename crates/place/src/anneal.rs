@@ -10,6 +10,7 @@
 //!
 //! Everything is deterministic in the seed.
 
+use crate::error::PlaceError;
 use crate::geom::{Point, Rect};
 use crate::quadratic::PinRef;
 use lily_netlist::sim::XorShift64;
@@ -27,12 +28,18 @@ pub struct AnnealOptions {
     pub steps: usize,
     /// Region the cells must stay inside.
     pub core: Rect,
+    /// Hard budget on attempted moves across the whole run (`None` for
+    /// the full schedule). When the budget runs out mid-schedule the
+    /// annealer stops, restores the best placement seen so far, and
+    /// reports [`AnnealStats::budget_exhausted`] so the caller can fall
+    /// back to a cheaper refiner.
+    pub max_moves: Option<u64>,
 }
 
 impl AnnealOptions {
     /// A light default schedule for a given core.
     pub fn for_core(core: Rect) -> Self {
-        Self { seed: 1, moves_per_cell: 8, cooling: 0.85, steps: 24, core }
+        Self { seed: 1, moves_per_cell: 8, cooling: 0.85, steps: 24, core, max_moves: None }
     }
 }
 
@@ -45,6 +52,11 @@ pub struct AnnealStats {
     pub final_hpwl: f64,
     /// Accepted / attempted move ratio over the whole run.
     pub acceptance: f64,
+    /// Moves attempted (the budget-spend report of the resource guard).
+    pub moves_attempted: u64,
+    /// Whether [`AnnealOptions::max_moves`] ran out before the schedule
+    /// finished.
+    pub budget_exhausted: bool,
 }
 
 /// Anneals `positions` in place against the given nets and fixed pins.
@@ -52,14 +64,50 @@ pub struct AnnealStats {
 ///
 /// # Panics
 ///
-/// Panics if `cooling` is not in `(0, 1)`.
+/// Panics if `cooling` is not in `(0, 1)` or the inputs contain
+/// non-finite coordinates; use [`try_anneal`] to handle both gracefully.
 pub fn anneal(
     positions: &mut [Point],
     nets: &[Vec<PinRef>],
     fixed: &[Point],
     opts: &AnnealOptions,
 ) -> AnnealStats {
-    assert!(opts.cooling > 0.0 && opts.cooling < 1.0, "cooling must be in (0, 1)");
+    match try_anneal(positions, nets, fixed, opts) {
+        Ok(stats) => stats,
+        Err(e) => panic!("annealing failed: {e}"),
+    }
+}
+
+/// Fallible annealing refinement: validates options and input
+/// coordinates, then runs the schedule under the optional move budget.
+///
+/// Budget exhaustion is a *graceful* outcome, not an error: the best
+/// placement found before the budget ran out is kept and
+/// [`AnnealStats::budget_exhausted`] is set — the caller decides whether
+/// to degrade to another refiner.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidOptions`] — `cooling` outside `(0, 1)`.
+/// * [`PlaceError::NonFinite`] — a position or fixed-pin coordinate is
+///   NaN/∞.
+pub fn try_anneal(
+    positions: &mut [Point],
+    nets: &[Vec<PinRef>],
+    fixed: &[Point],
+    opts: &AnnealOptions,
+) -> Result<AnnealStats, PlaceError> {
+    if !(opts.cooling > 0.0 && opts.cooling < 1.0) {
+        return Err(PlaceError::InvalidOptions {
+            message: format!("cooling must be in (0, 1), got {}", opts.cooling),
+        });
+    }
+    if !positions.iter().all(|p| p.x.is_finite() && p.y.is_finite()) {
+        return Err(PlaceError::NonFinite { context: "anneal positions" });
+    }
+    if !fixed.iter().all(|p| p.x.is_finite() && p.y.is_finite()) {
+        return Err(PlaceError::NonFinite { context: "anneal fixed pins" });
+    }
     let n = positions.len();
     let mut rng = XorShift64::new(opts.seed);
     let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -89,7 +137,23 @@ pub fn anneal(
 
     let initial_hpwl = total(positions);
     if n < 2 {
-        return AnnealStats { initial_hpwl, final_hpwl: initial_hpwl, acceptance: 0.0 };
+        return Ok(AnnealStats {
+            initial_hpwl,
+            final_hpwl: initial_hpwl,
+            acceptance: 0.0,
+            moves_attempted: 0,
+            budget_exhausted: false,
+        });
+    }
+    if opts.max_moves == Some(0) {
+        // A zero budget is exhausted before the first move.
+        return Ok(AnnealStats {
+            initial_hpwl,
+            final_hpwl: initial_hpwl,
+            acceptance: 0.0,
+            moves_attempted: 0,
+            budget_exhausted: true,
+        });
     }
 
     // Initial temperature: the mean |delta| of a short random-swap walk.
@@ -110,11 +174,18 @@ pub fn anneal(
     let mut window = opts.core.width().max(opts.core.height()) / 2.0;
 
     let mut accepted = 0usize;
-    let mut attempted = 0usize;
+    let mut attempted = 0u64;
+    let mut budget_exhausted = false;
     let mut best_positions = positions.to_vec();
     let mut best_cost = initial_hpwl;
-    for _ in 0..opts.steps {
+    'schedule: for _ in 0..opts.steps {
         for _ in 0..opts.moves_per_cell * n {
+            if let Some(budget) = opts.max_moves {
+                if attempted >= budget {
+                    budget_exhausted = true;
+                    break 'schedule;
+                }
+            }
             attempted += 1;
             if rng.gen_bool(0.5) {
                 // Pairwise swap.
@@ -157,13 +228,20 @@ pub fn anneal(
             best_positions.copy_from_slice(positions);
         }
     }
+    // When the budget cut the schedule short, the end-of-step best
+    // bookkeeping may not have seen the current positions; fold them in.
+    if budget_exhausted && total(positions) < best_cost {
+        best_positions.copy_from_slice(positions);
+    }
     positions.copy_from_slice(&best_positions);
     let final_hpwl = total(positions);
-    AnnealStats {
+    Ok(AnnealStats {
         initial_hpwl,
         final_hpwl,
         acceptance: if attempted == 0 { 0.0 } else { accepted as f64 / attempted as f64 },
-    }
+        moves_attempted: attempted,
+        budget_exhausted,
+    })
 }
 
 #[cfg(test)]

@@ -36,11 +36,15 @@ impl AreaModel {
     ///
     /// The height is rounded up to a whole number of rows.
     ///
-    /// # Panics
-    ///
-    /// Panics if `total_cell_area` is negative.
+    /// Non-finite or negative `total_cell_area` is clamped to zero, which
+    /// yields the minimum (one-row-square) core; callers who care detect
+    /// the degenerate input before sizing the core.
     pub fn core_region(&self, total_cell_area: f64) -> Rect {
-        assert!(total_cell_area >= 0.0, "negative cell area");
+        let total_cell_area = if total_cell_area.is_finite() && total_cell_area > 0.0 {
+            total_cell_area
+        } else {
+            0.0
+        };
         let core_area = (total_cell_area / self.utilization).max(self.row_height * self.row_height);
         let height_raw = (core_area / self.aspect).sqrt();
         let rows = (height_raw / self.row_height).ceil().max(1.0);

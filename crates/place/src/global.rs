@@ -9,9 +9,10 @@
 //! the network preserved (paper Section 3.1 explains why detailed
 //! placement would be premature here).
 
+use crate::error::PlaceError;
 use crate::fm::{refine, FmInstance, FmOptions};
 use crate::geom::{Point, Rect};
-use crate::quadratic::{solve_quadratic, Anchor, PinRef, PlacementProblem};
+use crate::quadratic::{try_solve_quadratic, Anchor, PinRef, PlacementProblem};
 
 /// Options for [`global_place`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +49,9 @@ pub struct GlobalPlacement {
     pub regions: Vec<(Rect, Vec<usize>)>,
     /// Number of solve/partition rounds performed.
     pub levels: usize,
+    /// Total conjugate-gradient iterations spent across all rounds (the
+    /// budget-spend report of the resource guard).
+    pub cg_iterations: usize,
 }
 
 /// Runs balanced global placement. See the module docs for the
@@ -55,14 +59,48 @@ pub struct GlobalPlacement {
 ///
 /// # Panics
 ///
-/// Panics if the problem fails validation (see
-/// [`PlacementProblem::validate`]).
+/// Panics if the problem fails validation or the quadratic solves
+/// diverge; use [`try_global_place`] to handle both gracefully.
 pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalPlacement {
+    try_global_place(problem, opts).expect("global placement failed")
+}
+
+/// Fallible balanced global placement. See the module docs for the
+/// algorithm.
+///
+/// The partitioning depth is already capped by
+/// [`GlobalOptions::max_levels`]; each quadratic solve is additionally
+/// guarded by the conjugate-gradient iteration budget and NaN detection
+/// of [`try_solve_quadratic`], and the region the solver must place into
+/// is checked for finite geometry up front.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidProblem`] — the problem fails validation.
+/// * [`PlaceError::NonFinite`] — the core region or a pad coordinate is
+///   NaN/∞.
+/// * [`PlaceError::SolverDiverged`] — a quadratic solve diverged.
+pub fn try_global_place(
+    problem: &PlacementProblem,
+    opts: &GlobalOptions,
+) -> Result<GlobalPlacement, PlaceError> {
     let n = problem.movable;
     if n == 0 {
-        return GlobalPlacement { positions: Vec::new(), regions: Vec::new(), levels: 0 };
+        return Ok(GlobalPlacement {
+            positions: Vec::new(),
+            regions: Vec::new(),
+            levels: 0,
+            cg_iterations: 0,
+        });
     }
-    let mut positions = solve_quadratic(problem, &[], &[]);
+    let r = opts.region;
+    if ![r.llx, r.lly, r.urx, r.ury].iter().all(|v| v.is_finite()) {
+        return Err(PlaceError::NonFinite { context: "core region" });
+    }
+    let mut cg_iterations = 0usize;
+    let first = try_solve_quadratic(problem, &[], &[])?;
+    cg_iterations += first.iterations;
+    let mut positions = first.positions;
     let mut regions: Vec<(Rect, Vec<usize>)> = vec![(opts.region, (0..n).collect())];
     let mut level = 0usize;
 
@@ -102,7 +140,9 @@ pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalP
                 anchors.push(Anchor { module: m, target: c, weight: w });
             }
         }
-        positions = solve_quadratic(problem, &anchors, &positions);
+        let solve = try_solve_quadratic(problem, &anchors, &positions)?;
+        cg_iterations += solve.iterations;
+        positions = solve.positions;
     }
 
     // Keep every module inside its assigned region (the solve is
@@ -112,7 +152,7 @@ pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalP
             positions[m] = rect.clamp(positions[m]);
         }
     }
-    GlobalPlacement { positions, regions, levels: level }
+    Ok(GlobalPlacement { positions, regions, levels: level, cg_iterations })
 }
 
 /// FM-refines a median split: reduces the number of nets spanning the

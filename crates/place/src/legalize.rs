@@ -193,8 +193,8 @@ pub fn improve(
                 }
             }
             if !xs.is_empty() {
-                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                xs.sort_by(|a, b| a.total_cmp(b));
+                ys.sort_by(|a, b| a.total_cmp(b));
                 desired[cell] = Point::new(xs[xs.len() / 2], ys[ys.len() / 2]);
             }
         }

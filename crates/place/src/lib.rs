@@ -27,6 +27,7 @@
 
 pub mod anneal;
 pub mod area;
+pub mod error;
 pub mod fm;
 pub mod geom;
 pub mod global;
@@ -36,11 +37,12 @@ pub mod problem;
 pub mod quadratic;
 pub mod sparse;
 
-pub use anneal::{anneal, AnnealOptions, AnnealStats};
+pub use anneal::{anneal, try_anneal, AnnealOptions, AnnealStats};
 pub use area::AreaModel;
+pub use error::PlaceError;
 pub use fm::{cut_size, refine as fm_refine, FmInstance, FmOptions};
 pub use geom::{Point, Rect};
-pub use global::{global_place, GlobalOptions};
+pub use global::{global_place, try_global_place, GlobalOptions};
 pub use pads::assign_pads;
 pub use problem::SubjectPlacement;
-pub use quadratic::{solve_quadratic, PinRef, PlacementProblem};
+pub use quadratic::{solve_quadratic, try_solve_quadratic, PinRef, PlacementProblem};

@@ -6,8 +6,9 @@
 //! separable in x and y; each axis is an SPD linear system solved by
 //! conjugate gradients.
 
+use crate::error::PlaceError;
 use crate::geom::Point;
-use crate::sparse::{conjugate_gradient, CsrBuilder};
+use crate::sparse::{cg_solve, CsrBuilder};
 
 /// A pin of a placement net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +87,24 @@ pub struct Anchor {
     pub weight: f64,
 }
 
+/// A quadratic-placement solution with the solver evidence attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticSolve {
+    /// Solved module positions.
+    pub positions: Vec<Point>,
+    /// Total conjugate-gradient iterations spent (both axes).
+    pub iterations: usize,
+    /// Worst relative residual across the two axis solves.
+    pub residual: f64,
+    /// Whether both axis solves converged to tolerance.
+    pub converged: bool,
+}
+
+/// Relative residual above which an unconverged quadratic solve is
+/// rejected as diverged (placement only needs a few digits; a stalled
+/// solve at 1e-6 is still a fine point placement).
+const ACCEPTABLE_RESIDUAL: f64 = 1e-3;
+
 /// Solves the quadratic placement with optional anchors, starting from
 /// `warm` (pass an empty slice for a cold start at the pad centroid).
 ///
@@ -94,16 +113,52 @@ pub struct Anchor {
 ///
 /// # Panics
 ///
-/// Panics if the problem fails [`PlacementProblem::validate`].
+/// Panics if the problem fails [`PlacementProblem::validate`] or the
+/// solve diverges; use [`try_solve_quadratic`] to handle both
+/// gracefully.
 pub fn solve_quadratic(
     problem: &PlacementProblem,
     anchors: &[Anchor],
     warm: &[Point],
 ) -> Vec<Point> {
-    problem.validate().expect("invalid placement problem");
+    try_solve_quadratic(problem, anchors, warm).expect("quadratic placement failed").positions
+}
+
+/// Fallible quadratic placement: validates the problem, checks every
+/// fixed pad and anchor for finite coordinates, and verifies the
+/// conjugate-gradient solves produced a finite, usably-converged
+/// solution.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidProblem`] — validation failure.
+/// * [`PlaceError::NonFinite`] — a pad or anchor coordinate (or weight)
+///   is NaN/∞.
+/// * [`PlaceError::SolverDiverged`] — CG blew up or stalled with a
+///   relative residual above `1e-3`.
+pub fn try_solve_quadratic(
+    problem: &PlacementProblem,
+    anchors: &[Anchor],
+    warm: &[Point],
+) -> Result<QuadraticSolve, PlaceError> {
+    problem.validate().map_err(|message| PlaceError::InvalidProblem { message })?;
     let n = problem.movable;
     if n == 0 {
-        return Vec::new();
+        return Ok(QuadraticSolve {
+            positions: Vec::new(),
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
+    }
+    if !problem.fixed.iter().all(|p| p.x.is_finite() && p.y.is_finite()) {
+        return Err(PlaceError::NonFinite { context: "pad coordinates" });
+    }
+    if !anchors
+        .iter()
+        .all(|a| a.target.x.is_finite() && a.target.y.is_finite() && a.weight.is_finite())
+    {
+        return Err(PlaceError::NonFinite { context: "anchor targets" });
     }
     let centroid = if problem.fixed.is_empty() {
         Point::new(0.0, 0.0)
@@ -153,15 +208,32 @@ pub fn solve_quadratic(
     }
 
     let a = builder.build();
-    let (x0, y0): (Vec<f64>, Vec<f64>) = if warm.len() == n {
+    let warm_ok = warm.len() == n && warm.iter().all(|p| p.x.is_finite() && p.y.is_finite());
+    let (x0, y0): (Vec<f64>, Vec<f64>) = if warm_ok {
         (warm.iter().map(|p| p.x).collect(), warm.iter().map(|p| p.y).collect())
     } else {
         (vec![centroid.x; n], vec![centroid.y; n])
     };
     let max_iter = 4 * n + 200;
-    let (xs, _) = conjugate_gradient(&a, &bx, &x0, 1e-8, max_iter);
-    let (ys, _) = conjugate_gradient(&a, &by, &y0, 1e-8, max_iter);
-    xs.into_iter().zip(ys).map(|(x, y)| Point::new(x, y)).collect()
+    let sx = cg_solve(&a, &bx, &x0, 1e-8, max_iter);
+    let sy = cg_solve(&a, &by, &y0, 1e-8, max_iter);
+    let iterations = sx.iterations + sy.iterations;
+    let residual = sx.residual.max(sy.residual);
+    let finite = sx.x.iter().all(|v| v.is_finite()) && sy.x.iter().all(|v| v.is_finite());
+    let usable = finite && (residual.is_finite() && residual <= ACCEPTABLE_RESIDUAL);
+    if !usable {
+        return Err(PlaceError::SolverDiverged {
+            solver: "conjugate-gradient",
+            iterations,
+            residual,
+        });
+    }
+    Ok(QuadraticSolve {
+        positions: sx.x.into_iter().zip(sy.x).map(|(x, y)| Point::new(x, y)).collect(),
+        iterations,
+        residual,
+        converged: sx.converged && sy.converged,
+    })
 }
 
 #[cfg(test)]

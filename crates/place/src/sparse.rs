@@ -118,11 +118,34 @@ impl CsrMatrix {
     }
 }
 
+/// Outcome of a [`cg_solve`] run: the solution estimate plus the
+/// convergence evidence the caller needs to decide whether to trust it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolve {
+    /// The solution estimate (the best iterate when not converged).
+    pub x: Vec<f64>,
+    /// Iterations spent.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub residual: f64,
+    /// Whether the residual dropped below the tolerance.
+    pub converged: bool,
+}
+
+impl CgSolve {
+    /// Whether the solution can be used: converged and every component
+    /// finite.
+    pub fn is_usable(&self) -> bool {
+        self.converged && self.x.iter().all(|v| v.is_finite())
+    }
+}
+
 /// Solves `A x = b` by Jacobi-preconditioned conjugate gradients,
 /// starting from `x0`. Returns the solution and the iteration count.
 ///
 /// `A` must be symmetric positive definite (the placement Laplacian with
-/// at least one anchor per connected component is).
+/// at least one anchor per connected component is). Prefer [`cg_solve`]
+/// when the caller needs to react to divergence.
 ///
 /// # Panics
 ///
@@ -134,11 +157,31 @@ pub fn conjugate_gradient(
     tol: f64,
     max_iter: usize,
 ) -> (Vec<f64>, usize) {
+    let s = cg_solve(a, b, x0, tol, max_iter);
+    (s.x, s.iterations)
+}
+
+/// Solves `A x = b` by Jacobi-preconditioned conjugate gradients,
+/// reporting convergence instead of assuming it.
+///
+/// Divergence is detected two ways: a non-finite residual (NaN inputs,
+/// indefinite matrices) stops the iteration immediately, and exhausting
+/// `max_iter` leaves `converged` false with the final residual recorded.
+/// The returned iterate is the last finite one when possible.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (caller-side programming error; the
+/// slices come from the same builder).
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iter: usize) -> CgSolve {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     if n == 0 {
-        return (Vec::new(), 0);
+        return CgSolve { x: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+    }
+    if !b.iter().all(|v| v.is_finite()) || !x0.iter().all(|v| v.is_finite()) {
+        return CgSolve { x: x0.to_vec(), iterations: 0, residual: f64::NAN, converged: false };
     }
     let diag = a.diagonal();
     let precond = |r: &[f64], z: &mut [f64]| {
@@ -159,15 +202,20 @@ pub fn conjugate_gradient(
     let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
     let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
     let mut ap = vec![0.0; n];
+    let mut rel = f64::INFINITY;
 
     for iter in 0..max_iter {
         let r_norm: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        rel = r_norm / b_norm;
+        if !rel.is_finite() {
+            return CgSolve { x, iterations: iter, residual: rel, converged: false };
+        }
         if r_norm <= tol * b_norm {
-            return (x, iter);
+            return CgSolve { x, iterations: iter, residual: rel, converged: true };
         }
         a.mul(&p, &mut ap);
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-        if pap.abs() < 1e-300 {
+        if pap.abs() < 1e-300 || !pap.is_finite() {
             break;
         }
         let alpha = rz / pap;
@@ -183,7 +231,10 @@ pub fn conjugate_gradient(
             p[i] = z[i] + beta * p[i];
         }
     }
-    (x, max_iter)
+    // Stalled (pap breakdown) or out of budget: the iterate may still
+    // be perfectly usable (placement only needs a few digits), so
+    // report the residual and let the caller set the acceptance bar.
+    CgSolve { x, iterations: max_iter, residual: rel, converged: false }
 }
 
 #[cfg(test)]

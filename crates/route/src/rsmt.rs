@@ -38,9 +38,9 @@ pub fn rsmt_length_capped(pins: &[Point], max_exact_pins: usize) -> f64 {
         // Hanan grid of the *original* pins plus added Steiner points.
         let mut xs: Vec<f64> = nodes.iter().map(|p| p.x).collect();
         let mut ys: Vec<f64> = nodes.iter().map(|p| p.y).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup();
-        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ys.sort_by(|a, b| a.total_cmp(b));
         ys.dedup();
         for &x in &xs {
             for &y in &ys {

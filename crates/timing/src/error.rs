@@ -1,0 +1,74 @@
+//! Structured errors for static timing analysis.
+//!
+//! STA sits at the end of the flow, downstream of every other stage, so
+//! its inputs can carry any upstream defect: a netlist inconsistent with
+//! the library, a combinational cycle introduced by a buggy mapper, or
+//! non-finite positions/parameters that turn arrival times into NaN.
+//! [`try_analyze`](crate::sta::try_analyze) reports these as
+//! [`TimingError`]s so the flow can degrade (e.g. retry with a cheaper
+//! wire-load model) instead of panicking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why static timing analysis could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// The mapped network failed validation against the library.
+    InvalidNetwork {
+        /// The validation failure.
+        message: String,
+    },
+    /// The mapped network contains a combinational cycle.
+    Cyclic {
+        /// Index of a cell on the cycle.
+        cell: usize,
+    },
+    /// An arrival time or load came out NaN/∞ (bad positions, overflowed
+    /// delay parameters).
+    NonFinite {
+        /// Which quantity went non-finite.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidNetwork { message } => write!(f, "invalid mapped network: {message}"),
+            Self::Cyclic { cell } => {
+                write!(f, "mapped network contains a cycle through cell {cell}")
+            }
+            Self::NonFinite { context } => write!(f, "non-finite value in {context}"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            TimingError::InvalidNetwork { message: "arity".into() }.to_string(),
+            "invalid mapped network: arity"
+        );
+        assert_eq!(
+            TimingError::Cyclic { cell: 3 }.to_string(),
+            "mapped network contains a cycle through cell 3"
+        );
+        assert_eq!(
+            TimingError::NonFinite { context: "critical delay" }.to_string(),
+            "non-finite value in critical delay"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TimingError>();
+    }
+}

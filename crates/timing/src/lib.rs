@@ -17,11 +17,13 @@
 //!   extraction and slacks.
 
 pub mod arrival;
+pub mod error;
 pub mod load;
 pub mod report;
 pub mod sta;
 
 pub use arrival::{block_arrival, ld_arrival, propagate, unateness, Arrival, Unateness};
+pub use error::TimingError;
 pub use load::{net_wire_cap, output_load, WireLoad};
 pub use report::{critical_path_report, slack_summary};
-pub use sta::{analyze, StaOptions, StaResult};
+pub use sta::{analyze, try_analyze, StaOptions, StaResult};

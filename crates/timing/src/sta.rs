@@ -5,6 +5,7 @@
 //! Table 2), the critical path itself, and per-cell slacks.
 
 use crate::arrival::{propagate, unateness, Arrival};
+use crate::error::TimingError;
 use crate::load::{output_load, WireLoad};
 use lily_cells::{CellId, Library, MappedNetwork, SignalSource};
 
@@ -47,9 +48,31 @@ pub struct StaResult {
 /// # Panics
 ///
 /// Panics if the network fails validation against `lib` or contains a
-/// cycle.
+/// cycle; use [`try_analyze`] to handle both (plus non-finite delays)
+/// gracefully.
 pub fn analyze(mapped: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
-    mapped.validate(lib).expect("mapped network inconsistent with library");
+    match try_analyze(mapped, lib, opts) {
+        Ok(r) => r,
+        Err(e) => panic!("static timing analysis failed: {e}"),
+    }
+}
+
+/// Runs static timing analysis, reporting upstream defects as structured
+/// errors instead of panicking.
+///
+/// # Errors
+///
+/// * [`TimingError::InvalidNetwork`] — the netlist fails validation
+///   against `lib`.
+/// * [`TimingError::Cyclic`] — the netlist has a combinational cycle.
+/// * [`TimingError::NonFinite`] — a load or the critical delay came out
+///   NaN/∞ (non-finite cell positions or overflowed delay parameters).
+pub fn try_analyze(
+    mapped: &MappedNetwork,
+    lib: &Library,
+    opts: &StaOptions,
+) -> Result<StaResult, TimingError> {
+    mapped.validate(lib).map_err(|message| TimingError::InvalidNetwork { message })?;
     let n = mapped.cell_count();
 
     // Per-driver loads.
@@ -57,11 +80,15 @@ pub fn analyze(mapped: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaR
     let mut load_of_cell = vec![0.0f64; n];
     for net in &nets {
         if let SignalSource::Cell(c) = net.source {
-            load_of_cell[c.index()] = output_load(opts.wire_load, lib, mapped, net);
+            let load = output_load(opts.wire_load, lib, mapped, net);
+            if !load.is_finite() {
+                return Err(TimingError::NonFinite { context: "output load" });
+            }
+            load_of_cell[c.index()] = load;
         }
     }
 
-    let order = mapped.topo_order();
+    let order = mapped.try_topo_order().map_err(|c| TimingError::Cyclic { cell: c.index() })?;
     let mut cell_arrival = vec![Arrival::ZERO; n];
     let mut worst_pin = vec![usize::MAX; n];
     let pi_arrival = Arrival::new(opts.input_arrival, opts.input_arrival);
@@ -149,14 +176,17 @@ pub fn analyze(mapped: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaR
         })
         .collect();
 
-    StaResult {
+    if !critical_delay.is_finite() {
+        return Err(TimingError::NonFinite { context: "critical delay" });
+    }
+    Ok(StaResult {
         cell_arrival,
         output_arrival,
         critical_delay,
         critical_output,
         critical_path,
         cell_slack,
-    }
+    })
 }
 
 #[cfg(test)]

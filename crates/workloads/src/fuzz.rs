@@ -1,0 +1,155 @@
+//! Seeded fuzz-input generation for the panic-free-flow harness.
+//!
+//! Two input families, both deterministic in a single `u64` seed:
+//!
+//! * **Mutated BLIF** — a corpus of well-formed BLIF texts (the
+//!   benchmark circuits plus generator output) run through byte-level
+//!   mutators: bit flips, byte deletions/duplications, token splices and
+//!   truncations. Most mutants are garbage the parser must reject with a
+//!   structured error; some survive parsing and stress the rest of the
+//!   flow.
+//! * **Generator parameters** — valid-but-wild [`GenOptions`] sweeps
+//!   (degenerate sizes, extreme locality, wide fanin) whose networks are
+//!   run through the full flow.
+//!
+//! The harness contract (enforced by `crates/check/tests/fuzz_flow.rs`
+//! and the `lily-fuzz` binary) is: every input either flows to `Ok` or
+//! to a structured error — never to a panic.
+
+use crate::gen::GenOptions;
+use lily_netlist::blif;
+use lily_netlist::sim::XorShift64;
+
+/// Base corpus of well-formed BLIF texts that mutation starts from:
+/// the smallest benchmark circuit, two small generated networks, and a
+/// tiny hand-rolled model. Small bases keep the per-case flow cheap.
+pub fn corpus() -> Vec<String> {
+    let mut texts = vec![blif::write(&crate::circuits::circuit("misex1"))];
+    texts.push(blif::write(&crate::gen::generate_sized(5, 3, 24, 0xf02d).network));
+    texts.push(blif::write(&crate::gen::generate_sized(9, 4, 60, 0xf0ad).network));
+    // A tiny hand-rolled model so the corpus never depends on the
+    // benchmark set or generator alone.
+    texts.push(
+        ".model tiny\n.inputs a b c\n.outputs y z\n.names a b t\n11 1\n.names t c y\n\
+         10 1\n01 1\n.names c z\n0 1\n.end\n"
+            .to_string(),
+    );
+    texts
+}
+
+/// Deterministically mutates `text` into a byte string (not necessarily
+/// valid UTF-8 or valid BLIF).
+pub fn mutate_blif(text: &str, seed: u64) -> Vec<u8> {
+    let mut rng = XorShift64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut bytes = text.as_bytes().to_vec();
+    let ops = 1 + rng.gen_index(8);
+    for _ in 0..ops {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.gen_index(6) {
+            // Flip a bit somewhere.
+            0 => {
+                let i = rng.gen_index(bytes.len());
+                bytes[i] ^= 1 << rng.gen_index(8);
+            }
+            // Delete a byte.
+            1 => {
+                let i = rng.gen_index(bytes.len());
+                bytes.remove(i);
+            }
+            // Duplicate a random span.
+            2 => {
+                let i = rng.gen_index(bytes.len());
+                let len = 1 + rng.gen_index(16.min(bytes.len() - i));
+                let span: Vec<u8> = bytes[i..i + len].to_vec();
+                let at = rng.gen_index(bytes.len() + 1);
+                for (k, b) in span.into_iter().enumerate() {
+                    bytes.insert(at + k, b);
+                }
+            }
+            // Truncate the tail.
+            3 => {
+                let keep = rng.gen_index(bytes.len() + 1);
+                bytes.truncate(keep);
+            }
+            // Splice in a BLIF-ish token (keywords, numbers, dashes).
+            4 => {
+                const TOKENS: [&str; 8] =
+                    [".names", ".inputs", ".outputs", ".end", "-", "0", "1111111111", ".latch"];
+                let t = TOKENS[rng.gen_index(TOKENS.len())];
+                let at = rng.gen_index(bytes.len() + 1);
+                for (k, b) in t.bytes().enumerate() {
+                    bytes.insert(at + k, b);
+                }
+            }
+            // Overwrite a byte with an arbitrary value.
+            _ => {
+                let i = rng.gen_index(bytes.len());
+                bytes[i] = (rng.next_u64() & 0xff) as u8;
+            }
+        }
+    }
+    bytes
+}
+
+/// The `i`-th mutated-BLIF fuzz input for `seed`.
+pub fn blif_case(corpus: &[String], seed: u64, i: u64) -> Vec<u8> {
+    let mut rng = XorShift64::new(seed.wrapping_add(i).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let base = &corpus[rng.gen_index(corpus.len())];
+    mutate_blif(base, rng.next_u64())
+}
+
+/// The `i`-th generator-parameter fuzz input for `seed`: always
+/// satisfies the generator's documented preconditions (positive
+/// input/output counts, `max_fanin >= 2`) while sweeping degenerate and
+/// extreme corners.
+pub fn gen_case(seed: u64, i: u64) -> GenOptions {
+    let mut rng = XorShift64::new(seed.wrapping_add(i).wrapping_mul(0xd129_0d3b_57c6_3dc5) | 1);
+    GenOptions {
+        inputs: 1 + rng.gen_index(24),
+        outputs: 1 + rng.gen_index(12),
+        internal_nodes: rng.gen_index(120),
+        max_fanin: 2 + rng.gen_index(7),
+        locality: rng.gen_f64(),
+        seed: rng.next_u64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_wellformed_blif() {
+        let texts = corpus();
+        assert!(texts.len() >= 2);
+        for t in &texts {
+            blif::parse(t).expect("corpus text must parse");
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let texts = corpus();
+        assert_eq!(blif_case(&texts, 42, 7), blif_case(&texts, 42, 7));
+        assert_eq!(gen_case(42, 7), gen_case(42, 7));
+    }
+
+    #[test]
+    fn mutants_differ_across_indices() {
+        let texts = corpus();
+        let distinct: std::collections::HashSet<Vec<u8>> =
+            (0..32).map(|i| blif_case(&texts, 1, i)).collect();
+        assert!(distinct.len() > 16, "mutator collapsed to {} distinct cases", distinct.len());
+    }
+
+    #[test]
+    fn gen_cases_respect_generator_preconditions() {
+        for i in 0..256 {
+            let o = gen_case(3, i);
+            assert!(o.inputs > 0 && o.outputs > 0 && o.max_fanin >= 2);
+            assert!(o.locality.is_finite());
+        }
+    }
+}

@@ -112,13 +112,20 @@ pub fn generate(options: GenOptions) -> RandomNetwork {
             drivers.push(s);
         }
     }
+    // A node-less network (internal_nodes = 0) has no logic drivers at
+    // all: wire outputs straight to inputs so the result is still a
+    // well-formed (if trivial) network.
+    if drivers.is_empty() {
+        drivers.extend(signals.iter().copied());
+    }
     // Tiny networks may still be short; reuse drivers cyclically.
     let mut i = 0;
     while drivers.len() < options.outputs {
-        let d = drivers[i % drivers.len().max(1)];
+        let d = drivers[i % drivers.len()];
         drivers.push(d);
         i += 1;
     }
+    drivers.truncate(options.outputs);
     for (oi, d) in drivers.into_iter().enumerate() {
         net.add_output(format!("po{oi}"), d);
     }

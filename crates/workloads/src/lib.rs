@@ -17,6 +17,7 @@
 //! decoders, multiplexer trees) used by the examples and tests.
 
 pub mod circuits;
+pub mod fuzz;
 pub mod gen;
 pub mod structured;
 

@@ -19,7 +19,7 @@ use lily::core::flow::FlowOptions;
 use lily::netlist::decompose::decompose;
 use lily::place::Point;
 use lily::place::Rect;
-use lily::timing::{analyze, StaOptions};
+use lily::timing::{try_analyze, StaOptions};
 
 struct Args {
     lib: String,
@@ -124,6 +124,9 @@ fn run() -> Result<usize, String> {
     let result = FlowOptions { verify: false, ..opts }
         .run_subject(&g, &lib)
         .map_err(|e| format!("flow: {e}"))?;
+    for d in &result.metrics.degradations {
+        println!("degraded: {d}");
+    }
     let mapped = result.mapped;
 
     errors += stage("mapped", &check::check_mapped(&mapped, &lib));
@@ -146,7 +149,8 @@ fn run() -> Result<usize, String> {
         None => println!("placement: skipped (no pads)"),
     }
 
-    let sta = analyze(&mapped, &lib, &StaOptions::default());
+    let sta =
+        try_analyze(&mapped, &lib, &StaOptions::default()).map_err(|e| format!("sta: {e}"))?;
     errors += stage("timing", &check::check_timing(&mapped, &sta, 0.0));
     println!("critical delay {:.3} ns over {} cells", sta.critical_delay, mapped.cell_count());
     Ok(errors)

@@ -1,0 +1,173 @@
+//! `lily-fuzz` — seeded fuzz harness for the panic-free mapping flow.
+//!
+//! Drives deterministic pseudo-random inputs through the full flow and
+//! asserts the robustness contract: every input ends in `Ok` or a
+//! structured [`MapError`](lily_core::MapError) — never a panic.
+//!
+//! Two input families alternate (see `lily_workloads::fuzz`):
+//!
+//! * mutated BLIF bytes (bit flips, truncations, token splices of a
+//!   well-formed corpus) — most die in the parser with a structured
+//!   error, survivors run the flow;
+//! * valid-but-wild generator parameters — always reach the flow.
+//!
+//! ```text
+//! lily-fuzz [--count N] [--seed S] [--verbose]
+//! ```
+//!
+//! Exits 0 when all cases hold the contract; on a panic it prints the
+//! reproducing `(seed, case)` pair and exits 1.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lily::cells::Library;
+use lily::core::flow::{DetailedPlacer, FlowOptions};
+use lily::netlist::{blif, Network};
+use lily::workloads::fuzz;
+use lily::workloads::gen::generate;
+
+const DEFAULT_COUNT: u64 = 2000;
+const DEFAULT_SEED: u64 = 0x1117_f1ce;
+
+struct Args {
+    count: u64,
+    seed: u64,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { count: DEFAULT_COUNT, seed: DEFAULT_SEED, verbose: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                args.count = v.parse().map_err(|_| format!("bad --count `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                args.seed = u64::from_str_radix(v, 16).map_err(|_| format!("bad --seed `{v}`"))?;
+            }
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!("usage: lily-fuzz [--count N] [--seed HEX] [--verbose]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Flow configuration for case `i`: cycles objectives and detailed
+/// placers, including a deliberately starved annealer so the
+/// degradation ladder gets fuzzed too. Mirrors
+/// `crates/check/tests/fuzz_flow.rs`.
+fn options_for(i: u64) -> FlowOptions {
+    let mut opts = match i % 3 {
+        0 => FlowOptions::mis_area(),
+        1 => FlowOptions::lily_area(),
+        _ => FlowOptions::lily_delay(),
+    };
+    if i % 4 == 3 {
+        opts.detailed_placer = DetailedPlacer::Anneal { seed: i };
+        opts.anneal_move_budget = Some((i % 5) * 40);
+    }
+    opts.verify = false;
+    opts
+}
+
+#[derive(Default)]
+struct Tally {
+    parse_rejects: u64,
+    flow_ok: u64,
+    flow_err: u64,
+    degradations: u64,
+}
+
+fn drive(net: &Network, lib: &Library, i: u64, tally: &mut Tally, verbose: bool) {
+    match options_for(i).run_detailed(net, lib) {
+        Ok(r) => {
+            tally.flow_ok += 1;
+            tally.degradations += r.metrics.degradations.len() as u64;
+        }
+        Err(e) => {
+            tally.flow_err += 1;
+            if verbose {
+                eprintln!("case {i}: structured error: {e}");
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lily-fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Panics are the signal under test: silence the default hook's
+    // backtrace spew and let catch_unwind report the payload. Setting
+    // RUST_BACKTRACE keeps the default hook for debugging a repro.
+    if std::env::var_os("RUST_BACKTRACE").is_none() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    let corpus = fuzz::corpus();
+    let lib = Library::big();
+    let mut tally = Tally::default();
+
+    for i in 0..args.count {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut local = Tally::default();
+            if i % 2 == 0 {
+                let bytes = fuzz::blif_case(&corpus, args.seed, i);
+                let text = String::from_utf8_lossy(&bytes);
+                match blif::parse(&text) {
+                    Ok(net) => drive(&net, &lib, i, &mut local, args.verbose),
+                    Err(_) => local.parse_rejects += 1,
+                }
+            } else {
+                let net = generate(fuzz::gen_case(args.seed, i)).network;
+                drive(&net, &lib, i, &mut local, args.verbose);
+            }
+            local
+        }));
+        match outcome {
+            Ok(local) => {
+                tally.parse_rejects += local.parse_rejects;
+                tally.flow_ok += local.flow_ok;
+                tally.flow_err += local.flow_err;
+                tally.degradations += local.degradations;
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                eprintln!("lily-fuzz: PANIC at case {i} (seed {:#x}): {msg}", args.seed);
+                eprintln!("reproduce with: lily-fuzz --count {} --seed {:#x}", i + 1, args.seed);
+                std::process::exit(1);
+            }
+        }
+        if args.verbose && (i + 1) % 200 == 0 {
+            eprintln!("... {} / {} cases", i + 1, args.count);
+        }
+    }
+
+    println!(
+        "lily-fuzz: {} cases, 0 panics ({} parse rejects, {} flow ok, {} structured flow \
+         errors, {} recorded degradations) [seed {:#x}]",
+        args.count,
+        tally.parse_rejects,
+        tally.flow_ok,
+        tally.flow_err,
+        tally.degradations,
+        args.seed,
+    );
+}

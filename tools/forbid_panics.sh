@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Forbid new panic sites in library code.
+#
+# Counts potential panic sites (.unwrap( / .expect( / panic! /
+# unreachable! / todo! / unimplemented! / debug_assert-less assert!) in
+# every crates/*/src/**/*.rs file, ignoring comment lines and anything
+# from the first `#[cfg(test)]` to end of file (test modules sit at the
+# bottom of files in this repo). Each file's count must not exceed its
+# budget in tools/panic_allowlist.txt; files not listed get budget 0.
+#
+# The allowlist records *documented* panicking wrappers (each delegates
+# to a fallible try_* twin) and invariant-guarding internals. It only
+# shrinks: when you remove a panic site, lower the budget in the same
+# change. To regenerate after legitimate refactors:
+#     tools/forbid_panics.sh --print-counts
+#
+# Exit: 0 clean, 1 violations found, 2 usage/setup error.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+allowlist="tools/panic_allowlist.txt"
+[ -f "$allowlist" ] || { echo "forbid_panics: missing $allowlist" >&2; exit 2; }
+
+mode="${1:-check}"
+
+count_file() {
+    # Strip the tail starting at #[cfg(test)], drop comment-only lines,
+    # then count panic-site tokens (several may share a line).
+    awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        {
+            n += gsub(/\.unwrap\(/, "");
+            n += gsub(/\.expect\(/, "");
+            n += gsub(/panic!/, "");
+            n += gsub(/unreachable!/, "");
+            n += gsub(/todo!/, "");
+            n += gsub(/unimplemented!/, "");
+            n += gsub(/assert!|assert_eq!|assert_ne!/, "");
+        }
+        END { print n + 0 }
+    ' "$1"
+}
+
+budget_for() {
+    # Lines: "<path> <count>"; comments and blanks allowed.
+    awk -v f="$1" '$1 == f { print $2; found = 1 } END { if (!found) print 0 }' \
+        "$allowlist"
+}
+
+status=0
+for f in $(find crates/*/src -name '*.rs' | sort); do
+    n="$(count_file "$f")"
+    if [ "$mode" = "--print-counts" ]; then
+        [ "$n" -gt 0 ] && echo "$f $n"
+        continue
+    fi
+    budget="$(budget_for "$f")"
+    if [ "$n" -gt "$budget" ]; then
+        echo "forbid_panics: $f has $n panic sites (allowlist budget $budget)" >&2
+        echo "  new unwrap/expect/panic in library code is forbidden;" >&2
+        echo "  return a structured error instead (see DESIGN.md §9)" >&2
+        status=1
+    fi
+done
+
+# Flag stale allowlist entries so budgets only shrink.
+if [ "$mode" = "check" ]; then
+    while read -r path budget; do
+        case "$path" in ''|'#'*) continue ;; esac
+        [ -f "$path" ] || {
+            echo "forbid_panics: stale allowlist entry $path (file gone)" >&2
+            status=1
+            continue
+        }
+        n="$(count_file "$path")"
+        if [ "$n" -lt "$budget" ]; then
+            echo "forbid_panics: $path budget $budget but only $n sites — shrink the allowlist" >&2
+            status=1
+        fi
+    done < "$allowlist"
+fi
+
+[ "$status" -eq 0 ] && [ "$mode" = "check" ] && echo "forbid_panics: clean"
+exit "$status"
