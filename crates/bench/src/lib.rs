@@ -17,7 +17,7 @@
 pub mod harness;
 
 use lily_cells::Library;
-use lily_core::flow::{FlowMetrics, FlowOptions};
+use lily_core::flow::{compare_flows, FlowMetrics, FlowOptions};
 use lily_core::MapError;
 use lily_workloads::circuits;
 
@@ -50,9 +50,10 @@ pub struct Table2Row {
 /// Propagates flow errors.
 pub fn table1_row(name: &'static str, lib: &Library) -> Result<Table1Row, MapError> {
     let net = circuits::circuit(name);
-    let mis = FlowOptions::mis_area().run(&net, lib)?;
-    let lily = FlowOptions::lily_area().run(&net, lib)?;
-    Ok(Table1Row { name, mis, lily })
+    // One compare_flows call shares the decomposition, pad assignment,
+    // and subject placement between the MIS and Lily pipelines.
+    let cmp = compare_flows(&net, lib, &FlowOptions::lily_area())?;
+    Ok(Table1Row { name, mis: cmp.mis.metrics, lily: cmp.lily.metrics })
 }
 
 /// Runs the Table 2 experiment for one circuit with the 1µ-scaled big
@@ -63,9 +64,8 @@ pub fn table1_row(name: &'static str, lib: &Library) -> Result<Table1Row, MapErr
 /// Propagates flow errors.
 pub fn table2_row(name: &'static str, lib: &Library) -> Result<Table2Row, MapError> {
     let net = circuits::circuit(name);
-    let mis = FlowOptions::mis_delay().run(&net, lib)?;
-    let lily = FlowOptions::lily_delay().run(&net, lib)?;
-    Ok(Table2Row { name, mis, lily })
+    let cmp = compare_flows(&net, lib, &FlowOptions::lily_delay())?;
+    Ok(Table2Row { name, mis: cmp.mis.metrics, lily: cmp.lily.metrics })
 }
 
 /// Geometric-mean ratio of `lily / mis` over a metric extractor —

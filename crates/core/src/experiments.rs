@@ -11,11 +11,30 @@ use crate::baseline::MisMapper;
 use crate::cover::MapStats;
 use crate::error::MapError;
 use crate::lily::{LayoutOptions, LilyMapper};
+use crate::stage::{MapImage, Mapper};
 use lily_cells::Library;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_netlist::{Network, NodeFunc, SubjectGraph, SubjectKind};
 use lily_place::Point;
 use lily_route::{net_length, WireModel};
+
+/// The six-input NAND of Figures 1.1(a)/(b), with fanins entering in
+/// `order` (the decomposition pairs adjacent fanins, so the order
+/// decides whether placement clusters stay together in the tree).
+fn six_nand(name: &str, order: &[usize; 6]) -> Network {
+    let mut net = Network::new(name);
+    let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("s{i}"))).collect();
+    let ordered: Vec<_> = order.iter().map(|&i| ins[i]).collect();
+    let o = net.add_node("o", NodeFunc::Nand, ordered).unwrap();
+    net.add_output("t", o);
+    net
+}
+
+/// The figure experiments' Lily configuration: a wire weight comparable
+/// to routing pitch, driven through the unified [`Mapper`] trait.
+fn figure_mapper(lib: &Library) -> impl Mapper + '_ {
+    LilyMapper::new(lib).layout(LayoutOptions { wire_weight: 50.0, ..LayoutOptions::default() })
+}
 
 /// One sweep point of the Figure 1.1(a) experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,23 +60,19 @@ pub fn distribution_points(
     lib: &Library,
     spreads: &[f64],
 ) -> Result<Vec<DistributionPoint>, MapError> {
-    let mut net = Network::new("fig1a");
-    let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("s{i}"))).collect();
-    let o = net.add_node("o", NodeFunc::Nand, ins).unwrap();
-    net.add_output("t", o);
+    let net = six_nand("fig1a", &[0, 1, 2, 3, 4, 5]);
     let g = decompose(&net, DecomposeOrder::Balanced)?;
 
     let mut out = Vec::with_capacity(spreads.len());
     for &spread in spreads {
         let (place, pads) = cluster_placement(&g, spread);
         // Lily's choice under a wire weight comparable to routing pitch.
-        let lily = LilyMapper::new(lib)
-            .layout(LayoutOptions { wire_weight: 50.0, ..LayoutOptions::default() })
-            .map(&g, &place, &pads)?;
+        let image = MapImage { positions: &place, output_pads: &pads };
+        let lily = figure_mapper(lib).map_subject(&g, Some(&image))?;
         let wire_lily = mapped_wire(&lily.mapped, &place_pads(&place, &g), &pads);
         // Forced one-gate cover: the wire-blind mapper on a 6-NAND
         // always picks nand6.
-        let one = MisMapper::new(lib).map(&g)?;
+        let one = MisMapper::new(lib).map_subject(&g, None)?;
         let mut one_mapped = one.mapped;
         // Place the single gate at the sources' centroid (its best case).
         let centroid = centroid_of_inputs(&g, &place);
@@ -101,17 +116,12 @@ pub fn decomposition_alignment(lib: &Library, spread: f64) -> Result<AlignmentRo
     Ok(AlignmentRow { aligned, conflicting })
 }
 
-fn alignment_case(lib: &Library, spread: f64, order: &[usize]) -> Result<f64, MapError> {
-    let mut net = Network::new("fig1b");
-    let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("s{i}"))).collect();
-    let ordered: Vec<_> = order.iter().map(|&i| ins[i]).collect();
-    let o = net.add_node("o", NodeFunc::Nand, ordered).unwrap();
-    net.add_output("t", o);
+fn alignment_case(lib: &Library, spread: f64, order: &[usize; 6]) -> Result<f64, MapError> {
+    let net = six_nand("fig1b", order);
     let g = decompose(&net, DecomposeOrder::Balanced)?;
     let (place, pads) = cluster_placement(&g, spread);
-    let lily = LilyMapper::new(lib)
-        .layout(LayoutOptions { wire_weight: 50.0, ..LayoutOptions::default() })
-        .map(&g, &place, &pads)?;
+    let image = MapImage { positions: &place, output_pads: &pads };
+    let lily = figure_mapper(lib).map_subject(&g, Some(&image))?;
     Ok(mapped_wire(&lily.mapped, &place_pads(&place, &g), &pads))
 }
 
@@ -123,7 +133,7 @@ fn alignment_case(lib: &Library, spread: f64, order: &[usize]) -> Result<f64, Ma
 /// Propagates mapping errors.
 pub fn life_cycle_profile(lib: &Library, net: &Network) -> Result<MapStats, MapError> {
     let g = decompose(net, DecomposeOrder::Balanced)?;
-    Ok(MisMapper::new(lib).map(&g)?.stats)
+    Ok(MisMapper::new(lib).map_subject(&g, None)?.stats)
 }
 
 /// Places PI pads of `g` in two clusters `spread` µm apart (inputs 0–2

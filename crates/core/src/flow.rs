@@ -15,22 +15,31 @@
 //! Both finish with the same global placement, row legalization,
 //! Steiner-tree + congestion routing estimate, and STA, so the only
 //! difference under measurement is the mapper.
+//!
+//! The pipeline itself lives in [`crate::stage`] as eight typed stages;
+//! this module holds the options, the metrics, and the thin drivers
+//! that sequence the stages: [`run_flow`] for one pipeline and
+//! [`compare_flows`] for the paper's MIS-vs-Lily experiment, which
+//! shares the upstream artifacts (decomposition, pad assignment,
+//! subject placement image) between the two runs.
 
-use crate::baseline::MisMapper;
+use std::sync::Arc;
+
 use crate::cover::{MapMode, MapStats, Partition};
 use crate::error::MapError;
-use crate::lily::{LayoutOptions, LilyMapper};
+use crate::json::{array, JsonObject};
+use crate::lily::LayoutOptions;
+use crate::stage::{
+    AssignPads, Decompose, DetailedPlace, FlowContext, Legalize, Map, PadPlan, RouteEstimate, Sta,
+    StageMetrics, SubjectImage, SubjectPlace,
+};
 use lily_cells::{Library, MappedNetwork, SignalSource};
-use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_netlist::decompose::DecomposeOrder;
 use lily_netlist::subject::SubjectKind;
 use lily_netlist::{Network, SubjectGraph};
-use lily_place::anneal::{try_anneal, AnnealOptions};
-use lily_place::global::{try_global_place, GlobalOptions};
-use lily_place::legalize::{improve, legalize, LegalizeOptions};
-use lily_place::{assign_pads, AreaModel, PinRef, PlacementProblem, Point, SubjectPlacement};
-use lily_route::{rsmt_length, CongestionGrid};
-use lily_timing::load::WireLoad;
-use lily_timing::sta::{try_analyze, StaOptions};
+use lily_place::AreaModel;
+
+pub use crate::stage::mapped_problem;
 
 /// Which detailed-placement refinement runs after legalization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,19 +63,12 @@ pub enum FlowMapper {
     Lily,
 }
 
-/// Options of a full evaluation flow.
+/// Physical-design knobs shared by both pipelines. These rarely change
+/// between experiments — the published tables use the defaults — so
+/// they nest inside [`FlowOptions`] instead of growing its top level;
+/// struct-update syntax on `FlowOptions` leaves all of them intact.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FlowOptions {
-    /// Which mapper runs.
-    pub mapper: FlowMapper,
-    /// Optimization objective.
-    pub mode: MapMode,
-    /// Covering partition.
-    pub partition: Partition,
-    /// Lily's layout knobs (ignored by the MIS mapper).
-    pub layout: LayoutOptions,
-    /// Technology decomposition order.
-    pub decompose_order: DecomposeOrder,
+pub struct PhysicalOptions {
     /// Chip-area model shared by both pipelines.
     pub area_model: AreaModel,
     /// Detailed-placement improvement passes.
@@ -82,6 +84,41 @@ pub struct FlowOptions {
     /// mode, pF (MIS 2.1 models `C_w` as a function of the fanout
     /// count; paper §4.2).
     pub mis_wire_cap_per_fanout: f64,
+    /// Measure wire with the congestion-aware pattern global router
+    /// instead of the Steiner + detour-factor model. Off by default
+    /// (the published tables use the detour model).
+    pub global_router: bool,
+}
+
+impl Default for PhysicalOptions {
+    fn default() -> Self {
+        Self {
+            area_model: AreaModel::mcnc(),
+            improvement_passes: 2,
+            detour_gain: 0.3,
+            route_supply: 0.35,
+            grids_per_base_gate: 1.5,
+            mis_wire_cap_per_fanout: 0.03,
+            global_router: false,
+        }
+    }
+}
+
+/// Options of a full evaluation flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOptions {
+    /// Which mapper runs.
+    pub mapper: FlowMapper,
+    /// Optimization objective.
+    pub mode: MapMode,
+    /// Covering partition.
+    pub partition: Partition,
+    /// Lily's layout knobs (ignored by the MIS mapper).
+    pub layout: LayoutOptions,
+    /// Technology decomposition order.
+    pub decompose_order: DecomposeOrder,
+    /// Physical-design knobs shared by both pipelines.
+    pub physical: PhysicalOptions,
     /// Detailed-placement refinement algorithm.
     pub detailed_placer: DetailedPlacer,
     /// Hard budget on annealer moves (only meaningful with
@@ -90,10 +127,6 @@ pub struct FlowOptions {
     /// placer and records the degradation; `None` runs the full
     /// schedule.
     pub anneal_move_budget: Option<u64>,
-    /// Measure wire with the congestion-aware pattern global router
-    /// instead of the Steiner + detour-factor model. Off by default
-    /// (the published tables use the detour model).
-    pub global_router: bool,
     /// Post-mapping fanout optimization: nets driving more than this
     /// many sinks are split into inverter-pair buffer trees (the pass
     /// the paper notes Lily lacks, §5). `None` disables (the published
@@ -119,16 +152,10 @@ impl FlowOptions {
             partition: Partition::Cones,
             layout: LayoutOptions::default(),
             decompose_order: DecomposeOrder::Balanced,
-            area_model: AreaModel::mcnc(),
-            improvement_passes: 2,
-            detour_gain: 0.3,
-            route_supply: 0.35,
-            grids_per_base_gate: 1.5,
-            mis_wire_cap_per_fanout: 0.03,
+            physical: PhysicalOptions::default(),
             fanout_limit: None,
             detailed_placer: DetailedPlacer::Greedy,
             anneal_move_budget: None,
-            global_router: false,
             constructive_placement: true,
             verify: cfg!(debug_assertions),
         }
@@ -163,28 +190,16 @@ impl FlowOptions {
         Ok(self.run_detailed(net, lib)?.metrics)
     }
 
-    /// Runs the flow, returning the mapped netlist alongside the
-    /// metrics.
+    /// Runs the flow, returning the mapped netlist and the shared
+    /// artifacts alongside the metrics.
     ///
     /// # Errors
     ///
     /// See [`FlowOptions::run`].
     pub fn run_detailed(&self, net: &Network, lib: &Library) -> Result<FlowResult, MapError> {
-        let g = decompose(net, self.decompose_order)?;
-        if self.verify {
-            checkpoint("network", lily_check::check_network(net))?;
-            checkpoint("subject", lily_check::check_subject(&g))?;
-            checkpoint(
-                "decompose-equiv",
-                lily_check::check_network_subject(
-                    net,
-                    &g,
-                    lily_check::DEFAULT_VECTORS,
-                    lily_check::DEFAULT_SEED,
-                ),
-            )?;
-        }
-        self.run_subject(&g, lib)
+        let mut ctx = FlowContext::new(lib, *self);
+        let g = ctx.run(&Decompose, net)?;
+        run_from_subject(ctx, g)
     }
 
     /// Runs the flow on an already-decomposed subject graph.
@@ -205,310 +220,123 @@ impl FlowOptions {
     /// model) does *not* error: the flow steps down a degradation ladder
     /// and records each step in [`FlowMetrics::degradations`].
     pub fn run_subject(&self, g: &SubjectGraph, lib: &Library) -> Result<FlowResult, MapError> {
-        if g.outputs().is_empty() {
-            return Err(MapError::DegenerateInput {
-                stage: "flow",
-                message: format!("subject graph `{}` has no primary outputs", g.name()),
-            });
-        }
-        if g.base_gate_count() == 0 {
-            // Every output is driven directly by an input: nothing to
-            // map, place or route. Short-circuit with an empty netlist.
-            return Ok(trivial_result(g));
-        }
-        let mut degradations: Vec<Degradation> = Vec::new();
-
-        // Shared pre-mapping environment: estimated layout image and
-        // connectivity-driven pad assignment on the inchoate network.
-        let tech = lib.technology();
-        let est_area = g.base_gate_count() as f64
-            * self.grids_per_base_gate
-            * tech.grid_width
-            * tech.row_height;
-        let core0 = self.area_model.core_region(est_area);
-        let sp = SubjectPlacement::new(g);
-        let pads0 = assign_pads(&sp.problem, core0);
-
-        // Mapping. Lily needs a pre-mapping global placement; when the
-        // layout image is degenerate or the solve diverges, fall back to
-        // the wire-blind MIS mapper (first rung of the ladder).
-        let mis = || {
-            MisMapper::new(lib)
-                .mode(self.mode)
-                .partition(self.partition)
-                .wire_cap_per_fanout(self.mis_wire_cap_per_fanout)
-                .map(g)
-        };
-        let mapping = match self.mapper {
-            FlowMapper::Mis => mis()?,
-            FlowMapper::Lily => {
-                // Lily first global-places the inchoate network against
-                // the pads, then maps with dynamic position updates.
-                let subject_place = if est_area.is_finite() {
-                    let problem = with_pads(sp.problem.clone(), &pads0);
-                    try_global_place(&problem, &GlobalOptions::for_region(core0))
-                } else {
-                    Err(lily_place::PlaceError::NonFinite { context: "estimated core area" })
-                };
-                match subject_place {
-                    Ok(gp) => {
-                        let node_positions = sp.node_positions(g, &gp.positions, &pads0);
-                        let n_pi = g.inputs().len();
-                        LilyMapper::new(lib)
-                            .mode(self.mode)
-                            .partition(self.partition)
-                            .layout(self.layout)
-                            .map(g, &node_positions, &pads0[n_pi..])?
-                    }
-                    Err(e) => {
-                        degradations.push(Degradation {
-                            stage: "lily-global-place",
-                            fallback: "mis-mapper",
-                            detail: e.to_string(),
-                        });
-                        mis()?
-                    }
-                }
-            }
-        };
-        let mut mapped = mapping.mapped;
-        let stats = mapping.stats;
-        if let Some(limit) = self.fanout_limit {
-            crate::fanout::buffer_fanout(
-                &mut mapped,
-                lib,
-                &crate::fanout::FanoutOptions { max_fanout: limit, placement_aware: true },
-            );
-        }
-        if self.verify {
-            checkpoint("mapped", lily_check::check_mapped(&mapped, lib))?;
-            checkpoint(
-                "cover-equiv",
-                lily_check::check_mapped_subject(
-                    g,
-                    &mapped,
-                    lib,
-                    lily_check::DEFAULT_VECTORS,
-                    lily_check::DEFAULT_SEED,
-                ),
-            )?;
-        }
-
-        // Shared physical design: resize the core to the real mapped
-        // area, rescale the pads onto it, globally place the mapped
-        // netlist, then legalize/improve/measure.
-        let final_core = self.area_model.core_region(mapped.instance_area(lib));
-        let pads: Vec<Point> = pads0.iter().map(|p| rescale(*p, core0, final_core)).collect();
-        apply_pads(&mut mapped, &pads);
-        let keep_constructive = self.constructive_placement && self.mapper == FlowMapper::Lily;
-        if !keep_constructive {
-            let (problem, _) = mapped_problem(&mapped);
-            let problem = with_pads(problem, &pads);
-            match try_global_place(&problem, &GlobalOptions::for_region(final_core)) {
-                Ok(gp) => {
-                    for (i, p) in gp.positions.iter().enumerate() {
-                        mapped.cells_mut()[i].position = (p.x, p.y);
-                    }
-                }
-                Err(e) => {
-                    // Keep whatever positions the mapper left behind;
-                    // the legalizer spreads them into rows regardless.
-                    degradations.push(Degradation {
-                        stage: "mapped-global-place",
-                        fallback: "mapper-positions",
-                        detail: e.to_string(),
-                    });
-                }
-            }
-        }
-        self.finish(mapped, stats, lib, final_core, degradations)
-    }
-
-    /// Shared tail: legalize, improve, route-estimate, STA, metrics.
-    fn finish(
-        &self,
-        mut mapped: MappedNetwork,
-        stats: MapStats,
-        lib: &Library,
-        core: lily_place::Rect,
-        mut degradations: Vec<Degradation>,
-    ) -> Result<FlowResult, MapError> {
-        let tech = lib.technology();
-        let widths: Vec<f64> = mapped
-            .cells()
-            .iter()
-            .map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width)
-            .collect();
-        let mut desired: Vec<Point> =
-            mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
-        // Non-finite desired positions would poison legalization; seed
-        // the offenders at the core center instead.
-        let poisoned = desired.iter().filter(|p| !(p.x.is_finite() && p.y.is_finite())).count();
-        if poisoned > 0 {
-            let center = Point::new(core.llx + core.width() / 2.0, core.lly + core.height() / 2.0);
-            for p in &mut desired {
-                if !(p.x.is_finite() && p.y.is_finite()) {
-                    *p = center;
-                }
-            }
-            degradations.push(Degradation {
-                stage: "detailed-placement",
-                fallback: "core-center-seed",
-                detail: format!("{poisoned} cells had non-finite positions"),
-            });
-        }
-        let (problem, _) = mapped_problem(&mapped);
-        let fixed: Vec<Point> = mapped
-            .input_positions
-            .iter()
-            .chain(mapped.output_positions.iter())
-            .map(|&(x, y)| Point::new(x, y))
-            .collect();
-        if !widths.is_empty() {
-            let lopts = LegalizeOptions {
-                core,
-                row_height: tech.row_height,
-                passes: self.improvement_passes,
-            };
-            let desired = match self.detailed_placer {
-                DetailedPlacer::Greedy => desired,
-                DetailedPlacer::Anneal { seed } => {
-                    // Anneal the point placement, then re-legalize. An
-                    // exhausted move budget (or an annealer error) falls
-                    // back to the greedy placer on the original points.
-                    let mut pts = desired.clone();
-                    let aopts = AnnealOptions {
-                        seed,
-                        max_moves: self.anneal_move_budget,
-                        ..AnnealOptions::for_core(core)
-                    };
-                    match try_anneal(&mut pts, &problem.nets, &fixed, &aopts) {
-                        Ok(astats) if astats.budget_exhausted => {
-                            degradations.push(Degradation {
-                                stage: "anneal",
-                                fallback: "greedy",
-                                detail: format!(
-                                    "move budget exhausted after {} moves",
-                                    astats.moves_attempted
-                                ),
-                            });
-                            desired
-                        }
-                        Ok(_) => pts,
-                        Err(e) => {
-                            degradations.push(Degradation {
-                                stage: "anneal",
-                                fallback: "greedy",
-                                detail: e.to_string(),
-                            });
-                            desired
-                        }
-                    }
-                }
-            };
-            let legal = legalize(&widths, &desired, &lopts);
-            let better = improve(&legal, &widths, &problem.nets, &fixed, &lopts);
-            for (i, p) in better.positions.iter().enumerate() {
-                mapped.cells_mut()[i].position = (p.x, p.y);
-            }
-        }
-        if self.verify {
-            checkpoint("placement", lily_check::check_placement(&mapped, lib, core))?;
-        }
-
-        // Routed wire length: Steiner per net, inflated by congestion.
-        let nets = mapped.nets();
-        let mut grid = CongestionGrid::for_core(core, tech.row_height, self.route_supply);
-        let per_net: Vec<(Vec<Point>, f64)> = nets
-            .iter()
-            .map(|n| {
-                let pts = lily_timing::load::net_points(&mapped, n);
-                let len = rsmt_length(&pts);
-                (pts, len)
-            })
-            .collect();
-        for (pts, len) in &per_net {
-            grid.deposit(pts, *len);
-        }
-        let wire_length: f64 = if self.global_router {
-            // L-shape pattern routing over bin-edge capacities; overflow
-            // inflates each net's length through the same detour gain.
-            let nx = ((core.width() / tech.row_height).ceil() as usize).max(1);
-            let ny = ((core.height() / tech.row_height).ceil() as usize).max(1);
-            let cap = self.route_supply * tech.row_height * tech.row_height / tech.wire_pitch;
-            let mut router = lily_route::GlobalRouteGrid::new(core, nx, ny, cap, cap);
-            let net_pts: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
-            let summary = router.route_all(&net_pts);
-            summary.wirelength
-                * (1.0 + self.detour_gain * summary.overflow / (summary.connections.max(1) as f64))
-        } else {
-            per_net.iter().map(|(pts, len)| grid.routed_length(pts, *len, self.detour_gain)).sum()
-        };
-
-        let instance_area = mapped.instance_area(lib);
-        let chip_area = self.area_model.chip_area(instance_area, wire_length);
-        // Channel-density area model (rows + channel tracks).
-        let n_rows = ((core.height() / tech.row_height).floor() as usize).max(1);
-        let row_ys: Vec<f64> =
-            (0..n_rows).map(|r| core.lly + (r as f64 + 0.5) * tech.row_height).collect();
-        let net_points: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
-        let chip_area_channeled = instance_area
-            + lily_route::channel_routing_area(&row_ys, &net_points, core.width(), tech.wire_pitch);
-        // STA wire-load ladder: placement-derived loads, then the MIS
-        // per-fanout model, then no wire load at all. Each step down is
-        // recorded; only a failure of the final rung aborts the flow.
-        let mut sta = Err(MapError::NonFiniteValue { context: "sta not attempted" });
-        for (wire_load, fallback) in [
-            (WireLoad::FromPlacement, "per-fanout"),
-            (WireLoad::PerFanout(self.mis_wire_cap_per_fanout), "no-wire-load"),
-            (WireLoad::None, ""),
-        ] {
-            match try_analyze(&mapped, lib, &StaOptions { wire_load, input_arrival: 0.0 }) {
-                Ok(r) => {
-                    sta = Ok(r);
-                    break;
-                }
-                Err(e) => {
-                    if fallback.is_empty() {
-                        sta = Err(MapError::from(e));
-                    } else {
-                        degradations.push(Degradation {
-                            stage: "wire-load",
-                            fallback,
-                            detail: e.to_string(),
-                        });
-                    }
-                }
-            }
-        }
-        let sta = sta?;
-        if self.verify {
-            checkpoint("timing", lily_check::check_timing(&mapped, &sta, 0.0))?;
-        }
-
-        let metrics = FlowMetrics {
-            cells: mapped.cell_count(),
-            instance_area,
-            chip_area,
-            wire_length,
-            chip_area_channeled,
-            critical_delay: sta.critical_delay,
-            peak_congestion: grid.peak_utilization(),
-            stats,
-            degradations,
-        };
-        Ok(FlowResult { metrics, mapped })
+        run_from_subject(FlowContext::new(lib, *self), Arc::new(g.clone()))
     }
 }
 
-/// Fails the flow when a verification pass reports errors
-/// (warning-only reports pass).
-fn checkpoint(stage: &'static str, report: lily_check::Report) -> Result<(), MapError> {
-    if report.has_errors() {
-        Err(MapError::Verify { stage, report })
-    } else {
-        Ok(())
+/// Runs one full pipeline: decomposition through STA.
+///
+/// # Errors
+///
+/// See [`FlowOptions::run`].
+pub fn run_flow(
+    net: &Network,
+    lib: &Library,
+    options: &FlowOptions,
+) -> Result<FlowResult, MapError> {
+    options.run_detailed(net, lib)
+}
+
+/// Runs the paper's MIS-vs-Lily comparison on one network, *sharing*
+/// the upstream artifacts the two pipelines have in common: the
+/// decomposition, the pad assignment, and the subject placement image
+/// are computed once and handed (by `Arc`) to both runs, so the
+/// comparison measures the mapper and nothing else. `base.mapper` is
+/// ignored; both pipelines inherit every other option.
+///
+/// The per-stage metrics of both results include the shared stages
+/// (the MIS side adopts the shared records).
+///
+/// # Errors
+///
+/// See [`FlowOptions::run`]; the first failing pipeline aborts.
+pub fn compare_flows(
+    net: &Network,
+    lib: &Library,
+    base: &FlowOptions,
+) -> Result<FlowComparison, MapError> {
+    let mut lily_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Lily, ..*base });
+    let mut mis_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Mis, ..*base });
+    let g = lily_ctx.run(&Decompose, net)?;
+    degenerate_guard(&g)?;
+    if g.base_gate_count() == 0 {
+        mis_ctx.stages.adopt(&lily_ctx.stages);
+        return Ok(FlowComparison {
+            mis: trivial_result(g.clone(), mis_ctx),
+            lily: trivial_result(g, lily_ctx),
+        });
     }
+    let plan = Arc::new(lily_ctx.run(&AssignPads, &*g)?);
+    let image = Arc::new(lily_ctx.run(&SubjectPlace, (&*g, &*plan))?);
+    mis_ctx.stages.adopt(&lily_ctx.stages);
+    let mis = finish_stages(mis_ctx, g.clone(), plan.clone(), Some(image.clone()))?;
+    let lily = finish_stages(lily_ctx, g, plan, Some(image))?;
+    Ok(FlowComparison { mis, lily })
+}
+
+fn degenerate_guard(g: &SubjectGraph) -> Result<(), MapError> {
+    if g.outputs().is_empty() {
+        return Err(MapError::DegenerateInput {
+            stage: "flow",
+            message: format!("subject graph `{}` has no primary outputs", g.name()),
+        });
+    }
+    Ok(())
+}
+
+/// Sequences the post-decomposition stages of one pipeline.
+fn run_from_subject(
+    mut ctx: FlowContext<'_>,
+    g: Arc<SubjectGraph>,
+) -> Result<FlowResult, MapError> {
+    degenerate_guard(&g)?;
+    if g.base_gate_count() == 0 {
+        // Every output is driven directly by an input: nothing to map,
+        // place or route. Short-circuit with an empty netlist.
+        return Ok(trivial_result(g, ctx));
+    }
+    let plan = Arc::new(ctx.run(&AssignPads, &*g)?);
+    // The subject placement only runs when the selected mapper consumes
+    // the layout image; the MIS pipeline records seven stages.
+    let image = if Map::wants_image(ctx.lib, &ctx.options) {
+        Some(Arc::new(ctx.run(&SubjectPlace, (&*g, &*plan))?))
+    } else {
+        None
+    };
+    finish_stages(ctx, g, plan, image)
+}
+
+/// Sequences the downstream stages (Map through Sta) over shared
+/// upstream artifacts and assembles the result.
+fn finish_stages(
+    mut ctx: FlowContext<'_>,
+    g: Arc<SubjectGraph>,
+    plan: Arc<PadPlan>,
+    image: Option<Arc<SubjectImage>>,
+) -> Result<FlowResult, MapError> {
+    let mapping = ctx.run(&Map, (&*g, &*plan, image.as_deref()))?;
+    let stats = mapping.stats;
+    let legal = ctx.run(&Legalize, (&*plan, mapping))?;
+    let placed = ctx.run(&DetailedPlace, legal)?;
+    let route = ctx.run(&RouteEstimate, &placed)?;
+    let timing = ctx.run(&Sta, &placed)?;
+    let metrics = FlowMetrics {
+        cells: placed.mapped.cell_count(),
+        instance_area: route.instance_area,
+        chip_area: route.chip_area,
+        wire_length: route.wire_length,
+        chip_area_channeled: route.chip_area_channeled,
+        critical_delay: timing.sta.critical_delay,
+        peak_congestion: route.peak_congestion,
+        stats,
+        degradations: ctx.degradations,
+        stages: ctx.stages,
+    };
+    Ok(FlowResult {
+        metrics,
+        mapped: placed.mapped,
+        artifacts: FlowArtifacts { subject: g, pads: Some(plan), image },
+    })
 }
 
 /// One recorded step down the graceful-degradation ladder: which stage
@@ -534,7 +362,7 @@ impl std::fmt::Display for Degradation {
 /// The [`FlowResult`] of a subject graph with no base gates: outputs are
 /// wired straight to inputs, every physical stage is skipped, and every
 /// metric is zero.
-fn trivial_result(g: &SubjectGraph) -> FlowResult {
+fn trivial_result(g: Arc<SubjectGraph>, ctx: FlowContext<'_>) -> FlowResult {
     let mut mapped = MappedNetwork::new(g.name(), g.input_names().to_vec());
     let input_of: std::collections::HashMap<usize, usize> = g
         .inputs()
@@ -559,9 +387,10 @@ fn trivial_result(g: &SubjectGraph) -> FlowResult {
         critical_delay: 0.0,
         peak_congestion: 0.0,
         stats: MapStats::default(),
-        degradations: Vec::new(),
+        degradations: ctx.degradations,
+        stages: ctx.stages,
     };
-    FlowResult { metrics, mapped }
+    FlowResult { metrics, mapped, artifacts: FlowArtifacts { subject: g, pads: None, image: None } }
 }
 
 /// The measured outcome of a flow — one table cell group of the paper.
@@ -588,6 +417,9 @@ pub struct FlowMetrics {
     /// Audit trail of every graceful-degradation step the flow took
     /// (empty when every stage ran as configured).
     pub degradations: Vec<Degradation>,
+    /// Per-stage wall-time and artifact-size records, in execution
+    /// order.
+    pub stages: StageMetrics,
 }
 
 impl FlowMetrics {
@@ -610,92 +442,97 @@ impl FlowMetrics {
     pub fn wire_length_mm(&self) -> f64 {
         self.wire_length / 1.0e3
     }
+
+    /// Serializes the metrics — including the per-stage table and the
+    /// degradation audit — as a JSON object (via the workspace's
+    /// dependency-free [`crate::json`] writer).
+    pub fn to_json(&self) -> String {
+        let stages = array(self.stages.records().iter().map(|r| {
+            JsonObject::new()
+                .string("stage", r.stage)
+                .uint("wall_ns", r.wall_ns)
+                .uint("size", r.size as u64)
+                .string("unit", r.unit)
+                .finish()
+        }));
+        let degradations = array(self.degradations.iter().map(|d| {
+            JsonObject::new()
+                .string("stage", d.stage)
+                .string("fallback", d.fallback)
+                .string("detail", &d.detail)
+                .finish()
+        }));
+        let mut stats = JsonObject::new()
+            .uint("matches_enumerated", self.stats.matches_enumerated as u64)
+            .uint("scopes", self.stats.scopes as u64)
+            .uint("hatched", self.stats.lifecycle.hatched as u64)
+            .uint("doves", self.stats.lifecycle.doves as u64)
+            .uint("hawks", self.stats.lifecycle.hawks as u64)
+            .uint("reincarnations", self.stats.lifecycle.reincarnations as u64);
+        if let Some(cost) = self.stats.ordering_cost {
+            stats = stats.uint("ordering_cost", cost as u64);
+        }
+        JsonObject::new()
+            .uint("cells", self.cells as u64)
+            .float("instance_area_um2", self.instance_area)
+            .float("chip_area_um2", self.chip_area)
+            .float("wire_length_um", self.wire_length)
+            .float("chip_area_channeled_um2", self.chip_area_channeled)
+            .float("critical_delay_ns", self.critical_delay)
+            .float("peak_congestion", self.peak_congestion)
+            .raw("stats", &stats.finish())
+            .raw("degradations", &degradations)
+            .raw("stages", &stages)
+            .finish()
+    }
 }
 
-/// A flow's metrics plus the final netlist.
+/// The shared upstream artifacts of a flow run, `Arc`-owned so
+/// [`compare_flows`] can hand the same instances to both pipelines.
+#[derive(Debug, Clone)]
+pub struct FlowArtifacts {
+    /// The decomposed subject graph.
+    pub subject: Arc<SubjectGraph>,
+    /// The pad plan (`None` for trivial flows that skipped the physical
+    /// stages).
+    pub pads: Option<Arc<PadPlan>>,
+    /// The subject placement image (`None` when the mapper did not
+    /// consume it).
+    pub image: Option<Arc<SubjectImage>>,
+}
+
+/// A flow's metrics plus the final netlist and shared artifacts.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
     /// Measured metrics.
     pub metrics: FlowMetrics,
     /// The placed mapped netlist.
     pub mapped: MappedNetwork,
+    /// The upstream artifacts the run produced (shared with the sibling
+    /// pipeline under [`compare_flows`]).
+    pub artifacts: FlowArtifacts,
 }
 
-/// Builds the placement problem of a mapped netlist: cells movable,
-/// I/O pads fixed (inputs first, then outputs). Returns the problem and
-/// the number of input pads.
-pub fn mapped_problem(mapped: &MappedNetwork) -> (PlacementProblem, usize) {
-    let n_pi = mapped.input_names.len();
-    let mut nets = Vec::new();
-    for net in mapped.nets() {
-        let mut pins = Vec::with_capacity(1 + net.sinks.len() + net.output_sinks.len());
-        pins.push(match net.source {
-            SignalSource::Input(i) => PinRef::Fixed(i),
-            SignalSource::Cell(c) => PinRef::Movable(c.index()),
-        });
-        for &(cell, _) in &net.sinks {
-            pins.push(PinRef::Movable(cell.index()));
-        }
-        for &oi in &net.output_sinks {
-            pins.push(PinRef::Fixed(n_pi + oi));
-        }
-        if pins.len() >= 2 {
-            nets.push(pins);
-        }
-    }
-    let problem = PlacementProblem {
-        movable: mapped.cell_count(),
-        fixed: vec![Point::default(); n_pi + mapped.outputs.len()],
-        nets,
-    };
-    (problem, n_pi)
-}
-
-/// Linearly maps a point from one core region onto another.
-fn rescale(p: Point, from: lily_place::Rect, to: lily_place::Rect) -> Point {
-    let fx = if from.width() > 0.0 { (p.x - from.llx) / from.width() } else { 0.5 };
-    let fy = if from.height() > 0.0 { (p.y - from.lly) / from.height() } else { 0.5 };
-    Point::new(to.llx + fx * to.width(), to.lly + fy * to.height())
-}
-
-fn with_pads(mut problem: PlacementProblem, pads: &[Point]) -> PlacementProblem {
-    problem.fixed = pads.to_vec();
-    problem
-}
-
-fn apply_pads(mapped: &mut MappedNetwork, pads: &[Point]) {
-    let n_pi = mapped.input_names.len();
-    for (i, p) in pads[..n_pi].iter().enumerate() {
-        mapped.input_positions[i] = (p.x, p.y);
-    }
-    for (i, p) in pads[n_pi..].iter().enumerate() {
-        mapped.output_positions[i] = (p.x, p.y);
-    }
+/// Both pipelines' results on one network, upstream artifacts shared.
+#[derive(Debug, Clone)]
+pub struct FlowComparison {
+    /// The wire-blind MIS pipeline's result.
+    pub mis: FlowResult,
+    /// The layout-driven Lily pipeline's result.
+    pub lily: FlowResult,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lily_cells::mapped::equiv_mapped_subject;
-    use lily_netlist::NodeFunc;
-
-    fn sample_network() -> Network {
-        let mut net = Network::new("flow-test");
-        let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
-        let g1 = net.add_node("g1", NodeFunc::And, vec![ins[0], ins[1], ins[2]]).unwrap();
-        let g2 = net.add_node("g2", NodeFunc::Or, vec![ins[3], ins[4]]).unwrap();
-        let g3 = net.add_node("g3", NodeFunc::Xor, vec![g1, g2]).unwrap();
-        let g4 = net.add_node("g4", NodeFunc::Nand, vec![g3, ins[5]]).unwrap();
-        let g5 = net.add_node("g5", NodeFunc::Nor, vec![g1, g4]).unwrap();
-        net.add_output("y1", g4);
-        net.add_output("y2", g5);
-        net
-    }
+    use lily_netlist::decompose::decompose;
+    use lily_workloads::structured::flow_fixture;
 
     #[test]
     fn both_flows_produce_equivalent_netlists() {
         let lib = Library::big();
-        let net = sample_network();
+        let net = flow_fixture();
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
         for opts in [FlowOptions::mis_area(), FlowOptions::lily_area()] {
             let r = opts.run_subject(&g, &lib).unwrap();
@@ -710,7 +547,7 @@ mod tests {
     #[test]
     fn delay_flows_report_positive_delay() {
         let lib = Library::big();
-        let net = sample_network();
+        let net = flow_fixture();
         for opts in [FlowOptions::mis_delay(), FlowOptions::lily_delay()] {
             let m = opts.run(&net, &lib).unwrap();
             assert!(m.critical_delay > 0.0);
@@ -729,6 +566,7 @@ mod tests {
             peak_congestion: 0.5,
             stats: MapStats::default(),
             degradations: vec![],
+            stages: StageMetrics::default(),
         };
         assert!((m.instance_area_mm2() - 2.5).abs() < 1e-12);
         assert!((m.chip_area_mm2() - 5.0).abs() < 1e-12);
@@ -738,11 +576,79 @@ mod tests {
     #[test]
     fn flows_are_deterministic() {
         let lib = Library::big();
-        let net = sample_network();
+        let net = flow_fixture();
         let a = FlowOptions::lily_area().run(&net, &lib).unwrap();
         let b = FlowOptions::lily_area().run(&net, &lib).unwrap();
         assert_eq!(a.cells, b.cells);
         assert!((a.wire_length - b.wire_length).abs() < 1e-9);
         assert!((a.critical_delay - b.critical_delay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_metrics_cover_the_pipeline() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        let lily = FlowOptions::lily_area().run(&net, &lib).unwrap();
+        let mis = FlowOptions::mis_area().run(&net, &lib).unwrap();
+        let lily_names: Vec<&str> = lily.stages.records().iter().map(|r| r.stage).collect();
+        assert_eq!(
+            lily_names,
+            [
+                "decompose",
+                "assign-pads",
+                "subject-place",
+                "map",
+                "legalize",
+                "detailed-place",
+                "route-estimate",
+                "sta"
+            ]
+        );
+        // The MIS pipeline has no subject placement to run.
+        let mis_names: Vec<&str> = mis.stages.records().iter().map(|r| r.stage).collect();
+        assert!(!mis_names.contains(&"subject-place"));
+        assert_eq!(mis_names.len(), 7);
+        for r in lily.stages.records() {
+            assert!(r.wall_ns > 0, "{} reported zero wall time", r.stage);
+        }
+        assert_eq!(lily.stages.get("map").unwrap().size, lily.cells);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        let m = FlowOptions::lily_area().run(&net, &lib).unwrap();
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for stage in ["decompose", "subject-place", "sta"] {
+            assert!(json.contains(&format!("\"stage\":\"{stage}\"")), "{stage} missing: {json}");
+        }
+        assert!(json.contains("\"cells\":"));
+        assert!(!json.contains("\"wall_ns\":0,"));
+    }
+
+    #[test]
+    fn compare_flows_shares_upstream_artifacts() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        let cmp = compare_flows(&net, &lib, &FlowOptions::lily_area()).unwrap();
+        assert!(Arc::ptr_eq(&cmp.mis.artifacts.subject, &cmp.lily.artifacts.subject));
+        assert!(Arc::ptr_eq(
+            cmp.mis.artifacts.pads.as_ref().unwrap(),
+            cmp.lily.artifacts.pads.as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            cmp.mis.artifacts.image.as_ref().unwrap(),
+            cmp.lily.artifacts.image.as_ref().unwrap()
+        ));
+        // Shared upstream changes nothing measurable: each side matches
+        // its standalone run.
+        let solo_mis = FlowOptions::mis_area().run(&net, &lib).unwrap();
+        let solo_lily = FlowOptions::lily_area().run(&net, &lib).unwrap();
+        assert_eq!(cmp.mis.metrics.cells, solo_mis.cells);
+        assert_eq!(cmp.mis.metrics.wire_length.to_bits(), solo_mis.wire_length.to_bits());
+        assert_eq!(cmp.lily.metrics.cells, solo_lily.cells);
+        assert_eq!(cmp.lily.metrics.wire_length.to_bits(), solo_lily.wire_length.to_bits());
     }
 }

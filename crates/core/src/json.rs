@@ -1,0 +1,144 @@
+//! A tiny dependency-free JSON emitter.
+//!
+//! The workspace deliberately has no third-party dependencies, so the
+//! metrics export (`lily-check --metrics-json`) serializes through this
+//! hand-rolled writer instead of serde. It only *writes* JSON — there
+//! is no parser — and covers exactly what [`FlowMetrics::to_json`]
+//! needs: objects, arrays, strings, integers, and floats.
+//!
+//! [`FlowMetrics::to_json`]: crate::flow::FlowMetrics::to_json
+
+use std::fmt::Write as _;
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values emit `null` (consumers must treat the field as
+/// absent).
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        // Rust's shortest round-trip formatting is valid JSON except
+        // that it never produces a leading `.` or trailing `.`.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Joins pre-serialized JSON values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Builder for one JSON object; field methods serialize immediately in
+/// insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a pre-serialized JSON value (object or array) verbatim.
+    #[must_use]
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let inner = JsonObject::new().uint("n", 3).finish();
+        let s = JsonObject::new()
+            .string("name", "a\"b\\c\nd")
+            .float("x", 1.5)
+            .float("bad", f64::NAN)
+            .raw("inner", &inner)
+            .raw("list", &array(vec!["1".to_string(), "2".to_string()]))
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"x\":1.5,\"bad\":null,\
+             \"inner\":{\"n\":3},\"list\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

@@ -30,17 +30,21 @@ pub mod error;
 pub mod experiments;
 pub mod fanout;
 pub mod flow;
+pub mod json;
 pub mod lily;
 pub mod matching;
 pub mod plot;
 pub mod position;
 pub mod rects;
 pub mod sizing;
+pub mod stage;
 
 pub use baseline::MisMapper;
 pub use cover::{MapMode, MapResult, MapStats, Partition};
 pub use error::MapError;
 pub use fanout::{buffer_fanout, FanoutOptions};
+pub use flow::{compare_flows, run_flow, FlowComparison, FlowOptions, PhysicalOptions};
 pub use lily::{LayoutOptions, LilyMapper, MapOptions};
 pub use matching::{Match, MatchIndex};
 pub use position::PositionUpdate;
+pub use stage::{FlowContext, Mapper, Stage, StageMetrics, StageRecord};

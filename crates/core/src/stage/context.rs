@@ -1,0 +1,72 @@
+//! The shared state a flow threads through its stages.
+
+use std::time::Instant;
+
+use crate::error::MapError;
+use crate::flow::{Degradation, FlowOptions};
+use crate::stage::{Stage, StageArtifact, StageMetrics};
+use lily_cells::Library;
+
+/// Everything a stage needs besides its typed input artifact: the
+/// target library, the flow options, the graceful-degradation audit
+/// trail, and the per-stage metrics sink.
+#[derive(Debug)]
+pub struct FlowContext<'l> {
+    /// The target gate library.
+    pub lib: &'l Library,
+    /// The flow configuration.
+    pub options: FlowOptions,
+    /// Audit trail of every degradation-ladder step taken so far.
+    pub degradations: Vec<Degradation>,
+    /// Wall-time and artifact-size records of every stage run so far.
+    pub stages: StageMetrics,
+}
+
+impl<'l> FlowContext<'l> {
+    /// Creates a fresh context.
+    pub fn new(lib: &'l Library, options: FlowOptions) -> Self {
+        Self { lib, options, degradations: Vec::new(), stages: StageMetrics::default() }
+    }
+
+    /// Runs one stage: times it, records its artifact's size into the
+    /// metrics table, and returns the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stage's error (nothing is recorded for a failed
+    /// stage).
+    pub fn run<In, S: Stage<In>>(&mut self, stage: &S, input: In) -> Result<S::Out, MapError> {
+        let t0 = Instant::now();
+        let out = stage.run(self, input)?;
+        let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stages.record(stage.name(), wall_ns, out.size(), out.unit());
+        Ok(out)
+    }
+
+    /// Records one step down the degradation ladder.
+    pub fn degrade(&mut self, stage: &'static str, fallback: &'static str, detail: String) {
+        self.degradations.push(Degradation { stage, fallback, detail });
+    }
+
+    /// Fails the flow when a verification pass reports errors, if
+    /// per-stage verification is enabled (warning-only reports pass).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Verify`] when the report carries errors.
+    pub fn checkpoint(
+        &self,
+        stage: &'static str,
+        report: impl FnOnce() -> lily_check::Report,
+    ) -> Result<(), MapError> {
+        if !self.options.verify {
+            return Ok(());
+        }
+        let report = report();
+        if report.has_errors() {
+            Err(MapError::Verify { stage, report })
+        } else {
+            Ok(())
+        }
+    }
+}

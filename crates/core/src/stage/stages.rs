@@ -1,0 +1,771 @@
+//! The eight concrete flow stages and their typed artifacts.
+//!
+//! Stage bodies are ports of the pre-refactor monolithic flow; the
+//! computation order inside each stage is preserved exactly so the
+//! stage-graph flow is bit-identical to the original pipeline.
+
+use std::sync::Arc;
+
+use crate::baseline::MisMapper;
+use crate::cover::MapStats;
+use crate::error::MapError;
+use crate::flow::{DetailedPlacer, FlowMapper, FlowOptions};
+use crate::lily::LilyMapper;
+use crate::stage::{FlowContext, MapImage, Mapper, Stage, StageArtifact};
+use lily_cells::{Library, MappedNetwork, SignalSource};
+use lily_netlist::decompose::decompose;
+use lily_netlist::{Network, SubjectGraph};
+use lily_place::anneal::{try_anneal, AnnealOptions};
+use lily_place::global::{try_global_place, GlobalOptions};
+use lily_place::legalize::{improve, legalize, LegalizeOptions, Legalized};
+use lily_place::{assign_pads, PinRef, PlacementProblem, Point, Rect, SubjectPlacement};
+use lily_route::{rsmt_length, CongestionGrid};
+use lily_timing::load::WireLoad;
+use lily_timing::sta::{try_analyze, StaOptions, StaResult};
+
+// ---------------------------------------------------------------------
+// Stage 1: Decompose
+// ---------------------------------------------------------------------
+
+/// Technology decomposition: optimized network → NAND2/INV subject
+/// graph (plus the network/subject verification checkpoints).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decompose;
+
+impl<'a> Stage<&'a Network> for Decompose {
+    type Out = Arc<SubjectGraph>;
+
+    fn name(&self) -> &'static str {
+        "decompose"
+    }
+
+    fn run(&self, ctx: &mut FlowContext<'_>, net: &'a Network) -> Result<Self::Out, MapError> {
+        let g = decompose(net, ctx.options.decompose_order)?;
+        ctx.checkpoint("network", || lily_check::check_network(net))?;
+        ctx.checkpoint("subject", || lily_check::check_subject(&g))?;
+        ctx.checkpoint("decompose-equiv", || {
+            lily_check::check_network_subject(
+                net,
+                &g,
+                lily_check::DEFAULT_VECTORS,
+                lily_check::DEFAULT_SEED,
+            )
+        })?;
+        Ok(Arc::new(g))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 2: AssignPads
+// ---------------------------------------------------------------------
+
+/// The shared pre-mapping environment: the estimated layout image's
+/// core region and the connectivity-driven I/O pad assignment on the
+/// inchoate network. Both pipelines share this artifact.
+#[derive(Debug, Clone)]
+pub struct PadPlan {
+    /// Estimated mapped area of the inchoate network, µm² (may be
+    /// non-finite when the estimate is poisoned; the `SubjectPlace`
+    /// stage degrades instead of erroring).
+    pub est_area: f64,
+    /// The estimated core region the pads ring.
+    pub core: Rect,
+    /// The subject graph as a placement problem (movable internal
+    /// nodes, fixed pads).
+    pub placement: SubjectPlacement,
+    /// Pad positions: primary inputs first, then primary outputs.
+    pub pads: Vec<Point>,
+}
+
+impl PadPlan {
+    /// Builds the shared pre-mapping environment of `g`: estimated
+    /// layout image sized by `grids_per_base_gate`, core region from
+    /// the area model, and connectivity-driven pad assignment. This is
+    /// the one constructor for subject-graph/pad setup — the flow, the
+    /// experiments, and test fixtures all go through it.
+    pub fn build(g: &SubjectGraph, lib: &Library, options: &FlowOptions) -> Self {
+        let tech = lib.technology();
+        let est_area = g.base_gate_count() as f64
+            * options.physical.grids_per_base_gate
+            * tech.grid_width
+            * tech.row_height;
+        let core = options.physical.area_model.core_region(est_area);
+        let placement = SubjectPlacement::new(g);
+        let pads = assign_pads(&placement.problem, core);
+        Self { est_area, core, placement, pads }
+    }
+
+    /// The output-pad slice of [`PadPlan::pads`] (`g` has
+    /// `pads.len() - n_inputs` primary outputs).
+    pub fn output_pads(&self, g: &SubjectGraph) -> &[Point] {
+        &self.pads[g.inputs().len()..]
+    }
+}
+
+impl StageArtifact for PadPlan {
+    fn size(&self) -> usize {
+        self.pads.len()
+    }
+
+    fn unit(&self) -> &'static str {
+        "pads"
+    }
+}
+
+/// Pad assignment: subject graph → [`PadPlan`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssignPads;
+
+impl<'a> Stage<&'a SubjectGraph> for AssignPads {
+    type Out = PadPlan;
+
+    fn name(&self) -> &'static str {
+        "assign-pads"
+    }
+
+    fn run(&self, ctx: &mut FlowContext<'_>, g: &'a SubjectGraph) -> Result<Self::Out, MapError> {
+        Ok(PadPlan::build(g, ctx.lib, &ctx.options))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 3: SubjectPlace
+// ---------------------------------------------------------------------
+
+/// The pre-mapping global placement of the inchoate network — the
+/// layout image Lily consults during covering. A failed solve is *not*
+/// an error: the image records the failure and the `Map` stage steps
+/// down the degradation ladder (wire-blind MIS mapping) instead.
+#[derive(Debug, Clone)]
+pub struct SubjectImage {
+    /// One `placePosition` per subject node (pads for inputs), when
+    /// the placement solve converged.
+    pub positions: Option<Vec<Point>>,
+    /// Why the solve failed, when it did.
+    pub failure: Option<String>,
+}
+
+impl StageArtifact for SubjectImage {
+    fn size(&self) -> usize {
+        self.positions.as_ref().map_or(0, Vec::len)
+    }
+
+    fn unit(&self) -> &'static str {
+        "points"
+    }
+}
+
+/// Subject placement: pad plan → layout image of the inchoate network.
+/// Runs only when the selected mapper consumes the image.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubjectPlace;
+
+impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan)> for SubjectPlace {
+    type Out = SubjectImage;
+
+    fn name(&self) -> &'static str {
+        "subject-place"
+    }
+
+    fn run(
+        &self,
+        _ctx: &mut FlowContext<'_>,
+        (g, plan): (&'a SubjectGraph, &'a PadPlan),
+    ) -> Result<Self::Out, MapError> {
+        let solved = if plan.est_area.is_finite() {
+            let problem = with_pads(plan.placement.problem.clone(), &plan.pads);
+            try_global_place(&problem, &GlobalOptions::for_region(plan.core))
+        } else {
+            Err(lily_place::PlaceError::NonFinite { context: "estimated core area" })
+        };
+        Ok(match solved {
+            Ok(gp) => SubjectImage {
+                positions: Some(plan.placement.node_positions(g, &gp.positions, &plan.pads)),
+                failure: None,
+            },
+            Err(e) => SubjectImage { positions: None, failure: Some(e.to_string()) },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 4: Map
+// ---------------------------------------------------------------------
+
+/// The mapped netlist together with mapper statistics and whether the
+/// cell positions constitute a constructive placement worth keeping.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// The mapped netlist (positions meaningful only when
+    /// `constructive`).
+    pub mapped: MappedNetwork,
+    /// Mapper statistics.
+    pub stats: MapStats,
+    /// Whether the mapper's positions should be carried into detailed
+    /// placement instead of re-running global placement.
+    pub constructive: bool,
+}
+
+impl StageArtifact for Mapping {
+    fn size(&self) -> usize {
+        self.mapped.cell_count()
+    }
+
+    fn unit(&self) -> &'static str {
+        "cells"
+    }
+}
+
+/// Technology mapping: subject graph (+ optional layout image) →
+/// mapped netlist. This stage owns the *only* mapper dispatch in the
+/// flow: both mappers hide behind the [`Mapper`] trait, and the lone
+/// `FlowMapper` match lives in [`Map::select`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Map;
+
+impl Map {
+    /// Instantiates the configured mapper. This is the single place
+    /// the flow branches on [`FlowMapper`].
+    pub fn select<'l>(lib: &'l Library, options: &FlowOptions) -> Box<dyn Mapper + 'l> {
+        match options.mapper {
+            FlowMapper::Mis => Box::new(
+                MisMapper::new(lib)
+                    .mode(options.mode)
+                    .partition(options.partition)
+                    .wire_cap_per_fanout(options.physical.mis_wire_cap_per_fanout),
+            ),
+            FlowMapper::Lily => Box::new(
+                LilyMapper::new(lib)
+                    .mode(options.mode)
+                    .partition(options.partition)
+                    .layout(options.layout),
+            ),
+        }
+    }
+
+    /// Whether the configured mapper consumes the pre-mapping layout
+    /// image (drivers use this to decide whether `SubjectPlace` runs).
+    pub fn wants_image(lib: &Library, options: &FlowOptions) -> bool {
+        Self::select(lib, options).needs_image()
+    }
+}
+
+impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan, Option<&'a SubjectImage>)> for Map {
+    type Out = Mapping;
+
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut FlowContext<'_>,
+        (g, plan, image): (&'a SubjectGraph, &'a PadPlan, Option<&'a SubjectImage>),
+    ) -> Result<Self::Out, MapError> {
+        let lib = ctx.lib;
+        let options = ctx.options;
+        let mapper = Self::select(lib, &options);
+        let constructive = options.constructive_placement && mapper.constructive();
+        let result = if mapper.needs_image() {
+            match image.and_then(|i| i.positions.as_deref()) {
+                Some(positions) => {
+                    let img = MapImage { positions, output_pads: plan.output_pads(g) };
+                    mapper.map_subject(g, Some(&img))?
+                }
+                None => {
+                    // First rung of the ladder: a degenerate layout
+                    // image or a diverged solve falls back to the
+                    // wire-blind MIS mapper.
+                    let detail = image
+                        .and_then(|i| i.failure.clone())
+                        .unwrap_or_else(|| "subject placement unavailable".to_string());
+                    ctx.degrade("lily-global-place", "mis-mapper", detail);
+                    MisMapper::new(lib)
+                        .mode(options.mode)
+                        .partition(options.partition)
+                        .wire_cap_per_fanout(options.physical.mis_wire_cap_per_fanout)
+                        .map(g)?
+                }
+            }
+        } else {
+            mapper.map_subject(g, None)?
+        };
+        let mut mapped = result.mapped;
+        if let Some(limit) = options.fanout_limit {
+            crate::fanout::buffer_fanout(
+                &mut mapped,
+                lib,
+                &crate::fanout::FanoutOptions { max_fanout: limit, placement_aware: true },
+            );
+        }
+        ctx.checkpoint("mapped", || lily_check::check_mapped(&mapped, lib))?;
+        ctx.checkpoint("cover-equiv", || {
+            lily_check::check_mapped_subject(
+                g,
+                &mapped,
+                lib,
+                lily_check::DEFAULT_VECTORS,
+                lily_check::DEFAULT_SEED,
+            )
+        })?;
+        Ok(Mapping { mapped, stats: result.stats, constructive })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 5: Legalize
+// ---------------------------------------------------------------------
+
+/// A row-legal placement of the mapped netlist over its final core
+/// region, plus the placement problem reused by the improvement
+/// passes.
+#[derive(Debug, Clone)]
+pub struct LegalPlacement {
+    /// The mapped netlist with pads rescaled onto the final core.
+    pub mapped: MappedNetwork,
+    /// The final core region (sized from real mapped area).
+    pub core: Rect,
+    /// Mapper statistics, threaded through to the metrics.
+    pub stats: MapStats,
+    /// Cell widths, µm.
+    pub widths: Vec<f64>,
+    /// The mapped netlist as a placement problem.
+    pub problem: PlacementProblem,
+    /// Fixed pad positions (inputs then outputs).
+    pub fixed: Vec<Point>,
+    /// The legalized row placement (`None` when there are no cells).
+    pub legal: Option<Legalized>,
+}
+
+impl StageArtifact for LegalPlacement {
+    fn size(&self) -> usize {
+        self.widths.len()
+    }
+
+    fn unit(&self) -> &'static str {
+        "cells"
+    }
+}
+
+/// Legalization: mapped netlist → row-legal placement. Sizes the final
+/// core from the real mapped area, rescales the pads onto it, globally
+/// places the netlist when the mapper left no constructive placement,
+/// runs the configured pre-legalization refinement (annealing), and
+/// packs cells into rows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Legalize;
+
+impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
+    type Out = LegalPlacement;
+
+    fn name(&self) -> &'static str {
+        "legalize"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut FlowContext<'_>,
+        (plan, mapping): (&'a PadPlan, Mapping),
+    ) -> Result<Self::Out, MapError> {
+        let lib = ctx.lib;
+        let options = ctx.options;
+        let tech = lib.technology();
+        let Mapping { mut mapped, stats, constructive } = mapping;
+
+        // Resize the core to the real mapped area and rescale the pads
+        // onto it; both pipelines share the same pad ring shape.
+        let core = options.physical.area_model.core_region(mapped.instance_area(lib));
+        let pads: Vec<Point> = plan.pads.iter().map(|p| rescale(*p, plan.core, core)).collect();
+        apply_pads(&mut mapped, &pads);
+
+        // Without a constructive placement from the mapper, globally
+        // place the mapped netlist against the rescaled pads.
+        if !constructive {
+            let (problem, _) = mapped_problem(&mapped);
+            let problem = with_pads(problem, &pads);
+            match try_global_place(&problem, &GlobalOptions::for_region(core)) {
+                Ok(gp) => {
+                    for (i, p) in gp.positions.iter().enumerate() {
+                        mapped.cells_mut()[i].position = (p.x, p.y);
+                    }
+                }
+                Err(e) => {
+                    // Keep whatever positions the mapper left behind;
+                    // the legalizer spreads them into rows regardless.
+                    ctx.degrade("mapped-global-place", "mapper-positions", e.to_string());
+                }
+            }
+        }
+
+        let widths: Vec<f64> = mapped
+            .cells()
+            .iter()
+            .map(|c| lib.gate(c.gate).grids() as f64 * tech.grid_width)
+            .collect();
+        let mut desired: Vec<Point> =
+            mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
+        // Non-finite desired positions would poison legalization; seed
+        // the offenders at the core center instead.
+        let poisoned = desired.iter().filter(|p| !(p.x.is_finite() && p.y.is_finite())).count();
+        if poisoned > 0 {
+            let center = Point::new(core.llx + core.width() / 2.0, core.lly + core.height() / 2.0);
+            for p in &mut desired {
+                if !(p.x.is_finite() && p.y.is_finite()) {
+                    *p = center;
+                }
+            }
+            ctx.degrade(
+                "detailed-placement",
+                "core-center-seed",
+                format!("{poisoned} cells had non-finite positions"),
+            );
+        }
+        let (problem, _) = mapped_problem(&mapped);
+        let fixed: Vec<Point> = mapped
+            .input_positions
+            .iter()
+            .chain(mapped.output_positions.iter())
+            .map(|&(x, y)| Point::new(x, y))
+            .collect();
+        let legal = if widths.is_empty() {
+            None
+        } else {
+            let lopts = LegalizeOptions {
+                core,
+                row_height: tech.row_height,
+                passes: options.physical.improvement_passes,
+            };
+            let desired = match options.detailed_placer {
+                DetailedPlacer::Greedy => desired,
+                DetailedPlacer::Anneal { seed } => {
+                    // Anneal the point placement, then re-legalize. An
+                    // exhausted move budget (or an annealer error)
+                    // falls back to the greedy placer on the original
+                    // points.
+                    let mut pts = desired.clone();
+                    let aopts = AnnealOptions {
+                        seed,
+                        max_moves: options.anneal_move_budget,
+                        ..AnnealOptions::for_core(core)
+                    };
+                    match try_anneal(&mut pts, &problem.nets, &fixed, &aopts) {
+                        Ok(astats) if astats.budget_exhausted => {
+                            ctx.degrade(
+                                "anneal",
+                                "greedy",
+                                format!(
+                                    "move budget exhausted after {} moves",
+                                    astats.moves_attempted
+                                ),
+                            );
+                            desired
+                        }
+                        Ok(_) => pts,
+                        Err(e) => {
+                            ctx.degrade("anneal", "greedy", e.to_string());
+                            desired
+                        }
+                    }
+                }
+            };
+            Some(legalize(&widths, &desired, &lopts))
+        };
+        Ok(LegalPlacement { mapped, core, stats, widths, problem, fixed, legal })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 6: DetailedPlace
+// ---------------------------------------------------------------------
+
+/// The final placed design: every cell in a legal row position.
+#[derive(Debug, Clone)]
+pub struct PlacedDesign {
+    /// The placed mapped netlist.
+    pub mapped: MappedNetwork,
+    /// The core region.
+    pub core: Rect,
+    /// Mapper statistics, threaded through to the metrics.
+    pub stats: MapStats,
+}
+
+impl StageArtifact for PlacedDesign {
+    fn size(&self) -> usize {
+        self.mapped.cell_count()
+    }
+
+    fn unit(&self) -> &'static str {
+        "cells"
+    }
+}
+
+/// Detailed placement: legal rows → improved legal rows (median
+/// relocation and adjacent-swap passes), plus the placement
+/// verification checkpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetailedPlace;
+
+impl Stage<LegalPlacement> for DetailedPlace {
+    type Out = PlacedDesign;
+
+    fn name(&self) -> &'static str {
+        "detailed-place"
+    }
+
+    fn run(&self, ctx: &mut FlowContext<'_>, input: LegalPlacement) -> Result<Self::Out, MapError> {
+        let lib = ctx.lib;
+        let tech = lib.technology();
+        let LegalPlacement { mut mapped, core, stats, widths, problem, fixed, legal } = input;
+        if let Some(legal) = legal {
+            let lopts = LegalizeOptions {
+                core,
+                row_height: tech.row_height,
+                passes: ctx.options.physical.improvement_passes,
+            };
+            let better = improve(&legal, &widths, &problem.nets, &fixed, &lopts);
+            for (i, p) in better.positions.iter().enumerate() {
+                mapped.cells_mut()[i].position = (p.x, p.y);
+            }
+        }
+        ctx.checkpoint("placement", || lily_check::check_placement(&mapped, lib, core))?;
+        Ok(PlacedDesign { mapped, core, stats })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 7: RouteEstimate
+// ---------------------------------------------------------------------
+
+/// The routing estimate's output figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteFigures {
+    /// Total routed interconnection length, µm.
+    pub wire_length: f64,
+    /// Total instance (active cell) area, µm².
+    pub instance_area: f64,
+    /// Final chip area (cells + routing), µm².
+    pub chip_area: f64,
+    /// Chip area under the channel-density model, µm².
+    pub chip_area_channeled: f64,
+    /// Peak congestion-bin utilization.
+    pub peak_congestion: f64,
+    /// Number of nets estimated.
+    pub nets: usize,
+}
+
+impl StageArtifact for RouteFigures {
+    fn size(&self) -> usize {
+        self.nets
+    }
+
+    fn unit(&self) -> &'static str {
+        "nets"
+    }
+}
+
+/// Routing estimate: placed design → wire length, congestion, and chip
+/// area (Steiner per net inflated by congestion, or the pattern global
+/// router when enabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteEstimate;
+
+impl<'a> Stage<&'a PlacedDesign> for RouteEstimate {
+    type Out = RouteFigures;
+
+    fn name(&self) -> &'static str {
+        "route-estimate"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut FlowContext<'_>,
+        placed: &'a PlacedDesign,
+    ) -> Result<Self::Out, MapError> {
+        let lib = ctx.lib;
+        let options = ctx.options;
+        let tech = lib.technology();
+        let mapped = &placed.mapped;
+        let core = placed.core;
+
+        // Routed wire length: Steiner per net, inflated by congestion.
+        let nets = mapped.nets();
+        let mut grid =
+            CongestionGrid::for_core(core, tech.row_height, options.physical.route_supply);
+        let per_net: Vec<(Vec<Point>, f64)> = nets
+            .iter()
+            .map(|n| {
+                let pts = lily_timing::load::net_points(mapped, n);
+                let len = rsmt_length(&pts);
+                (pts, len)
+            })
+            .collect();
+        for (pts, len) in &per_net {
+            grid.deposit(pts, *len);
+        }
+        let wire_length: f64 = if options.physical.global_router {
+            // L-shape pattern routing over bin-edge capacities;
+            // overflow inflates each net's length through the same
+            // detour gain.
+            let nx = ((core.width() / tech.row_height).ceil() as usize).max(1);
+            let ny = ((core.height() / tech.row_height).ceil() as usize).max(1);
+            let cap =
+                options.physical.route_supply * tech.row_height * tech.row_height / tech.wire_pitch;
+            let mut router = lily_route::GlobalRouteGrid::new(core, nx, ny, cap, cap);
+            let net_pts: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
+            let summary = router.route_all(&net_pts);
+            summary.wirelength
+                * (1.0
+                    + options.physical.detour_gain * summary.overflow
+                        / (summary.connections.max(1) as f64))
+        } else {
+            per_net
+                .iter()
+                .map(|(pts, len)| grid.routed_length(pts, *len, options.physical.detour_gain))
+                .sum()
+        };
+
+        let instance_area = mapped.instance_area(lib);
+        let chip_area = options.physical.area_model.chip_area(instance_area, wire_length);
+        // Channel-density area model (rows + channel tracks).
+        let n_rows = ((core.height() / tech.row_height).floor() as usize).max(1);
+        let row_ys: Vec<f64> =
+            (0..n_rows).map(|r| core.lly + (r as f64 + 0.5) * tech.row_height).collect();
+        let net_points: Vec<Vec<Point>> = per_net.iter().map(|(pts, _)| pts.clone()).collect();
+        let chip_area_channeled = instance_area
+            + lily_route::channel_routing_area(&row_ys, &net_points, core.width(), tech.wire_pitch);
+        Ok(RouteFigures {
+            wire_length,
+            instance_area,
+            chip_area,
+            chip_area_channeled,
+            peak_congestion: grid.peak_utilization(),
+            nets: per_net.len(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 8: Sta
+// ---------------------------------------------------------------------
+
+/// The timing artifact: the full STA result.
+#[derive(Debug, Clone)]
+pub struct TimingArtifact {
+    /// The static timing analysis result.
+    pub sta: StaResult,
+    /// Number of cells analyzed.
+    pub cells: usize,
+}
+
+impl StageArtifact for TimingArtifact {
+    fn size(&self) -> usize {
+        self.cells
+    }
+
+    fn unit(&self) -> &'static str {
+        "cells"
+    }
+}
+
+/// Static timing analysis with the wire-load degradation ladder:
+/// placement-derived loads, then the MIS per-fanout model, then no
+/// wire load at all. Each step down is recorded; only a failure of the
+/// final rung aborts the flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sta;
+
+impl<'a> Stage<&'a PlacedDesign> for Sta {
+    type Out = TimingArtifact;
+
+    fn name(&self) -> &'static str {
+        "sta"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut FlowContext<'_>,
+        placed: &'a PlacedDesign,
+    ) -> Result<Self::Out, MapError> {
+        let lib = ctx.lib;
+        let mapped = &placed.mapped;
+        let mut sta = Err(MapError::NonFiniteValue { context: "sta not attempted" });
+        for (wire_load, fallback) in [
+            (WireLoad::FromPlacement, "per-fanout"),
+            (WireLoad::PerFanout(ctx.options.physical.mis_wire_cap_per_fanout), "no-wire-load"),
+            (WireLoad::None, ""),
+        ] {
+            match try_analyze(mapped, lib, &StaOptions { wire_load, input_arrival: 0.0 }) {
+                Ok(r) => {
+                    sta = Ok(r);
+                    break;
+                }
+                Err(e) => {
+                    if fallback.is_empty() {
+                        sta = Err(MapError::from(e));
+                    } else {
+                        ctx.degrade("wire-load", fallback, e.to_string());
+                    }
+                }
+            }
+        }
+        let sta = sta?;
+        ctx.checkpoint("timing", || lily_check::check_timing(mapped, &sta, 0.0))?;
+        Ok(TimingArtifact { sta, cells: mapped.cell_count() })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared placement-problem helpers
+// ---------------------------------------------------------------------
+
+/// Builds the placement problem of a mapped netlist: cells movable,
+/// I/O pads fixed (inputs first, then outputs). Returns the problem and
+/// the number of input pads.
+pub fn mapped_problem(mapped: &MappedNetwork) -> (PlacementProblem, usize) {
+    let n_pi = mapped.input_names.len();
+    let mut nets = Vec::new();
+    for net in mapped.nets() {
+        let mut pins = Vec::with_capacity(1 + net.sinks.len() + net.output_sinks.len());
+        pins.push(match net.source {
+            SignalSource::Input(i) => PinRef::Fixed(i),
+            SignalSource::Cell(c) => PinRef::Movable(c.index()),
+        });
+        for &(cell, _) in &net.sinks {
+            pins.push(PinRef::Movable(cell.index()));
+        }
+        for &oi in &net.output_sinks {
+            pins.push(PinRef::Fixed(n_pi + oi));
+        }
+        if pins.len() >= 2 {
+            nets.push(pins);
+        }
+    }
+    let problem = PlacementProblem {
+        movable: mapped.cell_count(),
+        fixed: vec![Point::default(); n_pi + mapped.outputs.len()],
+        nets,
+    };
+    (problem, n_pi)
+}
+
+/// Linearly maps a point from one core region onto another.
+fn rescale(p: Point, from: Rect, to: Rect) -> Point {
+    let fx = if from.width() > 0.0 { (p.x - from.llx) / from.width() } else { 0.5 };
+    let fy = if from.height() > 0.0 { (p.y - from.lly) / from.height() } else { 0.5 };
+    Point::new(to.llx + fx * to.width(), to.lly + fy * to.height())
+}
+
+fn with_pads(mut problem: PlacementProblem, pads: &[Point]) -> PlacementProblem {
+    problem.fixed = pads.to_vec();
+    problem
+}
+
+fn apply_pads(mapped: &mut MappedNetwork, pads: &[Point]) {
+    let n_pi = mapped.input_names.len();
+    for (i, p) in pads[..n_pi].iter().enumerate() {
+        mapped.input_positions[i] = (p.x, p.y);
+    }
+    for (i, p) in pads[n_pi..].iter().enumerate() {
+        mapped.output_positions[i] = (p.x, p.y);
+    }
+}

@@ -6,22 +6,10 @@
 //! metrics).
 
 use lily_cells::{GateKind, Library, Technology};
-use lily_core::flow::{DetailedPlacer, FlowOptions, FlowResult};
+use lily_core::flow::{DetailedPlacer, FlowOptions, FlowResult, PhysicalOptions};
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_netlist::{Network, NodeFunc};
-
-fn sample_network() -> Network {
-    let mut net = Network::new("degradation-test");
-    let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
-    let g1 = net.add_node("g1", NodeFunc::And, vec![ins[0], ins[1], ins[2]]).unwrap();
-    let g2 = net.add_node("g2", NodeFunc::Or, vec![ins[3], ins[4]]).unwrap();
-    let g3 = net.add_node("g3", NodeFunc::Xor, vec![g1, g2]).unwrap();
-    let g4 = net.add_node("g4", NodeFunc::Nand, vec![g3, ins[5]]).unwrap();
-    let g5 = net.add_node("g5", NodeFunc::Nor, vec![g1, g4]).unwrap();
-    net.add_output("y1", g4);
-    net.add_output("y2", g5);
-    net
-}
+use lily_workloads::structured::flow_fixture as sample_network;
 
 /// The result must still be a well-formed, functionally correct mapped
 /// netlist despite the degradation.
@@ -48,7 +36,10 @@ fn degenerate_layout_image_falls_back_to_mis_mapper() {
     let net = sample_network();
     // A non-finite grids-per-gate estimate poisons the pre-mapping
     // layout image, so Lily's global placement cannot run.
-    let opts = FlowOptions { grids_per_base_gate: f64::NAN, ..FlowOptions::lily_area() };
+    let opts = FlowOptions {
+        physical: PhysicalOptions { grids_per_base_gate: f64::NAN, ..PhysicalOptions::default() },
+        ..FlowOptions::lily_area()
+    };
     let r = opts.run_detailed(&net, &lib).unwrap();
     let d = &r.metrics.degradations;
     assert_eq!(d.len(), 1, "expected exactly one degradation, got {d:?}");

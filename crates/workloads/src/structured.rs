@@ -264,6 +264,23 @@ pub fn comparator(width: usize) -> Network {
     net
 }
 
+/// The six-input mixed-function network shared by the flow tests
+/// across the workspace (three logic levels, reconvergent fanout on
+/// `g1`, two outputs) — small enough for exhaustive equivalence checks,
+/// rich enough to exercise every flow stage.
+pub fn flow_fixture() -> Network {
+    let mut net = Network::new("flow-test");
+    let ins: Vec<NodeId> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+    let g1 = net.add_node("g1", NodeFunc::And, vec![ins[0], ins[1], ins[2]]).unwrap();
+    let g2 = net.add_node("g2", NodeFunc::Or, vec![ins[3], ins[4]]).unwrap();
+    let g3 = net.add_node("g3", NodeFunc::Xor, vec![g1, g2]).unwrap();
+    let g4 = net.add_node("g4", NodeFunc::Nand, vec![g3, ins[5]]).unwrap();
+    let g5 = net.add_node("g5", NodeFunc::Nor, vec![g1, g4]).unwrap();
+    net.add_output("y1", g4);
+    net.add_output("y2", g5);
+    net
+}
+
 /// The 9symml function: output 1 iff the number of true inputs among
 /// the nine is between 3 and 6 inclusive — the actual MCNC benchmark
 /// function, built as a bit counter plus a range comparator.

@@ -1,0 +1,50 @@
+//! Regenerates the golden table of `crates/check/tests/stage_equiv.rs`:
+//! every headline flow metric as a raw `f64` bit pattern plus an FNV-1a
+//! structural hash of the mapped netlist. Run after an *intentional*
+//! numeric change and paste the output into the `GOLDEN` table.
+#![allow(missing_docs)]
+
+use lily::cells::Library;
+use lily::core::flow::FlowOptions;
+
+fn main() {
+    let circuits = ["misex1", "b9", "9symml", "apex7", "C432"];
+    for name in circuits {
+        let net = lily::workloads::circuits::circuit(name);
+        for (fname, opts, lib) in [
+            ("mis-area", FlowOptions::mis_area(), Library::big()),
+            ("lily-area", FlowOptions::lily_area(), Library::big()),
+            ("mis-delay", FlowOptions::mis_delay(), Library::big_1u()),
+            ("lily-delay", FlowOptions::lily_delay(), Library::big_1u()),
+        ] {
+            let r = opts.run_detailed(&net, &lib).unwrap();
+            let m = &r.metrics;
+            // Structural hash of the mapped netlist: gates + positions.
+            let mut h: u64 = 0xcbf29ce484222325;
+            let mut mix = |x: u64| {
+                h ^= x;
+                h = h.wrapping_mul(0x100000001b3);
+            };
+            for c in r.mapped.cells() {
+                mix(c.gate.index() as u64);
+                mix(c.position.0.to_bits());
+                mix(c.position.1.to_bits());
+                for s in &c.fanins {
+                    match *s {
+                        lily::cells::SignalSource::Input(i) => mix(0x1000 + i as u64),
+                        lily::cells::SignalSource::Cell(c) => mix(0x2000 + c.index() as u64),
+                    }
+                }
+            }
+            println!(
+                "(\"{name}\", \"{fname}\", {}, {:#018x}, {:#018x}, {:#018x}, {:#018x}, {:#018x}),",
+                m.cells,
+                m.instance_area.to_bits(),
+                m.chip_area.to_bits(),
+                m.wire_length.to_bits(),
+                m.critical_delay.to_bits(),
+                h,
+            );
+        }
+    }
+}

@@ -1,13 +1,19 @@
-//! `lily-check` — run every verification pass over a BLIF design.
+//! `lily-check` — run every verification pass over a design.
 //!
 //! ```text
 //! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|mis-delay|lily-delay]
-//!            [--vectors N] [--seed S] <design.blif>
+//!            [--vectors N] [--seed S] [--metrics-json <path>]
+//!            (<design.blif> | --circuit <name>)
 //! ```
 //!
-//! The design is parsed, decomposed, mapped, placed, and timed with the
-//! selected flow, and every stage artifact is analyzed with the
-//! `lily-check` passes. Diagnostics are printed per stage.
+//! The design — a BLIF file, or one of the bundled benchmark workloads
+//! via `--circuit` — is parsed, decomposed, mapped, placed, and timed
+//! with the selected flow, and every stage artifact is analyzed with
+//! the `lily-check` passes. Diagnostics are printed per stage, followed
+//! by the per-stage wall-time/artifact-size table of the stage-graph
+//! flow engine; `--metrics-json` additionally writes the full
+//! [`FlowMetrics`](lily::core::flow::FlowMetrics) (including that
+//! table) as JSON.
 //!
 //! Exit codes: `0` — all passes clean (warnings allowed); `1` — at
 //! least one error-severity diagnostic; `2` — usage, I/O, parse, or
@@ -15,7 +21,7 @@
 
 use lily::cells::Library;
 use lily::check;
-use lily::core::flow::FlowOptions;
+use lily::core::flow::{run_flow, FlowOptions};
 use lily::netlist::decompose::decompose;
 use lily::place::Point;
 use lily::place::Rect;
@@ -26,11 +32,14 @@ struct Args {
     flow: String,
     vectors: usize,
     seed: u64,
-    input: String,
+    input: Option<String>,
+    circuit: Option<String>,
+    metrics_json: Option<String>,
 }
 
 const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
-[--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] <design.blif>";
+[--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] \
+[--metrics-json <path>] (<design.blif> | --circuit <name>)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -38,7 +47,9 @@ fn parse_args() -> Result<Args, String> {
         flow: "lily-area".into(),
         vectors: check::DEFAULT_VECTORS,
         seed: check::DEFAULT_SEED,
-        input: String::new(),
+        input: None,
+        circuit: None,
+        metrics_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,13 +64,15 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--circuit" => args.circuit = Some(value("--circuit")?),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--help" | "-h" => return Err(USAGE.into()),
             _ if a.starts_with('-') => return Err(format!("unknown option `{a}`\n{USAGE}")),
-            _ if args.input.is_empty() => args.input = a,
+            _ if args.input.is_none() => args.input = Some(a),
             _ => return Err(format!("unexpected argument `{a}`\n{USAGE}")),
         }
     }
-    if args.input.is_empty() {
+    if args.input.is_some() == args.circuit.is_some() {
         return Err(USAGE.into());
     }
     Ok(args)
@@ -82,6 +95,21 @@ fn stage(name: &str, report: &check::Report) -> usize {
     report.error_count()
 }
 
+fn load_network(args: &Args) -> Result<lily::netlist::Network, String> {
+    if let Some(name) = &args.circuit {
+        if lily::workloads::circuits::spec(name).is_none() {
+            return Err(format!(
+                "unknown circuit `{name}` (one of: {})",
+                lily::workloads::circuits::circuit_names().join(", ")
+            ));
+        }
+        return Ok(lily::workloads::circuits::circuit(name));
+    }
+    let path = args.input.as_deref().expect("parse_args guarantees an input");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    lily::netlist::blif::parse(&text).map_err(|e| format!("BLIF parse: {e}"))
+}
+
 fn run() -> Result<usize, String> {
     let args = parse_args()?;
     let lib = match args.lib.as_str() {
@@ -99,9 +127,7 @@ fn run() -> Result<usize, String> {
             return Err(format!("unknown flow `{other}` (mis-area|lily-area|mis-delay|lily-delay)"))
         }
     };
-    let text = std::fs::read_to_string(&args.input)
-        .map_err(|e| format!("cannot read `{}`: {e}", args.input))?;
-    let net = lily::netlist::blif::parse(&text).map_err(|e| format!("BLIF parse: {e}"))?;
+    let net = load_network(&args)?;
     println!(
         "{}: {} inputs, {} outputs, {} nodes",
         net.name(),
@@ -118,21 +144,20 @@ fn run() -> Result<usize, String> {
     errors +=
         stage("decompose-equiv", &check::check_network_subject(&net, &g, args.vectors, args.seed));
 
-    // Run the flow with its internal checkpoints off: the point of the
-    // CLI is to print every stage's full report, not to stop at the
-    // first failing checkpoint.
-    let result = FlowOptions { verify: false, ..opts }
-        .run_subject(&g, &lib)
+    // Run the full stage-graph flow with its internal checkpoints off:
+    // the point of the CLI is to print every stage's full report, not
+    // to stop at the first failing checkpoint.
+    let result = run_flow(&net, &lib, &FlowOptions { verify: false, ..opts })
         .map_err(|e| format!("flow: {e}"))?;
     for d in &result.metrics.degradations {
         println!("degraded: {d}");
     }
-    let mapped = result.mapped;
+    let mapped = &result.mapped;
 
-    errors += stage("mapped", &check::check_mapped(&mapped, &lib));
+    errors += stage("mapped", &check::check_mapped(mapped, &lib));
     errors += stage(
         "cover-equiv",
-        &check::check_mapped_subject(&g, &mapped, &lib, args.vectors, args.seed),
+        &check::check_mapped_subject(&g, mapped, &lib, args.vectors, args.seed),
     );
 
     // Pads are rescaled onto the final core boundary by the flow, so
@@ -144,15 +169,30 @@ fn run() -> Result<usize, String> {
         .map(|&(x, y)| Point::new(x, y));
     match Rect::bounding(pads) {
         Some(core) => {
-            errors += stage("placement", &check::check_placement(&mapped, &lib, core));
+            errors += stage("placement", &check::check_placement(mapped, &lib, core));
         }
         None => println!("placement: skipped (no pads)"),
     }
 
-    let sta =
-        try_analyze(&mapped, &lib, &StaOptions::default()).map_err(|e| format!("sta: {e}"))?;
-    errors += stage("timing", &check::check_timing(&mapped, &sta, 0.0));
+    let sta = try_analyze(mapped, &lib, &StaOptions::default()).map_err(|e| format!("sta: {e}"))?;
+    errors += stage("timing", &check::check_timing(mapped, &sta, 0.0));
     println!("critical delay {:.3} ns over {} cells", sta.critical_delay, mapped.cell_count());
+
+    println!("stage metrics:");
+    for r in result.metrics.stages.records() {
+        println!(
+            "  {:<15} {:>10.3} ms  {:>7} {}",
+            r.stage,
+            r.wall_ns as f64 / 1.0e6,
+            r.size,
+            r.unit
+        );
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, result.metrics.to_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("metrics json: {path}");
+    }
     Ok(errors)
 }
 

@@ -59,7 +59,11 @@ pub use lily_workloads as workloads;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use lily_cells::{Gate, Library};
-    pub use lily_core::flow::{Degradation, FlowMetrics, FlowOptions, FlowResult};
+    pub use lily_core::flow::{
+        compare_flows, run_flow, Degradation, FlowComparison, FlowMetrics, FlowOptions, FlowResult,
+        PhysicalOptions,
+    };
+    pub use lily_core::stage::{Mapper, StageMetrics};
     pub use lily_core::{LilyMapper, MapError, MapMode, MapOptions, MisMapper};
     pub use lily_netlist::decompose::{decompose, DecomposeOrder};
     pub use lily_netlist::{Network, NodeFunc, SubjectGraph};

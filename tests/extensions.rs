@@ -4,7 +4,7 @@
 
 use lily::cells::mapped::equiv_mapped_subject;
 use lily::cells::{genlib, Library};
-use lily::core::flow::{DetailedPlacer, FlowOptions};
+use lily::core::flow::{DetailedPlacer, FlowOptions, PhysicalOptions};
 use lily::core::sizing::{resize_for_load, SizingOptions};
 use lily::netlist::decompose::{decompose, DecomposeOrder};
 use lily::netlist::transform::{dedup_structural, flatten_associative};
@@ -86,10 +86,13 @@ fn global_router_flow_measures_comparable_wire() {
     let net = circuits::circuit("b9");
     let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
     let base = FlowOptions::mis_area().run_subject(&g, &lib).unwrap().metrics;
-    let routed = FlowOptions { global_router: true, ..FlowOptions::mis_area() }
-        .run_subject(&g, &lib)
-        .unwrap()
-        .metrics;
+    let routed = FlowOptions {
+        physical: PhysicalOptions { global_router: true, ..PhysicalOptions::default() },
+        ..FlowOptions::mis_area()
+    }
+    .run_subject(&g, &lib)
+    .unwrap()
+    .metrics;
     assert!(routed.wire_length > 0.0);
     // Same netlist, same placement: the two wire models must agree
     // within a factor of two (pattern routing vs Steiner + detour).

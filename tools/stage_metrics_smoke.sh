@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Smoke-test the stage-graph flow engine's per-stage metrics through
+# the lily-check CLI: run a bundled workload, emit FlowMetrics as JSON,
+# and assert that every one of the eight pipeline stages reports a
+# nonzero wall time. Guards against a stage silently dropping out of
+# the pipeline or the JSON writer losing the stages table.
+#
+# Usage: tools/stage_metrics_smoke.sh [path-to-lily-check]
+# (defaults to `cargo run --release --bin lily-check --`).
+#
+# Exit: 0 clean, 1 assertion failed, 2 setup error.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+if [ "$#" -ge 1 ]; then
+    "$1" --circuit misex1 --flow lily-area --metrics-json "$out" >/dev/null
+else
+    cargo run --release --quiet --bin lily-check -- \
+        --circuit misex1 --flow lily-area --metrics-json "$out" >/dev/null
+fi
+
+status=0
+for stage in decompose assign-pads subject-place map legalize \
+             detailed-place route-estimate sta; do
+    if ! grep -q "\"stage\":\"$stage\"" "$out"; then
+        echo "stage_metrics_smoke: stage \`$stage\` missing from metrics JSON" >&2
+        status=1
+    fi
+done
+if grep -q '"wall_ns":0[,}]' "$out"; then
+    echo "stage_metrics_smoke: a stage reported zero wall time" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "stage_metrics_smoke: all 8 stages report nonzero wall time"
+fi
+exit "$status"
