@@ -1,0 +1,271 @@
+//! `bench_flow` — wall-clock benchmark of the flow's parallel kernels,
+//! emitted as machine-readable JSON (`BENCH_flow.json`).
+//!
+//! For each benchmark circuit and each thread count, times the three
+//! kernels the `lily-par` runtime accelerates — `MatchIndex::build`,
+//! the quadratic-placement CG solve, and the full `compare_flows`
+//! comparison — and records the per-stage wall-time table of one flow
+//! run. The JSON carries the circuit sizes, the thread counts, the
+//! host's available parallelism, the scratch-buffer allocation
+//! comparison, and an ISO-8601 UTC stamp, so a checked-in snapshot
+//! documents exactly what was measured and where.
+//!
+//! Determinism note: thread count changes *times only* — every metric
+//! and artifact is byte-identical at any setting (see `lily-par`).
+//!
+//! Usage: `bench_flow [--fast] [--out PATH] [--threads 1,2,4]
+//!                    [circuit ...]`
+//!
+//! Defaults: circuits `misex1,C880,apex3` (smallest / medium / largest),
+//! thread counts `1,2,4`, output `BENCH_flow.json`. `--fast` keeps only
+//! `misex1` (the CI smoke configuration). Sample count follows
+//! `LILY_BENCH_SAMPLES` (default 3); the median is reported.
+
+use std::time::Instant;
+
+use lily_cells::Library;
+use lily_core::flow::{compare_flows, FlowOptions};
+use lily_core::json::{array, JsonObject};
+use lily_core::matching::{matches_at_with, MatchScratch};
+use lily_core::MatchIndex;
+use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_netlist::subject::SubjectKind;
+use lily_netlist::SubjectGraph;
+use lily_workloads::circuits;
+
+fn samples() -> usize {
+    std::env::var("LILY_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Median wall time of `f` over the configured sample count, in
+/// nanoseconds (one untimed warmup run first).
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
+    std::hint::black_box(f());
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's `civil_from_days`),
+/// so the stamp needs no external time crate.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// The current UTC time as an ISO-8601 `YYYY-MM-DDThh:mm:ssZ` string.
+fn iso8601_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    let rem = secs % 86_400;
+    format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", rem / 3600, (rem % 3600) / 60, rem % 60)
+}
+
+/// Binding-buffer allocation counts over a full sweep of the subject
+/// graph: fresh scratch per node (the pre-runtime behaviour) vs one
+/// reused scratch — the satellite measurement behind `MatchScratch`.
+fn scratch_allocations(g: &SubjectGraph, lib: &Library) -> (u64, u64) {
+    let mut fresh = 0u64;
+    let mut reused_scratch = MatchScratch::new();
+    for v in g.node_ids() {
+        if matches!(g.kind(v), SubjectKind::Input(_)) {
+            continue;
+        }
+        let mut s = MatchScratch::new();
+        matches_at_with(g, lib, v, &mut s);
+        fresh += s.stats().binding_allocations;
+        matches_at_with(g, lib, v, &mut reused_scratch);
+    }
+    (fresh, reused_scratch.stats().binding_allocations)
+}
+
+struct Args {
+    out: String,
+    threads: Vec<usize>,
+    names: Vec<&'static str>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = "BENCH_flow.json".to_string();
+    let mut threads = vec![1usize, 2, 4];
+    let mut fast = false;
+    let mut explicit: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().ok_or("--out needs a value")?,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if threads.is_empty() || threads.contains(&0) {
+                    return Err("--threads needs positive counts".into());
+                }
+            }
+            "--fast" => fast = true,
+            "--help" | "-h" => {
+                return Err("usage: bench_flow [--fast] [--out PATH] [--threads 1,2,4] \
+                            [circuit ...]"
+                    .into())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => explicit.push(other.to_string()),
+        }
+    }
+    let names: Vec<&'static str> = if !explicit.is_empty() {
+        circuits::circuit_names().into_iter().filter(|n| explicit.iter().any(|e| e == n)).collect()
+    } else if fast {
+        vec!["misex1"]
+    } else {
+        vec!["misex1", "C880", "apex3"]
+    };
+    if names.is_empty() {
+        return Err("no known circuit selected".into());
+    }
+    Ok(Args { out, threads, names })
+}
+
+fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: usize) -> String {
+    let net = circuits::circuit(name);
+    let g = match decompose(&net, DecomposeOrder::Balanced) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("bench_flow: {name}: decompose failed: {e}");
+            return JsonObject::new().string("name", name).string("error", &e.to_string()).finish();
+        }
+    };
+    let (fresh_allocs, reused_allocs) = scratch_allocations(&g, lib);
+    let mut runs: Vec<String> = Vec::new();
+    let mut kernel_ns: Vec<(usize, u64, u64, u64)> = Vec::new();
+    for &t in threads {
+        lily_par::set_threads(Some(t));
+        let match_ns = median_ns(samples, || match MatchIndex::build(&g, lib) {
+            Ok(idx) => idx.total(),
+            Err(_) => 0,
+        });
+        let mut problem = lily_place::SubjectPlacement::new(&g).problem.clone();
+        let core = lily_place::Rect::new(0.0, 0.0, 3000.0, 3000.0);
+        problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
+        let cg_ns = median_ns(samples, || lily_place::solve_quadratic(&problem, &[], &[]).len());
+        let mut stages_json = String::from("[]");
+        let compare_ns =
+            median_ns(samples, || match compare_flows(&net, lib, &FlowOptions::lily_area()) {
+                Ok(cmp) => {
+                    stages_json = array(cmp.lily.metrics.stages.records().iter().map(|r| {
+                        JsonObject::new()
+                            .string("stage", r.stage)
+                            .uint("wall_ns", r.wall_ns)
+                            .uint("size", r.size as u64)
+                            .string("unit", r.unit)
+                            .finish()
+                    }));
+                    cmp.lily.metrics.cells
+                }
+                Err(e) => {
+                    eprintln!("bench_flow: {name}: compare_flows failed: {e}");
+                    0
+                }
+            });
+        kernel_ns.push((t, match_ns, cg_ns, compare_ns));
+        runs.push(
+            JsonObject::new()
+                .uint("threads", t as u64)
+                .uint("match_build_ns", match_ns)
+                .uint("cg_solve_ns", cg_ns)
+                .uint("compare_flows_ns", compare_ns)
+                .raw("stages", &stages_json)
+                .finish(),
+        );
+        println!(
+            "{name}: threads {t}: match {:.2} ms, cg {:.2} ms, compare {:.2} ms",
+            match_ns as f64 / 1e6,
+            cg_ns as f64 / 1e6,
+            compare_ns as f64 / 1e6,
+        );
+    }
+    lily_par::set_threads(None);
+    // Speedups of every multi-thread run against the slot with threads
+    // == 1 (when benchmarked).
+    let speedups = match kernel_ns.iter().find(|&&(t, ..)| t == 1) {
+        Some(&(_, m1, c1, f1)) => {
+            array(kernel_ns.iter().filter(|&&(t, ..)| t != 1).map(|&(t, m, c, f)| {
+                let ratio = |base: u64, now: u64| base as f64 / now.max(1) as f64;
+                JsonObject::new()
+                    .uint("threads", t as u64)
+                    .float("match_build", ratio(m1, m))
+                    .float("cg_solve", ratio(c1, c))
+                    .float("compare_flows", ratio(f1, f))
+                    .finish()
+            }))
+        }
+        None => String::from("[]"),
+    };
+    JsonObject::new()
+        .string("name", name)
+        .uint("inputs", net.input_count() as u64)
+        .uint("outputs", net.output_count() as u64)
+        .uint("network_nodes", net.node_count() as u64)
+        .uint("base_gates", g.base_gate_count() as u64)
+        .uint("scratch_fresh_allocations", fresh_allocs)
+        .uint("scratch_reused_allocations", reused_allocs)
+        .raw("runs", &array(runs))
+        .raw("speedup_vs_1_thread", &speedups)
+        .finish()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_flow: {e}");
+            std::process::exit(2);
+        }
+    };
+    let samples = samples();
+    let lib = Library::big();
+    let available =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    println!(
+        "bench_flow: {} circuit(s), threads {:?}, {samples} sample(s), {available} hardware \
+         thread(s) available",
+        args.names.len(),
+        args.threads,
+    );
+    let circuits_json =
+        array(args.names.iter().map(|&n| bench_circuit(n, &lib, &args.threads, samples)));
+    let doc = JsonObject::new()
+        .string("bench", "flow")
+        .string("generated_at", &iso8601_now())
+        .uint("threads_available", available as u64)
+        .uint("samples", samples as u64)
+        .raw("circuits", &circuits_json)
+        .finish();
+    if let Err(e) = std::fs::write(&args.out, &doc) {
+        eprintln!("bench_flow: cannot write `{}`: {e}", args.out);
+        std::process::exit(2);
+    }
+    println!("bench_flow: wrote {}", args.out);
+}

@@ -4,7 +4,7 @@
 //!
 //! Usage: `table1 [--fast] [circuit ...]`
 
-use lily_bench::{format_table1_row, geomean_ratio, table1_header, table1_row, Table1Row};
+use lily_bench::{format_table1_row, geomean_ratio, table1_header, table1_rows, Table1Row};
 use lily_cells::Library;
 use lily_workloads::circuits;
 
@@ -25,11 +25,11 @@ fn main() {
     println!("Table 1 — area mode, big library ({} gates)", lib.len());
     println!("{}", table1_header());
     let mut rows: Vec<Table1Row> = Vec::new();
-    for name in names {
-        let t0 = std::time::Instant::now();
-        match table1_row(name, &lib) {
+    // Rows fan out over the worker pool and come back in input order.
+    for (name, result, secs) in table1_rows(&names, &lib) {
+        match result {
             Ok(row) => {
-                println!("{}   [{:.1}s]", format_table1_row(&row), t0.elapsed().as_secs_f64());
+                println!("{}   [{secs:.1}s]", format_table1_row(&row));
                 rows.push(row);
             }
             Err(e) => eprintln!("{name}: {e}"),

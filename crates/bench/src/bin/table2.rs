@@ -5,7 +5,7 @@
 //!
 //! Usage: `table2 [--fast] [circuit ...]`
 
-use lily_bench::{format_table2_row, geomean_ratio, table2_header, table2_row, Table2Row};
+use lily_bench::{format_table2_row, geomean_ratio, table2_header, table2_rows, Table2Row};
 use lily_cells::Library;
 use lily_workloads::circuits;
 
@@ -29,11 +29,11 @@ fn main() {
     println!("Table 2 — timing mode, big library scaled to 1µ");
     println!("{}", table2_header());
     let mut rows: Vec<Table2Row> = Vec::new();
-    for name in names {
-        let t0 = std::time::Instant::now();
-        match table2_row(name, &lib) {
+    // Rows fan out over the worker pool and come back in input order.
+    for (name, result, secs) in table2_rows(&names, &lib) {
+        match result {
             Ok(row) => {
-                println!("{}   [{:.1}s]", format_table2_row(&row), t0.elapsed().as_secs_f64());
+                println!("{}   [{secs:.1}s]", format_table2_row(&row));
                 rows.push(row);
             }
             Err(e) => eprintln!("{name}: {e}"),

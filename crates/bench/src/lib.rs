@@ -68,6 +68,35 @@ pub fn table2_row(name: &'static str, lib: &Library) -> Result<Table2Row, MapErr
     Ok(Table2Row { name, mis: cmp.mis.metrics, lily: cmp.lily.metrics })
 }
 
+/// Runs [`table1_row`] for every named circuit, fanned across the
+/// `lily-par` worker pool (`LILY_THREADS`); results return in input
+/// order as `(name, row-or-error, wall seconds)`. One circuit's flow
+/// error never aborts the others — it lands in its own slot, exactly as
+/// the sequential loop behaved.
+pub fn table1_rows(
+    names: &[&'static str],
+    lib: &Library,
+) -> Vec<(&'static str, Result<Table1Row, MapError>, f64)> {
+    lily_par::par_map(&lily_par::ParOptions::current(), names, |&name| {
+        let t0 = std::time::Instant::now();
+        let row = table1_row(name, lib);
+        (name, row, t0.elapsed().as_secs_f64())
+    })
+}
+
+/// Runs [`table2_row`] for every named circuit, fanned across the
+/// `lily-par` worker pool (see [`table1_rows`]).
+pub fn table2_rows(
+    names: &[&'static str],
+    lib: &Library,
+) -> Vec<(&'static str, Result<Table2Row, MapError>, f64)> {
+    lily_par::par_map(&lily_par::ParOptions::current(), names, |&name| {
+        let t0 = std::time::Instant::now();
+        let row = table2_row(name, lib);
+        (name, row, t0.elapsed().as_secs_f64())
+    })
+}
+
 /// Geometric-mean ratio of `lily / mis` over a metric extractor —
 /// the "avg %" summaries the paper quotes.
 pub fn geomean_ratio<R>(rows: &[R], f: impl Fn(&R) -> (f64, f64)) -> f64 {

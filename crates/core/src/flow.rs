@@ -247,9 +247,18 @@ pub fn run_flow(
 /// The per-stage metrics of both results include the shared stages
 /// (the MIS side adopts the shared records).
 ///
+/// After the shared upstream fork the two pipeline tails are
+/// independent (they only read the `Arc`-shared artifacts), so they run
+/// concurrently on the `lily-par` runtime when more than one thread is
+/// configured. Each tail is itself deterministic, so the comparison is
+/// byte-identical to the sequential MIS-then-Lily order at any thread
+/// count.
+///
 /// # Errors
 ///
-/// See [`FlowOptions::run`]; the first failing pipeline aborts.
+/// See [`FlowOptions::run`]; the first failing pipeline aborts (when
+/// both tails fail concurrently, the MIS error is reported, matching
+/// the sequential order).
 pub fn compare_flows(
     net: &Network,
     lib: &Library,
@@ -269,9 +278,13 @@ pub fn compare_flows(
     let plan = Arc::new(lily_ctx.run(&AssignPads, &*g)?);
     let image = Arc::new(lily_ctx.run(&SubjectPlace, (&*g, &*plan))?);
     mis_ctx.stages.adopt(&lily_ctx.stages);
-    let mis = finish_stages(mis_ctx, g.clone(), plan.clone(), Some(image.clone()))?;
-    let lily = finish_stages(lily_ctx, g, plan, Some(image))?;
-    Ok(FlowComparison { mis, lily })
+    let (g_mis, plan_mis, image_mis) = (g.clone(), plan.clone(), image.clone());
+    let (mis, lily) = lily_par::join(
+        &lily_par::ParOptions::current(),
+        move || finish_stages(mis_ctx, g_mis, plan_mis, Some(image_mis)),
+        move || finish_stages(lily_ctx, g, plan, Some(image)),
+    );
+    Ok(FlowComparison { mis: mis?, lily: lily? })
 }
 
 fn degenerate_guard(g: &SubjectGraph) -> Result<(), MapError> {
@@ -447,13 +460,24 @@ impl FlowMetrics {
     /// degradation audit — as a JSON object (via the workspace's
     /// dependency-free [`crate::json`] writer).
     pub fn to_json(&self) -> String {
+        self.to_json_with_baseline(None)
+    }
+
+    /// [`to_json`](Self::to_json), with an optional sequential baseline
+    /// stage table: when given, every stage present in both tables
+    /// gains a `"speedup"` field (baseline wall time over this run's)
+    /// so a parallel run's JSON carries its measured per-stage speedup.
+    pub fn to_json_with_baseline(&self, baseline: Option<&StageMetrics>) -> String {
         let stages = array(self.stages.records().iter().map(|r| {
-            JsonObject::new()
+            let mut o = JsonObject::new()
                 .string("stage", r.stage)
                 .uint("wall_ns", r.wall_ns)
                 .uint("size", r.size as u64)
-                .string("unit", r.unit)
-                .finish()
+                .string("unit", r.unit);
+            if let Some(b) = baseline.and_then(|m| m.get(r.stage)) {
+                o = o.float("speedup", b.wall_ns as f64 / r.wall_ns as f64);
+            }
+            o.finish()
         }));
         let degradations = array(self.degradations.iter().map(|d| {
             JsonObject::new()
@@ -474,6 +498,7 @@ impl FlowMetrics {
         }
         JsonObject::new()
             .uint("cells", self.cells as u64)
+            .uint("threads_used", self.stages.threads_used() as u64)
             .float("instance_area_um2", self.instance_area)
             .float("chip_area_um2", self.chip_area)
             .float("wire_length_um", self.wire_length)
@@ -625,7 +650,43 @@ mod tests {
             assert!(json.contains(&format!("\"stage\":\"{stage}\"")), "{stage} missing: {json}");
         }
         assert!(json.contains("\"cells\":"));
+        assert!(json.contains("\"threads_used\":"));
         assert!(!json.contains("\"wall_ns\":0,"));
+        // A sequential baseline annotates every stage with a speedup.
+        let annotated = m.to_json_with_baseline(Some(&m.stages));
+        assert_eq!(annotated.matches("\"speedup\":").count(), m.stages.len());
+    }
+
+    #[test]
+    fn compare_flows_is_identical_at_any_thread_count() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        lily_par::set_threads(Some(1));
+        let seq = compare_flows(&net, &lib, &FlowOptions::lily_area()).unwrap();
+        for threads in [2usize, 8] {
+            lily_par::set_threads(Some(threads));
+            let par = compare_flows(&net, &lib, &FlowOptions::lily_area()).unwrap();
+            for (s, p) in [(&seq.mis, &par.mis), (&seq.lily, &par.lily)] {
+                assert_eq!(s.metrics.cells, p.metrics.cells, "threads={threads}");
+                assert_eq!(
+                    s.metrics.wire_length.to_bits(),
+                    p.metrics.wire_length.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    s.metrics.critical_delay.to_bits(),
+                    p.metrics.critical_delay.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(s.mapped.cell_count(), p.mapped.cell_count(), "threads={threads}");
+                assert_eq!(
+                    s.metrics.chip_area.to_bits(),
+                    p.metrics.chip_area.to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+        lily_par::set_threads(None);
     }
 
     #[test]

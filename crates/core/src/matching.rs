@@ -10,6 +10,7 @@
 use crate::error::MapError;
 use lily_cells::{GateId, Library, PatternNode};
 use lily_netlist::{SubjectGraph, SubjectKind, SubjectNodeId};
+use lily_par::ParOptions;
 
 /// One way of implementing the logic rooted at a subject node with a
 /// library gate.
@@ -41,11 +42,18 @@ pub struct MatchIndex {
 impl MatchIndex {
     /// Enumerates matches for every internal node.
     ///
+    /// Nodes are independent, so the enumeration fans out over the
+    /// `lily-par` worker pool (thread count from `LILY_THREADS` /
+    /// [`lily_par::set_threads`]) with per-worker scratch buffers;
+    /// results are stitched back in node order, so the index — and the
+    /// error, if any — is byte-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// [`MapError::IncompleteLibrary`] if the library lacks an inverter
     /// or a 2-input NAND (covering would not be total), or
-    /// [`MapError::NoMatch`] if some internal node has no match anyway.
+    /// [`MapError::NoMatch`] if some internal node has no match anyway
+    /// (the lowest such node, as a sequential scan would report).
     pub fn build(g: &SubjectGraph, lib: &Library) -> Result<Self, MapError> {
         if lib.gates().iter().all(|gt| !(gt.fanin() == 1 && gt.function().bits() == 0b01)) {
             return Err(MapError::IncompleteLibrary { missing: "inverter" });
@@ -53,16 +61,25 @@ impl MatchIndex {
         if lib.gates().iter().all(|gt| !(gt.fanin() == 2 && gt.function().bits() == 0b0111)) {
             return Err(MapError::IncompleteLibrary { missing: "2-input nand" });
         }
+        let ids: Vec<SubjectNodeId> = g.node_ids().collect();
+        let found = lily_par::par_map_init(
+            &ParOptions::current(),
+            &ids,
+            MatchScratch::new,
+            |scratch, &v| {
+                if matches!(g.kind(v), SubjectKind::Input(_)) {
+                    Vec::new()
+                } else {
+                    matches_at_with(g, lib, v, scratch)
+                }
+            },
+        );
         let mut per_node = vec![Vec::new(); g.node_count()];
-        for v in g.node_ids() {
-            if matches!(g.kind(v), SubjectKind::Input(_)) {
-                continue;
-            }
-            let found = matches_at(g, lib, v);
-            if found.is_empty() {
+        for (&v, matches) in ids.iter().zip(found) {
+            if matches.is_empty() && !matches!(g.kind(v), SubjectKind::Input(_)) {
                 return Err(MapError::NoMatch { node: v.index() });
             }
-            per_node[v.index()] = found;
+            per_node[v.index()] = matches;
         }
         Ok(Self { per_node })
     }
@@ -78,24 +95,82 @@ impl MatchIndex {
     }
 }
 
+/// Counters tracking how often `matches_at_with` needed a real
+/// allocation versus reusing scratch capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Times a binding buffer was requested (one per gate pattern).
+    pub binding_acquisitions: u64,
+    /// Requests that had to grow the buffer — i.e. real allocations.
+    /// With a reused scratch this saturates at the widest fanin seen.
+    pub binding_allocations: u64,
+}
+
+/// Reusable buffers for match enumeration. One lives per worker during
+/// a parallel [`MatchIndex::build`], so the binding / covered / output
+/// vectors are allocated once per worker instead of once per
+/// (node, gate, pattern) visit.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    binding: Vec<Option<SubjectNodeId>>,
+    covered: Vec<SubjectNodeId>,
+    out: Vec<Match>,
+    stats: ScratchStats,
+}
+
+impl MatchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocation counters accumulated across every call that used
+    /// this scratch.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
+    }
+}
+
 /// Enumerates all matches of all library patterns rooted at `v`.
 pub fn matches_at(g: &SubjectGraph, lib: &Library, v: SubjectNodeId) -> Vec<Match> {
-    let mut out: Vec<Match> = Vec::new();
+    matches_at_with(g, lib, v, &mut MatchScratch::new())
+}
+
+/// [`matches_at`] with caller-provided scratch buffers.
+///
+/// Produces exactly the same matches in the same order; only the
+/// allocation behaviour differs (buffers are cleared, not re-created).
+pub fn matches_at_with(
+    g: &SubjectGraph,
+    lib: &Library,
+    v: SubjectNodeId,
+    scratch: &mut MatchScratch,
+) -> Vec<Match> {
+    let MatchScratch { binding, covered, out, stats } = scratch;
+    out.clear();
     for (gate_id, gate) in lib.iter() {
         for pattern in gate.patterns() {
-            let mut binding: Vec<Option<SubjectNodeId>> = vec![None; gate.fanin()];
-            let mut covered = Vec::new();
-            enumerate(g, pattern.root(), v, &mut binding, &mut covered, &mut |binding, covered| {
+            stats.binding_acquisitions += 1;
+            if binding.capacity() < gate.fanin() {
+                stats.binding_allocations += 1;
+            }
+            binding.clear();
+            binding.resize(gate.fanin(), None);
+            covered.clear();
+            enumerate(g, pattern.root(), v, binding, covered, &mut |binding, cov| {
                 let inputs: Vec<SubjectNodeId> =
                     binding.iter().map(|b| b.expect("complete binding")).collect();
-                let m = Match { gate: gate_id, inputs, covered: covered.to_vec() };
+                let m = Match { gate: gate_id, inputs, covered: cov.to_vec() };
                 if !out.contains(&m) {
                     out.push(m);
                 }
             });
         }
     }
-    out
+    // Not `mem::take`: draining copies into an exact-sized result while
+    // the scratch keeps its capacity for the next node.
+    #[allow(clippy::drain_collect)]
+    out.drain(..).collect()
 }
 
 /// Sink invoked once per complete consistent binding: receives the
@@ -344,6 +419,72 @@ mod tests {
             }
         }
         assert!(idx.total() > 4);
+    }
+
+    #[test]
+    fn scratch_reuse_drops_allocations_without_changing_output() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and2(a, b);
+        let or = g.or2(ab, c);
+        let x = g.xor2(or, a);
+        let root = g.nand2(x, ab);
+        g.set_output("y", root);
+
+        // Fresh scratch per node emulates the pre-scratch behaviour:
+        // every node pays the full allocation bill again.
+        let mut fresh_allocs = 0;
+        let mut reused = MatchScratch::new();
+        for v in g.node_ids() {
+            if matches!(g.kind(v), SubjectKind::Input(_)) {
+                continue;
+            }
+            let mut fresh = MatchScratch::new();
+            let base = matches_at_with(&g, &l, v, &mut fresh);
+            fresh_allocs += fresh.stats().binding_allocations;
+            let shared = matches_at_with(&g, &l, v, &mut reused);
+            assert_eq!(base, shared, "scratch reuse changed matches at {v}");
+            assert_eq!(base, matches_at(&g, &l, v));
+        }
+        let reused_stats = reused.stats();
+        assert!(
+            reused_stats.binding_allocations < fresh_allocs,
+            "reuse did not reduce allocations: {} vs {fresh_allocs}",
+            reused_stats.binding_allocations
+        );
+        // A reused buffer only grows while fanins keep increasing.
+        assert!(reused_stats.binding_allocations as usize <= l.gates().len());
+        assert!(reused_stats.binding_acquisitions > reused_stats.binding_allocations);
+    }
+
+    #[test]
+    fn index_is_identical_at_any_thread_count() {
+        let l = lib();
+        let mut g = SubjectGraph::new("g");
+        let ins: Vec<SubjectNodeId> = (0..6).map(|i| g.add_input(format!("i{i}"))).collect();
+        let mut acc = g.xor2(ins[0], ins[1]);
+        for &i in &ins[2..] {
+            let t = g.and2(acc, i);
+            let ni = g.inv(i);
+            acc = g.or2(t, ni);
+        }
+        g.set_output("y", acc);
+        let baseline = {
+            lily_par::set_threads(Some(1));
+            MatchIndex::build(&g, &l).unwrap()
+        };
+        for threads in [2usize, 8] {
+            lily_par::set_threads(Some(threads));
+            let idx = MatchIndex::build(&g, &l).unwrap();
+            for v in g.node_ids() {
+                assert_eq!(idx.at(v), baseline.at(v), "node {v} differs at {threads} threads");
+            }
+            assert_eq!(idx.total(), baseline.total());
+        }
+        lily_par::set_threads(None);
     }
 
     #[test]

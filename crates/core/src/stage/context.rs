@@ -23,9 +23,13 @@ pub struct FlowContext<'l> {
 }
 
 impl<'l> FlowContext<'l> {
-    /// Creates a fresh context.
+    /// Creates a fresh context. The stage table records the parallel
+    /// runtime's effective thread count at creation, so the flow's
+    /// metrics carry the configuration they were measured under.
     pub fn new(lib: &'l Library, options: FlowOptions) -> Self {
-        Self { lib, options, degradations: Vec::new(), stages: StageMetrics::default() }
+        let mut stages = StageMetrics::default();
+        stages.set_threads_used(lily_par::effective_threads());
+        Self { lib, options, degradations: Vec::new(), stages }
     }
 
     /// Runs one stage: times it, records its artifact's size into the

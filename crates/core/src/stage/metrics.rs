@@ -19,6 +19,7 @@ pub struct StageRecord {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageMetrics {
     records: Vec<StageRecord>,
+    threads_used: usize,
 }
 
 impl StageMetrics {
@@ -57,6 +58,29 @@ impl StageMetrics {
     /// report the stages they share).
     pub fn adopt(&mut self, shared: &StageMetrics) {
         self.records.extend(shared.records.iter().cloned());
+    }
+
+    /// The parallel-runtime thread count the flow ran with (0 when the
+    /// flow predates the runtime or never set it).
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
+    }
+
+    /// Records the thread count the flow ran with.
+    pub fn set_threads_used(&mut self, threads: usize) {
+        self.threads_used = threads;
+    }
+
+    /// Per-stage speedup against a sequential baseline run of the same
+    /// pipeline: `(stage, baseline wall / this wall)` for every stage
+    /// present in both tables (matched by name, first occurrence).
+    pub fn speedups_vs<'a>(
+        &'a self,
+        baseline: &'a StageMetrics,
+    ) -> impl Iterator<Item = (&'static str, f64)> + 'a {
+        self.records.iter().filter_map(|r| {
+            baseline.get(r.stage).map(|b| (r.stage, b.wall_ns as f64 / r.wall_ns as f64))
+        })
     }
 }
 

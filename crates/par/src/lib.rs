@@ -1,0 +1,534 @@
+//! Deterministic scoped-thread parallel runtime for the Lily workspace.
+//!
+//! The flow's hottest loops — per-node match enumeration, sparse
+//! mat-vecs inside conjugate gradients, the MIS-vs-Lily pipeline tails,
+//! and the fuzz/bench case fan-out — are embarrassingly parallel, but
+//! the workspace's correctness story is anchored to *bit-exact* golden
+//! tests. This crate therefore provides parallel primitives with a hard
+//! determinism contract:
+//!
+//! * **Thread-count invariance.** Every primitive produces results that
+//!   are byte-identical at any thread count, including 1. Outputs are
+//!   stitched back in input order; errors propagate as the *earliest*
+//!   (lowest-index) error, exactly the one a sequential run would
+//!   return; work splits never influence the values computed, only who
+//!   computes them.
+//! * **No atomics on floats, no reduction reordering.** The primitives
+//!   never combine floating-point partial results themselves; callers
+//!   that reduce must do so over an ordered, split-independent
+//!   partition (see `ordered_dot` in `lily-place`).
+//! * **`threads == 1` is exact sequential execution** — no worker
+//!   threads are spawned and the body runs on the caller's stack in
+//!   input order.
+//!
+//! The runtime is dependency-free and `unsafe`-free: workers are
+//! `std::thread::scope` threads pulling fixed-size index blocks from an
+//! atomic counter (a channel-free self-scheduling queue), with results
+//! collected under a mutex and stitched in block order afterwards.
+//!
+//! # Thread-count knob
+//!
+//! The default thread count resolves, in order: the process-wide
+//! [`set_threads`] override, the `LILY_THREADS` environment variable,
+//! and finally [`std::thread::available_parallelism`]. Nested
+//! parallelism collapses: a primitive invoked from inside another
+//! primitive's worker runs sequentially, so fanning flows across fuzz
+//! workers cannot multiply thread counts.
+
+use std::cell::Cell;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on any configured thread count (a typo guard; the
+/// runtime is built for dozens of cores, not thousands of threads).
+pub const MAX_THREADS: usize = 512;
+
+/// Process-wide thread-count override installed by [`set_threads`]
+/// (0 = no override).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `LILY_THREADS` / hardware resolution (reads once per process;
+/// use [`set_threads`] for dynamic control inside one process).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Whether the current thread is a runtime worker (or the caller
+    /// thread while it participates in a parallel region). Nested
+    /// primitives check this and run sequentially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("LILY_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            })
+            .min(MAX_THREADS)
+    })
+}
+
+/// Installs (`Some(n)`) or clears (`None`) a process-wide thread-count
+/// override that takes precedence over `LILY_THREADS`. Intended for
+/// harnesses (benchmarks, the `lily-check --threads` flag) that need to
+/// vary the thread count within one process; `n` is clamped to
+/// `1..=`[`MAX_THREADS`].
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.map_or(0, |v| v.clamp(1, MAX_THREADS)), Ordering::Relaxed);
+}
+
+/// The configured thread count: the [`set_threads`] override if any,
+/// else `LILY_THREADS`, else the hardware parallelism.
+pub fn configured_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// The thread count parallel primitives will actually use from the
+/// current thread: 1 inside a runtime worker (nested parallelism
+/// collapses to the outer level), [`configured_threads`] otherwise.
+pub fn effective_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        configured_threads()
+    }
+}
+
+/// Thread-count policy handed to the parallel primitives.
+///
+/// `ParOptions::current()` is the everyday constructor; explicit counts
+/// exist for harnesses and tests that must not depend on the
+/// environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParOptions {
+    threads: usize,
+}
+
+impl ParOptions {
+    /// The environment-resolved policy (see [`effective_threads`]).
+    pub fn current() -> Self {
+        Self { threads: effective_threads() }
+    }
+
+    /// Exact sequential execution.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An explicit thread count, clamped to `1..=`[`MAX_THREADS`].
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// The thread count this policy runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this policy actually parallelizes.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        Self::current()
+    }
+}
+
+/// RAII marker making the current thread count as "inside a worker"
+/// for the duration of a parallel region (restores the previous state
+/// even on unwind).
+struct WorkerGuard {
+    prev: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let prev = IN_WORKER.with(|w| w.replace(true));
+        Self { prev }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|w| w.set(prev));
+    }
+}
+
+/// Block length for self-scheduling over `n` items with `workers`
+/// workers: a few blocks per worker for load balance without
+/// per-item scheduling overhead. The block length influences only
+/// scheduling, never results.
+fn block_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.saturating_mul(4).max(1)).max(1)
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `nblocks` work units over `workers` threads (the calling thread
+/// participates). Each worker owns a `state` created by `init`; blocks
+/// are claimed from an atomic counter. Panics in `work` propagate to
+/// the caller.
+fn drive<S>(
+    workers: usize,
+    nblocks: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) + Sync,
+) {
+    let next = AtomicUsize::new(0);
+    let run = || {
+        let _guard = WorkerGuard::enter();
+        let mut state = init();
+        loop {
+            let b = next.fetch_add(1, Ordering::Relaxed);
+            if b >= nblocks {
+                break;
+            }
+            work(&mut state, b);
+        }
+    };
+    std::thread::scope(|s| {
+        let run = &run;
+        let handles: Vec<_> = (1..workers).map(|_| s.spawn(run)).collect();
+        run();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Maps `f` over `items`, returning results in input order.
+///
+/// Determinism: the output is byte-identical at any thread count
+/// provided `f` is a pure function of its argument.
+pub fn par_map<I: Sync, T: Send>(
+    opts: &ParOptions,
+    items: &[I],
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    par_map_init(opts, items, || (), |(), it| f(it))
+}
+
+/// [`par_map`] with a per-worker scratch state: `init` runs once per
+/// worker (once total when sequential) and `f` receives the worker's
+/// state mutably — the rayon `map_init` pattern, used to hoist
+/// allocations out of hot per-item bodies.
+///
+/// The state must not influence results (scratch buffers, counters):
+/// which items share a state depends on scheduling.
+pub fn par_map_init<I: Sync, T: Send, S>(
+    opts: &ParOptions,
+    items: &[I],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &I) -> T + Sync,
+) -> Vec<T> {
+    let n = items.len();
+    let workers = opts.threads().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|it| f(&mut state, it)).collect();
+    }
+    let block = block_len(n, workers);
+    let nblocks = n.div_ceil(block);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(nblocks));
+    drive(workers, nblocks, &init, |state, b| {
+        let start = b * block;
+        let slice = &items[start..(start + block).min(n)];
+        let out: Vec<T> = slice.iter().map(|it| f(state, it)).collect();
+        lock_ignore_poison(&done).push((b, out));
+    });
+    stitch(done, n)
+}
+
+/// Fallible [`par_map`]: `f` may return `Err`, and the call returns the
+/// error a sequential left-to-right run would return — the one at the
+/// lowest item index — with later blocks skipped once an error is
+/// known. On success, results come back in input order.
+///
+/// `f` may be invoked on items a sequential run would never reach
+/// (items after the first error that were already in flight), so it
+/// must be side-effect-free.
+pub fn try_par_map<I: Sync, T: Send, E: Send>(
+    opts: &ParOptions,
+    items: &[I],
+    f: impl Fn(&I) -> Result<T, E> + Sync,
+) -> Result<Vec<T>, E> {
+    try_par_map_init(opts, items, || (), |(), it| f(it))
+}
+
+/// Fallible [`par_map_init`]: per-worker state plus earliest-error
+/// propagation (see [`try_par_map`]).
+pub fn try_par_map_init<I: Sync, T: Send, E: Send, S>(
+    opts: &ParOptions,
+    items: &[I],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &I) -> Result<T, E> + Sync,
+) -> Result<Vec<T>, E> {
+    let n = items.len();
+    let workers = opts.threads().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return items.iter().map(|it| f(&mut state, it)).collect();
+    }
+    let block = block_len(n, workers);
+    let nblocks = n.div_ceil(block);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(nblocks));
+    // Lowest item index known to have errored; blocks past it are
+    // skipped (a sequential run would never evaluate them).
+    let stop = AtomicUsize::new(usize::MAX);
+    let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    drive(workers, nblocks, &init, |state, b| {
+        let start = b * block;
+        if start > stop.load(Ordering::Acquire) {
+            return;
+        }
+        let slice = &items[start..(start + block).min(n)];
+        let mut out: Vec<T> = Vec::with_capacity(slice.len());
+        for (off, it) in slice.iter().enumerate() {
+            let i = start + off;
+            if i > stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match f(state, it) {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    let mut slot = lock_ignore_poison(&first_err);
+                    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *slot = Some((i, e));
+                    }
+                    drop(slot);
+                    stop.fetch_min(i, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        lock_ignore_poison(&done).push((b, out));
+    });
+    if let Some((_, e)) = lock_ignore_poison(&first_err).take() {
+        return Err(e);
+    }
+    Ok(stitch(done, n))
+}
+
+/// Reassembles per-block results into input order.
+fn stitch<T>(done: Mutex<Vec<(usize, Vec<T>)>>, n: usize) -> Vec<T> {
+    let mut blocks = done.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    blocks.sort_unstable_by_key(|(b, _)| *b);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in blocks {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Runs `a` and `b` concurrently (or `a` then `b` when sequential) and
+/// returns both results. Panics propagate from either closure.
+pub fn join<RA: Send, RB: Send>(
+    opts: &ParOptions,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if !opts.is_parallel() {
+        let ra = a();
+        return (ra, b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let _guard = WorkerGuard::enter();
+            b()
+        });
+        let ra = {
+            let _guard = WorkerGuard::enter();
+            a()
+        };
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// Splits `data` into fixed-length chunks (`chunk` elements, last one
+/// shorter) and applies `f(offset, chunk)` to each, in parallel.
+///
+/// Determinism: the chunk boundaries depend only on `chunk` and
+/// `data.len()` — never on the thread count — so a caller whose
+/// per-chunk computation is a pure function of `(offset, chunk
+/// contents)` gets byte-identical results at any thread count.
+pub fn par_chunks_mut<T: Send>(
+    opts: &ParOptions,
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let chunk = chunk.max(1);
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let nchunks = n.div_ceil(chunk);
+    let workers = opts.threads().min(nchunks);
+    if workers <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i * chunk, c);
+        }
+        return;
+    }
+    // Static contiguous split of the chunk list over the workers:
+    // ownership of each mutable chunk moves into exactly one worker.
+    let mut pieces: Vec<(usize, &mut [T])> =
+        data.chunks_mut(chunk).enumerate().map(|(i, c)| (i * chunk, c)).collect();
+    let base = nchunks / workers;
+    let extra = nchunks % workers;
+    let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+    for w in (0..workers).rev() {
+        let take = base + usize::from(w < extra);
+        let split = pieces.len() - take;
+        groups.push(pieces.split_off(split));
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(workers - 1);
+        let mine = groups.pop();
+        for group in groups {
+            handles.push(s.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                for (offset, c) in group {
+                    f(offset, c);
+                }
+            }));
+        }
+        if let Some(group) = mine {
+            let _guard = WorkerGuard::enter();
+            for (offset, c) in group {
+                f(offset, c);
+            }
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_clamp_and_report() {
+        assert_eq!(ParOptions::with_threads(0).threads(), 1);
+        assert_eq!(ParOptions::with_threads(8).threads(), 8);
+        assert!(ParOptions::with_threads(8).is_parallel());
+        assert!(!ParOptions::sequential().is_parallel());
+        assert_eq!(ParOptions::with_threads(MAX_THREADS + 100).threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for t in [1, 2, 3, 8, 33] {
+            let got = par_map(&ParOptions::with_threads(t), &items, |x| x * x + 1);
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&ParOptions::with_threads(4), &empty, |x| x + 1).is_empty());
+        assert_eq!(par_map(&ParOptions::with_threads(4), &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_init_reuses_worker_state() {
+        // The state must be created at most `workers` times.
+        let creations = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..256).collect();
+        let opts = ParOptions::with_threads(4);
+        let got = par_map_init(
+            &opts,
+            &items,
+            || {
+                creations.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, &i| {
+                scratch.push(i);
+                i * 2
+            },
+        );
+        assert_eq!(got, (0..256).map(|i| i * 2).collect::<Vec<_>>());
+        let made = creations.load(Ordering::Relaxed);
+        assert!(made <= 4, "created {made} states for 4 workers");
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        for t in [1, 4] {
+            let opts = ParOptions::with_threads(t);
+            let (a, b) = join(&opts, || 2 + 2, || "ok");
+            assert_eq!((a, b), (4, "ok"));
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_is_split_invariant() {
+        let mut expect: Vec<u64> = (0..997).collect();
+        for (off, c) in expect.chunks_mut(64).enumerate() {
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = (off * 64 + k) as u64 * 3 + 1;
+            }
+        }
+        for t in [1, 2, 7, 16] {
+            let mut data: Vec<u64> = (0..997).collect();
+            par_chunks_mut(&ParOptions::with_threads(t), &mut data, 64, |offset, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = (offset + k) as u64 * 3 + 1;
+                }
+            });
+            assert_eq!(data, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_collapses() {
+        let opts = ParOptions::with_threads(4);
+        let items: Vec<u32> = (0..64).collect();
+        let inner_threads = par_map(&opts, &items, |_| ParOptions::current().threads());
+        assert!(inner_threads.iter().all(|&t| t == 1), "nested region saw {inner_threads:?}");
+        // Back outside the region the configured count is visible again.
+        assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let opts = ParOptions::with_threads(4);
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&opts, &items, |&x| {
+                if x == 33 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-style tests of the deterministic parallel primitives:
+//! `par_map` must match `iter().map()` in output and ordering — for
+//! infallible and fallible bodies — at item counts 0, 1, N, and
+//! N + threads, and must propagate exactly the error a sequential run
+//! would hit first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lily_par::{par_map, try_par_map, try_par_map_init, ParOptions};
+
+/// A deterministic mixing function so results depend on position.
+fn mix(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x
+}
+
+#[test]
+fn par_map_matches_iter_map_across_sizes_and_thread_counts() {
+    for threads in [1usize, 2, 3, 8] {
+        let opts = ParOptions::with_threads(threads);
+        let n = 173;
+        for len in [0, 1, n, n + threads] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let expect: Vec<u64> = items.iter().map(|&x| mix(x)).collect();
+            let got = par_map(&opts, &items, |&x| mix(x));
+            assert_eq!(got, expect, "len={len} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn fallible_par_map_matches_iter_map_when_all_ok() {
+    for threads in [1usize, 2, 8] {
+        let opts = ParOptions::with_threads(threads);
+        for len in [0usize, 1, 200, 200 + threads] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let expect: Result<Vec<u64>, String> = items.iter().map(|&x| Ok(mix(x))).collect();
+            let got: Result<Vec<u64>, String> =
+                try_par_map(&opts, &items, |&x| Ok::<u64, String>(mix(x)));
+            assert_eq!(got, expect, "len={len} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn fallible_par_map_returns_the_sequential_first_error() {
+    // Items at several positions fail; the reported error must be the
+    // lowest-index one — exactly what `iter().map().collect()` returns —
+    // at every thread count, for error positions at the start, middle,
+    // and end of the range.
+    let n = 211u64;
+    for &fail_at in &[0u64, 1, 57, 110, 210] {
+        let items: Vec<u64> = (0..n).collect();
+        let body = |&x: &u64| -> Result<u64, String> {
+            // Everything at or past `fail_at` with matching parity
+            // fails, so several items error; the earliest wins.
+            if x >= fail_at && (x - fail_at) % 3 == 0 {
+                Err(format!("bad item {x}"))
+            } else {
+                Ok(mix(x))
+            }
+        };
+        let expect: Result<Vec<u64>, String> = items.iter().map(body).collect();
+        assert!(expect.is_err());
+        for threads in [1usize, 2, 5, 8] {
+            let opts = ParOptions::with_threads(threads);
+            let got = try_par_map(&opts, &items, body);
+            assert_eq!(got, expect, "fail_at={fail_at} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn fallible_par_map_skips_work_after_an_early_error() {
+    // With the error at index 0, a parallel run may evaluate a few
+    // in-flight items but must not evaluate everything: the early-error
+    // cutoff has to prune the tail of a large input.
+    let n = 100_000usize;
+    let items: Vec<u64> = (0..n as u64).collect();
+    let evaluated = AtomicUsize::new(0);
+    let opts = ParOptions::with_threads(4);
+    let got: Result<Vec<u64>, String> = try_par_map(&opts, &items, |&x| {
+        evaluated.fetch_add(1, Ordering::Relaxed);
+        if x == 0 {
+            Err("first".to_string())
+        } else {
+            Ok(x)
+        }
+    });
+    assert_eq!(got, Err("first".to_string()));
+    let ran = evaluated.load(Ordering::Relaxed);
+    assert!(ran < n, "early error did not prune: evaluated {ran} of {n}");
+}
+
+#[test]
+fn fallible_map_init_matches_sequential_and_reuses_state() {
+    let creations = AtomicUsize::new(0);
+    let items: Vec<u64> = (0..500).collect();
+    let expect: Result<Vec<u64>, String> = items.iter().map(|&x| Ok(mix(x))).collect();
+    for threads in [1usize, 4] {
+        creations.store(0, Ordering::Relaxed);
+        let opts = ParOptions::with_threads(threads);
+        let got: Result<Vec<u64>, String> = try_par_map_init(
+            &opts,
+            &items,
+            || {
+                creations.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |scratch, &x| {
+                *scratch = scratch.wrapping_add(x);
+                Ok(mix(x))
+            },
+        );
+        assert_eq!(got, expect, "threads={threads}");
+        assert!(creations.load(Ordering::Relaxed) <= threads);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|mis-delay|lily-delay]
-//!            [--vectors N] [--seed S] [--metrics-json <path>]
+//!            [--vectors N] [--seed S] [--threads N] [--metrics-json <path>]
 //!            (<design.blif> | --circuit <name>)
 //! ```
 //!
@@ -14,6 +14,12 @@
 //! flow engine; `--metrics-json` additionally writes the full
 //! [`FlowMetrics`](lily::core::flow::FlowMetrics) (including that
 //! table) as JSON.
+//!
+//! `--threads N` pins the deterministic parallel runtime to `N` worker
+//! threads (overriding `LILY_THREADS`); results are byte-identical at
+//! any setting. When the effective count exceeds 1 and `--metrics-json`
+//! is requested, the flow is re-run once sequentially so each stage's
+//! JSON record carries a measured `"speedup"` field.
 //!
 //! Exit codes: `0` — all passes clean (warnings allowed); `1` — at
 //! least one error-severity diagnostic; `2` — usage, I/O, parse, or
@@ -32,6 +38,7 @@ struct Args {
     flow: String,
     vectors: usize,
     seed: u64,
+    threads: Option<usize>,
     input: Option<String>,
     circuit: Option<String>,
     metrics_json: Option<String>,
@@ -39,7 +46,7 @@ struct Args {
 
 const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
 [--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] \
-[--metrics-json <path>] (<design.blif> | --circuit <name>)";
+[--threads N] [--metrics-json <path>] (<design.blif> | --circuit <name>)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -47,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         flow: "lily-area".into(),
         vectors: check::DEFAULT_VECTORS,
         seed: check::DEFAULT_SEED,
+        threads: None,
         input: None,
         circuit: None,
         metrics_json: None,
@@ -63,6 +71,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                let n: usize =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
             }
             "--circuit" => args.circuit = Some(value("--circuit")?),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
@@ -112,6 +128,7 @@ fn load_network(args: &Args) -> Result<lily::netlist::Network, String> {
 
 fn run() -> Result<usize, String> {
     let args = parse_args()?;
+    lily::par::set_threads(args.threads);
     let lib = match args.lib.as_str() {
         "tiny" => Library::tiny(),
         "big" => Library::big(),
@@ -178,7 +195,7 @@ fn run() -> Result<usize, String> {
     errors += stage("timing", &check::check_timing(mapped, &sta, 0.0));
     println!("critical delay {:.3} ns over {} cells", sta.critical_delay, mapped.cell_count());
 
-    println!("stage metrics:");
+    println!("stage metrics (threads {}):", result.metrics.stages.threads_used());
     for r in result.metrics.stages.records() {
         println!(
             "  {:<15} {:>10.3} ms  {:>7} {}",
@@ -189,8 +206,18 @@ fn run() -> Result<usize, String> {
         );
     }
     if let Some(path) = &args.metrics_json {
-        std::fs::write(path, result.metrics.to_json())
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        // With real parallelism in play, measure per-stage speedup
+        // against a one-thread re-run of the same (deterministic) flow.
+        let json = if result.metrics.stages.threads_used() > 1 {
+            lily::par::set_threads(Some(1));
+            let seq = run_flow(&net, &lib, &FlowOptions { verify: false, ..opts })
+                .map_err(|e| format!("flow (sequential baseline): {e}"))?;
+            lily::par::set_threads(args.threads);
+            result.metrics.to_json_with_baseline(Some(&seq.metrics.stages))
+        } else {
+            result.metrics.to_json()
+        };
+        std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("metrics json: {path}");
     }
     Ok(errors)

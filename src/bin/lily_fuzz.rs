@@ -12,8 +12,14 @@
 //! * valid-but-wild generator parameters — always reach the flow.
 //!
 //! ```text
-//! lily-fuzz [--count N] [--seed S] [--verbose]
+//! lily-fuzz [--count N] [--seed S] [--threads N] [--verbose]
 //! ```
+//!
+//! Cases fan out across the deterministic `lily-par` worker pool
+//! (`--threads` / `LILY_THREADS`); each case is an independent seeded
+//! flow, and the earliest-failure contract of the runtime guarantees
+//! the reported panic is the lowest-numbered failing case — the same
+//! one a sequential sweep finds — at any thread count.
 //!
 //! Exits 0 when all cases hold the contract; on a panic it prints the
 //! reproducing `(seed, case)` pair and exits 1.
@@ -32,11 +38,12 @@ const DEFAULT_SEED: u64 = 0x1117_f1ce;
 struct Args {
     count: u64,
     seed: u64,
+    threads: Option<usize>,
     verbose: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { count: DEFAULT_COUNT, seed: DEFAULT_SEED, verbose: false };
+    let mut args = Args { count: DEFAULT_COUNT, seed: DEFAULT_SEED, threads: None, verbose: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -49,9 +56,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = v.strip_prefix("0x").unwrap_or(&v);
                 args.seed = u64::from_str_radix(v, 16).map_err(|_| format!("bad --seed `{v}`"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--verbose" => args.verbose = true,
             "--help" | "-h" => {
-                println!("usage: lily-fuzz [--count N] [--seed HEX] [--verbose]");
+                println!("usage: lily-fuzz [--count N] [--seed HEX] [--threads N] [--verbose]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -117,12 +132,18 @@ fn main() {
         std::panic::set_hook(Box::new(|_| {}));
     }
 
+    lily::par::set_threads(args.threads);
     let corpus = fuzz::corpus();
     let lib = Library::big();
-    let mut tally = Tally::default();
 
-    for i in 0..args.count {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
+    // Fan the seeded cases across the worker pool. Each case is fully
+    // determined by (seed, i), and `try_par_map` reports the
+    // lowest-index failure, so the repro line is thread-count-invariant.
+    let opts = lily::par::ParOptions::current();
+    let cases: Vec<u64> = (0..args.count).collect();
+    let progress = std::sync::atomic::AtomicU64::new(0);
+    let outcome: Result<Vec<Tally>, (u64, String)> = lily::par::try_par_map(&opts, &cases, |&i| {
+        let ran = catch_unwind(AssertUnwindSafe(|| {
             let mut local = Tally::default();
             if i % 2 == 0 {
                 let bytes = fuzz::blif_case(&corpus, args.seed, i);
@@ -137,37 +158,47 @@ fn main() {
             }
             local
         }));
-        match outcome {
-            Ok(local) => {
-                tally.parse_rejects += local.parse_rejects;
-                tally.flow_ok += local.flow_ok;
-                tally.flow_err += local.flow_err;
-                tally.degradations += local.degradations;
-            }
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                eprintln!("lily-fuzz: PANIC at case {i} (seed {:#x}): {msg}", args.seed);
-                eprintln!("reproduce with: lily-fuzz --count {} --seed {:#x}", i + 1, args.seed);
-                std::process::exit(1);
+        if args.verbose {
+            let done = progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if done.is_multiple_of(200) {
+                eprintln!("... {done} / {} cases", args.count);
             }
         }
-        if args.verbose && (i + 1) % 200 == 0 {
-            eprintln!("... {} / {} cases", i + 1, args.count);
+        ran.map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            (i, msg)
+        })
+    });
+
+    let tallies = match outcome {
+        Ok(t) => t,
+        Err((i, msg)) => {
+            eprintln!("lily-fuzz: PANIC at case {i} (seed {:#x}): {msg}", args.seed);
+            eprintln!("reproduce with: lily-fuzz --count {} --seed {:#x}", i + 1, args.seed);
+            std::process::exit(1);
         }
+    };
+    let mut tally = Tally::default();
+    for local in tallies {
+        tally.parse_rejects += local.parse_rejects;
+        tally.flow_ok += local.flow_ok;
+        tally.flow_err += local.flow_err;
+        tally.degradations += local.degradations;
     }
 
     println!(
         "lily-fuzz: {} cases, 0 panics ({} parse rejects, {} flow ok, {} structured flow \
-         errors, {} recorded degradations) [seed {:#x}]",
+         errors, {} recorded degradations) [{} thread(s), seed {:#x}]",
         args.count,
         tally.parse_rejects,
         tally.flow_ok,
         tally.flow_err,
         tally.degradations,
+        opts.threads(),
         args.seed,
     );
 }

@@ -25,6 +25,8 @@
 //!   benchmark circuits.
 //! * [`check`] — structural invariant and equivalence analysis passes
 //!   over every flow artifact, plus the `lily-check` CLI.
+//! * [`par`] — the deterministic scoped-thread parallel runtime
+//!   (`LILY_THREADS`); results are byte-identical at any thread count.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use lily_cells as cells;
 pub use lily_check as check;
 pub use lily_core as core;
 pub use lily_netlist as netlist;
+pub use lily_par as par;
 pub use lily_place as place;
 pub use lily_route as route;
 pub use lily_timing as timing;
