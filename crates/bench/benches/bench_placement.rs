@@ -5,7 +5,7 @@
 
 use lily_bench::harness::Harness;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
-use lily_place::global::{global_place, GlobalOptions};
+use lily_place::global::{try_global_place, GlobalOptions};
 use lily_place::{AreaModel, SubjectPlacement};
 use lily_workloads::circuits;
 
@@ -19,7 +19,8 @@ fn main() {
         let mut problem = sp.problem.clone();
         problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
         h.bench("global_placement", &format!("inchoate/{name}-{}", g.base_gate_count()), || {
-            global_place(&problem, &GlobalOptions::for_region(core)).positions.len()
+            try_global_place(&problem, &GlobalOptions::for_region(core))
+                .map_or(0, |gp| gp.positions.len())
         });
     }
 }

@@ -6,7 +6,7 @@ use lily_bench::harness::Harness;
 use lily_cells::Library;
 use lily_core::MatchIndex;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
-use lily_place::{solve_quadratic, Point, SubjectPlacement};
+use lily_place::{try_solve_quadratic, Point, SubjectPlacement};
 use lily_route::{net_length, WireModel};
 use lily_workloads::circuits;
 
@@ -43,7 +43,7 @@ fn bench_quadratic_solve(h: &Harness) {
         let core = lily_place::Rect::new(0.0, 0.0, 3000.0, 3000.0);
         problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
         h.bench("quadratic_solve", &format!("cg/{name}"), || {
-            solve_quadratic(&problem, &[], &[]).len()
+            try_solve_quadratic(&problem, &[], &[]).map_or(0, |s| s.positions.len())
         });
     }
 }

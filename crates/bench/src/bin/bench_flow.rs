@@ -169,7 +169,9 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
         let mut problem = lily_place::SubjectPlacement::new(&g).problem.clone();
         let core = lily_place::Rect::new(0.0, 0.0, 3000.0, 3000.0);
         problem.fixed = lily_place::pads::perimeter_points(core, problem.fixed.len());
-        let cg_ns = median_ns(samples, || lily_place::solve_quadratic(&problem, &[], &[]).len());
+        let cg_ns = median_ns(samples, || {
+            lily_place::try_solve_quadratic(&problem, &[], &[]).map_or(0, |s| s.positions.len())
+        });
         let mut stages_json = String::from("[]");
         let compare_ns =
             median_ns(samples, || match compare_flows(&net, lib, &FlowOptions::lily_area()) {

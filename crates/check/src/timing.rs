@@ -168,7 +168,11 @@ pub fn check_timing(mapped: &MappedNetwork, sta: &StaResult, input_arrival: f64)
 mod tests {
     use super::*;
     use lily_cells::{Library, MappedCell};
-    use lily_timing::{analyze, Arrival, StaOptions, WireLoad};
+    use lily_timing::{try_analyze, Arrival, StaOptions, StaResult, WireLoad};
+
+    fn analyze(m: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
+        try_analyze(m, lib, opts).expect("static timing analysis failed")
+    }
 
     fn chain(lib: &Library, n: usize) -> MappedNetwork {
         let inv = lib.inverter();

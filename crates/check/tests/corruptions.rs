@@ -4,7 +4,7 @@
 //! that the untouched artifacts report nothing at all.
 
 use lily_cells::mapped::SignalSource;
-use lily_cells::{CellId, GateId, Library};
+use lily_cells::{CellId, GateId, Library, MappedNetwork};
 use lily_check::{
     check_mapped, check_mapped_subject, check_network, check_network_subject, check_placement,
     check_subject, check_timing, Code, DEFAULT_SEED, DEFAULT_VECTORS,
@@ -13,7 +13,11 @@ use lily_core::flow::{FlowOptions, FlowResult};
 use lily_netlist::decompose::decompose;
 use lily_netlist::{SubjectGraph, SubjectNodeId};
 use lily_place::{Point, Rect};
-use lily_timing::{analyze, StaOptions};
+use lily_timing::{try_analyze, StaOptions, StaResult};
+
+fn analyze(m: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
+    try_analyze(m, lib, opts).expect("static timing analysis failed")
+}
 
 const VECTORS: usize = DEFAULT_VECTORS;
 

@@ -77,6 +77,47 @@ pub enum MapError {
         /// The failing diagnostics.
         report: lily_check::Report,
     },
+    /// A stage was cooperatively cancelled (its cancellation token
+    /// tripped) and retries were exhausted.
+    Cancelled {
+        /// What was cancelled (stage or kernel name).
+        context: &'static str,
+    },
+    /// A stage overran its [`FlowOptions::stage_deadline`] and retries
+    /// were exhausted.
+    ///
+    /// [`FlowOptions::stage_deadline`]: crate::flow::FlowOptions::stage_deadline
+    StageDeadline {
+        /// The stage that timed out.
+        stage: &'static str,
+        /// The configured deadline, milliseconds.
+        deadline_ms: u64,
+    },
+    /// A deterministic fault-injection plan forced this stage to fail
+    /// (chaos testing; never raised in production flows).
+    FaultInjected {
+        /// The stage the fault targeted.
+        stage: &'static str,
+        /// The stage attempt the fault fired on.
+        invocation: u32,
+    },
+    /// A checkpointed flow stopped on purpose after completing the
+    /// requested stage (`lily-check --kill-after`); resume from the
+    /// same checkpoint directory to continue.
+    Interrupted {
+        /// The last completed (and checkpointed) stage.
+        stage: &'static str,
+    },
+    /// The checkpoint directory could not be read or written (I/O
+    /// trouble; *corrupt* checkpoint artifacts never error — they are
+    /// discarded and the stage recomputes, with a `"checkpoint" →
+    /// "recomputed"` degradation audit entry).
+    Checkpoint {
+        /// What the checkpoint layer was doing (`"open"`, `"save"`).
+        context: &'static str,
+        /// The underlying failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -105,6 +146,24 @@ impl fmt::Display for MapError {
             }
             MapError::Verify { stage, report } => {
                 write!(f, "verification failed at the `{stage}` checkpoint:\n{report}")
+            }
+            MapError::Cancelled { context } => {
+                write!(f, "{context} cancelled before completion")
+            }
+            MapError::StageDeadline { stage, deadline_ms } => {
+                write!(f, "stage `{stage}` exceeded its {deadline_ms} ms deadline")
+            }
+            MapError::FaultInjected { stage, invocation } => {
+                write!(f, "injected fault failed stage `{stage}` (attempt {invocation})")
+            }
+            MapError::Interrupted { stage } => {
+                write!(
+                    f,
+                    "flow interrupted after stage `{stage}` (checkpoint saved; resume to continue)"
+                )
+            }
+            MapError::Checkpoint { context, message } => {
+                write!(f, "checkpoint {context} failed: {message}")
             }
         }
     }
@@ -154,6 +213,7 @@ impl From<lily_place::PlaceError> for MapError {
             P::InvalidOptions { message } => {
                 MapError::DegenerateInput { stage: "placement options", message }
             }
+            P::Cancelled { context } => MapError::Cancelled { context },
         }
     }
 }

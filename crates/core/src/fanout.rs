@@ -199,13 +199,13 @@ mod tests {
     #[test]
     fn buffering_reduces_delay_on_heavy_nets() {
         use lily_timing::load::WireLoad;
-        use lily_timing::sta::{analyze, StaOptions};
+        use lily_timing::sta::{try_analyze, StaOptions};
         let lib = Library::big();
         let (_, mut m) = star(&lib, 40);
         let opts = StaOptions { wire_load: WireLoad::None, input_arrival: 0.0 };
-        let before = analyze(&m, &lib, &opts).critical_delay;
+        let before = try_analyze(&m, &lib, &opts).expect("sta failed").critical_delay;
         buffer_fanout(&mut m, &lib, &FanoutOptions { max_fanout: 8, placement_aware: true });
-        let after = analyze(&m, &lib, &opts).critical_delay;
+        let after = try_analyze(&m, &lib, &opts).expect("sta failed").critical_delay;
         assert!(
             after < before,
             "buffering a 40-sink net must shorten the path: {after} !< {before}"

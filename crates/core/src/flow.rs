@@ -34,6 +34,7 @@ use crate::stage::{
     StageMetrics, SubjectImage, SubjectPlace,
 };
 use lily_cells::{Library, MappedNetwork, SignalSource};
+use lily_fault::{FaultPlan, FaultReport};
 use lily_netlist::decompose::DecomposeOrder;
 use lily_netlist::subject::SubjectKind;
 use lily_netlist::{Network, SubjectGraph};
@@ -142,6 +143,19 @@ pub struct FlowOptions {
     /// with [`MapError::Verify`] when any reports an error. On by
     /// default in debug builds, off in release builds.
     pub verify: bool,
+    /// Per-stage wall-clock deadline. Every stage attempt gets a
+    /// cancellation token that expires this long after the attempt
+    /// starts; cancellable kernels poll it and the attempt fails with
+    /// [`MapError::StageDeadline`], counted in
+    /// [`FlowMetrics::deadline_hits`]. `None` (the default) disables
+    /// deadlines entirely.
+    pub stage_deadline: Option<std::time::Duration>,
+    /// How many times a stage attempt that failed with a *transient*
+    /// error (cancellation, deadline, injected fault, solver
+    /// divergence, budget exhaustion, non-finite value) is retried
+    /// before the stage's degraded fallback — and finally the error —
+    /// applies. Retries are counted in [`FlowMetrics::retries`].
+    pub stage_retries: u32,
 }
 
 impl FlowOptions {
@@ -158,6 +172,8 @@ impl FlowOptions {
             anneal_move_budget: None,
             constructive_placement: true,
             verify: cfg!(debug_assertions),
+            stage_deadline: None,
+            stage_retries: 1,
         }
     }
 
@@ -264,30 +280,98 @@ pub fn compare_flows(
     lib: &Library,
     base: &FlowOptions,
 ) -> Result<FlowComparison, MapError> {
-    let mut lily_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Lily, ..*base });
-    let mut mis_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Mis, ..*base });
-    let g = lily_ctx.run(&Decompose, net)?;
-    degenerate_guard(&g)?;
-    if g.base_gate_count() == 0 {
-        mis_ctx.stages.adopt(&lily_ctx.stages);
-        return Ok(FlowComparison {
-            mis: trivial_result(g.clone(), mis_ctx),
-            lily: trivial_result(g, lily_ctx),
-        });
-    }
-    let plan = Arc::new(lily_ctx.run(&AssignPads, &*g)?);
-    let image = Arc::new(lily_ctx.run(&SubjectPlace, (&*g, &*plan))?);
-    mis_ctx.stages.adopt(&lily_ctx.stages);
-    let (g_mis, plan_mis, image_mis) = (g.clone(), plan.clone(), image.clone());
-    let (mis, lily) = lily_par::join(
-        &lily_par::ParOptions::current(),
-        move || finish_stages(mis_ctx, g_mis, plan_mis, Some(image_mis)),
-        move || finish_stages(lily_ctx, g, plan, Some(image)),
-    );
-    Ok(FlowComparison { mis: mis?, lily: lily? })
+    compare_flows_chaos(net, lib, base, &FaultPlan::new()).0
 }
 
-fn degenerate_guard(g: &SubjectGraph) -> Result<(), MapError> {
+/// [`compare_flows`] under a deterministic fault-injection plan: each
+/// of the three contexts (the shared upstream prefix and the two
+/// pipeline tails) arms its own copy of `plan`, so a fault aimed at a
+/// downstream stage fires in *both* tails. Returns the comparison
+/// result together with the merged fired-fault report (shared, then
+/// MIS, then Lily — a deterministic order at any thread count).
+pub fn compare_flows_chaos(
+    net: &Network,
+    lib: &Library,
+    base: &FlowOptions,
+    plan: &FaultPlan,
+) -> (Result<FlowComparison, MapError>, FaultReport) {
+    let mut shared_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Lily, ..*base })
+        .with_flow("shared")
+        .with_faults(plan.clone());
+    let mut mis_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Mis, ..*base })
+        .with_faults(plan.clone());
+    let mut lily_ctx = FlowContext::new(lib, FlowOptions { mapper: FlowMapper::Lily, ..*base })
+        .with_faults(plan.clone());
+    let logs = [shared_ctx.fault_log(), mis_ctx.fault_log(), lily_ctx.fault_log()];
+    let result = (|| {
+        let g = shared_ctx.run(&Decompose, net)?;
+        degenerate_guard(&g)?;
+        if g.base_gate_count() == 0 {
+            mis_ctx.adopt(&shared_ctx);
+            lily_ctx.adopt(&shared_ctx);
+            let mis = trivial_result(g.clone(), mis_ctx);
+            let lily = trivial_result(g, lily_ctx);
+            let degradations = merge_audits(&mis.metrics.degradations, &lily.metrics.degradations);
+            return Ok(FlowComparison { mis, lily, degradations });
+        }
+        let plan_art = Arc::new(shared_ctx.run(&AssignPads, &*g)?);
+        let image = Arc::new(shared_ctx.run(&SubjectPlace, (&*g, &*plan_art))?);
+        mis_ctx.adopt(&shared_ctx);
+        lily_ctx.adopt(&shared_ctx);
+        let (g_mis, plan_mis, image_mis) = (g.clone(), plan_art.clone(), image.clone());
+        let (mis, lily) = lily_par::join(
+            &lily_par::ParOptions::current(),
+            move || finish_stages(mis_ctx, g_mis, plan_mis, Some(image_mis)),
+            move || finish_stages(lily_ctx, g, plan_art, Some(image)),
+        );
+        let (mis, lily) = (mis?, lily?);
+        let degradations = merge_audits(&mis.metrics.degradations, &lily.metrics.degradations);
+        Ok(FlowComparison { mis, lily, degradations })
+    })();
+    let mut fired = Vec::new();
+    for log in &logs {
+        fired.extend(log.report().fired);
+    }
+    (result, FaultReport { fired })
+}
+
+/// Merges the two pipelines' audit trails into one deterministic
+/// sequence: the shared upstream entries (present in both, taken once)
+/// first, then the MIS tail's own entries, then Lily's. Within a flow,
+/// record order is preserved; across flows the tag decides, so the
+/// merged audit is byte-identical at any thread count.
+fn merge_audits(mis: &[Degradation], lily: &[Degradation]) -> Vec<Degradation> {
+    let mut merged: Vec<Degradation> =
+        mis.iter().chain(lily.iter().filter(|d| d.flow != "shared")).cloned().collect();
+    let rank = |flow: &str| match flow {
+        "shared" => 0u8,
+        "mis" => 1,
+        _ => 2,
+    };
+    merged.sort_by_key(|d| rank(d.flow));
+    merged
+}
+
+/// Runs one full pipeline under a deterministic fault-injection plan,
+/// returning the flow's result together with the report of faults that
+/// actually fired. The same `(plan, options, net)` triple replays
+/// bit-exactly at any thread count.
+pub fn run_flow_chaos(
+    net: &Network,
+    lib: &Library,
+    options: &FlowOptions,
+    plan: &FaultPlan,
+) -> (Result<FlowResult, MapError>, FaultReport) {
+    let mut ctx = FlowContext::new(lib, *options).with_faults(plan.clone());
+    let log = ctx.fault_log();
+    let result = (|| {
+        let g = ctx.run(&Decompose, net)?;
+        run_from_subject(ctx, g)
+    })();
+    (result, log.report())
+}
+
+pub(crate) fn degenerate_guard(g: &SubjectGraph) -> Result<(), MapError> {
     if g.outputs().is_empty() {
         return Err(MapError::DegenerateInput {
             stage: "flow",
@@ -344,6 +428,8 @@ fn finish_stages(
         stats,
         degradations: ctx.degradations,
         stages: ctx.stages,
+        retries: ctx.retries,
+        deadline_hits: ctx.deadline_hits,
     };
     Ok(FlowResult {
         metrics,
@@ -356,6 +442,12 @@ fn finish_stages(
 /// hit trouble, which cheaper strategy replaced it, and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Degradation {
+    /// Which pipeline recorded the entry: `"mis"`, `"lily"`, or
+    /// `"shared"` for the upstream prefix both pipelines have in
+    /// common under [`compare_flows`]. Entries are stamped at record
+    /// time so concurrent pipeline tails can be merged into one
+    /// deterministic audit regardless of thread count.
+    pub flow: &'static str,
     /// The stage that could not run as configured (`"lily-global-place"`,
     /// `"mapped-global-place"`, `"detailed-placement"`, `"anneal"`, or
     /// `"wire-load"`).
@@ -368,14 +460,14 @@ pub struct Degradation {
 
 impl std::fmt::Display for Degradation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} degraded to {}: {}", self.stage, self.fallback, self.detail)
+        write!(f, "[{}] {} degraded to {}: {}", self.flow, self.stage, self.fallback, self.detail)
     }
 }
 
 /// The [`FlowResult`] of a subject graph with no base gates: outputs are
 /// wired straight to inputs, every physical stage is skipped, and every
 /// metric is zero.
-fn trivial_result(g: Arc<SubjectGraph>, ctx: FlowContext<'_>) -> FlowResult {
+pub(crate) fn trivial_result(g: Arc<SubjectGraph>, ctx: FlowContext<'_>) -> FlowResult {
     let mut mapped = MappedNetwork::new(g.name(), g.input_names().to_vec());
     let input_of: std::collections::HashMap<usize, usize> = g
         .inputs()
@@ -402,6 +494,8 @@ fn trivial_result(g: Arc<SubjectGraph>, ctx: FlowContext<'_>) -> FlowResult {
         stats: MapStats::default(),
         degradations: ctx.degradations,
         stages: ctx.stages,
+        retries: ctx.retries,
+        deadline_hits: ctx.deadline_hits,
     };
     FlowResult { metrics, mapped, artifacts: FlowArtifacts { subject: g, pads: None, image: None } }
 }
@@ -433,6 +527,12 @@ pub struct FlowMetrics {
     /// Per-stage wall-time and artifact-size records, in execution
     /// order.
     pub stages: StageMetrics,
+    /// How many stage attempts were retried after transient failures
+    /// (see [`FlowOptions::stage_retries`]).
+    pub retries: u32,
+    /// How many stage attempts failed against the per-stage deadline
+    /// (see [`FlowOptions::stage_deadline`]).
+    pub deadline_hits: u32,
 }
 
 impl FlowMetrics {
@@ -481,6 +581,7 @@ impl FlowMetrics {
         }));
         let degradations = array(self.degradations.iter().map(|d| {
             JsonObject::new()
+                .string("flow", d.flow)
                 .string("stage", d.stage)
                 .string("fallback", d.fallback)
                 .string("detail", &d.detail)
@@ -499,6 +600,8 @@ impl FlowMetrics {
         JsonObject::new()
             .uint("cells", self.cells as u64)
             .uint("threads_used", self.stages.threads_used() as u64)
+            .uint("retries", u64::from(self.retries))
+            .uint("deadline_hits", u64::from(self.deadline_hits))
             .float("instance_area_um2", self.instance_area)
             .float("chip_area_um2", self.chip_area)
             .float("wire_length_um", self.wire_length)
@@ -545,6 +648,10 @@ pub struct FlowComparison {
     pub mis: FlowResult,
     /// The layout-driven Lily pipeline's result.
     pub lily: FlowResult,
+    /// The merged degradation audit of both pipelines, in the
+    /// deterministic shared → MIS → Lily order (see
+    /// [`Degradation::flow`]); identical at any thread count.
+    pub degradations: Vec<Degradation>,
 }
 
 #[cfg(test)]
@@ -592,6 +699,8 @@ mod tests {
             stats: MapStats::default(),
             degradations: vec![],
             stages: StageMetrics::default(),
+            retries: 0,
+            deadline_hits: 0,
         };
         assert!((m.instance_area_mm2() - 2.5).abs() < 1e-12);
         assert!((m.chip_area_mm2() - 5.0).abs() < 1e-12);

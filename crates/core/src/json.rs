@@ -1,10 +1,16 @@
-//! A tiny dependency-free JSON emitter.
+//! A tiny dependency-free JSON emitter and parser.
 //!
 //! The workspace deliberately has no third-party dependencies, so the
-//! metrics export (`lily-check --metrics-json`) serializes through this
-//! hand-rolled writer instead of serde. It only *writes* JSON — there
-//! is no parser — and covers exactly what [`FlowMetrics::to_json`]
-//! needs: objects, arrays, strings, integers, and floats.
+//! metrics export (`lily-check --metrics-json`), the checkpoint files
+//! (`lily-check --checkpoint-dir`), and the fuzz replay files
+//! (`lily-fuzz --replay`) all serialize through this hand-rolled
+//! writer/parser pair instead of serde.
+//!
+//! JSON numbers cannot carry NaN or infinity, and shortest round-trip
+//! float formatting is lossy for bit-exact replay, so checkpoint files
+//! store every `f64` as its 16-hex-digit bit pattern via [`hex_f64`] /
+//! [`f64_from_hex`] — including NaN payloads — and reserve [`number`]
+//! for human-facing metrics.
 //!
 //! [`FlowMetrics::to_json`]: crate::flow::FlowMetrics::to_json
 
@@ -114,6 +120,314 @@ impl JsonObject {
     }
 }
 
+/// Encodes an `f64` as its bit pattern, 16 lowercase hex digits — the
+/// bit-exact (NaN-payload-preserving) encoding checkpoint files use.
+pub fn hex_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Decodes a [`hex_f64`] string. `None` unless it is exactly 16 hex
+/// digits.
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// A parsed JSON value.
+///
+/// Numbers keep their raw token and parse on access ([`Json::as_u64`] /
+/// [`Json::as_f64`]); object fields preserve document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token text.
+    Num(String),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document (one value, trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message with the byte offset of the defect.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first occurrence); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a number token as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Parses a number token as `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Parses a number token as `f64` (`null` is *not* a number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.num(),
+            _ => Err(format!("unexpected byte {}", self.pos)),
+        }
+    }
+
+    fn num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        // Validate by parsing once; the token is kept raw.
+        raw.parse::<f64>().map_err(|_| format!("bad number `{raw}` at byte {start}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|w| std::str::from_utf8(w).ok())
+            .ok_or(format!("bad \\u escape at byte {}", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (non-escape, non-quote) bytes as
+            // UTF-8 in one go.
+            while self.peek().is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must
+                                // follow as another \u escape.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(format!("lone surrogate at byte {}", self.pos));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("bad code point at byte {}", self.pos))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("bad escape `\\{}`", other as char));
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +454,58 @@ mod tests {
         assert_eq!(escape("\u{1}"), "\\u0001");
         assert_eq!(number(f64::INFINITY), "null");
         assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn parser_round_trips_emitter_output() {
+        let doc = JsonObject::new()
+            .string("name", "a\"b\\c\nd\u{1}")
+            .uint("n", 42)
+            .float("x", -1.5)
+            .float("nan", f64::NAN)
+            .raw("list", &array(vec!["1".into(), "true".into(), "\"s\"".into()]))
+            .raw("empty", "{}")
+            .finish();
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("a\"b\\c\nd\u{1}"));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("n").and_then(Json::as_usize), Some(42));
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(-1.5));
+        assert!(v.get("nan").is_some_and(Json::is_null));
+        let list = v.get("list").and_then(Json::as_array).unwrap();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[0].as_u64(), Some(1));
+        assert_eq!(list[1].as_bool(), Some(true));
+        assert_eq!(list[2].as_str(), Some("s"));
+        assert_eq!(v.get("empty"), Some(&Json::Obj(Vec::new())));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes_and_whitespace() {
+        let v = Json::parse(" { \"s\" : \"\\u00e9\\ud83d\\ude00\" , \"t\" : [ ] } ").unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("\u{e9}\u{1f600}"));
+        assert_eq!(v.get("t").and_then(Json::as_array).map(<[Json]>::len), Some(0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"\\q\"", "\"\\ud800x\"", "nul"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn hex_f64_is_bit_exact() {
+        for x in [0.0, -0.0, 1.5, -7.25e300, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = f64_from_hex(&hex_f64(x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        // NaN payloads survive, which `number` cannot offer.
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64_from_hex(&hex_f64(weird)).unwrap().to_bits(), weird.to_bits());
+        assert!(f64_from_hex("123").is_none());
+        assert!(f64_from_hex("zzzzzzzzzzzzzzzz").is_none());
+        assert!(f64_from_hex("00000000000000000").is_none());
     }
 }

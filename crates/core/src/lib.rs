@@ -24,6 +24,7 @@
 //! [`experiments`] reproduces the motivating figures.
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod cover;
 pub mod decomp;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod sizing;
 pub mod stage;
 
 pub use baseline::MisMapper;
+pub use checkpoint::run_flow_checkpointed;
 pub use cover::{MapMode, MapResult, MapStats, Partition};
 pub use error::MapError;
 pub use fanout::{buffer_fanout, FanoutOptions};

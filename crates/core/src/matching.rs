@@ -62,18 +62,25 @@ impl MatchIndex {
             return Err(MapError::IncompleteLibrary { missing: "2-input nand" });
         }
         let ids: Vec<SubjectNodeId> = g.node_ids().collect();
-        let found = lily_par::par_map_init(
+        // Match enumeration is the mapper's dominant kernel; poll the
+        // ambient cancellation token (installed per stage attempt by
+        // the flow engine) so deadlines and injected cancels can stop
+        // it cooperatively. The token is a snapshot of the *calling*
+        // thread's ambient state, shared by every worker.
+        let cancel = lily_fault::ambient_token();
+        let found = lily_par::try_par_map_init(
             &ParOptions::current(),
             &ids,
             MatchScratch::new,
-            |scratch, &v| {
+            |scratch, &v| -> Result<Vec<Match>, MapError> {
+                cancel.check().map_err(|_| MapError::Cancelled { context: "match-enumeration" })?;
                 if matches!(g.kind(v), SubjectKind::Input(_)) {
-                    Vec::new()
+                    Ok(Vec::new())
                 } else {
-                    matches_at_with(g, lib, v, scratch)
+                    Ok(matches_at_with(g, lib, v, scratch))
                 }
             },
-        );
+        )?;
         let mut per_node = vec![Vec::new(); g.node_count()];
         for (&v, matches) in ids.iter().zip(found) {
             if matches.is_empty() && !matches!(g.kind(v), SubjectKind::Input(_)) {

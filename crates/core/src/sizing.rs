@@ -59,7 +59,7 @@ mod tests {
     use lily_cells::mapped::equiv_mapped_subject;
     use lily_cells::MappedCell;
     use lily_netlist::SubjectGraph;
-    use lily_timing::sta::{analyze, StaOptions};
+    use lily_timing::sta::{try_analyze, StaOptions};
 
     /// One inverter driving `n` nand2 loads.
     fn heavy(lib: &Library, n: usize) -> (SubjectGraph, MappedNetwork) {
@@ -121,14 +121,14 @@ mod tests {
         let lib = Library::big_sized();
         let (_, mut m) = heavy(&lib, 24);
         let opts = StaOptions { wire_load: WireLoad::None, input_arrival: 0.0 };
-        let before = analyze(&m, &lib, &opts).critical_delay;
+        let before = try_analyze(&m, &lib, &opts).expect("sta failed").critical_delay;
         let n = resize_for_load(
             &mut m,
             &lib,
             &SizingOptions { load_threshold: 1.0, wire_load: WireLoad::None },
         );
         assert!(n >= 1);
-        let after = analyze(&m, &lib, &opts).critical_delay;
+        let after = try_analyze(&m, &lib, &opts).expect("sta failed").critical_delay;
         assert!(after < before, "sizing must help: {after} !< {before}");
     }
 

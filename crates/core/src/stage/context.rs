@@ -1,15 +1,17 @@
 //! The shared state a flow threads through its stages.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::error::MapError;
 use crate::flow::{Degradation, FlowOptions};
 use crate::stage::{Stage, StageArtifact, StageMetrics};
 use lily_cells::Library;
+use lily_fault::{ArmedFaults, CancelToken, FaultKind, FaultPlan, FiredLog, Injector};
 
 /// Everything a stage needs besides its typed input artifact: the
 /// target library, the flow options, the graceful-degradation audit
-/// trail, and the per-stage metrics sink.
+/// trail, the per-stage metrics sink, and the fault/cancellation state
+/// of the current stage attempt.
 #[derive(Debug)]
 pub struct FlowContext<'l> {
     /// The target gate library.
@@ -20,6 +22,23 @@ pub struct FlowContext<'l> {
     pub degradations: Vec<Degradation>,
     /// Wall-time and artifact-size records of every stage run so far.
     pub stages: StageMetrics,
+    /// Flow tag stamped into every degradation audit entry (`"mis"`,
+    /// `"lily"`, or `"shared"` for the upstream prefix of
+    /// [`compare_flows`](crate::flow::compare_flows)).
+    pub flow: &'static str,
+    /// Cancellation token of the current stage attempt. Stage bodies
+    /// hand it (or a clone) to cancellable kernels; between attempts it
+    /// is the inert [`CancelToken::never`].
+    pub cancel: CancelToken,
+    /// Kernel faults armed for the current stage attempt; stage bodies
+    /// consume them at their natural injection points via the `take_*`
+    /// methods.
+    pub armed: ArmedFaults,
+    /// How many stage attempts were retried after a transient failure.
+    pub retries: u32,
+    /// How many stage attempts failed against the per-stage deadline.
+    pub deadline_hits: u32,
+    injector: Injector,
 }
 
 impl<'l> FlowContext<'l> {
@@ -29,27 +48,194 @@ impl<'l> FlowContext<'l> {
     pub fn new(lib: &'l Library, options: FlowOptions) -> Self {
         let mut stages = StageMetrics::default();
         stages.set_threads_used(lily_par::effective_threads());
-        Self { lib, options, degradations: Vec::new(), stages }
+        let flow = match options.mapper {
+            crate::flow::FlowMapper::Mis => "mis",
+            crate::flow::FlowMapper::Lily => "lily",
+        };
+        Self {
+            lib,
+            options,
+            degradations: Vec::new(),
+            stages,
+            flow,
+            cancel: CancelToken::never(),
+            armed: ArmedFaults::idle(),
+            retries: 0,
+            deadline_hits: 0,
+            injector: Injector::default(),
+        }
     }
 
-    /// Runs one stage: times it, records its artifact's size into the
-    /// metrics table, and returns the artifact.
+    /// Overrides the flow tag stamped into degradation audit entries.
+    pub fn with_flow(mut self, flow: &'static str) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan: each stage
+    /// attempt arms the plan's matching faults (chaos testing).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.injector = Injector::new(plan);
+        self
+    }
+
+    /// The shared fired-fault log (snapshot it after the flow returns
+    /// to see which scheduled faults actually fired).
+    pub fn fault_log(&self) -> FiredLog {
+        self.injector.log()
+    }
+
+    /// Adopts another context's observable history — stage records,
+    /// degradation audit, retry/deadline counters — used by
+    /// [`compare_flows`](crate::flow::compare_flows) to hand the shared
+    /// upstream prefix to both pipeline tails.
+    pub fn adopt(&mut self, other: &FlowContext<'_>) {
+        self.stages.adopt(&other.stages);
+        self.degradations.extend(other.degradations.iter().cloned());
+        self.retries += other.retries;
+        self.deadline_hits += other.deadline_hits;
+    }
+
+    /// Runs one stage with the retry/deadline/fault policy, times it,
+    /// records its artifact's size into the metrics table, and returns
+    /// the artifact.
+    ///
+    /// Each attempt gets a fresh cancellation token (carrying
+    /// [`FlowOptions::stage_deadline`] when configured) and freshly
+    /// armed faults; a transient failure (cancellation, deadline,
+    /// injected fault, solver divergence, budget exhaustion, non-finite
+    /// value) is retried up to [`FlowOptions::stage_retries`] times.
+    /// When every attempt fails the stage's [`Stage::degraded`] hook
+    /// may still produce a fallback artifact; otherwise the last error
+    /// propagates. Non-transient errors (degenerate input, verification
+    /// failures, library defects) propagate immediately.
     ///
     /// # Errors
     ///
     /// Propagates the stage's error (nothing is recorded for a failed
     /// stage).
-    pub fn run<In, S: Stage<In>>(&mut self, stage: &S, input: In) -> Result<S::Out, MapError> {
+    pub fn run<In: Clone, S: Stage<In>>(
+        &mut self,
+        stage: &S,
+        input: In,
+    ) -> Result<S::Out, MapError> {
         let t0 = Instant::now();
-        let out = stage.run(self, input)?;
-        let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.stages.record(stage.name(), wall_ns, out.size(), out.unit());
-        Ok(out)
+        let retries = self.options.stage_retries;
+        let mut attempt = 0u32;
+        let err = loop {
+            match self.attempt(stage, input.clone()) {
+                Ok(out) => {
+                    self.record(stage.name(), t0, &out);
+                    return Ok(out);
+                }
+                Err(e) => {
+                    if matches!(e, MapError::StageDeadline { .. }) {
+                        self.deadline_hits += 1;
+                    }
+                    if !Self::transient(&e) {
+                        return Err(e);
+                    }
+                    if attempt >= retries {
+                        break e;
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                }
+            }
+        };
+        if let Some(out) = stage.degraded(self, input, &err) {
+            self.record(stage.name(), t0, &out);
+            return Ok(out);
+        }
+        Err(err)
     }
 
-    /// Records one step down the degradation ladder.
+    fn record<O: StageArtifact>(&mut self, name: &'static str, t0: Instant, out: &O) {
+        let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stages.record(name, wall_ns, out.size(), out.unit());
+    }
+
+    /// Whether an error class is worth retrying: trouble that a clean
+    /// re-run (or a degradation rung) can plausibly clear, as opposed
+    /// to a property of the input or configuration.
+    fn transient(e: &MapError) -> bool {
+        matches!(
+            e,
+            MapError::Cancelled { .. }
+                | MapError::StageDeadline { .. }
+                | MapError::FaultInjected { .. }
+                | MapError::SolverDiverged { .. }
+                | MapError::BudgetExhausted { .. }
+                | MapError::NonFiniteValue { .. }
+        )
+    }
+
+    /// One stage attempt: arms the fault plan, installs the attempt's
+    /// cancellation token (explicitly on the context and ambiently for
+    /// kernels behind trait objects), runs the body, and classifies a
+    /// cancellation against the deadline. A failed attempt leaves no
+    /// degradation-audit residue.
+    fn attempt<In, S: Stage<In>>(&mut self, stage: &S, input: In) -> Result<S::Out, MapError> {
+        let deadline = self.options.stage_deadline;
+        // The deadline token is created *before* injected latency is
+        // served, so a latency fault can push an attempt over its
+        // deadline exactly like genuinely slow work would.
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let armed = self.injector.arm(stage.name());
+        if armed.latency_ms > 0 {
+            armed.note_boundary(FaultKind::Latency(armed.latency_ms));
+            std::thread::sleep(Duration::from_millis(armed.latency_ms));
+        }
+        if armed.close_workers > 0 {
+            armed.note_boundary(FaultKind::CloseWorkers(armed.close_workers));
+            lily_par::chaos::close_workers(armed.close_workers as usize);
+        }
+        if armed.cancel {
+            armed.note_boundary(FaultKind::Cancel);
+            cancel.cancel();
+        }
+        if armed.error {
+            armed.note_boundary(FaultKind::StageError);
+            return Err(MapError::FaultInjected {
+                stage: stage.name(),
+                invocation: armed.invocation(),
+            });
+        }
+        let audit_mark = self.degradations.len();
+        let _ambient = lily_fault::set_ambient(cancel.clone());
+        let prev_cancel = std::mem::replace(&mut self.cancel, cancel.clone());
+        let prev_armed = std::mem::replace(&mut self.armed, armed);
+        let out = stage.run(self, input);
+        self.armed = prev_armed;
+        self.cancel = prev_cancel;
+        // Unclaimed worker closures must not leak into later stages:
+        // fault selection is strictly per (stage, invocation).
+        lily_par::chaos::reset();
+        match out {
+            Err(e) => {
+                self.degradations.truncate(audit_mark);
+                if matches!(e, MapError::Cancelled { .. }) && cancel.deadline_expired() {
+                    Err(MapError::StageDeadline {
+                        stage: stage.name(),
+                        deadline_ms: deadline
+                            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+                    })
+                } else {
+                    Err(e)
+                }
+            }
+            ok => ok,
+        }
+    }
+
+    /// Records one step down the degradation ladder, stamped with this
+    /// context's flow tag. This is the only construction site of
+    /// [`Degradation`].
     pub fn degrade(&mut self, stage: &'static str, fallback: &'static str, detail: String) {
-        self.degradations.push(Degradation { stage, fallback, detail });
+        self.degradations.push(Degradation { flow: self.flow, stage, fallback, detail });
     }
 
     /// Fails the flow when a verification pass reports errors, if

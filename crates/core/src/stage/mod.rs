@@ -65,6 +65,21 @@ pub trait Stage<In> {
     /// recoverable trouble degrades via
     /// [`FlowContext::degrade`] instead.
     fn run(&self, ctx: &mut FlowContext<'_>, input: In) -> Result<Self::Out, MapError>;
+
+    /// Last rung of the retry ladder: called by [`FlowContext::run`]
+    /// after every attempt (including retries) failed with a transient
+    /// error. A stage that can produce a meaningful fallback artifact
+    /// from its input alone returns `Some` (and records the
+    /// degradation via [`FlowContext::degrade`]); the default `None`
+    /// propagates the error.
+    fn degraded(
+        &self,
+        _ctx: &mut FlowContext<'_>,
+        _input: In,
+        _err: &MapError,
+    ) -> Option<Self::Out> {
+        None
+    }
 }
 
 /// A measurable stage output: every artifact reports a size (and the

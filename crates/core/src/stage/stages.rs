@@ -15,8 +15,8 @@ use crate::stage::{FlowContext, MapImage, Mapper, Stage, StageArtifact};
 use lily_cells::{Library, MappedNetwork, SignalSource};
 use lily_netlist::decompose::decompose;
 use lily_netlist::{Network, SubjectGraph};
-use lily_place::anneal::{try_anneal, AnnealOptions};
-use lily_place::global::{try_global_place, GlobalOptions};
+use lily_place::anneal::{try_anneal_cancel, AnnealOptions};
+use lily_place::global::{try_global_place_cancel, GlobalOptions};
 use lily_place::legalize::{improve, legalize, LegalizeOptions, Legalized};
 use lily_place::{assign_pads, PinRef, PlacementProblem, Point, Rect, SubjectPlacement};
 use lily_route::{rsmt_length, CongestionGrid};
@@ -169,22 +169,47 @@ impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan)> for SubjectPlace {
 
     fn run(
         &self,
-        _ctx: &mut FlowContext<'_>,
+        ctx: &mut FlowContext<'_>,
         (g, plan): (&'a SubjectGraph, &'a PadPlan),
     ) -> Result<Self::Out, MapError> {
-        let solved = if plan.est_area.is_finite() {
+        let cancel = ctx.cancel.clone();
+        let solved = if ctx.armed.take_solver_diverged() {
+            Err(lily_place::PlaceError::SolverDiverged {
+                solver: "injected-fault",
+                iterations: 0,
+                residual: f64::NAN,
+            })
+        } else if ctx.armed.take_nan() {
+            Err(lily_place::PlaceError::NonFinite { context: "injected layout-image poison" })
+        } else if plan.est_area.is_finite() {
             let problem = with_pads(plan.placement.problem.clone(), &plan.pads);
-            try_global_place(&problem, &GlobalOptions::for_region(plan.core))
+            try_global_place_cancel(&problem, &GlobalOptions::for_region(plan.core), &cancel)
         } else {
             Err(lily_place::PlaceError::NonFinite { context: "estimated core area" })
         };
-        Ok(match solved {
-            Ok(gp) => SubjectImage {
-                positions: Some(plan.placement.node_positions(g, &gp.positions, &plan.pads)),
-                failure: None,
+        // A cancelled solve is the stage's (transient) failure, not a
+        // degraded image: surface it so the retry policy can re-run.
+        if let Err(lily_place::PlaceError::Cancelled { context }) = solved {
+            return Err(MapError::Cancelled { context });
+        }
+        Ok(
+            match solved.and_then(|gp| plan.placement.node_positions(g, &gp.positions, &plan.pads))
+            {
+                Ok(positions) => SubjectImage { positions: Some(positions), failure: None },
+                Err(e) => SubjectImage { positions: None, failure: Some(e.to_string()) },
             },
-            Err(e) => SubjectImage { positions: None, failure: Some(e.to_string()) },
-        })
+        )
+    }
+
+    fn degraded(
+        &self,
+        _ctx: &mut FlowContext<'_>,
+        _input: (&'a SubjectGraph, &'a PadPlan),
+        err: &MapError,
+    ) -> Option<Self::Out> {
+        // No layout image is still a usable artifact: the `Map` stage
+        // audits the fallback to the wire-blind MIS mapper.
+        Some(SubjectImage { positions: None, failure: Some(err.to_string()) })
     }
 }
 
@@ -383,11 +408,23 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
         if !constructive {
             let (problem, _) = mapped_problem(&mapped);
             let problem = with_pads(problem, &pads);
-            match try_global_place(&problem, &GlobalOptions::for_region(core)) {
+            let solved = if ctx.armed.take_solver_diverged() {
+                Err(lily_place::PlaceError::SolverDiverged {
+                    solver: "injected-fault",
+                    iterations: 0,
+                    residual: f64::NAN,
+                })
+            } else {
+                try_global_place_cancel(&problem, &GlobalOptions::for_region(core), &ctx.cancel)
+            };
+            match solved {
                 Ok(gp) => {
                     for (i, p) in gp.positions.iter().enumerate() {
                         mapped.cells_mut()[i].position = (p.x, p.y);
                     }
+                }
+                Err(lily_place::PlaceError::Cancelled { context }) => {
+                    return Err(MapError::Cancelled { context });
                 }
                 Err(e) => {
                     // Keep whatever positions the mapper left behind;
@@ -404,6 +441,13 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
             .collect();
         let mut desired: Vec<Point> =
             mapped.cells().iter().map(|c| Point::new(c.position.0, c.position.1)).collect();
+        if ctx.armed.take_nan() {
+            // Injected NaN poisoning of the desired positions: the
+            // non-finite guard below must catch and audit it.
+            for p in &mut desired {
+                *p = Point::new(f64::NAN, f64::NAN);
+            }
+        }
         // Non-finite desired positions would poison legalization; seed
         // the offenders at the core center instead.
         let poisoned = desired.iter().filter(|p| !(p.x.is_finite() && p.y.is_finite())).count();
@@ -443,12 +487,18 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
                     // falls back to the greedy placer on the original
                     // points.
                     let mut pts = desired.clone();
-                    let aopts = AnnealOptions {
-                        seed,
-                        max_moves: options.anneal_move_budget,
-                        ..AnnealOptions::for_core(core)
+                    let max_moves = if ctx.armed.take_budget() {
+                        // Injected budget crunch: the annealer must
+                        // exhaust immediately and audit the fallback.
+                        Some(0)
+                    } else {
+                        options.anneal_move_budget
                     };
-                    match try_anneal(&mut pts, &problem.nets, &fixed, &aopts) {
+                    let aopts = AnnealOptions { seed, max_moves, ..AnnealOptions::for_core(core) };
+                    match try_anneal_cancel(&mut pts, &problem.nets, &fixed, &aopts, &ctx.cancel) {
+                        Err(lily_place::PlaceError::Cancelled { context }) => {
+                            return Err(MapError::Cancelled { context });
+                        }
                         Ok(astats) if astats.budget_exhausted => {
                             ctx.degrade(
                                 "anneal",
@@ -529,6 +579,24 @@ impl Stage<LegalPlacement> for DetailedPlace {
         }
         ctx.checkpoint("placement", || lily_check::check_placement(&mapped, lib, core))?;
         Ok(PlacedDesign { mapped, core, stats })
+    }
+
+    fn degraded(
+        &self,
+        ctx: &mut FlowContext<'_>,
+        input: LegalPlacement,
+        err: &MapError,
+    ) -> Option<Self::Out> {
+        // The legalized rows are already a complete legal placement;
+        // ship them without the improvement passes.
+        let LegalPlacement { mut mapped, core, stats, legal, .. } = input;
+        if let Some(legal) = legal {
+            for (i, p) in legal.positions.iter().enumerate() {
+                mapped.cells_mut()[i].position = (p.x, p.y);
+            }
+        }
+        ctx.degrade("detailed-place", "legalized-only", err.to_string());
+        Some(PlacedDesign { mapped, core, stats })
     }
 }
 
@@ -688,13 +756,22 @@ impl<'a> Stage<&'a PlacedDesign> for Sta {
     ) -> Result<Self::Out, MapError> {
         let lib = ctx.lib;
         let mapped = &placed.mapped;
+        let mut poison = ctx.armed.take_nan();
         let mut sta = Err(MapError::NonFiniteValue { context: "sta not attempted" });
         for (wire_load, fallback) in [
             (WireLoad::FromPlacement, "per-fanout"),
             (WireLoad::PerFanout(ctx.options.physical.mis_wire_cap_per_fanout), "no-wire-load"),
             (WireLoad::None, ""),
         ] {
-            match try_analyze(mapped, lib, &StaOptions { wire_load, input_arrival: 0.0 }) {
+            let attempt = if poison {
+                // Injected NaN poisoning of the first rung: the ladder
+                // must step down to the per-fanout model and audit it.
+                poison = false;
+                Err(lily_timing::TimingError::NonFinite { context: "injected sta poison" })
+            } else {
+                try_analyze(mapped, lib, &StaOptions { wire_load, input_arrival: 0.0 })
+            };
+            match attempt {
                 Ok(r) => {
                     sta = Ok(r);
                     break;

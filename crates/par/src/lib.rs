@@ -177,6 +177,45 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Chaos hooks for robustness testing: simulated worker closure.
+///
+/// The self-scheduling queue in [`drive`](self) makes worker *count* a
+/// pure scheduling concern — any worker (including the caller, which
+/// always participates) can claim any block. A "closed" worker is one
+/// that exits immediately without claiming work; the remaining workers
+/// absorb its share and results stay byte-identical. The fault layer
+/// uses this to prove that claim under injection.
+pub mod chaos {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Workers still scheduled to close (process-wide).
+    static CLOSE: AtomicUsize = AtomicUsize::new(0);
+
+    /// Schedules the next `n` spawned workers to close without
+    /// claiming any work. The calling thread of a parallel region
+    /// always participates, so completion is never at risk.
+    pub fn close_workers(n: usize) {
+        CLOSE.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Clears any scheduled closures and returns how many were
+    /// pending (harness cleanup between cases).
+    pub fn reset() -> usize {
+        CLOSE.swap(0, Ordering::Relaxed)
+    }
+
+    /// Workers currently scheduled to close.
+    pub fn pending() -> usize {
+        CLOSE.load(Ordering::Relaxed)
+    }
+
+    /// Claims one scheduled closure, if any (called by spawned
+    /// workers on startup).
+    pub(crate) fn take_closure() -> bool {
+        CLOSE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1)).is_ok()
+    }
+}
+
 /// Runs `nblocks` work units over `workers` threads (the calling thread
 /// participates). Each worker owns a `state` created by `init`; blocks
 /// are claimed from an atomic counter. Panics in `work` propagate to
@@ -201,7 +240,18 @@ fn drive<S>(
     };
     std::thread::scope(|s| {
         let run = &run;
-        let handles: Vec<_> = (1..workers).map(|_| s.spawn(run)).collect();
+        // Spawned workers honor scheduled chaos closures (exit without
+        // claiming work); the caller always participates, so the block
+        // queue always drains and results are unaffected.
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    if !chaos::take_closure() {
+                        run();
+                    }
+                })
+            })
+            .collect();
         run();
         for h in handles {
             if let Err(payload) = h.join() {
@@ -515,6 +565,23 @@ mod tests {
         assert!(inner_threads.iter().all(|&t| t == 1), "nested region saw {inner_threads:?}");
         // Back outside the region the configured count is visible again.
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn closed_workers_do_not_change_results() {
+        // Worker closure is a scheduling event only: the survivors and
+        // the caller re-claim the closed workers' blocks.
+        let items: Vec<u64> = (0..2000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761) ^ 17).collect();
+        let opts = ParOptions::with_threads(8);
+        for closed in [1usize, 3, 16] {
+            chaos::reset();
+            chaos::close_workers(closed);
+            let got = par_map(&opts, &items, |x| x.wrapping_mul(2654435761) ^ 17);
+            assert_eq!(got, expect, "closed={closed}");
+        }
+        chaos::reset();
+        assert_eq!(chaos::pending(), 0);
     }
 
     #[test]

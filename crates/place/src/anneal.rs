@@ -13,9 +13,10 @@
 use crate::error::PlaceError;
 use crate::geom::{Point, Rect};
 use crate::quadratic::PinRef;
+use lily_fault::CancelToken;
 use lily_netlist::sim::XorShift64;
 
-/// Options for [`anneal`].
+/// Options for [`try_anneal`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnnealOptions {
     /// RNG seed.
@@ -59,25 +60,6 @@ pub struct AnnealStats {
     pub budget_exhausted: bool,
 }
 
-/// Anneals `positions` in place against the given nets and fixed pins.
-/// Returns run statistics.
-///
-/// # Panics
-///
-/// Panics if `cooling` is not in `(0, 1)` or the inputs contain
-/// non-finite coordinates; use [`try_anneal`] to handle both gracefully.
-pub fn anneal(
-    positions: &mut [Point],
-    nets: &[Vec<PinRef>],
-    fixed: &[Point],
-    opts: &AnnealOptions,
-) -> AnnealStats {
-    match try_anneal(positions, nets, fixed, opts) {
-        Ok(stats) => stats,
-        Err(e) => panic!("annealing failed: {e}"),
-    }
-}
-
 /// Fallible annealing refinement: validates options and input
 /// coordinates, then runs the schedule under the optional move budget.
 ///
@@ -96,6 +78,30 @@ pub fn try_anneal(
     nets: &[Vec<PinRef>],
     fixed: &[Point],
     opts: &AnnealOptions,
+) -> Result<AnnealStats, PlaceError> {
+    try_anneal_cancel(positions, nets, fixed, opts, &CancelToken::never())
+}
+
+/// How many attempted moves pass between cancellation polls in
+/// [`try_anneal_cancel`] — frequent enough for sub-millisecond
+/// reaction, rare enough to stay invisible in profiles.
+const CANCEL_POLL_MOVES: u64 = 256;
+
+/// [`try_anneal`] with a cooperative cancellation token, polled every
+/// [`CANCEL_POLL_MOVES`] attempted moves. A cancelled run abandons the
+/// refinement and reports [`PlaceError::Cancelled`]; `positions` are
+/// left in a valid (finite, in-core) but partially-annealed state.
+///
+/// # Errors
+///
+/// Everything [`try_anneal`] reports, plus [`PlaceError::Cancelled`]
+/// when the token trips mid-schedule.
+pub fn try_anneal_cancel(
+    positions: &mut [Point],
+    nets: &[Vec<PinRef>],
+    fixed: &[Point],
+    opts: &AnnealOptions,
+    cancel: &CancelToken,
 ) -> Result<AnnealStats, PlaceError> {
     if !(opts.cooling > 0.0 && opts.cooling < 1.0) {
         return Err(PlaceError::InvalidOptions {
@@ -186,6 +192,9 @@ pub fn try_anneal(
                     break 'schedule;
                 }
             }
+            if attempted.is_multiple_of(CANCEL_POLL_MOVES) && cancel.is_cancelled() {
+                return Err(PlaceError::Cancelled { context: "anneal" });
+            }
             attempted += 1;
             if rng.gen_bool(0.5) {
                 // Pairwise swap.
@@ -247,6 +256,15 @@ pub fn try_anneal(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn anneal(
+        positions: &mut [Point],
+        nets: &[Vec<PinRef>],
+        fixed: &[Point],
+        opts: &AnnealOptions,
+    ) -> AnnealStats {
+        try_anneal(positions, nets, fixed, opts).expect("annealing failed")
+    }
 
     /// A shuffled chain: pad — c0 — c1 — … — pad, with cells placed in
     /// scrambled order so there is a lot to recover.
@@ -310,11 +328,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cooling")]
-    fn bad_cooling_panics() {
+    fn bad_cooling_is_a_typed_error() {
         let core = Rect::new(0.0, 0.0, 10.0, 10.0);
         let mut p = vec![Point::default(); 2];
         let opts = AnnealOptions { cooling: 1.5, ..AnnealOptions::for_core(core) };
-        let _ = anneal(&mut p, &[], &[], &opts);
+        let got = try_anneal(&mut p, &[], &[], &opts);
+        match got {
+            Err(PlaceError::InvalidOptions { message }) => assert!(message.contains("cooling")),
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_schedule() {
+        let (mut positions, nets, fixed, core) = chain(16);
+        let token = CancelToken::new();
+        token.cancel();
+        let got = try_anneal_cancel(
+            &mut positions,
+            &nets,
+            &fixed,
+            &AnnealOptions::for_core(core),
+            &token,
+        );
+        assert!(matches!(got, Err(PlaceError::Cancelled { context: "anneal" })), "{got:?}");
+        // Positions are still finite and usable after abandonment.
+        assert!(positions.iter().all(|p| p.x.is_finite() && p.y.is_finite()));
     }
 }

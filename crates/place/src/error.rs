@@ -48,6 +48,13 @@ pub enum PlaceError {
         /// Where the value was seen (`"pad coordinates"`, …).
         context: &'static str,
     },
+    /// A cooperative cancellation token tripped (stage deadline or an
+    /// injected cancel fault) while a kernel was running.
+    Cancelled {
+        /// Which kernel observed the cancellation
+        /// (`"conjugate-gradient"`, `"anneal"`, …).
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -67,6 +74,9 @@ impl fmt::Display for PlaceError {
             }
             PlaceError::NonFinite { context } => {
                 write!(f, "non-finite value in {context}")
+            }
+            PlaceError::Cancelled { context } => {
+                write!(f, "{context} cancelled before completion")
             }
         }
     }
@@ -90,6 +100,7 @@ mod tests {
             },
             PlaceError::BudgetExhausted { resource: "anneal-moves", spent: 10, budget: 10 },
             PlaceError::NonFinite { context: "pad coordinates" },
+            PlaceError::Cancelled { context: "anneal" },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

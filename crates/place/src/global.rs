@@ -12,9 +12,10 @@
 use crate::error::PlaceError;
 use crate::fm::{refine, FmInstance, FmOptions};
 use crate::geom::{Point, Rect};
-use crate::quadratic::{try_solve_quadratic, Anchor, PinRef, PlacementProblem};
+use crate::quadratic::{try_solve_quadratic_cancel, Anchor, PinRef, PlacementProblem};
+use lily_fault::CancelToken;
 
-/// Options for [`global_place`].
+/// Options for [`try_global_place`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalOptions {
     /// The layout image (core region) to place into.
@@ -54,17 +55,6 @@ pub struct GlobalPlacement {
     pub cg_iterations: usize,
 }
 
-/// Runs balanced global placement. See the module docs for the
-/// algorithm.
-///
-/// # Panics
-///
-/// Panics if the problem fails validation or the quadratic solves
-/// diverge; use [`try_global_place`] to handle both gracefully.
-pub fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalPlacement {
-    try_global_place(problem, opts).expect("global placement failed")
-}
-
 /// Fallible balanced global placement. See the module docs for the
 /// algorithm.
 ///
@@ -84,6 +74,22 @@ pub fn try_global_place(
     problem: &PlacementProblem,
     opts: &GlobalOptions,
 ) -> Result<GlobalPlacement, PlaceError> {
+    try_global_place_cancel(problem, opts, &CancelToken::never())
+}
+
+/// [`try_global_place`] with a cooperative cancellation token, polled
+/// once per conjugate-gradient iteration and once per partitioning
+/// level.
+///
+/// # Errors
+///
+/// Everything [`try_global_place`] reports, plus
+/// [`PlaceError::Cancelled`] when the token trips mid-placement.
+pub fn try_global_place_cancel(
+    problem: &PlacementProblem,
+    opts: &GlobalOptions,
+    cancel: &CancelToken,
+) -> Result<GlobalPlacement, PlaceError> {
     let n = problem.movable;
     if n == 0 {
         return Ok(GlobalPlacement {
@@ -98,7 +104,7 @@ pub fn try_global_place(
         return Err(PlaceError::NonFinite { context: "core region" });
     }
     let mut cg_iterations = 0usize;
-    let first = try_solve_quadratic(problem, &[], &[])?;
+    let first = try_solve_quadratic_cancel(problem, &[], &[], cancel)?;
     cg_iterations += first.iterations;
     let mut positions = first.positions;
     let mut regions: Vec<(Rect, Vec<usize>)> = vec![(opts.region, (0..n).collect())];
@@ -140,7 +146,10 @@ pub fn try_global_place(
                 anchors.push(Anchor { module: m, target: c, weight: w });
             }
         }
-        let solve = try_solve_quadratic(problem, &anchors, &positions)?;
+        if cancel.is_cancelled() {
+            return Err(PlaceError::Cancelled { context: "global-placement" });
+        }
+        let solve = try_solve_quadratic_cancel(problem, &anchors, &positions, cancel)?;
         cg_iterations += solve.iterations;
         positions = solve.positions;
     }
@@ -215,6 +224,10 @@ pub fn quadrant_balance(positions: &[Point], core: Rect) -> f64 {
 mod tests {
     use super::*;
     use crate::quadratic::PinRef;
+
+    fn global_place(problem: &PlacementProblem, opts: &GlobalOptions) -> GlobalPlacement {
+        try_global_place(problem, opts).expect("global placement failed")
+    }
 
     /// A 2D grid graph with pads on four corners: a placement whose
     /// natural solution spreads over the whole region.

@@ -37,12 +37,12 @@ pub mod problem;
 pub mod quadratic;
 pub mod sparse;
 
-pub use anneal::{anneal, try_anneal, AnnealOptions, AnnealStats};
+pub use anneal::{try_anneal, try_anneal_cancel, AnnealOptions, AnnealStats};
 pub use area::AreaModel;
 pub use error::PlaceError;
 pub use fm::{cut_size, refine as fm_refine, FmInstance, FmOptions};
 pub use geom::{Point, Rect};
-pub use global::{global_place, try_global_place, GlobalOptions};
+pub use global::{try_global_place, try_global_place_cancel, GlobalOptions};
 pub use pads::assign_pads;
 pub use problem::SubjectPlacement;
-pub use quadratic::{solve_quadratic, try_solve_quadratic, PinRef, PlacementProblem};
+pub use quadratic::{try_solve_quadratic, try_solve_quadratic_cancel, PinRef, PlacementProblem};

@@ -9,7 +9,7 @@
 //! sits on the side of the core its logic gravitates to.
 
 use crate::geom::{Point, Rect};
-use crate::quadratic::{solve_quadratic, PinRef, PlacementProblem};
+use crate::quadratic::{try_solve_quadratic, PinRef, PlacementProblem};
 
 /// `n` evenly spaced positions along the perimeter of `core`, starting
 /// at the middle of the left edge and proceeding counter-clockwise.
@@ -61,9 +61,9 @@ fn angle_from_center(core: Rect, p: Point) -> f64 {
 /// The incoming `problem.fixed` positions are used only as the seed
 /// ordering; pass placeholder zeros on first use.
 ///
-/// # Panics
-///
-/// Panics if the problem fails validation.
+/// When the interior quadratic solve fails (malformed problem,
+/// divergence), the uniform perimeter seed ordering is returned as a
+/// graceful fallback — every pad still gets a finite boundary slot.
 pub fn assign_pads(problem: &PlacementProblem, core: Rect) -> Vec<Point> {
     let n_pads = problem.fixed.len();
     if n_pads == 0 {
@@ -72,7 +72,10 @@ pub fn assign_pads(problem: &PlacementProblem, core: Rect) -> Vec<Point> {
     // Seed: uniform boundary slots in declaration order.
     let seed = perimeter_points(core, n_pads);
     let seeded = PlacementProblem { fixed: seed.clone(), ..problem.clone() };
-    let positions = solve_quadratic(&seeded, &[], &[]);
+    let positions = match try_solve_quadratic(&seeded, &[], &[]) {
+        Ok(solve) => solve.positions,
+        Err(_) => return seed,
+    };
 
     // Barycenter of the movable modules each pad connects to.
     let mut sums: Vec<(f64, f64, usize)> = vec![(0.0, 0.0, 0); n_pads];

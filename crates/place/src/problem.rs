@@ -2,6 +2,7 @@
 //! inchoate network becomes movable modules, the I/O pads become fixed
 //! pins.
 
+use crate::error::PlaceError;
 use crate::geom::Point;
 use crate::quadratic::{PinRef, PlacementProblem};
 use lily_netlist::{SubjectGraph, SubjectKind, SubjectNodeId};
@@ -75,25 +76,58 @@ impl SubjectPlacement {
     /// Scatter placement-problem positions back to per-node positions
     /// (inputs get their pad positions).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if slice lengths disagree with the problem.
+    /// [`PlaceError::InvalidProblem`] when slice lengths disagree with
+    /// the problem or the graph does not match this mapping (a caller
+    /// wiring error, reported instead of panicking so the flow can
+    /// degrade).
     pub fn node_positions(
         &self,
         g: &SubjectGraph,
         module_positions: &[Point],
         pad_positions: &[Point],
-    ) -> Vec<Point> {
-        assert_eq!(module_positions.len(), self.problem.movable);
-        assert_eq!(pad_positions.len(), self.problem.fixed.len());
+    ) -> Result<Vec<Point>, PlaceError> {
+        if module_positions.len() != self.problem.movable {
+            return Err(PlaceError::InvalidProblem {
+                message: format!(
+                    "node_positions: {} module positions for {} movable modules",
+                    module_positions.len(),
+                    self.problem.movable
+                ),
+            });
+        }
+        if pad_positions.len() != self.problem.fixed.len() {
+            return Err(PlaceError::InvalidProblem {
+                message: format!(
+                    "node_positions: {} pad positions for {} pads",
+                    pad_positions.len(),
+                    self.problem.fixed.len()
+                ),
+            });
+        }
         let mut out = vec![Point::default(); g.node_count()];
         for n in g.node_ids() {
             out[n.index()] = match g.kind(n) {
-                SubjectKind::Input(pi) => pad_positions[pi],
-                _ => module_positions[self.movable_of_node[n.index()].expect("internal")],
+                SubjectKind::Input(pi) => {
+                    *pad_positions.get(pi).ok_or_else(|| PlaceError::InvalidProblem {
+                        message: format!("node_positions: input pad {pi} out of range"),
+                    })?
+                }
+                _ => {
+                    let m = self.movable_of_node.get(n.index()).copied().flatten().ok_or_else(
+                        || PlaceError::InvalidProblem {
+                            message: format!(
+                                "node_positions: node {} has no movable-module mapping",
+                                n.index()
+                            ),
+                        },
+                    )?;
+                    module_positions[m]
+                }
             };
         }
-        out
+        Ok(out)
     }
 }
 
@@ -128,11 +162,28 @@ mod tests {
         let sp = SubjectPlacement::new(&g);
         let modules = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
         let pads = vec![Point::new(0.0, 0.0), Point::new(0.0, 5.0), Point::new(9.0, 9.0)];
-        let per_node = sp.node_positions(&g, &modules, &pads);
+        let per_node = sp.node_positions(&g, &modules, &pads).expect("consistent mapping");
         assert_eq!(per_node.len(), g.node_count());
         assert_eq!(per_node[0], pads[0]);
         assert_eq!(per_node[2], modules[0]);
         assert_eq!(per_node[3], modules[1]);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_typed_errors() {
+        let g = graph();
+        let sp = SubjectPlacement::new(&g);
+        let pads = vec![Point::default(); sp.problem.fixed.len()];
+        let short = vec![Point::default(); sp.problem.movable - 1];
+        assert!(matches!(
+            sp.node_positions(&g, &short, &pads),
+            Err(PlaceError::InvalidProblem { .. })
+        ));
+        let modules = vec![Point::default(); sp.problem.movable];
+        assert!(matches!(
+            sp.node_positions(&g, &modules, &pads[..1]),
+            Err(PlaceError::InvalidProblem { .. })
+        ));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::error::PlaceError;
 use crate::geom::Point;
-use crate::sparse::{cg_solve, CsrBuilder};
+use crate::sparse::{cg_solve_cancel, CsrBuilder};
+use lily_fault::CancelToken;
 
 /// A pin of a placement net.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,29 +106,15 @@ pub struct QuadraticSolve {
 /// solve at 1e-6 is still a fine point placement).
 const ACCEPTABLE_RESIDUAL: f64 = 1e-3;
 
-/// Solves the quadratic placement with optional anchors, starting from
-/// `warm` (pass an empty slice for a cold start at the pad centroid).
-///
-/// Modules with no connectivity at all sit at the centroid of the fixed
-/// pads (the Laplacian row is regularized with a tiny anchor there).
-///
-/// # Panics
-///
-/// Panics if the problem fails [`PlacementProblem::validate`] or the
-/// solve diverges; use [`try_solve_quadratic`] to handle both
-/// gracefully.
-pub fn solve_quadratic(
-    problem: &PlacementProblem,
-    anchors: &[Anchor],
-    warm: &[Point],
-) -> Vec<Point> {
-    try_solve_quadratic(problem, anchors, warm).expect("quadratic placement failed").positions
-}
-
 /// Fallible quadratic placement: validates the problem, checks every
 /// fixed pad and anchor for finite coordinates, and verifies the
 /// conjugate-gradient solves produced a finite, usably-converged
 /// solution.
+///
+/// Modules with no connectivity at all sit at the centroid of the fixed
+/// pads (the Laplacian row is regularized with a tiny anchor there).
+/// Start from `warm` (pass an empty slice for a cold start at the pad
+/// centroid).
 ///
 /// # Errors
 ///
@@ -140,6 +127,22 @@ pub fn try_solve_quadratic(
     problem: &PlacementProblem,
     anchors: &[Anchor],
     warm: &[Point],
+) -> Result<QuadraticSolve, PlaceError> {
+    try_solve_quadratic_cancel(problem, anchors, warm, &CancelToken::never())
+}
+
+/// [`try_solve_quadratic`] with a cooperative cancellation token,
+/// polled once per CG iteration.
+///
+/// # Errors
+///
+/// Everything [`try_solve_quadratic`] reports, plus
+/// [`PlaceError::Cancelled`] when the token trips mid-solve.
+pub fn try_solve_quadratic_cancel(
+    problem: &PlacementProblem,
+    anchors: &[Anchor],
+    warm: &[Point],
+    cancel: &CancelToken,
 ) -> Result<QuadraticSolve, PlaceError> {
     problem.validate().map_err(|message| PlaceError::InvalidProblem { message })?;
     let n = problem.movable;
@@ -215,8 +218,9 @@ pub fn try_solve_quadratic(
         (vec![centroid.x; n], vec![centroid.y; n])
     };
     let max_iter = 4 * n + 200;
-    let sx = cg_solve(&a, &bx, &x0, 1e-8, max_iter);
-    let sy = cg_solve(&a, &by, &y0, 1e-8, max_iter);
+    let cancelled = |_| PlaceError::Cancelled { context: "conjugate-gradient" };
+    let sx = cg_solve_cancel(&a, &bx, &x0, 1e-8, max_iter, cancel).map_err(cancelled)?;
+    let sy = cg_solve_cancel(&a, &by, &y0, 1e-8, max_iter, cancel).map_err(cancelled)?;
     let iterations = sx.iterations + sy.iterations;
     let residual = sx.residual.max(sy.residual);
     let finite = sx.x.iter().all(|v| v.is_finite()) && sy.x.iter().all(|v| v.is_finite());
@@ -239,6 +243,10 @@ pub fn try_solve_quadratic(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn solve_quadratic(p: &PlacementProblem, anchors: &[Anchor], warm: &[Point]) -> Vec<Point> {
+        try_solve_quadratic(p, anchors, warm).expect("quadratic placement failed").positions
+    }
 
     #[test]
     fn single_module_between_two_pads() {
@@ -324,5 +332,27 @@ mod tests {
         let opt = solve_quadratic(&p, &[], &[]);
         let bad = vec![Point::new(0.0, 7.0)];
         assert!(p.quadratic_cost(&opt) < p.quadratic_cost(&bad));
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_solve() {
+        let p = PlacementProblem {
+            movable: 2,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Fixed(0), PinRef::Movable(0)],
+                vec![PinRef::Movable(0), PinRef::Movable(1)],
+                vec![PinRef::Movable(1), PinRef::Fixed(1)],
+            ],
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let got = try_solve_quadratic_cancel(&p, &[], &[], &token);
+        assert!(
+            matches!(got, Err(PlaceError::Cancelled { context: "conjugate-gradient" })),
+            "{got:?}"
+        );
+        // A never-token solves as before.
+        assert!(try_solve_quadratic(&p, &[], &[]).is_ok());
     }
 }

@@ -7,6 +7,7 @@
 //! few thousand variables, so Jacobi-preconditioned CG converges in a
 //! few hundred iterations without fill-in.
 
+use lily_fault::{CancelToken, Cancelled};
 use lily_par::ParOptions;
 
 /// Minimum number of stored entries before [`CsrMatrix::mul`] fans rows
@@ -264,21 +265,47 @@ pub fn conjugate_gradient(
 /// Panics on dimension mismatch (caller-side programming error; the
 /// slices come from the same builder).
 pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iter: usize) -> CgSolve {
+    cg_solve_cancel(a, b, x0, tol, max_iter, &CancelToken::never()).unwrap_or_else(|_| CgSolve {
+        x: x0.to_vec(),
+        iterations: 0,
+        residual: f64::NAN,
+        converged: false,
+    })
+}
+
+/// [`cg_solve`] with a cooperative cancellation token, polled once per
+/// iteration: a tripped token (stage deadline, injected cancel) stops
+/// the solve with [`Cancelled`] instead of spending the remaining
+/// iteration budget. With [`CancelToken::never`] this is exactly
+/// [`cg_solve`].
+///
+/// # Panics
+///
+/// Panics on dimension mismatch (caller-side programming error; the
+/// slices come from the same builder).
+pub fn cg_solve_cancel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    max_iter: usize,
+    cancel: &CancelToken,
+) -> Result<CgSolve, Cancelled> {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     if n == 0 {
-        return CgSolve { x: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+        return Ok(CgSolve { x: Vec::new(), iterations: 0, residual: 0.0, converged: true });
     }
     if !b.iter().all(|v| v.is_finite()) || !x0.iter().all(|v| v.is_finite()) {
-        return CgSolve { x: x0.to_vec(), iterations: 0, residual: f64::NAN, converged: false };
+        return Ok(CgSolve { x: x0.to_vec(), iterations: 0, residual: f64::NAN, converged: false });
     }
     // A structurally-deficient matrix (missing diagonal) is a malformed
     // system, not a convergence problem: refuse to iterate and report a
     // non-converged, non-finite-residual solve the caller's existing
     // divergence handling already knows how to reject.
     let Ok(diag) = a.diagonal() else {
-        return CgSolve { x: x0.to_vec(), iterations: 0, residual: f64::NAN, converged: false };
+        return Ok(CgSolve { x: x0.to_vec(), iterations: 0, residual: f64::NAN, converged: false });
     };
     let precond = |r: &[f64], z: &mut [f64]| {
         for i in 0..n {
@@ -301,13 +328,14 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iter: usize)
     let mut rel = f64::INFINITY;
 
     for iter in 0..max_iter {
+        cancel.check()?;
         let r_norm = ordered_norm_sq(&r).sqrt();
         rel = r_norm / b_norm;
         if !rel.is_finite() {
-            return CgSolve { x, iterations: iter, residual: rel, converged: false };
+            return Ok(CgSolve { x, iterations: iter, residual: rel, converged: false });
         }
         if r_norm <= tol * b_norm {
-            return CgSolve { x, iterations: iter, residual: rel, converged: true };
+            return Ok(CgSolve { x, iterations: iter, residual: rel, converged: true });
         }
         a.mul(&p, &mut ap);
         let pap = ordered_dot(&p, &ap);
@@ -330,7 +358,7 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iter: usize)
     // Stalled (pap breakdown) or out of budget: the iterate may still
     // be perfectly usable (placement only needs a few digits), so
     // report the residual and let the caller set the acceptance bar.
-    CgSolve { x, iterations: max_iter, residual: rel, converged: false }
+    Ok(CgSolve { x, iterations: max_iter, residual: rel, converged: false })
 }
 
 #[cfg(test)]

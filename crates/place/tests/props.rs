@@ -4,7 +4,7 @@
 //! random SPD systems, and legalization is complete.
 
 use lily_netlist::sim::XorShift64;
-use lily_place::anneal::{anneal, AnnealOptions};
+use lily_place::anneal::{try_anneal, AnnealOptions};
 use lily_place::fm::{cut_size, refine, FmInstance, FmOptions};
 use lily_place::legalize::{legalize, LegalizeOptions};
 use lily_place::sparse::{conjugate_gradient, CsrBuilder};
@@ -31,7 +31,7 @@ fn anneal_never_returns_a_worse_placement() {
             moves_per_cell: 4,
             ..AnnealOptions::for_core(core)
         };
-        let stats = anneal(&mut p, &nets, &[], &opts);
+        let stats = try_anneal(&mut p, &nets, &[], &opts).expect("annealing failed");
         assert!(stats.final_hpwl <= stats.initial_hpwl + 1e-9);
         for pt in &p {
             assert!(core.contains(*pt));

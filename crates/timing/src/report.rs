@@ -109,7 +109,11 @@ pub fn validate(sta: &StaResult) -> Vec<String> {
 mod tests {
     use super::*;
     use crate::load::WireLoad;
-    use crate::sta::{analyze, StaOptions};
+    use crate::sta::{try_analyze, StaOptions, StaResult};
+
+    fn analyze(m: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
+        try_analyze(m, lib, opts).expect("static timing analysis failed")
+    }
     use lily_cells::{MappedCell, SignalSource as S};
 
     fn chain(lib: &Library, n: usize) -> MappedNetwork {

@@ -9,7 +9,7 @@ use crate::error::TimingError;
 use crate::load::{output_load, WireLoad};
 use lily_cells::{CellId, Library, MappedNetwork, SignalSource};
 
-/// Options for [`analyze`].
+/// Options for [`try_analyze`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StaOptions {
     /// Wiring-capacitance model for output loads.
@@ -41,20 +41,6 @@ pub struct StaResult {
     /// Slack of each cell against the critical delay as the required
     /// time at every output.
     pub cell_slack: Vec<f64>,
-}
-
-/// Runs static timing analysis.
-///
-/// # Panics
-///
-/// Panics if the network fails validation against `lib` or contains a
-/// cycle; use [`try_analyze`] to handle both (plus non-finite delays)
-/// gracefully.
-pub fn analyze(mapped: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
-    match try_analyze(mapped, lib, opts) {
-        Ok(r) => r,
-        Err(e) => panic!("static timing analysis failed: {e}"),
-    }
 }
 
 /// Runs static timing analysis, reporting upstream defects as structured
@@ -193,6 +179,10 @@ pub fn try_analyze(
 mod tests {
     use super::*;
     use lily_cells::MappedCell;
+
+    fn analyze(m: &MappedNetwork, lib: &Library, opts: &StaOptions) -> StaResult {
+        try_analyze(m, lib, opts).expect("static timing analysis failed")
+    }
 
     /// A chain of `n` inverters from input to output.
     fn inverter_chain(lib: &Library, n: usize, spacing: f64) -> MappedNetwork {

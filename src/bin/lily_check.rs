@@ -3,6 +3,7 @@
 //! ```text
 //! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|mis-delay|lily-delay]
 //!            [--vectors N] [--seed S] [--threads N] [--metrics-json <path>]
+//!            [--checkpoint-dir <dir>] [--kill-after <stage>]
 //!            (<design.blif> | --circuit <name>)
 //! ```
 //!
@@ -21,9 +22,17 @@
 //! is requested, the flow is re-run once sequentially so each stage's
 //! JSON record carries a measured `"speedup"` field.
 //!
+//! `--checkpoint-dir` runs the flow through the checkpointed driver:
+//! every completed stage artifact is persisted to the directory, and a
+//! re-run against the same directory resumes from the last completed
+//! stage bit-exactly (modulo wall times). `--kill-after <stage>`
+//! deliberately interrupts the flow right after the named stage has
+//! been checkpointed — the harness behind `tools/chaos_smoke.sh`.
+//!
 //! Exit codes: `0` — all passes clean (warnings allowed); `1` — at
 //! least one error-severity diagnostic; `2` — usage, I/O, parse, or
-//! flow failure.
+//! flow failure; `3` — deliberately interrupted by `--kill-after`
+//! (checkpoint saved; resume to continue).
 
 use lily::cells::Library;
 use lily::check;
@@ -42,11 +51,14 @@ struct Args {
     input: Option<String>,
     circuit: Option<String>,
     metrics_json: Option<String>,
+    checkpoint_dir: Option<String>,
+    kill_after: Option<String>,
 }
 
 const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
 [--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] \
-[--threads N] [--metrics-json <path>] (<design.blif> | --circuit <name>)";
+[--threads N] [--metrics-json <path>] [--checkpoint-dir <dir>] \
+[--kill-after <stage>] (<design.blif> | --circuit <name>)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -58,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         input: None,
         circuit: None,
         metrics_json: None,
+        checkpoint_dir: None,
+        kill_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -82,6 +96,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--circuit" => args.circuit = Some(value("--circuit")?),
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--kill-after" => {
+                let stage = value("--kill-after")?;
+                if !lily::core::checkpoint::STAGE_NAMES.contains(&stage.as_str()) {
+                    return Err(format!(
+                        "unknown stage `{stage}` (one of: {})",
+                        lily::core::checkpoint::STAGE_NAMES.join(", ")
+                    ));
+                }
+                args.kill_after = Some(stage);
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             _ if a.starts_with('-') => return Err(format!("unknown option `{a}`\n{USAGE}")),
             _ if args.input.is_none() => args.input = Some(a),
@@ -90,6 +115,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.input.is_some() == args.circuit.is_some() {
         return Err(USAGE.into());
+    }
+    if args.kill_after.is_some() && args.checkpoint_dir.is_none() {
+        return Err("--kill-after needs --checkpoint-dir".into());
     }
     Ok(args)
 }
@@ -164,8 +192,25 @@ fn run() -> Result<usize, String> {
     // Run the full stage-graph flow with its internal checkpoints off:
     // the point of the CLI is to print every stage's full report, not
     // to stop at the first failing checkpoint.
-    let result = run_flow(&net, &lib, &FlowOptions { verify: false, ..opts })
-        .map_err(|e| format!("flow: {e}"))?;
+    let flow_opts = FlowOptions { verify: false, ..opts };
+    let result = match &args.checkpoint_dir {
+        Some(dir) => {
+            match lily::core::run_flow_checkpointed(
+                &net,
+                &lib,
+                &flow_opts,
+                std::path::Path::new(dir),
+                args.kill_after.as_deref(),
+            ) {
+                Err(lily::core::MapError::Interrupted { stage }) => {
+                    println!("interrupted: checkpoint saved through stage `{stage}` in {dir}");
+                    std::process::exit(3);
+                }
+                other => other.map_err(|e| format!("flow: {e}"))?,
+            }
+        }
+        None => run_flow(&net, &lib, &flow_opts).map_err(|e| format!("flow: {e}"))?,
+    };
     for d in &result.metrics.degradations {
         println!("degraded: {d}");
     }

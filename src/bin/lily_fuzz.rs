@@ -1,4 +1,5 @@
-//! `lily-fuzz` — seeded fuzz harness for the panic-free mapping flow.
+//! `lily-fuzz` — seeded fuzz and chaos harness for the panic-free
+//! mapping flow.
 //!
 //! Drives deterministic pseudo-random inputs through the full flow and
 //! asserts the robustness contract: every input ends in `Ok` or a
@@ -13,37 +14,64 @@
 //!
 //! ```text
 //! lily-fuzz [--count N] [--seed S] [--threads N] [--verbose]
+//! lily-fuzz --faults N [--seed S] [--threads N] [--verbose]
+//! lily-fuzz --replay <file>
 //! ```
+//!
+//! `--faults N` switches to **chaos mode**: each of the `N` cases
+//! additionally runs under a deterministic random fault plan
+//! ([`FaultPlan::random`]) — injected stage errors, solver divergence,
+//! NaN poisoning, budget crunches, latency, cancellations, and
+//! simulated worker closures. Half the cases draw benign-only plans
+//! and must still succeed (with audited degradations) whenever the
+//! fault-free flow succeeds, and must produce a structurally legal
+//! mapped netlist; the other half draw harsh plans and may fail, but
+//! only with a typed error. Any violation — and any panic — writes the
+//! failing recipe to `lily-fuzz-replay.json`; `--replay <file>`
+//! re-runs exactly that case.
 //!
 //! Cases fan out across the deterministic `lily-par` worker pool
 //! (`--threads` / `LILY_THREADS`); each case is an independent seeded
 //! flow, and the earliest-failure contract of the runtime guarantees
-//! the reported panic is the lowest-numbered failing case — the same
+//! the reported failure is the lowest-numbered failing case — the same
 //! one a sequential sweep finds — at any thread count.
 //!
-//! Exits 0 when all cases hold the contract; on a panic it prints the
-//! reproducing `(seed, case)` pair and exits 1.
+//! Exits 0 when all cases hold the contract; on a violation it prints
+//! the reproducing recipe and exits 1.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lily::cells::Library;
-use lily::core::flow::{DetailedPlacer, FlowOptions};
+use lily::core::flow::{run_flow_chaos, DetailedPlacer, FlowOptions};
+use lily::fault::FaultPlan;
 use lily::netlist::{blif, Network};
+use lily::replay::Replay;
 use lily::workloads::fuzz;
 use lily::workloads::gen::generate;
 
 const DEFAULT_COUNT: u64 = 2000;
 const DEFAULT_SEED: u64 = 0x1117_f1ce;
+const REPLAY_FILE: &str = "lily-fuzz-replay.json";
 
 struct Args {
     count: u64,
     seed: u64,
     threads: Option<usize>,
     verbose: bool,
+    /// `Some(n)`: chaos mode with `n` fault-injected cases.
+    faults: Option<u64>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { count: DEFAULT_COUNT, seed: DEFAULT_SEED, threads: None, verbose: false };
+    let mut args = Args {
+        count: DEFAULT_COUNT,
+        seed: DEFAULT_SEED,
+        threads: None,
+        verbose: false,
+        faults: None,
+        replay: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -51,6 +79,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--count needs a value")?;
                 args.count = v.parse().map_err(|_| format!("bad --count `{v}`"))?;
             }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                args.faults = Some(v.parse().map_err(|_| format!("bad --faults `{v}`"))?);
+            }
+            "--replay" => args.replay = Some(it.next().ok_or("--replay needs a value")?),
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 let v = v.strip_prefix("0x").unwrap_or(&v);
@@ -66,7 +99,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--verbose" => args.verbose = true,
             "--help" | "-h" => {
-                println!("usage: lily-fuzz [--count N] [--seed HEX] [--threads N] [--verbose]");
+                println!(
+                    "usage: lily-fuzz [--count N] [--faults N] [--replay <file>] [--seed HEX] \
+                     [--threads N] [--verbose]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -93,12 +129,40 @@ fn options_for(i: u64) -> FlowOptions {
     opts
 }
 
+/// The input netlist of case `i`: mutated BLIF on even cases (`None`
+/// when the parser structurally rejects the mutation), generated
+/// netlist on odd cases. Fully determined by `(seed, i)`.
+fn case_net(corpus: &[String], seed: u64, i: u64) -> Option<Network> {
+    if i.is_multiple_of(2) {
+        let bytes = fuzz::blif_case(corpus, seed, i);
+        let text = String::from_utf8_lossy(&bytes);
+        blif::parse(&text).ok()
+    } else {
+        Some(generate(fuzz::gen_case(seed, i)).network)
+    }
+}
+
+/// Whether chaos case `i` draws a benign-only fault plan (the flow
+/// must absorb every fault) or an anything-goes one (the flow may
+/// fail, but only with a typed error). Deliberately out of phase with
+/// the input-family parity of [`case_net`] so both BLIF-mutation and
+/// generated inputs see both harshness levels.
+fn benign_case(i: u64) -> bool {
+    (i >> 1).is_multiple_of(2)
+}
+
+/// The deterministic fault plan of chaos case `i`.
+fn chaos_plan(seed: u64, i: u64) -> FaultPlan {
+    FaultPlan::random(seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), benign_case(i))
+}
+
 #[derive(Default)]
 struct Tally {
     parse_rejects: u64,
     flow_ok: u64,
     flow_err: u64,
     degradations: u64,
+    faults_fired: u64,
 }
 
 fn drive(net: &Network, lib: &Library, i: u64, tally: &mut Tally, verbose: bool) {
@@ -116,6 +180,128 @@ fn drive(net: &Network, lib: &Library, i: u64, tally: &mut Tally, verbose: bool)
     }
 }
 
+/// Runs one chaos case and checks the fault-injection contract. `Err`
+/// is a contract violation (the failure message); panics are caught by
+/// the caller.
+fn drive_chaos(
+    net: &Network,
+    lib: &Library,
+    seed: u64,
+    i: u64,
+    tally: &mut Tally,
+    verbose: bool,
+) -> Result<(), String> {
+    let plan = chaos_plan(seed, i);
+    let benign = benign_case(i);
+    let opts = options_for(i);
+    let (result, report) = run_flow_chaos(net, lib, &opts, &plan);
+    tally.faults_fired += report.fired.len() as u64;
+    match result {
+        Ok(r) => {
+            tally.flow_ok += 1;
+            tally.degradations += r.metrics.degradations.len() as u64;
+            // A fired degradation-class fault must leave a trace: an
+            // audited degradation, or the retry that cleared it.
+            if report.degradation_class() > 0
+                && r.metrics.degradations.is_empty()
+                && r.metrics.retries == 0
+            {
+                return Err(format!(
+                    "{} degradation-class fault(s) fired but the flow recorded no degradation \
+                     and no retry",
+                    report.degradation_class()
+                ));
+            }
+            // Faults must never corrupt the output: the mapped netlist
+            // stays structurally legal.
+            let legality = lily::check::check_mapped(&r.mapped, lib);
+            if legality.has_errors() {
+                return Err(format!(
+                    "flow succeeded under faults but produced an illegal netlist:\n{legality}"
+                ));
+            }
+        }
+        Err(e) => {
+            tally.flow_err += 1;
+            if verbose {
+                eprintln!("case {i}: structured error under faults: {e}");
+            }
+            // Benign-only plans may only fail where the fault-free
+            // flow fails too.
+            if benign && opts.run_detailed(net, lib).is_ok() {
+                return Err(format!(
+                    "benign-only fault plan failed a flow that succeeds without faults: {e}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Re-runs the single case recorded in a replay file, verbosely.
+fn run_replay(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let replay = Replay::from_json(&text)?;
+    println!(
+        "replaying case {} (seed {:#x}, {} scheduled fault(s))",
+        replay.case,
+        replay.seed,
+        replay.faults.faults().len()
+    );
+    for f in replay.faults.faults() {
+        println!("  scheduled: {} at `{}` attempt {}", f.kind.name(), f.stage, f.invocation);
+    }
+    let corpus = fuzz::corpus();
+    let lib = Library::big();
+    let net = match case_net(&corpus, replay.seed, replay.case) {
+        Some(net) => net,
+        None => {
+            println!("case input is a parser reject; nothing to replay");
+            return Ok(());
+        }
+    };
+    let mut tally = Tally::default();
+    if replay.faults.is_empty() {
+        drive(&net, &lib, replay.case, &mut tally, true);
+        println!(
+            "replay done: {} ok, {} structured errors, {} degradations",
+            tally.flow_ok, tally.flow_err, tally.degradations
+        );
+        return Ok(());
+    }
+    let opts = options_for(replay.case);
+    let (result, report) = run_flow_chaos(&net, &lib, &opts, &replay.faults);
+    for f in &report.fired {
+        println!("  fired: {} at `{}` attempt {}", f.kind.name(), f.stage, f.invocation);
+    }
+    match result {
+        Ok(r) => println!(
+            "replay done: flow ok, {} cells, {} degradation(s), {} retries",
+            r.metrics.cells,
+            r.metrics.degradations.len(),
+            r.metrics.retries
+        ),
+        Err(e) => println!("replay done: structured error: {e}"),
+    }
+    Ok(())
+}
+
+/// Writes the failing recipe and prints how to reproduce it.
+fn report_failure(seed: u64, case: u64, chaos: bool, msg: &str) {
+    eprintln!("lily-fuzz: FAIL at case {case} (seed {seed:#x}): {msg}");
+    let faults = if chaos { chaos_plan(seed, case) } else { FaultPlan::new() };
+    let replay = Replay { seed, case, faults };
+    match std::fs::write(REPLAY_FILE, replay.to_json()) {
+        Ok(()) => eprintln!("reproduce with: lily-fuzz --replay {REPLAY_FILE}"),
+        Err(e) => eprintln!("(could not write {REPLAY_FILE}: {e})"),
+    }
+    if chaos {
+        eprintln!("or re-sweep with: lily-fuzz --faults {} --seed {seed:#x}", case + 1);
+    } else {
+        eprintln!("or re-sweep with: lily-fuzz --count {} --seed {seed:#x}", case + 1);
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -124,6 +310,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.replay {
+        if let Err(e) = run_replay(path) {
+            eprintln!("lily-fuzz: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
 
     // Panics are the signal under test: silence the default hook's
     // backtrace spew and let catch_unwind report the payload. Setting
@@ -135,50 +329,58 @@ fn main() {
     lily::par::set_threads(args.threads);
     let corpus = fuzz::corpus();
     let lib = Library::big();
+    let chaos = args.faults.is_some();
+    let count = args.faults.unwrap_or(args.count);
 
     // Fan the seeded cases across the worker pool. Each case is fully
     // determined by (seed, i), and `try_par_map` reports the
     // lowest-index failure, so the repro line is thread-count-invariant.
     let opts = lily::par::ParOptions::current();
-    let cases: Vec<u64> = (0..args.count).collect();
+    let cases: Vec<u64> = (0..count).collect();
     let progress = std::sync::atomic::AtomicU64::new(0);
     let outcome: Result<Vec<Tally>, (u64, String)> = lily::par::try_par_map(&opts, &cases, |&i| {
         let ran = catch_unwind(AssertUnwindSafe(|| {
             let mut local = Tally::default();
-            if i % 2 == 0 {
-                let bytes = fuzz::blif_case(&corpus, args.seed, i);
-                let text = String::from_utf8_lossy(&bytes);
-                match blif::parse(&text) {
-                    Ok(net) => drive(&net, &lib, i, &mut local, args.verbose),
-                    Err(_) => local.parse_rejects += 1,
+            let verdict = match case_net(&corpus, args.seed, i) {
+                None => {
+                    local.parse_rejects += 1;
+                    Ok(())
                 }
-            } else {
-                let net = generate(fuzz::gen_case(args.seed, i)).network;
-                drive(&net, &lib, i, &mut local, args.verbose);
-            }
-            local
+                Some(net) => {
+                    if chaos {
+                        drive_chaos(&net, &lib, args.seed, i, &mut local, args.verbose)
+                    } else {
+                        drive(&net, &lib, i, &mut local, args.verbose);
+                        Ok(())
+                    }
+                }
+            };
+            verdict.map(|()| local)
         }));
         if args.verbose {
             let done = progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             if done.is_multiple_of(200) {
-                eprintln!("... {done} / {} cases", args.count);
+                eprintln!("... {done} / {count} cases");
             }
         }
-        ran.map_err(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "<non-string panic payload>".to_string());
-            (i, msg)
-        })
+        match ran {
+            Ok(Ok(local)) => Ok(local),
+            Ok(Err(violation)) => Err((i, violation)),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                Err((i, format!("PANIC: {msg}")))
+            }
+        }
     });
 
     let tallies = match outcome {
         Ok(t) => t,
         Err((i, msg)) => {
-            eprintln!("lily-fuzz: PANIC at case {i} (seed {:#x}): {msg}", args.seed);
-            eprintln!("reproduce with: lily-fuzz --count {} --seed {:#x}", i + 1, args.seed);
+            report_failure(args.seed, i, chaos, &msg);
             std::process::exit(1);
         }
     };
@@ -188,17 +390,34 @@ fn main() {
         tally.flow_ok += local.flow_ok;
         tally.flow_err += local.flow_err;
         tally.degradations += local.degradations;
+        tally.faults_fired += local.faults_fired;
     }
 
-    println!(
-        "lily-fuzz: {} cases, 0 panics ({} parse rejects, {} flow ok, {} structured flow \
-         errors, {} recorded degradations) [{} thread(s), seed {:#x}]",
-        args.count,
-        tally.parse_rejects,
-        tally.flow_ok,
-        tally.flow_err,
-        tally.degradations,
-        opts.threads(),
-        args.seed,
-    );
+    if chaos {
+        println!(
+            "lily-fuzz: {} chaos cases, 0 panics, 0 contract violations ({} parse rejects, {} \
+             flow ok, {} structured flow errors, {} fired faults, {} recorded degradations) \
+             [{} thread(s), seed {:#x}]",
+            count,
+            tally.parse_rejects,
+            tally.flow_ok,
+            tally.flow_err,
+            tally.faults_fired,
+            tally.degradations,
+            opts.threads(),
+            args.seed,
+        );
+    } else {
+        println!(
+            "lily-fuzz: {} cases, 0 panics ({} parse rejects, {} flow ok, {} structured flow \
+             errors, {} recorded degradations) [{} thread(s), seed {:#x}]",
+            count,
+            tally.parse_rejects,
+            tally.flow_ok,
+            tally.flow_err,
+            tally.degradations,
+            opts.threads(),
+            args.seed,
+        );
+    }
 }

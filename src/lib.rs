@@ -27,6 +27,8 @@
 //!   over every flow artifact, plus the `lily-check` CLI.
 //! * [`par`] — the deterministic scoped-thread parallel runtime
 //!   (`LILY_THREADS`); results are byte-identical at any thread count.
+//! * [`fault`] — deterministic fault injection and cooperative
+//!   cancellation for chaos-testing the flow.
 //!
 //! # Quickstart
 //!
@@ -52,12 +54,15 @@
 pub use lily_cells as cells;
 pub use lily_check as check;
 pub use lily_core as core;
+pub use lily_fault as fault;
 pub use lily_netlist as netlist;
 pub use lily_par as par;
 pub use lily_place as place;
 pub use lily_route as route;
 pub use lily_timing as timing;
 pub use lily_workloads as workloads;
+
+pub mod replay;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {

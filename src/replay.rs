@@ -1,0 +1,111 @@
+//! Fuzz/chaos replay files.
+//!
+//! When `lily-fuzz` finds a case that breaks the robustness contract —
+//! a panic, or a fired fault whose effect went unaudited — it writes
+//! the full recipe for the failing case to a JSON replay file: the
+//! fuzz seed, the case index, and the exact fault plan. `lily-fuzz
+//! --replay <file>` re-runs precisely that case (same input, same
+//! faults, same options) so a CI failure reproduces locally with one
+//! command, at any thread count.
+//!
+//! The file goes through the workspace's dependency-free
+//! [`json`](lily_core::json) writer/parser; faults serialize as their
+//! stable [`FaultKind::name`]/param pairs.
+
+use lily_core::json::{array, Json, JsonObject};
+use lily_fault::{FaultKind, FaultPlan};
+
+/// The recipe for one fuzz/chaos case: everything `lily-fuzz` needs to
+/// re-run it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// The sweep seed (`lily-fuzz --seed`).
+    pub seed: u64,
+    /// The failing case index; the input netlist (mutated BLIF or
+    /// generator parameters) is a pure function of `(seed, case)`.
+    pub case: u64,
+    /// The fault plan the case ran under (empty for plain fuzzing).
+    pub faults: FaultPlan,
+}
+
+impl Replay {
+    /// Serializes the replay recipe as a JSON object.
+    pub fn to_json(&self) -> String {
+        let faults = array(self.faults.faults().iter().map(|f| {
+            JsonObject::new()
+                .string("stage", &f.stage)
+                .uint("invocation", u64::from(f.invocation))
+                .string("kind", f.kind.name())
+                .uint("param", f.kind.param())
+                .finish()
+        }));
+        JsonObject::new()
+            .string("seed", &format!("{:#x}", self.seed))
+            .uint("case", self.case)
+            .raw("faults", &faults)
+            .finish()
+    }
+
+    /// Parses a replay file written by [`Replay::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON, unknown fault
+    /// kinds, or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let seed = v
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s.strip_prefix("0x").unwrap_or(s), 16).ok())
+            .ok_or("missing or malformed `seed`")?;
+        let case = v.get("case").and_then(Json::as_u64).ok_or("missing `case`")?;
+        let mut faults = FaultPlan::new();
+        for f in v.get("faults").and_then(Json::as_array).ok_or("missing `faults`")? {
+            let stage = f.get("stage").and_then(Json::as_str).ok_or("fault without stage")?;
+            let invocation = f
+                .get("invocation")
+                .and_then(Json::as_u64)
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or("fault without invocation")?;
+            let kind_name = f.get("kind").and_then(Json::as_str).ok_or("fault without kind")?;
+            let param = f.get("param").and_then(Json::as_u64).ok_or("fault without param")?;
+            let kind = FaultKind::from_name(kind_name, param)
+                .ok_or_else(|| format!("unknown fault kind `{kind_name}`"))?;
+            faults.push(stage, invocation, kind);
+        }
+        Ok(Self { seed, case, faults })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_round_trips() {
+        let mut faults = FaultPlan::new();
+        faults.push("map", 0, FaultKind::NanPoison);
+        faults.push("legalize", 1, FaultKind::Latency(25));
+        faults.push("sta", 0, FaultKind::CloseWorkers(3));
+        let replay = Replay { seed: 0x1117_f1ce, case: 42, faults };
+        let text = replay.to_json();
+        let back = Replay::from_json(&text).unwrap();
+        assert_eq!(replay, back);
+        // Random plans round-trip too, across both benign and harsh.
+        for seed in 0..32u64 {
+            let replay =
+                Replay { seed, case: seed * 7, faults: FaultPlan::random(seed, seed % 2 == 0) };
+            assert_eq!(Replay::from_json(&replay.to_json()).unwrap(), replay);
+        }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_input() {
+        assert!(Replay::from_json("{}").is_err());
+        assert!(Replay::from_json("not json").is_err());
+        let bad_kind = "{\"seed\":\"0x1\",\"case\":0,\"faults\":[{\"stage\":\"map\",\
+                        \"invocation\":0,\"kind\":\"warp-core-breach\",\"param\":0}]}";
+        assert!(Replay::from_json(bad_kind).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Smoke-test checkpoint/resume through the lily-check CLI: run a flow
+# to completion, run the same flow again but kill it right after the
+# `map` stage is checkpointed, resume from the checkpoint directory,
+# and require the resumed run's FlowMetrics JSON to be byte-identical
+# to the uninterrupted run's — modulo per-stage wall times (and the
+# speedup fields derived from them), which honestly differ between a
+# measured and a restored stage.
+#
+# Usage: tools/chaos_smoke.sh [path-to-lily-check]
+# (defaults to `cargo run --release --bin lily-check --`).
+# LILY_THREADS is honored, so CI can sweep thread counts.
+#
+# Exit: 0 clean, 1 mismatch or wrong exit code, 2 setup error.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+if [ "$#" -ge 1 ]; then
+    BIN="$1"
+else
+    cargo build --release --quiet --bin lily-check
+    BIN=target/release/lily-check
+fi
+
+circuit="${CHAOS_CIRCUIT:-misex1}"
+flow="${CHAOS_FLOW:-lily-area}"
+
+# 1. The reference: one uninterrupted run (itself checkpointed, which
+#    must not change anything).
+"$BIN" --circuit "$circuit" --flow "$flow" \
+    --checkpoint-dir "$work/full" --metrics-json "$work/full.json" >/dev/null
+
+# 2. Kill a fresh run right after `map` is checkpointed; exit code 3
+#    is the deliberate-interrupt contract.
+status=0
+"$BIN" --circuit "$circuit" --flow "$flow" \
+    --checkpoint-dir "$work/resumed" --kill-after map >/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "chaos_smoke: --kill-after map exited $status, expected 3" >&2
+    exit 1
+fi
+for artifact in 00-decompose 03-map; do
+    if [ ! -f "$work/resumed/$artifact.json" ]; then
+        echo "chaos_smoke: interrupted run left no $artifact.json checkpoint" >&2
+        exit 1
+    fi
+done
+
+# 3. Resume from the checkpoint; the flow must pick up after `map`
+#    and finish clean.
+"$BIN" --circuit "$circuit" --flow "$flow" \
+    --checkpoint-dir "$work/resumed" --metrics-json "$work/resumed.json" >/dev/null
+
+# 4. Bit-identical modulo wall times: strip the only honestly
+#    nondeterministic fields and diff the rest byte-for-byte.
+strip_walltimes() {
+    sed -e 's/"wall_ns":[0-9]*/"wall_ns":_/g' \
+        -e 's/"speedup":[0-9.eE+-]*/"speedup":_/g' "$1"
+}
+strip_walltimes "$work/full.json" > "$work/full.stripped"
+strip_walltimes "$work/resumed.json" > "$work/resumed.stripped"
+if ! cmp -s "$work/full.stripped" "$work/resumed.stripped"; then
+    echo "chaos_smoke: resumed metrics differ from the uninterrupted run:" >&2
+    diff "$work/full.stripped" "$work/resumed.stripped" >&2 || true
+    exit 1
+fi
+
+echo "chaos_smoke: kill-after-map resume is bit-identical modulo wall times"
