@@ -45,6 +45,34 @@ impl fmt::Display for LibraryError {
 
 impl Error for LibraryError {}
 
+/// Why a [`MappedNetwork`](crate::MappedNetwork) failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappedError {
+    /// A cell's fanin count disagrees with its gate's pin count.
+    FaninMismatch {
+        /// Index of the offending cell.
+        cell: usize,
+        /// Name of the gate the cell instantiates.
+        gate: String,
+        /// Fanins the cell actually has.
+        have: usize,
+        /// Pins the gate wants.
+        want: usize,
+    },
+}
+
+impl fmt::Display for MappedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FaninMismatch { cell, gate, have, want } => {
+                write!(f, "cell {cell} ({gate}) has {have} fanins, gate wants {want}")
+            }
+        }
+    }
+}
+
+impl Error for MappedError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ use crate::kinds::GateKind;
 use crate::library::Library;
 use crate::pattern::{PatternGraph, PatternNode};
 use crate::technology::Technology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -71,7 +71,7 @@ impl Expr {
         }
     }
 
-    fn to_pattern(&self, pin_of: &HashMap<String, usize>) -> PatternNode {
+    fn to_pattern(&self, pin_of: &BTreeMap<String, usize>) -> PatternNode {
         match self {
             Expr::Var(v) => PatternNode::Leaf(pin_of[v]),
             Expr::Not(a) => PatternNode::inv(a.to_pattern(pin_of)),
@@ -341,7 +341,7 @@ pub fn parse(text: &str, name: &str, tech: Technology) -> Result<Library, ParseG
         if var_order.is_empty() {
             return Err(t.err(format!("gate `{gname}` has no inputs")));
         }
-        let pin_of: HashMap<String, usize> =
+        let pin_of: BTreeMap<String, usize> =
             var_order.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
 
         let spec_for = |pin: &str| -> Option<&PinSpec> {

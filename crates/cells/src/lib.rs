@@ -32,7 +32,7 @@ pub mod pattern;
 pub mod technology;
 pub mod verilog;
 
-pub use error::LibraryError;
+pub use error::{LibraryError, MappedError};
 pub use gate::{DelayParams, Gate, GateId, Pin};
 pub use kinds::GateKind;
 pub use library::Library;

@@ -11,7 +11,7 @@ use crate::error::LibraryError;
 use crate::gate::{Gate, GateId};
 use crate::kinds::GateKind;
 use crate::technology::Technology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A technology-mapping target library.
 ///
@@ -26,7 +26,7 @@ use std::collections::HashMap;
 pub struct Library {
     name: String,
     gates: Vec<Gate>,
-    by_name: HashMap<String, GateId>,
+    by_name: BTreeMap<String, GateId>,
     inverter: GateId,
     technology: Technology,
 }
@@ -78,7 +78,7 @@ impl Library {
         gates: Vec<Gate>,
         technology: Technology,
     ) -> Result<Self, LibraryError> {
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let mut inverter = None;
         for (i, gate) in gates.iter().enumerate() {
             validate_gate(gate)?;

@@ -1,6 +1,7 @@
 //! Mapped networks: the output of technology mapping — library cells
 //! wired together, each with a layout position.
 
+use crate::error::MappedError;
 use crate::gate::GateId;
 use crate::library::Library;
 use lily_netlist::sim::{simulate_subject64, XorShift64};
@@ -267,16 +268,20 @@ impl MappedNetwork {
     }
 
     /// Checks that every cell's fanin count matches its gate's pin count.
-    pub fn validate(&self, lib: &Library) -> Result<(), String> {
+    ///
+    /// # Errors
+    ///
+    /// [`MappedError::FaninMismatch`] naming the first offending cell.
+    pub fn validate(&self, lib: &Library) -> Result<(), MappedError> {
         for (i, c) in self.cells.iter().enumerate() {
             let gate = lib.gate(c.gate);
             if c.fanins.len() != gate.fanin() {
-                return Err(format!(
-                    "cell {i} ({}) has {} fanins, gate wants {}",
-                    gate.name(),
-                    c.fanins.len(),
-                    gate.fanin()
-                ));
+                return Err(MappedError::FaninMismatch {
+                    cell: i,
+                    gate: gate.name().to_string(),
+                    have: c.fanins.len(),
+                    want: gate.fanin(),
+                });
             }
         }
         Ok(())

@@ -161,7 +161,7 @@ pub fn check_mapped(mapped: &MappedNetwork, lib: &Library) -> Report {
 
     // MAP004: cover legality — each used gate must be reachable by
     // pattern matching, and its patterns must compute its function.
-    let mut checked = std::collections::HashSet::new();
+    let mut checked = std::collections::BTreeSet::new();
     for (ci, cell) in mapped.cells().iter().enumerate() {
         if !checked.insert(cell.gate.index()) {
             continue;

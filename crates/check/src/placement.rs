@@ -93,7 +93,7 @@ pub fn check_placement(mapped: &MappedNetwork, lib: &Library, core: Rect) -> Rep
 
     // PL002: no overlap within a row. Legalized cells in one row share an
     // exact y coordinate, so rows are grouped by the bit pattern of y.
-    let mut rows: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    let mut rows: std::collections::BTreeMap<u64, Vec<usize>> = std::collections::BTreeMap::new();
     for (ci, cell) in mapped.cells().iter().enumerate() {
         rows.entry(cell.position.1.to_bits()).or_default().push(ci);
     }

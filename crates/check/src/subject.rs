@@ -173,7 +173,7 @@ pub fn check_subject(g: &SubjectGraph) -> Report {
     }
 
     // SG007: structural-hash leaks (warning).
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for (i, kind) in g.kinds().iter().enumerate() {
         match *kind {
             SubjectKind::Nand2(a, b) => {

@@ -783,7 +783,7 @@ impl CheckpointDir {
         };
         let restored = fs::read_to_string(self.dir.join(&entry.file))
             .map_err(|e| e.to_string())
-            .and_then(|text| Json::parse(&text))
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
             .and_then(|v| decode(&v))
             .and_then(|artifact| {
                 let unit = intern(&UNITS, &entry.unit)?;

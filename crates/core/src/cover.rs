@@ -201,6 +201,7 @@ impl<'a> Engine<'a> {
     /// # Panics
     ///
     /// Panics when called on an unmapped internal node.
+    // lily-lint: allow(LL04) -- engine-misuse guard: covers commit bottom-up, so an unmapped node here is a mapper bug, not a recoverable failure
     pub fn signal_of(&self, v: SubjectNodeId) -> SignalSource {
         match self.g.kind(v) {
             SubjectKind::Input(pi) => SignalSource::Input(pi),
@@ -215,6 +216,7 @@ impl<'a> Engine<'a> {
     /// # Panics
     ///
     /// Panics if a needed node has no DP solution (engine misuse).
+    // lily-lint: allow(LL04) -- engine-misuse guard: the DP pass always solves nodes before commit, so there is no caller-facing failure to surface
     pub fn commit(
         &mut self,
         v: SubjectNodeId,

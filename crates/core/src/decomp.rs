@@ -29,6 +29,7 @@ use lily_place::Point;
 /// # Panics
 ///
 /// Panics if `input_positions.len()` differs from the input count.
+// lily-lint: allow(LL04) -- dimension precondition asserted up front; the rebuild's unwraps hold by construction, a try twin would have no error path
 pub fn reorder_fanins_by_proximity(net: &Network, input_positions: &[Point]) -> Network {
     assert_eq!(input_positions.len(), net.input_count(), "one position per primary input required");
     // Estimated position per node.

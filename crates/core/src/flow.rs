@@ -469,7 +469,7 @@ impl std::fmt::Display for Degradation {
 /// metric is zero.
 pub(crate) fn trivial_result(g: Arc<SubjectGraph>, ctx: FlowContext<'_>) -> FlowResult {
     let mut mapped = MappedNetwork::new(g.name(), g.input_names().to_vec());
-    let input_of: std::collections::HashMap<usize, usize> = g
+    let input_of: std::collections::BTreeMap<usize, usize> = g
         .inputs()
         .iter()
         .enumerate()

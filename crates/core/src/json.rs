@@ -135,6 +135,23 @@ pub fn f64_from_hex(s: &str) -> Option<f64> {
     u64::from_str_radix(s, 16).ok().map(f64::from_bits)
 }
 
+/// Why a JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the defect in the input.
+    pub offset: usize,
+    /// What was wrong at that offset.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A parsed JSON value.
 ///
 /// Numbers keep their raw token and parse on access ([`Json::as_u64`] /
@@ -160,15 +177,15 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// A human-readable message with the byte offset of the defect.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// A [`JsonError`] carrying the byte offset of the defect.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut p = Parser { bytes, pos: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
         if p.pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
+            return Err(p.err("trailing garbage"));
         }
         Ok(v)
     }
@@ -241,6 +258,10 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, message: message.into() }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -255,25 +276,25 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn consume(&mut self, b: u8) -> Result<(), String> {
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            Err(self.err(format!("expected `{}`", b as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(self.err("bad literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -282,11 +303,11 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.num(),
-            _ => Err(format!("unexpected byte {}", self.pos)),
+            _ => Err(self.err("unexpected byte")),
         }
     }
 
-    fn num(&mut self) -> Result<Json, String> {
+    fn num(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -298,25 +319,25 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| format!("bad number at byte {start}"))?;
+            .map_err(|_| JsonError { offset: start, message: "bad number".to_string() })?;
         // Validate by parsing once; the token is kept raw.
-        raw.parse::<f64>().map_err(|_| format!("bad number `{raw}` at byte {start}"))?;
+        raw.parse::<f64>()
+            .map_err(|_| JsonError { offset: start, message: format!("bad number `{raw}`") })?;
         Ok(Json::Num(raw.to_string()))
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, JsonError> {
         let s = self
             .bytes
             .get(self.pos..self.pos + 4)
             .and_then(|w| std::str::from_utf8(w).ok())
-            .ok_or(format!("bad \\u escape at byte {}", self.pos))?;
-        let v = u32::from_str_radix(s, 16)
-            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
         self.pos += 4;
         Ok(v)
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.consume(b'"')?;
         let mut out = String::new();
         loop {
@@ -326,10 +347,9 @@ impl Parser<'_> {
             while self.peek().is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20) {
                 self.pos += 1;
             }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
-            );
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
+                JsonError { offset: start, message: "invalid UTF-8 in string".to_string() }
+            })?);
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -337,7 +357,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape".to_string())?;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -354,7 +374,7 @@ impl Parser<'_> {
                                 // Surrogate pair: a low surrogate must
                                 // follow as another \u escape.
                                 if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
-                                    return Err(format!("lone surrogate at byte {}", self.pos));
+                                    return Err(self.err("lone surrogate"));
                                 }
                                 self.pos += 2;
                                 let lo = self.hex4()?;
@@ -363,21 +383,20 @@ impl Parser<'_> {
                                 hi
                             };
                             out.push(
-                                char::from_u32(code)
-                                    .ok_or(format!("bad code point at byte {}", self.pos))?,
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?,
                             );
                         }
                         other => {
-                            return Err(format!("bad escape `\\{}`", other as char));
+                            return Err(self.err(format!("bad escape `\\{}`", other as char)));
                         }
                     }
                 }
-                _ => return Err("unterminated string".to_string()),
+                _ => return Err(self.err("unterminated string")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -395,12 +414,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.consume(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -422,7 +441,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(fields));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }

@@ -1,0 +1,119 @@
+//! The checked-in budget allowlist (`tools/lint_allowlist.txt`).
+//!
+//! Each line grants one file a per-rule budget — today only `LL03`
+//! (panic sites) is budgeted. Files absent from the list have budget
+//! zero. The list can only shrink: an entry whose budget exceeds the
+//! file's actual count, or that names a file which no longer exists, is
+//! itself a finding (LL08), so removing a panic site forces the budget
+//! down in the same change.
+
+use crate::diag::RuleCode;
+
+/// One `<path> <code> <budget>` grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The budgeted rule.
+    pub code: RuleCode,
+    /// Sites allowed in this file.
+    pub budget: usize,
+}
+
+/// A malformed allowlist line (reported as LL08).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line of the malformed entry.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Parses allowlist text. Comments (`#`) and blank lines are skipped.
+pub fn parse(text: &str) -> (Vec<AllowEntry>, Vec<AllowlistError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 3 {
+            errors.push(AllowlistError {
+                line,
+                message: format!(
+                    "expected `<path> <code> <budget>`, got {} field(s)",
+                    fields.len()
+                ),
+            });
+            continue;
+        }
+        let Some(code) = RuleCode::parse(fields[1]) else {
+            errors.push(AllowlistError {
+                line,
+                message: format!("unknown rule code `{}`", fields[1]),
+            });
+            continue;
+        };
+        if code != RuleCode::Ll03 {
+            errors.push(AllowlistError {
+                line,
+                message: format!("only LL03 budgets are supported, got {code}"),
+            });
+            continue;
+        }
+        let Ok(budget) = fields[2].parse::<usize>() else {
+            errors.push(AllowlistError {
+                line,
+                message: format!("budget `{}` is not a number", fields[2]),
+            });
+            continue;
+        };
+        if budget == 0 {
+            errors.push(AllowlistError {
+                line,
+                message: "a zero budget is the default; drop the entry".to_string(),
+            });
+            continue;
+        }
+        entries.push(AllowEntry { line, path: fields[0].to_string(), code, budget });
+    }
+    (entries, errors)
+}
+
+/// The budget granted to `path` for `code` (0 when unlisted).
+pub fn budget_for(entries: &[AllowEntry], path: &str, code: RuleCode) -> usize {
+    entries.iter().find(|e| e.path == path && e.code == code).map_or(0, |e| e.budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let (entries, errors) =
+            parse("# header\n\ncrates/a/src/lib.rs LL03 4\ncrates/b/src/x.rs LL03 1\n");
+        assert!(errors.is_empty());
+        assert_eq!(entries.len(), 2);
+        assert_eq!(budget_for(&entries, "crates/a/src/lib.rs", RuleCode::Ll03), 4);
+        assert_eq!(budget_for(&entries, "crates/z/src/lib.rs", RuleCode::Ll03), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let (entries, errors) =
+            parse("a.rs LL03\nb.rs LLxx 3\nc.rs LL01 3\nd.rs LL03 many\ne.rs LL03 0\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 5);
+        assert!(errors[0].message.contains("field"));
+        assert!(errors[1].message.contains("unknown rule code"));
+        assert!(errors[2].message.contains("only LL03"));
+        assert!(errors[3].message.contains("not a number"));
+        assert!(errors[4].message.contains("zero budget"));
+    }
+}

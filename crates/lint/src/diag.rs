@@ -1,0 +1,254 @@
+//! Rule codes, findings, and the lint report with its human and JSON
+//! renderings.
+
+use std::fmt;
+
+use lily_core::json::{self, JsonObject};
+
+/// Every rule `lily-lint` can fire. Codes are stable; the catalogue
+/// with rationale lives in DESIGN.md §13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    /// `HashMap`/`HashSet` in library code: iteration order is
+    /// randomized per process and breaks byte-identical output.
+    Ll01,
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) outside the
+    /// sanctioned metrics/fault/bench modules.
+    Ll02,
+    /// Panic-site count of a file exceeds its allowlist budget.
+    Ll03,
+    /// A documented-panicking public wrapper lacks a `try_*` twin.
+    Ll04,
+    /// `unsafe` in library code.
+    Ll05,
+    /// A public API returns `Result<_, String>` instead of a typed
+    /// error.
+    Ll06,
+    /// A `Cargo.toml` declares a dependency outside the workspace.
+    Ll07,
+    /// A suppression is unused, unjustified, or an allowlist entry is
+    /// stale.
+    Ll08,
+}
+
+/// All rule codes, in report order.
+pub const ALL_RULES: [RuleCode; 8] = [
+    RuleCode::Ll01,
+    RuleCode::Ll02,
+    RuleCode::Ll03,
+    RuleCode::Ll04,
+    RuleCode::Ll05,
+    RuleCode::Ll06,
+    RuleCode::Ll07,
+    RuleCode::Ll08,
+];
+
+impl RuleCode {
+    /// The printable code, e.g. `LL01`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleCode::Ll01 => "LL01",
+            RuleCode::Ll02 => "LL02",
+            RuleCode::Ll03 => "LL03",
+            RuleCode::Ll04 => "LL04",
+            RuleCode::Ll05 => "LL05",
+            RuleCode::Ll06 => "LL06",
+            RuleCode::Ll07 => "LL07",
+            RuleCode::Ll08 => "LL08",
+        }
+    }
+
+    /// The rule's short name, matching DESIGN.md §13.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleCode::Ll01 => "nondeterministic-iteration",
+            RuleCode::Ll02 => "wall-clock-in-pure-code",
+            RuleCode::Ll03 => "panic-budget-exceeded",
+            RuleCode::Ll04 => "panicking-wrapper-without-try-twin",
+            RuleCode::Ll05 => "unsafe-forbidden",
+            RuleCode::Ll06 => "stringly-typed-error",
+            RuleCode::Ll07 => "external-dependency",
+            RuleCode::Ll08 => "suppression-hygiene",
+        }
+    }
+
+    /// Parses `LL01`..`LL08` (case-insensitive).
+    pub fn parse(s: &str) -> Option<RuleCode> {
+        ALL_RULES.iter().copied().find(|c| c.as_str().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// Whether an inline `lily-lint: allow(..)` may silence this rule.
+    /// LL03 budgets live in the checked-in allowlist, and LL08 guards
+    /// the suppression mechanism itself — neither can be waved off
+    /// inline.
+    pub fn suppressible(self) -> bool {
+        !matches!(self, RuleCode::Ll03 | RuleCode::Ll08)
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub code: RuleCode,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: usize,
+    /// What is wrong at this site.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {} [{} {}]", self.path, self.message, self.code, self.code.name())
+        } else {
+            write!(
+                f,
+                "{}:{}: {} [{} {}]",
+                self.path,
+                self.line,
+                self.message,
+                self.code,
+                self.code.name()
+            )
+        }
+    }
+}
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Violations, sorted by (path, line, code).
+    pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of `Cargo.toml` manifests scanned.
+    pub manifests_scanned: usize,
+    /// Findings silenced by a justified inline suppression.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings into the canonical (path, line, code) order.
+    pub fn normalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code))
+        });
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: RuleCode) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.code == code)
+    }
+
+    /// The human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lily-lint: {} finding(s) in {} files + {} manifests ({} suppressed)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.manifests_scanned,
+            self.suppressed
+        ));
+        out
+    }
+
+    /// The machine-readable report (stable field order, `core::json`).
+    pub fn render_json(&self) -> String {
+        let findings = json::array(self.findings.iter().map(|f| {
+            JsonObject::new()
+                .string("code", f.code.as_str())
+                .string("rule", f.code.name())
+                .string("path", &f.path)
+                .uint("line", f.line as u64)
+                .string("message", &f.message)
+                .finish()
+        }));
+        let mut counts = JsonObject::new();
+        for code in ALL_RULES {
+            counts = counts.uint(code.as_str(), self.with_code(code).count() as u64);
+        }
+        JsonObject::new()
+            .uint("version", 1)
+            .raw("clean", if self.is_clean() { "true" } else { "false" })
+            .uint("files_scanned", self.files_scanned as u64)
+            .uint("manifests_scanned", self.manifests_scanned as u64)
+            .uint("suppressed", self.suppressed as u64)
+            .raw("counts", &counts.finish())
+            .raw("findings", &findings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_core::json::Json;
+
+    #[test]
+    fn codes_round_trip_and_are_distinct() {
+        let mut seen: Vec<&str> = ALL_RULES.iter().map(|c| c.as_str()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ALL_RULES.len());
+        for c in ALL_RULES {
+            assert_eq!(RuleCode::parse(c.as_str()), Some(c));
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(RuleCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let mut r = LintReport {
+            findings: vec![Finding {
+                code: RuleCode::Ll01,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "HashMap in library code".into(),
+            }],
+            files_scanned: 10,
+            manifests_scanned: 2,
+            suppressed: 1,
+        };
+        r.normalize();
+        let v = Json::parse(&r.render_json()).expect("valid json");
+        assert_eq!(v.get("clean").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("files_scanned").and_then(Json::as_u64), Some(10));
+        let findings = v.get("findings").and_then(Json::as_array).expect("array");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("code").and_then(Json::as_str), Some("LL01"));
+        let counts = v.get("counts").expect("counts");
+        assert_eq!(counts.get("LL01").and_then(Json::as_u64), Some(1));
+        assert_eq!(counts.get("LL05").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn display_includes_code_and_location() {
+        let f = Finding {
+            code: RuleCode::Ll05,
+            path: "a.rs".into(),
+            line: 7,
+            message: "unsafe block".into(),
+        };
+        assert_eq!(f.to_string(), "a.rs:7: unsafe block [LL05 unsafe-forbidden]");
+    }
+}

@@ -1,0 +1,498 @@
+//! A lightweight Rust lexer producing a *masked* view of a source file:
+//! the text with every string/char literal and comment blanked out, a
+//! per-line map of `#[cfg(test)]`-gated regions, and the comment stream
+//! (for suppression directives and `# Panics` doc sections).
+//!
+//! The lexer exists because token counting with line-oriented regexes is
+//! wrong in exactly the ways that matter for a contract checker: a
+//! `panic!` inside a string literal is not a panic site, a `HashMap` in
+//! a doc example is not a determinism hazard, and a `#[cfg(test)]`
+//! module in the *middle* of a file does not exempt the library code
+//! after it. It is not a full Rust lexer — it only needs to classify
+//! every byte as code, literal, or comment, and to bracket-match item
+//! bodies — but it handles the constructs that defeat the old awk
+//! script: escapes, raw strings with arbitrary `#` counts, byte/C
+//! strings, nested block comments, and char-literal vs lifetime
+//! ambiguity.
+
+/// One comment's text and position (line numbers are 1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: usize,
+    /// `true` when code precedes the comment on its line (a trailing
+    /// comment), `false` for a comment that owns the whole line.
+    pub trailing: bool,
+    /// The text after the comment marker (`//`, `///`, `/*`, ...),
+    /// joined with `\n` for multi-line block comments.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceModel {
+    /// Original lines (without trailing newlines).
+    pub lines: Vec<String>,
+    /// Lines with literal and comment interiors replaced by spaces.
+    /// Line count and per-line byte offsets match `lines`.
+    pub masked: Vec<String>,
+    /// Per-line flag: the line belongs to a `#[cfg(test)]`-gated item
+    /// (the attribute itself, any stacked attributes, and the item
+    /// body, wherever in the file it sits).
+    pub in_test: Vec<bool>,
+    /// Every comment in the file, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl SourceModel {
+    /// Lexes `text` into a masked model.
+    pub fn lex(text: &str) -> SourceModel {
+        let (masked_text, comments) = mask(text);
+        let lines: Vec<String> = split_lines(text);
+        let masked: Vec<String> = split_lines(&masked_text);
+        let in_test = test_regions(&masked);
+        SourceModel { lines, masked, in_test, comments }
+    }
+
+    /// Masked lines that are *library* code: not inside a
+    /// `#[cfg(test)]`-gated item. Yields `(1-based line, masked text)`.
+    pub fn library_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.masked
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.in_test[*i])
+            .map(|(i, l)| (i + 1, l.as_str()))
+    }
+}
+
+fn split_lines(text: &str) -> Vec<String> {
+    // `str::lines` drops a trailing empty line; keep the split stable
+    // by hand so `lines` and `masked` always agree in length.
+    let mut out: Vec<String> =
+        text.split('\n').map(|l| l.trim_end_matches('\r').to_string()).collect();
+    if out.last().is_some_and(String::is_empty) && text.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// Replaces literal and comment interiors with spaces (newlines are
+/// preserved so line structure survives) and collects comment text.
+fn mask(text: &str) -> (String, Vec<Comment>) {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes a blank for every masked byte, preserving newlines.
+    fn blank(out: &mut Vec<u8>, byte: u8, line: &mut usize) {
+        if byte == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also doc comments /// and //!).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut j = i + 2;
+            while j < b.len() && b[j] != b'\n' {
+                j += 1;
+            }
+            let text_slice = String::from_utf8_lossy(&b[i + 2..j]).into_owned();
+            comments.push(Comment { line: start_line, trailing, text: text_slice });
+            for &byte in &b[i..j] {
+                blank(&mut out, byte, &mut line);
+            }
+            i = j;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let inner_end = if depth == 0 { j - 2 } else { j };
+            let text_slice = String::from_utf8_lossy(&b[i + 2..inner_end]).into_owned();
+            comments.push(Comment { line: start_line, trailing, text: text_slice });
+            for &byte in &b[i..j] {
+                blank(&mut out, byte, &mut line);
+            }
+            i = j;
+            continue;
+        }
+        // Raw / byte / C string prefixes: r"", r#""#, b"", br#""#, c"", cr#""#.
+        if matches!(c, b'r' | b'b' | b'c') && !prev_is_ident(&out) {
+            if let Some(j) = raw_or_prefixed_string_end(b, i) {
+                for &byte in &b[i..j] {
+                    blank(&mut out, byte, &mut line);
+                }
+                line_has_code = true;
+                i = j;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j = (j + 2).min(b.len()),
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for &byte in &b[i..j] {
+                blank(&mut out, byte, &mut line);
+            }
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(j) = char_literal_end(b, i) {
+                for &byte in &b[i..j] {
+                    blank(&mut out, byte, &mut line);
+                }
+                line_has_code = true;
+                i = j;
+                continue;
+            }
+            // A lifetime: copy the quote through as code.
+        }
+        if c == b'\n' {
+            line += 1;
+            line_has_code = false;
+        } else if !c.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        out.push(c);
+        i += 1;
+    }
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+/// True when the last emitted code byte continues an identifier — in
+/// that case an `r`/`b`/`c` is part of a name, not a literal prefix.
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last().is_some_and(|&p| p.is_ascii_alphanumeric() || p == b'_')
+}
+
+/// If position `i` (at `r`/`b`/`c`) starts a raw/byte/C string or byte
+/// char literal, returns the index one past its end.
+fn raw_or_prefixed_string_end(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Consume a prefix of at most two letters: b, c, r, br, cr, rb is
+    // not legal but accepting it is harmless for masking purposes.
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(b'r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some(b'b') | Some(b'c') if !saw_r => j += 1,
+            _ => break,
+        }
+    }
+    // Byte char literal b'x'.
+    if j == i + 1 && b[i] == b'b' && b.get(j) == Some(&b'\'') {
+        return char_literal_end(b, j);
+    }
+    if saw_r {
+        // Raw string: zero or more '#' then '"'.
+        let mut hashes = 0usize;
+        while b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None;
+        }
+        j += 1;
+        // Scan for '"' followed by `hashes` '#'s.
+        while j < b.len() {
+            if b[j] == b'"'
+                && b[j + 1..].len() >= hashes
+                && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+            {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        }
+        return Some(b.len());
+    }
+    // Non-raw prefixed string: b"..." or c"...".
+    if j == i + 1 && b.get(j) == Some(&b'"') {
+        j += 1;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j = (j + 2).min(b.len()),
+                b'"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    None
+}
+
+/// If position `i` (at `'`) starts a char literal (not a lifetime),
+/// returns the index one past the closing quote.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: the escape pair occupies `i+1..i+3`; scan on
+        // from there to the closing quote.
+        let mut j = i + 3;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j = (j + 2).min(b.len()),
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // One scalar (possibly multi-byte UTF-8) then a closing quote is a
+    // char literal; anything else is a lifetime.
+    let mut j = i + 2;
+    while j < b.len() && (b[j] & 0xC0) == 0x80 {
+        j += 1; // continuation bytes of a multi-byte scalar
+    }
+    if next != b'\'' && b.get(j) == Some(&b'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+/// Computes the per-line `#[cfg(test)]` map over masked lines: the
+/// attribute line(s) and the entire gated item (to the matching `}` of
+/// its block, or the `;` of a body-less item) are test lines, wherever
+/// they appear in the file. An inner `#![cfg(test)]` marks the whole
+/// file.
+fn test_regions(masked: &[String]) -> Vec<bool> {
+    let joined: String = masked.join("\n");
+    let b = joined.as_bytes();
+    let mut in_test = vec![false; masked.len()];
+    if masked.is_empty() {
+        return in_test;
+    }
+    // Precompute byte offset -> line index.
+    let mut line_of = vec![0usize; b.len() + 1];
+    {
+        let mut line = 0usize;
+        for (k, &c) in b.iter().enumerate() {
+            line_of[k] = line;
+            if c == b'\n' {
+                line += 1;
+            }
+        }
+        line_of[b.len()] = line.min(masked.len().saturating_sub(1));
+    }
+
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        let inner = b.get(j) == Some(&b'!');
+        if inner {
+            j += 1;
+        }
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'[') {
+            i += 1;
+            continue;
+        }
+        // Read the bracketed attribute content.
+        let mut depth = 0usize;
+        let attr_start = j;
+        while j < b.len() {
+            match b[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr: String =
+            String::from_utf8_lossy(&b[attr_start..j]).split_whitespace().collect::<String>();
+        if !is_cfg_test_attr(&attr) {
+            i = j;
+            continue;
+        }
+        if inner {
+            in_test.iter_mut().for_each(|t| *t = true);
+            return in_test;
+        }
+        // Skip any further stacked attributes.
+        loop {
+            let mut k = j;
+            while k < b.len() && b[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if b.get(k) != Some(&b'#') {
+                break;
+            }
+            let mut d = 0usize;
+            let mut saw_open = false;
+            while k < b.len() {
+                match b[k] {
+                    b'[' => {
+                        d += 1;
+                        saw_open = true;
+                    }
+                    b']' if d > 0 => {
+                        d -= 1;
+                        if d == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if !saw_open {
+                break;
+            }
+            j = k;
+        }
+        // Skip the gated item: up to a `;` before any `{`, or through
+        // the matching `}` of the first `{`.
+        let mut brace = 0isize;
+        let mut opened = false;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    brace += 1;
+                    opened = true;
+                }
+                b'}' => {
+                    brace -= 1;
+                    if opened && brace == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                b';' if !opened => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end_line = line_of[j.min(b.len())];
+        for t in &mut in_test[line_of[start]..=end_line.min(masked.len() - 1)] {
+            *t = true;
+        }
+        i = j;
+    }
+    in_test
+}
+
+/// Whether a whitespace-stripped attribute body gates on `test`:
+/// `[cfg(test)]`, `[cfg(all(test,...))]`, `[cfg(any(...,test))]`.
+fn is_cfg_test_attr(attr: &str) -> bool {
+    let Some(body) = attr.strip_prefix("[cfg(").and_then(|s| s.strip_suffix(")]")) else {
+        return false;
+    };
+    // `test` as a standalone word of the cfg expression (string
+    // literals are already masked to spaces, then stripped above).
+    body.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).any(|w| w == "test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_string_and_char_literals() {
+        let m = SourceModel::lex("let s = \"panic!\"; let c = 'x'; let l: &'static str = s;");
+        assert!(!m.masked[0].contains("panic!"));
+        assert!(!m.masked[0].contains('x'));
+        assert!(m.masked[0].contains("'static"), "{}", m.masked[0]);
+    }
+
+    #[test]
+    fn masks_raw_and_prefixed_strings() {
+        let src = "let a = r#\"unwrap( \"# ; let b = b\"expect(\"; let c = br##\"x\"##;";
+        let m = SourceModel::lex(src);
+        assert!(!m.masked[0].contains("unwrap("));
+        assert!(!m.masked[0].contains("expect("));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_text() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}\n/// # Panics\nfn g() {}";
+        let m = SourceModel::lex(src);
+        assert!(m.masked[0].contains("fn f()"));
+        assert!(!m.masked[0].contains("outer"));
+        assert!(m.comments.iter().any(|c| c.text.contains("# Panics")));
+    }
+
+    #[test]
+    fn cfg_test_mid_file_resumes_library_code() {
+        let src = "fn lib1() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let m = SourceModel::lex(src);
+        assert_eq!(m.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_and_bodyless_items_are_gated() {
+        let src = "#[cfg(all(test, feature))]\nuse x::y;\nfn lib() {}\n";
+        let m = SourceModel::lex(src);
+        assert_eq!(m.in_test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_gated() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n}\nfn lib() {}\n";
+        let m = SourceModel::lex(src);
+        assert_eq!(m.in_test, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn trailing_comments_are_flagged() {
+        let m = SourceModel::lex("let x = 1; // trailing\n// own line\n");
+        assert!(m.comments[0].trailing);
+        assert!(!m.comments[1].trailing);
+    }
+}

@@ -1,0 +1,457 @@
+//! `lily-lint`: a dependency-free static analyzer for the workspace's
+//! own Rust source, enforcing the three load-bearing contracts the
+//! dynamic suites (goldens, fuzzing, chaos drills) can only sample:
+//!
+//! * **Determinism** — byte-identical output at any `LILY_THREADS`
+//!   (LL01 nondeterministic iteration, LL02 wall-clock reads).
+//! * **Panic-free library code** — per-file panic-site budgets that can
+//!   only shrink (LL03), and a `try_*` twin for every documented
+//!   panicking wrapper (LL04). LL05 keeps `unsafe` out entirely.
+//! * **Typed errors** — no `Result<_, String>` across public APIs
+//!   (LL06), and no external crates that could smuggle any of the above
+//!   in (LL07).
+//!
+//! Findings are silenced either by the checked-in budget allowlist
+//! (`tools/lint_allowlist.txt`) or by inline
+//! `lily-lint: allow(LLxx) -- reason` comments; LL08 audits the
+//! suppressions themselves (a directive must be justified and must
+//! actually suppress something), so the escape hatch can only shrink.
+//!
+//! The analysis is lexical by design — see [`lex`] — which keeps it
+//! fast (whole workspace in milliseconds), dependency-free, and honest
+//! about what it can see. The rule catalogue lives in DESIGN.md §13.
+
+pub mod allowlist;
+pub mod diag;
+pub mod lex;
+pub mod rules;
+pub mod suppress;
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diag::{Finding, LintReport, RuleCode};
+use lex::SourceModel;
+use suppress::Suppression;
+
+/// Workspace-relative path of the budget allowlist.
+pub const ALLOWLIST_PATH: &str = "tools/lint_allowlist.txt";
+
+/// Why a lint run could not complete (violations are *not* errors —
+/// they are the report's content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The root does not look like the lily workspace.
+    NotAWorkspace {
+        /// The root that was tried.
+        root: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            LintError::NotAWorkspace { root } => {
+                write!(f, "{root} has no crates/ directory (not the lily workspace?)")
+            }
+        }
+    }
+}
+
+impl Error for LintError {}
+
+/// Lints every crate source file and manifest under `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let files = collect_sources(root)?;
+    if files.is_empty() {
+        return Err(LintError::NotAWorkspace { root: root.display().to_string() });
+    }
+    let manifests = collect_manifests(root)?;
+    let allow_text = fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    let (entries, allow_errors) = allowlist::parse(&allow_text);
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        manifests_scanned: manifests.len(),
+        ..LintReport::default()
+    };
+
+    for e in &allow_errors {
+        report.findings.push(Finding {
+            code: RuleCode::Ll08,
+            path: ALLOWLIST_PATH.to_string(),
+            line: e.line,
+            message: e.message.clone(),
+        });
+    }
+
+    let mut counted: Vec<(String, usize)> = Vec::new();
+    for rel in &files {
+        let text = read_file(root, rel)?;
+        let model = SourceModel::lex(&text);
+        let outcome = lint_file(rel, &model, allowlist::budget_for(&entries, rel, RuleCode::Ll03));
+        counted.push((rel.clone(), outcome.panic_sites));
+        report.suppressed += outcome.suppressed;
+        report.findings.extend(outcome.findings);
+    }
+
+    // Allowlist hygiene: entries must track reality exactly.
+    for e in &entries {
+        match counted.iter().find(|(p, _)| p == &e.path) {
+            None => report.findings.push(Finding {
+                code: RuleCode::Ll08,
+                path: ALLOWLIST_PATH.to_string(),
+                line: e.line,
+                message: format!("stale allowlist entry: {} no longer exists", e.path),
+            }),
+            Some((_, n)) if *n < e.budget => report.findings.push(Finding {
+                code: RuleCode::Ll08,
+                path: ALLOWLIST_PATH.to_string(),
+                line: e.line,
+                message: format!(
+                    "stale budget for {}: {} allowed but only {} present — shrink it",
+                    e.path, e.budget, n
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    for rel in &manifests {
+        let text = read_file(root, rel)?;
+        report.findings.extend(lint_manifest(rel, &text));
+    }
+
+    report.normalize();
+    Ok(report)
+}
+
+/// Per-file panic-site counts over `root` (the `--print-counts` helper
+/// for regenerating the allowlist). Only files with at least one site
+/// are listed, in path order.
+pub fn panic_counts(root: &Path) -> Result<Vec<(String, usize)>, LintError> {
+    let files = collect_sources(root)?;
+    let mut out = Vec::new();
+    for rel in &files {
+        let text = read_file(root, rel)?;
+        let n = rules::panic_site_count(&SourceModel::lex(&text));
+        if n > 0 {
+            out.push((rel.clone(), n));
+        }
+    }
+    Ok(out)
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived suppression, unsorted.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by justified suppressions.
+    pub suppressed: usize,
+    /// The file's panic-site count (for allowlist hygiene).
+    pub panic_sites: usize,
+}
+
+/// Lints one in-memory source file under workspace-relative `path`,
+/// with an explicit LL03 `budget`. This is the fixture-test entry
+/// point; [`lint_workspace`] drives it for every real file.
+pub fn lint_file(path: &str, model: &SourceModel, budget: usize) -> FileOutcome {
+    let mut raw: Vec<Finding> = Vec::new();
+    raw.extend(rules::ll01(path, model));
+    raw.extend(rules::ll02(path, model));
+    raw.extend(rules::ll04(path, model));
+    raw.extend(rules::ll05(path, model));
+    raw.extend(rules::ll06(path, model));
+
+    // Suppressions living in test code are ignored along with the code
+    // they would cover.
+    let (all_sups, sup_errors) = suppress::parse(&model.comments);
+    let sups: Vec<Suppression> = all_sups
+        .into_iter()
+        .filter(|s| !model.in_test.get(s.line - 1).copied().unwrap_or(false))
+        .collect();
+
+    let mut used = vec![false; sups.len()];
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let hit = f.code.suppressible().then(|| {
+            sups.iter().enumerate().find(|(_, s)| s.reason.is_some() && s.covers(f.code, f.line))
+        });
+        match hit.flatten() {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // LL03: budget comparison.
+    let panic_sites = rules::panic_site_count(model);
+    if panic_sites > budget {
+        findings.push(Finding {
+            code: RuleCode::Ll03,
+            path: path.to_string(),
+            line: rules::panic_site_line(model, budget),
+            message: format!(
+                "{panic_sites} panic site(s) but the allowlist budget is {budget}; \
+                 return a structured error instead (DESIGN.md §9)"
+            ),
+        });
+    }
+
+    // LL08: suppression hygiene.
+    for e in &sup_errors {
+        if model.in_test.get(e.line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        findings.push(Finding {
+            code: RuleCode::Ll08,
+            path: path.to_string(),
+            line: e.line,
+            message: format!("malformed lily-lint directive: {}", e.message),
+        });
+    }
+    for (i, s) in sups.iter().enumerate() {
+        if let Some(bad) = s.codes.iter().find(|c| !c.suppressible()) {
+            findings.push(Finding {
+                code: RuleCode::Ll08,
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "{bad} cannot be suppressed inline (budgets live in {ALLOWLIST_PATH})"
+                ),
+            });
+            continue;
+        }
+        if s.reason.is_none() {
+            findings.push(Finding {
+                code: RuleCode::Ll08,
+                path: path.to_string(),
+                line: s.line,
+                message: "suppression without a `-- reason` justification".to_string(),
+            });
+        } else if !used[i] {
+            findings.push(Finding {
+                code: RuleCode::Ll08,
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "unused suppression for {}: nothing to allow here — remove it",
+                    codes_list(&s.codes)
+                ),
+            });
+        }
+    }
+
+    FileOutcome { findings, suppressed, panic_sites }
+}
+
+fn codes_list(codes: &[RuleCode]) -> String {
+    codes.iter().map(|c| c.as_str()).collect::<Vec<_>>().join(", ")
+}
+
+/// LL07 over one manifest: every dependency must be a `lily-*`
+/// workspace path dependency. The workspace builds with no network and
+/// no registry cache, and stays that way.
+pub fn lint_manifest(path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.starts_with('[') {
+            let section = trimmed.trim_matches(['[', ']']);
+            in_dep_section = section == "dependencies"
+                || section == "workspace.dependencies"
+                || section.ends_with("-dependencies")
+                || section.starts_with("dependencies.")
+                || section.contains(".dependencies");
+            // `[dependencies.name]` subsection: the name itself is the
+            // dependency; its body lines are attributes, not more deps.
+            if let Some(name) = section
+                .strip_prefix("workspace.dependencies.")
+                .or_else(|| section.strip_prefix("dependencies."))
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .or_else(|| section.strip_prefix("build-dependencies."))
+            {
+                if !is_workspace_dep(name) {
+                    out.push(external_dep(path, line, name));
+                }
+                in_dep_section = false;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some(eq) = raw.find('=') else { continue };
+        let key = raw[..eq].trim();
+        let name = key.split('.').next().unwrap_or(key).trim_matches('"');
+        if !is_workspace_dep(name) {
+            out.push(external_dep(path, line, name));
+        }
+    }
+    out
+}
+
+fn is_workspace_dep(name: &str) -> bool {
+    name.starts_with("lily-") || name.starts_with("lily_") || name == "lily"
+}
+
+fn external_dep(path: &str, line: usize, name: &str) -> Finding {
+    Finding {
+        code: RuleCode::Ll07,
+        path: path.to_string(),
+        line,
+        message: format!(
+            "external dependency `{name}`: the workspace is dependency-free by contract \
+             (builds must succeed with no network and no registry cache)"
+        ),
+    }
+}
+
+/// Collects workspace-relative source paths: `crates/*/src/**/*.rs`
+/// plus the facade's `src/**/*.rs`, sorted for deterministic reports.
+fn collect_sources(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in read_dir_sorted(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk_rs(&facade_src, &mut out)?;
+    }
+    let mut rel: Vec<String> = out.iter().map(|p| relative_to(root, p)).collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Collects manifests: the root `Cargo.toml` plus each crate's.
+fn collect_manifests(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut out = Vec::new();
+    if root.join("Cargo.toml").is_file() {
+        out.push("Cargo.toml".to_string());
+    }
+    for krate in read_dir_sorted(&root.join("crates"))? {
+        let m = krate.join("Cargo.toml");
+        if m.is_file() {
+            out.push(relative_to(root, &m));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            walk_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = fs::read_dir(dir)
+        .map_err(|e| LintError::Io { path: dir.display().to_string(), message: e.to_string() })?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn read_file(root: &Path, rel: &str) -> Result<String, LintError> {
+    fs::read_to_string(root.join(rel))
+        .map_err(|e| LintError::Io { path: rel.to_string(), message: e.to_string() })
+}
+
+fn relative_to(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_file_applies_suppressions_and_flags_unused() {
+        let src =
+            "use std::collections::HashMap; // lily-lint: allow(LL01) -- fixture lookup table\n\
+                   // lily-lint: allow(LL05) -- nothing unsafe here\n\
+                   fn f() {}\n";
+        let out = lint_file("crates/x/src/lib.rs", &SourceModel::lex(src), 0);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].code, RuleCode::Ll08);
+        assert!(out.findings[0].message.contains("unused suppression"));
+    }
+
+    #[test]
+    fn unjustified_suppression_does_not_suppress() {
+        let src = "use std::collections::HashMap; // lily-lint: allow(LL01)\n";
+        let out = lint_file("crates/x/src/lib.rs", &SourceModel::lex(src), 0);
+        let codes: Vec<RuleCode> = out.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&RuleCode::Ll01), "{:?}", out.findings);
+        assert!(codes.contains(&RuleCode::Ll08), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn ll03_budget_and_inline_ban() {
+        let src = "fn f() { x.unwrap(); } // lily-lint: allow(LL03) -- please\n";
+        let out = lint_file("crates/x/src/lib.rs", &SourceModel::lex(src), 0);
+        let codes: Vec<RuleCode> = out.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&RuleCode::Ll03));
+        assert!(codes.contains(&RuleCode::Ll08));
+        let ok = lint_file("crates/x/src/lib.rs", &SourceModel::lex("fn f() { x.unwrap(); }\n"), 1);
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn manifest_rule_allows_workspace_path_deps_only() {
+        let good = "[dependencies]\nlily-core.workspace = true\n\n[lints]\nworkspace = true\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", good).is_empty());
+        let bad = "[dependencies]\nserde = \"1\"\nlily-core.workspace = true\n\n\
+                   [dev-dependencies]\nrand = { version = \"0.8\" }\n";
+        let f = lint_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("serde"));
+        assert!(f[1].message.contains("rand"));
+    }
+
+    #[test]
+    fn manifest_rule_ignores_non_dependency_sections() {
+        let text = "[package]\nname = \"x\"\nedition = \"2021\"\n\n\
+                    [workspace.lints.rust]\nunsafe_code = \"deny\"\n\n\
+                    [features]\ndefault = []\n";
+        assert!(lint_manifest("Cargo.toml", text).is_empty());
+    }
+}

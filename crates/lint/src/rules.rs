@@ -1,0 +1,486 @@
+//! The rule implementations (LL01–LL07) over one lexed source file.
+//!
+//! Workspace-level concerns — LL03 budget comparison, LL07 manifest
+//! scanning, LL08 suppression hygiene — live in `lib.rs`; this module
+//! only turns one [`SourceModel`] into raw findings and token counts.
+
+use crate::diag::{Finding, RuleCode};
+use crate::lex::SourceModel;
+
+/// Paths (prefix-matched) where wall-clock reads are sanctioned, with
+/// the justification the rule prints when someone asks. Everything else
+/// must stay wall-clock-free so identical inputs produce identical
+/// artifacts.
+pub const WALL_CLOCK_SANCTIONED: &[(&str, &str)] = &[
+    ("crates/bench/", "the benchmark harness exists to measure wall time"),
+    ("crates/fault/", "deadline and cancellation machinery owns the sanctioned clock"),
+    (
+        "crates/core/src/stage/context.rs",
+        "per-stage wall-time metrics are an explicitly observable effect",
+    ),
+];
+
+/// Tokens counted as panic sites (LL03). `.unwrap_or(`-style methods do
+/// not match `.unwrap(` because the open paren must follow directly.
+pub const PANIC_TOKENS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+/// Whether `path` is a binary entry point (CLI glue): exempt from the
+/// wall-clock rule, since printing elapsed time is what CLIs do.
+pub fn is_bin(path: &str) -> bool {
+    path.contains("/bin/") || path.ends_with("/main.rs")
+}
+
+/// The sanction reason for wall-clock reads in `path`, if any.
+pub fn wall_clock_sanction(path: &str) -> Option<&'static str> {
+    WALL_CLOCK_SANCTIONED
+        .iter()
+        .find(|(prefix, _)| path.starts_with(prefix))
+        .map(|&(_, reason)| reason)
+}
+
+/// Byte offsets of word-bounded occurrences of `tok` in `hay`: the
+/// characters adjacent to the match must not extend an identifier.
+fn token_offsets(hay: &str, tok: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let tb = tok.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(tok) {
+        let at = from + rel;
+        // A boundary is only required on sides where the token itself
+        // is identifier-like (`.unwrap(` already self-delimits).
+        let before_ok =
+            !tb.first().is_some_and(|&b| is_ident_byte(b)) || at == 0 || !is_ident_byte(hb[at - 1]);
+        let after = at + tok.len();
+        let after_ok = !tb.last().is_some_and(|&b| is_ident_byte(b))
+            || after >= hb.len()
+            || !is_ident_byte(hb[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + tok.len().max(1);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// LL01: `HashMap`/`HashSet` in library code. Even lookup-only use is
+/// one refactor away from order-sensitive iteration, so the workspace
+/// standardizes on `BTreeMap`/`BTreeSet`.
+pub fn ll01(path: &str, model: &SourceModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (line, text) in model.library_lines() {
+        for tok in ["HashMap", "HashSet"] {
+            for _ in token_offsets(text, tok) {
+                out.push(Finding {
+                    code: RuleCode::Ll01,
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "`{tok}` in library code: iteration order is randomized per process; \
+                         use BTreeMap/BTreeSet or a sorted Vec"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// LL02: wall-clock reads outside the sanctioned modules. Pure stages
+/// must be a function of their inputs only — a wall-clock read is how
+/// "deterministic at any thread count" quietly stops being true.
+pub fn ll02(path: &str, model: &SourceModel) -> Vec<Finding> {
+    if is_bin(path) || wall_clock_sanction(path).is_some() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (line, text) in model.library_lines() {
+        for tok in ["Instant::now", "SystemTime"] {
+            for _ in token_offsets(text, tok) {
+                out.push(Finding {
+                    code: RuleCode::Ll02,
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "`{tok}` outside the sanctioned metrics/fault/bench modules; \
+                         thread elapsed time in explicitly, or move the read to a sanctioned layer"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// LL03 support: the file's panic-site count over library lines.
+pub fn panic_site_count(model: &SourceModel) -> usize {
+    model
+        .library_lines()
+        .map(|(_, text)| {
+            PANIC_TOKENS.iter().map(|tok| token_offsets(text, tok).len()).sum::<usize>()
+        })
+        .sum()
+}
+
+/// LL03 support: the 1-based line of the first panic site past `budget`
+/// (for pointing the finding at the newest excess site).
+pub fn panic_site_line(model: &SourceModel, budget: usize) -> usize {
+    let mut seen = 0usize;
+    for (line, text) in model.library_lines() {
+        let here: usize = PANIC_TOKENS.iter().map(|tok| token_offsets(text, tok).len()).sum();
+        if seen + here > budget {
+            return line;
+        }
+        seen += here;
+    }
+    0
+}
+
+/// LL04: a documented-panicking public wrapper (a `# Panics` doc
+/// section plus an `.unwrap(`/`.expect(` in the body) must have a
+/// fallible `try_*` twin in the same file, so callers always have a
+/// structured-error path.
+pub fn ll04(path: &str, model: &SourceModel) -> Vec<Finding> {
+    let joined = model.masked.join("\n");
+    let mut out = Vec::new();
+    for f in fn_items(model) {
+        if model.in_test[f.line - 1] || f.name.starts_with("try_") {
+            continue;
+        }
+        if !f.is_pub || !doc_text(model, f.line).contains("# Panics") {
+            continue;
+        }
+        let body = body_of(&joined, f.line, &model.masked);
+        let wrapper_shaped = !token_offsets(&body, ".unwrap(").is_empty()
+            || !token_offsets(&body, ".expect(").is_empty();
+        if !wrapper_shaped {
+            continue;
+        }
+        let twin = format!("fn try_{}", f.name);
+        if !joined.contains(&twin) {
+            out.push(Finding {
+                code: RuleCode::Ll04,
+                path: path.to_string(),
+                line: f.line,
+                message: format!(
+                    "`{}` documents `# Panics` and unwraps, but has no `try_{}` twin in this file",
+                    f.name, f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// LL05: `unsafe` in library code. The workspace lint already denies
+/// it; this closes the "one crate opts back in" hole.
+pub fn ll05(path: &str, model: &SourceModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (line, text) in model.library_lines() {
+        for _ in token_offsets(text, "unsafe") {
+            out.push(Finding {
+                code: RuleCode::Ll05,
+                path: path.to_string(),
+                line,
+                message: "`unsafe` is forbidden across the workspace".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// LL06: a public function returning `Result<_, String>`. Errors that
+/// cross an API boundary must be typed so the degradation ladder can
+/// classify them.
+pub fn ll06(path: &str, model: &SourceModel) -> Vec<Finding> {
+    if is_bin(path) {
+        return Vec::new();
+    }
+    let joined = model.masked.join("\n");
+    let mut out = Vec::new();
+    for f in fn_items(model) {
+        if model.in_test[f.line - 1] || !f.is_pub {
+            continue;
+        }
+        let sig = signature_of(&joined, f.line, &model.masked);
+        if result_error_type(&sig).as_deref() == Some("String") {
+            out.push(Finding {
+                code: RuleCode::Ll06,
+                path: path.to_string(),
+                line: f.line,
+                message: format!(
+                    "public `{}` returns `Result<_, String>`; use a typed error (DESIGN.md §9)",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// A function item found in masked source.
+struct FnItem {
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    /// The function's name.
+    name: String,
+    /// Declared `pub` or `pub(crate)`/`pub(super)`.
+    is_pub: bool,
+}
+
+/// Finds `fn` items line-by-line (assumes `fn name` share a line, which
+/// rustfmt guarantees here).
+fn fn_items(model: &SourceModel) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for (i, text) in model.masked.iter().enumerate() {
+        for at in token_offsets(text, "fn") {
+            let rest = &text[at + 2..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            let before = text[..at].trim_end();
+            let is_pub = before.ends_with("pub")
+                || (before.ends_with(')') && before.contains("pub("))
+                || before.ends_with("pub const")
+                || before.ends_with("const");
+            let is_pub = is_pub && before.contains("pub");
+            out.push(FnItem { line: i + 1, name, is_pub });
+            break; // one fn per line is enough for these rules
+        }
+    }
+    out
+}
+
+/// Joins lines from the `fn` line to the first `{` or top-level `;`.
+fn signature_of(joined: &str, line: usize, masked: &[String]) -> String {
+    let start = line_offset(masked, line);
+    let bytes = joined.as_bytes();
+    let mut j = start;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' | b';' => break,
+            _ => j += 1,
+        }
+    }
+    joined[start..j].to_string()
+}
+
+/// The masked body text of the fn starting at `line` (between its outer
+/// braces), or empty for a body-less item.
+fn body_of(joined: &str, line: usize, masked: &[String]) -> String {
+    let start = line_offset(masked, line);
+    let bytes = joined.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] == b';' {
+        return String::new();
+    }
+    let open = j;
+    let mut depth = 0isize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return joined[open + 1..j].to_string();
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    joined[open + 1..].to_string()
+}
+
+/// Byte offset of the start of 1-based `line` in the joined text.
+fn line_offset(masked: &[String], line: usize) -> usize {
+    masked[..line - 1].iter().map(|l| l.len() + 1).sum()
+}
+
+/// The doc-comment text immediately above `line` (skipping attribute
+/// and comment lines), joined.
+fn doc_text(model: &SourceModel, line: usize) -> String {
+    let mut first = line - 1; // 1-based line above the fn
+    while first > 0 {
+        let idx = first - 1;
+        let original = model.lines[idx].trim();
+        let masked = model.masked[idx].trim();
+        let is_comment = !original.is_empty() && masked.is_empty();
+        let is_attr = masked.starts_with('#');
+        if is_comment || is_attr {
+            first -= 1;
+        } else {
+            break;
+        }
+    }
+    model
+        .comments
+        .iter()
+        .filter(|c| c.line > first && c.line < line)
+        .map(|c| c.text.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Extracts the error type of a `-> Result<Ok, Err>` return from a
+/// whitespace-normalized signature, walking `<...>` depth so nested
+/// generics in the Ok type cannot confuse it.
+fn result_error_type(sig: &str) -> Option<String> {
+    let norm: String = sig.split_whitespace().collect::<Vec<_>>().join(" ");
+    // The return arrow is the last one: earlier arrows belong to
+    // closure parameters.
+    let arrow = norm.rfind("->")?;
+    let after = &norm[arrow + 2..];
+    let res = after.find("Result<")?;
+    let inner = &after[res + "Result<".len()..];
+    let mut depth = 0isize;
+    let mut comma = None;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth > 0 => depth -= 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                comma = Some(i);
+                break;
+            }
+            '>' => break,
+            _ => {}
+        }
+    }
+    let comma = comma?;
+    let rest = &inner[comma + 1..];
+    let mut depth = 0isize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if depth > 0 => depth -= 1,
+            ')' | ']' => depth -= 1,
+            '>' => return Some(rest[..i].trim().to_string()),
+            _ => {}
+        }
+    }
+    Some(rest.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> SourceModel {
+        SourceModel::lex(src)
+    }
+
+    #[test]
+    fn token_offsets_respect_word_boundaries() {
+        assert_eq!(token_offsets("unsafe_code unsafe", "unsafe"), vec![12]);
+        assert_eq!(token_offsets("debug_assert!(x); assert!(y)", "assert!"), vec![18]);
+        assert_eq!(token_offsets("x.unwrap_or(0); y.unwrap()", ".unwrap("), vec![17]);
+    }
+
+    #[test]
+    fn result_error_type_walks_generics() {
+        assert_eq!(
+            result_error_type("pub fn f() -> Result<(), String>").as_deref(),
+            Some("String")
+        );
+        assert_eq!(
+            result_error_type("pub fn f() -> Result<Vec<String>, PlaceError>").as_deref(),
+            Some("PlaceError")
+        );
+        assert_eq!(
+            result_error_type("pub fn f(x: Result<u8, String>) -> Result<Map<K,V>, E>").as_deref(),
+            Some("E")
+        );
+        assert_eq!(result_error_type("fn f() -> u32"), None);
+    }
+
+    #[test]
+    fn ll01_skips_tests_strings_and_comments() {
+        let src = "use std::collections::HashMap;\n\
+                   // HashMap in a comment\n\
+                   let s = \"HashMap\";\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        let f = ll01("crates/x/src/lib.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn ll02_sanctions_bench_fault_and_bins() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(ll02("crates/place/src/anneal.rs", &lex(src)).len(), 1);
+        assert!(ll02("crates/bench/src/lib.rs", &lex(src)).is_empty());
+        assert!(ll02("crates/fault/src/lib.rs", &lex(src)).is_empty());
+        assert!(ll02("crates/bench/src/bin/table1.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn panic_counting_matches_library_lines_only() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   // .unwrap( in comment\n\
+                   let s = \"panic!\";\n\
+                   #[cfg(test)]\nmod t { fn b() { y.expect(\"z\"); } }\n\
+                   fn c() { assert_eq!(1, 1); }\n";
+        let m = lex(src);
+        assert_eq!(panic_site_count(&m), 2);
+        assert_eq!(panic_site_line(&m, 1), 6);
+    }
+
+    #[test]
+    fn ll04_requires_try_twin_for_unwrapping_panic_doc() {
+        let bad = "/// Does things.\n///\n/// # Panics\n/// On bad input.\n\
+                   pub fn place(x: u8) -> u8 { try_thing(x).expect(\"bad\") }\n";
+        let f = ll04("crates/x/src/lib.rs", &lex(bad));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("try_place"));
+
+        let good = format!("{bad}pub fn try_place(x: u8) -> Result<u8, ()> {{ Ok(x) }}\n");
+        assert!(ll04("crates/x/src/lib.rs", &lex(&good)).is_empty());
+
+        // Invariant guards (assert!/panic! without unwrap) are LL03's
+        // business, not LL04's.
+        let guard = "/// # Panics\npub fn idx(i: usize) { assert!(i < 4); }\n";
+        assert!(ll04("crates/x/src/lib.rs", &lex(guard)).is_empty());
+    }
+
+    #[test]
+    fn ll05_flags_unsafe_but_not_unsafe_code_ident() {
+        let src = "#![deny(unsafe_code)]\nunsafe fn f() {}\n";
+        let f = ll05("crates/x/src/lib.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn ll06_flags_pub_string_results_only() {
+        let src = "pub fn bad() -> Result<(), String> { Ok(()) }\n\
+                   fn private_ok() -> Result<(), String> { Ok(()) }\n\
+                   pub fn typed() -> Result<Vec<String>, PlaceError> { Ok(vec![]) }\n";
+        let f = ll06("crates/x/src/lib.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Inline suppression directives.
+//!
+//! A finding is silenced by a comment of the form
+//!
+//! ```text
+//! // lily-lint: allow(LL01) -- reason the site is sound
+//! // lily-lint: allow-file(LL02, LL05) -- reason for the whole file
+//! ```
+//!
+//! A line-scoped `allow` covers findings on its own line (trailing
+//! comment) and on the next line (comment-above style). `allow-file`
+//! covers the whole file. Every directive must carry a `--` reason and
+//! must actually suppress something; violations of either rule are
+//! themselves findings (LL08), so the suppression surface can only
+//! shrink.
+
+use crate::diag::RuleCode;
+use crate::lex::Comment;
+
+/// One parsed `lily-lint:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the directive comment starts on (1-based).
+    pub line: usize,
+    /// Codes the directive names.
+    pub codes: Vec<RuleCode>,
+    /// `allow-file` rather than line-scoped `allow`.
+    pub file_scope: bool,
+    /// The justification after `--`, if present.
+    pub reason: Option<String>,
+}
+
+impl Suppression {
+    /// Whether this directive covers a finding of `code` at `line`.
+    pub fn covers(&self, code: RuleCode, line: usize) -> bool {
+        self.codes.contains(&code)
+            && (self.file_scope || line == self.line || line == self.line + 1)
+    }
+}
+
+/// A directive that could not be parsed (reported as LL08).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionError {
+    /// Line of the malformed directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts all `lily-lint:` directives from a file's comments.
+pub fn parse(comments: &[Comment]) -> (Vec<Suppression>, Vec<SuppressionError>) {
+    let mut sups = Vec::new();
+    let mut errs = Vec::new();
+    for c in comments {
+        // Directives live in plain `//` comments only: doc comments
+        // (`///`, `//!`, `/**`, `/*!`) are rendered documentation and
+        // routinely *mention* the syntax without meaning it.
+        if c.text.starts_with(['/', '!', '*']) {
+            continue;
+        }
+        let Some(rest) = c.text.split("lily-lint:").nth(1) else { continue };
+        match parse_directive(rest) {
+            Ok((codes, file_scope, reason)) => {
+                sups.push(Suppression { line: c.line, codes, file_scope, reason });
+            }
+            Err(message) => errs.push(SuppressionError { line: c.line, message }),
+        }
+    }
+    (sups, errs)
+}
+
+type Directive = (Vec<RuleCode>, bool, Option<String>);
+
+fn parse_directive(rest: &str) -> Result<Directive, String> {
+    let rest = rest.trim();
+    let (head, file_scope) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (r, true)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (r, false)
+    } else {
+        return Err(format!(
+            "unknown directive `{}` (expected allow/allow-file)",
+            first_word(rest)
+        ));
+    };
+    let head = head.trim_start();
+    let Some(inner) = head.strip_prefix('(') else {
+        return Err("expected `(` after allow".to_string());
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unclosed `(` in allow directive".to_string());
+    };
+    if inner[..close].trim().is_empty() {
+        return Err("allow directive names no rule codes".to_string());
+    }
+    let mut codes = Vec::new();
+    for part in inner[..close].split(',') {
+        match RuleCode::parse(part) {
+            Some(c) => codes.push(c),
+            None => return Err(format!("unknown rule code `{}`", part.trim())),
+        }
+    }
+    let tail = inner[close + 1..].trim();
+    let reason =
+        tail.strip_prefix("--").map(str::trim).filter(|r| !r.is_empty()).map(ToString::to_string);
+    Ok((codes, file_scope, reason))
+}
+
+fn first_word(s: &str) -> &str {
+    s.split_whitespace().next().unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> Comment {
+        Comment { line: 5, trailing: false, text: text.to_string() }
+    }
+
+    #[test]
+    fn parses_line_and_file_scope_with_reason() {
+        let (sups, errs) = parse(&[
+            comment(" lily-lint: allow(LL01) -- lookup-only map"),
+            comment(" lily-lint: allow-file(LL02, LL05) -- bench harness"),
+        ]);
+        assert!(errs.is_empty());
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].codes, vec![RuleCode::Ll01]);
+        assert!(!sups[0].file_scope);
+        assert_eq!(sups[0].reason.as_deref(), Some("lookup-only map"));
+        assert_eq!(sups[1].codes, vec![RuleCode::Ll02, RuleCode::Ll05]);
+        assert!(sups[1].file_scope);
+    }
+
+    #[test]
+    fn missing_reason_is_recorded_as_none() {
+        let (sups, errs) = parse(&[comment(" lily-lint: allow(LL06)")]);
+        assert!(errs.is_empty());
+        assert_eq!(sups[0].reason, None);
+    }
+
+    #[test]
+    fn malformed_directives_error() {
+        let (sups, errs) = parse(&[
+            comment(" lily-lint: deny(LL01)"),
+            comment(" lily-lint: allow(LL99) -- nope"),
+            comment(" lily-lint: allow() -- empty"),
+            comment(" plain comment without directive"),
+        ]);
+        assert!(sups.is_empty());
+        assert_eq!(errs.len(), 3);
+        assert!(errs[0].message.contains("unknown directive"));
+        assert!(errs[1].message.contains("LL99"));
+        assert!(errs[2].message.contains("no rule codes"));
+    }
+
+    #[test]
+    fn line_scope_covers_same_and_next_line() {
+        let s = Suppression {
+            line: 10,
+            codes: vec![RuleCode::Ll01],
+            file_scope: false,
+            reason: Some("r".into()),
+        };
+        assert!(s.covers(RuleCode::Ll01, 10));
+        assert!(s.covers(RuleCode::Ll01, 11));
+        assert!(!s.covers(RuleCode::Ll01, 12));
+        assert!(!s.covers(RuleCode::Ll02, 10));
+    }
+}

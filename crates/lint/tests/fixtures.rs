@@ -1,0 +1,172 @@
+//! Per-rule positive/negative fixtures: each rule must fire on the
+//! minimal offending snippet and stay quiet on the idiomatic fix.
+
+use lily_lint::diag::RuleCode;
+use lily_lint::lex::SourceModel;
+use lily_lint::{lint_file, lint_manifest, FileOutcome};
+
+const LIB: &str = "crates/x/src/lib.rs";
+
+fn run(src: &str) -> FileOutcome {
+    lint_file(LIB, &SourceModel::lex(src), usize::MAX)
+}
+
+fn codes(out: &FileOutcome) -> Vec<RuleCode> {
+    out.findings.iter().map(|f| f.code).collect()
+}
+
+#[test]
+fn ll01_fires_on_hash_collections_and_not_on_btree() {
+    let bad = run("use std::collections::HashMap;\nfn f(m: &HashSet<u32>) {}\n");
+    assert_eq!(codes(&bad), vec![RuleCode::Ll01, RuleCode::Ll01]);
+    let good =
+        run("use std::collections::BTreeMap;\nfn f(m: &std::collections::BTreeSet<u32>) {}\n");
+    assert!(good.findings.is_empty(), "{:?}", good.findings);
+}
+
+#[test]
+fn ll01_ignores_test_code_and_string_literals() {
+    let in_test = run("#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n");
+    assert!(in_test.findings.is_empty(), "{:?}", in_test.findings);
+    let in_str = run("fn f() -> &'static str { \"uses HashMap and HashSet\" }\n");
+    assert!(in_str.findings.is_empty(), "{:?}", in_str.findings);
+}
+
+#[test]
+fn ll02_fires_on_wall_clock_outside_sanctioned_modules() {
+    let bad = run("fn f() { let t = std::time::Instant::now(); }\n");
+    assert_eq!(codes(&bad), vec![RuleCode::Ll02]);
+    let bad2 = run("fn f() { let t = SystemTime::now(); }\n");
+    assert_eq!(codes(&bad2), vec![RuleCode::Ll02]);
+    // The bench harness owns the sanctioned clock.
+    let bench = lint_file(
+        "crates/bench/src/harness.rs",
+        &SourceModel::lex("fn f() { let t = Instant::now(); }\n"),
+        usize::MAX,
+    );
+    assert!(bench.findings.is_empty(), "{:?}", bench.findings);
+    // Binaries report wall time to humans; that is their job.
+    let bin = lint_file(
+        "src/bin/lily_check.rs",
+        &SourceModel::lex("fn main() { let t = Instant::now(); }\n"),
+        usize::MAX,
+    );
+    assert!(bin.findings.is_empty(), "{:?}", bin.findings);
+}
+
+#[test]
+fn ll03_budget_is_exact() {
+    let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); }\n";
+    let over = lint_file(LIB, &SourceModel::lex(src), 2);
+    assert_eq!(codes(&over), vec![RuleCode::Ll03]);
+    assert!(over.findings[0].message.contains("3 panic site(s)"));
+    assert_eq!(over.panic_sites, 3);
+    let at = lint_file(LIB, &SourceModel::lex(src), 3);
+    assert!(at.findings.is_empty(), "{:?}", at.findings);
+}
+
+#[test]
+fn ll03_does_not_count_near_miss_tokens() {
+    // `.unwrap_or(...)`, `debug_assert!` and identifiers that merely
+    // contain a panic token must not count.
+    let src = "fn f() { a.unwrap_or(0); debug_assert!(x); let my_panic_count = 0; }\n";
+    let out = lint_file(LIB, &SourceModel::lex(src), 0);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.panic_sites, 0);
+}
+
+#[test]
+fn ll04_wants_a_try_twin_for_documented_panicking_wrappers() {
+    let bad = "/// Does a thing.\n///\n/// # Panics\n///\n/// Panics on empty input.\n\
+               pub fn thing(x: &[u8]) -> u8 { x.first().copied().expect(\"non-empty\") }\n";
+    let out = run(bad);
+    assert_eq!(codes(&out), vec![RuleCode::Ll04]);
+    let good = format!(
+        "{bad}\n/// Fallible twin.\npub fn try_thing(x: &[u8]) -> Option<u8> {{ x.first().copied() }}\n"
+    );
+    let out = run(&good);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn ll05_forbids_unsafe_everywhere() {
+    let out = run("fn f() { unsafe { std::hint::unreachable_unchecked() } }\n");
+    assert!(codes(&out).contains(&RuleCode::Ll05), "{:?}", out.findings);
+}
+
+#[test]
+fn ll06_flags_public_string_errors_only() {
+    let bad = run(
+        "pub fn parse(s: &str) -> Result<u32, String> { s.parse().map_err(|_| String::new()) }\n",
+    );
+    assert_eq!(codes(&bad), vec![RuleCode::Ll06]);
+    // Private helpers may keep String errors; typed-error enforcement
+    // is about the public surface.
+    let private =
+        run("fn parse(s: &str) -> Result<u32, String> { s.parse().map_err(|_| String::new()) }\n");
+    assert!(private.findings.is_empty(), "{:?}", private.findings);
+    let typed = run("pub fn parse(s: &str) -> Result<u32, ParseError> { helper(s) }\n");
+    assert!(typed.findings.is_empty(), "{:?}", typed.findings);
+}
+
+#[test]
+fn ll07_rejects_external_dependencies() {
+    let bad = "[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\n";
+    let f = lint_manifest("crates/x/Cargo.toml", bad);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].code, RuleCode::Ll07);
+    let good = "[dependencies]\nlily-core.workspace = true\nlily-netlist.workspace = true\n";
+    assert!(lint_manifest("crates/x/Cargo.toml", good).is_empty());
+    let subsection = "[dependencies.lily-core]\nworkspace = true\n";
+    assert!(lint_manifest("crates/x/Cargo.toml", subsection).is_empty());
+}
+
+#[test]
+fn ll08_audits_the_suppressions_themselves() {
+    // Unjustified: does not suppress, and is itself a finding.
+    let out = run("use std::collections::HashMap; // lily-lint: allow(LL01)\n");
+    let c = codes(&out);
+    assert!(c.contains(&RuleCode::Ll01) && c.contains(&RuleCode::Ll08), "{:?}", out.findings);
+    // Unused: a finding.
+    let out = run("// lily-lint: allow(LL01) -- nothing here\nfn f() {}\n");
+    assert_eq!(codes(&out), vec![RuleCode::Ll08]);
+    // Justified and used: silent, counted as suppressed.
+    let out =
+        run("// lily-lint: allow(LL01) -- fixture lookup table\nuse std::collections::HashMap;\n");
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
+}
+
+#[test]
+fn suppressions_inside_test_modules_are_inert() {
+    // A directive in test code neither suppresses nor counts as unused.
+    let src =
+        "#[cfg(test)]\nmod tests {\n    // lily-lint: allow(LL01) -- test-only\n    fn t() {}\n}\n";
+    let out = run(src);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 0);
+}
+
+// ---- lexer regressions: the two documented weaknesses of the retired
+// awk-based panic counter.
+
+#[test]
+fn panic_tokens_inside_string_literals_do_not_count() {
+    let src = "fn f() -> &'static str {\n    \"call .unwrap() or panic!(now) — assert!\"\n}\n\
+               fn g() -> &'static str { r#\"x.expect(\"inner\") todo!\"# }\n";
+    let out = lint_file(LIB, &SourceModel::lex(src), 0);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.panic_sites, 0);
+}
+
+#[test]
+fn mid_file_cfg_test_modules_are_excluded() {
+    // Library code *after* a test module must still be linted; the test
+    // module itself must not be.
+    let src = "fn live() {}\n\n\
+               #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(\"boom\"); }\n}\n\n\
+               fn also_live() { y.unwrap(); }\n";
+    let out = lint_file(LIB, &SourceModel::lex(src), 0);
+    assert_eq!(codes(&out), vec![RuleCode::Ll03]);
+    assert_eq!(out.panic_sites, 1, "only the post-module unwrap counts");
+}

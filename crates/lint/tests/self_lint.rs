@@ -1,0 +1,30 @@
+//! The linter's teeth test: the whole workspace — lily-lint's own
+//! source included — must lint clean with the checked-in allowlist.
+//! Any new violation, stale budget, or unjustified suppression fails
+//! tier-1 here, not just the CI lint job.
+
+use std::path::PathBuf;
+
+use lily_lint::lint_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace must be readable");
+    assert!(report.files_scanned > 50, "walker lost the workspace? {}", report.files_scanned);
+    assert!(report.manifests_scanned > 10, "manifest walk broke? {}", report.manifests_scanned);
+    assert!(report.is_clean(), "workspace has lint findings:\n{}", report.render_human());
+}
+
+#[test]
+fn json_report_round_trips_through_the_core_parser() {
+    let report = lint_workspace(&workspace_root()).expect("workspace must be readable");
+    let json = report.render_json();
+    let v = lily_core::json::Json::parse(&json).expect("report JSON must parse");
+    assert_eq!(v.get("clean").and_then(|c| c.as_bool()), Some(report.is_clean()));
+    assert_eq!(v.get("files_scanned").and_then(|n| n.as_usize()), Some(report.files_scanned));
+}

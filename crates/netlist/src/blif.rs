@@ -10,7 +10,7 @@
 use crate::error::NetlistError;
 use crate::func::{Literal, NodeFunc, Sop};
 use crate::network::{Network, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parses a BLIF model into a [`Network`].
@@ -173,9 +173,9 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
     }
 
     // Topologically order tables.
-    let input_set: HashMap<&str, usize> =
+    let input_set: BTreeMap<&str, usize> =
         inputs.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
-    let mut produced: HashMap<&str, usize> = HashMap::new(); // signal -> table idx
+    let mut produced: BTreeMap<&str, usize> = BTreeMap::new(); // signal -> table idx
     for (ti, t) in tables.iter().enumerate() {
         let out = t.signals.last().expect("non-empty");
         if input_set.contains_key(out.as_str()) {
@@ -197,8 +197,8 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
     fn visit(
         ti: usize,
         tables: &[Table],
-        produced: &HashMap<&str, usize>,
-        input_set: &HashMap<&str, usize>,
+        produced: &BTreeMap<&str, usize>,
+        input_set: &BTreeMap<&str, usize>,
         state: &mut [u8],
         order: &mut Vec<usize>,
     ) -> Result<(), NetlistError> {
@@ -232,7 +232,7 @@ pub fn parse(text: &str) -> Result<Network, NetlistError> {
 
     // Build the network.
     let mut net = Network::new(model.unwrap_or_else(|| "blif".into()));
-    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut ids: BTreeMap<String, NodeId> = BTreeMap::new();
     for name in &inputs {
         ids.insert(name.clone(), net.add_input(name.clone()));
     }

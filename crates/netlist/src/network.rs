@@ -7,7 +7,7 @@
 
 use crate::error::NetlistError;
 use crate::func::NodeFunc;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a node (primary input or internal) within a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,7 +80,7 @@ pub struct Network {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
     outputs: Vec<Output>,
-    by_name: HashMap<String, NodeId>,
+    by_name: BTreeMap<String, NodeId>,
 }
 
 impl Network {

@@ -12,7 +12,7 @@
 //! inverters cancel. This keeps the inchoate network compact and gives
 //! the mapper a canonical DAG.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a node within a [`SubjectGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,7 +92,7 @@ pub struct SubjectGraph {
     input_names: Vec<String>,
     inputs: Vec<SubjectNodeId>,
     outputs: Vec<SubjectOutput>,
-    strash: HashMap<(bool, u32, u32), SubjectNodeId>,
+    strash: BTreeMap<(bool, u32, u32), SubjectNodeId>,
 }
 
 impl SubjectGraph {

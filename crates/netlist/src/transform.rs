@@ -8,7 +8,7 @@
 
 use crate::func::NodeFunc;
 use crate::network::{Network, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Merges structurally identical internal nodes: same function and same
 /// fanin multiset (fanins sorted for symmetric functions, kept in order
@@ -19,7 +19,7 @@ use std::collections::HashMap;
 pub fn dedup_structural(net: &mut Network) -> usize {
     let mut merged_total = 0usize;
     loop {
-        let mut canon: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+        let mut canon: BTreeMap<(String, Vec<NodeId>), NodeId> = BTreeMap::new();
         let mut replace: Vec<Option<NodeId>> = vec![None; net.node_count()];
         let mut merged = 0usize;
         for id in net.node_ids() {

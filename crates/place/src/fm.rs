@@ -7,8 +7,6 @@
 //! each pass tentatively moves every free cell once in best-gain order
 //! and rolls back to the best prefix.
 
-use std::collections::HashMap;
-
 /// A bipartition refinement instance over `n` cells and a list of
 /// hypernets (each a list of cell indices).
 #[derive(Debug, Clone)]
@@ -108,8 +106,7 @@ pub fn refine(instance: &FmInstance, side: &mut [bool], opts: &FmOptions) -> usi
 
         // One FM sweep: move every cell once, best first.
         let mut locked = vec![false; instance.cells];
-        let mut gains: HashMap<usize, i64> =
-            (0..instance.cells).map(|c| (c, gain_of(c, side, &count))).collect();
+        let mut gains: Vec<i64> = (0..instance.cells).map(|c| gain_of(c, side, &count)).collect();
         let mut history: Vec<usize> = Vec::with_capacity(instance.cells);
         let mut cum = 0i64;
         let mut best_prefix = 0usize;
@@ -120,18 +117,19 @@ pub fn refine(instance: &FmInstance, side: &mut [bool], opts: &FmOptions) -> usi
             // Pick the best movable cell respecting balance.
             let pick = gains
                 .iter()
-                .filter(|(&c, _)| {
+                .enumerate()
+                .filter(|&(c, _)| {
                     if locked[c] {
                         return false;
                     }
                     let s = usize::from(work_side[c]);
                     weight_on[s] - instance.weights[c] >= min_side
                 })
-                .max_by_key(|(&c, &g)| (g, std::cmp::Reverse(c)))
-                .map(|(&c, _)| c);
+                .max_by_key(|&(c, &g)| (g, std::cmp::Reverse(c)))
+                .map(|(c, _)| c);
             let Some(c) = pick else { break };
             let s = usize::from(work_side[c]);
-            cum += gains[&c];
+            cum += gains[c];
             history.push(c);
             locked[c] = true;
             // Apply the move.
@@ -146,7 +144,7 @@ pub fn refine(instance: &FmInstance, side: &mut [bool], opts: &FmOptions) -> usi
             for &ni in &nets_of[c] {
                 for &nb in &instance.nets[ni] {
                     if !locked[nb] {
-                        gains.insert(nb, gain_of(nb, &work_side, &count));
+                        gains[nb] = gain_of(nb, &work_side, &count);
                     }
                 }
             }

@@ -169,7 +169,7 @@ pub fn try_global_place_cancel(
 fn fm_refine_split(problem: &PlacementProblem, lo: &mut Vec<usize>, hi: &mut Vec<usize>) {
     let mut local: Vec<usize> = lo.iter().chain(hi.iter()).copied().collect();
     local.sort_unstable();
-    let index_of: std::collections::HashMap<usize, usize> =
+    let index_of: std::collections::BTreeMap<usize, usize> =
         local.iter().enumerate().map(|(i, &m)| (m, i)).collect();
     let mut nets = Vec::new();
     for net in &problem.nets {

@@ -172,8 +172,8 @@ fn pad_affinity(problem: &PlacementProblem) -> Vec<Vec<(usize, f64)>> {
             pads_of_module[m].push(pad);
         }
     }
-    let mut weight: std::collections::HashMap<(usize, usize), f64> =
-        std::collections::HashMap::new();
+    let mut weight: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for pads in &pads_of_module {
         for i in 0..pads.len() {
             for j in i + 1..pads.len() {

@@ -33,19 +33,24 @@ pub struct PlacementProblem {
 }
 
 impl PlacementProblem {
-    /// Validates indices; returns a human-readable error for tooling.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates indices.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::InvalidProblem`] naming the first defective net.
+    pub fn validate(&self) -> Result<(), PlaceError> {
+        let invalid = |message: String| PlaceError::InvalidProblem { message };
         for (ni, net) in self.nets.iter().enumerate() {
             if net.len() < 2 {
-                return Err(format!("net {ni} has fewer than two pins"));
+                return Err(invalid(format!("net {ni} has fewer than two pins")));
             }
             for pin in net {
                 match *pin {
                     PinRef::Movable(i) if i >= self.movable => {
-                        return Err(format!("net {ni}: movable index {i} out of range"))
+                        return Err(invalid(format!("net {ni}: movable index {i} out of range")))
                     }
                     PinRef::Fixed(i) if i >= self.fixed.len() => {
-                        return Err(format!("net {ni}: fixed index {i} out of range"))
+                        return Err(invalid(format!("net {ni}: fixed index {i} out of range")))
                     }
                     _ => {}
                 }
@@ -144,7 +149,7 @@ pub fn try_solve_quadratic_cancel(
     warm: &[Point],
     cancel: &CancelToken,
 ) -> Result<QuadraticSolve, PlaceError> {
-    problem.validate().map_err(|message| PlaceError::InvalidProblem { message })?;
+    problem.validate()?;
     let n = problem.movable;
     if n == 0 {
         return Ok(QuadraticSolve {

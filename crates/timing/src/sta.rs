@@ -58,7 +58,7 @@ pub fn try_analyze(
     lib: &Library,
     opts: &StaOptions,
 ) -> Result<StaResult, TimingError> {
-    mapped.validate(lib).map_err(|message| TimingError::InvalidNetwork { message })?;
+    mapped.validate(lib).map_err(|e| TimingError::InvalidNetwork { message: e.to_string() })?;
     let n = mapped.cell_count();
 
     // Per-driver loads.

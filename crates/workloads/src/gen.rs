@@ -50,6 +50,7 @@ pub struct RandomNetwork {
 ///
 /// Panics if `inputs == 0`, `outputs == 0` or `max_fanin < 2`
 /// (generator misuse, not data errors).
+// lily-lint: allow(LL04) -- generator options are shapes chosen by tests and the fuzzer, which respect the documented preconditions; misuse is a bug, not input data
 pub fn generate(options: GenOptions) -> RandomNetwork {
     assert!(options.inputs > 0, "need at least one input");
     assert!(options.outputs > 0, "need at least one output");

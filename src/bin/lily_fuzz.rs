@@ -241,7 +241,7 @@ fn drive_chaos(
 /// Re-runs the single case recorded in a replay file, verbosely.
 fn run_replay(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let replay = Replay::from_json(&text)?;
+    let replay = Replay::from_json(&text).map_err(|e| e.to_string())?;
     println!(
         "replaying case {} (seed {:#x}, {} scheduled fault(s))",
         replay.case,

@@ -1,0 +1,97 @@
+//! `lily-lint` — the workspace contract checker as a CI gate.
+//!
+//! ```text
+//! lily-lint [--root DIR] [--json] [--print-counts]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 setup error (bad arguments,
+//! unreadable workspace). `--json` emits the machine-readable report on
+//! stdout; `--print-counts` lists per-file panic-site counts in
+//! allowlist format for regenerating `tools/lint_allowlist.txt`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lily_lint::{lint_workspace, panic_counts};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    print_counts: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, json: false, print_counts: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--print-counts" => args.print_counts = true,
+            "--root" => match it.next() {
+                Some(dir) => args.root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err("usage: lily-lint [--root DIR] [--json] [--print-counts]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first directory that
+/// holds both `Cargo.toml` and `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run(args: &Args, root: &Path) -> Result<bool, String> {
+    if args.print_counts {
+        let counts = panic_counts(root).map_err(|e| e.to_string())?;
+        for (path, n) in counts {
+            println!("{path} LL03 {n}");
+        }
+        return Ok(true);
+    }
+    let report = lint_workspace(root).map_err(|e| e.to_string())?;
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("lily-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.clone().or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lily-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args, &root) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("lily-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -12,8 +12,37 @@
 //! [`json`](lily_core::json) writer/parser; faults serialize as their
 //! stable [`FaultKind::name`]/param pairs.
 
-use lily_core::json::{array, Json, JsonObject};
+use lily_core::json::{array, Json, JsonError, JsonObject};
 use lily_fault::{FaultKind, FaultPlan};
+
+/// Why a replay file could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// A required field is missing or has the wrong shape.
+    Malformed(&'static str),
+    /// The file names a fault kind this build does not know.
+    UnknownFaultKind(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "invalid JSON: {e}"),
+            Self::Malformed(what) => f.write_str(what),
+            Self::UnknownFaultKind(name) => write!(f, "unknown fault kind `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<JsonError> for ReplayError {
+    fn from(e: JsonError) -> Self {
+        Self::Json(e)
+    }
+}
 
 /// The recipe for one fuzz/chaos case: everything `lily-fuzz` needs to
 /// re-run it exactly.
@@ -50,28 +79,42 @@ impl Replay {
     ///
     /// # Errors
     ///
-    /// A human-readable message on malformed JSON, unknown fault
-    /// kinds, or missing fields.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// A [`ReplayError`] on malformed JSON, unknown fault kinds, or
+    /// missing fields.
+    pub fn from_json(text: &str) -> Result<Self, ReplayError> {
         let v = Json::parse(text)?;
         let seed = v
             .get("seed")
             .and_then(Json::as_str)
             .and_then(|s| u64::from_str_radix(s.strip_prefix("0x").unwrap_or(s), 16).ok())
-            .ok_or("missing or malformed `seed`")?;
-        let case = v.get("case").and_then(Json::as_u64).ok_or("missing `case`")?;
+            .ok_or(ReplayError::Malformed("missing or malformed `seed`"))?;
+        let case =
+            v.get("case").and_then(Json::as_u64).ok_or(ReplayError::Malformed("missing `case`"))?;
         let mut faults = FaultPlan::new();
-        for f in v.get("faults").and_then(Json::as_array).ok_or("missing `faults`")? {
-            let stage = f.get("stage").and_then(Json::as_str).ok_or("fault without stage")?;
+        for f in v
+            .get("faults")
+            .and_then(Json::as_array)
+            .ok_or(ReplayError::Malformed("missing `faults`"))?
+        {
+            let stage = f
+                .get("stage")
+                .and_then(Json::as_str)
+                .ok_or(ReplayError::Malformed("fault without stage"))?;
             let invocation = f
                 .get("invocation")
                 .and_then(Json::as_u64)
                 .and_then(|i| u32::try_from(i).ok())
-                .ok_or("fault without invocation")?;
-            let kind_name = f.get("kind").and_then(Json::as_str).ok_or("fault without kind")?;
-            let param = f.get("param").and_then(Json::as_u64).ok_or("fault without param")?;
+                .ok_or(ReplayError::Malformed("fault without invocation"))?;
+            let kind_name = f
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(ReplayError::Malformed("fault without kind"))?;
+            let param = f
+                .get("param")
+                .and_then(Json::as_u64)
+                .ok_or(ReplayError::Malformed("fault without param"))?;
             let kind = FaultKind::from_name(kind_name, param)
-                .ok_or_else(|| format!("unknown fault kind `{kind_name}`"))?;
+                .ok_or_else(|| ReplayError::UnknownFaultKind(kind_name.to_string()))?;
             faults.push(stage, invocation, kind);
         }
         Ok(Self { seed, case, faults })
