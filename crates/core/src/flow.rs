@@ -319,10 +319,22 @@ pub fn compare_flows_chaos(
         mis_ctx.adopt(&shared_ctx);
         lily_ctx.adopt(&shared_ctx);
         let (g_mis, plan_mis, image_mis) = (g.clone(), plan_art.clone(), image.clone());
+        // `join` may run a tail on a pool thread whose thread-local
+        // ambient token is fresh; re-install the caller's token in both
+        // closures so an outer cancellation scope (a serving deadline, a
+        // disconnect) reaches both pipeline tails wherever they run.
+        let (ambient_mis, ambient_lily) =
+            (lily_fault::ambient_token(), lily_fault::ambient_token());
         let (mis, lily) = lily_par::join(
             &lily_par::ParOptions::current(),
-            move || finish_stages(mis_ctx, g_mis, plan_mis, Some(image_mis)),
-            move || finish_stages(lily_ctx, g, plan_art, Some(image)),
+            move || {
+                let _scope = lily_fault::set_ambient(ambient_mis);
+                finish_stages(mis_ctx, g_mis, plan_mis, Some(image_mis))
+            },
+            move || {
+                let _scope = lily_fault::set_ambient(ambient_lily);
+                finish_stages(lily_ctx, g, plan_art, Some(image))
+            },
         );
         let (mis, lily) = (mis?, lily?);
         let degradations = merge_audits(&mis.metrics.degradations, &lily.metrics.degradations);

@@ -135,18 +135,82 @@ pub fn f64_from_hex(s: &str) -> Option<f64> {
     u64::from_str_radix(s, 16).ok().map(f64::from_bits)
 }
 
+/// Default nesting-depth ceiling of [`Json::parse`]. Checkpoint
+/// artifacts nest a handful of levels; anything deeper than this is an
+/// adversarial payload aimed at the recursive-descent parser's stack.
+pub const MAX_DEPTH: usize = 96;
+
+/// Default input-size ceiling of [`Json::parse`], bytes. The parser
+/// materializes strings and arrays eagerly, so input size bounds
+/// memory; network-facing callers (`lily-serve`) enforce their own
+/// smaller frame limit before the bytes ever reach the parser.
+pub const MAX_INPUT_BYTES: usize = 64 << 20;
+
+/// Parse ceilings for untrusted input (see [`Json::parse_with_limits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth.
+    pub max_depth: usize,
+    /// Maximum input length, bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self { max_depth: MAX_DEPTH, max_bytes: MAX_INPUT_BYTES }
+    }
+}
+
 /// Why a JSON document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the defect in the input.
-    pub offset: usize,
-    /// What was wrong at that offset.
-    pub message: String,
+pub enum JsonError {
+    /// Malformed JSON at a byte offset.
+    Syntax {
+        /// Byte offset of the defect in the input.
+        offset: usize,
+        /// What was wrong at that offset.
+        message: String,
+    },
+    /// Containers nested deeper than the limit allows (an adversarial
+    /// payload would otherwise overflow the parser's call stack).
+    TooDeep {
+        /// Byte offset where the limit was exceeded.
+        offset: usize,
+        /// The depth limit in force.
+        limit: usize,
+    },
+    /// The input is longer than the limit allows (rejected before any
+    /// parsing work).
+    TooLarge {
+        /// The input length, bytes.
+        size: usize,
+        /// The size limit in force.
+        limit: usize,
+    },
+}
+
+impl JsonError {
+    /// Byte offset the error is anchored to (input length for
+    /// [`JsonError::TooLarge`]).
+    pub fn offset(&self) -> usize {
+        match self {
+            JsonError::Syntax { offset, .. } | JsonError::TooDeep { offset, .. } => *offset,
+            JsonError::TooLarge { size, .. } => *size,
+        }
+    }
 }
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} at byte {}", self.message, self.offset)
+        match self {
+            JsonError::Syntax { offset, message } => write!(f, "{message} at byte {offset}"),
+            JsonError::TooDeep { offset, limit } => {
+                write!(f, "nesting deeper than {limit} levels at byte {offset}")
+            }
+            JsonError::TooLarge { size, limit } => {
+                write!(f, "input of {size} bytes exceeds the {limit}-byte limit")
+            }
+        }
     }
 }
 
@@ -173,14 +237,30 @@ pub enum Json {
 }
 
 impl Json {
-    /// Parses a JSON document (one value, trailing whitespace allowed).
+    /// Parses a JSON document (one value, trailing whitespace allowed)
+    /// under the default [`ParseLimits`].
     ///
     /// # Errors
     ///
-    /// A [`JsonError`] carrying the byte offset of the defect.
+    /// A [`JsonError`] carrying the byte offset of the defect, or the
+    /// typed limit violation for oversized / over-nested input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Self::parse_with_limits(text, ParseLimits::default())
+    }
+
+    /// [`parse`](Self::parse) with explicit ceilings, for callers
+    /// facing untrusted bytes that want tighter bounds than the
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse`](Self::parse).
+    pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        if bytes.len() > limits.max_bytes {
+            return Err(JsonError::TooLarge { size: bytes.len(), limit: limits.max_bytes });
+        }
+        let mut p = Parser { bytes, pos: 0, depth: 0, max_depth: limits.max_depth };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -255,11 +335,25 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth (arrays + objects).
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, message: message.into() }
+        JsonError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    /// Bumps the nesting depth on container entry; the matching
+    /// decrement happens in the container's exit paths.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            Err(JsonError::TooDeep { offset: self.pos, limit: self.max_depth })
+        } else {
+            Ok(())
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -319,10 +413,12 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError { offset: start, message: "bad number".to_string() })?;
+            .map_err(|_| JsonError::Syntax { offset: start, message: "bad number".to_string() })?;
         // Validate by parsing once; the token is kept raw.
-        raw.parse::<f64>()
-            .map_err(|_| JsonError { offset: start, message: format!("bad number `{raw}`") })?;
+        raw.parse::<f64>().map_err(|_| JsonError::Syntax {
+            offset: start,
+            message: format!("bad number `{raw}`"),
+        })?;
         Ok(Json::Num(raw.to_string()))
     }
 
@@ -348,7 +444,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| {
-                JsonError { offset: start, message: "invalid UTF-8 in string".to_string() }
+                JsonError::Syntax { offset: start, message: "invalid UTF-8 in string".to_string() }
             })?);
             match self.peek() {
                 Some(b'"') => {
@@ -398,10 +494,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.consume(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -412,6 +510,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -421,10 +520,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.consume(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -439,6 +540,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -512,6 +614,66 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"\\q\"", "\"\\ud800x\"", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deeply_nested_payloads_are_rejected_with_a_typed_error() {
+        // 10k unclosed brackets would recurse 10k frames without the
+        // guard; the typed error fires at exactly MAX_DEPTH + 1.
+        let attack = "[".repeat(10_000);
+        match Json::parse(&attack) {
+            Err(JsonError::TooDeep { offset, limit }) => {
+                assert_eq!(limit, MAX_DEPTH);
+                assert_eq!(offset, MAX_DEPTH + 1, "limit trips entering level limit+1");
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Mixed and object nesting trip the same guard.
+        let mixed: String = "[{\"k\":".repeat(5_000);
+        assert!(matches!(Json::parse(&mixed), Err(JsonError::TooDeep { .. })));
+        // Exactly at the limit parses fine (and unwinds cleanly).
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // Sibling containers do not accumulate depth.
+        let wide = array((0..1000).map(|_| "[]".to_string()));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_before_parsing() {
+        let limits = ParseLimits { max_depth: MAX_DEPTH, max_bytes: 64 };
+        let big = format!("\"{}\"", "a".repeat(100));
+        match Json::parse_with_limits(&big, limits) {
+            Err(JsonError::TooLarge { size, limit }) => {
+                assert_eq!(size, 102);
+                assert_eq!(limit, 64);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // At the boundary the input is parsed normally.
+        let fits = format!("\"{}\"", "a".repeat(62));
+        assert_eq!(fits.len(), 64);
+        assert!(Json::parse_with_limits(&fits, limits).is_ok());
+        // A tighter depth limit is honored too.
+        let tight = ParseLimits { max_depth: 2, max_bytes: 64 };
+        assert!(Json::parse_with_limits("[[1]]", tight).is_ok());
+        assert!(matches!(
+            Json::parse_with_limits("[[[1]]]", tight),
+            Err(JsonError::TooDeep { limit: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn json_error_display_and_offset_are_stable() {
+        let deep = JsonError::TooDeep { offset: 7, limit: 3 };
+        assert_eq!(deep.to_string(), "nesting deeper than 3 levels at byte 7");
+        assert_eq!(deep.offset(), 7);
+        let large = JsonError::TooLarge { size: 10, limit: 4 };
+        assert_eq!(large.to_string(), "input of 10 bytes exceeds the 4-byte limit");
+        assert_eq!(large.offset(), 10);
+        let syntax = Json::parse("{").unwrap_err();
+        assert!(syntax.to_string().contains("at byte"));
+        assert_eq!(syntax.offset(), 1);
     }
 
     #[test]

@@ -177,12 +177,18 @@ impl<'l> FlowContext<'l> {
     /// degradation-audit residue.
     fn attempt<In, S: Stage<In>>(&mut self, stage: &S, input: In) -> Result<S::Out, MapError> {
         let deadline = self.options.stage_deadline;
-        // The deadline token is created *before* injected latency is
-        // served, so a latency fault can push an attempt over its
-        // deadline exactly like genuinely slow work would.
+        // The attempt token is a *child* of the ambient token, so an
+        // outer scope — a server's per-request deadline, cancellation
+        // on client disconnect — reaches into the stage body without
+        // the stage knowing about it. Standalone flows have the inert
+        // `never` ambient and behave exactly as before. The deadline
+        // token is created *before* injected latency is served, so a
+        // latency fault can push an attempt over its deadline exactly
+        // like genuinely slow work would.
+        let parent = lily_fault::ambient_token();
         let cancel = match deadline {
-            Some(d) => CancelToken::with_deadline(d),
-            None => CancelToken::new(),
+            Some(d) => parent.child_with_deadline(d),
+            None => parent.child(),
         };
         let armed = self.injector.arm(stage.name());
         if armed.latency_ms > 0 {

@@ -51,6 +51,9 @@ impl std::error::Error for Cancelled {}
 struct TokenInner {
     flag: AtomicBool,
     deadline: Option<Instant>,
+    /// Cancellation chains upward: a child is cancelled whenever its
+    /// parent is. [`CancelToken::never`] terminates the chain.
+    parent: CancelToken,
 }
 
 /// A cooperative cancellation token.
@@ -72,17 +75,40 @@ impl CancelToken {
 
     /// A cancellable token with no deadline.
     pub fn new() -> Self {
-        Self { inner: Some(Arc::new(TokenInner { flag: AtomicBool::new(false), deadline: None })) }
+        CancelToken::never().child()
     }
 
     /// A cancellable token that additionally expires `deadline` from
     /// now. `Duration::ZERO` expires immediately — the deterministic
     /// way to test deadline handling without real waiting.
     pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken::never().child_with_deadline(deadline)
+    }
+
+    /// A cancellable token linked under `self`: cancelling (or
+    /// expiring) the parent cancels the child, while cancelling the
+    /// child leaves the parent untouched. This is how a long-lived
+    /// scope (a server's per-request token) reaches into nested scopes
+    /// (per-stage attempt tokens) without them knowing about it.
+    pub fn child(&self) -> Self {
+        Self {
+            inner: Some(Arc::new(TokenInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                parent: self.clone(),
+            })),
+        }
+    }
+
+    /// A [`child`](Self::child) that additionally expires `deadline`
+    /// from now (whichever of the own deadline, the parent's deadline,
+    /// or an explicit cancel comes first wins).
+    pub fn child_with_deadline(&self, deadline: Duration) -> Self {
         Self {
             inner: Some(Arc::new(TokenInner {
                 flag: AtomicBool::new(false),
                 deadline: Some(Instant::now() + deadline),
+                parent: self.clone(),
             })),
         }
     }
@@ -94,20 +120,25 @@ impl CancelToken {
         }
     }
 
-    /// Whether the token has been cancelled or its deadline has passed.
+    /// Whether the token has been cancelled, its deadline has passed,
+    /// or any ancestor in its parent chain is cancelled.
     pub fn is_cancelled(&self) -> bool {
         match &self.inner {
             None => false,
             Some(inner) => {
                 inner.flag.load(Ordering::Acquire)
                     || inner.deadline.is_some_and(|d| Instant::now() >= d)
+                    || inner.parent.is_cancelled()
             }
         }
     }
 
-    /// Whether this token carries a deadline and that deadline has
-    /// passed (used to distinguish deadline hits from explicit
-    /// cancellation in audits).
+    /// Whether this token carries *its own* deadline and that deadline
+    /// has passed (used to distinguish deadline hits from explicit
+    /// cancellation in audits). Deliberately does not consult the
+    /// parent chain: an expired ancestor reads as plain cancellation
+    /// here, so a stage-deadline audit never blames an outer scope's
+    /// deadline on the stage.
     pub fn deadline_expired(&self) -> bool {
         self.inner.as_ref().is_some_and(|inner| inner.deadline.is_some_and(|d| Instant::now() >= d))
     }
@@ -595,6 +626,61 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_expiry_stays_cancelled_and_expired() {
+        // Cancelling a token whose deadline already passed must not
+        // disturb either observation: it stays cancelled and the
+        // deadline stays expired (the audit classification is stable).
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
+        assert_eq!(t.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn child_inherits_parent_cancellation_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "cancelling a child must not cancel the parent");
+
+        let child2 = parent.child();
+        parent.cancel();
+        assert!(child2.is_cancelled(), "parent cancellation reaches children");
+        // Grandchildren created after the fact see it too.
+        assert!(child2.child().is_cancelled());
+    }
+
+    #[test]
+    fn parent_deadline_cancels_child_but_is_not_the_childs_deadline() {
+        let parent = CancelToken::with_deadline(Duration::ZERO);
+        let child = parent.child();
+        assert!(child.is_cancelled(), "expired parent deadline cancels the child");
+        assert!(!child.deadline_expired(), "the child has no deadline of its own");
+        assert!(parent.deadline_expired());
+
+        // A zero-duration child deadline under a healthy parent is its
+        // own deadline hit.
+        let healthy = CancelToken::new();
+        let hurried = healthy.child_with_deadline(Duration::ZERO);
+        assert!(hurried.is_cancelled());
+        assert!(hurried.deadline_expired());
+        assert!(!healthy.is_cancelled());
+    }
+
+    #[test]
+    fn child_of_never_behaves_like_a_fresh_token() {
+        let child = CancelToken::never().child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!child.deadline_expired());
+    }
+
+    #[test]
     fn ambient_token_nests_and_restores() {
         assert!(!ambient_token().is_cancelled());
         let outer = CancelToken::new();
@@ -610,6 +696,46 @@ mod tests {
             outer.cancel();
             assert!(ambient_token().is_cancelled());
         }
+        assert!(!ambient_token().is_cancelled());
+    }
+
+    #[test]
+    fn nested_ambient_guards_restore_through_three_scopes() {
+        // The serving pattern: a process token, a per-request token
+        // nested inside it, and a per-stage-attempt token nested inside
+        // that. Each scope's guard must restore exactly the token it
+        // shadowed, and parent cancellation must stay observable from
+        // the innermost ambient clone.
+        let process = CancelToken::new();
+        {
+            let _g0 = set_ambient(process.clone());
+            let request = ambient_token().child();
+            {
+                let _g1 = set_ambient(request.clone());
+                let attempt = ambient_token().child();
+                {
+                    let _g2 = set_ambient(attempt.clone());
+                    assert!(!ambient_token().is_cancelled());
+                    // Cancelling the *request* is seen by the attempt's
+                    // ambient clone through the parent chain.
+                    request.cancel();
+                    assert!(ambient_token().is_cancelled());
+                }
+                assert!(ambient_token().is_cancelled(), "request scope is cancelled");
+            }
+            assert!(!ambient_token().is_cancelled(), "process scope is untouched");
+        }
+        assert!(!ambient_token().is_cancelled());
+        assert!(!process.is_cancelled());
+    }
+
+    #[test]
+    fn zero_duration_deadline_on_ambient_child_is_immediate() {
+        let _g = set_ambient(CancelToken::new());
+        let attempt = ambient_token().child_with_deadline(Duration::ZERO);
+        assert!(attempt.is_cancelled());
+        assert!(attempt.deadline_expired());
+        // Expiry of the attempt does not leak upward into the ambient.
         assert!(!ambient_token().is_cancelled());
     }
 

@@ -18,6 +18,10 @@ pub const WALL_CLOCK_SANCTIONED: &[(&str, &str)] = &[
         "crates/core/src/stage/context.rs",
         "per-stage wall-time metrics are an explicitly observable effect",
     ),
+    (
+        "crates/serve/src/clock.rs",
+        "request latency and queue-wait accounting need one real stopwatch",
+    ),
 ];
 
 /// Tokens counted as panic sites (LL03). `.unwrap_or(`-style methods do

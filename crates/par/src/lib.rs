@@ -144,6 +144,38 @@ impl Default for ParOptions {
     }
 }
 
+/// RAII guard from [`sequential_scope`]: while alive, the current
+/// thread counts as "inside a worker", so every parallel primitive it
+/// calls (directly or deep inside a flow) collapses to the exact
+/// sequential path. Restores the previous state on drop, even on
+/// unwind; scopes nest.
+///
+/// This is the multi-tenant knob: a harness running N independent jobs
+/// on N plain threads (the `lily-serve` admission workers) wraps each
+/// job in a scope so the jobs *are* the parallelism — without the
+/// scope, every job would spawn its own full-width pool and the
+/// process would run N × `configured_threads()` threads.
+#[derive(Debug)]
+pub struct SequentialScope {
+    prev: bool,
+}
+
+impl Drop for SequentialScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|w| w.set(prev));
+    }
+}
+
+/// Marks the current thread as inside a parallel region for the
+/// returned guard's lifetime: [`effective_threads`] reads 1 and every
+/// primitive runs its exact sequential path. Results are unchanged by
+/// contract (thread count never alters output); only scheduling is.
+pub fn sequential_scope() -> SequentialScope {
+    let prev = IN_WORKER.with(|w| w.replace(true));
+    SequentialScope { prev }
+}
+
 /// RAII marker making the current thread count as "inside a worker"
 /// for the duration of a parallel region (restores the previous state
 /// even on unwind).
@@ -565,6 +597,28 @@ mod tests {
         assert!(inner_threads.iter().all(|&t| t == 1), "nested region saw {inner_threads:?}");
         // Back outside the region the configured count is visible again.
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn sequential_scope_collapses_and_restores() {
+        set_threads(Some(6));
+        assert_eq!(effective_threads(), 6);
+        {
+            let _outer = sequential_scope();
+            assert_eq!(effective_threads(), 1, "scope collapses primitives to sequential");
+            assert_eq!(ParOptions::current().threads(), 1);
+            {
+                let _inner = sequential_scope();
+                assert_eq!(effective_threads(), 1, "scopes nest");
+            }
+            assert_eq!(effective_threads(), 1, "inner drop restores the outer scope");
+            // Results under a scope match the unscoped run exactly.
+            let items: Vec<u64> = (0..128).collect();
+            let got = par_map(&ParOptions::current(), &items, |x| x * 7 + 3);
+            assert_eq!(got, items.iter().map(|x| x * 7 + 3).collect::<Vec<_>>());
+        }
+        assert_eq!(effective_threads(), 6, "dropping the scope restores the full pool");
+        set_threads(None);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Bounded admission queue with typed overload rejection.
+//!
+//! Producers (connection readers) submit without ever blocking: a
+//! full queue is an immediate, typed [`SubmitError::Overloaded`], so
+//! backpressure reaches the client as a `rejected` frame instead of
+//! an unbounded memory footprint or a stalled reader. Consumers
+//! (workers) block on [`Admission::next`] until an item arrives or
+//! the queue closes for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Typed admission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the caller should reject the
+    /// request rather than wait.
+    Overloaded {
+        /// The configured capacity, echoed to the client.
+        capacity: usize,
+    },
+    /// The queue has been closed (server shutting down).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            SubmitError::Closed => write!(f, "admission queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue. Clone-free: share
+/// it behind an `Arc`.
+#[derive(Debug)]
+pub struct Admission<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Admission<T> {
+    /// An open queue holding at most `capacity` pending items.
+    /// Capacity 0 is clamped to 1 (a queue that rejects everything
+    /// would make the server a very elaborate `/dev/null`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently waiting (not including ones being worked on).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).queue.len()
+    }
+
+    /// Non-blocking submit. On success returns the queue depth
+    /// *including* the new item (so 1 means "next up").
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] at capacity, [`SubmitError::Closed`]
+    /// after [`Admission::close`].
+    pub fn submit(&self, item: T) -> Result<usize, SubmitError> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.closed {
+            return Err(SubmitError::Closed);
+        }
+        if st.queue.len() >= self.capacity {
+            return Err(SubmitError::Overloaded { capacity: self.capacity });
+        }
+        st.queue.push_back(item);
+        let depth = st.queue.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means "no more work, ever" (worker exits).
+    pub fn next(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new submissions
+    /// fail, and blocked workers wake to observe the close.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn overload_is_a_typed_rejection_not_a_block() {
+        let q = Admission::new(2);
+        assert_eq!(q.submit(1), Ok(1));
+        assert_eq!(q.submit(2), Ok(2));
+        assert_eq!(q.submit(3), Err(SubmitError::Overloaded { capacity: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.submit(3), Ok(2), "draining reopens admission");
+    }
+
+    #[test]
+    fn close_drains_then_terminates_workers() {
+        let q = Arc::new(Admission::new(4));
+        q.submit(10).unwrap();
+        q.submit(11).unwrap();
+        q.close();
+        assert_eq!(q.submit(12), Err(SubmitError::Closed));
+        assert_eq!(q.next(), Some(10));
+        assert_eq!(q.next(), Some(11));
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_submit_and_on_close() {
+        let q = Arc::new(Admission::<u32>::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.next() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        // Give the worker a moment to drain, then close to release it.
+        while q.depth() > 0 {
+            std::thread::yield_now();
+        }
+        q.close();
+        let got = worker.join().unwrap();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q = Admission::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.submit(7), Ok(1));
+    }
+}

@@ -1,0 +1,34 @@
+//! The serve crate's sanctioned wall-clock readings.
+//!
+//! Everything the daemon *computes* is deterministic; wall time leaks
+//! into exactly two observables, both confined to this module so the
+//! `LL02` lint can sanction one path instead of scattered call sites:
+//!
+//! - queue-wait and request-latency measurements reported by the
+//!   `stats` RPC (operational visibility, never fed back into
+//!   mapping decisions), and
+//! - per-request deadlines, which delegate to `lily-fault`'s
+//!   [`CancelToken`](lily_fault::CancelToken) machinery and merely
+//!   *start* here.
+
+use std::time::Instant;
+
+/// A started stopwatch; read it once with [`Stopwatch::elapsed_ns`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the watch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self { t0: Instant::now() }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

@@ -1,0 +1,713 @@
+//! The daemon: TCP accept loop, per-connection readers, and the
+//! worker pool draining the admission queue.
+//!
+//! ## Concurrency policy
+//!
+//! `workers` jobs run at once. With more than one worker, each job is
+//! wrapped in [`lily_par::sequential_scope`], so the *jobs* are the
+//! parallelism and the process never oversubscribes the machine; with
+//! exactly one worker, that single job gets the whole deterministic
+//! pool. Either way every flow's result is byte-identical to a
+//! standalone run — the workspace determinism contract makes worker
+//! count an operational knob, not an observable one.
+//!
+//! ## Cancellation chain
+//!
+//! A process-wide [`CancelToken`] parents a per-request token (which
+//! carries the request deadline), which in turn parents every stage
+//! attempt's token inside the flow. Shutdown cancels the root;
+//! disconnects cancel the request tokens a connection registered;
+//! deadlines expire on their own — and all three reach into running
+//! stage kernels through the same chain.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lily_core::json::{JsonObject, ParseLimits};
+use lily_core::{run_flow_checkpointed, FlowOptions, MapError};
+use lily_fault::{CancelToken, FaultPlan};
+use lily_netlist::decompose::{decompose, DecomposeOrder};
+use lily_netlist::{blif, Network};
+
+use crate::admission::{Admission, SubmitError};
+use crate::cache::LibraryCache;
+use crate::clock::Stopwatch;
+use crate::protocol::{
+    error_kind, reply, Event, FaultSpec, MapRequest, ProbeRequest, Request, Source,
+};
+use crate::wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME};
+use crate::ServeError;
+
+/// Server construction knobs; `Default` is a loopback server on an
+/// OS-assigned port.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0`.
+    pub addr: String,
+    /// Admission queue capacity (pending jobs beyond the running
+    /// ones); submissions past it get typed `rejected` frames.
+    pub queue_capacity: usize,
+    /// Concurrent jobs. 0 means "the parallel runtime's effective
+    /// thread count".
+    pub workers: usize,
+    /// Per-frame payload ceiling, both directions.
+    pub max_frame: usize,
+    /// Where checkpointed (resumable) jobs keep their artifacts;
+    /// `None` rejects `checkpoint` requests as bad requests.
+    pub checkpoint_root: Option<PathBuf>,
+    /// How long a fresh connection may sit silent before its first
+    /// frame; afterwards reads block indefinitely (jobs are slow).
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 16,
+            workers: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            checkpoint_root: None,
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    cancelled: AtomicU64,
+    deadlines: AtomicU64,
+    disconnects: AtomicU64,
+    max_queue_wait_ns: AtomicU64,
+}
+
+/// One point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Jobs refused with a typed overload rejection.
+    pub rejected: u64,
+    /// Jobs that finished with a `done` frame.
+    pub completed: u64,
+    /// Jobs that finished with an `error` frame (other than
+    /// cancellation/deadline).
+    pub errored: u64,
+    /// Jobs ended by cancellation (disconnect or shutdown).
+    pub cancelled: u64,
+    /// Jobs ended by their per-request deadline.
+    pub deadlines: u64,
+    /// Connections that dropped with requests still registered.
+    pub disconnects: u64,
+    /// Warm-cache hits.
+    pub cache_hits: u64,
+    /// Warm-cache misses (library builds).
+    pub cache_misses: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: u64,
+    /// The admission queue capacity.
+    pub queue_capacity: u64,
+    /// Concurrent-job worker count.
+    pub workers: u64,
+    /// Longest observed queue wait, nanoseconds (wall clock; an
+    /// operational observable, never an input to mapping).
+    pub max_queue_wait_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as a `stats` reply frame.
+    #[must_use]
+    pub fn to_frame(&self, id: u64) -> String {
+        JsonObject::new()
+            .uint("id", id)
+            .string("event", "stats")
+            .uint("accepted", self.accepted)
+            .uint("rejected", self.rejected)
+            .uint("completed", self.completed)
+            .uint("errored", self.errored)
+            .uint("cancelled", self.cancelled)
+            .uint("deadlines", self.deadlines)
+            .uint("disconnects", self.disconnects)
+            .uint("cache_hits", self.cache_hits)
+            .uint("cache_misses", self.cache_misses)
+            .uint("queue_depth", self.queue_depth)
+            .uint("queue_capacity", self.queue_capacity)
+            .uint("workers", self.workers)
+            .uint("max_queue_wait_ns", self.max_queue_wait_ns)
+            .finish()
+    }
+
+    /// Parses a `stats` event body back into a snapshot (client side).
+    #[must_use]
+    pub fn from_event(e: &Event) -> Self {
+        let get = |k: &str| e.body.get(k).and_then(lily_core::json::Json::as_u64).unwrap_or(0);
+        Self {
+            accepted: get("accepted"),
+            rejected: get("rejected"),
+            completed: get("completed"),
+            errored: get("errored"),
+            cancelled: get("cancelled"),
+            deadlines: get("deadlines"),
+            disconnects: get("disconnects"),
+            cache_hits: get("cache_hits"),
+            cache_misses: get("cache_misses"),
+            queue_depth: get("queue_depth"),
+            queue_capacity: get("queue_capacity"),
+            workers: get("workers"),
+            max_queue_wait_ns: get("max_queue_wait_ns"),
+        }
+    }
+}
+
+/// Per-connection shared state: the write half (workers interleave
+/// reply frames through one mutex), the tokens of this connection's
+/// in-flight requests (cancelled on disconnect), and liveness.
+#[derive(Debug)]
+struct Conn {
+    writer: Mutex<TcpStream>,
+    tokens: Mutex<Vec<(u64, CancelToken)>>,
+    alive: AtomicBool,
+    max_frame: usize,
+}
+
+impl Conn {
+    /// Best-effort frame send; a write failure marks the connection
+    /// dead (the peer is gone — nobody is listening for complaints).
+    fn send(&self, frame: &str) {
+        if !self.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let mut w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if write_frame(&mut *w, frame, self.max_frame).is_err() {
+            self.alive.store(false, Ordering::Release);
+        }
+    }
+
+    fn register(&self, id: u64, token: CancelToken) {
+        self.tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push((id, token));
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut t = self.tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        t.retain(|(tid, _)| *tid != id);
+    }
+
+    /// Disconnect: cancel everything this connection still has in
+    /// flight. Returns how many requests were cut down.
+    fn cancel_all(&self) -> usize {
+        self.alive.store(false, Ordering::Release);
+        let t = self.tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (_, token) in t.iter() {
+            token.cancel();
+        }
+        t.len()
+    }
+}
+
+#[derive(Debug)]
+enum JobKind {
+    Map(MapRequest),
+    Probe(ProbeRequest),
+}
+
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    kind: JobKind,
+    cancel: CancelToken,
+    conn: Arc<Conn>,
+    queued: Stopwatch,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: ServerConfig,
+    addr: SocketAddr,
+    admission: Admission<Job>,
+    cache: LibraryCache,
+    stats: Stats,
+    process: CancelToken,
+    shutdown: AtomicBool,
+    workers: usize,
+    collapse: bool,
+}
+
+impl Inner {
+    fn snapshot(&self) -> StatsSnapshot {
+        let cache = self.cache.stats();
+        StatsSnapshot {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            errored: self.stats.errored.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            deadlines: self.stats.deadlines.load(Ordering::Relaxed),
+            disconnects: self.stats.disconnects.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            queue_depth: self.admission.depth() as u64,
+            queue_capacity: self.admission.capacity() as u64,
+            workers: self.workers as u64,
+            max_queue_wait_ns: self.stats.max_queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Root of the cancellation chain: every in-flight and queued
+        // job observes this through its request token's parent.
+        self.process.cancel();
+        self.admission.close();
+        // A throwaway connection unblocks the accept loop so it can
+        // observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A bound (but not yet running) server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listener and sizes the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound.
+    pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::Bind { addr: config.addr.clone(), message: e.to_string() })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Bind { addr: config.addr.clone(), message: e.to_string() })?;
+        let workers = if config.workers == 0 {
+            lily_par::effective_threads()
+        } else {
+            config.workers.min(lily_par::MAX_THREADS)
+        };
+        let inner = Arc::new(Inner {
+            admission: Admission::new(config.queue_capacity),
+            cache: LibraryCache::new(),
+            stats: Stats::default(),
+            process: CancelToken::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers,
+            collapse: workers > 1,
+            config,
+        });
+        Ok(Self { listener, inner })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Runs the daemon until a `shutdown` request arrives: spawns the
+    /// worker pool, accepts connections, and drains in-flight jobs
+    /// before returning the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after a successful bind; the `Result`
+    /// reserves room for fatal runtime conditions.
+    pub fn run(self) -> Result<StatsSnapshot, ServeError> {
+        let inner = self.inner;
+        let workers: Vec<_> = (0..inner.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        for stream in self.listener.incoming() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || serve_conn(stream, &inner));
+        }
+        inner.admission.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(inner.snapshot())
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some(job) = inner.admission.next() {
+        let conn = Arc::clone(&job.conn);
+        let id = job.id;
+        let wait = job.queued.elapsed_ns();
+        inner.stats.max_queue_wait_ns.fetch_max(wait, Ordering::Relaxed);
+        // A panicking job must cost exactly one error frame, never a
+        // worker: the pool's size is part of the service contract.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(inner, &job)));
+        if outcome.is_err() {
+            inner.stats.errored.fetch_add(1, Ordering::Relaxed);
+            conn.send(&reply::error(id, "internal-panic", "job panicked; worker recovered"));
+        }
+        conn.unregister(id);
+    }
+}
+
+fn run_job(inner: &Arc<Inner>, job: &Job) {
+    if job.cancel.is_cancelled() {
+        finish_cancelled(inner, job);
+        return;
+    }
+    // Multi-tenancy: with several workers, each job runs its flow
+    // sequentially so the jobs themselves are the parallelism.
+    let _seq = inner.collapse.then(lily_par::sequential_scope);
+    // Make the request token (deadline, disconnect, shutdown) the
+    // ambient parent of every stage attempt inside the flow.
+    let _ambient = lily_fault::set_ambient(job.cancel.clone());
+    match &job.kind {
+        JobKind::Map(req) => run_map(inner, job, req),
+        JobKind::Probe(req) => run_probe(inner, job, req),
+    }
+}
+
+fn finish_cancelled(inner: &Arc<Inner>, job: &Job) {
+    if job.cancel.deadline_expired() {
+        inner.stats.deadlines.fetch_add(1, Ordering::Relaxed);
+        job.conn.send(&reply::error(job.id, "deadline", "request deadline expired"));
+    } else {
+        inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        job.conn.send(&reply::error(job.id, "cancelled", "request cancelled"));
+    }
+}
+
+/// Sends the terminal `error` frame for a failed flow, classifying a
+/// cooperative cancellation against the *request*-level causes: the
+/// request deadline, the peer vanishing, or server shutdown.
+fn finish_error(inner: &Arc<Inner>, job: &Job, e: &MapError) {
+    if matches!(e, MapError::Cancelled { .. }) {
+        finish_cancelled(inner, job);
+        return;
+    }
+    inner.stats.errored.fetch_add(1, Ordering::Relaxed);
+    job.conn.send(&reply::error(job.id, error_kind(e), &e.to_string()));
+}
+
+fn resolve_network(source: &Source) -> Result<Network, (&'static str, String)> {
+    match source {
+        Source::Blif(text) => blif::parse(text).map_err(|e| ("netlist", e.to_string())),
+        Source::Circuit(name) => {
+            if lily_workloads::circuits::circuit_names().contains(&name.as_str()) {
+                Ok(lily_workloads::circuits::circuit(name))
+            } else {
+                Err(("bad-request", format!("unknown circuit `{name}`")))
+            }
+        }
+    }
+}
+
+fn flow_options(req: &MapRequest) -> Result<FlowOptions, (&'static str, String)> {
+    let mut options = match req.flow.as_str() {
+        "mis-area" => FlowOptions::mis_area(),
+        "lily-area" => FlowOptions::lily_area(),
+        "mis-delay" => FlowOptions::mis_delay(),
+        "lily-delay" => FlowOptions::lily_delay(),
+        other => return Err(("bad-request", format!("unknown flow `{other}`"))),
+    };
+    // Service responses must not depend on the build profile, so pin
+    // what `FlowOptions::base` derives from `debug_assertions`.
+    options.verify = false;
+    if let Some(ms) = req.stage_deadline_ms {
+        options.stage_deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(n) = req.stage_retries {
+        options.stage_retries = n;
+    }
+    Ok(options)
+}
+
+fn fault_plan(spec: &FaultSpec) -> FaultPlan {
+    match spec {
+        FaultSpec::None => FaultPlan::new(),
+        FaultSpec::Plan(plan) => plan.clone(),
+        FaultSpec::Seed { seed, benign } => FaultPlan::random(*seed, *benign),
+    }
+}
+
+/// Checkpoint job ids become directory names; keep them boring.
+fn sanitize_job_id(id: &str) -> Result<&str, (&'static str, String)> {
+    let ok = !id.is_empty()
+        && id.len() <= 64
+        && id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if ok {
+        Ok(id)
+    } else {
+        Err(("bad-request", format!("checkpoint id `{id}` must be [A-Za-z0-9_-]{{1,64}}")))
+    }
+}
+
+fn run_map(inner: &Arc<Inner>, job: &Job, req: &MapRequest) {
+    let step = (|| -> Result<(), (&'static str, String)> {
+        let (entry, hit) =
+            inner.cache.get(&req.library).map_err(|e| ("bad-request", e.to_string()))?;
+        let cache_tag = if hit { "hit" } else { "miss" };
+        let net = resolve_network(&req.source)?;
+        let options = flow_options(req)?;
+        let plan = fault_plan(&req.faults);
+
+        if let Some(ckpt_id) = &req.checkpoint {
+            let ckpt_id = sanitize_job_id(ckpt_id)?;
+            let Some(root) = &inner.config.checkpoint_root else {
+                return Err((
+                    "bad-request",
+                    "server started without --checkpoint-root; resumable jobs unavailable"
+                        .to_string(),
+                ));
+            };
+            if !plan.is_empty() {
+                return Err((
+                    "bad-request",
+                    "checkpointed jobs do not accept fault plans (use kill_after)".to_string(),
+                ));
+            }
+            if let Some(stage) = &req.kill_after {
+                if !lily_core::checkpoint::STAGE_NAMES.contains(&stage.as_str()) {
+                    return Err(("bad-request", format!("unknown kill_after stage `{stage}`")));
+                }
+            }
+            let dir = root.join(ckpt_id);
+            match run_flow_checkpointed(
+                &net,
+                &entry.library,
+                &options,
+                &dir,
+                req.kill_after.as_deref(),
+            ) {
+                Ok(result) => {
+                    let flow = req.flow.split('-').next().unwrap_or("mis");
+                    for r in result.metrics.stages.records() {
+                        job.conn.send(&reply::stage(job.id, flow, r));
+                    }
+                    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    job.conn.send(&reply::done_single(
+                        job.id,
+                        cache_tag,
+                        0,
+                        &result.metrics.to_json(),
+                    ));
+                }
+                Err(e) => finish_error(inner, job, &e),
+            }
+            return Ok(());
+        }
+
+        if req.compare {
+            let (result, report) =
+                lily_core::flow::compare_flows_chaos(&net, &entry.library, &options, &plan);
+            match result {
+                Ok(cmp) => {
+                    for r in cmp.mis.metrics.stages.records() {
+                        job.conn.send(&reply::stage(job.id, "mis", r));
+                    }
+                    for r in cmp.lily.metrics.stages.records() {
+                        job.conn.send(&reply::stage(job.id, "lily", r));
+                    }
+                    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    job.conn.send(&reply::done_compare(
+                        job.id,
+                        cache_tag,
+                        report.fired.len(),
+                        &cmp.mis.metrics.to_json(),
+                        &cmp.lily.metrics.to_json(),
+                    ));
+                }
+                Err(e) => finish_error(inner, job, &e),
+            }
+        } else {
+            let (result, report) =
+                lily_core::flow::run_flow_chaos(&net, &entry.library, &options, &plan);
+            match result {
+                Ok(flow_result) => {
+                    let flow = req.flow.split('-').next().unwrap_or("mis");
+                    for r in flow_result.metrics.stages.records() {
+                        job.conn.send(&reply::stage(job.id, flow, r));
+                    }
+                    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    job.conn.send(&reply::done_single(
+                        job.id,
+                        cache_tag,
+                        report.fired.len(),
+                        &flow_result.metrics.to_json(),
+                    ));
+                }
+                Err(e) => finish_error(inner, job, &e),
+            }
+        }
+        Ok(())
+    })();
+    if let Err((kind, message)) = step {
+        inner.stats.errored.fetch_add(1, Ordering::Relaxed);
+        job.conn.send(&reply::error(job.id, kind, &message));
+    }
+}
+
+fn run_probe(inner: &Arc<Inner>, job: &Job, req: &ProbeRequest) {
+    let step = (|| -> Result<(usize, usize, &'static str), (&'static str, String)> {
+        let (entry, hit) =
+            inner.cache.get(&req.library).map_err(|e| ("bad-request", e.to_string()))?;
+        let net = resolve_network(&req.source)?;
+        let g =
+            decompose(&net, DecomposeOrder::Balanced).map_err(|e| ("netlist", e.to_string()))?;
+        let total = entry.with_scratch(|scratch| {
+            let mut total = 0usize;
+            for v in g.node_ids() {
+                if job.cancel.is_cancelled() {
+                    return Err(("cancelled-probe", String::new()));
+                }
+                total += lily_core::matching::matches_at_with(&g, &entry.library, v, scratch).len();
+            }
+            Ok(total)
+        })?;
+        Ok((g.node_count(), total, if hit { "hit" } else { "miss" }))
+    })();
+    match step {
+        Ok((nodes, matches, cache_tag)) => {
+            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            job.conn.send(&reply::probe_done(job.id, cache_tag, nodes, matches));
+        }
+        Err(("cancelled-probe", _)) => finish_cancelled(inner, job),
+        Err((kind, message)) => {
+            inner.stats.errored.fetch_add(1, Ordering::Relaxed);
+            job.conn.send(&reply::error(job.id, kind, &message));
+        }
+    }
+}
+
+/// One connection's reader loop: frames in, dispatch, frames out.
+fn serve_conn(stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.handshake_timeout));
+    let Ok(writer) = stream.try_clone() else { return };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        tokens: Mutex::new(Vec::new()),
+        alive: AtomicBool::new(true),
+        max_frame: inner.config.max_frame,
+    });
+    let mut reader = stream;
+    let mut saw_frame = false;
+    loop {
+        match read_frame(&mut reader, inner.config.max_frame) {
+            Ok(text) => {
+                if !saw_frame {
+                    saw_frame = true;
+                    // Jobs can legitimately take a long time; only the
+                    // pre-handshake silence is bounded.
+                    let _ = reader.set_read_timeout(None);
+                }
+                if dispatch(inner, &conn, &text) == Dispatch::Stop {
+                    return;
+                }
+            }
+            Err(WireError::FrameTooLarge { size, limit }) => {
+                // The oversized payload cannot be skipped; reject and
+                // drop the connection.
+                conn.send(&reply::error(
+                    0,
+                    "frame-too-large",
+                    &format!("frame of {size} bytes exceeds the {limit}-byte limit"),
+                ));
+                break;
+            }
+            Err(WireError::BadUtf8 { offset }) => {
+                // The full payload was consumed, so framing is still
+                // in sync; answer and keep reading.
+                conn.send(&reply::error(
+                    0,
+                    "bad-utf8",
+                    &format!("payload is not UTF-8 (offset {offset})"),
+                ));
+            }
+            // Clean EOF, truncation, reset, handshake timeout: all
+            // mean the peer is gone.
+            Err(_) => break,
+        }
+    }
+    let in_flight = conn.cancel_all();
+    if in_flight > 0 {
+        inner.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum Dispatch {
+    Continue,
+    Stop,
+}
+
+fn dispatch(inner: &Arc<Inner>, conn: &Arc<Conn>, text: &str) -> Dispatch {
+    let limits = ParseLimits { max_bytes: inner.config.max_frame, ..ParseLimits::default() };
+    let request = match Request::from_json(text, limits) {
+        Ok(r) => r,
+        Err(e) => {
+            let id = Request::salvage_id(text, limits);
+            conn.send(&reply::error(id, "bad-request", &e.to_string()));
+            return Dispatch::Continue;
+        }
+    };
+    match request {
+        Request::Ping { id } => conn.send(&reply::pong(id)),
+        Request::Stats { id } => conn.send(&inner.snapshot().to_frame(id)),
+        Request::Shutdown { id } => {
+            conn.send(&reply::ok(id));
+            inner.begin_shutdown();
+            return Dispatch::Stop;
+        }
+        Request::Map(req) => {
+            let (id, deadline) = (req.id, req.deadline_ms);
+            enqueue(inner, conn, id, deadline, JobKind::Map(req));
+        }
+        Request::Probe(req) => {
+            let id = req.id;
+            enqueue(inner, conn, id, None, JobKind::Probe(req));
+        }
+    }
+    Dispatch::Continue
+}
+
+fn enqueue(inner: &Arc<Inner>, conn: &Arc<Conn>, id: u64, deadline_ms: Option<u64>, kind: JobKind) {
+    let cancel = match deadline_ms {
+        Some(ms) => inner.process.child_with_deadline(Duration::from_millis(ms)),
+        None => inner.process.child(),
+    };
+    conn.register(id, cancel.clone());
+    let job = Job { id, kind, cancel, conn: Arc::clone(conn), queued: Stopwatch::start() };
+    match inner.admission.submit(job) {
+        Ok(depth) => {
+            inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            conn.send(&reply::accepted(id, depth));
+        }
+        Err(SubmitError::Overloaded { capacity }) => {
+            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            conn.unregister(id);
+            conn.send(&reply::rejected(id, capacity));
+        }
+        Err(SubmitError::Closed) => {
+            conn.unregister(id);
+            conn.send(&reply::error(id, "shutting-down", "server is shutting down"));
+        }
+    }
+}

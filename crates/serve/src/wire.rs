@@ -1,0 +1,196 @@
+//! Length-prefixed frame codec.
+//!
+//! Every message — request or response — travels as one *frame*: a
+//! 4-byte big-endian payload length followed by that many bytes of
+//! UTF-8 JSON. The prefix makes message boundaries explicit, so a
+//! malformed payload never desynchronizes the stream: the reader can
+//! always skip to the next frame and answer with a typed error.
+//!
+//! Both directions enforce a frame-size ceiling *before* allocating,
+//! so a hostile 4-GiB length prefix costs four bytes of reading, not
+//! four gigabytes of memory.
+
+use std::io::{Read, Write};
+
+/// Hard ceiling a codec refuses to cross even if misconfigured higher.
+pub const ABSOLUTE_MAX_FRAME: usize = 64 << 20;
+
+/// Default per-frame payload ceiling (8 MiB): comfortably above any
+/// realistic BLIF request or metrics response, far below trouble.
+pub const DEFAULT_MAX_FRAME: usize = 8 << 20;
+
+/// Typed framing failure. `Closed` is the *clean* end of a stream
+/// (EOF exactly at a frame boundary); everything else is a defect of
+/// the peer or the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the stream at a frame boundary.
+    Closed,
+    /// EOF or error in the middle of a frame.
+    Truncated {
+        /// Bytes the frame promised.
+        expected: usize,
+        /// Bytes actually delivered before the stream ended.
+        got: usize,
+    },
+    /// The length prefix exceeds the configured ceiling.
+    FrameTooLarge {
+        /// Declared payload size.
+        size: usize,
+        /// The ceiling in force.
+        limit: usize,
+    },
+    /// The payload is not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset of the first invalid sequence.
+        offset: usize,
+    },
+    /// Transport-level I/O failure (connection reset, timeout, ...).
+    Io {
+        /// The `std::io::ErrorKind`, stringified for a typed-but-
+        /// portable representation.
+        kind: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "stream closed at frame boundary"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "frame truncated: expected {expected} payload bytes, got {got}")
+            }
+            WireError::FrameTooLarge { size, limit } => {
+                write!(f, "frame of {size} bytes exceeds the {limit}-byte limit")
+            }
+            WireError::BadUtf8 { offset } => {
+                write!(f, "frame payload is not UTF-8 (first bad byte at offset {offset})")
+            }
+            WireError::Io { kind } => write!(f, "transport error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn io_err(e: &std::io::Error) -> WireError {
+    WireError::Io { kind: e.kind().to_string() }
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived when
+/// the stream ends early (so `Truncated` can say where it died).
+fn read_exact_counting(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, WireError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(&e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Reads one frame. Returns the payload text, `Err(Closed)` on a
+/// clean EOF between frames, or a typed error for anything else. A
+/// zero-length frame yields an empty string (the JSON layer will
+/// reject it as malformed — the framing layer stays in sync).
+///
+/// # Errors
+///
+/// Every [`WireError`] variant, as described on the type.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<String, WireError> {
+    let limit = max_frame.min(ABSOLUTE_MAX_FRAME);
+    let mut header = [0u8; 4];
+    match read_exact_counting(r, &mut header)? {
+        0 => return Err(WireError::Closed),
+        4 => {}
+        got => return Err(WireError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > limit {
+        return Err(WireError::FrameTooLarge { size: len, limit });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_exact_counting(r, &mut payload)?;
+    if got < len {
+        return Err(WireError::Truncated { expected: len, got });
+    }
+    String::from_utf8(payload)
+        .map_err(|e| WireError::BadUtf8 { offset: e.utf8_error().valid_up_to() })
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when the payload exceeds the ceiling,
+/// [`WireError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, payload: &str, max_frame: usize) -> Result<(), WireError> {
+    let limit = max_frame.min(ABSOLUTE_MAX_FRAME);
+    let bytes = payload.as_bytes();
+    if bytes.len() > limit {
+        return Err(WireError::FrameTooLarge { size: bytes.len(), limit });
+    }
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| WireError::FrameTooLarge { size: bytes.len(), limit })?;
+    let mut msg = Vec::with_capacity(4 + bytes.len());
+    msg.extend_from_slice(&len.to_be_bytes());
+    msg.extend_from_slice(bytes);
+    w.write_all(&msg).map_err(|e| io_err(&e))?;
+    w.flush().map_err(|e| io_err(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"id\":1}", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), "{\"id\":1}");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let buf = 0xffff_ffffu32.to_be_bytes().to_vec();
+        let got = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME);
+        assert_eq!(
+            got,
+            Err(WireError::FrameTooLarge { size: 0xffff_ffff, limit: DEFAULT_MAX_FRAME })
+        );
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_distinguished_from_clean_eof() {
+        // Two header bytes then EOF.
+        let got = read_frame(&mut [0u8, 0].as_slice(), DEFAULT_MAX_FRAME);
+        assert_eq!(got, Err(WireError::Truncated { expected: 4, got: 2 }));
+        // Full header promising 10 bytes, only 3 delivered.
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let got = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME);
+        assert_eq!(got, Err(WireError::Truncated { expected: 10, got: 3 }));
+    }
+
+    #[test]
+    fn invalid_utf8_payload_is_a_typed_error() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let got = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME);
+        assert_eq!(got, Err(WireError::BadUtf8 { offset: 0 }));
+    }
+
+    #[test]
+    fn oversized_write_is_refused_locally() {
+        let mut buf = Vec::new();
+        let payload = "x".repeat(32);
+        let got = write_frame(&mut buf, &payload, 16);
+        assert_eq!(got, Err(WireError::FrameTooLarge { size: 32, limit: 16 }));
+        assert!(buf.is_empty(), "nothing must reach the wire");
+    }
+}

@@ -27,8 +27,9 @@
 //! fault-free flow succeeds, and must produce a structurally legal
 //! mapped netlist; the other half draw harsh plans and may fail, but
 //! only with a typed error. Any violation — and any panic — writes the
-//! failing recipe to `lily-fuzz-replay.json`; `--replay <file>`
-//! re-runs exactly that case.
+//! failing recipe to `lily-fuzz-replay.json` (override the path with
+//! `--replay-out <file>` so concurrent harnesses do not clobber each
+//! other's recipes); `--replay <file>` re-runs exactly that case.
 //!
 //! Cases fan out across the deterministic `lily-par` worker pool
 //! (`--threads` / `LILY_THREADS`); each case is an independent seeded
@@ -61,6 +62,8 @@ struct Args {
     /// `Some(n)`: chaos mode with `n` fault-injected cases.
     faults: Option<u64>,
     replay: Option<String>,
+    /// Where a failing recipe is written (default [`REPLAY_FILE`]).
+    replay_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         verbose: false,
         faults: None,
         replay: None,
+        replay_out: REPLAY_FILE.to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
                 args.faults = Some(v.parse().map_err(|_| format!("bad --faults `{v}`"))?);
             }
             "--replay" => args.replay = Some(it.next().ok_or("--replay needs a value")?),
+            "--replay-out" => {
+                args.replay_out = it.next().ok_or("--replay-out needs a value")?;
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 let v = v.strip_prefix("0x").unwrap_or(&v);
@@ -100,8 +107,8 @@ fn parse_args() -> Result<Args, String> {
             "--verbose" => args.verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: lily-fuzz [--count N] [--faults N] [--replay <file>] [--seed HEX] \
-                     [--threads N] [--verbose]"
+                    "usage: lily-fuzz [--count N] [--faults N] [--replay <file>] \
+                     [--replay-out <file>] [--seed HEX] [--threads N] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -287,13 +294,13 @@ fn run_replay(path: &str) -> Result<(), String> {
 }
 
 /// Writes the failing recipe and prints how to reproduce it.
-fn report_failure(seed: u64, case: u64, chaos: bool, msg: &str) {
+fn report_failure(seed: u64, case: u64, chaos: bool, msg: &str, out: &str) {
     eprintln!("lily-fuzz: FAIL at case {case} (seed {seed:#x}): {msg}");
     let faults = if chaos { chaos_plan(seed, case) } else { FaultPlan::new() };
     let replay = Replay { seed, case, faults };
-    match std::fs::write(REPLAY_FILE, replay.to_json()) {
-        Ok(()) => eprintln!("reproduce with: lily-fuzz --replay {REPLAY_FILE}"),
-        Err(e) => eprintln!("(could not write {REPLAY_FILE}: {e})"),
+    match std::fs::write(out, replay.to_json()) {
+        Ok(()) => eprintln!("reproduce with: lily-fuzz --replay {out}"),
+        Err(e) => eprintln!("(could not write {out}: {e})"),
     }
     if chaos {
         eprintln!("or re-sweep with: lily-fuzz --faults {} --seed {seed:#x}", case + 1);
@@ -380,7 +387,7 @@ fn main() {
     let tallies = match outcome {
         Ok(t) => t,
         Err((i, msg)) => {
-            report_failure(args.seed, i, chaos, &msg);
+            report_failure(args.seed, i, chaos, &msg, &args.replay_out);
             std::process::exit(1);
         }
     };

@@ -1,0 +1,474 @@
+//! `lily-loadgen` — concurrent chaos traffic for `lily-serve`.
+//!
+//! Replays the fuzz corpus as live traffic: healthy mapping jobs,
+//! jobs carrying random fault plans, malformed frames, and abrupt
+//! mid-request disconnects, all from several client threads at once.
+//! Records latency percentiles, rejection rate, and the server's
+//! cache hit rate into a `BENCH_serve.json` artifact, and fails the
+//! process if the server ever reports an internal panic.
+//!
+//! ```text
+//! lily-loadgen --addr HOST:PORT [--clients N] [--requests N]
+//!              [--seed HEX] [--deadline-ms MS] [--out PATH] [--shutdown]
+//! lily-loadgen --addr HOST:PORT --one '{"id":1,"method":"ping"}'
+//! ```
+//!
+//! `--one` sends a single raw request frame, streams until the
+//! terminal event for that id, prints the terminal frame to stdout,
+//! and exits 0 (`done`/`pong`/`stats`/`ok`), 3 (`error`), or 4
+//! (`rejected`) — the scriptable client the CI smoke drill uses for
+//! its kill/restart/resume assertions.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lily::serve::{Client, Event, FaultSpec, MapRequest, ProbeRequest, Source, StatsSnapshot};
+use lily_core::json::JsonObject;
+use lily_netlist::sim::XorShift64;
+
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    out: String,
+    shutdown: bool,
+    one: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: lily-loadgen --addr HOST:PORT [--clients N] [--requests N] \
+     [--seed HEX] [--deadline-ms MS] [--out PATH] [--shutdown]\n\
+     lily-loadgen --addr HOST:PORT --one JSON\n\
+     \n\
+     --addr HOST:PORT   server address (required)\n\
+     --clients N        concurrent client threads (default 4)\n\
+     --requests N       requests per client (default 12)\n\
+     --seed HEX         traffic seed (default 10ad6e2a)\n\
+     --deadline-ms MS   attach this request deadline to a slice of jobs\n\
+     --out PATH         benchmark artifact (default BENCH_serve.json)\n\
+     --shutdown         send a shutdown request when done\n\
+     --one JSON         send one request frame, print its terminal event, exit\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        clients: 4,
+        requests: 12,
+        seed: 0x10ad_6e2a,
+        deadline_ms: None,
+        out: "BENCH_serve.json".to_string(),
+        shutdown: false,
+        one: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => {
+                args.clients =
+                    value("--clients")?.parse().map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--requests" => {
+                args.requests =
+                    value("--requests")?.parse().map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = u64::from_str_radix(&value("--seed")?, 16)
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                );
+            }
+            "--out" => args.out = value("--out")?,
+            "--shutdown" => args.shutdown = true,
+            "--one" => args.one = Some(value("--one")?),
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    args.clients = args.clients.clamp(1, 64);
+    Ok(args)
+}
+
+/// Per-thread traffic tally, merged after the join.
+#[derive(Default)]
+struct Tally {
+    issued: u64,
+    done: u64,
+    rejected: u64,
+    errors: u64,
+    deadline_errors: u64,
+    disconnect_drills: u64,
+    malformed_frames: u64,
+    internal_panics: u64,
+    transport_failures: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.issued += other.issued;
+        self.done += other.done;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+        self.deadline_errors += other.deadline_errors;
+        self.disconnect_drills += other.disconnect_drills;
+        self.malformed_frames += other.malformed_frames;
+        self.internal_panics += other.internal_panics;
+        self.transport_failures += other.transport_failures;
+        self.latencies_ns.extend(other.latencies_ns);
+    }
+}
+
+fn record_terminal(tally: &mut Tally, events: &[Event], t0: Instant) {
+    let Some(last) = events.last() else { return };
+    tally.latencies_ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    match last.event.as_str() {
+        "done" => tally.done += 1,
+        "rejected" => tally.rejected += 1,
+        "error" => {
+            let kind = last.body.get("kind").and_then(lily_core::json::Json::as_str).unwrap_or("");
+            if kind == "internal-panic" {
+                tally.internal_panics += 1;
+            } else if kind == "deadline" {
+                tally.deadline_errors += 1;
+            }
+            tally.errors += 1;
+        }
+        _ => {}
+    }
+}
+
+/// One client thread's deterministic traffic mix.
+#[allow(clippy::too_many_lines)]
+fn client_traffic(
+    addr: &str,
+    client_idx: usize,
+    requests: usize,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    corpus: &[String],
+    next_id: &AtomicU64,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut rng =
+        XorShift64::new(seed ^ (client_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 1);
+    let Ok(mut client) = Client::connect(addr) else {
+        tally.transport_failures += 1;
+        return tally;
+    };
+    let _ = client.set_recv_timeout(Some(Duration::from_secs(120)));
+    for i in 0..requests {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        let roll = rng.gen_index(10);
+        let source = if roll.is_multiple_of(3) {
+            Source::Circuit("misex1".to_string())
+        } else {
+            let bytes = lily_workloads::fuzz::blif_case(corpus, rng.next_u64(), i as u64);
+            Source::Blif(String::from_utf8_lossy(&bytes).into_owned())
+        };
+        match roll {
+            // Malformed frame: valid framing, broken JSON. The server
+            // must answer with a typed error and keep the connection.
+            0 => {
+                tally.malformed_frames += 1;
+                if client.send("{\"id\":, not json").is_err() {
+                    tally.transport_failures += 1;
+                    return tally;
+                }
+                match client.recv() {
+                    Ok(e) if e.event == "error" => {}
+                    Ok(_) | Err(_) => {
+                        tally.transport_failures += 1;
+                        return tally;
+                    }
+                }
+            }
+            // Disconnect drill: separate connection, send a job, walk
+            // away after admission. The server must cancel it quietly.
+            1 => {
+                tally.disconnect_drills += 1;
+                if let Ok(mut doomed) = Client::connect(addr) {
+                    let req = MapRequest {
+                        id,
+                        source,
+                        library: "big".to_string(),
+                        flow: "lily-area".to_string(),
+                        compare: false,
+                        deadline_ms: None,
+                        stage_deadline_ms: None,
+                        stage_retries: None,
+                        faults: FaultSpec::None,
+                        checkpoint: None,
+                        kill_after: None,
+                    };
+                    let _ = doomed.send(&req.to_json());
+                    let _ = doomed.recv(); // accepted (or rejected)
+                    doomed.disconnect();
+                }
+            }
+            // Probe: exercises the warm cache's scratch pool.
+            2 => {
+                tally.issued += 1;
+                let req = ProbeRequest { id, source, library: "big".to_string() };
+                let t0 = Instant::now();
+                if client.send(&req.to_json()).is_err() {
+                    tally.transport_failures += 1;
+                    return tally;
+                }
+                match client.drive(id) {
+                    Ok(events) => record_terminal(&mut tally, &events, t0),
+                    Err(_) => {
+                        tally.transport_failures += 1;
+                        return tally;
+                    }
+                }
+            }
+            // Everything else: mapping jobs — healthy, fault-seeded,
+            // compare-mode, or deadline-carrying.
+            _ => {
+                tally.issued += 1;
+                let faults = if roll >= 7 {
+                    FaultSpec::Seed { seed: rng.next_u64(), benign: roll == 7 }
+                } else {
+                    FaultSpec::None
+                };
+                let req = MapRequest {
+                    id,
+                    source,
+                    library: if roll.is_multiple_of(2) { "big".to_string() } else { "tiny".to_string() },
+                    flow: if roll == 5 { "mis-area".to_string() } else { "lily-area".to_string() },
+                    compare: roll == 4,
+                    deadline_ms: if roll == 6 { deadline_ms } else { None },
+                    stage_deadline_ms: None,
+                    stage_retries: Some(1),
+                    faults,
+                    checkpoint: None,
+                    kill_after: None,
+                };
+                let t0 = Instant::now();
+                if client.send(&req.to_json()).is_err() {
+                    tally.transport_failures += 1;
+                    return tally;
+                }
+                match client.drive(id) {
+                    Ok(events) => record_terminal(&mut tally, &events, t0),
+                    Err(_) => {
+                        tally.transport_failures += 1;
+                        return tally;
+                    }
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// Days-since-epoch to civil date (Howard Hinnant's `civil_from_days`),
+/// so the stamp needs no external time crate.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn iso8601_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    let rem = secs % 86_400;
+    format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", rem / 3600, (rem % 3600) / 60, rem % 60)
+}
+
+/// One-shot scriptable request: frame `payload`, wait for the
+/// terminal event of its id, echo that frame, map the outcome to an
+/// exit code shell scripts can branch on.
+fn run_one(addr: &str, payload: &str) -> ExitCode {
+    let id = lily_core::json::Json::parse(payload)
+        .ok()
+        .and_then(|j| j.get("id").and_then(lily_core::json::Json::as_u64))
+        .unwrap_or(0);
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lily-loadgen: connect {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = client.send(payload) {
+        eprintln!("lily-loadgen: send: {e}");
+        return ExitCode::from(2);
+    }
+    loop {
+        let text = match client.recv_text() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lily-loadgen: recv: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let event = match Event::parse(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("lily-loadgen: bad frame: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if event.id != id {
+            continue;
+        }
+        match event.event.as_str() {
+            "done" | "pong" | "stats" | "ok" => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            "error" => {
+                println!("{text}");
+                return ExitCode::from(3);
+            }
+            "rejected" => {
+                println!("{text}");
+                return ExitCode::from(4);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lily-loadgen: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(payload) = &args.one {
+        return run_one(&args.addr, payload);
+    }
+    let corpus = Arc::new(lily_workloads::fuzz::corpus());
+    let next_id = Arc::new(AtomicU64::new(1));
+    let t_run = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addr = args.addr.clone();
+            let corpus = Arc::clone(&corpus);
+            let next_id = Arc::clone(&next_id);
+            let (requests, seed, deadline) = (args.requests, args.seed, args.deadline_ms);
+            std::thread::spawn(move || {
+                client_traffic(&addr, c, requests, seed, deadline, &corpus, &next_id)
+            })
+        })
+        .collect();
+    let mut tally = Tally::default();
+    for h in handles {
+        match h.join() {
+            Ok(t) => tally.merge(t),
+            Err(_) => tally.transport_failures += 1,
+        }
+    }
+    let wall_ns = u64::try_from(t_run.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Final server-side counters (and optional shutdown) on a fresh
+    // connection.
+    let server_stats = (|| -> Option<StatsSnapshot> {
+        let mut client = Client::connect(&args.addr).ok()?;
+        client.set_recv_timeout(Some(Duration::from_secs(30))).ok()?;
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        client.send(&format!("{{\"id\":{id},\"method\":\"stats\"}}")).ok()?;
+        let e = client.recv().ok()?;
+        let snap = (e.event == "stats").then(|| StatsSnapshot::from_event(&e))?;
+        if args.shutdown {
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            client.send(&format!("{{\"id\":{id},\"method\":\"shutdown\"}}")).ok()?;
+            let _ = client.recv();
+        }
+        Some(snap)
+    })();
+
+    tally.latencies_ns.sort_unstable();
+    let p50 = percentile(&tally.latencies_ns, 50);
+    let p99 = percentile(&tally.latencies_ns, 99);
+    let rejection_rate =
+        if tally.issued == 0 { 0.0 } else { tally.rejected as f64 / tally.issued as f64 };
+    let (cache_hits, cache_misses) =
+        server_stats.map_or((0, 0), |s| (s.cache_hits, s.cache_misses));
+    let cache_hit_rate = if cache_hits + cache_misses == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    };
+
+    let mut doc = JsonObject::new()
+        .string("bench", "serve")
+        .string("generated_at", &iso8601_now())
+        .string("addr", &args.addr)
+        .uint("clients", args.clients as u64)
+        .uint("requests_per_client", args.requests as u64)
+        .uint("seed", args.seed)
+        .uint("issued", tally.issued)
+        .uint("done", tally.done)
+        .uint("rejected", tally.rejected)
+        .uint("errors", tally.errors)
+        .uint("deadline_errors", tally.deadline_errors)
+        .uint("disconnect_drills", tally.disconnect_drills)
+        .uint("malformed_frames", tally.malformed_frames)
+        .uint("internal_panics", tally.internal_panics)
+        .uint("transport_failures", tally.transport_failures)
+        .uint("latency_p50_ns", p50)
+        .uint("latency_p99_ns", p99)
+        .float("rejection_rate", rejection_rate)
+        .uint("cache_hits", cache_hits)
+        .uint("cache_misses", cache_misses)
+        .float("cache_hit_rate", cache_hit_rate)
+        .uint("wall_ns", wall_ns);
+    if let Some(s) = server_stats {
+        doc = doc.raw("server", &s.to_frame(0));
+    }
+    let doc = doc.finish();
+    if let Err(e) = std::fs::write(&args.out, format!("{doc}\n")) {
+        eprintln!("lily-loadgen: cannot write {}: {e}", args.out);
+        return ExitCode::from(1);
+    }
+    println!(
+        "issued={} done={} rejected={} errors={} p50_ns={} p99_ns={} cache_hit_rate={:.2} -> {}",
+        tally.issued, tally.done, tally.rejected, tally.errors, p50, p99, cache_hit_rate, args.out
+    );
+    if tally.internal_panics > 0 {
+        eprintln!("lily-loadgen: server reported internal panics");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

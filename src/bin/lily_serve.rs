@@ -1,0 +1,119 @@
+//! `lily-serve` — the mapping-as-a-service daemon.
+//!
+//! Boots a [`lily_serve::Server`] and runs it until a client sends a
+//! `shutdown` request (or the process is killed; checkpointed jobs
+//! survive either way and resume on restart).
+//!
+//! ```text
+//! lily-serve [--addr 127.0.0.1:0] [--queue N] [--workers N]
+//!            [--checkpoint-root DIR] [--max-frame BYTES] [--threads N]
+//! ```
+//!
+//! The bound address is printed as `listening on <addr>` on stdout
+//! before the accept loop starts, so scripts can bind port 0 and
+//! discover the real port.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lily_serve::{Server, ServerConfig};
+
+struct Args {
+    config: ServerConfig,
+    threads: Option<usize>,
+}
+
+fn usage() -> &'static str {
+    "usage: lily-serve [--addr HOST:PORT] [--queue N] [--workers N] \
+     [--checkpoint-root DIR] [--max-frame BYTES] [--threads N]\n\
+     \n\
+     --addr HOST:PORT       bind address (default 127.0.0.1:0)\n\
+     --queue N              admission queue capacity (default 16)\n\
+     --workers N            concurrent jobs (default: pool threads)\n\
+     --checkpoint-root DIR  enable resumable jobs under DIR\n\
+     --max-frame BYTES      per-frame payload ceiling (default 8 MiB)\n\
+     --threads N            parallel runtime threads (as LILY_THREADS)\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServerConfig::default();
+    let mut threads = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--queue" => {
+                config.queue_capacity =
+                    value("--queue")?.parse().map_err(|e| format!("bad --queue: {e}"))?;
+            }
+            "--workers" => {
+                config.workers =
+                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--checkpoint-root" => {
+                config.checkpoint_root = Some(PathBuf::from(value("--checkpoint-root")?));
+            }
+            "--max-frame" => {
+                config.max_frame =
+                    value("--max-frame")?.parse().map_err(|e| format!("bad --max-frame: {e}"))?;
+            }
+            "--threads" => {
+                threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?);
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { config, threads })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lily-serve: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(n) = args.threads {
+        lily_par::set_threads(Some(n));
+    }
+    let server = match Server::bind(args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lily-serve: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    // Line-buffered stdout only flushes on newline when attached to a
+    // terminal; scripts read this through a pipe, so force it out.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "shutdown: accepted={} rejected={} completed={} errored={} cancelled={} \
+                 deadlines={} cache_hits={} cache_misses={}",
+                stats.accepted,
+                stats.rejected,
+                stats.completed,
+                stats.errored,
+                stats.cancelled,
+                stats.deadlines,
+                stats.cache_hits,
+                stats.cache_misses,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lily-serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

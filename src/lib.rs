@@ -59,6 +59,7 @@ pub use lily_netlist as netlist;
 pub use lily_par as par;
 pub use lily_place as place;
 pub use lily_route as route;
+pub use lily_serve as serve;
 pub use lily_timing as timing;
 pub use lily_workloads as workloads;
 

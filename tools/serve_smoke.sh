@@ -1,0 +1,129 @@
+#!/usr/bin/env sh
+# Smoke-test the mapping daemon end to end across real processes:
+#
+#   1. boot `lily-serve` on an ephemeral port with a checkpoint root;
+#   2. throw a slice of concurrent loadgen chaos traffic at it
+#      (healthy jobs, fault plans, malformed frames, disconnects) and
+#      require a well-formed BENCH_serve.json with zero internal
+#      panics;
+#   3. run a checkpointed job that interrupts itself right after
+#      `map`, then SIGKILL the server while a second request is in
+#      flight — the hard-crash drill;
+#   4. restart the daemon on the same checkpoint root, resume the
+#      interrupted job, and require its `done` metrics to be
+#      byte-identical to an uninterrupted reference run (modulo wall
+#      times and the request id / cache tag on the frame).
+#
+# Usage: tools/serve_smoke.sh [path-to-lily-serve path-to-lily-loadgen]
+# (defaults to release builds via cargo). LILY_THREADS is honored, so
+# CI can sweep thread counts.
+#
+# Exit: 0 clean, 1 contract violation, 2 setup error.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 2 ]; then
+    SERVE="$1"
+    LOADGEN="$2"
+else
+    cargo build --release --quiet --bin lily-serve --bin lily-loadgen
+    SERVE=target/release/lily-serve
+    LOADGEN=target/release/lily-loadgen
+fi
+
+work="$(mktemp -d)"
+server_pid=
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Boots a server, waits for its "listening on" line, sets $addr.
+start_server() {
+    log="$work/$1.log"
+    "$SERVE" --addr 127.0.0.1:0 --checkpoint-root "$work/ckpt" --queue 16 \
+        > "$log" 2>&1 &
+    server_pid=$!
+    i=0
+    while ! grep -q '^listening on ' "$log" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve_smoke: server did not come up; log:" >&2
+            cat "$log" >&2
+            exit 2
+        fi
+        sleep 0.1
+    done
+    addr="$(sed -n 's/^listening on //p' "$log" | head -n 1)"
+}
+
+one() {
+    "$LOADGEN" --addr "$addr" --one "$1"
+}
+
+# --- 1+2: boot and survive a concurrent chaos slice ------------------
+start_server boot1
+"$LOADGEN" --addr "$addr" --clients 4 --requests 5 --deadline-ms 250 \
+    --seed 5e21e --out BENCH_serve.json
+for field in latency_p50_ns latency_p99_ns rejection_rate cache_hit_rate \
+    internal_panics; do
+    if ! grep -q "\"$field\"" BENCH_serve.json; then
+        echo "serve_smoke: BENCH_serve.json is missing \"$field\"" >&2
+        exit 1
+    fi
+done
+
+# --- 3: interrupt a checkpointed job, then hard-kill the server ------
+interrupted="$(one '{"id":7001,"method":"map","circuit":"misex1","library":"tiny","flow":"lily-area","checkpoint":"smoke-resume","kill_after":"map"}')" \
+    && { echo "serve_smoke: kill_after job unexpectedly succeeded" >&2; exit 1; } \
+    || status=$?
+if [ "$status" -ne 3 ] || ! echo "$interrupted" | grep -q '"interrupted"'; then
+    echo "serve_smoke: expected a typed \"interrupted\" error, got ($status): $interrupted" >&2
+    exit 1
+fi
+# A request is mid-flight when the SIGKILL lands; its client must see
+# a transport error (exit 2), never a corrupt frame.
+one '{"id":7005,"method":"map","circuit":"misex3","library":"big","flow":"lily-delay"}' \
+    > /dev/null 2>&1 &
+victim=$!
+sleep 0.2
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=
+wait "$victim" && { echo "serve_smoke: in-flight request survived SIGKILL?" >&2; exit 1; } || true
+
+# --- 4: restart, resume, compare against a fresh reference -----------
+start_server boot2
+one '{"id":7002,"method":"map","circuit":"misex1","library":"tiny","flow":"lily-area","checkpoint":"smoke-resume"}' \
+    > "$work/resumed.json" \
+    || { echo "serve_smoke: resume after restart failed" >&2; cat "$work/resumed.json" >&2; exit 1; }
+one '{"id":7003,"method":"map","circuit":"misex1","library":"tiny","flow":"lily-area","checkpoint":"smoke-fresh"}' \
+    > "$work/fresh.json" \
+    || { echo "serve_smoke: reference run failed" >&2; cat "$work/fresh.json" >&2; exit 1; }
+
+# Bit-identical modulo the honestly nondeterministic fields: wall
+# times (and derived speedups), the request id, and the cache tag
+# (the resume is a miss on the cold restarted server, the reference a
+# hit).
+strip() {
+    sed -e 's/"wall_ns":[0-9]*/"wall_ns":_/g' \
+        -e 's/"speedup":[0-9.eE+-]*/"speedup":_/g' \
+        -e 's/"id":[0-9]*/"id":_/' \
+        -e 's/"cache":"[a-z]*"/"cache":_/' "$1"
+}
+strip "$work/resumed.json" > "$work/resumed.stripped"
+strip "$work/fresh.json" > "$work/fresh.stripped"
+if ! cmp -s "$work/resumed.stripped" "$work/fresh.stripped"; then
+    echo "serve_smoke: resumed metrics differ from the fresh run:" >&2
+    diff "$work/resumed.stripped" "$work/fresh.stripped" >&2 || true
+    exit 1
+fi
+
+one '{"id":7999,"method":"shutdown"}' > /dev/null
+wait "$server_pid" || { echo "serve_smoke: server exited non-zero" >&2; exit 1; }
+server_pid=
+
+echo "serve_smoke: chaos slice, hard-kill, and bit-identical resume all clean"
