@@ -5,10 +5,16 @@
 //! kernels the `lily-par` runtime accelerates — `MatchIndex::build`,
 //! the quadratic-placement CG solve, and the full `compare_flows`
 //! comparison — and records the per-stage wall-time table of one flow
-//! run. The JSON carries the circuit sizes, the thread counts, the
-//! host's available parallelism, the scratch-buffer allocation
-//! comparison, and an ISO-8601 UTC stamp, so a checked-in snapshot
-//! documents exactly what was measured and where.
+//! run. Each run entry carries a `mapper` tag: `lily` runs time the
+//! structural matcher and the MIS-vs-Lily comparison; `cut` runs time
+//! the cut-enumeration match build (`CutIndex::build` + NPN matching,
+//! reported as `match_build_ns`) and one full cut-area flow
+//! (`flow_ns`). The JSON carries the circuit sizes, the thread counts,
+//! the host's available parallelism, the scratch-buffer allocation
+//! comparison, per-circuit cut statistics (cuts per node mean/max,
+//! pruning counters, cut-scratch pool reuse), and an ISO-8601 UTC
+//! stamp, so a checked-in snapshot documents exactly what was measured
+//! and where.
 //!
 //! Determinism note: thread count changes *times only* — every metric
 //! and artifact is byte-identical at any setting (see `lily-par`).
@@ -27,10 +33,11 @@ use lily_cells::Library;
 use lily_core::flow::{compare_flows, FlowOptions};
 use lily_core::json::{array, JsonObject};
 use lily_core::matching::{matches_at_with, MatchScratch};
-use lily_core::MatchIndex;
+use lily_core::{cut_matches, CutIndex, MatchIndex};
+use lily_netlist::cuts::enumerate_node;
 use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_netlist::subject::SubjectKind;
-use lily_netlist::SubjectGraph;
+use lily_netlist::{CutConfig, CutScratch, CutSet, CutStats, SubjectGraph};
 use lily_workloads::circuits;
 
 fn samples() -> usize {
@@ -98,6 +105,23 @@ fn scratch_allocations(g: &SubjectGraph, lib: &Library) -> (u64, u64) {
         matches_at_with(g, lib, v, &mut reused_scratch);
     }
     (fresh, reused_scratch.stats().binding_allocations)
+}
+
+/// Sequential cut enumeration with one reused [`CutScratch`]: returns
+/// the whole-graph cut statistics plus the pool's
+/// (acquisitions, fresh allocations) counters — the cut-side analogue
+/// of [`scratch_allocations`].
+fn cut_statistics(g: &SubjectGraph, config: &CutConfig) -> (CutStats, u64, u64) {
+    let mut scratch = CutScratch::new();
+    let mut sets: Vec<CutSet> = Vec::with_capacity(g.node_count());
+    let mut stats = CutStats::default();
+    for v in g.node_ids() {
+        let (set, counts) = enumerate_node(g, v, &sets, config, &mut scratch);
+        stats.absorb(counts);
+        sets.push(set);
+    }
+    let (acquisitions, allocations) = scratch.stats();
+    (stats, acquisitions, allocations)
 }
 
 struct Args {
@@ -195,17 +219,59 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
         runs.push(
             JsonObject::new()
                 .uint("threads", t as u64)
+                .string("mapper", "lily")
                 .uint("match_build_ns", match_ns)
                 .uint("cg_solve_ns", cg_ns)
                 .uint("compare_flows_ns", compare_ns)
                 .raw("stages", &stages_json)
                 .finish(),
         );
+
+        // The cut mapper's run: its match build is cut enumeration plus
+        // NPN matching, and `flow_ns` is one full cut-area flow.
+        let config = CutConfig::default();
+        let cut_match_ns = median_ns(samples, || {
+            CutIndex::build(&g, &config)
+                .and_then(|index| cut_matches(&g, lib, &index))
+                .map_or(0, |idx| idx.total())
+        });
+        let mut cut_stages_json = String::from("[]");
+        let cut_flow_ns =
+            median_ns(samples, || match lily_core::run_flow(&net, lib, &FlowOptions::cut_area()) {
+                Ok(r) => {
+                    cut_stages_json = array(r.metrics.stages.records().iter().map(|s| {
+                        JsonObject::new()
+                            .string("stage", s.stage)
+                            .uint("wall_ns", s.wall_ns)
+                            .uint("size", s.size as u64)
+                            .string("unit", s.unit)
+                            .finish()
+                    }));
+                    r.metrics.cells
+                }
+                Err(e) => {
+                    eprintln!("bench_flow: {name}: cut flow failed: {e}");
+                    0
+                }
+            });
+        runs.push(
+            JsonObject::new()
+                .uint("threads", t as u64)
+                .string("mapper", "cut")
+                .uint("match_build_ns", cut_match_ns)
+                .uint("cg_solve_ns", cg_ns)
+                .uint("flow_ns", cut_flow_ns)
+                .raw("stages", &cut_stages_json)
+                .finish(),
+        );
         println!(
-            "{name}: threads {t}: match {:.2} ms, cg {:.2} ms, compare {:.2} ms",
+            "{name}: threads {t}: match {:.2} ms, cg {:.2} ms, compare {:.2} ms, cut-match {:.2} \
+             ms, cut-flow {:.2} ms",
             match_ns as f64 / 1e6,
             cg_ns as f64 / 1e6,
             compare_ns as f64 / 1e6,
+            cut_match_ns as f64 / 1e6,
+            cut_flow_ns as f64 / 1e6,
         );
     }
     lily_par::set_threads(None);
@@ -225,6 +291,18 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
         }
         None => String::from("[]"),
     };
+    let (cut_stats, cut_acquisitions, cut_allocations) = cut_statistics(&g, &CutConfig::default());
+    let cuts_json = JsonObject::new()
+        .uint("nodes", cut_stats.nodes as u64)
+        .uint("kept", cut_stats.kept as u64)
+        .float("per_node_mean", cut_stats.mean_per_node())
+        .uint("per_node_max", cut_stats.max_per_node as u64)
+        .uint("pruned_width", cut_stats.pruned_width as u64)
+        .uint("pruned_dominated", cut_stats.pruned_dominated as u64)
+        .uint("pruned_overflow", cut_stats.pruned_overflow as u64)
+        .uint("scratch_acquisitions", cut_acquisitions)
+        .uint("scratch_allocations", cut_allocations)
+        .finish();
     JsonObject::new()
         .string("name", name)
         .uint("inputs", net.input_count() as u64)
@@ -233,6 +311,7 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
         .uint("base_gates", g.base_gate_count() as u64)
         .uint("scratch_fresh_allocations", fresh_allocs)
         .uint("scratch_reused_allocations", reused_allocs)
+        .raw("cuts", &cuts_json)
         .raw("runs", &array(runs))
         .raw("speedup_vs_1_thread", &speedups)
         .finish()

@@ -28,6 +28,7 @@ pub mod genlib;
 pub mod kinds;
 pub mod library;
 pub mod mapped;
+pub mod npn;
 pub mod pattern;
 pub mod technology;
 pub mod verilog;
@@ -37,5 +38,6 @@ pub use gate::{DelayParams, Gate, GateId, Pin};
 pub use kinds::GateKind;
 pub use library::Library;
 pub use mapped::{CellId, MappedCell, MappedNetwork, NetPins, SignalSource};
+pub use npn::{npn_canon, npn_key, NpnIndex, PinAssignment};
 pub use pattern::{PatternGraph, PatternNode};
 pub use technology::Technology;

@@ -10,8 +10,10 @@
 use crate::error::LibraryError;
 use crate::gate::{Gate, GateId};
 use crate::kinds::GateKind;
+use crate::npn::NpnIndex;
 use crate::technology::Technology;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// A technology-mapping target library.
 ///
@@ -29,6 +31,11 @@ pub struct Library {
     by_name: BTreeMap<String, GateId>,
     inverter: GateId,
     technology: Technology,
+    /// The NPN/permutation match index over the gate functions,
+    /// computed once per built library on first use (cut-based mappers
+    /// and the serve-cache fingerprint probe it; structural matching
+    /// never touches it). Cloning a library shares the built index.
+    npn: OnceLock<Arc<NpnIndex>>,
 }
 
 impl Library {
@@ -90,7 +97,7 @@ impl Library {
             }
         }
         let inverter = inverter.ok_or(LibraryError::NoInverter)?;
-        Ok(Self { name: name.into(), gates, by_name, inverter, technology })
+        Ok(Self { name: name.into(), gates, by_name, inverter, technology, npn: OnceLock::new() })
     }
 
     /// The tiny library of Section 5: gates up to 3 inputs.
@@ -285,6 +292,14 @@ impl Library {
     /// Total number of pattern graphs (a matching-cost statistic).
     pub fn pattern_count(&self) -> usize {
         self.gates.iter().map(|g| g.patterns().len()).sum()
+    }
+
+    /// The NPN/permutation match index over this library's gate
+    /// functions, built on first call and cached for the library's
+    /// lifetime (clones share it). Structural matchers never pay for
+    /// it; [`crate::npn::NpnIndex`] documents what it answers.
+    pub fn npn(&self) -> &NpnIndex {
+        self.npn.get_or_init(|| Arc::new(NpnIndex::build(self)))
     }
 }
 

@@ -1,0 +1,298 @@
+//! Invariant checks over enumerated K-feasible cut sets (`CUT*`
+//! codes): K-bound, leaf well-formedness, dominance/priority shape,
+//! table-vs-cone agreement, and trivial/base totality.
+//!
+//! The cut enumeration in `lily-netlist` promises a precise shape per
+//! node (documented on `lily_netlist::cuts`): `cuts[0]` is the trivial
+//! cut, internal nodes pin the direct-fanin *base* cut at `cuts[1]`,
+//! and the remainder is a sorted, dominance-free, size-bounded
+//! priority set whose tables equal the cone functions over their
+//! leaves. This pass re-derives every piece of that contract from
+//! scratch — independent reference functions, no shared code paths
+//! with the enumerator beyond the data types — so a bug in the fast
+//! merge/prune kernels cannot hide itself.
+
+use crate::diag::{Code, Diagnostic, Locus, Report};
+use lily_netlist::func::MAX_TT_INPUTS;
+use lily_netlist::{cut_cone, cut_table, CutConfig, CutSet, SubjectGraph, SubjectKind};
+
+/// Checks enumerated cut sets against the graph they were built from.
+///
+/// * `CUT001` — every cut obeys the (clamped) K-feasibility bound.
+/// * `CUT002` — leaves are sorted, duplicate-free, in range, strictly
+///   precede the root, and actually form a cut (every input→root path
+///   crosses a leaf).
+/// * `CUT003` — the stored set is dominance-free (base exempt), sorted
+///   by `(leaf count, leaves)` after the pinned prefix, and holds at
+///   most `max_cuts` non-trivial cuts.
+/// * `CUT004` — each cut's truth table equals the cone function over
+///   its leaves, recomputed by exhaustive simulation.
+/// * `CUT005` — the trivial cut leads every set, and internal nodes
+///   carry the base cut in second position (totality of covering).
+///
+/// `sets` must be indexed by node id, as produced by the enumeration
+/// drivers; a length mismatch is itself a `CUT005` on the whole
+/// artifact, and per-node checks then stop at the shorter length.
+pub fn check_cuts(g: &SubjectGraph, sets: &[CutSet], config: &CutConfig) -> Report {
+    let mut report = Report::new();
+    let k = config.k.clamp(2, MAX_TT_INPUTS);
+    let max_cuts = config.max_cuts.max(1);
+
+    if sets.len() != g.node_count() {
+        report.push(
+            Diagnostic::new(
+                Code::Cut005,
+                Locus::Whole,
+                format!("{} cut sets for {} subject nodes", sets.len(), g.node_count()),
+            )
+            .with_hint("cut sets are indexed by node id; enumerate over the same graph"),
+        );
+    }
+
+    for (i, set) in sets.iter().enumerate().take(g.node_count()) {
+        let v = lily_netlist::SubjectNodeId::from_index(i);
+        check_node(g, v, set, k, max_cuts, &mut report);
+    }
+    report
+}
+
+fn check_node(
+    g: &SubjectGraph,
+    v: lily_netlist::SubjectNodeId,
+    set: &CutSet,
+    k: usize,
+    max_cuts: usize,
+    report: &mut Report,
+) {
+    let i = v.index();
+    let mut base_leaves: Vec<_> = g.kind(v).fanins().collect();
+    base_leaves.sort_unstable();
+    base_leaves.dedup();
+    let internal = !matches!(g.kind(v), SubjectKind::Input(_));
+
+    // CUT005: trivial first, base second (internal nodes only).
+    match set.cuts.first() {
+        Some(c) if c.leaves == [v] && c.table.inputs() == 1 && c.table.bits() == 0b10 => {}
+        _ => {
+            report.push(
+                Diagnostic::new(
+                    Code::Cut005,
+                    Locus::Node(i),
+                    "cut set does not start with the trivial cut",
+                )
+                .with_hint("cuts[0] must be {v} with the 1-input identity table"),
+            );
+            return;
+        }
+    }
+    if internal {
+        match set.cuts.get(1) {
+            Some(c) if c.leaves == base_leaves => {}
+            _ => report.push(
+                Diagnostic::new(
+                    Code::Cut005,
+                    Locus::Node(i),
+                    "internal node is missing its pinned base cut",
+                )
+                .with_hint(
+                    "without the direct-fanin cut, inv/nand2 matches — and totality — are lost",
+                ),
+            ),
+        }
+    } else if set.cuts.len() != 1 {
+        report.push(Diagnostic::new(
+            Code::Cut005,
+            Locus::Node(i),
+            format!("input node stores {} cuts; only the trivial cut is legal", set.cuts.len()),
+        ));
+    }
+
+    // CUT003: priority bound over the non-trivial cuts.
+    if set.cuts.len() - 1 > max_cuts {
+        report.push(Diagnostic::new(
+            Code::Cut003,
+            Locus::Node(i),
+            format!("{} non-trivial cuts exceed max_cuts = {max_cuts}", set.cuts.len() - 1),
+        ));
+    }
+
+    for (ci, cut) in set.cuts.iter().enumerate() {
+        let trivial = ci == 0;
+        let is_base = internal && cut.leaves == base_leaves;
+
+        // CUT001: K-feasibility (the trivial cut is a 1-cut by shape).
+        if cut.leaves.len() > k {
+            report.push(Diagnostic::new(
+                Code::Cut001,
+                Locus::Node(i),
+                format!("cut {ci} has {} leaves, bound is k = {k}", cut.leaves.len()),
+            ));
+            continue;
+        }
+
+        // CUT002: leaf well-formedness and cut-ness.
+        let mut malformed = false;
+        if !cut.leaves.windows(2).all(|w| w[0] < w[1]) {
+            report.push(Diagnostic::new(
+                Code::Cut002,
+                Locus::Node(i),
+                format!("cut {ci} leaves are not strictly ascending"),
+            ));
+            malformed = true;
+        }
+        for l in &cut.leaves {
+            if l.index() >= g.node_count() || (!trivial && l.index() >= i) {
+                report.push(Diagnostic::new(
+                    Code::Cut002,
+                    Locus::Node(i),
+                    format!("cut {ci} leaf {} does not strictly precede the root", l.index()),
+                ));
+                malformed = true;
+            }
+        }
+        if malformed {
+            continue;
+        }
+        if !trivial && cut_cone(g, v, &cut.leaves).is_none() {
+            report.push(
+                Diagnostic::new(
+                    Code::Cut002,
+                    Locus::Node(i),
+                    format!("cut {ci} leaves do not cut every input path to the root"),
+                )
+                .with_hint("some primary input reaches the root without crossing a leaf"),
+            );
+            continue;
+        }
+
+        // CUT003: dominance-freedom (base exempt) and sorted order
+        // past the pinned prefix.
+        if !trivial && !is_base {
+            for (cj, other) in set.cuts.iter().enumerate().skip(1) {
+                if cj != ci && other.dominates(cut) {
+                    report.push(Diagnostic::new(
+                        Code::Cut003,
+                        Locus::Node(i),
+                        format!("cut {ci} is dominated by stored cut {cj}"),
+                    ));
+                }
+            }
+        }
+        if ci >= 3 {
+            let prev = &set.cuts[ci - 1];
+            if (prev.leaves.len(), &prev.leaves) > (cut.leaves.len(), &cut.leaves) {
+                report.push(Diagnostic::new(
+                    Code::Cut003,
+                    Locus::Node(i),
+                    format!("cuts {} and {ci} are out of priority order", ci - 1),
+                ));
+            }
+        }
+
+        // CUT004: table agrees with the cone function over the leaves.
+        if cut.table.inputs() != cut.leaves.len() {
+            report.push(Diagnostic::new(
+                Code::Cut004,
+                Locus::Node(i),
+                format!(
+                    "cut {ci} table has {} inputs for {} leaves",
+                    cut.table.inputs(),
+                    cut.leaves.len()
+                ),
+            ));
+        } else if !trivial && cut_table(g, v, &cut.leaves) != Some(cut.table) {
+            report.push(
+                Diagnostic::new(
+                    Code::Cut004,
+                    Locus::Node(i),
+                    format!("cut {ci} truth table disagrees with its cone"),
+                )
+                .with_hint("recompute with lily_netlist::cut_table to see the reference"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::cuts::enumerate_cuts;
+    use lily_netlist::{Cut, SubjectNodeId, TruthTable};
+
+    fn fixture() -> SubjectGraph {
+        let mut g = SubjectGraph::new("t");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let t = g.nand2(a, b);
+        let u = g.nand2(t, c);
+        let w = g.inv(u);
+        g.set_output("y", w);
+        g
+    }
+
+    #[test]
+    fn enumerated_sets_are_clean() {
+        let g = fixture();
+        let config = CutConfig::default();
+        let (sets, _) = enumerate_cuts(&g, &config);
+        let report = check_cuts(&g, &sets, &config);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn each_corruption_trips_its_code() {
+        let g = fixture();
+        let config = CutConfig::default();
+        let (sets, _) = enumerate_cuts(&g, &config);
+        let last = sets.len() - 1;
+
+        // CUT005: drop the trivial cut.
+        let mut bad = sets.clone();
+        bad[last].cuts.remove(0);
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut005));
+
+        // CUT005: wrong set count.
+        assert!(check_cuts(&g, &sets[..last], &config).has_code(Code::Cut005));
+
+        // CUT001: a cut wider than k (use a tiny k so 2 leaves is
+        // already... 2 is the clamp floor, so widen with 7 > 6).
+        let mut bad = sets.clone();
+        let leaves: Vec<SubjectNodeId> = (0..7).map(SubjectNodeId::from_index).collect();
+        bad[last].cuts.push(Cut { leaves, table: TruthTable::from_fn(6, |_| false) });
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut001));
+
+        // CUT002: unsorted leaves (node 4 = nand2(t, c) has a 2-leaf
+        // base cut to reverse; the last node is an inverter).
+        let mut bad = sets.clone();
+        let mut cut = bad[4].cuts[1].clone();
+        assert!(cut.leaves.len() > 1);
+        cut.leaves.reverse();
+        bad[4].cuts.push(cut);
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut002));
+
+        // CUT002: leaves that do not cut the input paths (leaf set
+        // {c} at the output misses every path through a and b).
+        let mut bad = sets.clone();
+        bad[last].cuts.push(Cut {
+            leaves: vec![SubjectNodeId::from_index(2)],
+            table: TruthTable::from_fn(1, |r| r == 0),
+        });
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut002));
+
+        // CUT003: a stored cut dominated by another stored cut — a
+        // duplicate of node 4's non-base cut {a, b, c} dominates (and
+        // is dominated by) the original.
+        let mut bad = sets.clone();
+        let dup = bad[4].cuts[2].clone();
+        assert_eq!(dup.leaves.len(), 3);
+        bad[4].cuts.push(dup);
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut003));
+
+        // CUT004: flip a table bit.
+        let mut bad = sets.clone();
+        let t = &bad[last].cuts[1].table;
+        bad[last].cuts[1].table = TruthTable::new(t.inputs(), t.bits() ^ 1).unwrap();
+        assert!(check_cuts(&g, &bad, &config).has_code(Code::Cut004));
+    }
+}

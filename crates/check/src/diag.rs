@@ -42,6 +42,11 @@ pub enum Code {
     Sg007,
     Eq001,
     Eq002,
+    Cut001,
+    Cut002,
+    Cut003,
+    Cut004,
+    Cut005,
     Map001,
     Map002,
     Map003,
@@ -73,6 +78,11 @@ impl Code {
             Code::Sg007 => "SG007",
             Code::Eq001 => "EQ001",
             Code::Eq002 => "EQ002",
+            Code::Cut001 => "CUT001",
+            Code::Cut002 => "CUT002",
+            Code::Cut003 => "CUT003",
+            Code::Cut004 => "CUT004",
+            Code::Cut005 => "CUT005",
             Code::Map001 => "MAP001",
             Code::Map002 => "MAP002",
             Code::Map003 => "MAP003",
@@ -104,6 +114,11 @@ impl Code {
             Code::Sg007 => "structural-hash violation (duplicate node or INV chain)",
             Code::Eq001 => "subject graph is not equivalent to the source network",
             Code::Eq002 => "mapped netlist is not equivalent to the subject graph",
+            Code::Cut001 => "cut exceeds the K-feasibility bound",
+            Code::Cut002 => "cut leaves malformed (unsorted, duplicated, or out of range)",
+            Code::Cut003 => "stored cut set violates the dominance or priority invariant",
+            Code::Cut004 => "cut truth table disagrees with the cone it claims to cover",
+            Code::Cut005 => "cut set missing its trivial or base cut (covering not total)",
             Code::Map001 => "cycle through mapped cells",
             Code::Map002 => "cell arity/reference violation",
             Code::Map003 => "dead cell (cover not referenced by any output)",
@@ -310,6 +325,11 @@ mod tests {
             Code::Sg007,
             Code::Eq001,
             Code::Eq002,
+            Code::Cut001,
+            Code::Cut002,
+            Code::Cut003,
+            Code::Cut004,
+            Code::Cut005,
             Code::Map001,
             Code::Map002,
             Code::Map003,

@@ -16,6 +16,7 @@
 //! | [`check_network`] | [`lily_netlist::Network`] | `NET001`–`NET003` |
 //! | [`check_subject`] | [`lily_netlist::SubjectGraph`] | `SG001`–`SG007` |
 //! | [`check_network_subject`] | decomposition equivalence | `EQ001` |
+//! | [`check_cuts`] | enumerated K-feasible cut sets | `CUT001`–`CUT005` |
 //! | [`check_mapped`] | [`lily_cells::MappedNetwork`] | `MAP001`–`MAP005` |
 //! | [`check_mapped_subject`] | cover equivalence | `EQ002` |
 //! | [`check_placement`] | placed netlist vs core | `PL001`–`PL004` |
@@ -26,6 +27,7 @@
 //! `lily-check` CLI binary runs all of them over a BLIF design. The
 //! full code catalogue is documented in the repository's DESIGN.md.
 
+pub mod cuts;
 pub mod diag;
 pub mod equiv;
 pub mod mapped;
@@ -34,6 +36,7 @@ pub mod placement;
 pub mod subject;
 pub mod timing;
 
+pub use cuts::check_cuts;
 pub use diag::{Code, Diagnostic, Locus, Report, Severity};
 pub use equiv::{check_mapped_subject, check_network_subject, DEFAULT_SEED, DEFAULT_VECTORS};
 pub use mapped::{check_mapped, kahn_order};

@@ -94,6 +94,39 @@ fn stage_graph_flow_reproduces_pre_refactor_goldens() {
 }
 
 #[test]
+fn cut_flow_is_check_clean_and_equivalent_on_the_golden_set() {
+    // The cut-enumeration mapper is not pinned to the pre-refactor
+    // goldens (it legitimately finds different covers); instead it must
+    // produce a legal, lily-check-clean netlist that is logically
+    // equivalent to the subject graph — and hence to what MIS and Lily
+    // map — on every golden circuit, with clean cut sets.
+    use lily_check::{check_cuts, check_mapped, check_mapped_subject};
+    use lily_netlist::cuts::enumerate_cuts;
+    use lily_netlist::decompose::decompose;
+    use lily_netlist::CutConfig;
+
+    for name in ["misex1", "b9", "9symml", "apex7", "C432"] {
+        let net = circuits::circuit(name);
+        let lib = Library::big();
+        let opts = FlowOptions::cut_area();
+        let g = decompose(&net, opts.decompose_order).expect("decompose");
+
+        let config = CutConfig::default();
+        let (sets, stats) = enumerate_cuts(&g, &config);
+        let r = check_cuts(&g, &sets, &config);
+        assert!(r.is_clean(), "{name} cut sets: {r}");
+        assert!(stats.kept >= g.node_count(), "{name}: fewer cuts than nodes");
+
+        let res = opts.run_subject(&g, &lib).expect("cut flow");
+        let r = check_mapped(&res.mapped, &lib);
+        assert!(!r.has_errors(), "{name} mapped: {r}");
+        let r = check_mapped_subject(&g, &res.mapped, &lib, 128, 21);
+        assert!(r.is_clean(), "{name} equivalence: {r}");
+        assert!(res.metrics.stats.cuts.is_some(), "{name}: cut stats missing");
+    }
+}
+
+#[test]
 fn compare_flows_matches_standalone_runs_bit_for_bit() {
     // Sharing the decomposition, pad plan, and subject placement image
     // between the two pipelines must not perturb either result: the

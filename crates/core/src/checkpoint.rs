@@ -72,7 +72,7 @@ pub const STAGE_NAMES: [&str; 8] = [
 
 const UNITS: [&str; 5] = ["nodes", "pads", "points", "cells", "nets"];
 
-const FLOWS: [&str; 3] = ["mis", "lily", "shared"];
+const FLOWS: [&str; 4] = ["mis", "lily", "cut", "shared"];
 
 const DEGRADE_STAGES: [&str; 7] = [
     "lily-global-place",
@@ -445,6 +445,20 @@ fn encode_stats(stats: &MapStats) -> String {
         Some(c) => o.uint("ordering_cost", c as u64),
         None => o.raw("ordering_cost", "null"),
     };
+    o = match stats.cuts {
+        Some(c) => o.raw(
+            "cuts",
+            &JsonObject::new()
+                .uint("nodes", c.nodes as u64)
+                .uint("kept", c.kept as u64)
+                .uint("pruned_width", c.pruned_width as u64)
+                .uint("pruned_dominated", c.pruned_dominated as u64)
+                .uint("pruned_overflow", c.pruned_overflow as u64)
+                .uint("max_per_node", c.max_per_node as u64)
+                .finish(),
+        ),
+        None => o.raw("cuts", "null"),
+    };
     o.finish()
 }
 
@@ -462,6 +476,19 @@ fn decode_stats(v: &Json) -> Result<MapStats, String> {
             Some(Json::Null) => None,
             Some(c) => Some(c.as_usize().ok_or_else(|| "bad ordering_cost".to_string())?),
             None => return Err("missing ordering_cost".to_string()),
+        },
+        // Absent in pre-cut checkpoints: decode as "the cut mapper did
+        // not run" rather than rejecting the whole checkpoint.
+        cuts: match v.get("cuts") {
+            Some(Json::Null) | None => None,
+            Some(c) => Some(lily_netlist::CutStats {
+                nodes: usize_field(c, "nodes")?,
+                kept: usize_field(c, "kept")?,
+                pruned_width: usize_field(c, "pruned_width")?,
+                pruned_dominated: usize_field(c, "pruned_dominated")?,
+                pruned_overflow: usize_field(c, "pruned_overflow")?,
+                max_per_node: usize_field(c, "max_per_node")?,
+            }),
         },
     })
 }
@@ -1074,6 +1101,25 @@ mod tests {
         assert_eq!(plain.metrics.wire_length.to_bits(), ck.metrics.wire_length.to_bits());
         assert_eq!(plain.metrics.critical_delay.to_bits(), ck.metrics.critical_delay.to_bits());
         assert_eq!(plain.metrics.chip_area.to_bits(), ck.metrics.chip_area.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cut_flow_checkpoints_round_trip_cut_stats() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        let options = FlowOptions::cut_area();
+        let dir = temp_dir("cutstats");
+        let full = options.run_detailed(&net, &lib).unwrap();
+        let full_cuts = full.metrics.stats.cuts.expect("cut flow records cut stats");
+        // Kill after the mapper so the resumed run decodes the map
+        // artifact — including the nested cut-stats object — from disk.
+        let killed = run_flow_checkpointed(&net, &lib, &options, &dir, Some("map"));
+        assert!(matches!(killed, Err(MapError::Interrupted { stage: "map" })));
+        let resumed = run_flow_checkpointed(&net, &lib, &options, &dir, None).unwrap();
+        assert_eq!(resumed.metrics.stats.cuts, Some(full_cuts));
+        assert_eq!(full.metrics.cells, resumed.metrics.cells);
+        assert_eq!(full.metrics.wire_length.to_bits(), resumed.metrics.wire_length.to_bits());
         let _ = fs::remove_dir_all(&dir);
     }
 

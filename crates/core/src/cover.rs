@@ -50,6 +50,8 @@ pub struct MapStats {
     /// Cone-ordering objective value (`Σ_{i<j} E(π_i, π_j)`), when cone
     /// ordering ran.
     pub ordering_cost: Option<usize>,
+    /// Cut-enumeration statistics, when the cut mapper ran.
+    pub cuts: Option<lily_netlist::CutStats>,
 }
 
 /// The output of a mapping run.
@@ -124,10 +126,17 @@ impl<'a> Engine<'a> {
     /// Propagates [`MatchIndex::build`] failures.
     pub fn new(g: &'a SubjectGraph, lib: &'a Library) -> Result<Self, MapError> {
         let idx = MatchIndex::build(g, lib)?;
+        Ok(Self::with_index(g, lib, idx))
+    }
+
+    /// Builds the engine around an externally computed match index
+    /// (the cut matcher's entry point; [`Engine::new`] wraps this with
+    /// the structural enumeration).
+    pub fn with_index(g: &'a SubjectGraph, lib: &'a Library, idx: MatchIndex) -> Self {
         let n = g.node_count();
         let mapped = MappedNetwork::new(g.name(), g.input_names().to_vec());
         let matches_enumerated = idx.total();
-        Ok(Self {
+        Self {
             g,
             lib,
             idx,
@@ -140,7 +149,12 @@ impl<'a> Engine<'a> {
             fanouts: g.fanouts(),
             orefs: g.output_ref_counts(),
             stats: MapStats { matches_enumerated, ..MapStats::default() },
-        })
+        }
+    }
+
+    /// Records cut-enumeration statistics (set by the cut mapper).
+    pub fn set_cut_stats(&mut self, stats: lily_netlist::CutStats) {
+        self.stats.cuts = Some(stats);
     }
 
     /// The covering scopes in processing order. For cones,

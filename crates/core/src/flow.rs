@@ -62,6 +62,10 @@ pub enum FlowMapper {
     Mis,
     /// The layout-driven Lily mapper.
     Lily,
+    /// The cut-enumeration mapper: K-feasible priority cuts matched
+    /// through the library's NPN index, costed with Lily's placed
+    /// dynamic program.
+    Cut,
 }
 
 /// Physical-design knobs shared by both pipelines. These rarely change
@@ -195,6 +199,16 @@ impl FlowOptions {
     /// The Lily pipeline in timing mode (Table 2 right half).
     pub fn lily_delay() -> Self {
         Self::base(FlowMapper::Lily, MapMode::Delay)
+    }
+
+    /// The cut-enumeration pipeline in area mode.
+    pub fn cut_area() -> Self {
+        Self::base(FlowMapper::Cut, MapMode::Area)
+    }
+
+    /// The cut-enumeration pipeline in timing mode.
+    pub fn cut_delay() -> Self {
+        Self::base(FlowMapper::Cut, MapMode::Delay)
     }
 
     /// Runs the flow on an optimized network.
@@ -609,6 +623,19 @@ impl FlowMetrics {
         if let Some(cost) = self.stats.ordering_cost {
             stats = stats.uint("ordering_cost", cost as u64);
         }
+        if let Some(c) = self.stats.cuts {
+            stats = stats.raw(
+                "cuts",
+                &JsonObject::new()
+                    .uint("nodes", c.nodes as u64)
+                    .uint("kept", c.kept as u64)
+                    .uint("pruned_width", c.pruned_width as u64)
+                    .uint("pruned_dominated", c.pruned_dominated as u64)
+                    .uint("pruned_overflow", c.pruned_overflow as u64)
+                    .uint("max_per_node", c.max_per_node as u64)
+                    .finish(),
+            );
+        }
         JsonObject::new()
             .uint("cells", self.cells as u64)
             .uint("threads_used", self.stages.threads_used() as u64)
@@ -678,13 +705,20 @@ mod tests {
         let lib = Library::big();
         let net = flow_fixture();
         let g = decompose(&net, DecomposeOrder::Balanced).unwrap();
-        for opts in [FlowOptions::mis_area(), FlowOptions::lily_area()] {
+        for opts in [FlowOptions::mis_area(), FlowOptions::lily_area(), FlowOptions::cut_area()] {
             let r = opts.run_subject(&g, &lib).unwrap();
             assert!(equiv_mapped_subject(&g, &r.mapped, &lib, 128, 21));
             assert!(r.metrics.cells > 0);
             assert!(r.metrics.instance_area > 0.0);
             assert!(r.metrics.chip_area > r.metrics.instance_area);
             assert!(r.metrics.wire_length > 0.0);
+            if opts.mapper == FlowMapper::Cut {
+                let cuts = r.metrics.stats.cuts.expect("cut flow records cut stats");
+                assert!(cuts.kept > 0);
+                assert!(cuts.max_per_node >= 1);
+            } else {
+                assert!(r.metrics.stats.cuts.is_none());
+            }
         }
     }
 
@@ -692,7 +726,8 @@ mod tests {
     fn delay_flows_report_positive_delay() {
         let lib = Library::big();
         let net = flow_fixture();
-        for opts in [FlowOptions::mis_delay(), FlowOptions::lily_delay()] {
+        for opts in [FlowOptions::mis_delay(), FlowOptions::lily_delay(), FlowOptions::cut_delay()]
+        {
             let m = opts.run(&net, &lib).unwrap();
             assert!(m.critical_delay > 0.0);
         }

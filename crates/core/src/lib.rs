@@ -26,6 +26,7 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod cover;
+pub mod cuts;
 pub mod decomp;
 pub mod error;
 pub mod experiments;
@@ -43,6 +44,7 @@ pub mod stage;
 pub use baseline::MisMapper;
 pub use checkpoint::run_flow_checkpointed;
 pub use cover::{MapMode, MapResult, MapStats, Partition};
+pub use cuts::{cut_matches, CutIndex, CutMapper};
 pub use error::MapError;
 pub use fanout::{buffer_fanout, FanoutOptions};
 pub use flow::{compare_flows, run_flow, FlowComparison, FlowOptions, PhysicalOptions};

@@ -158,20 +158,49 @@ impl<'l> LilyMapper<'l> {
         place: &[Point],
         output_pads: &[Point],
     ) -> Result<MapResult, MapError> {
-        if place.len() != g.node_count() {
-            return Err(MapError::MissingPlacement { expected: g.node_count(), got: place.len() });
-        }
-        if output_pads.len() != g.outputs().len() {
-            return Err(MapError::MissingPlacement {
-                expected: g.outputs().len(),
-                got: output_pads.len(),
-            });
-        }
-        let mut e = Engine::new(g, self.lib)?;
+        check_placement(g, place, output_pads)?;
+        let e = Engine::new(g, self.lib)?;
+        run_placed_dp(e, &self.options, place, output_pads)
+    }
+}
+
+/// Validates the placement vectors against the graph shape.
+pub(crate) fn check_placement(
+    g: &SubjectGraph,
+    place: &[Point],
+    output_pads: &[Point],
+) -> Result<(), MapError> {
+    if place.len() != g.node_count() {
+        return Err(MapError::MissingPlacement { expected: g.node_count(), got: place.len() });
+    }
+    if output_pads.len() != g.outputs().len() {
+        return Err(MapError::MissingPlacement {
+            expected: g.outputs().len(),
+            got: output_pads.len(),
+        });
+    }
+    Ok(())
+}
+
+/// The placement-guided covering DP (Sections 3 and 4), shared by every
+/// placed mapper: [`LilyMapper`] drives it over the structural match
+/// index, [`crate::CutMapper`] over NPN-matched cuts. The engine's
+/// match index is the only thing that differs — position updates, wire
+/// pricing and delay re-evaluation are cost-model code and apply to any
+/// `Match`, tree-shaped or not.
+pub(crate) fn run_placed_dp(
+    mut e: Engine<'_>,
+    options: &MapOptions,
+    place: &[Point],
+    output_pads: &[Point],
+) -> Result<MapResult, MapError> {
+    {
+        let g = e.g;
+        let lib = e.lib;
 
         // Cone ordering (Section 3.5).
         let order: Option<Vec<usize>> =
-            if self.options.layout.cone_ordering && self.options.partition == Partition::Cones {
+            if options.layout.cone_ordering && options.partition == Partition::Cones {
                 let cs = extract_cones(g);
                 let m = exit_line_matrix(g, &cs);
                 let order = order_cones(&m);
@@ -180,12 +209,12 @@ impl<'l> LilyMapper<'l> {
             } else {
                 None
             };
-        let scopes = e.scopes(self.options.partition, order.as_deref());
+        let scopes = e.scopes(options.partition, order.as_deref());
 
         let mut sol: Vec<Solution> = vec![Solution::default(); g.node_count()];
-        let lay = self.options.layout;
-        let mode = self.options.mode;
-        let tech = *self.lib.technology();
+        let lay = options.layout;
+        let mode = options.mode;
+        let tech = *lib.technology();
 
         for scope in &scopes {
             for &v in scope.members() {
@@ -197,7 +226,7 @@ impl<'l> LilyMapper<'l> {
                     if !e.match_allowed(scope, m) {
                         continue;
                     }
-                    let gate = self.lib.gate(m.gate);
+                    let gate = lib.gate(m.gate);
 
                     // Input positions: pads for PIs, mapPositions for
                     // solved nodes (hawks keep theirs).
@@ -305,7 +334,7 @@ impl<'l> LilyMapper<'l> {
                                     Arrival::ZERO
                                 } else {
                                     let s = &sol[vi.index()];
-                                    let fgate = self.lib.gate(s.gate.expect("solved"));
+                                    let fgate = lib.gate(s.gate.expect("solved"));
                                     let rect = fanin_rect(p, f, pos);
                                     let wire_cap = tech.wire_cap(rect.width(), rect.height());
                                     let load =

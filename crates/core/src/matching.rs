@@ -91,6 +91,14 @@ impl MatchIndex {
         Ok(Self { per_node })
     }
 
+    /// Assembles an index from externally computed per-node match
+    /// lists, indexed by node index. The cut matcher builds its lists
+    /// from NPN-matched cuts and shares everything downstream of here —
+    /// covering DP, commit, statistics — with the structural path.
+    pub fn from_parts(per_node: Vec<Vec<Match>>) -> Self {
+        Self { per_node }
+    }
+
     /// Matches rooted at `v` (empty for primary inputs).
     pub fn at(&self, v: SubjectNodeId) -> &[Match] {
         &self.per_node[v.index()]

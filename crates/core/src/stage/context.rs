@@ -51,6 +51,7 @@ impl<'l> FlowContext<'l> {
         let flow = match options.mapper {
             crate::flow::FlowMapper::Mis => "mis",
             crate::flow::FlowMapper::Lily => "lily",
+            crate::flow::FlowMapper::Cut => "cut",
         };
         Self {
             lib,

@@ -8,6 +8,7 @@
 
 use crate::baseline::MisMapper;
 use crate::cover::MapResult;
+use crate::cuts::CutMapper;
 use crate::error::MapError;
 use crate::lily::LilyMapper;
 use lily_netlist::SubjectGraph;
@@ -79,6 +80,29 @@ impl Mapper for MisMapper<'_> {
 impl Mapper for LilyMapper<'_> {
     fn name(&self) -> &'static str {
         "lily"
+    }
+
+    fn needs_image(&self) -> bool {
+        true
+    }
+
+    fn constructive(&self) -> bool {
+        true
+    }
+
+    fn map_subject(
+        &self,
+        g: &SubjectGraph,
+        image: Option<&MapImage<'_>>,
+    ) -> Result<MapResult, MapError> {
+        let image = image.ok_or(MapError::MissingPlacement { expected: g.node_count(), got: 0 })?;
+        self.map(g, image.positions, image.output_pads)
+    }
+}
+
+impl Mapper for CutMapper<'_> {
+    fn name(&self) -> &'static str {
+        "cut"
     }
 
     fn needs_image(&self) -> bool {

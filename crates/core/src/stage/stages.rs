@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use crate::baseline::MisMapper;
 use crate::cover::MapStats;
+use crate::cuts::CutMapper;
 use crate::error::MapError;
 use crate::flow::{DetailedPlacer, FlowMapper, FlowOptions};
 use crate::lily::LilyMapper;
@@ -261,6 +262,12 @@ impl Map {
             ),
             FlowMapper::Lily => Box::new(
                 LilyMapper::new(lib)
+                    .mode(options.mode)
+                    .partition(options.partition)
+                    .layout(options.layout),
+            ),
+            FlowMapper::Cut => Box::new(
+                CutMapper::new(lib)
                     .mode(options.mode)
                     .partition(options.partition)
                     .layout(options.layout),

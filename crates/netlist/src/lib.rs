@@ -42,6 +42,7 @@
 
 pub mod blif;
 pub mod cones;
+pub mod cuts;
 pub mod decompose;
 pub mod error;
 pub mod func;
@@ -51,6 +52,7 @@ pub mod sim;
 pub mod subject;
 pub mod transform;
 
+pub use cuts::{cut_cone, cut_table, Cut, CutConfig, CutCounts, CutScratch, CutSet, CutStats};
 pub use error::NetlistError;
 pub use func::{NodeFunc, Sop, TruthTable};
 pub use lifecycle::{LifeCycle, LifeCycleStats, NodeState};

@@ -41,6 +41,9 @@ pub fn library_fingerprint(lib: &Library) -> u64 {
         eat(&g.area().to_bits().to_le_bytes());
         eat(&(g.patterns().len() as u64).to_le_bytes());
     }
+    // The cut mapper matches through the NPN index, so its identity is
+    // part of the library's observable shape: fold it in.
+    eat(&lib.npn().fingerprint().to_le_bytes());
     h
 }
 

@@ -75,7 +75,8 @@ pub struct MapRequest {
     pub source: Source,
     /// Library name: `tiny`, `big`, `big-sized`, or `big-1u`.
     pub library: String,
-    /// Flow name: `mis-area`, `lily-area`, `mis-delay`, `lily-delay`.
+    /// Flow name: `mis-area`, `lily-area`, `cut-area`, `mis-delay`,
+    /// `lily-delay`, `cut-delay`.
     pub flow: String,
     /// Run both pipelines ([`compare_flows`]) instead of one.
     ///

@@ -425,6 +425,8 @@ fn flow_options(req: &MapRequest) -> Result<FlowOptions, (&'static str, String)>
         "lily-area" => FlowOptions::lily_area(),
         "mis-delay" => FlowOptions::mis_delay(),
         "lily-delay" => FlowOptions::lily_delay(),
+        "cut-area" => FlowOptions::cut_area(),
+        "cut-delay" => FlowOptions::cut_delay(),
         other => return Err(("bad-request", format!("unknown flow `{other}`"))),
     };
     // Service responses must not depend on the build profile, so pin

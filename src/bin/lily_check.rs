@@ -1,7 +1,7 @@
 //! `lily-check` — run every verification pass over a design.
 //!
 //! ```text
-//! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|mis-delay|lily-delay]
+//! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|cut-area|mis-delay|lily-delay|cut-delay]
 //!            [--vectors N] [--seed S] [--threads N] [--metrics-json <path>]
 //!            [--checkpoint-dir <dir>] [--kill-after <stage>]
 //!            (<design.blif> | --circuit <name>)
@@ -56,7 +56,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
-[--flow mis-area|lily-area|mis-delay|lily-delay] [--vectors N] [--seed S] \
+[--flow mis-area|lily-area|cut-area|mis-delay|lily-delay|cut-delay] [--vectors N] [--seed S] \
 [--threads N] [--metrics-json <path>] [--checkpoint-dir <dir>] \
 [--kill-after <stage>] (<design.blif> | --circuit <name>)";
 
@@ -168,8 +168,12 @@ fn run() -> Result<usize, String> {
         "lily-area" => FlowOptions::lily_area(),
         "mis-delay" => FlowOptions::mis_delay(),
         "lily-delay" => FlowOptions::lily_delay(),
+        "cut-area" => FlowOptions::cut_area(),
+        "cut-delay" => FlowOptions::cut_delay(),
         other => {
-            return Err(format!("unknown flow `{other}` (mis-area|lily-area|mis-delay|lily-delay)"))
+            return Err(format!(
+            "unknown flow `{other}` (mis-area|lily-area|cut-area|mis-delay|lily-delay|cut-delay)"
+        ))
         }
     };
     let net = load_network(&args)?;

@@ -12,6 +12,11 @@
 //!   error, survivors run the flow;
 //! * valid-but-wild generator parameters — always reach the flow.
 //!
+//! Cases cycle all three mappers (MIS, Lily, Cut). Cut-mapper cases
+//! additionally run the MIS pipeline on the same input and assert both
+//! mapped netlists equivalent to the shared subject graph via
+//! `lily-check` — a differential oracle over the whole corpus.
+//!
 //! ```text
 //! lily-fuzz [--count N] [--seed S] [--threads N] [--verbose]
 //! lily-fuzz --faults N [--seed S] [--threads N] [--verbose]
@@ -118,19 +123,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Flow configuration for case `i`: cycles objectives and detailed
-/// placers, including a deliberately starved annealer so the
-/// degradation ladder gets fuzzed too. Mirrors
+/// Flow configuration for case `i`: cycles all three mappers plus a
+/// delay objective, and detailed placers including a deliberately
+/// starved annealer so the degradation ladder gets fuzzed too. Mirrors
 /// `crates/check/tests/fuzz_flow.rs`.
 fn options_for(i: u64) -> FlowOptions {
-    let mut opts = match i % 3 {
+    let mut opts = match i % 4 {
         0 => FlowOptions::mis_area(),
         1 => FlowOptions::lily_area(),
+        2 => FlowOptions::cut_area(),
         _ => FlowOptions::lily_delay(),
     };
-    if i % 4 == 3 {
+    if i % 5 == 3 {
         opts.detailed_placer = DetailedPlacer::Anneal { seed: i };
-        opts.anneal_move_budget = Some((i % 5) * 40);
+        opts.anneal_move_budget = Some((i % 4) * 40);
     }
     opts.verify = false;
     opts
@@ -172,17 +178,45 @@ struct Tally {
     faults_fired: u64,
 }
 
-fn drive(net: &Network, lib: &Library, i: u64, tally: &mut Tally, verbose: bool) {
+fn drive(
+    net: &Network,
+    lib: &Library,
+    i: u64,
+    tally: &mut Tally,
+    verbose: bool,
+) -> Result<(), String> {
     match options_for(i).run_detailed(net, lib) {
         Ok(r) => {
             tally.flow_ok += 1;
             tally.degradations += r.metrics.degradations.len() as u64;
+            // Cut-mapper cases double as differential tests: the MIS
+            // pipeline must succeed on the same input, and both mapped
+            // netlists must stay equivalent to the shared subject graph
+            // (hence to each other).
+            if i % 4 == 2 {
+                let mut mis = FlowOptions::mis_area();
+                mis.verify = false;
+                let m = mis
+                    .run_detailed(net, lib)
+                    .map_err(|e| format!("mis flow failed where the cut flow succeeded: {e}"))?;
+                let g = &r.artifacts.subject;
+                for (mapped, which) in [(&r.mapped, "cut"), (&m.mapped, "mis")] {
+                    let eq = lily::check::check_mapped_subject(g, mapped, lib, 64, 0x10c4 ^ i);
+                    if !eq.is_clean() {
+                        return Err(format!(
+                            "{which}-mapped netlist is not equivalent to the subject graph:\n{eq}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
         }
         Err(e) => {
             tally.flow_err += 1;
             if verbose {
                 eprintln!("case {i}: structured error: {e}");
             }
+            Ok(())
         }
     }
 }
@@ -269,7 +303,10 @@ fn run_replay(path: &str) -> Result<(), String> {
     };
     let mut tally = Tally::default();
     if replay.faults.is_empty() {
-        drive(&net, &lib, replay.case, &mut tally, true);
+        if let Err(e) = drive(&net, &lib, replay.case, &mut tally, true) {
+            println!("replay reproduced the violation: {e}");
+            return Ok(());
+        }
         println!(
             "replay done: {} ok, {} structured errors, {} degradations",
             tally.flow_ok, tally.flow_err, tally.degradations
@@ -357,8 +394,7 @@ fn main() {
                     if chaos {
                         drive_chaos(&net, &lib, args.seed, i, &mut local, args.verbose)
                     } else {
-                        drive(&net, &lib, i, &mut local, args.verbose);
-                        Ok(())
+                        drive(&net, &lib, i, &mut local, args.verbose)
                     }
                 }
             };

@@ -252,7 +252,11 @@ fn client_traffic(
                 let req = MapRequest {
                     id,
                     source,
-                    library: if roll.is_multiple_of(2) { "big".to_string() } else { "tiny".to_string() },
+                    library: if roll.is_multiple_of(2) {
+                        "big".to_string()
+                    } else {
+                        "tiny".to_string()
+                    },
                     flow: if roll == 5 { "mis-area".to_string() } else { "lily-area".to_string() },
                     compare: roll == 4,
                     deadline_ms: if roll == 6 { deadline_ms } else { None },
