@@ -27,8 +27,7 @@
 //! `misex1` (the CI smoke configuration). Sample count follows
 //! `LILY_BENCH_SAMPLES` (default 3); the median is reported.
 
-use std::time::Instant;
-
+use lily_bench::harness::{env_samples, iso8601_now, median_ns, stages_json};
 use lily_cells::Library;
 use lily_core::flow::{compare_flows, FlowOptions};
 use lily_core::json::{array, JsonObject};
@@ -39,55 +38,6 @@ use lily_netlist::decompose::{decompose, DecomposeOrder};
 use lily_netlist::subject::SubjectKind;
 use lily_netlist::{CutConfig, CutScratch, CutSet, CutStats, SubjectGraph};
 use lily_workloads::circuits;
-
-fn samples() -> usize {
-    std::env::var("LILY_BENCH_SAMPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(3)
-}
-
-/// Median wall time of `f` over the configured sample count, in
-/// nanoseconds (one untimed warmup run first).
-fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
-    std::hint::black_box(f());
-    let mut times: Vec<u64> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
-/// Days-since-epoch to civil date (Howard Hinnant's `civil_from_days`),
-/// so the stamp needs no external time crate.
-fn civil_from_days(z: i64) -> (i64, u32, u32) {
-    let z = z + 719_468;
-    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
-    let doe = (z - era * 146_097) as u64;
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe as i64 + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
-    (if m <= 2 { y + 1 } else { y }, m, d)
-}
-
-/// The current UTC time as an ISO-8601 `YYYY-MM-DDThh:mm:ssZ` string.
-fn iso8601_now() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
-    let rem = secs % 86_400;
-    format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", rem / 3600, (rem % 3600) / 60, rem % 60)
-}
 
 /// Binding-buffer allocation counts over a full sweep of the subject
 /// graph: fresh scratch per node (the pre-runtime behaviour) vs one
@@ -196,18 +146,11 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
         let cg_ns = median_ns(samples, || {
             lily_place::try_solve_quadratic(&problem, &[], &[]).map_or(0, |s| s.positions.len())
         });
-        let mut stages_json = String::from("[]");
+        let mut lily_stages = String::from("[]");
         let compare_ns =
             median_ns(samples, || match compare_flows(&net, lib, &FlowOptions::lily_area()) {
                 Ok(cmp) => {
-                    stages_json = array(cmp.lily.metrics.stages.records().iter().map(|r| {
-                        JsonObject::new()
-                            .string("stage", r.stage)
-                            .uint("wall_ns", r.wall_ns)
-                            .uint("size", r.size as u64)
-                            .string("unit", r.unit)
-                            .finish()
-                    }));
+                    lily_stages = stages_json(cmp.lily.metrics.stages.records());
                     cmp.lily.metrics.cells
                 }
                 Err(e) => {
@@ -223,7 +166,7 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
                 .uint("match_build_ns", match_ns)
                 .uint("cg_solve_ns", cg_ns)
                 .uint("compare_flows_ns", compare_ns)
-                .raw("stages", &stages_json)
+                .raw("stages", &lily_stages)
                 .finish(),
         );
 
@@ -235,18 +178,11 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
                 .and_then(|index| cut_matches(&g, lib, &index))
                 .map_or(0, |idx| idx.total())
         });
-        let mut cut_stages_json = String::from("[]");
+        let mut cut_stages = String::from("[]");
         let cut_flow_ns =
             median_ns(samples, || match lily_core::run_flow(&net, lib, &FlowOptions::cut_area()) {
                 Ok(r) => {
-                    cut_stages_json = array(r.metrics.stages.records().iter().map(|s| {
-                        JsonObject::new()
-                            .string("stage", s.stage)
-                            .uint("wall_ns", s.wall_ns)
-                            .uint("size", s.size as u64)
-                            .string("unit", s.unit)
-                            .finish()
-                    }));
+                    cut_stages = stages_json(r.metrics.stages.records());
                     r.metrics.cells
                 }
                 Err(e) => {
@@ -261,7 +197,7 @@ fn bench_circuit(name: &'static str, lib: &Library, threads: &[usize], samples: 
                 .uint("match_build_ns", cut_match_ns)
                 .uint("cg_solve_ns", cg_ns)
                 .uint("flow_ns", cut_flow_ns)
-                .raw("stages", &cut_stages_json)
+                .raw("stages", &cut_stages)
                 .finish(),
         );
         println!(
@@ -325,7 +261,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let samples = samples();
+    let samples = env_samples(3);
     let lib = Library::big();
     let available =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);

@@ -56,6 +56,8 @@ pub enum Code {
     Pl002,
     Pl003,
     Pl004,
+    Pl005,
+    Pl006,
     Tm001,
     Tm002,
     Tm003,
@@ -92,6 +94,8 @@ impl Code {
             Code::Pl002 => "PL002",
             Code::Pl003 => "PL003",
             Code::Pl004 => "PL004",
+            Code::Pl005 => "PL005",
+            Code::Pl006 => "PL006",
             Code::Tm001 => "TM001",
             Code::Tm002 => "TM002",
             Code::Tm003 => "TM003",
@@ -128,6 +132,8 @@ impl Code {
             Code::Pl002 => "overlapping cells after legalization",
             Code::Pl003 => "I/O pad off the core boundary",
             Code::Pl004 => "non-finite coordinate",
+            Code::Pl005 => "cluster hierarchy is not a partition at some level",
+            Code::Pl006 => "interpolated multilevel position non-finite or outside the core",
             Code::Tm001 => "negative arrival time",
             Code::Tm002 => "arrival times not monotone along a timing arc",
             Code::Tm003 => "non-finite arrival or delay",
@@ -339,6 +345,8 @@ mod tests {
             Code::Pl002,
             Code::Pl003,
             Code::Pl004,
+            Code::Pl005,
+            Code::Pl006,
             Code::Tm001,
             Code::Tm002,
             Code::Tm003,

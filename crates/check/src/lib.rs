@@ -20,6 +20,7 @@
 //! | [`check_mapped`] | [`lily_cells::MappedNetwork`] | `MAP001`–`MAP005` |
 //! | [`check_mapped_subject`] | cover equivalence | `EQ002` |
 //! | [`check_placement`] | placed netlist vs core | `PL001`–`PL004` |
+//! | [`check_hierarchy`] | multilevel cluster hierarchy | `PL005`–`PL006` |
 //! | [`check_timing`] | [`lily_timing::StaResult`] | `TM001`–`TM004` |
 //!
 //! The `lily-core` flow runs these between stages when
@@ -41,6 +42,6 @@ pub use diag::{Code, Diagnostic, Locus, Report, Severity};
 pub use equiv::{check_mapped_subject, check_network_subject, DEFAULT_SEED, DEFAULT_VECTORS};
 pub use mapped::{check_mapped, kahn_order};
 pub use network::check_network;
-pub use placement::check_placement;
+pub use placement::{check_hierarchy, check_placement};
 pub use subject::check_subject;
 pub use timing::check_timing;

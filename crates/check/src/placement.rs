@@ -1,10 +1,12 @@
 //! Geometric checks over a placed mapped netlist (`PL*` codes):
 //! finite coordinates, core containment, row-overlap freedom after
-//! legalization, and pad fixedness on the core boundary.
+//! legalization, pad fixedness on the core boundary, and multilevel
+//! cluster-hierarchy well-formedness.
 
 use crate::diag::{Code, Diagnostic, Locus, Report};
 use lily_cells::{Library, MappedNetwork};
-use lily_place::Rect;
+use lily_place::multilevel::ClusterHierarchy;
+use lily_place::{Point, Rect};
 
 /// Checks the placement of a [`MappedNetwork`] against a core region.
 ///
@@ -157,6 +159,127 @@ pub fn check_placement(mapped: &MappedNetwork, lib: &Library, core: Rect) -> Rep
     report
 }
 
+/// Checks a multilevel placement's coarsening history and per-level
+/// position snapshots.
+///
+/// * `PL005` — every level's parent map must cover exactly the module
+///   count of the finer level, point into `0..n_clusters`, leave no
+///   cluster empty (each node in exactly one cluster per level), and
+///   strictly shrink the graph.
+/// * `PL006` — every interpolated/refined position snapshot (coarsest
+///   first; one per level plus the coarsest solve) must be finite and
+///   inside `core` (tolerance `1e-6` of the core extent).
+///
+/// `n_modules` is the finest-level (original) module count;
+/// `level_positions` may be empty when only the hierarchy needs
+/// checking.
+pub fn check_hierarchy(
+    hierarchy: &ClusterHierarchy,
+    n_modules: usize,
+    level_positions: &[Vec<Point>],
+    core: Rect,
+) -> Report {
+    let mut report = Report::new();
+    let mut fine = n_modules;
+    let mut level_sizes = vec![n_modules];
+    for (li, level) in hierarchy.levels.iter().enumerate() {
+        if level.parent.len() != fine {
+            report.push(Diagnostic::new(
+                Code::Pl005,
+                Locus::Whole,
+                format!(
+                    "level {li}: parent map covers {} modules, expected {fine}",
+                    level.parent.len()
+                ),
+            ));
+            break;
+        }
+        let mut seen = vec![false; level.n_clusters];
+        for (m, &c) in level.parent.iter().enumerate() {
+            if c >= level.n_clusters {
+                report.push(Diagnostic::new(
+                    Code::Pl005,
+                    Locus::Node(m),
+                    format!("level {li}: module {m} points at cluster {c} of {}", level.n_clusters),
+                ));
+            } else {
+                seen[c] = true;
+            }
+        }
+        for (c, &s) in seen.iter().enumerate() {
+            if !s {
+                report.push(Diagnostic::new(
+                    Code::Pl005,
+                    Locus::Whole,
+                    format!("level {li}: cluster {c} is empty"),
+                ));
+            }
+        }
+        if level.n_clusters >= fine && fine > 0 {
+            report.push(
+                Diagnostic::new(
+                    Code::Pl005,
+                    Locus::Whole,
+                    format!(
+                        "level {li}: {} clusters do not shrink {fine} modules",
+                        level.n_clusters
+                    ),
+                )
+                .with_hint("each matching pass must strictly coarsen the graph"),
+            );
+        }
+        fine = level.n_clusters;
+        level_sizes.push(level.n_clusters);
+    }
+
+    // Snapshots run coarsest-first: snapshot k covers the level with
+    // `level_sizes[levels - k]` modules.
+    let eps = 1e-6 * (1.0 + core.width().max(core.height()));
+    if !level_positions.is_empty() && level_positions.len() != hierarchy.levels.len() + 1 {
+        report.push(Diagnostic::new(
+            Code::Pl006,
+            Locus::Whole,
+            format!(
+                "{} position snapshots for {} coarsening levels (want levels + 1)",
+                level_positions.len(),
+                hierarchy.levels.len()
+            ),
+        ));
+    }
+    for (k, snapshot) in level_positions.iter().enumerate() {
+        if let Some(&want) = level_sizes.len().checked_sub(k + 1).map(|i| &level_sizes[i]) {
+            if snapshot.len() != want {
+                report.push(Diagnostic::new(
+                    Code::Pl006,
+                    Locus::Whole,
+                    format!("snapshot {k} holds {} positions, expected {want}", snapshot.len()),
+                ));
+                continue;
+            }
+        }
+        for (m, p) in snapshot.iter().enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                report.push(Diagnostic::new(
+                    Code::Pl006,
+                    Locus::Node(m),
+                    format!("snapshot {k}: position ({}, {}) is not finite", p.x, p.y),
+                ));
+            } else if p.x < core.llx - eps
+                || p.x > core.urx + eps
+                || p.y < core.lly - eps
+                || p.y > core.ury + eps
+            {
+                report.push(Diagnostic::new(
+                    Code::Pl006,
+                    Locus::Node(m),
+                    format!("snapshot {k}: position ({}, {}) leaves the core", p.x, p.y),
+                ));
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +340,125 @@ mod tests {
         let r = check_placement(&m, &lib, core());
         assert!(r.has_code(Code::Pl004));
         assert!(!r.has_code(Code::Pl001));
+    }
+
+    mod hierarchy {
+        use super::*;
+        use lily_place::multilevel::ClusterLevel;
+
+        /// 8 modules → 4 clusters → 2 clusters, with in-core snapshots.
+        fn sample() -> (ClusterHierarchy, usize, Vec<Vec<Point>>) {
+            let h = ClusterHierarchy {
+                levels: vec![
+                    ClusterLevel { parent: vec![0, 0, 1, 1, 2, 2, 3, 3], n_clusters: 4 },
+                    ClusterLevel { parent: vec![0, 0, 1, 1], n_clusters: 2 },
+                ],
+            };
+            let at = |n: usize| (0..n).map(|i| Point::new(10.0 + i as f64, 50.0)).collect();
+            (h, 8, vec![at(2), at(4), at(8)])
+        }
+
+        #[test]
+        fn well_formed_hierarchy_is_clean() {
+            let (h, n, snaps) = sample();
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.is_clean(), "{r}");
+        }
+
+        #[test]
+        fn out_of_range_parent_is_pl005() {
+            let (mut h, n, snaps) = sample();
+            h.levels[0].parent[3] = 9; // points past n_clusters = 4
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl005), "{r}");
+        }
+
+        #[test]
+        fn empty_cluster_is_pl005() {
+            let (mut h, n, snaps) = sample();
+            h.levels[0].parent[2] = 0; // cluster 1 loses a member...
+            h.levels[0].parent[3] = 0; // ...and then the other: empty
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl005), "{r}");
+        }
+
+        #[test]
+        fn wrong_parent_map_size_is_pl005() {
+            let (mut h, n, snaps) = sample();
+            h.levels[1].parent.pop(); // covers 3 modules, finer level has 4
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl005), "{r}");
+        }
+
+        #[test]
+        fn non_shrinking_level_is_pl005() {
+            let (mut h, n, snaps) = sample();
+            // A level that maps 4 modules onto 4 singleton clusters.
+            h.levels[1] = ClusterLevel { parent: vec![0, 1, 2, 3], n_clusters: 4 };
+            let r = check_hierarchy(&h, n, &[], core());
+            assert!(r.has_code(Code::Pl005), "{r}");
+            let _ = snaps;
+        }
+
+        #[test]
+        fn non_finite_snapshot_position_is_pl006() {
+            let (h, n, mut snaps) = sample();
+            snaps[1][2] = Point::new(f64::NAN, 50.0);
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl006), "{r}");
+        }
+
+        #[test]
+        fn out_of_core_snapshot_position_is_pl006() {
+            let (h, n, mut snaps) = sample();
+            snaps[2][7] = Point::new(5000.0, 50.0);
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl006), "{r}");
+        }
+
+        #[test]
+        fn snapshot_count_mismatch_is_pl006() {
+            let (h, n, mut snaps) = sample();
+            snaps.pop();
+            let r = check_hierarchy(&h, n, &snaps, core());
+            assert!(r.has_code(Code::Pl006), "{r}");
+        }
+
+        #[test]
+        fn real_multilevel_placement_passes() {
+            // The checker must accept what the placer actually builds.
+            let core = Rect::new(0.0, 0.0, 800.0, 800.0);
+            let side = 20;
+            let idx = |r: usize, c: usize| r * side + c;
+            let mut nets = Vec::new();
+            for r in 0..side {
+                for c in 0..side {
+                    if c + 1 < side {
+                        nets.push(vec![
+                            lily_place::PinRef::Movable(idx(r, c)),
+                            lily_place::PinRef::Movable(idx(r, c + 1)),
+                        ]);
+                    }
+                    if r + 1 < side {
+                        nets.push(vec![
+                            lily_place::PinRef::Movable(idx(r, c)),
+                            lily_place::PinRef::Movable(idx(r + 1, c)),
+                        ]);
+                    }
+                }
+            }
+            let problem = lily_place::PlacementProblem {
+                movable: side * side,
+                fixed: vec![Point::new(core.llx, core.lly), Point::new(core.urx, core.ury)],
+                nets,
+            };
+            let m = lily_place::try_multilevel_place(
+                &problem,
+                &lily_place::MultilevelOptions::for_region(core),
+            )
+            .expect("multilevel placement");
+            let r = check_hierarchy(&m.hierarchy, problem.movable, &m.level_positions, core);
+            assert!(r.is_clean(), "{r}");
+        }
     }
 }

@@ -93,6 +93,26 @@ pub struct PhysicalOptions {
     /// instead of the Steiner + detour-factor model. Off by default
     /// (the published tables use the detour model).
     pub global_router: bool,
+    /// Movable-module count at or above which global placement (both
+    /// the subject-graph placement and the mapped-netlist re-place)
+    /// switches from flat GORDIAN CG to the multilevel clustered
+    /// placer. The default sits far above every corpus circuit, so the
+    /// published tables keep the flat path bit-for-bit.
+    pub multilevel_threshold: usize,
+    /// Cell count above which the detailed-place improvement pass is
+    /// skipped (legalized positions ship as-is, with an audited
+    /// degradation). The greedy/anneal refiners are O(passes·cells·nets)
+    /// and stop paying for themselves long before this.
+    pub detailed_place_max_cells: usize,
+    /// Subject-graph node count above which a cone covering partition
+    /// is demoted to maximal trees (with an audited degradation). Logic
+    /// cones overlap — one per output, each holding the output's whole
+    /// transitive fanin — so cone extraction and the covering sweep are
+    /// Θ(outputs × nodes) on shared logic, which turns quadratic at
+    /// scale. The DAGON tree partition is disjoint (Σ|tree| = nodes)
+    /// and keeps covering linear at the cost of forbidding matches
+    /// that cross multi-fanout boundaries.
+    pub cone_partition_max_nodes: usize,
 }
 
 impl Default for PhysicalOptions {
@@ -105,6 +125,9 @@ impl Default for PhysicalOptions {
             grids_per_base_gate: 1.5,
             mis_wire_cap_per_fanout: 0.03,
             global_router: false,
+            multilevel_threshold: 5_000,
+            detailed_place_max_cells: 25_000,
+            cone_partition_max_nodes: 50_000,
         }
     }
 }
@@ -132,6 +155,13 @@ pub struct FlowOptions {
     /// placer and records the degradation; `None` runs the full
     /// schedule.
     pub anneal_move_budget: Option<u64>,
+    /// Per-node annealer move budget: the effective budget is
+    /// `moves_per_node × cells`, so large circuits degrade predictably
+    /// instead of burning a fixed budget ever faster. When both this
+    /// and the absolute [`FlowOptions::anneal_move_budget`] are set,
+    /// the *smaller* of the two budgets binds. `None` leaves only the
+    /// absolute knob (or the full schedule) in charge.
+    pub anneal_moves_per_node: Option<u64>,
     /// Post-mapping fanout optimization: nets driving more than this
     /// many sinks are split into inverter-pair buffer trees (the pass
     /// the paper notes Lily lacks, §5). `None` disables (the published
@@ -174,6 +204,7 @@ impl FlowOptions {
             fanout_limit: None,
             detailed_placer: DetailedPlacer::Greedy,
             anneal_move_budget: None,
+            anneal_moves_per_node: None,
             constructive_placement: true,
             verify: cfg!(debug_assertions),
             stage_deadline: None,
@@ -475,8 +506,8 @@ pub struct Degradation {
     /// deterministic audit regardless of thread count.
     pub flow: &'static str,
     /// The stage that could not run as configured (`"lily-global-place"`,
-    /// `"mapped-global-place"`, `"detailed-placement"`, `"anneal"`, or
-    /// `"wire-load"`).
+    /// `"mapped-global-place"`, `"map"`, `"detailed-placement"`,
+    /// `"detailed-place"`, `"anneal"`, or `"wire-load"`).
     pub stage: &'static str,
     /// The fallback strategy the flow used instead.
     pub fallback: &'static str,

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use crate::baseline::MisMapper;
-use crate::cover::MapStats;
+use crate::cover::{MapStats, Partition};
 use crate::cuts::CutMapper;
 use crate::error::MapError;
 use crate::flow::{DetailedPlacer, FlowMapper, FlowOptions};
@@ -19,6 +19,7 @@ use lily_netlist::{Network, SubjectGraph};
 use lily_place::anneal::{try_anneal_cancel, AnnealOptions};
 use lily_place::global::{try_global_place_cancel, GlobalOptions};
 use lily_place::legalize::{improve, legalize, LegalizeOptions, Legalized};
+use lily_place::multilevel::{try_multilevel_place_cancel, MultilevelOptions};
 use lily_place::{assign_pads, PinRef, PlacementProblem, Point, Rect, SubjectPlacement};
 use lily_route::{rsmt_length, CongestionGrid};
 use lily_timing::load::WireLoad;
@@ -85,6 +86,26 @@ impl PadPlan {
     /// the one constructor for subject-graph/pad setup — the flow, the
     /// experiments, and test fixtures all go through it.
     pub fn build(g: &SubjectGraph, lib: &Library, options: &FlowOptions) -> Self {
+        Self::build_cancel(g, lib, options, &lily_fault::CancelToken::never())
+            .expect("a never-cancelled pad build cannot be cancelled")
+    }
+
+    /// [`PadPlan::build`] with a cancellation token threaded into the
+    /// pad-ordering placement. Above the multilevel threshold the
+    /// interior positions come from the clustered placer instead of
+    /// the flat solve inside `assign_pads` (which would dominate the
+    /// whole flow at 10⁵ modules); a failed multilevel solve falls
+    /// back to the flat path's own uniform-seed behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Cancelled`] when `cancel` fires mid-placement.
+    pub fn build_cancel(
+        g: &SubjectGraph,
+        lib: &Library,
+        options: &FlowOptions,
+        cancel: &lily_fault::CancelToken,
+    ) -> Result<Self, MapError> {
         let tech = lib.technology();
         let est_area = g.base_gate_count() as f64
             * options.physical.grids_per_base_gate
@@ -92,8 +113,25 @@ impl PadPlan {
             * tech.row_height;
         let core = options.physical.area_model.core_region(est_area);
         let placement = SubjectPlacement::new(g);
-        let pads = assign_pads(&placement.problem, core);
-        Self { est_area, core, placement, pads }
+        let problem = &placement.problem;
+        let pads = if problem.movable >= options.physical.multilevel_threshold
+            && core.width().is_finite()
+            && core.height().is_finite()
+        {
+            let seed = lily_place::pads::perimeter_points(core, problem.fixed.len());
+            let seeded = PlacementProblem { fixed: seed.clone(), ..problem.clone() };
+            match try_multilevel_place_cancel(&seeded, &MultilevelOptions::for_region(core), cancel)
+            {
+                Ok(mp) => lily_place::assign_pads_with_interior(problem, core, &mp.positions),
+                Err(lily_place::PlaceError::Cancelled { context }) => {
+                    return Err(MapError::Cancelled { context });
+                }
+                Err(_) => seed,
+            }
+        } else {
+            assign_pads(problem, core)
+        };
+        Ok(Self { est_area, core, placement, pads })
     }
 
     /// The output-pad slice of [`PadPlan::pads`] (`g` has
@@ -125,7 +163,8 @@ impl<'a> Stage<&'a SubjectGraph> for AssignPads {
     }
 
     fn run(&self, ctx: &mut FlowContext<'_>, g: &'a SubjectGraph) -> Result<Self::Out, MapError> {
-        Ok(PadPlan::build(g, ctx.lib, &ctx.options))
+        let cancel = ctx.cancel.clone();
+        PadPlan::build_cancel(g, ctx.lib, &ctx.options, &cancel)
     }
 }
 
@@ -184,7 +223,7 @@ impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan)> for SubjectPlace {
             Err(lily_place::PlaceError::NonFinite { context: "injected layout-image poison" })
         } else if plan.est_area.is_finite() {
             let problem = with_pads(plan.placement.problem.clone(), &plan.pads);
-            try_global_place_cancel(&problem, &GlobalOptions::for_region(plan.core), &cancel)
+            place_globally(&problem, plan.core, &ctx.options, &cancel)
         } else {
             Err(lily_place::PlaceError::NonFinite { context: "estimated core area" })
         };
@@ -193,13 +232,10 @@ impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan)> for SubjectPlace {
         if let Err(lily_place::PlaceError::Cancelled { context }) = solved {
             return Err(MapError::Cancelled { context });
         }
-        Ok(
-            match solved.and_then(|gp| plan.placement.node_positions(g, &gp.positions, &plan.pads))
-            {
-                Ok(positions) => SubjectImage { positions: Some(positions), failure: None },
-                Err(e) => SubjectImage { positions: None, failure: Some(e.to_string()) },
-            },
-        )
+        Ok(match solved.and_then(|pts| plan.placement.node_positions(g, &pts, &plan.pads)) {
+            Ok(positions) => SubjectImage { positions: Some(positions), failure: None },
+            Err(e) => SubjectImage { positions: None, failure: Some(e.to_string()) },
+        })
     }
 
     fn degraded(
@@ -295,7 +331,25 @@ impl<'a> Stage<(&'a SubjectGraph, &'a PadPlan, Option<&'a SubjectImage>)> for Ma
         (g, plan, image): (&'a SubjectGraph, &'a PadPlan, Option<&'a SubjectImage>),
     ) -> Result<Self::Out, MapError> {
         let lib = ctx.lib;
-        let options = ctx.options;
+        let mut options = ctx.options;
+        // Logic cones overlap, so cone covering is Θ(outputs × nodes)
+        // on shared logic; past the ceiling the disjoint tree partition
+        // keeps the sweep linear. Audited: the trade costs match
+        // freedom across multi-fanout boundaries.
+        if options.partition == Partition::Cones
+            && g.node_count() > options.physical.cone_partition_max_nodes
+        {
+            ctx.degrade(
+                "map",
+                "tree-partition",
+                format!(
+                    "{} subject nodes exceed the cone-partition ceiling of {}",
+                    g.node_count(),
+                    options.physical.cone_partition_max_nodes
+                ),
+            );
+            options.partition = Partition::Trees;
+        }
         let mapper = Self::select(lib, &options);
         let constructive = options.constructive_placement && mapper.constructive();
         let result = if mapper.needs_image() {
@@ -422,11 +476,11 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
                     residual: f64::NAN,
                 })
             } else {
-                try_global_place_cancel(&problem, &GlobalOptions::for_region(core), &ctx.cancel)
+                place_globally(&problem, core, &options, &ctx.cancel)
             };
             match solved {
-                Ok(gp) => {
-                    for (i, p) in gp.positions.iter().enumerate() {
+                Ok(pts) => {
+                    for (i, p) in pts.iter().enumerate() {
                         mapped.cells_mut()[i].position = (p.x, p.y);
                     }
                 }
@@ -494,12 +548,26 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
                     // falls back to the greedy placer on the original
                     // points.
                     let mut pts = desired.clone();
+                    // The per-node knob scales the budget with the
+                    // instance; when both knobs are set the smaller
+                    // budget binds (and names itself in the audit).
+                    let absolute = options.anneal_move_budget;
+                    let per_node =
+                        options.anneal_moves_per_node.map(|m| m.saturating_mul(pts.len() as u64));
+                    let per_node_binds = match (absolute, per_node) {
+                        (Some(a), Some(p)) => p < a,
+                        (None, Some(_)) => true,
+                        _ => false,
+                    };
                     let max_moves = if ctx.armed.take_budget() {
                         // Injected budget crunch: the annealer must
                         // exhaust immediately and audit the fallback.
                         Some(0)
                     } else {
-                        options.anneal_move_budget
+                        match (absolute, per_node) {
+                            (Some(a), Some(p)) => Some(a.min(p)),
+                            (a, p) => a.or(p),
+                        }
                     };
                     let aopts = AnnealOptions { seed, max_moves, ..AnnealOptions::for_core(core) };
                     match try_anneal_cancel(&mut pts, &problem.nets, &fixed, &aopts, &ctx.cancel) {
@@ -507,11 +575,12 @@ impl<'a> Stage<(&'a PadPlan, Mapping)> for Legalize {
                             return Err(MapError::Cancelled { context });
                         }
                         Ok(astats) if astats.budget_exhausted => {
+                            let kind = if per_node_binds { "per-node move" } else { "move" };
                             ctx.degrade(
                                 "anneal",
                                 "greedy",
                                 format!(
-                                    "move budget exhausted after {} moves",
+                                    "{kind} budget exhausted after {} moves",
                                     astats.moves_attempted
                                 ),
                             );
@@ -574,14 +643,29 @@ impl Stage<LegalPlacement> for DetailedPlace {
         let tech = lib.technology();
         let LegalPlacement { mut mapped, core, stats, widths, problem, fixed, legal } = input;
         if let Some(legal) = legal {
-            let lopts = LegalizeOptions {
-                core,
-                row_height: tech.row_height,
-                passes: ctx.options.physical.improvement_passes,
-            };
-            let better = improve(&legal, &widths, &problem.nets, &fixed, &lopts);
-            for (i, p) in better.positions.iter().enumerate() {
-                mapped.cells_mut()[i].position = (p.x, p.y);
+            let ceiling = ctx.options.physical.detailed_place_max_cells;
+            if widths.len() > ceiling {
+                // The improvement passes are O(passes·cells·pins) and
+                // stop paying for themselves at this scale; ship the
+                // legalized rows and audit the skip.
+                for (i, p) in legal.positions.iter().enumerate() {
+                    mapped.cells_mut()[i].position = (p.x, p.y);
+                }
+                ctx.degrade(
+                    "detailed-place",
+                    "legalized-only",
+                    format!("{} cells exceed the improvement ceiling of {ceiling}", widths.len()),
+                );
+            } else {
+                let lopts = LegalizeOptions {
+                    core,
+                    row_height: tech.row_height,
+                    passes: ctx.options.physical.improvement_passes,
+                };
+                let better = improve(&legal, &widths, &problem.nets, &fixed, &lopts);
+                for (i, p) in better.positions.iter().enumerate() {
+                    mapped.cells_mut()[i].position = (p.x, p.y);
+                }
             }
         }
         ctx.checkpoint("placement", || lily_check::check_placement(&mapped, lib, core))?;
@@ -830,6 +914,26 @@ pub fn mapped_problem(mapped: &MappedNetwork) -> (PlacementProblem, usize) {
         nets,
     };
     (problem, n_pi)
+}
+
+/// Globally places `problem` inside `region`: the flat GORDIAN placer
+/// below the configured multilevel threshold, the clustered multilevel
+/// placer at or above it. Flat CG costs O(levels·n·cg_iters) and does
+/// not survive 10⁵ movable modules; the threshold default keeps every
+/// corpus circuit on the flat path bit-for-bit.
+fn place_globally(
+    problem: &PlacementProblem,
+    region: Rect,
+    options: &FlowOptions,
+    cancel: &lily_fault::CancelToken,
+) -> Result<Vec<Point>, lily_place::PlaceError> {
+    if problem.movable >= options.physical.multilevel_threshold {
+        try_multilevel_place_cancel(problem, &MultilevelOptions::for_region(region), cancel)
+            .map(|mp| mp.positions)
+    } else {
+        try_global_place_cancel(problem, &GlobalOptions::for_region(region), cancel)
+            .map(|gp| gp.positions)
+    }
 }
 
 /// Linearly maps a point from one core region onto another.

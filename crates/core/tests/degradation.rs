@@ -90,6 +90,94 @@ fn partial_anneal_budget_still_degrades_but_keeps_going() {
 }
 
 #[test]
+fn per_node_anneal_budget_scales_with_cells_and_names_itself() {
+    let lib = Library::big();
+    let net = sample_network();
+    // Zero moves per node exhausts immediately, whatever the cell
+    // count; the audit entry must name the per-node knob so logs
+    // distinguish it from the absolute budget.
+    let opts = FlowOptions {
+        detailed_placer: DetailedPlacer::Anneal { seed: 7 },
+        anneal_moves_per_node: Some(0),
+        ..FlowOptions::lily_area()
+    };
+    let r = opts.run_detailed(&net, &lib).unwrap();
+    let d = &r.metrics.degradations;
+    assert_eq!(d.len(), 1, "expected exactly one degradation, got {d:?}");
+    assert_eq!((d[0].stage, d[0].fallback), ("anneal", "greedy"));
+    assert!(d[0].detail.contains("per-node move budget exhausted"), "detail: {}", d[0].detail);
+    assert_still_valid(&net, &lib, &opts, &r);
+    // The greedy fallback must match the plain greedy placer's result.
+    let greedy = FlowOptions { detailed_placer: DetailedPlacer::Greedy, ..opts }
+        .run_detailed(&net, &lib)
+        .unwrap();
+    assert_eq!(greedy.metrics.wire_length, r.metrics.wire_length);
+}
+
+#[test]
+fn tighter_absolute_budget_still_binds_with_both_knobs_set() {
+    let lib = Library::big();
+    let net = sample_network();
+    // Absolute 25 < per-node budget for any non-trivial circuit, so
+    // the absolute knob binds and keeps its original audit wording.
+    let opts = FlowOptions {
+        detailed_placer: DetailedPlacer::Anneal { seed: 7 },
+        anneal_move_budget: Some(25),
+        anneal_moves_per_node: Some(u64::MAX / 4),
+        ..FlowOptions::lily_area()
+    };
+    let r = opts.run_detailed(&net, &lib).unwrap();
+    let d = &r.metrics.degradations;
+    assert_eq!(d.len(), 1, "expected exactly one degradation, got {d:?}");
+    assert_eq!((d[0].stage, d[0].fallback), ("anneal", "greedy"));
+    assert!(d[0].detail.contains("25 moves"), "detail: {}", d[0].detail);
+    assert!(!d[0].detail.contains("per-node"), "detail: {}", d[0].detail);
+    assert_still_valid(&net, &lib, &opts, &r);
+}
+
+#[test]
+fn oversized_detailed_place_ships_legalized_rows() {
+    let lib = Library::big();
+    let net = sample_network();
+    // A ceiling of zero forces the skip on any circuit; the flow must
+    // ship the legalized rows with an audited degradation.
+    let opts = FlowOptions {
+        physical: PhysicalOptions { detailed_place_max_cells: 0, ..PhysicalOptions::default() },
+        ..FlowOptions::lily_area()
+    };
+    let r = opts.run_detailed(&net, &lib).unwrap();
+    let d = &r.metrics.degradations;
+    assert_eq!(d.len(), 1, "expected exactly one degradation, got {d:?}");
+    assert_eq!((d[0].stage, d[0].fallback), ("detailed-place", "legalized-only"));
+    assert!(d[0].detail.contains("improvement ceiling"), "detail: {}", d[0].detail);
+    assert_still_valid(&net, &lib, &opts, &r);
+}
+
+#[test]
+fn oversized_cone_partition_demotes_to_trees() {
+    let lib = Library::big();
+    let net = sample_network();
+    // A ceiling of zero demotes cones to maximal trees on any circuit;
+    // the flow must still complete with an audited degradation.
+    let opts = FlowOptions {
+        physical: PhysicalOptions { cone_partition_max_nodes: 0, ..PhysicalOptions::default() },
+        ..FlowOptions::cut_area()
+    };
+    let r = opts.run_detailed(&net, &lib).unwrap();
+    let d = &r.metrics.degradations;
+    assert_eq!(d.len(), 1, "expected exactly one degradation, got {d:?}");
+    assert_eq!((d[0].stage, d[0].fallback), ("map", "tree-partition"));
+    assert!(d[0].detail.contains("cone-partition ceiling"), "detail: {}", d[0].detail);
+    // The demoted run must equal an explicitly tree-partitioned one.
+    let explicit =
+        FlowOptions { partition: lily_core::Partition::Trees, ..FlowOptions::cut_area() };
+    let e = explicit.run_detailed(&net, &lib).unwrap();
+    assert_eq!(r.metrics.cells, e.metrics.cells);
+    assert_eq!(r.metrics.wire_length.to_bits(), e.metrics.wire_length.to_bits());
+    assert_still_valid(&net, &lib, &opts, &r);
+}
+
+#[test]
 fn overflowing_wire_load_falls_back_to_per_fanout() {
     // Astronomical interconnect capacitance makes every placement-derived
     // wire load infinite; the per-fanout model stays finite.

@@ -50,8 +50,13 @@ pub fn legalize(widths: &[f64], desired: &[Point], opts: &LegalizeOptions) -> Le
         (0..n_rows).map(|r| opts.core.lly + (r as f64 + 0.5) * opts.row_height).collect();
 
     // Assign cells to rows in y order, balancing total width per row.
+    // The balance target can exceed the physical row capacity when the
+    // core is undersized for the netlist; a hard capacity check keeps
+    // every row (except a possibly overfull last row) packable without
+    // spilling past the right core edge.
     let total_width: f64 = widths.iter().sum();
     let target = total_width / n_rows as f64;
+    let capacity = opts.core.width();
     let mut by_y: Vec<usize> = (0..n).collect();
     by_y.sort_by(|&a, &b| {
         desired[a].y.partial_cmp(&desired[b].y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
@@ -60,7 +65,9 @@ pub fn legalize(widths: &[f64], desired: &[Point], opts: &LegalizeOptions) -> Le
     let mut row = 0usize;
     let mut acc = 0.0;
     for &cell in &by_y {
-        if acc + widths[cell] / 2.0 > target && row + 1 < n_rows {
+        let balance_full = acc + widths[cell] / 2.0 > target;
+        let capacity_full = !rows[row].is_empty() && acc + widths[cell] > capacity;
+        if (balance_full || capacity_full) && row + 1 < n_rows {
             row += 1;
             acc = 0.0;
         }
@@ -350,6 +357,26 @@ mod tests {
         let legal = legalize(&widths, &desired, &o);
         assert_eq!(legal.rows.len(), 1);
         assert_eq!(legal.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn overfull_balance_target_respects_row_capacity() {
+        // 4 rows × 100 µm of capacity but 480 µm of cells: the balance
+        // target (120) exceeds what a row can physically hold, so the
+        // hard capacity check must advance early — only the final
+        // spill row may end up overfull.
+        let widths = vec![30.0; 16];
+        let desired: Vec<Point> = (0..16).map(|i| Point::new(i as f64, 1.0)).collect();
+        let legal = legalize(&widths, &desired, &opts());
+        for (r, cells) in legal.rows.iter().enumerate() {
+            let load: f64 = cells.iter().map(|&c| widths[c]).sum();
+            if r + 1 < legal.rows.len() {
+                assert!(load <= 100.0 + 1e-9, "row {r} overfull: {load}");
+            }
+        }
+        // All 16 cells still placed exactly once.
+        let placed: usize = legal.rows.iter().map(Vec::len).sum();
+        assert_eq!(placed, 16);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`global`] — recursive bi-partitioning with anchor refinement,
 //!   yielding the *balanced point placement* Lily's wire estimates rely
 //!   on.
+//! * [`multilevel`] — clustered coarsen→solve→interpolate→refine
+//!   placement for large instances (100k+ modules), behind the
+//!   automatic size threshold in `lily-core`'s flow options.
 //! * [`pads`] — connectivity-driven bottom-up I/O pad assignment
 //!   (paper's reference \[20\]).
 //! * [`legalize`] — row-based detailed placement of the mapped netlist
@@ -32,6 +35,7 @@ pub mod fm;
 pub mod geom;
 pub mod global;
 pub mod legalize;
+pub mod multilevel;
 pub mod pads;
 pub mod problem;
 pub mod quadratic;
@@ -43,6 +47,13 @@ pub use error::PlaceError;
 pub use fm::{cut_size, refine as fm_refine, FmInstance, FmOptions};
 pub use geom::{Point, Rect};
 pub use global::{try_global_place, try_global_place_cancel, GlobalOptions};
-pub use pads::assign_pads;
+pub use multilevel::{
+    try_multilevel_place, try_multilevel_place_cancel, ClusterHierarchy, ClusterLevel,
+    MultilevelOptions, MultilevelPlacement,
+};
+pub use pads::{assign_pads, assign_pads_with_interior};
 pub use problem::SubjectPlacement;
-pub use quadratic::{try_solve_quadratic, try_solve_quadratic_cancel, PinRef, PlacementProblem};
+pub use quadratic::{
+    try_refine_quadratic_cancel, try_solve_quadratic, try_solve_quadratic_cancel, PinRef,
+    PlacementProblem,
+};

@@ -1,0 +1,550 @@
+//! Multilevel clustered global placement for large instances.
+//!
+//! Flat GORDIAN-style placement ([`crate::global`]) re-solves the full
+//! quadratic system at every partitioning level, with a CG budget that
+//! grows linearly in the module count — fine for the paper's benchmark
+//! sizes (hundreds of gates), hopeless at 10⁵ modules. This module
+//! implements the standard multilevel answer in the GORDIAN lineage:
+//!
+//! 1. **Coarsen** — repeated deterministic first-choice clustering:
+//!    scan modules in index order and merge each unclustered module
+//!    with its most strongly connected eligible neighbor under the
+//!    clique model (ties to the lowest index) — pairing with an
+//!    unclustered neighbor or absorbing into a clustered one under a
+//!    small arity cap — producing a cluster hierarchy.
+//! 2. **Solve** — run the flat partitioning placer on the coarsest
+//!    cluster graph (a few hundred clusters, so the `O(n)` CG budget is
+//!    cheap there).
+//! 3. **Interpolate → refine** — walk back down the hierarchy: each
+//!    module starts at its cluster's position, is anchored there with a
+//!    small spring, and a *bounded* number of CG iterations per level
+//!    smooths the placement against the finer connectivity.
+//!
+//! Every step is sequential or built on the deterministic `lily-par`
+//! kernels, so the result is byte-identical at any `LILY_THREADS` —
+//! the coarsening order, match selection, and interpolation are pure
+//! functions of the problem, and the CG refinement inherits the fixed
+//! chunking of [`crate::sparse`].
+
+use crate::error::PlaceError;
+use crate::geom::{Point, Rect};
+use crate::global::{try_global_place_cancel, GlobalOptions};
+use crate::quadratic::{try_refine_quadratic_cancel, Anchor, PinRef, PlacementProblem};
+use lily_fault::CancelToken;
+
+/// Options for [`try_multilevel_place`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelOptions {
+    /// The layout image (core region) to place into.
+    pub region: Rect,
+    /// Stop coarsening once a level has at most this many clusters; the
+    /// flat partitioning placer runs there.
+    pub coarse_target: usize,
+    /// Hard cap on coarsening levels (clustering at least halves the
+    /// module count per level, so this is never reached in practice).
+    pub max_levels: usize,
+    /// Conjugate-gradient iterations per axis spent refining the level
+    /// just below the coarsest solve; each finer level gets half the
+    /// previous level's budget, floored at [`Self::refine_iters_floor`].
+    /// Fine levels start from an interpolated warm start and only need
+    /// smoothing, while per-iteration cost doubles level to level — the
+    /// decaying schedule keeps total refinement work `O(n)` instead of
+    /// `O(n · refine_iters)`.
+    pub refine_iters: usize,
+    /// Lower bound on the per-level refinement budget (clamped to
+    /// `refine_iters` when set higher).
+    pub refine_iters_floor: usize,
+    /// Spring weight anchoring each module to its interpolated position
+    /// during refinement (keeps the coarse level's spreading).
+    pub refine_anchor_weight: f64,
+    /// Nets with more pins than this are ignored when scoring matches —
+    /// a huge net says almost nothing about which two of its pins
+    /// belong together, and its clique expansion is quadratic.
+    pub match_net_cap: usize,
+}
+
+impl MultilevelOptions {
+    /// Reasonable defaults for a given core region.
+    pub fn for_region(region: Rect) -> Self {
+        Self {
+            region,
+            coarse_target: 192,
+            max_levels: 24,
+            refine_iters: 48,
+            refine_iters_floor: 8,
+            refine_anchor_weight: 0.05,
+            match_net_cap: 32,
+        }
+    }
+}
+
+/// One coarsening step: how the modules of a finer level map onto the
+/// clusters of the next-coarser level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterLevel {
+    /// `parent[i]` is the coarser-level cluster of finer-level module
+    /// `i`; every value is `< n_clusters`.
+    pub parent: Vec<usize>,
+    /// Number of clusters at the coarser level.
+    pub n_clusters: usize,
+}
+
+/// The full coarsening history: `levels[0]` maps the original modules,
+/// `levels.last()` maps into the coarsest cluster graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterHierarchy {
+    /// Per-level parent maps, finest first.
+    pub levels: Vec<ClusterLevel>,
+}
+
+impl ClusterHierarchy {
+    /// Number of clusters at the coarsest level (the original module
+    /// count when no coarsening happened and `n_modules` is given).
+    pub fn coarsest_len(&self, n_modules: usize) -> usize {
+        self.levels.last().map_or(n_modules, |l| l.n_clusters)
+    }
+}
+
+/// The result of multilevel placement.
+#[derive(Debug, Clone)]
+pub struct MultilevelPlacement {
+    /// Final module positions (inside the core region).
+    pub positions: Vec<Point>,
+    /// The coarsening history (for diagnostics — `lily-check` verifies
+    /// its well-formedness).
+    pub hierarchy: ClusterHierarchy,
+    /// Positions after refinement at every level, coarsest first; the
+    /// last entry equals [`MultilevelPlacement::positions`].
+    pub level_positions: Vec<Vec<Point>>,
+    /// Total conjugate-gradient iterations across the coarsest solve
+    /// and all refinement levels.
+    pub cg_iterations: usize,
+}
+
+/// Fallible multilevel clustered global placement. See the module docs
+/// for the algorithm.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidProblem`] — the problem fails validation.
+/// * [`PlaceError::InvalidOptions`] — a zero `coarse_target` or
+///   `refine_iters`, or a non-finite anchor weight.
+/// * [`PlaceError::NonFinite`] — the core region, a pad coordinate, or
+///   a refined position is NaN/∞.
+/// * [`PlaceError::SolverDiverged`] — the coarsest-level solve diverged.
+pub fn try_multilevel_place(
+    problem: &PlacementProblem,
+    opts: &MultilevelOptions,
+) -> Result<MultilevelPlacement, PlaceError> {
+    try_multilevel_place_cancel(problem, opts, &CancelToken::never())
+}
+
+/// [`try_multilevel_place`] with a cooperative cancellation token,
+/// polled once per coarsening/refinement level and once per CG
+/// iteration inside the solves.
+///
+/// # Errors
+///
+/// Everything [`try_multilevel_place`] reports, plus
+/// [`PlaceError::Cancelled`] when the token trips mid-placement.
+pub fn try_multilevel_place_cancel(
+    problem: &PlacementProblem,
+    opts: &MultilevelOptions,
+    cancel: &CancelToken,
+) -> Result<MultilevelPlacement, PlaceError> {
+    problem.validate()?;
+    if opts.coarse_target == 0 || opts.refine_iters == 0 || opts.refine_iters_floor == 0 {
+        return Err(PlaceError::InvalidOptions {
+            message: "coarse_target, refine_iters, and refine_iters_floor must be positive".into(),
+        });
+    }
+    if !opts.refine_anchor_weight.is_finite() || opts.refine_anchor_weight < 0.0 {
+        return Err(PlaceError::InvalidOptions {
+            message: format!("refine_anchor_weight {} not finite", opts.refine_anchor_weight),
+        });
+    }
+    let r = opts.region;
+    if ![r.llx, r.lly, r.urx, r.ury].iter().all(|v| v.is_finite()) {
+        return Err(PlaceError::NonFinite { context: "core region" });
+    }
+    if problem.movable == 0 {
+        return Ok(MultilevelPlacement {
+            positions: Vec::new(),
+            hierarchy: ClusterHierarchy::default(),
+            level_positions: Vec::new(),
+            cg_iterations: 0,
+        });
+    }
+
+    // Coarsen. `coarse[k]` is the problem after k+1 matchings; the
+    // original problem stays borrowed as level 0.
+    let mut hierarchy = ClusterHierarchy::default();
+    let mut coarse: Vec<PlacementProblem> = Vec::new();
+    loop {
+        let cur: &PlacementProblem = coarse.last().unwrap_or(problem);
+        if cur.movable <= opts.coarse_target || hierarchy.levels.len() >= opts.max_levels {
+            break;
+        }
+        if cancel.is_cancelled() {
+            return Err(PlaceError::Cancelled { context: "multilevel-coarsen" });
+        }
+        let level = match_level(cur, opts.match_net_cap);
+        // Matching that barely shrinks the graph (pathologically sparse
+        // connectivity) would loop forever; stop and solve what we have.
+        if level.n_clusters * 20 > cur.movable * 19 {
+            break;
+        }
+        let next = project_problem(cur, &level);
+        hierarchy.levels.push(level);
+        coarse.push(next);
+    }
+
+    // Solve the coarsest level with the flat partitioning placer.
+    let coarsest: &PlacementProblem = coarse.last().unwrap_or(problem);
+    let g = try_global_place_cancel(coarsest, &GlobalOptions::for_region(r), cancel)?;
+    let mut cg_iterations = g.cg_iterations;
+    let mut positions = g.positions;
+    let mut level_positions: Vec<Vec<Point>> = vec![positions.clone()];
+
+    // Interpolate and refine back down: level k of the hierarchy maps
+    // problem k (0 = original) onto problem k+1's clusters. The
+    // iteration budget halves with each finer level (floored), V-cycle
+    // style: the interpolated warm start is already good, and an
+    // iteration at the finest level costs as much as the whole rest of
+    // the hierarchy.
+    let floor = opts.refine_iters_floor.min(opts.refine_iters);
+    for k in (0..hierarchy.levels.len()).rev() {
+        if cancel.is_cancelled() {
+            return Err(PlaceError::Cancelled { context: "multilevel-refine" });
+        }
+        let fine: &PlacementProblem = if k == 0 { problem } else { &coarse[k - 1] };
+        let level = &hierarchy.levels[k];
+        let interpolated: Vec<Point> = level.parent.iter().map(|&c| positions[c]).collect();
+        let anchors: Vec<Anchor> = interpolated
+            .iter()
+            .enumerate()
+            .map(|(m, &target)| Anchor { module: m, target, weight: opts.refine_anchor_weight })
+            .collect();
+        let depth = hierarchy.levels.len() - 1 - k;
+        let iters = (opts.refine_iters >> depth).max(floor);
+        let solve = try_refine_quadratic_cancel(fine, &anchors, &interpolated, iters, cancel)?;
+        cg_iterations += solve.iterations;
+        positions = solve.positions.into_iter().map(|p| r.clamp(p)).collect();
+        level_positions.push(positions.clone());
+    }
+
+    Ok(MultilevelPlacement { positions, hierarchy, level_positions, cg_iterations })
+}
+
+/// Most fine modules one cluster may absorb in a single
+/// [`match_level`] pass. Pure pair matching stalls on dense coarse
+/// graphs — once every neighbor of an unmatched module is matched,
+/// shrinkage collapses and the "coarsest" level is left thousands of
+/// clusters wide. Letting a module join an already-formed cluster
+/// keeps coarsening moving; the cap stops hub clusters from swallowing
+/// whole neighborhoods and degenerating the hierarchy into a star.
+const CLUSTER_ARITY_CAP: usize = 4;
+
+/// One deterministic first-choice clustering pass: scan modules in
+/// index order, merge each unclustered module with its heaviest
+/// eligible neighbor (clique-model edge weights, ties to the lowest
+/// index) — an unclustered neighbor founds a new pair, a clustered one
+/// absorbs the module into its cluster while the cluster is under
+/// [`CLUSTER_ARITY_CAP`]. Modules with no eligible neighbor become
+/// singleton clusters.
+fn match_level(problem: &PlacementProblem, net_cap: usize) -> ClusterLevel {
+    let n = problem.movable;
+    // Incidence lists over the nets small enough to score.
+    let mut degree = vec![0usize; n];
+    let scored: Vec<&Vec<PinRef>> =
+        problem.nets.iter().filter(|net| net.len() >= 2 && net.len() <= net_cap).collect();
+    for net in &scored {
+        for pin in net.iter() {
+            if let PinRef::Movable(m) = *pin {
+                degree[m] += 1;
+            }
+        }
+    }
+    let mut start = vec![0usize; n + 1];
+    for i in 0..n {
+        start[i + 1] = start[i] + degree[i];
+    }
+    let mut incident = vec![0u32; start[n]];
+    let mut fill = start.clone();
+    for (ni, net) in scored.iter().enumerate() {
+        for pin in net.iter() {
+            if let PinRef::Movable(m) = *pin {
+                incident[fill[m]] = ni as u32;
+                fill[m] += 1;
+            }
+        }
+    }
+
+    let mut parent = vec![usize::MAX; n];
+    let mut n_clusters = 0usize;
+    let mut cluster_arity: Vec<u8> = Vec::new();
+    // Dense scratch: accumulated weight per neighbor plus the touched
+    // list, reset between modules (O(touched), not O(n)).
+    let mut weight = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for u in 0..n {
+        if parent[u] != usize::MAX {
+            continue;
+        }
+        touched.clear();
+        for &ni in &incident[start[u]..start[u + 1]] {
+            let net = scored[ni as usize];
+            let w = 2.0 / net.len() as f64;
+            for pin in net.iter() {
+                let v = match *pin {
+                    PinRef::Movable(v) if v != u => v,
+                    _ => continue,
+                };
+                if weight[v] == 0.0 {
+                    touched.push(v);
+                }
+                weight[v] += w;
+            }
+        }
+        // Heaviest eligible neighbor, ties to the lowest index. The
+        // touched list is in first-encounter order, so an explicit
+        // index tie-break keeps the choice independent of net ordering.
+        let mut best: Option<(f64, usize)> = None;
+        for &v in &touched {
+            let eligible =
+                parent[v] == usize::MAX || (cluster_arity[parent[v]] as usize) < CLUSTER_ARITY_CAP;
+            if eligible {
+                let better = match best {
+                    None => true,
+                    Some((bw, bv)) => weight[v] > bw || (weight[v] == bw && v < bv),
+                };
+                if better {
+                    best = Some((weight[v], v));
+                }
+            }
+            weight[v] = 0.0;
+        }
+        match best {
+            Some((_, v)) if parent[v] == usize::MAX => {
+                let c = n_clusters;
+                n_clusters += 1;
+                parent[u] = c;
+                parent[v] = c;
+                cluster_arity.push(2);
+            }
+            Some((_, v)) => {
+                let c = parent[v];
+                parent[u] = c;
+                cluster_arity[c] += 1;
+            }
+            None => {
+                let c = n_clusters;
+                n_clusters += 1;
+                parent[u] = c;
+                cluster_arity.push(1);
+            }
+        }
+    }
+    ClusterLevel { parent, n_clusters }
+}
+
+/// Projects a problem through a matching: pins map onto clusters, nets
+/// deduplicate, and nets that collapse below two distinct pins (or lose
+/// every movable pin) drop out.
+fn project_problem(fine: &PlacementProblem, level: &ClusterLevel) -> PlacementProblem {
+    let mut nets: Vec<Vec<PinRef>> = Vec::with_capacity(fine.nets.len());
+    let mut mapped: Vec<(u8, usize)> = Vec::new();
+    for net in &fine.nets {
+        mapped.clear();
+        for pin in net {
+            mapped.push(match *pin {
+                PinRef::Movable(m) => (0, level.parent[m]),
+                PinRef::Fixed(f) => (1, f),
+            });
+        }
+        mapped.sort_unstable();
+        mapped.dedup();
+        if mapped.len() < 2 || mapped.iter().all(|&(kind, _)| kind == 1) {
+            continue;
+        }
+        nets.push(
+            mapped
+                .iter()
+                .map(|&(kind, i)| if kind == 0 { PinRef::Movable(i) } else { PinRef::Fixed(i) })
+                .collect(),
+        );
+    }
+    PlacementProblem { movable: level.n_clusters, fixed: fine.fixed.clone(), nets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2D grid graph with pads on four corners (same shape the flat
+    /// placer's tests use, scaled up so coarsening actually happens).
+    fn grid_problem(side: usize, core: Rect) -> PlacementProblem {
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut nets = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    nets.push(vec![PinRef::Movable(idx(r, c)), PinRef::Movable(idx(r, c + 1))]);
+                }
+                if r + 1 < side {
+                    nets.push(vec![PinRef::Movable(idx(r, c)), PinRef::Movable(idx(r + 1, c))]);
+                }
+            }
+        }
+        let fixed = vec![
+            Point::new(core.llx, core.lly),
+            Point::new(core.urx, core.lly),
+            Point::new(core.llx, core.ury),
+            Point::new(core.urx, core.ury),
+        ];
+        nets.push(vec![PinRef::Fixed(0), PinRef::Movable(idx(0, 0))]);
+        nets.push(vec![PinRef::Fixed(1), PinRef::Movable(idx(0, side - 1))]);
+        nets.push(vec![PinRef::Fixed(2), PinRef::Movable(idx(side - 1, 0))]);
+        nets.push(vec![PinRef::Fixed(3), PinRef::Movable(idx(side - 1, side - 1))]);
+        PlacementProblem { movable: side * side, fixed, nets }
+    }
+
+    fn assert_hierarchy_well_formed(h: &ClusterHierarchy, n_modules: usize) {
+        let mut fine = n_modules;
+        for (li, level) in h.levels.iter().enumerate() {
+            assert_eq!(level.parent.len(), fine, "level {li}: parent map size");
+            let mut seen = vec![false; level.n_clusters];
+            for &c in &level.parent {
+                assert!(c < level.n_clusters, "level {li}: cluster {c} out of range");
+                seen[c] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "level {li}: empty cluster");
+            assert!(level.n_clusters < fine, "level {li}: no shrinkage");
+            fine = level.n_clusters;
+        }
+    }
+
+    #[test]
+    fn multilevel_places_inside_core_with_real_coarsening() {
+        let core = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let p = grid_problem(24, core); // 576 modules > coarse_target
+        let opts = MultilevelOptions::for_region(core);
+        let m = try_multilevel_place(&p, &opts).expect("multilevel");
+        assert_eq!(m.positions.len(), p.movable);
+        assert!(!m.hierarchy.levels.is_empty(), "expected at least one coarsening level");
+        assert!(m.hierarchy.coarsest_len(p.movable) <= opts.coarse_target * 2);
+        assert_hierarchy_well_formed(&m.hierarchy, p.movable);
+        for pt in &m.positions {
+            assert!(core.contains(*pt), "{pt:?} outside core");
+        }
+        // Every per-level snapshot is finite and in-core.
+        assert_eq!(m.level_positions.len(), m.hierarchy.levels.len() + 1);
+        assert_eq!(m.level_positions.last().unwrap(), &m.positions);
+        // Connectivity preserved: corner modules end up near their pads.
+        let d00 = m.positions[0].manhattan(Point::new(0.0, 0.0));
+        let d_far = m.positions[0].manhattan(Point::new(1000.0, 1000.0));
+        assert!(d00 < d_far, "corner module drifted: {:?}", m.positions[0]);
+    }
+
+    #[test]
+    fn multilevel_is_deterministic() {
+        let core = Rect::new(0.0, 0.0, 500.0, 500.0);
+        let p = grid_problem(20, core);
+        let opts = MultilevelOptions::for_region(core);
+        let a = try_multilevel_place(&p, &opts).expect("first run");
+        let b = try_multilevel_place(&p, &opts).expect("second run");
+        assert_eq!(a.hierarchy, b.hierarchy);
+        assert_eq!(a.cg_iterations, b.cg_iterations);
+        for (x, y) in a.positions.iter().zip(&b.positions) {
+            assert_eq!(x.x.to_bits(), y.x.to_bits());
+            assert_eq!(x.y.to_bits(), y.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn small_problems_skip_coarsening() {
+        let core = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let p = grid_problem(4, core); // 16 modules <= coarse_target
+        let m = try_multilevel_place(&p, &MultilevelOptions::for_region(core)).expect("small");
+        assert!(m.hierarchy.levels.is_empty());
+        assert_eq!(m.level_positions.len(), 1);
+        for pt in &m.positions {
+            assert!(core.contains(*pt));
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let m = try_multilevel_place(
+            &PlacementProblem::default(),
+            &MultilevelOptions::for_region(core),
+        )
+        .expect("empty");
+        assert!(m.positions.is_empty());
+        assert!(m.hierarchy.levels.is_empty());
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let p = grid_problem(4, core);
+        let bad = MultilevelOptions { coarse_target: 0, ..MultilevelOptions::for_region(core) };
+        assert!(matches!(try_multilevel_place(&p, &bad), Err(PlaceError::InvalidOptions { .. })));
+        let bad = MultilevelOptions {
+            refine_anchor_weight: f64::NAN,
+            ..MultilevelOptions::for_region(core)
+        };
+        assert!(matches!(try_multilevel_place(&p, &bad), Err(PlaceError::InvalidOptions { .. })));
+    }
+
+    #[test]
+    fn cancelled_token_stops_multilevel() {
+        let core = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let p = grid_problem(20, core);
+        let token = CancelToken::new();
+        token.cancel();
+        let got = try_multilevel_place_cancel(&p, &MultilevelOptions::for_region(core), &token);
+        assert!(matches!(got, Err(PlaceError::Cancelled { .. })), "{got:?}");
+    }
+
+    #[test]
+    fn matching_respects_connectivity() {
+        // Two 2-cliques and an isolated module: the cliques pair up, the
+        // loner stays a singleton.
+        let p = PlacementProblem {
+            movable: 5,
+            fixed: vec![Point::new(0.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Movable(0), PinRef::Movable(1)],
+                vec![PinRef::Movable(2), PinRef::Movable(3)],
+                vec![PinRef::Movable(4), PinRef::Fixed(0)],
+            ],
+        };
+        let level = match_level(&p, 32);
+        assert_eq!(level.parent[0], level.parent[1]);
+        assert_eq!(level.parent[2], level.parent[3]);
+        assert_ne!(level.parent[4], level.parent[0]);
+        assert_ne!(level.parent[4], level.parent[2]);
+        assert_eq!(level.n_clusters, 3);
+    }
+
+    #[test]
+    fn projection_drops_internal_nets() {
+        let p = PlacementProblem {
+            movable: 4,
+            fixed: vec![Point::new(0.0, 0.0)],
+            nets: vec![
+                vec![PinRef::Movable(0), PinRef::Movable(1)], // collapses
+                vec![PinRef::Movable(0), PinRef::Movable(2)], // survives
+                vec![PinRef::Movable(3), PinRef::Fixed(0)],   // survives
+            ],
+        };
+        let level = ClusterLevel { parent: vec![0, 0, 1, 2], n_clusters: 3 };
+        let coarse = project_problem(&p, &level);
+        assert_eq!(coarse.movable, 3);
+        assert_eq!(coarse.nets.len(), 2);
+        assert_eq!(coarse.nets[0], vec![PinRef::Movable(0), PinRef::Movable(1)]);
+        assert_eq!(coarse.nets[1], vec![PinRef::Movable(2), PinRef::Fixed(0)]);
+    }
+}

@@ -76,7 +76,47 @@ pub fn assign_pads(problem: &PlacementProblem, core: Rect) -> Vec<Point> {
         Ok(solve) => solve.positions,
         Err(_) => return seed,
     };
+    order_pads(problem, core, &positions, &seed)
+}
 
+/// [`assign_pads`] with the interior module positions supplied by the
+/// caller instead of the internal flat quadratic solve — the scale
+/// path: at 10⁵ modules the flat solve inside [`assign_pads`] costs
+/// more than the whole multilevel placement, and any placement of
+/// comparable quality yields the same barycenter ordering.
+///
+/// `interior` must hold one position per movable module; a
+/// length-mismatched or non-finite set falls back to the uniform
+/// perimeter seed, like a failed solve in [`assign_pads`].
+pub fn assign_pads_with_interior(
+    problem: &PlacementProblem,
+    core: Rect,
+    interior: &[Point],
+) -> Vec<Point> {
+    let n_pads = problem.fixed.len();
+    if n_pads == 0 {
+        return Vec::new();
+    }
+    let seed = perimeter_points(core, n_pads);
+    if interior.len() != problem.movable
+        || interior.iter().any(|p| !(p.x.is_finite() && p.y.is_finite()))
+    {
+        return seed;
+    }
+    order_pads(problem, core, interior, &seed)
+}
+
+/// The connectivity-driven ordering shared by [`assign_pads`] and
+/// [`assign_pads_with_interior`]: barycenters of each pad's connected
+/// modules under `positions`, angle keys refined by affinity diffusion,
+/// pads mapped onto angle-sorted perimeter slots.
+fn order_pads(
+    problem: &PlacementProblem,
+    core: Rect,
+    positions: &[Point],
+    seed: &[Point],
+) -> Vec<Point> {
+    let n_pads = problem.fixed.len();
     // Barycenter of the movable modules each pad connects to.
     let mut sums: Vec<(f64, f64, usize)> = vec![(0.0, 0.0, 0); n_pads];
     for net in &problem.nets {
@@ -281,6 +321,40 @@ mod tests {
         // exactly twice.
         let changes = (0..8).filter(|&i| groups[i] != groups[(i + 1) % 8]).count();
         assert_eq!(changes, 2, "groups interleaved on boundary: {groups:?}");
+    }
+
+    #[test]
+    fn supplied_interior_matches_internal_solve() {
+        // Feeding the internal solve's own positions through the
+        // external entry point must reproduce assign_pads exactly.
+        let core = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut nets = Vec::new();
+        for pad in 0..8 {
+            nets.push(vec![PinRef::Fixed(pad), PinRef::Movable(pad % 3)]);
+        }
+        let problem = PlacementProblem { movable: 3, fixed: vec![Point::default(); 8], nets };
+        let seed = perimeter_points(core, 8);
+        let seeded = PlacementProblem { fixed: seed, ..problem.clone() };
+        let interior = try_solve_quadratic(&seeded, &[], &[]).unwrap().positions;
+        assert_eq!(
+            assign_pads_with_interior(&problem, core, &interior),
+            assign_pads(&problem, core)
+        );
+    }
+
+    #[test]
+    fn bad_interior_falls_back_to_uniform_seed() {
+        let core = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let problem = PlacementProblem {
+            movable: 2,
+            fixed: vec![Point::default(); 4],
+            nets: vec![vec![PinRef::Fixed(0), PinRef::Movable(0)]],
+        };
+        let seed = perimeter_points(core, 4);
+        // Wrong length and NaN positions both fall back to the seed.
+        assert_eq!(assign_pads_with_interior(&problem, core, &[Point::default()]), seed);
+        let nan = vec![Point::new(f64::NAN, 0.0), Point::default()];
+        assert_eq!(assign_pads_with_interior(&problem, core, &nan), seed);
     }
 
     #[test]

@@ -149,15 +149,70 @@ pub fn try_solve_quadratic_cancel(
     warm: &[Point],
     cancel: &CancelToken,
 ) -> Result<QuadraticSolve, PlaceError> {
+    let (solve, finite) = solve_axes(problem, anchors, warm, None, false, cancel)?;
+    let usable = finite && solve.residual.is_finite() && solve.residual <= ACCEPTABLE_RESIDUAL;
+    if !usable {
+        return Err(PlaceError::SolverDiverged {
+            solver: "conjugate-gradient",
+            iterations: solve.iterations,
+            residual: solve.residual,
+        });
+    }
+    Ok(solve)
+}
+
+/// A bounded-effort quadratic solve for multilevel refinement: spends at
+/// most `max_iter` conjugate-gradient iterations per axis and accepts
+/// any *finite* result, converged or not.
+///
+/// Intermediate levels of a coarsen→interpolate→refine schedule start
+/// from a good warm start and only need a few smoothing iterations; the
+/// full-convergence residual gate of [`try_solve_quadratic`] would
+/// either reject them or force an `O(n)` iteration count per level.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidProblem`] — validation failure.
+/// * [`PlaceError::NonFinite`] — a pad/anchor coordinate, anchor weight,
+///   or solved position is NaN/∞.
+/// * [`PlaceError::Cancelled`] — the token tripped mid-solve.
+pub fn try_refine_quadratic_cancel(
+    problem: &PlacementProblem,
+    anchors: &[Anchor],
+    warm: &[Point],
+    max_iter: usize,
+    cancel: &CancelToken,
+) -> Result<QuadraticSolve, PlaceError> {
+    let (solve, finite) = solve_axes(problem, anchors, warm, Some(max_iter), true, cancel)?;
+    if !finite {
+        return Err(PlaceError::NonFinite { context: "refined positions" });
+    }
+    Ok(solve)
+}
+
+/// Shared body of the two quadratic entry points: builds the clique
+/// Laplacian and runs both axis CG solves (with `max_iter` overriding
+/// the default `4n + 200` budget when given). `fast_assembly` selects
+/// [`CsrBuilder::build_stable`] — linear-time assembly whose duplicate
+/// sums can differ from [`CsrBuilder::build`]'s in the last ulp, so
+/// only the multilevel refine path (whose bit patterns no golden pins)
+/// turns it on. Returns the solve plus a
+/// flag telling whether every solved coordinate is finite; acceptance
+/// policy (residual gate vs bounded-effort) is the caller's.
+fn solve_axes(
+    problem: &PlacementProblem,
+    anchors: &[Anchor],
+    warm: &[Point],
+    max_iter: Option<usize>,
+    fast_assembly: bool,
+    cancel: &CancelToken,
+) -> Result<(QuadraticSolve, bool), PlaceError> {
     problem.validate()?;
     let n = problem.movable;
     if n == 0 {
-        return Ok(QuadraticSolve {
-            positions: Vec::new(),
-            iterations: 0,
-            residual: 0.0,
-            converged: true,
-        });
+        let empty =
+            QuadraticSolve { positions: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+        return Ok((empty, true));
     }
     if !problem.fixed.iter().all(|p| p.x.is_finite() && p.y.is_finite()) {
         return Err(PlaceError::NonFinite { context: "pad coordinates" });
@@ -215,34 +270,27 @@ pub fn try_solve_quadratic_cancel(
         by[i] += EPS * centroid.y;
     }
 
-    let a = builder.build();
+    let a = if fast_assembly { builder.build_stable() } else { builder.build() };
     let warm_ok = warm.len() == n && warm.iter().all(|p| p.x.is_finite() && p.y.is_finite());
     let (x0, y0): (Vec<f64>, Vec<f64>) = if warm_ok {
         (warm.iter().map(|p| p.x).collect(), warm.iter().map(|p| p.y).collect())
     } else {
         (vec![centroid.x; n], vec![centroid.y; n])
     };
-    let max_iter = 4 * n + 200;
+    let max_iter = max_iter.unwrap_or(4 * n + 200);
     let cancelled = |_| PlaceError::Cancelled { context: "conjugate-gradient" };
     let sx = cg_solve_cancel(&a, &bx, &x0, 1e-8, max_iter, cancel).map_err(cancelled)?;
     let sy = cg_solve_cancel(&a, &by, &y0, 1e-8, max_iter, cancel).map_err(cancelled)?;
     let iterations = sx.iterations + sy.iterations;
     let residual = sx.residual.max(sy.residual);
     let finite = sx.x.iter().all(|v| v.is_finite()) && sy.x.iter().all(|v| v.is_finite());
-    let usable = finite && (residual.is_finite() && residual <= ACCEPTABLE_RESIDUAL);
-    if !usable {
-        return Err(PlaceError::SolverDiverged {
-            solver: "conjugate-gradient",
-            iterations,
-            residual,
-        });
-    }
-    Ok(QuadraticSolve {
+    let solve = QuadraticSolve {
         positions: sx.x.into_iter().zip(sy.x).map(|(x, y)| Point::new(x, y)).collect(),
         iterations,
         residual,
         converged: sx.converged && sy.converged,
-    })
+    };
+    Ok((solve, finite))
 }
 
 #[cfg(test)]
@@ -337,6 +385,37 @@ mod tests {
         let opt = solve_quadratic(&p, &[], &[]);
         let bad = vec![Point::new(0.0, 7.0)];
         assert!(p.quadratic_cost(&opt) < p.quadratic_cost(&bad));
+    }
+
+    #[test]
+    fn bounded_refine_accepts_unconverged_solves() {
+        // A long chain needs many CG iterations to converge; the
+        // bounded refinement solve must return the partial (finite)
+        // result instead of rejecting it as diverged.
+        let m = 32;
+        let mut nets = vec![vec![PinRef::Fixed(0), PinRef::Movable(0)]];
+        for i in 0..m - 1 {
+            nets.push(vec![PinRef::Movable(i), PinRef::Movable(i + 1)]);
+        }
+        nets.push(vec![PinRef::Movable(m - 1), PinRef::Fixed(1)]);
+        let p = PlacementProblem {
+            movable: m,
+            fixed: vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            nets,
+        };
+        let s = try_refine_quadratic_cancel(&p, &[], &[], 2, &CancelToken::never())
+            .expect("bounded refine");
+        assert!(!s.converged, "2 iterations cannot converge a 32-chain");
+        assert!(s.positions.iter().all(|pt| pt.x.is_finite() && pt.y.is_finite()));
+        assert!(s.iterations <= 4, "spent {} iterations", s.iterations);
+        // With a generous budget the same entry point converges to the
+        // strict solver's answer.
+        let full = try_refine_quadratic_cancel(&p, &[], &[], 4 * m + 200, &CancelToken::never())
+            .expect("full refine");
+        let strict = try_solve_quadratic(&p, &[], &[]).expect("strict");
+        for (a, b) in full.positions.iter().zip(&strict.positions) {
+            assert!((a.x - b.x).abs() < 1e-6 && (a.y - b.y).abs() < 1e-6);
+        }
     }
 
     #[test]

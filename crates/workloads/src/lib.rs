@@ -12,14 +12,19 @@
 //! *comparison* is what the paper claims, and it is preserved under
 //! this substitution (see DESIGN.md).
 //!
-//! [`gen`] provides the underlying random-logic builder, and
-//! [`structured`] a handful of regular circuits (adders, parity trees,
-//! decoders, multiplexer trees) used by the examples and tests.
+//! [`gen`] provides the underlying random-logic builder, [`structured`]
+//! a handful of regular circuits (adders, parity trees, decoders,
+//! multiplexer trees) used by the examples and tests, and [`scale`]
+//! large structured families (prefix adders, Wallace multipliers,
+//! Rent-rule random DAGs) sized by node-count targets up to 10⁵–10⁶
+//! for the scaling benchmarks.
 
 pub mod circuits;
 pub mod fuzz;
 pub mod gen;
+pub mod scale;
 pub mod structured;
 
 pub use circuits::{circuit, circuit_names, CircuitSpec};
 pub use gen::{GenOptions, RandomNetwork};
+pub use scale::{scale_circuit, RandomDagOptions, ScaleFamily};

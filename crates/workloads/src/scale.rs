@@ -1,0 +1,543 @@
+//! Large structured workloads for the scale axis (10³–10⁶ nodes).
+//!
+//! Three deterministic generator families sized by a node-count target:
+//!
+//! * [`tree_adder`] — a Kogge–Stone parallel-prefix adder: logarithmic
+//!   depth, heavy reconvergent fanout in the prefix network.
+//! * [`multiplier_tree`] — a Wallace-tree multiplier: partial-product
+//!   AND plane compressed by column full/half adders down to two rows,
+//!   then a ripple carry-propagate adder. Quadratic in the operand
+//!   width, so modest widths reach 10⁵ nodes.
+//! * [`random_dag`] — random multi-level logic with a Rent-rule input
+//!   count (`inputs ≈ 2.5·N^p`), capped fanin *and* fanout, and a
+//!   locality-biased wiring distribution, hitting the node target
+//!   exactly.
+//!
+//! Everything is a pure function of its arguments (the RNG is the
+//! repo-standard [`XorShift64`]), so generated networks are
+//! byte-identical across runs and thread counts.
+
+use lily_netlist::sim::XorShift64;
+use lily_netlist::{Network, NodeFunc, NodeId};
+
+/// A structured scale-workload family, selectable by name from CLIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleFamily {
+    /// Kogge–Stone parallel-prefix adder.
+    TreeAdder,
+    /// Wallace-tree multiplier.
+    MultiplierTree,
+    /// Random DAG with Rent-rule I/O and capped fanin/fanout.
+    RandomDag,
+}
+
+impl ScaleFamily {
+    /// All families, for sweeps and CLI help text.
+    pub const ALL: [ScaleFamily; 3] =
+        [ScaleFamily::TreeAdder, ScaleFamily::MultiplierTree, ScaleFamily::RandomDag];
+
+    /// The CLI name of this family.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleFamily::TreeAdder => "tree-adder",
+            ScaleFamily::MultiplierTree => "multiplier-tree",
+            ScaleFamily::RandomDag => "random-dag",
+        }
+    }
+
+    /// Parses a CLI name (`tree-adder`, `multiplier-tree`, `random-dag`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        ScaleFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+impl std::fmt::Display for ScaleFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a circuit of `family` sized to roughly `target_nodes` network
+/// nodes (primary inputs + internal nodes). Structured families hit the
+/// target within the granularity of their width parameter (≈15% for
+/// small targets, tighter as the target grows); [`random_dag`] hits it
+/// exactly.
+///
+/// # Panics
+///
+/// Panics if `target_nodes < 64` (below any sensible instance of the
+/// structured families; generator misuse, not input data).
+pub fn scale_circuit(family: ScaleFamily, target_nodes: usize, seed: u64) -> Network {
+    assert!(target_nodes >= 64, "scale targets start at 64 nodes");
+    match family {
+        ScaleFamily::TreeAdder => {
+            let width = size_width(4, target_nodes, tree_adder_nodes);
+            tree_adder(width)
+        }
+        ScaleFamily::MultiplierTree => {
+            let width = size_width(4, target_nodes, multiplier_tree_nodes);
+            multiplier_tree(width)
+        }
+        ScaleFamily::RandomDag => {
+            random_dag(RandomDagOptions { target_nodes, seed, ..RandomDagOptions::default() })
+        }
+    }
+}
+
+/// Finds the width whose estimated node count lands closest to
+/// `target`, by binary search over the monotone estimator.
+fn size_width(min_width: usize, target: usize, estimate: fn(usize) -> usize) -> usize {
+    let (mut lo, mut hi) = (min_width, min_width);
+    while estimate(hi) < target && hi < 1 << 20 {
+        hi *= 2;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if estimate(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if target.abs_diff(estimate(lo)) <= target.abs_diff(estimate(hi)) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Closed-form node count of [`tree_adder`] at `width` (inputs
+/// included), mirroring the construction below exactly.
+pub fn tree_adder_nodes(width: usize) -> usize {
+    let w = width;
+    let mut prefix = 0;
+    let mut d = 1;
+    while d < w {
+        let per_position = if 2 * d < w { 3 } else { 2 };
+        prefix += (w - d) * per_position;
+        d *= 2;
+    }
+    2 * w // inputs
+        + 2 * w // propagate + generate
+        + prefix
+        + (w - 1) // sum XORs for bits 1..w
+}
+
+/// Builds a `width`-bit Kogge–Stone adder: `2·width` inputs,
+/// `width + 1` outputs (sum bits and carry-out), O(w·log w) prefix
+/// nodes. Deterministic; no RNG involved.
+///
+/// # Panics
+///
+/// Panics if `width < 2` (generator misuse, not input data).
+// lily-lint: allow(LL04) -- width is chosen by the sizing search or tests; misuse is a bug, not input data
+pub fn tree_adder(width: usize) -> Network {
+    assert!(width >= 2, "adders need at least two bits");
+    let w = width;
+    let mut net = Network::new(format!("ks_adder{w}"));
+    let a: Vec<NodeId> = (0..w).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..w).map(|i| net.add_input(format!("b{i}"))).collect();
+
+    let p: Vec<NodeId> = (0..w)
+        .map(|i| net.add_node(format!("p{i}"), NodeFunc::Xor, vec![a[i], b[i]]).unwrap())
+        .collect();
+    let mut gg: Vec<NodeId> = (0..w)
+        .map(|i| net.add_node(format!("g{i}"), NodeFunc::And, vec![a[i], b[i]]).unwrap())
+        .collect();
+    let mut pp = p.clone();
+
+    // Prefix network: after processing distance d, gg[i] is the
+    // generate of the span ending at bit i with length min(i+1, 2d).
+    // The final level needs no propagate terms (nothing consumes them).
+    let mut d = 1;
+    while d < w {
+        let last = 2 * d >= w;
+        let mut ng = gg.clone();
+        let mut np = pp.clone();
+        for i in d..w {
+            let t =
+                net.add_node(format!("t_d{d}_{i}"), NodeFunc::And, vec![pp[i], gg[i - d]]).unwrap();
+            ng[i] = net.add_node(format!("gp_d{d}_{i}"), NodeFunc::Or, vec![gg[i], t]).unwrap();
+            if !last {
+                np[i] = net
+                    .add_node(format!("pp_d{d}_{i}"), NodeFunc::And, vec![pp[i], pp[i - d]])
+                    .unwrap();
+            }
+        }
+        gg = ng;
+        pp = np;
+        d *= 2;
+    }
+
+    // Sums: s0 = p0 (no carry-in), s_i = p_i XOR c_{i-1} = p_i XOR gg[i-1].
+    net.add_output("s0", p[0]);
+    for i in 1..w {
+        let s = net.add_node(format!("s{i}x"), NodeFunc::Xor, vec![p[i], gg[i - 1]]).unwrap();
+        net.add_output(format!("s{i}"), s);
+    }
+    net.add_output("cout", gg[w - 1]);
+    net
+}
+
+/// Estimated node count of [`multiplier_tree`] at `width` (inputs
+/// included). The Wallace reduction schedule makes an exact closed form
+/// unwieldy; this tracks the construction to within a few percent and
+/// only steers the sizing search.
+pub fn multiplier_tree_nodes(width: usize) -> usize {
+    let w = width;
+    // w² partial products; each full adder (5 nodes) removes one bit
+    // from the dot diagram until ~2 bits/column remain; final CPA.
+    2 * w + w * w + 5 * (w * w).saturating_sub(4 * w) + 10 * w
+}
+
+/// Builds a `width`×`width` Wallace-tree multiplier: `2·width` inputs,
+/// `2·width` product outputs, ≈6·width² nodes. Deterministic; no RNG
+/// involved.
+///
+/// # Panics
+///
+/// Panics if `width < 2` (generator misuse, not input data).
+// lily-lint: allow(LL04) -- width is chosen by the sizing search or tests; misuse is a bug, not input data
+pub fn multiplier_tree(width: usize) -> Network {
+    assert!(width >= 2, "multipliers need at least two bits");
+    let w = width;
+    let cols = 2 * w;
+    let mut net = Network::new(format!("wallace{w}"));
+    let a: Vec<NodeId> = (0..w).map(|i| net.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..w).map(|i| net.add_input(format!("b{i}"))).collect();
+
+    // Partial-product plane: bit a_i·b_j lands in column i+j.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); cols];
+    for i in 0..w {
+        for j in 0..w {
+            let pp = net.add_node(format!("pp{i}_{j}"), NodeFunc::And, vec![a[i], b[j]]).unwrap();
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Wallace reduction: compress every column with 3:2 and 2:2
+    // counters until no column holds more than two bits. Carries into
+    // the column past the MSB cannot occur (column 2w-1 holds at most
+    // one partial product plus carries that the dot-diagram arithmetic
+    // bounds by the product width).
+    let mut stage = 0;
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); cols];
+        for c in 0..cols {
+            let bits = &columns[c];
+            let mut k = 0;
+            while bits.len() - k >= 3 {
+                let tag = format!("s{stage}_c{c}_{k}");
+                let (s, cy) = full_adder(&mut net, &tag, bits[k], bits[k + 1], bits[k + 2]);
+                next[c].push(s);
+                if c + 1 < cols {
+                    next[c + 1].push(cy);
+                }
+                k += 3;
+            }
+            if bits.len() - k == 2 {
+                let tag = format!("s{stage}_c{c}_{k}");
+                let (s, cy) = half_adder(&mut net, &tag, bits[k], bits[k + 1]);
+                next[c].push(s);
+                if c + 1 < cols {
+                    next[c + 1].push(cy);
+                }
+                k += 2;
+            }
+            while k < bits.len() {
+                next[c].push(bits[k]);
+                k += 1;
+            }
+        }
+        columns = next;
+        stage += 1;
+    }
+
+    // Final carry-propagate addition over the two remaining rows.
+    let mut carry: Option<NodeId> = None;
+    for (c, bits) in columns.iter().enumerate() {
+        let (sum, cy) = match (bits.len(), carry) {
+            (0, None) => continue, // column never populated (can't happen mid-word)
+            (0, Some(cin)) => (cin, None),
+            (1, None) => (bits[0], None),
+            (1, Some(cin)) => {
+                let tag = format!("cpa_c{c}");
+                let (s, cy) = half_adder(&mut net, &tag, bits[0], cin);
+                (s, Some(cy))
+            }
+            (2, None) => {
+                let tag = format!("cpa_c{c}");
+                let (s, cy) = half_adder(&mut net, &tag, bits[0], bits[1]);
+                (s, Some(cy))
+            }
+            (2, Some(cin)) => {
+                let tag = format!("cpa_c{c}");
+                let (s, cy) = full_adder(&mut net, &tag, bits[0], bits[1], cin);
+                (s, Some(cy))
+            }
+            _ => unreachable!("reduction leaves at most two bits per column"),
+        };
+        net.add_output(format!("m{c}"), sum);
+        carry = cy;
+    }
+    // The true product fits in 2w bits, so any dangling top carry is
+    // structurally zero; sweep it rather than emit a constant output.
+    net.sweep_dangling();
+    net
+}
+
+/// 3:2 counter: sum = a⊕b⊕c, carry = majority(a,b,c). Five nodes.
+fn full_adder(net: &mut Network, tag: &str, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let s = net.add_node(format!("fs_{tag}"), NodeFunc::Xor, vec![a, b, c]).unwrap();
+    let ab = net.add_node(format!("fab_{tag}"), NodeFunc::And, vec![a, b]).unwrap();
+    let ac = net.add_node(format!("fac_{tag}"), NodeFunc::And, vec![a, c]).unwrap();
+    let bc = net.add_node(format!("fbc_{tag}"), NodeFunc::And, vec![b, c]).unwrap();
+    let cy = net.add_node(format!("fcy_{tag}"), NodeFunc::Or, vec![ab, ac, bc]).unwrap();
+    (s, cy)
+}
+
+/// 2:2 counter: sum = a⊕b, carry = a·b. Two nodes.
+fn half_adder(net: &mut Network, tag: &str, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    let s = net.add_node(format!("hs_{tag}"), NodeFunc::Xor, vec![a, b]).unwrap();
+    let cy = net.add_node(format!("hcy_{tag}"), NodeFunc::And, vec![a, b]).unwrap();
+    (s, cy)
+}
+
+/// Parameters of [`random_dag`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomDagOptions {
+    /// Exact total node count (primary inputs + internal nodes).
+    pub target_nodes: usize,
+    /// Rent exponent `p`: primary inputs = ⌈2.5·N^p⌉ (clamped to at
+    /// least 2 and at most N/4).
+    pub rent_exponent: f64,
+    /// Maximum node fanin (≥ 2).
+    pub max_fanin: usize,
+    /// Maximum fanout any signal may drive (≥ 2). Keeps the fanout
+    /// distribution bounded, as real optimized netlists are after
+    /// buffering.
+    pub max_fanout: usize,
+    /// Probability a fanin is drawn from the recent signal window
+    /// rather than uniformly (locality; uniform draws give the
+    /// long-range reconvergent edges).
+    pub locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagOptions {
+    fn default() -> Self {
+        Self {
+            target_nodes: 1000,
+            rent_exponent: 0.6,
+            max_fanin: 4,
+            max_fanout: 16,
+            locality: 0.8,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random DAG with exactly `target_nodes` nodes.
+///
+/// Inputs follow the Rent rule from `rent_exponent`; every internal
+/// node draws 2–`max_fanin` distinct fanins with a locality bias,
+/// skipping signals already at `max_fanout` (with a deterministic
+/// fallback scan, so the cap is hard); every node nothing reads becomes
+/// a primary output, so no sweep is needed and the node count is exact.
+///
+/// # Panics
+///
+/// Panics if `target_nodes < 8`, `max_fanin < 2` or `max_fanout < 2`
+/// (generator misuse, not input data).
+// lily-lint: allow(LL04) -- generator options are shapes chosen by benches and tests, which respect the documented preconditions; misuse is a bug, not input data
+pub fn random_dag(options: RandomDagOptions) -> Network {
+    assert!(options.target_nodes >= 8, "need at least eight nodes");
+    assert!(options.max_fanin >= 2, "max fanin must be at least 2");
+    assert!(options.max_fanout >= 2, "max fanout must be at least 2");
+    let n = options.target_nodes;
+    let rent = (2.5 * (n as f64).powf(options.rent_exponent)).ceil() as usize;
+    let inputs = rent.clamp(2, (n / 4).max(2));
+    let internal = n - inputs;
+
+    let mut rng = XorShift64::new(options.seed);
+    let mut net = Network::new(format!("rdag{}_{}", n, options.seed));
+    let mut signals: Vec<NodeId> = (0..inputs).map(|i| net.add_input(format!("pi{i}"))).collect();
+    // Fanout bookkeeping indexed like `signals`; `spill` scans forward
+    // from the oldest signal when random draws keep hitting saturated
+    // nodes, so the generator never stalls while under-cap signals
+    // remain.
+    let mut fanout = vec![0usize; inputs];
+    let mut spill = 0usize;
+
+    for i in 0..internal {
+        let k = 2.max(rng.gen_range(2, options.max_fanin.min(signals.len().max(2))));
+        let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while fanins.len() < k && guard < 64 {
+            guard += 1;
+            let idx = if rng.gen_bool(options.locality) && signals.len() > 8 {
+                let window = (signals.len() / 4).max(4);
+                signals.len() - 1 - rng.gen_index(window)
+            } else {
+                rng.gen_index(signals.len())
+            };
+            if fanout[idx] < options.max_fanout && !picked.contains(&idx) {
+                picked.push(idx);
+                fanins.push(signals[idx]);
+            }
+        }
+        // Deterministic fallback: sweep forward for any under-cap,
+        // unpicked signal. Advancing `spill` past permanently saturated
+        // prefixes keeps the whole generator O(N·max_fanin) amortized.
+        while fanins.len() < 2 {
+            while spill < signals.len() && fanout[spill] >= options.max_fanout {
+                spill += 1;
+            }
+            let mut scan = spill;
+            while scan < signals.len()
+                && (fanout[scan] >= options.max_fanout || picked.contains(&scan))
+            {
+                scan += 1;
+            }
+            assert!(scan < signals.len(), "fanout caps admit 2 fanins while signals remain");
+            picked.push(scan);
+            fanins.push(signals[scan]);
+        }
+        for &idx in &picked {
+            fanout[idx] += 1;
+        }
+        let func = pick_func(&mut rng);
+        let id =
+            net.add_node(format!("n{i}"), func, fanins).expect("generator produces valid nodes");
+        signals.push(id);
+        fanout.push(0);
+    }
+
+    // Every unread signal becomes an output, so nothing dangles and the
+    // node count stays exactly `target_nodes` without sweeping. Inputs
+    // nobody reads get an output too (a wire-through port), keeping the
+    // network well-formed for any parameter corner.
+    let mut oi = 0;
+    for (idx, &s) in signals.iter().enumerate() {
+        if fanout[idx] == 0 {
+            net.add_output(format!("po{oi}"), s);
+            oi += 1;
+        }
+    }
+    debug_assert_eq!(net.node_count(), n);
+    net
+}
+
+fn pick_func(rng: &mut XorShift64) -> NodeFunc {
+    match rng.gen_index(100) {
+        0..=24 => NodeFunc::And,
+        25..=49 => NodeFunc::Or,
+        50..=69 => NodeFunc::Nand,
+        70..=89 => NodeFunc::Nor,
+        90..=95 => NodeFunc::Xor,
+        _ => NodeFunc::Xnor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lily_netlist::sim::simulate_network64;
+
+    #[test]
+    fn tree_adder_counts_match_formula() {
+        for w in [2usize, 3, 5, 8, 13, 32, 100] {
+            let net = tree_adder(w);
+            assert_eq!(net.node_count(), tree_adder_nodes(w), "width {w}");
+            assert_eq!(net.input_count(), 2 * w);
+            assert_eq!(net.output_count(), w + 1);
+        }
+    }
+
+    #[test]
+    fn tree_adder_adds() {
+        let w = 8;
+        let net = tree_adder(w);
+        let mut rng = XorShift64::new(7);
+        // 64 lanes of random operand pairs, checked against u32 math.
+        let a: Vec<u64> = (0..w).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..w).map(|_| rng.next_u64()).collect();
+        let inputs: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let out = simulate_network64(&net, &inputs);
+        for lane in 0..64 {
+            let bit = |words: &[u64], i: usize| (words[i] >> lane) & 1;
+            let av: u32 = (0..w).map(|i| (bit(&a, i) as u32) << i).sum();
+            let bv: u32 = (0..w).map(|i| (bit(&b, i) as u32) << i).sum();
+            let want = av as u64 + bv as u64;
+            let got: u64 = (0..=w).map(|i| bit(&out, i) << i).sum();
+            assert_eq!(got, want, "lane {lane}: {av} + {bv}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let w = 5;
+        let net = multiplier_tree(w);
+        let mut rng = XorShift64::new(9);
+        // Force lane 0 to all-ones operands so the top product bit is
+        // exercised; the other 63 lanes stay random.
+        let a: Vec<u64> = (0..w).map(|_| rng.next_u64() | 1).collect();
+        let b: Vec<u64> = (0..w).map(|_| rng.next_u64() | 1).collect();
+        let inputs: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let out = simulate_network64(&net, &inputs);
+        for lane in 0..64 {
+            let bit = |words: &[u64], i: usize| (words[i] >> lane) & 1;
+            let av: u64 = (0..w).map(|i| bit(&a, i) << i).sum();
+            let bv: u64 = (0..w).map(|i| bit(&b, i) << i).sum();
+            let got: u64 = (0..net.output_count()).map(|i| bit(&out, i) << i).sum();
+            assert_eq!(got, av * bv, "lane {lane}: {av} * {bv}");
+        }
+    }
+
+    #[test]
+    fn multiplier_estimate_tracks_reality() {
+        for w in [4usize, 8, 16, 40] {
+            let net = multiplier_tree(w);
+            let est = multiplier_tree_nodes(w);
+            let ratio = net.node_count() as f64 / est as f64;
+            assert!((0.8..=1.2).contains(&ratio), "width {w}: est {est}, got {}", net.node_count());
+        }
+    }
+
+    #[test]
+    fn random_dag_is_exact_and_capped() {
+        let o = RandomDagOptions { target_nodes: 5000, seed: 11, ..RandomDagOptions::default() };
+        let net = random_dag(o);
+        assert_eq!(net.node_count(), 5000);
+        let fanout = net.fanout_counts();
+        assert!(fanout.iter().all(|&f| f <= o.max_fanout), "fanout cap violated");
+        for id in net.node_ids() {
+            assert!(net.node(id).fanins.len() <= o.max_fanin, "fanin cap violated");
+        }
+    }
+
+    #[test]
+    fn scale_circuit_hits_targets() {
+        for family in ScaleFamily::ALL {
+            for target in [1000usize, 20_000] {
+                let net = scale_circuit(family, target, 3);
+                let ratio = net.node_count() as f64 / target as f64;
+                assert!(
+                    (0.7..=1.3).contains(&ratio),
+                    "{family} at {target}: got {}",
+                    net.node_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in ScaleFamily::ALL {
+            assert_eq!(ScaleFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(ScaleFamily::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the scale-workload generators: acyclicity,
+//! single-driver structure, node-count tolerance, and seed-determinism
+//! across worker-pool widths (the generators are pure functions of
+//! their options, so the thread count must be invisible).
+
+use lily_workloads::scale::{
+    multiplier_tree, random_dag, scale_circuit, tree_adder, RandomDagOptions, ScaleFamily,
+};
+
+/// Structural invariants every generated network must satisfy:
+/// creation order is topological (every fanin id precedes its consumer,
+/// which rules out cycles), fanins are distinct (single driver per pin,
+/// no node wired to itself), and every output driver exists.
+fn assert_well_formed(net: &lily_netlist::Network) {
+    for id in net.node_ids() {
+        let node = net.node(id);
+        for (i, f) in node.fanins.iter().enumerate() {
+            assert!(f.index() < id.index(), "fanin {f} of {} does not precede it", node.name);
+            assert!(!node.fanins[..i].contains(f), "duplicate fanin {f} on node {}", node.name);
+        }
+        if !node.is_input() {
+            assert!(!node.fanins.is_empty(), "internal node {} has no fanins", node.name);
+        }
+    }
+    for out in net.outputs() {
+        assert!(out.driver.index() < net.node_count(), "output {} driver missing", out.name);
+    }
+    assert!(net.output_count() > 0, "network has no outputs");
+}
+
+#[test]
+fn structured_families_are_well_formed() {
+    assert_well_formed(&tree_adder(24));
+    assert_well_formed(&multiplier_tree(12));
+    assert_well_formed(&random_dag(RandomDagOptions {
+        target_nodes: 3000,
+        seed: 5,
+        ..RandomDagOptions::default()
+    }));
+}
+
+#[test]
+fn node_counts_land_within_tolerance() {
+    for family in ScaleFamily::ALL {
+        for target in [1_000usize, 10_000, 50_000] {
+            let net = scale_circuit(family, target, 2);
+            assert_well_formed(&net);
+            let ratio = net.node_count() as f64 / target as f64;
+            assert!(
+                (0.7..=1.3).contains(&ratio),
+                "{family} at {target} nodes: generated {}",
+                net.node_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_dag_node_count_is_exact() {
+    for target in [100usize, 4_321, 40_000] {
+        let net = random_dag(RandomDagOptions {
+            target_nodes: target,
+            seed: 77,
+            ..RandomDagOptions::default()
+        });
+        assert_eq!(net.node_count(), target);
+    }
+}
+
+#[test]
+fn rent_rule_scales_input_count() {
+    let small = random_dag(RandomDagOptions { target_nodes: 1_000, ..RandomDagOptions::default() });
+    let large =
+        random_dag(RandomDagOptions { target_nodes: 64_000, ..RandomDagOptions::default() });
+    // inputs ≈ 2.5·N^0.6: a 64× node increase should grow inputs by
+    // ≈64^0.6 ≈ 12×; assert the sublinear-but-growing envelope.
+    let ratio = large.input_count() as f64 / small.input_count() as f64;
+    assert!((6.0..=24.0).contains(&ratio), "input growth ratio {ratio}");
+}
+
+#[test]
+fn generation_is_seed_deterministic_across_thread_counts() {
+    let reference: Vec<lily_netlist::Network> =
+        ScaleFamily::ALL.into_iter().map(|family| scale_circuit(family, 2_000, 13)).collect();
+    for threads in [1usize, 2, 8] {
+        lily_par::set_threads(Some(threads));
+        for (family, want) in ScaleFamily::ALL.into_iter().zip(&reference) {
+            let got = scale_circuit(family, 2_000, 13);
+            assert_eq!(&got, want, "{family} differs at {threads} threads");
+        }
+        lily_par::set_threads(None);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = random_dag(RandomDagOptions { seed: 1, ..RandomDagOptions::default() });
+    let b = random_dag(RandomDagOptions { seed: 2, ..RandomDagOptions::default() });
+    assert_ne!(a, b);
+}

@@ -4,13 +4,20 @@
 //! lily-check [--lib tiny|big|big-sized] [--flow mis-area|lily-area|cut-area|mis-delay|lily-delay|cut-delay]
 //!            [--vectors N] [--seed S] [--threads N] [--metrics-json <path>]
 //!            [--checkpoint-dir <dir>] [--kill-after <stage>]
-//!            (<design.blif> | --circuit <name>)
+//!            (<design.blif> | --circuit <name>
+//!             | --gen <family> [--gen-nodes N] [--gen-seed S])
 //! ```
 //!
-//! The design — a BLIF file, or one of the bundled benchmark workloads
-//! via `--circuit` — is parsed, decomposed, mapped, placed, and timed
-//! with the selected flow, and every stage artifact is analyzed with
-//! the `lily-check` passes. Diagnostics are printed per stage, followed
+//! The design — a BLIF file, one of the bundled benchmark workloads via
+//! `--circuit`, or a synthetic scaling workload via `--gen`
+//! (`tree-adder`, `multiplier-tree`, or `random-dag`; sized with
+//! `--gen-nodes`, seeded with `--gen-seed`) — is parsed, decomposed,
+//! mapped, placed, and timed with the selected flow, and every stage
+//! artifact is analyzed with the `lily-check` passes. Designs large
+//! enough to take the flow's multilevel placement path additionally get
+//! a `hierarchy` stage that validates the cluster hierarchy and
+//! per-level position snapshots (`PL005`–`PL006`).
+//! Diagnostics are printed per stage, followed
 //! by the per-stage wall-time/artifact-size table of the stage-graph
 //! flow engine; `--metrics-json` additionally writes the full
 //! [`FlowMetrics`](lily::core::flow::FlowMetrics) (including that
@@ -50,6 +57,9 @@ struct Args {
     threads: Option<usize>,
     input: Option<String>,
     circuit: Option<String>,
+    gen: Option<String>,
+    gen_nodes: usize,
+    gen_seed: u64,
     metrics_json: Option<String>,
     checkpoint_dir: Option<String>,
     kill_after: Option<String>,
@@ -58,7 +68,8 @@ struct Args {
 const USAGE: &str = "usage: lily-check [--lib tiny|big|big-sized] \
 [--flow mis-area|lily-area|cut-area|mis-delay|lily-delay|cut-delay] [--vectors N] [--seed S] \
 [--threads N] [--metrics-json <path>] [--checkpoint-dir <dir>] \
-[--kill-after <stage>] (<design.blif> | --circuit <name>)";
+[--kill-after <stage>] (<design.blif> | --circuit <name> | \
+--gen <family> [--gen-nodes N] [--gen-seed S])";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -69,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         input: None,
         circuit: None,
+        gen: None,
+        gen_nodes: 20_000,
+        gen_seed: 1,
         metrics_json: None,
         checkpoint_dir: None,
         kill_after: None,
@@ -95,6 +109,18 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--circuit" => args.circuit = Some(value("--circuit")?),
+            "--gen" => args.gen = Some(value("--gen")?),
+            "--gen-nodes" => {
+                args.gen_nodes =
+                    value("--gen-nodes")?.parse().map_err(|e| format!("--gen-nodes: {e}"))?;
+                if args.gen_nodes < 64 {
+                    return Err("--gen-nodes must be at least 64".into());
+                }
+            }
+            "--gen-seed" => {
+                args.gen_seed =
+                    value("--gen-seed")?.parse().map_err(|e| format!("--gen-seed: {e}"))?;
+            }
             "--metrics-json" => args.metrics_json = Some(value("--metrics-json")?),
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
             "--kill-after" => {
@@ -113,7 +139,11 @@ fn parse_args() -> Result<Args, String> {
             _ => return Err(format!("unexpected argument `{a}`\n{USAGE}")),
         }
     }
-    if args.input.is_some() == args.circuit.is_some() {
+    let sources = [args.input.is_some(), args.circuit.is_some(), args.gen.is_some()]
+        .iter()
+        .filter(|&&s| s)
+        .count();
+    if sources != 1 {
         return Err(USAGE.into());
     }
     if args.kill_after.is_some() && args.checkpoint_dir.is_none() {
@@ -148,6 +178,12 @@ fn load_network(args: &Args) -> Result<lily::netlist::Network, String> {
             ));
         }
         return Ok(lily::workloads::circuits::circuit(name));
+    }
+    if let Some(family) = &args.gen {
+        let family = lily::workloads::ScaleFamily::from_name(family).ok_or_else(|| {
+            format!("unknown family `{family}` (tree-adder, multiplier-tree, random-dag)")
+        })?;
+        return Ok(lily::workloads::scale_circuit(family, args.gen_nodes, args.gen_seed));
     }
     let path = args.input.as_deref().expect("parse_args guarantees an input");
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -192,6 +228,26 @@ fn run() -> Result<usize, String> {
     errors += stage("subject", &check::check_subject(&g));
     errors +=
         stage("decompose-equiv", &check::check_network_subject(&net, &g, args.vectors, args.seed));
+
+    // Designs above the flow's multilevel threshold take the clustered
+    // placement path; validate the hierarchy the placer would build.
+    let subject_placement = lily::place::SubjectPlacement::new(&g);
+    if subject_placement.problem.movable >= opts.physical.multilevel_threshold {
+        let core = Rect::new(0.0, 0.0, 3000.0, 3000.0);
+        let mut problem = subject_placement.problem.clone();
+        problem.fixed = lily::place::pads::perimeter_points(core, problem.fixed.len());
+        let m = lily::place::try_multilevel_place(
+            &problem,
+            &lily::place::MultilevelOptions::for_region(core),
+        )
+        .map_err(|e| format!("multilevel place: {e}"))?;
+        errors += stage(
+            "hierarchy",
+            &check::check_hierarchy(&m.hierarchy, problem.movable, &m.level_positions, core),
+        );
+    } else {
+        println!("hierarchy: skipped (below the multilevel threshold)");
+    }
 
     // Run the full stage-graph flow with its internal checkpoints off:
     // the point of the CLI is to print every stage's full report, not
