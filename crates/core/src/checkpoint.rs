@@ -748,6 +748,11 @@ pub struct CheckpointDir {
     /// stage-name mismatch permanently drops to live recomputation (and
     /// truncates the stale suffix at the next save).
     live: bool,
+    /// Whether the manifest existed but was torn — unparsable JSON or
+    /// undecodable entries, the signature of a write cut short by a
+    /// crash. A fresh start either way, but a torn manifest deserves an
+    /// audit entry where a missing or foreign one does not.
+    torn: bool,
 }
 
 impl CheckpointDir {
@@ -763,26 +768,62 @@ impl CheckpointDir {
             context: "open",
             message: format!("cannot create `{}`: {e}", dir.display()),
         })?;
-        let entries = fs::read_to_string(dir.join("manifest.json"))
-            .ok()
-            .and_then(|text| Json::parse(&text).ok())
-            .filter(|m| {
-                m.get("fingerprint")
-                    .and_then(Json::as_str)
-                    .and_then(|s| u64::from_str_radix(s, 16).ok())
-                    == Some(fingerprint)
-            })
-            .and_then(|m| {
-                m.get("entries")?
-                    .as_array()?
-                    .iter()
-                    .map(ManifestEntry::from_json)
-                    .collect::<Result<Vec<_>, _>>()
-                    .ok()
-            })
-            .unwrap_or_default();
+        let mut torn = false;
+        let entries = match fs::read_to_string(dir.join("manifest.json")).ok() {
+            // No manifest: a genuinely fresh directory.
+            None => Vec::new(),
+            Some(text) => match Json::parse(&text) {
+                // Present but unparsable: a torn write — detected and
+                // skipped (audited by the caller), never a startup
+                // failure.
+                Err(_) => {
+                    torn = true;
+                    Vec::new()
+                }
+                Ok(m) => {
+                    let stored = m
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .and_then(|s| u64::from_str_radix(s, 16).ok());
+                    match stored {
+                        // A manifest always carries a fingerprint; a
+                        // parsable object without one is torn too.
+                        None => {
+                            torn = true;
+                            Vec::new()
+                        }
+                        // A different run's manifest: silent fresh start.
+                        Some(fp) if fp != fingerprint => Vec::new(),
+                        Some(_) => {
+                            let decoded =
+                                m.get("entries").and_then(Json::as_array).and_then(|entries| {
+                                    entries
+                                        .iter()
+                                        .map(ManifestEntry::from_json)
+                                        .collect::<Result<Vec<_>, _>>()
+                                        .ok()
+                                });
+                            match decoded {
+                                Some(entries) => entries,
+                                None => {
+                                    torn = true;
+                                    Vec::new()
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        };
         let live = !entries.is_empty();
-        Ok(Self { dir: dir.to_path_buf(), fingerprint, entries, cursor: 0, live })
+        Ok(Self { dir: dir.to_path_buf(), fingerprint, entries, cursor: 0, live, torn })
+    }
+
+    /// Whether the manifest on disk was torn (see the field docs); the
+    /// flow audits this as a `"checkpoint"` → `"recomputed"` entry.
+    #[must_use]
+    pub fn manifest_torn(&self) -> bool {
+        self.torn
     }
 
     /// Tries to restore the next stage from the stored prefix. On a hit
@@ -977,6 +1018,14 @@ pub fn run_flow_checkpointed(
 ) -> Result<FlowResult, MapError> {
     let mut ckpt = CheckpointDir::open(dir, fingerprint(net, options))?;
     let mut ctx = FlowContext::new(lib, *options);
+    if ckpt.manifest_torn() {
+        ctx.degrade(
+            "checkpoint",
+            "recomputed",
+            "manifest torn (crash mid-write); prefix discarded, recomputing from scratch"
+                .to_string(),
+        );
+    }
     let ia = interrupt_after;
 
     let g: Arc<SubjectGraph> = step(
@@ -1181,6 +1230,40 @@ mod tests {
         // Recomputation still lands on the uninterrupted answer.
         let plain = options.run_detailed(&net, &lib).unwrap();
         assert_eq!(plain.metrics.wire_length.to_bits(), resumed.metrics.wire_length.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_is_skipped_with_audit_not_a_startup_failure() {
+        let lib = Library::big();
+        let net = flow_fixture();
+        let options = FlowOptions::lily_area();
+        let dir = temp_dir("torn-manifest");
+        let killed = run_flow_checkpointed(&net, &lib, &options, &dir, Some("map"));
+        assert!(matches!(killed, Err(MapError::Interrupted { .. })));
+        // Tear the manifest itself mid-file, as a crash inside a
+        // non-atomic writer would: truncated JSON cannot parse.
+        let manifest = dir.join("manifest.json");
+        let text = fs::read_to_string(&manifest).unwrap();
+        fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+        // The resume must not fail startup: it discards the prefix,
+        // audits the torn manifest once, and recomputes to the same
+        // answer as an uninterrupted run.
+        let resumed = run_flow_checkpointed(&net, &lib, &options, &dir, None).unwrap();
+        let audited: Vec<_> = resumed
+            .metrics
+            .degradations
+            .iter()
+            .filter(|d| d.stage == "checkpoint" && d.fallback == "recomputed")
+            .collect();
+        assert_eq!(audited.len(), 1, "{:?}", resumed.metrics.degradations);
+        assert!(audited[0].detail.contains("manifest torn"));
+        let plain = options.run_detailed(&net, &lib).unwrap();
+        assert_eq!(plain.metrics.wire_length.to_bits(), resumed.metrics.wire_length.to_bits());
+        // A second resume runs against the healed (re-written) manifest
+        // with no audit entry at all.
+        let healed = run_flow_checkpointed(&net, &lib, &options, &dir, None).unwrap();
+        assert!(healed.metrics.degradations.iter().all(|d| d.stage != "checkpoint"));
         let _ = fs::remove_dir_all(&dir);
     }
 

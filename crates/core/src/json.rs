@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 
 /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
 pub fn escape(s: &str) -> String {
+    // lily-lint: allow(LL09) -- `s` is a materialized string, not a decoded length
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -35,6 +35,7 @@ pub mod flow;
 pub mod json;
 pub mod lily;
 pub mod matching;
+pub mod mem;
 pub mod plot;
 pub mod position;
 pub mod rects;
@@ -50,5 +51,6 @@ pub use fanout::{buffer_fanout, FanoutOptions};
 pub use flow::{compare_flows, run_flow, FlowComparison, FlowOptions, PhysicalOptions};
 pub use lily::{LayoutOptions, LilyMapper, MapOptions};
 pub use matching::{Match, MatchIndex};
+pub use mem::{estimate_peak_bytes, MemExceeded, MemGauge, MemReservation};
 pub use position::PositionUpdate;
 pub use stage::{FlowContext, Mapper, Stage, StageMetrics, StageRecord};

@@ -196,6 +196,29 @@ impl<'l> FlowContext<'l> {
             armed.note_boundary(FaultKind::Latency(armed.latency_ms));
             std::thread::sleep(Duration::from_millis(armed.latency_ms));
         }
+        if armed.stall_ms > 0 {
+            // The watchdog-trip fault: a *cancellable* stall. Unlike
+            // injected latency it polls the attempt token, so an
+            // external watchdog (or disconnect) cuts it short and the
+            // attempt reports a typed cancellation; undisturbed it
+            // degenerates to latency.
+            armed.note_boundary(FaultKind::WatchdogTrip(armed.stall_ms));
+            let until = Instant::now() + Duration::from_millis(armed.stall_ms);
+            while Instant::now() < until && !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if cancel.is_cancelled() {
+                return Err(if cancel.deadline_expired() {
+                    MapError::StageDeadline {
+                        stage: stage.name(),
+                        deadline_ms: deadline
+                            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+                    }
+                } else {
+                    MapError::Cancelled { context: stage.name() }
+                });
+            }
+        }
         if armed.close_workers > 0 {
             armed.note_boundary(FaultKind::CloseWorkers(armed.close_workers));
             lily_par::chaos::close_workers(armed.close_workers as usize);

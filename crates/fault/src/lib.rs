@@ -213,6 +213,17 @@ pub enum FaultKind {
     /// (exercises the runtime's self-scheduling recovery; results stay
     /// byte-identical).
     CloseWorkers(u32),
+    /// The stage *stalls* — a cancellable sleep of up to this many
+    /// milliseconds that polls the attempt's token and returns early
+    /// (as a typed cancel) if something like the serve watchdog trips
+    /// it. Without an external cancel it degenerates to latency, so
+    /// the kind is benign.
+    WatchdogTrip(u64),
+    /// A durable-write layer (the serve job journal) writes its next
+    /// record *torn* — header intact, payload truncated — as if the
+    /// process died mid-write. Inert inside flows: only the journal
+    /// layer consumes it, and replay must skip the torn record.
+    TornWrite,
 }
 
 impl FaultKind {
@@ -226,14 +237,16 @@ impl FaultKind {
             FaultKind::Latency(_) => "latency",
             FaultKind::Cancel => "cancel",
             FaultKind::CloseWorkers(_) => "close-workers",
+            FaultKind::WatchdogTrip(_) => "watchdog-trip",
+            FaultKind::TornWrite => "torn-write",
         }
     }
 
-    /// The kind's numeric parameter (latency millis, worker count;
-    /// 0 for parameterless kinds).
+    /// The kind's numeric parameter (latency or stall millis, worker
+    /// count; 0 for parameterless kinds).
     pub fn param(&self) -> u64 {
         match self {
-            FaultKind::Latency(ms) => *ms,
+            FaultKind::Latency(ms) | FaultKind::WatchdogTrip(ms) => *ms,
             FaultKind::CloseWorkers(n) => u64::from(*n),
             _ => 0,
         }
@@ -250,6 +263,8 @@ impl FaultKind {
             "latency" => FaultKind::Latency(param),
             "cancel" => FaultKind::Cancel,
             "close-workers" => FaultKind::CloseWorkers(u32::try_from(param).ok()?),
+            "watchdog-trip" => FaultKind::WatchdogTrip(param),
+            "torn-write" => FaultKind::TornWrite,
             _ => return None,
         })
     }
@@ -265,6 +280,8 @@ impl FaultKind {
                 | FaultKind::BudgetCrunch
                 | FaultKind::Latency(_)
                 | FaultKind::CloseWorkers(_)
+                | FaultKind::WatchdogTrip(_)
+                | FaultKind::TornWrite
         )
     }
 }
@@ -362,21 +379,23 @@ impl FaultPlan {
         for _ in 0..count {
             let stage = STAGE_NAMES[rng.below(STAGE_NAMES.len() as u64) as usize];
             let kind = if benign_only {
-                match rng.below(5) {
+                match rng.below(6) {
                     0 => FaultKind::SolverDiverged,
                     1 => FaultKind::NanPoison,
                     2 => FaultKind::BudgetCrunch,
                     3 => FaultKind::Latency(rng.below(3)),
+                    4 => FaultKind::WatchdogTrip(1 + rng.below(3)),
                     _ => FaultKind::CloseWorkers(1 + rng.below(3) as u32),
                 }
             } else {
-                match rng.below(7) {
+                match rng.below(8) {
                     0 => FaultKind::SolverDiverged,
                     1 => FaultKind::NanPoison,
                     2 => FaultKind::BudgetCrunch,
                     3 => FaultKind::Latency(rng.below(3)),
                     4 => FaultKind::CloseWorkers(1 + rng.below(3) as u32),
                     5 => FaultKind::StageError,
+                    6 => FaultKind::WatchdogTrip(1 + rng.below(3)),
                     _ => FaultKind::Cancel,
                 }
             };
@@ -504,6 +523,10 @@ impl Injector {
                     FaultKind::Latency(ms) => armed.latency_ms = armed.latency_ms.max(ms),
                     FaultKind::Cancel => armed.cancel = true,
                     FaultKind::CloseWorkers(n) => armed.close_workers += n,
+                    FaultKind::WatchdogTrip(ms) => armed.stall_ms = armed.stall_ms.max(ms),
+                    // Inert inside flows: the serve journal layer
+                    // consumes torn-write faults from the plan itself.
+                    FaultKind::TornWrite => {}
                 }
             }
         }
@@ -525,6 +548,9 @@ pub struct ArmedFaults {
     budget: bool,
     /// Sleep this long (ms) before running the attempt.
     pub latency_ms: u64,
+    /// Stall (cancellably) up to this long (ms) before running the
+    /// attempt, polling the attempt token — the watchdog-trip fault.
+    pub stall_ms: u64,
     /// Trip the attempt's cancellation token before the body runs.
     pub cancel: bool,
     /// Close this many runtime workers before the body runs.
@@ -764,6 +790,8 @@ mod tests {
             FaultKind::Latency(17),
             FaultKind::Cancel,
             FaultKind::CloseWorkers(3),
+            FaultKind::WatchdogTrip(250),
+            FaultKind::TornWrite,
         ] {
             assert_eq!(FaultKind::from_name(kind.name(), kind.param()), Some(kind));
         }

@@ -29,10 +29,14 @@ pub enum RuleCode {
     /// A suppression is unused, unjustified, or an allowlist entry is
     /// stale.
     Ll08,
+    /// A `Vec::with_capacity`/`.reserve` capacity in wire-facing code
+    /// that is not visibly clamped: a hostile length prefix becomes an
+    /// allocation before any validation runs.
+    Ll09,
 }
 
 /// All rule codes, in report order.
-pub const ALL_RULES: [RuleCode; 8] = [
+pub const ALL_RULES: [RuleCode; 9] = [
     RuleCode::Ll01,
     RuleCode::Ll02,
     RuleCode::Ll03,
@@ -41,6 +45,7 @@ pub const ALL_RULES: [RuleCode; 8] = [
     RuleCode::Ll06,
     RuleCode::Ll07,
     RuleCode::Ll08,
+    RuleCode::Ll09,
 ];
 
 impl RuleCode {
@@ -55,6 +60,7 @@ impl RuleCode {
             RuleCode::Ll06 => "LL06",
             RuleCode::Ll07 => "LL07",
             RuleCode::Ll08 => "LL08",
+            RuleCode::Ll09 => "LL09",
         }
     }
 
@@ -69,10 +75,11 @@ impl RuleCode {
             RuleCode::Ll06 => "stringly-typed-error",
             RuleCode::Ll07 => "external-dependency",
             RuleCode::Ll08 => "suppression-hygiene",
+            RuleCode::Ll09 => "unclamped-wire-capacity",
         }
     }
 
-    /// Parses `LL01`..`LL08` (case-insensitive).
+    /// Parses `LL01`..`LL09` (case-insensitive).
     pub fn parse(s: &str) -> Option<RuleCode> {
         ALL_RULES.iter().copied().find(|c| c.as_str().eq_ignore_ascii_case(s.trim()))
     }

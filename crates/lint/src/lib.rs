@@ -10,6 +10,9 @@
 //! * **Typed errors** — no `Result<_, String>` across public APIs
 //!   (LL06), and no external crates that could smuggle any of the above
 //!   in (LL07).
+//! * **Resource governance** — no unclamped `with_capacity`/`reserve`
+//!   in wire-facing code (LL09), so a hostile length prefix can never
+//!   become an allocation before validation.
 //!
 //! Findings are silenced either by the checked-in budget allowlist
 //! (`tools/lint_allowlist.txt`) or by inline
@@ -173,6 +176,7 @@ pub fn lint_file(path: &str, model: &SourceModel, budget: usize) -> FileOutcome 
     raw.extend(rules::ll04(path, model));
     raw.extend(rules::ll05(path, model));
     raw.extend(rules::ll06(path, model));
+    raw.extend(rules::ll09(path, model));
 
     // Suppressions living in test code are ignored along with the code
     // they would cover.

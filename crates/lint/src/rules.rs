@@ -1,4 +1,5 @@
-//! The rule implementations (LL01–LL07) over one lexed source file.
+//! The rule implementations (LL01–LL06, LL09) over one lexed source
+//! file.
 //!
 //! Workspace-level concerns — LL03 budget comparison, LL07 manifest
 //! scanning, LL08 suppression hygiene — live in `lib.rs`; this module
@@ -234,6 +235,87 @@ pub fn ll06(path: &str, model: &SourceModel) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// Paths (prefix-matched) where allocation sizes can be wire- or
+/// file-controlled: a hostile peer (or a corrupt journal/checkpoint
+/// file) picks the numbers, so every pre-allocation must be visibly
+/// clamped before it reaches the allocator.
+pub const WIRE_FACING: &[&str] = &["crates/serve/src/", "crates/core/src/json.rs"];
+
+/// Whether `path` is in the wire-facing scope LL09 polices.
+pub fn is_wire_facing(path: &str) -> bool {
+    WIRE_FACING.iter().any(|prefix| path.starts_with(prefix))
+}
+
+/// LL09: `with_capacity`/`.reserve` in wire-facing code whose capacity
+/// argument is not visibly bounded. "Visibly bounded" is lexical, like
+/// everything here: the argument is clamped in place (`.min(`/
+/// `.clamp(`), or built only from integer literals and `SCREAMING_CASE`
+/// constants. Anything involving a runtime value must either clamp or
+/// carry a justified `lily-lint: allow(LL09)` explaining why the value
+/// is already validated.
+pub fn ll09(path: &str, model: &SourceModel) -> Vec<Finding> {
+    if !is_wire_facing(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (line, text) in model.library_lines() {
+        for tok in ["with_capacity(", ".reserve("] {
+            for at in token_offsets(text, tok) {
+                let arg = capacity_arg(&text[at + tok.len()..]);
+                if capacity_bounded(arg) {
+                    continue;
+                }
+                out.push(Finding {
+                    code: RuleCode::Ll09,
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "unclamped capacity `{}` in wire-facing code: a hostile length \
+                         becomes an allocation; clamp it (`.min(LIMIT)`/`.clamp(..)`) or \
+                         justify with an inline allow",
+                        arg.trim()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The argument text of a capacity call: everything from after the
+/// open paren to its balancing close, or to end of line for calls that
+/// wrap (judged conservatively by [`capacity_bounded`]).
+fn capacity_arg(rest: &str) -> &str {
+    let mut depth = 0isize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => {
+                if depth == 0 {
+                    return &rest[..i];
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    rest
+}
+
+/// Whether a capacity argument is visibly bounded: clamped in place,
+/// or made only of integer literals and `SCREAMING_CASE` constants.
+fn capacity_bounded(arg: &str) -> bool {
+    if arg.contains(".min(") || arg.contains(".clamp(") {
+        return true;
+    }
+    let mut idents = arg.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'));
+    idents.all(|run| {
+        run.is_empty()
+            || run.starts_with(|c: char| c.is_ascii_digit())
+            || run.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    })
 }
 
 /// A function item found in masked source.
@@ -476,6 +558,26 @@ mod tests {
         let f = ll05("crates/x/src/lib.rs", &lex(src));
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn ll09_polices_wire_facing_capacities_only() {
+        let wire = "crates/serve/src/wire.rs";
+        // Runtime-valued capacities without a clamp are flagged.
+        let f = ll09(wire, &lex("let mut v = Vec::with_capacity(4 + bytes.len());\n"));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("unclamped capacity"));
+        assert_eq!(ll09(wire, &lex("buf.reserve(n);\n")).len(), 1);
+        // Clamped, literal, and const-only capacities are fine.
+        let clamped = "let mut v = Vec::with_capacity(HEADER + len.min(MAX_RECORD_BYTES));\n";
+        assert!(ll09(wire, &lex(clamped)).is_empty());
+        assert!(ll09(wire, &lex("let mut v = Vec::with_capacity(1024);\n")).is_empty());
+        assert!(ll09(wire, &lex("buf.reserve(HEADER_BYTES + 12);\n")).is_empty());
+        assert!(ll09(wire, &lex("buf.reserve(n.clamp(0, MAX));\n")).is_empty());
+        // Test code and non-wire-facing files are out of scope.
+        assert!(ll09(wire, &lex("#[cfg(test)]\nmod t { fn f() { v.reserve(n); } }\n")).is_empty());
+        let pure = "crates/map/src/lib.rs";
+        assert!(ll09(pure, &lex("let mut v = Vec::with_capacity(nodes.len());\n")).is_empty());
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   request, and the flow resumes bit-identically.
 //! - **Chaos** ([`protocol`]): any request may carry a fault plan,
 //!   so live fault drills are ordinary traffic.
+//! - **Durability** ([`journal`]): a write-ahead job journal; jobs
+//!   orphaned by `kill -9` are re-admitted and auto-resumed on
+//!   restart, no client participation required.
+//! - **Resource governance**: memory-cost admission against a
+//!   `memory_budget` (typed `rejected{reason:"memory"}` instead of
+//!   OOM) plus a watchdog that cancels and parks stuck workers.
 //!
 //! [`CancelToken`]: lily_fault::CancelToken
 
@@ -30,6 +36,7 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod clock;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod wire;
@@ -37,6 +44,7 @@ pub mod wire;
 pub use admission::{Admission, SubmitError};
 pub use cache::{library_fingerprint, CacheEntry, CacheStats, LibraryCache};
 pub use client::{Client, ClientError};
+pub use journal::{Journal, JournalRecord, Orphan, Replay};
 pub use protocol::{Event, FaultSpec, MapRequest, ProbeRequest, ProtoError, Request, Source};
 pub use server::{Server, ServerConfig, StatsSnapshot};
 pub use wire::{WireError, DEFAULT_MAX_FRAME};
@@ -51,12 +59,22 @@ pub enum ServeError {
         /// The OS-level failure.
         message: String,
     },
+    /// The write-ahead job journal could not be opened or replayed.
+    Journal {
+        /// The journal directory.
+        path: String,
+        /// The underlying I/O failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Bind { addr, message } => write!(f, "cannot bind `{addr}`: {message}"),
+            ServeError::Journal { path, message } => {
+                write!(f, "cannot open journal at `{path}`: {message}")
+            }
         }
     }
 }

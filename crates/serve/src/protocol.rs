@@ -431,14 +431,33 @@ pub mod reply {
             .finish()
     }
 
-    /// Typed overload rejection: the admission queue is full.
+    /// Typed admission rejection. `reason` is a stable slug clients
+    /// branch on: `"overloaded"` (the admission queue is full) or
+    /// `"memory"` (the job's estimated peak working set does not fit
+    /// the server's memory budget). The legacy `error` field carries
+    /// the same slug for older clients.
     #[must_use]
-    pub fn rejected(id: u64, capacity: usize) -> String {
+    pub fn rejected(id: u64, capacity: usize, reason: &str) -> String {
         JsonObject::new()
             .uint("id", id)
             .string("event", "rejected")
-            .string("error", "overloaded")
+            .string("error", reason)
+            .string("reason", reason)
             .uint("capacity", capacity as u64)
+            .finish()
+    }
+
+    /// A non-terminal audit notice: the job was admitted but degraded
+    /// (e.g. `"memory-stream"` — forced checkpoint-every-stage
+    /// streaming because its estimate crossed the soft memory
+    /// threshold). Streamed right after `accepted`.
+    #[must_use]
+    pub fn audit(id: u64, what: &str, detail: &str) -> String {
+        JsonObject::new()
+            .uint("id", id)
+            .string("event", "audit")
+            .string("what", what)
+            .string("detail", detail)
             .finish()
     }
 
@@ -610,10 +629,16 @@ mod tests {
 
     #[test]
     fn events_parse_and_expose_their_body() {
-        let e = Event::parse(&reply::rejected(3, 16)).unwrap();
+        let e = Event::parse(&reply::rejected(3, 16, "overloaded")).unwrap();
         assert_eq!(e.id, 3);
         assert_eq!(e.event, "rejected");
         assert_eq!(e.body.get("capacity").and_then(Json::as_u64), Some(16));
+        assert_eq!(e.body.get("reason").and_then(Json::as_str), Some("overloaded"));
+        let m = Event::parse(&reply::rejected(4, 16, "memory")).unwrap();
+        assert_eq!(m.body.get("reason").and_then(Json::as_str), Some("memory"));
+        let a = Event::parse(&reply::audit(5, "memory-stream", "est 2 GiB > soft 1 GiB")).unwrap();
+        assert_eq!(a.event, "audit");
+        assert_eq!(a.body.get("what").and_then(Json::as_str), Some("memory-stream"));
         assert!(Event::parse("{\"event\":\"done\"}").is_err());
     }
 

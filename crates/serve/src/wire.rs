@@ -135,6 +135,7 @@ pub fn write_frame(w: &mut impl Write, payload: &str, max_frame: usize) -> Resul
     }
     let len = u32::try_from(bytes.len())
         .map_err(|_| WireError::FrameTooLarge { size: bytes.len(), limit })?;
+    // lily-lint: allow(LL09) -- bytes.len() was checked against `limit` above
     let mut msg = Vec::with_capacity(4 + bytes.len());
     msg.extend_from_slice(&len.to_be_bytes());
     msg.extend_from_slice(bytes);

@@ -7,10 +7,14 @@ use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use std::path::PathBuf;
+
 use lily_fault::{FaultKind, FaultPlan};
+use lily_serve::journal::replay_dir;
 use lily_serve::server::StatsSnapshot;
 use lily_serve::{
-    Client, Event, FaultSpec, MapRequest, ProbeRequest, Server, ServerConfig, Source,
+    Client, Event, FaultSpec, Journal, JournalRecord, MapRequest, ProbeRequest, Replay, Server,
+    ServerConfig, Source,
 };
 
 /// Boots a server on an OS-assigned port; returns its address and the
@@ -91,6 +95,75 @@ fn strip_wall_ns(text: &str) -> String {
     }
     out.push_str(rest);
     out
+}
+
+/// A fresh (removed) per-test temp directory.
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lily-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Blanks every volatile numeric value (`wall_ns`, `speedup`,
+/// `threads`) in a metrics JSON text so runs can be byte-compared.
+fn strip_volatile(text: &str) -> String {
+    let mut out = text.to_string();
+    for key in ["\"wall_ns\":", "\"speedup\":", "\"threads\":"] {
+        let mut from = 0;
+        while let Some(at) = out[from..].find(key) {
+            let start = from + at + key.len();
+            let end = start
+                + out[start..]
+                    .find(|c: char| {
+                        !(c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+                    })
+                    .unwrap_or(out.len() - start);
+            out.replace_range(start..end, "_");
+            from = start + 1;
+        }
+    }
+    out
+}
+
+/// Polls the server's `stats` endpoint until `done(snapshot)` holds or
+/// the timeout expires; returns the satisfying snapshot.
+fn await_stats(addr: SocketAddr, done: impl Fn(&StatsSnapshot) -> bool) -> StatsSnapshot {
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let mut c = connect(addr);
+    loop {
+        c.send("{\"id\":990,\"method\":\"stats\"}").unwrap();
+        let snap = StatsSnapshot::from_event(&c.recv().expect("stats reply"));
+        if done(&snap) {
+            return snap;
+        }
+        assert!(std::time::Instant::now() < deadline, "stats condition timed out: {snap:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The shutdown-ordering invariant: scanning a job's journal records in
+/// append order, once it settles (`suspended`, `completed`, `failed`)
+/// the next record for that seq must be `resumed` — a job can never be
+/// both journaled-resumable and reported-failed for the same run.
+fn assert_single_settlement(replay: &Replay) {
+    let mut settled: BTreeMap<u64, &JournalRecord> = BTreeMap::new();
+    for rec in &replay.records {
+        match rec {
+            JournalRecord::Accepted { seq, .. } => {
+                assert!(!settled.contains_key(seq), "seq {seq} re-accepted after settling");
+            }
+            JournalRecord::Resumed { seq } => {
+                settled.remove(seq);
+            }
+            JournalRecord::Suspended { seq, .. }
+            | JournalRecord::Completed { seq, .. }
+            | JournalRecord::Failed { seq, .. } => {
+                if let Some(prior) = settled.insert(*seq, rec) {
+                    panic!("seq {seq} settled twice without a resume: {prior:?} then {rec:?}");
+                }
+            }
+        }
+    }
 }
 
 /// Extracts the `"metrics":{...}` tail of a `done` frame. The reply
@@ -470,4 +543,258 @@ fn concurrent_chaos_drill() {
     shutdown(addr);
     let stats = server.join().unwrap();
     assert_eq!(stats.workers, 2);
+}
+
+/// An `accepted` journal record with no terminal record — exactly what
+/// `kill -9` mid-job leaves behind — must be re-admitted and finished
+/// on the next boot with no client participation, and the journal must
+/// show the full `accepted → resumed → completed` audit trail.
+#[test]
+fn journal_orphan_is_auto_resumed_on_restart() {
+    let jdir = temp("journal-orphan");
+    let ckroot = temp("ck-orphan");
+
+    // Plant the orphan: a checkpointed request accepted as seq 3,
+    // journaled, then abandoned (the "daemon" dies before working).
+    {
+        let (journal, replay) = Journal::open(&jdir).expect("open journal");
+        assert_eq!(replay, Replay::default());
+        let mut req = healthy_map(81);
+        req.checkpoint = Some("orphan81".to_string());
+        journal.append(&JournalRecord::Accepted { seq: 3, request: req.to_json() }).unwrap();
+    }
+
+    let config = ServerConfig {
+        workers: 1,
+        journal_dir: Some(jdir.clone()),
+        checkpoint_root: Some(ckroot.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = boot(config);
+    let snap = await_stats(addr, |s| s.completed >= 1);
+    assert_eq!(snap.resumed, 1, "the orphan must be re-admitted at startup");
+
+    // Reference: the same circuit run fresh over the wire.
+    let mut c = connect(addr);
+    c.send(&healthy_map(82).to_json()).unwrap();
+    let events = c.drive(82).unwrap();
+    let done = events.last().unwrap();
+    assert_eq!(done.event, "done");
+    let fresh_metrics = {
+        c.send(&healthy_map(83).to_json()).unwrap();
+        let text = loop {
+            let text = c.recv_text().unwrap();
+            let e = Event::parse(&text).unwrap();
+            if e.id == 83 && e.event == "done" {
+                break text;
+            }
+            assert_ne!(e.event, "error", "reference run failed");
+        };
+        strip_volatile(metrics_tail(&text))
+    };
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!((stats.resumed, stats.journal_torn), (1, 0));
+    assert!(stats.completed >= 3);
+
+    let replay = replay_dir(&jdir).expect("replay");
+    assert_single_settlement(&replay);
+    let seq3: Vec<&str> =
+        replay.records.iter().filter(|r| r.seq() == 3).map(JournalRecord::kind).collect();
+    assert_eq!(seq3, ["accepted", "resumed", "completed"], "durable audit trail");
+    let resumed_metrics = strip_volatile(replay.completed_metrics(3).expect("journaled metrics"));
+    assert_eq!(resumed_metrics, fresh_metrics, "auto-resume must be bit-identical");
+    assert!(replay.orphans().is_empty(), "nothing left to resume");
+
+    let _ = std::fs::remove_dir_all(&jdir);
+    let _ = std::fs::remove_dir_all(&ckroot);
+}
+
+/// The two layers of stuck-job defense. A *cooperative* stall (the
+/// `watchdog-trip` fault polls the attempt token) is cut by the stage
+/// deadline itself — no watchdog needed. A *non-cooperative* hang
+/// (injected latency sleeps through everything) blows past the whole
+/// stage-deadline budget; only the watchdog can cut it, and the job is
+/// reported as a typed `watchdog` error and journaled `suspended` —
+/// resumable, never *also* failed.
+#[test]
+fn watchdog_cancels_a_stuck_job_and_journals_it_resumable() {
+    let jdir = temp("journal-watchdog");
+    let config = ServerConfig {
+        workers: 1,
+        journal_dir: Some(jdir.clone()),
+        watchdog_grace: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = boot(config);
+    let mut c = connect(addr);
+
+    // Layer 1: a cooperative stall dies at the 5 ms stage deadline,
+    // milliseconds in — the watchdog (whose limit is the *whole*
+    // deadline budget plus grace) never needs to fire.
+    let mut stalled = healthy_map(84);
+    stalled.stage_deadline_ms = Some(5);
+    stalled.stage_retries = Some(0);
+    let mut plan = FaultPlan::new();
+    plan.push("decompose", 0, FaultKind::WatchdogTrip(60_000));
+    stalled.faults = FaultSpec::Plan(plan);
+    c.send(&stalled.to_json()).unwrap();
+    let last = c.drive(84).unwrap().last().unwrap().clone();
+    assert_eq!(last.event, "error");
+    assert_eq!(last.body.get("kind").and_then(|k| k.as_str()), Some("stage-deadline"));
+
+    // Layer 2: a non-cooperative hang (plain sleep, polls nothing)
+    // exceeds the job's full deadline budget (~45 ms) plus the 50 ms
+    // grace; the watchdog cancels it from outside.
+    let mut hung = healthy_map(85);
+    hung.stage_deadline_ms = Some(5);
+    hung.stage_retries = Some(0);
+    hung.faults = latency_plan("decompose", 1_500);
+    c.send(&hung.to_json()).unwrap();
+    let last = c.drive(85).expect("typed terminal").last().unwrap().clone();
+    assert_eq!(last.event, "error");
+    assert_eq!(
+        last.body.get("kind").and_then(|k| k.as_str()),
+        Some("watchdog"),
+        "hung job must surface as a watchdog cancellation: {:?}",
+        last.body
+    );
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.watchdog_trips, 1, "only the non-cooperative hang trips");
+    assert_eq!(stats.cancelled, 1, "the trip is accounted as a cancellation");
+    assert_eq!(stats.errored, 1, "the stage-deadline error is ordinary");
+
+    let replay = replay_dir(&jdir).expect("replay");
+    assert_single_settlement(&replay);
+    let per_seq = |seq: u64| -> Vec<&str> {
+        replay.records.iter().filter(|r| r.seq() == seq).map(JournalRecord::kind).collect()
+    };
+    assert_eq!(per_seq(1), ["accepted", "failed"], "deadline error settles terminally");
+    assert_eq!(per_seq(2), ["accepted", "suspended"], "tripped job parks resumable");
+    assert!(matches!(
+        replay.records.iter().find(|r| r.kind() == "suspended"),
+        Some(JournalRecord::Suspended { reason, .. }) if reason == "watchdog"
+    ));
+    assert_eq!(replay.orphans().len(), 1, "the suspended job stays resumable");
+
+    let _ = std::fs::remove_dir_all(&jdir);
+}
+
+/// The top rung of the memory-budget ladder: a job whose estimated
+/// peak exceeds the budget gets a typed `rejected{reason:"memory"}`
+/// frame before any allocation happens, and the server keeps serving
+/// jobs that fit.
+#[test]
+fn memory_budget_rejects_oversized_jobs_typed() {
+    let config =
+        ServerConfig { workers: 1, memory_budget: Some(8 << 20), ..ServerConfig::default() };
+    let (addr, server) = boot(config);
+    let mut c = connect(addr);
+
+    // ~20k parsed nodes → ~41 MiB estimated peak: over the 8 MiB budget.
+    let mut huge = healthy_map(86);
+    huge.source = Source::Circuit("scale:random-dag:20000:7".to_string());
+    c.send(&huge.to_json()).unwrap();
+    let events = c.drive(86).unwrap();
+    let last = events.last().unwrap();
+    assert_eq!(last.event, "rejected");
+    assert_eq!(last.body.get("reason").and_then(|s| s.as_str()), Some("memory"));
+
+    // A scale-family circuit that fits sails through on the same
+    // connection — the refusal cost nothing but the estimate.
+    let mut small = healthy_map(87);
+    small.source = Source::Circuit("scale:tree-adder:128:1".to_string());
+    c.send(&small.to_json()).unwrap();
+    let events = c.drive(87).unwrap();
+    assert_eq!(events.last().map(|e| e.event.as_str()), Some("done"));
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.memory_rejections, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// The middle rung: a job over *half* the budget is admitted but
+/// degraded (with an `audit` frame) to checkpoint-every-stage
+/// streaming under a deterministic `auto-<seq>` checkpoint id.
+#[test]
+fn memory_pressure_degrades_to_streaming_with_audit() {
+    let ckroot = temp("ck-stream");
+    let config = ServerConfig {
+        workers: 1,
+        memory_budget: Some(8 << 20),
+        checkpoint_root: Some(ckroot.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = boot(config);
+    let mut c = connect(addr);
+
+    // misex1 estimates ~5 MiB: under the 8 MiB budget, over half of it.
+    c.send(&healthy_map(88).to_json()).unwrap();
+    let events = c.drive(88).unwrap();
+    assert_eq!(events.last().map(|e| e.event.as_str()), Some("done"));
+    let audit = events
+        .iter()
+        .find(|e| e.event == "audit")
+        .expect("over-half-budget admission must be audited");
+    assert_eq!(audit.body.get("what").and_then(|s| s.as_str()), Some("memory-stream"));
+
+    // The degradation is real: the first job (seq 1) streamed its
+    // stages into the deterministic auto checkpoint.
+    assert!(ckroot.join("auto-1").join("manifest.json").exists(), "auto checkpoint on disk");
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!((stats.completed, stats.memory_rejections), (1, 0));
+    let _ = std::fs::remove_dir_all(&ckroot);
+}
+
+/// Satellite drill for torn terminal records: a `torn-write` fault
+/// makes the daemon journal a job's *completed* record half-written
+/// (as if killed mid-append). The next boot must skip the torn tail
+/// with an audit count — never fail startup — and re-run the job,
+/// whose `accepted` record the truncation healed back into an orphan.
+#[test]
+fn torn_terminal_record_is_skipped_and_job_reruns_on_restart() {
+    let jdir = temp("journal-torn");
+    let config =
+        || ServerConfig { workers: 1, journal_dir: Some(jdir.clone()), ..ServerConfig::default() };
+
+    let (addr, server1) = boot(config());
+    let mut c = connect(addr);
+    let mut req = healthy_map(91);
+    let mut plan = FaultPlan::new();
+    plan.push("decompose", 0, FaultKind::TornWrite);
+    req.faults = FaultSpec::Plan(plan);
+    c.send(&req.to_json()).unwrap();
+    let events = c.drive(91).unwrap();
+    assert_eq!(events.last().map(|e| e.event.as_str()), Some("done"), "fault is journal-only");
+    shutdown(addr);
+    server1.join().unwrap();
+
+    // The client saw `done`, but the journal's completed record is
+    // torn: replay stops before it and the job scans as an orphan.
+    let replay = replay_dir(&jdir).expect("replay");
+    assert_eq!(replay.torn, 1);
+    assert_eq!(replay.records.len(), 1);
+    assert_eq!(replay.orphans().len(), 1);
+
+    // Boot #2 truncates the torn tail, counts it, and re-runs the job.
+    let (addr, server2) = boot(config());
+    let snap = await_stats(addr, |s| s.completed >= 1);
+    assert_eq!((snap.resumed, snap.journal_torn), (1, 1));
+    shutdown(addr);
+    server2.join().unwrap();
+
+    let replay = replay_dir(&jdir).expect("replay after heal");
+    assert_single_settlement(&replay);
+    let kinds: Vec<&str> = replay.records.iter().map(JournalRecord::kind).collect();
+    assert_eq!(kinds, ["accepted", "resumed", "completed"]);
+    assert_eq!(replay.torn, 0, "the torn tail was truncated away");
+
+    let _ = std::fs::remove_dir_all(&jdir);
 }

@@ -1,6 +1,6 @@
 //! Seeded fuzz-input generation for the panic-free-flow harness.
 //!
-//! Two input families, both deterministic in a single `u64` seed:
+//! Three input families, all deterministic in a single `u64` seed:
 //!
 //! * **Mutated BLIF** — a corpus of well-formed BLIF texts (the
 //!   benchmark circuits plus generator output) run through byte-level
@@ -11,14 +11,24 @@
 //! * **Generator parameters** — valid-but-wild [`GenOptions`] sweeps
 //!   (degenerate sizes, extreme locality, wide fanin) whose networks are
 //!   run through the full flow.
+//! * **Scale-family circuits** — small ([`SCALE_CASE_MAX_NODES`]-capped)
+//!   instances of the structured scale generators (adder trees,
+//!   multiplier reduction trees, layered random DAGs), covering deep
+//!   regular topologies the other two families never produce.
 //!
 //! The harness contract (enforced by `crates/check/tests/fuzz_flow.rs`
 //! and the `lily-fuzz` binary) is: every input either flows to `Ok` or
 //! to a structured error — never to a panic.
 
 use crate::gen::GenOptions;
+use crate::scale::{scale_circuit, ScaleFamily};
 use lily_netlist::blif;
 use lily_netlist::sim::XorShift64;
+use lily_netlist::Network;
+
+/// Upper bound on scale-family fuzz inputs, keeping per-case flows
+/// cheap while still exercising the structured generators.
+pub const SCALE_CASE_MAX_NODES: usize = 512;
 
 /// Base corpus of well-formed BLIF texts that mutation starts from:
 /// the smallest benchmark circuit, two small generated networks, and a
@@ -116,6 +126,19 @@ pub fn gen_case(seed: u64, i: u64) -> GenOptions {
     }
 }
 
+/// The `i`-th scale-family fuzz input for `seed`: a structured circuit
+/// (carry-save adder tree, multiplier reduction tree, or layered
+/// random DAG) of at most [`SCALE_CASE_MAX_NODES`] nodes. Complements
+/// the other two families — mutation covers hostile bytes and
+/// `GenOptions` covers wild unstructured DAGs, but neither produces
+/// the deep regular topologies the scale generators do.
+pub fn scale_case(seed: u64, i: u64) -> Network {
+    let mut rng = XorShift64::new(seed.wrapping_add(i).wrapping_mul(0xa076_1d64_78bd_642f) | 1);
+    let family = ScaleFamily::ALL[rng.gen_index(ScaleFamily::ALL.len())];
+    let nodes = 64 + rng.gen_index(SCALE_CASE_MAX_NODES - 64 + 1);
+    scale_circuit(family, nodes, rng.next_u64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +174,18 @@ mod tests {
             assert!(o.inputs > 0 && o.outputs > 0 && o.max_fanin >= 2);
             assert!(o.locality.is_finite());
         }
+    }
+
+    #[test]
+    fn scale_cases_are_bounded_deterministic_and_diverse() {
+        let mut families = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let net = scale_case(7, i);
+            let nodes = net.node_count();
+            assert!(nodes > 0 && nodes <= 2 * SCALE_CASE_MAX_NODES, "case {i}: {nodes} nodes");
+            families.insert(net.name().to_string());
+            assert_eq!(blif::write(&net), blif::write(&scale_case(7, i)), "case {i}");
+        }
+        assert!(families.len() >= 3, "rotation must visit every family: {families:?}");
     }
 }

@@ -5,12 +5,15 @@
 //! asserts the robustness contract: every input ends in `Ok` or a
 //! structured [`MapError`](lily_core::MapError) — never a panic.
 //!
-//! Two input families alternate (see `lily_workloads::fuzz`):
+//! Three input families alternate (see `lily_workloads::fuzz`):
 //!
 //! * mutated BLIF bytes (bit flips, truncations, token splices of a
 //!   well-formed corpus) — most die in the parser with a structured
 //!   error, survivors run the flow;
-//! * valid-but-wild generator parameters — always reach the flow.
+//! * valid-but-wild generator parameters — always reach the flow;
+//! * structured scale-family circuits (adder trees, multiplier trees,
+//!   layered random DAGs) capped at 512 nodes — deep regular
+//!   topologies the other families never produce.
 //!
 //! Cases cycle all three mappers (MIS, Lily, Cut). Cut-mapper cases
 //! additionally run the MIS pipeline on the same input and assert both
@@ -143,15 +146,19 @@ fn options_for(i: u64) -> FlowOptions {
 }
 
 /// The input netlist of case `i`: mutated BLIF on even cases (`None`
-/// when the parser structurally rejects the mutation), generated
-/// netlist on odd cases. Fully determined by `(seed, i)`.
+/// when the parser structurally rejects the mutation); odd cases
+/// alternate valid-but-wild generator parameters (`i % 4 == 1`) and
+/// structured scale-family circuits (`i % 4 == 3`). Fully determined
+/// by `(seed, i)`.
 fn case_net(corpus: &[String], seed: u64, i: u64) -> Option<Network> {
     if i.is_multiple_of(2) {
         let bytes = fuzz::blif_case(corpus, seed, i);
         let text = String::from_utf8_lossy(&bytes);
         blif::parse(&text).ok()
-    } else {
+    } else if i % 4 == 1 {
         Some(generate(fuzz::gen_case(seed, i)).network)
+    } else {
+        Some(fuzz::scale_case(seed, i))
     }
 }
 

@@ -18,13 +18,24 @@
 //! and exits 0 (`done`/`pong`/`stats`/`ok`), 3 (`error`), or 4
 //! (`rejected`) — the scriptable client the CI smoke drill uses for
 //! its kill/restart/resume assertions.
+//!
+//! `--recover` runs the durable-recovery drill instead of traffic: it
+//! boots its own `lily-serve` (`--server-bin`) with a journal and
+//! checkpoint root under `--state-dir`, submits a checkpointed job,
+//! SIGKILLs the server mid-flow, restarts it, waits for the journal to
+//! show the orphan resumed and completed with no client participation,
+//! and asserts the resumed metrics are byte-identical to an untouched
+//! reference run. Recovery latencies land in the benchmark artifact.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lily::serve::{Client, Event, FaultSpec, MapRequest, ProbeRequest, Source, StatsSnapshot};
+use lily::serve::{
+    Client, Event, FaultSpec, JournalRecord, MapRequest, ProbeRequest, Source, StatsSnapshot,
+};
 use lily_core::json::JsonObject;
 use lily_netlist::sim::XorShift64;
 
@@ -37,21 +48,42 @@ struct Args {
     out: String,
     shutdown: bool,
     one: Option<String>,
+    recover: bool,
+    server_bin: String,
+    state_dir: String,
+    rounds: usize,
+    kill_after_ms: u64,
+    spec: String,
+    flow: String,
+    big_spec: Option<String>,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: lily-loadgen --addr HOST:PORT [--clients N] [--requests N] \
      [--seed HEX] [--deadline-ms MS] [--out PATH] [--shutdown]\n\
      lily-loadgen --addr HOST:PORT --one JSON\n\
+     lily-loadgen --recover --server-bin PATH --state-dir DIR [--rounds N] \
+     [--kill-after-ms MS] [--spec SRC] [--flow NAME] [--big-spec SRC] [--threads N]\n\
      \n\
-     --addr HOST:PORT   server address (required)\n\
-     --clients N        concurrent client threads (default 4)\n\
-     --requests N       requests per client (default 12)\n\
-     --seed HEX         traffic seed (default 10ad6e2a)\n\
-     --deadline-ms MS   attach this request deadline to a slice of jobs\n\
-     --out PATH         benchmark artifact (default BENCH_serve.json)\n\
-     --shutdown         send a shutdown request when done\n\
-     --one JSON         send one request frame, print its terminal event, exit\n"
+     --addr HOST:PORT     server address (required outside --recover)\n\
+     --clients N          concurrent client threads (default 4)\n\
+     --requests N         requests per client (default 12)\n\
+     --seed HEX           traffic seed (default 10ad6e2a)\n\
+     --deadline-ms MS     attach this request deadline to a slice of jobs\n\
+     --out PATH           benchmark artifact (default BENCH_serve.json)\n\
+     --shutdown           send a shutdown request when done\n\
+     --one JSON           send one request frame, print its terminal event, exit\n\
+     --recover            run the kill -9 / restart / auto-resume drill\n\
+     --server-bin PATH    lily-serve binary the drill boots and kills\n\
+     --state-dir DIR      root for the drill's journal + checkpoint state\n\
+     --rounds N           kill/restart rounds (default 2)\n\
+     --kill-after-ms MS   SIGKILL delay after job admission (default 1500)\n\
+     --spec SRC           drill circuit (default scale:random-dag:5000:7)\n\
+     --flow NAME          drill flow (default lily-area)\n\
+     --big-spec SRC       add one extra round with this circuit (e.g. \
+     scale:random-dag:100000:7)\n\
+     --threads N          forwarded to every spawned server as --threads\n"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +96,15 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_serve.json".to_string(),
         shutdown: false,
         one: None,
+        recover: false,
+        server_bin: String::new(),
+        state_dir: String::new(),
+        rounds: 2,
+        kill_after_ms: 1500,
+        spec: "scale:random-dag:5000:7".to_string(),
+        flow: "lily-area".to_string(),
+        big_spec: None,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -92,6 +133,25 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = value("--out")?,
             "--shutdown" => args.shutdown = true,
             "--one" => args.one = Some(value("--one")?),
+            "--recover" => args.recover = true,
+            "--server-bin" => args.server_bin = value("--server-bin")?,
+            "--state-dir" => args.state_dir = value("--state-dir")?,
+            "--rounds" => {
+                args.rounds =
+                    value("--rounds")?.parse().map_err(|e| format!("bad --rounds: {e}"))?;
+            }
+            "--kill-after-ms" => {
+                args.kill_after_ms = value("--kill-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --kill-after-ms: {e}"))?;
+            }
+            "--spec" => args.spec = value("--spec")?,
+            "--flow" => args.flow = value("--flow")?,
+            "--big-spec" => args.big_spec = Some(value("--big-spec")?),
+            "--threads" => {
+                args.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?);
+            }
             "--help" | "-h" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -99,10 +159,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.addr.is_empty() {
+    if args.recover {
+        if args.server_bin.is_empty() {
+            return Err("--recover requires --server-bin".to_string());
+        }
+        if args.state_dir.is_empty() {
+            return Err("--recover requires --state-dir".to_string());
+        }
+    } else if args.addr.is_empty() {
         return Err("--addr is required".to_string());
     }
     args.clients = args.clients.clamp(1, 64);
+    args.rounds = args.rounds.clamp(1, 16);
     Ok(args)
 }
 
@@ -316,6 +384,310 @@ fn iso8601_now() -> String {
     format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", rem / 3600, (rem % 3600) / 60, rem % 60)
 }
 
+/// A spawned `lily-serve` child that is SIGKILLed on drop unless
+/// [`ServerHandle::kill`] already reaped it — drill failures must not
+/// leak daemons.
+struct ServerHandle {
+    child: Option<std::process::Child>,
+    addr: String,
+}
+
+impl ServerHandle {
+    fn kill(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Boots `lily-serve` with durable state under `state`, waits for its
+/// `listening on <addr>` banner, and leaves a thread draining the rest
+/// of its stdout so the child never blocks on a full pipe.
+fn spawn_server(bin: &str, state: &Path, threads: Option<usize>) -> Result<ServerHandle, String> {
+    use std::io::BufRead;
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--queue")
+        .arg("16")
+        .arg("--journal-dir")
+        .arg(state.join("journal"))
+        .arg("--checkpoint-root")
+        .arg(state.join("ckpt"))
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    if let Some(t) = threads {
+        cmd.arg("--threads").arg(t.to_string());
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn {bin}: {e}"))?;
+    let stdout = child.stdout.take().ok_or("server stdout not captured")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read server banner: {e}"))?;
+    let Some(addr) = line.strip_prefix("listening on ").map(|s| s.trim().to_string()) else {
+        let _ = child.kill();
+        return Err(format!("unexpected server banner: {line:?}"));
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        use std::io::Read;
+        let _ = reader.read_to_string(&mut sink);
+    });
+    Ok(ServerHandle { child: Some(child), addr })
+}
+
+/// Submits the drill's checkpointed map job and waits for admission.
+/// The returned client must stay alive until the SIGKILL: dropping it
+/// disconnects, and the server would cancel the job instead of leaving
+/// the orphan the drill is about to manufacture.
+fn submit_drill_job(addr: &str, spec: &str, flow: &str) -> Result<Client, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let req = MapRequest {
+        id: 1,
+        source: Source::Circuit(spec.to_string()),
+        library: "tiny".to_string(),
+        flow: flow.to_string(),
+        compare: false,
+        deadline_ms: None,
+        stage_deadline_ms: None,
+        stage_retries: None,
+        faults: FaultSpec::None,
+        checkpoint: Some("drill".to_string()),
+        kill_after: None,
+    };
+    client.send(&req.to_json()).map_err(|e| format!("send: {e}"))?;
+    let e = client.recv().map_err(|e| format!("recv: {e}"))?;
+    if e.event != "accepted" {
+        return Err(format!("expected accepted, got `{}`", e.event));
+    }
+    Ok(client)
+}
+
+/// Polls the journal until the drill job's `completed` record appears
+/// (or it fails, or the timeout passes). Read-only: never truncates a
+/// live daemon's journal.
+fn await_journal_completion(
+    state: &Path,
+    timeout: Duration,
+) -> Result<lily::serve::Replay, String> {
+    let t0 = Instant::now();
+    loop {
+        let replay =
+            lily::serve::journal::replay_dir(&state.join("journal")).map_err(|e| e.to_string())?;
+        if replay.records.iter().any(|r| matches!(r, JournalRecord::Completed { .. })) {
+            return Ok(replay);
+        }
+        if let Some(kind) = replay.records.iter().find_map(|r| match r {
+            JournalRecord::Failed { kind, .. } => Some(kind.clone()),
+            _ => None,
+        }) {
+            return Err(format!("drill job journaled failed ({kind})"));
+        }
+        if t0.elapsed() > timeout {
+            return Err(format!("no completed record after {}s", timeout.as_secs()));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Blanks run-to-run volatile metric values (wall times, derived
+/// speedups, the thread count) so journal metrics can be byte-compared
+/// across runs and thread counts — the shell-side twin of
+/// `tools/serve_smoke.sh`'s `strip()`.
+fn strip_volatile(s: &str) -> String {
+    const KEYS: [&str; 3] = ["\"wall_ns\":", "\"speedup\":", "\"threads\":"];
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        for key in KEYS {
+            if bytes[i..].starts_with(key.as_bytes()) {
+                out.extend_from_slice(key.as_bytes());
+                out.push(b'_');
+                i += key.len();
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    i += 1;
+                }
+                continue 'outer;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8(out).unwrap_or_else(|_| s.to_string())
+}
+
+/// One reference run on untouched state: same job, no kill, metrics
+/// read back from the journal so both sides of the byte-identity
+/// comparison travel the same path.
+fn reference_metrics(
+    args: &Args,
+    state: &Path,
+    spec: &str,
+    timeout: Duration,
+) -> Result<String, String> {
+    let mut server = spawn_server(&args.server_bin, state, args.threads)?;
+    let _client = submit_drill_job(&server.addr, spec, &args.flow)?;
+    let replay = await_journal_completion(state, timeout)?;
+    server.kill();
+    let seq = replay
+        .records
+        .iter()
+        .find_map(|r| match r {
+            JournalRecord::Completed { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .ok_or("reference run left no completed record")?;
+    Ok(replay.completed_metrics(seq).map(strip_volatile).ok_or("no reference metrics")?)
+}
+
+/// One kill -9 / restart / auto-resume round. Returns the recovery
+/// latency (restart spawn to journaled completion) and the stripped
+/// resumed metrics.
+fn recover_round(
+    args: &Args,
+    state: &Path,
+    spec: &str,
+    kill_after: Duration,
+    timeout: Duration,
+) -> Result<(u64, String), String> {
+    let mut server = spawn_server(&args.server_bin, state, args.threads)?;
+    let client = submit_drill_job(&server.addr, spec, &args.flow)?;
+    std::thread::sleep(kill_after);
+    // SIGKILL: no destructors, no flushes — exactly the crash the
+    // journal's write-ahead discipline is built for.
+    server.kill();
+    drop(client);
+    let t0 = Instant::now();
+    let mut restarted = spawn_server(&args.server_bin, state, args.threads)?;
+    let replay = await_journal_completion(state, timeout)?;
+    let recovery_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    restarted.kill();
+    if !replay.records.iter().any(|r| matches!(r, JournalRecord::Resumed { .. })) {
+        return Err(format!(
+            "job completed before the kill; lower --kill-after-ms (now {}ms)",
+            kill_after.as_millis()
+        ));
+    }
+    let seq = replay
+        .records
+        .iter()
+        .find_map(|r| match r {
+            JournalRecord::Completed { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .ok_or("no completed record after resume")?;
+    let metrics = replay.completed_metrics(seq).map(strip_volatile).ok_or("no resumed metrics")?;
+    Ok((recovery_ns, metrics))
+}
+
+/// The full drill: per unique circuit, one clean reference run, then
+/// kill/restart rounds that must converge to byte-identical metrics.
+#[allow(clippy::too_many_lines)]
+fn run_recover(args: &Args) -> ExitCode {
+    let root = PathBuf::from(&args.state_dir);
+    let mut plan: Vec<(String, String, Duration)> = (0..args.rounds)
+        .map(|i| (format!("round-{i}"), args.spec.clone(), Duration::from_secs(300)))
+        .collect();
+    if let Some(big) = &args.big_spec {
+        // The big round gets a longer leash and a later kill so the
+        // SIGKILL still lands mid-flow on a job this size.
+        plan.push((format!("round-{}-big", args.rounds), big.clone(), Duration::from_secs(1200)));
+    }
+    let mut references: Vec<(String, String)> = Vec::new(); // (spec, stripped metrics)
+    let mut latencies = Vec::new();
+    let mut first_metrics: Option<String> = None;
+    for (tag, spec, timeout) in &plan {
+        let reference = match references.iter().find(|(s, _)| s == spec) {
+            Some((_, m)) => m.clone(),
+            None => {
+                let state = root.join(format!("fresh-{tag}"));
+                match reference_metrics(args, &state, spec, *timeout) {
+                    Ok(m) => {
+                        references.push((spec.clone(), m.clone()));
+                        m
+                    }
+                    Err(e) => {
+                        eprintln!("lily-loadgen: recover reference ({spec}): {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+        };
+        let kill_after = if spec == &args.spec {
+            Duration::from_millis(args.kill_after_ms)
+        } else {
+            Duration::from_millis(args.kill_after_ms.saturating_mul(4))
+        };
+        let state = root.join(tag);
+        match recover_round(args, &state, spec, kill_after, *timeout) {
+            Ok((recovery_ns, metrics)) => {
+                if metrics != reference {
+                    eprintln!(
+                        "lily-loadgen: recover {tag}: resumed metrics differ from the \
+                         reference run"
+                    );
+                    return ExitCode::from(1);
+                }
+                println!(
+                    "recover {tag}: {spec} resumed byte-identical, recovery {}ms",
+                    recovery_ns / 1_000_000
+                );
+                if first_metrics.is_none() {
+                    first_metrics = Some(metrics);
+                }
+                latencies.push(recovery_ns);
+            }
+            Err(e) => {
+                eprintln!("lily-loadgen: recover {tag}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    // The stripped metrics of the standard round, for cross-thread
+    // byte-identity comparison by the smoke script.
+    if let Some(m) = &first_metrics {
+        if let Err(e) = std::fs::write(root.join("resumed-metrics.txt"), format!("{m}\n")) {
+            eprintln!("lily-loadgen: cannot write resumed-metrics.txt: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    latencies.sort_unstable();
+    let doc = JsonObject::new()
+        .string("bench", "serve-recover")
+        .string("generated_at", &iso8601_now())
+        .string("spec", &args.spec)
+        .string("flow", &args.flow)
+        .uint("rounds", plan.len() as u64)
+        .uint("kill_after_ms", args.kill_after_ms)
+        .uint("recovery_p50_ns", percentile(&latencies, 50))
+        .uint("recovery_p99_ns", percentile(&latencies, 99))
+        .uint("recovery_max_ns", latencies.last().copied().unwrap_or(0))
+        .uint("threads", args.threads.unwrap_or(0) as u64)
+        .finish();
+    if let Err(e) = std::fs::write(&args.out, format!("{doc}\n")) {
+        eprintln!("lily-loadgen: cannot write {}: {e}", args.out);
+        return ExitCode::from(1);
+    }
+    println!(
+        "recover: {} rounds, p50 {}ms, max {}ms -> {}",
+        plan.len(),
+        percentile(&latencies, 50) / 1_000_000,
+        latencies.last().copied().unwrap_or(0) / 1_000_000,
+        args.out
+    );
+    ExitCode::SUCCESS
+}
+
 /// One-shot scriptable request: frame `payload`, wait for the
 /// terminal event of its id, echo that frame, map the outcome to an
 /// exit code shell scripts can branch on.
@@ -379,6 +751,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.recover {
+        return run_recover(&args);
+    }
     if let Some(payload) = &args.one {
         return run_one(&args.addr, payload);
     }

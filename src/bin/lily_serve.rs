@@ -7,6 +7,8 @@
 //! ```text
 //! lily-serve [--addr 127.0.0.1:0] [--queue N] [--workers N]
 //!            [--checkpoint-root DIR] [--max-frame BYTES] [--threads N]
+//!            [--journal-dir DIR] [--memory-budget BYTES]
+//!            [--watchdog-grace-ms N]
 //! ```
 //!
 //! The bound address is printed as `listening on <addr>` on stdout
@@ -25,14 +27,33 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: lily-serve [--addr HOST:PORT] [--queue N] [--workers N] \
-     [--checkpoint-root DIR] [--max-frame BYTES] [--threads N]\n\
+     [--checkpoint-root DIR] [--max-frame BYTES] [--threads N] \
+     [--journal-dir DIR] [--memory-budget BYTES] [--watchdog-grace-ms N]\n\
      \n\
      --addr HOST:PORT       bind address (default 127.0.0.1:0)\n\
      --queue N              admission queue capacity (default 16)\n\
      --workers N            concurrent jobs (default: pool threads)\n\
      --checkpoint-root DIR  enable resumable jobs under DIR\n\
      --max-frame BYTES      per-frame payload ceiling (default 8 MiB)\n\
-     --threads N            parallel runtime threads (as LILY_THREADS)\n"
+     --threads N            parallel runtime threads (as LILY_THREADS)\n\
+     --journal-dir DIR      write-ahead job journal; orphaned jobs\n\
+                            resume automatically on restart\n\
+     --memory-budget BYTES  estimated-peak admission budget (accepts\n\
+                            k/m/g suffix); over-budget jobs get typed\n\
+                            rejected{reason:\"memory\"} frames\n\
+     --watchdog-grace-ms N  stuck-job watchdog slack (default 2000)\n"
+}
+
+/// Parses a byte count with an optional k/m/g (KiB/MiB/GiB) suffix.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.parse().map_err(|e| format!("{e}"))?;
+    n.checked_shl(shift).filter(|v| v >> shift == n).ok_or_else(|| "overflow".to_string())
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +82,21 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 threads =
                     Some(value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?);
+            }
+            "--journal-dir" => {
+                config.journal_dir = Some(PathBuf::from(value("--journal-dir")?));
+            }
+            "--memory-budget" => {
+                config.memory_budget = Some(
+                    parse_bytes(&value("--memory-budget")?)
+                        .map_err(|e| format!("bad --memory-budget: {e}"))?,
+                );
+            }
+            "--watchdog-grace-ms" => {
+                let ms: u64 = value("--watchdog-grace-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --watchdog-grace-ms: {e}"))?;
+                config.watchdog_grace = std::time::Duration::from_millis(ms);
             }
             "--help" | "-h" => {
                 print!("{}", usage());
@@ -99,7 +135,8 @@ fn main() -> ExitCode {
         Ok(stats) => {
             println!(
                 "shutdown: accepted={} rejected={} completed={} errored={} cancelled={} \
-                 deadlines={} cache_hits={} cache_misses={}",
+                 deadlines={} cache_hits={} cache_misses={} resumed={} watchdog_trips={} \
+                 memory_rejections={} journal_torn={}",
                 stats.accepted,
                 stats.rejected,
                 stats.completed,
@@ -108,6 +145,10 @@ fn main() -> ExitCode {
                 stats.deadlines,
                 stats.cache_hits,
                 stats.cache_misses,
+                stats.resumed,
+                stats.watchdog_trips,
+                stats.memory_rejections,
+                stats.journal_torn,
             );
             ExitCode::SUCCESS
         }

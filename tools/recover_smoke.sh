@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Smoke-test durable job recovery across real processes and thread
+# counts:
+#
+#   1. for LILY_THREADS in 1, 2, 8: run the `lily-loadgen --recover`
+#      drill — boot `lily-serve` with a write-ahead journal, submit a
+#      ~20k-node scale-family job, SIGKILL the daemon mid-flow, restart
+#      it, and require the orphaned job to auto-resume (no client
+#      participation) to metrics byte-identical to a clean reference
+#      run;
+#   2. the 8-thread run adds a ~100k-node round with a later kill and a
+#      longer leash — the scale end of the acceptance drill;
+#   3. compare the resumed metrics across all three thread counts:
+#      recovery must be byte-identical at any parallelism;
+#   4. keep the 8-thread drill's BENCH_serve.json (bench
+#      "serve-recover", recovery-latency percentiles) as the artifact.
+#
+# Usage: tools/recover_smoke.sh [path-to-lily-serve path-to-lily-loadgen]
+# (defaults to release builds via cargo).
+#
+# Exit: 0 clean, 1 contract violation, 2 setup error.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 2 ]; then
+    SERVE="$1"
+    LOADGEN="$2"
+else
+    cargo build --release --quiet --bin lily-serve --bin lily-loadgen
+    SERVE=target/release/lily-serve
+    LOADGEN=target/release/lily-loadgen
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+SPEC="scale:random-dag:20000:7"
+BIG_SPEC="scale:random-dag:100000:7"
+FLOW="mis-area"
+
+for t in 1 2 8; do
+    big=""
+    if [ "$t" = 8 ]; then
+        big="--big-spec $BIG_SPEC"
+    fi
+    # shellcheck disable=SC2086  # $big is deliberately two words
+    "$LOADGEN" --recover --server-bin "$SERVE" --state-dir "$work/t$t" \
+        --rounds 1 --kill-after-ms 700 --spec "$SPEC" --flow "$FLOW" \
+        --threads "$t" --out "$work/BENCH_recover_t$t.json" $big \
+        || { echo "recover_smoke: drill failed at $t thread(s)" >&2; exit 1; }
+done
+
+# Recovery must be byte-identical at any thread count: the drill
+# already compared each resumed run against its clean reference; this
+# compares the (volatile-stripped) metrics across the three sweeps.
+for t in 2 8; do
+    if ! cmp -s "$work/t1/resumed-metrics.txt" "$work/t$t/resumed-metrics.txt"; then
+        echo "recover_smoke: resumed metrics differ between 1 and $t thread(s):" >&2
+        diff "$work/t1/resumed-metrics.txt" "$work/t$t/resumed-metrics.txt" >&2 || true
+        exit 1
+    fi
+done
+
+# The 8-thread drill (which includes the ~100k-node round) provides
+# the benchmark artifact with recovery-latency percentiles.
+cp "$work/BENCH_recover_t8.json" BENCH_serve.json
+
+echo "recover_smoke: kill -9 -> restart -> auto-resume byte-identical at 1/2/8 threads (incl. ~100k-node round)"
